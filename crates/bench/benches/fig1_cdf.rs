@@ -1,0 +1,15 @@
+//! Fig. 1 benchmark: computing the readings-per-user / per-book CDFs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_dataset::stats::reading_cdfs;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (harness, _) = rm_bench::bench_context();
+    c.bench_function("fig1/reading_cdfs", |b| {
+        b.iter(|| black_box(reading_cdfs(black_box(&harness.corpus))));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

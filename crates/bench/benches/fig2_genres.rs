@@ -1,0 +1,18 @@
+//! Fig. 2 benchmark: computing the genre shares of the readings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_dataset::stats::{dominant_genre_share, genre_shares};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (harness, _) = rm_bench::bench_context();
+    c.bench_function("fig2/genre_shares", |b| {
+        b.iter(|| black_box(genre_shares(black_box(&harness.corpus))));
+    });
+    c.bench_function("fig2/dominant_genre_share", |b| {
+        b.iter(|| black_box(dominant_genre_share(black_box(&harness.corpus), 10.0, 10)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 3 benchmark: the k-sweep evaluation (all KPIs at k = 1..50 in one
+//! ranking pass per user).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_eval::metrics::evaluate_at;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (harness, suite) = rm_bench::bench_context();
+    let cases = harness.test_cases();
+    let ks: Vec<usize> = (1..=50).collect();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("bpr_sweep_k1_50", |b| {
+        b.iter(|| black_box(evaluate_at(&suite.bpr, black_box(&cases), &ks)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

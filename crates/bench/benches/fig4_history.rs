@@ -1,0 +1,24 @@
+//! Fig. 4 benchmark: equal-population binning plus per-bin evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_eval::groups::{equal_population_bins, evaluate_by_bin};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (harness, suite) = rm_bench::bench_context();
+    let cases = harness.test_cases();
+    let histories = harness.test_case_histories();
+    c.bench_function("fig4/equal_population_bins", |b| {
+        b.iter(|| black_box(equal_population_bins(black_box(&histories), 4)));
+    });
+    let bins = equal_population_bins(&histories, 4);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("binned_evaluation_bpr", |b| {
+        b.iter(|| black_box(evaluate_by_bin(&suite.bpr, &cases, &histories, &bins, 20)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 5 benchmark: building one Closest Items variant (summary
+//! rendering + IDF fit + catalogue encoding) and evaluating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_core::closest::ClosestItems;
+use rm_core::Recommender;
+use rm_dataset::summary::SummaryFields;
+use rm_embed::EncoderConfig;
+use rm_eval::metrics::evaluate;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (harness, _) = rm_bench::bench_context();
+    let cases = harness.test_cases();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("build_closest_authors_genres", |b| {
+        b.iter(|| {
+            black_box(ClosestItems::from_corpus(
+                black_box(&harness.corpus),
+                SummaryFields::BEST,
+                EncoderConfig::default(),
+            ))
+        });
+    });
+    let mut ci = ClosestItems::from_corpus(&harness.corpus, SummaryFields::ALL, EncoderConfig::default());
+    ci.fit(&harness.split.train);
+    group.bench_function("evaluate_closest_all_fields", |b| {
+        b.iter(|| black_box(evaluate(&ci, &cases, 20)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

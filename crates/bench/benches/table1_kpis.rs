@@ -1,0 +1,28 @@
+//! Table 1 benchmark: KPI evaluation cost of every recommender at k = 20
+//! (one full-ranking pass over the evaluation users).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_core::Recommender;
+use rm_eval::metrics::evaluate;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (harness, suite) = rm_bench::bench_context();
+    let cases = harness.test_cases();
+    let mut group = c.benchmark_group("table1/evaluate_k20");
+    group.sample_size(10);
+    for rec in [
+        &suite.random as &dyn Recommender,
+        &suite.most_read,
+        &suite.closest,
+        &suite.bpr,
+    ] {
+        group.bench_function(rec.name(), |b| {
+            b.iter(|| black_box(evaluate(rec, black_box(&cases), 20)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table 2 benchmark: the paper's training / recommendation timings.
+//! Training is measured for BPR (the only algorithm with a proper training
+//! phase); recommendation latency is measured per user for all three
+//! algorithms the paper lists.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rm_core::bpr::Bpr;
+use rm_core::Recommender;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (harness, suite) = rm_bench::bench_context();
+    let users: Vec<_> = harness.test_cases().iter().map(|c| c.user).take(64).collect();
+
+    let mut group = c.benchmark_group("table2/recommendation_k20");
+    for rec in [
+        &suite.random as &dyn Recommender,
+        &suite.closest,
+        &suite.bpr,
+    ] {
+        let mut i = 0usize;
+        group.bench_function(rec.name(), |b| {
+            b.iter(|| {
+                i = (i + 1) % users.len();
+                black_box(rec.recommend(users[i], 20))
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table2/training");
+    group.sample_size(10);
+    group.bench_function("BPR fit", |b| {
+        b.iter_batched(
+            || Bpr::new(suite.bpr.config().clone()),
+            |mut bpr| {
+                bpr.fit(&harness.split.train);
+                black_box(bpr)
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Diagnostic: Fig. 4 top-bin BPR NRR as a function of training epochs.
+use rm_bench::Options;
+use rm_core::bpr::{Bpr, BprConfig};
+use rm_core::Recommender;
+use rm_eval::groups::{equal_population_bins, evaluate_by_bin};
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let cases = harness.test_cases();
+    let hist = harness.test_case_histories();
+    let bins = equal_population_bins(&hist, 4);
+    for epochs in [3usize, 6, 10, 15] {
+        let mut bpr = Bpr::new(BprConfig { epochs, ..opts.bpr_config() });
+        bpr.fit(&harness.split.train);
+        let binned = evaluate_by_bin(&bpr, &cases, &hist, &bins, 20);
+        let nrrs: Vec<String> = binned.iter().map(|b| format!("{:.2}", b.kpis.nrr)).collect();
+        println!("epochs {epochs:>2}: NRR by bin = {}", nrrs.join("  "));
+    }
+}

@@ -1,0 +1,53 @@
+//! Diagnostic: what kinds of books does each recommender hit, per
+//! history bin? Classifies hits as same-author (an author already in the
+//! user's training set) vs other, and reports the hit books' popularity.
+
+use rm_bench::Options;
+use rm_core::Recommender;
+use std::collections::HashSet;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let suite = opts.suite(&harness);
+    let cases = harness.test_cases();
+    let hist = harness.test_case_histories();
+    let book_pop = rm_dataset::interactions::Interactions::from_corpus(&harness.corpus).book_counts();
+
+    for (name, rec) in [
+        ("Closest", &suite.closest as &dyn Recommender),
+        ("BPR", &suite.bpr),
+    ] {
+        for (lo, hi) in [(0u64, 9), (13, 10_000)] {
+            let mut hits = 0usize;
+            let mut same_author = 0usize;
+            let mut pop_sum = 0f64;
+            let mut tests = 0usize;
+            for (case, &h) in cases.iter().zip(&hist) {
+                if !(lo..=hi).contains(&h) {
+                    continue;
+                }
+                tests += case.test.len();
+                let train_authors: HashSet<&str> = harness.split.train.seen(case.user).iter()
+                    .flat_map(|&b| harness.corpus.books[b as usize].authors.iter())
+                    .map(String::as_str)
+                    .collect();
+                for b in rec.recommend(case.user, 20) {
+                    if case.test.binary_search(&b).is_ok() {
+                        hits += 1;
+                        pop_sum += book_pop[b as usize] as f64;
+                        if harness.corpus.books[b as usize].authors.iter().any(|a| train_authors.contains(a.as_str())) {
+                            same_author += 1;
+                        }
+                    }
+                }
+            }
+            println!(
+                "{name:<8} hist {lo:>3}-{hi:<5} hits {hits:>5} ({:.1}% of test)  same-author {:.0}%  mean-hit-popularity {:.0}",
+                100.0 * hits as f64 / tests.max(1) as f64,
+                100.0 * same_author as f64 / hits.max(1) as f64,
+                pop_sum / hits.max(1) as f64
+            );
+        }
+    }
+}

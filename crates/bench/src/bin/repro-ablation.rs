@@ -1,0 +1,20 @@
+//! Design-choice ablation: WARP vs sigmoid BPR across factor budgets.
+
+use rm_bench::{section, Options};
+use rm_core::bpr::Loss;
+use rm_eval::experiments::ablation;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let result = ablation::run(&harness, &opts.bpr_config(), &[10, 20, 40], 20);
+    section("Ablation — BPR loss × latent factors (k = 20)");
+    print!("{}", result.table().render());
+    if let (Some(w), Some(s)) = (result.best_of(Loss::Warp), result.best_of(Loss::Bpr)) {
+        println!(
+            "best WARP NRR {:.3} (L = {}) vs best sigmoid NRR {:.3} (L = {})",
+            w.kpis.nrr, w.factors, s.kpis.nrr, s.factors
+        );
+    }
+    opts.write_csv("ablation.csv", &result.to_csv());
+}

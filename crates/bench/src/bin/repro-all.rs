@@ -1,0 +1,57 @@
+//! Runs every table/figure reproduction in one pass (sharing the corpus
+//! and the trained suite), writing all CSV artefacts.
+
+use rm_bench::{section, Options};
+use rm_eval::experiments::{fig1, fig2, fig3, fig4, fig5, table1, table2};
+
+fn main() {
+    let opts = Options::from_env();
+    let t0 = std::time::Instant::now();
+    let harness = opts.harness();
+    println!(
+        "corpus: {} books, {} users ({} BCT / {} Anobii), {} readings",
+        harness.corpus.n_books(),
+        harness.corpus.n_users(),
+        harness.corpus.bct_users().len(),
+        harness.corpus.anobii_users().len(),
+        harness.corpus.n_readings()
+    );
+    let suite = opts.suite(&harness);
+
+    let f1 = fig1::run(&harness);
+    section("Fig. 1 — readings per user / per book");
+    print!("{}", f1.table().render());
+    opts.write_csv("fig1_cdf.csv", &f1.to_csv());
+
+    let f2 = fig2::run(&harness);
+    section("Fig. 2 — genre shares");
+    print!("{}", f2.table().render());
+    opts.write_csv("fig2_genres.csv", &f2.to_csv());
+
+    let t1 = table1::run(&harness, &suite, opts.bpr_config(), 20);
+    section("Table 1 — KPIs at k = 20");
+    print!("{}", t1.table().render());
+    opts.write_csv("table1.csv", &t1.table().to_csv());
+
+    let t2 = table2::run(&harness, &suite, 20, 500);
+    section("Table 2 — timing");
+    print!("{}", t2.table().render());
+    opts.write_csv("table2.csv", &t2.table().to_csv());
+
+    let f3 = fig3::run(&harness, &suite, &(1..=50).collect::<Vec<_>>());
+    section("Fig. 3 — KPIs vs k (excerpt)");
+    print!("{}", f3.table().render());
+    opts.write_csv("fig3_sweep.csv", &f3.to_csv());
+
+    let f4 = fig4::run(&harness, &suite, 20, 4);
+    section("Fig. 4 — NRR by history bin");
+    print!("{}", f4.table().render());
+    opts.write_csv("fig4_history.csv", &f4.to_csv());
+
+    let f5 = fig5::run(&harness, &fig5::paper_variants(), 20);
+    section("Fig. 5 — KPIs by metadata summary");
+    print!("{}", f5.table().render());
+    opts.write_csv("fig5_metadata.csv", &f5.to_csv());
+
+    println!("\ntotal {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,36 @@
+//! Extension experiment: future-work algorithms (sequential, hybrid,
+//! item-kNN) and beyond-accuracy metrics (diversity, novelty, serendipity,
+//! coverage) — under both the paper's random split and the chronological
+//! split that is the honest protocol for sequential recommenders.
+
+use rm_bench::{section, Options};
+use rm_dataset::summary::SummaryFields;
+use rm_eval::experiments::extensions;
+use rm_eval::harness::{Harness, TrainedSuite};
+use rm_eval::{SplitConfig, SplitStrategy};
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let suite = opts.suite(&harness);
+    let result = extensions::run(&harness, &suite, 20, 0.5);
+    section("Extensions — accuracy + beyond-accuracy at k = 20 (random split)");
+    print!("{}", result.table().render());
+    opts.write_csv("extensions.csv", &result.to_csv());
+
+    // Chronological split: the future never leaks into training, which is
+    // the protocol a sequential recommender must be judged under.
+    let temporal = Harness::from_corpus(
+        harness.corpus.clone(),
+        &SplitConfig {
+            strategy: SplitStrategy::Temporal,
+            seed: rm_util::rng::derive_seed_str(opts.seed, "split"),
+            ..SplitConfig::default()
+        },
+    );
+    let suite_t = TrainedSuite::train(&temporal, opts.bpr_config(), SummaryFields::BEST, opts.seed);
+    let result_t = extensions::run(&temporal, &suite_t, 20, 0.5);
+    section("Extensions — same line-up under the temporal split");
+    print!("{}", result_t.table().render());
+    opts.write_csv("extensions_temporal.csv", &result_t.to_csv());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 1: CDFs of readings per user and per book.
+
+use rm_bench::{section, Options};
+use rm_eval::experiments::fig1;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let result = fig1::run(&harness);
+    section("Fig. 1 — readings per user / per book (quantiles)");
+    print!("{}", result.table().render());
+    opts.write_csv("fig1_cdf.csv", &result.to_csv());
+}

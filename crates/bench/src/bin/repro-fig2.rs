@@ -1,0 +1,13 @@
+//! Regenerates Fig. 2: genre distribution of the readings.
+
+use rm_bench::{section, Options};
+use rm_eval::experiments::fig2;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let result = fig2::run(&harness);
+    section("Fig. 2 — share of readings per genre");
+    print!("{}", result.table().render());
+    opts.write_csv("fig2_genres.csv", &result.to_csv());
+}

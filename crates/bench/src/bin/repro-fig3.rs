@@ -1,0 +1,15 @@
+//! Regenerates Fig. 3: KPIs versus the number of recommended books k.
+
+use rm_bench::{section, Options};
+use rm_eval::experiments::fig3;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let suite = opts.suite(&harness);
+    let ks: Vec<usize> = (1..=50).collect();
+    let result = fig3::run(&harness, &suite, &ks);
+    section("Fig. 3 — URR/NRR (a) and P/R (b) vs k");
+    print!("{}", result.table().render());
+    opts.write_csv("fig3_sweep.csv", &result.to_csv());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 4: NRR by number of training-set books per user.
+
+use rm_bench::{section, Options};
+use rm_eval::experiments::fig4;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let suite = opts.suite(&harness);
+    let result = fig4::run(&harness, &suite, 20, 4);
+    section("Fig. 4 — NRR by training-history bin (k = 20)");
+    print!("{}", result.table().render());
+    opts.write_csv("fig4_history.csv", &result.to_csv());
+}

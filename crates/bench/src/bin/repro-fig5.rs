@@ -1,0 +1,13 @@
+//! Regenerates Fig. 5: Closest Items KPIs by metadata-summary composition.
+
+use rm_bench::{section, Options};
+use rm_eval::experiments::fig5;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let result = fig5::run(&harness, &fig5::paper_variants(), 20);
+    section("Fig. 5 — KPIs by metadata summary (k = 20)");
+    print!("{}", result.table().render());
+    opts.write_csv("fig5_metadata.csv", &result.to_csv());
+}

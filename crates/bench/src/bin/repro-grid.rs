@@ -1,0 +1,19 @@
+//! Regenerates the §6 grid search: latent factors × learning rate by
+//! validation URR.
+
+use rm_bench::{section, Options};
+use rm_core::grid::GridSearch;
+use rm_eval::experiments::grid;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let result = grid::run(&harness, &GridSearch::default(), &opts.bpr_config(), 20);
+    section("Grid search — validation URR per (L, learning rate)");
+    print!("{}", result.table().render());
+    println!(
+        "best: L = {}, learning rate = {}",
+        result.outcome.best.factors, result.outcome.best.learning_rate
+    );
+    opts.write_csv("grid_search.csv", &result.to_csv());
+}

@@ -1,0 +1,40 @@
+//! Regenerates Table 1: KPIs of every recommender at k = 20.
+
+use rm_bench::{section, Options};
+use rm_eval::bootstrap::{paired_difference_ci, Metric, PerUserStats};
+use rm_eval::experiments::table1;
+
+fn main() {
+    let opts = Options::from_env();
+    let t0 = std::time::Instant::now();
+    let harness = opts.harness();
+    println!(
+        "corpus: {} books, {} users, {} readings ({:?}, seed {})",
+        harness.corpus.n_books(),
+        harness.corpus.n_users(),
+        harness.corpus.n_readings(),
+        opts.preset,
+        opts.seed
+    );
+    let suite = opts.suite(&harness);
+    let result = table1::run(&harness, &suite, opts.bpr_config(), 20);
+    section("Table 1 — KPIs at k = 20");
+    print!("{}", result.table().render());
+    opts.write_csv("table1.csv", &result.table().to_csv());
+
+    // Paired bootstrap: is the CF > CB gap solid on this corpus?
+    let cases = harness.test_cases();
+    let bpr = PerUserStats::collect(&suite.bpr, &cases, 20);
+    let closest = PerUserStats::collect(&suite.closest, &cases, 20);
+    for metric in [Metric::Urr, Metric::Nrr] {
+        let ci = paired_difference_ci(&bpr, &closest, metric, 1000, opts.seed, 0.95);
+        println!(
+            "BPR − Closest {metric:?}: {:+.3} [{:+.3}, {:+.3}] ({})",
+            ci.point,
+            ci.lo,
+            ci.hi,
+            if ci.excludes_zero() { "significant at 95%" } else { "not significant" }
+        );
+    }
+    println!("total {:.1?}", t0.elapsed());
+}

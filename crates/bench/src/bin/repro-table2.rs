@@ -1,0 +1,18 @@
+//! Regenerates Table 2: training and recommendation wall-clock times.
+
+use rm_bench::{section, Options};
+use rm_eval::experiments::table2;
+
+fn main() {
+    let opts = Options::from_env();
+    let harness = opts.harness();
+    let suite = opts.suite(&harness);
+    let result = table2::run(&harness, &suite, 20, 500);
+    section("Table 2 — average time (s) for training and recommendation");
+    print!("{}", result.table().render());
+    println!(
+        "(one-off Closest Items catalogue encoding: {:.2} s)",
+        result.closest_encoding.as_secs_f64()
+    );
+    opts.write_csv("table2.csv", &result.table().to_csv());
+}

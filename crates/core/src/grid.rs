@@ -1,0 +1,162 @@
+//! Hyper-parameter grid search for BPR (Section 6, first paragraph).
+//!
+//! The paper sweeps the number of latent factors and the learning rate and
+//! keeps the combination maximising URR on the validation set. The scorer
+//! is supplied by the caller (the evaluation harness lives downstream of
+//! this crate), so the search itself stays agnostic of the KPI.
+
+use crate::bpr::{Bpr, BprConfig};
+use crate::Recommender;
+use rm_dataset::interactions::Interactions;
+
+/// The sweep axes. The paper's grid: L ∈ {5, 10, 20, 40},
+/// lr ∈ {0.05, 0.1, 0.2, 0.4}.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearch {
+    /// Latent-factor counts to try.
+    pub factors: Vec<usize>,
+    /// Learning rates to try.
+    pub learning_rates: Vec<f32>,
+}
+
+impl Default for GridSearch {
+    fn default() -> Self {
+        Self {
+            factors: vec![5, 10, 20, 40],
+            learning_rates: vec![0.05, 0.1, 0.2, 0.4],
+        }
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// Latent factors.
+    pub factors: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Validation score (higher is better).
+    pub score: f64,
+}
+
+/// The sweep outcome: every point plus the winning configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridOutcome {
+    /// All evaluated points, in sweep order.
+    pub points: Vec<GridPoint>,
+    /// The best configuration found.
+    pub best: BprConfig,
+}
+
+impl GridSearch {
+    /// Runs the sweep: trains one model per (L, lr) on `train` and scores
+    /// it with `validate`. Ties keep the earlier point (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty or a scorer returns NaN.
+    #[must_use]
+    pub fn run(
+        &self,
+        base: &BprConfig,
+        train: &Interactions,
+        mut validate: impl FnMut(&Bpr) -> f64,
+    ) -> GridOutcome {
+        assert!(
+            !self.factors.is_empty() && !self.learning_rates.is_empty(),
+            "grid axes must be non-empty"
+        );
+        let mut points = Vec::with_capacity(self.factors.len() * self.learning_rates.len());
+        let mut best: Option<(f64, BprConfig)> = None;
+        for &factors in &self.factors {
+            for &learning_rate in &self.learning_rates {
+                let config = BprConfig {
+                    factors,
+                    learning_rate,
+                    ..base.clone()
+                };
+                let mut model = Bpr::new(config.clone());
+                model.fit(train);
+                let score = validate(&model);
+                assert!(!score.is_nan(), "validation scorer returned NaN");
+                points.push(GridPoint {
+                    factors,
+                    learning_rate,
+                    score,
+                });
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((score, config));
+                }
+            }
+        }
+        GridOutcome {
+            points,
+            best: best.expect("non-empty grid").1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_dataset::ids::{BookIdx, UserIdx};
+
+    fn tiny_train() -> Interactions {
+        let pairs: Vec<(UserIdx, BookIdx)> = (0..6u32)
+            .flat_map(|u| (0..4u32).map(move |b| (UserIdx(u), BookIdx((u % 2) * 4 + b))))
+            .collect();
+        Interactions::from_pairs(6, 8, &pairs)
+    }
+
+    #[test]
+    fn sweep_covers_every_point() {
+        let grid = GridSearch {
+            factors: vec![2, 4],
+            learning_rates: vec![0.05, 0.1, 0.2],
+        };
+        let base = BprConfig { epochs: 2, ..BprConfig::default() };
+        let outcome = grid.run(&base, &tiny_train(), |_| 0.0);
+        assert_eq!(outcome.points.len(), 6);
+        // Ties keep the first point.
+        assert_eq!(outcome.best.factors, 2);
+        assert!((outcome.best.learning_rate - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_point_maximises_scorer() {
+        let grid = GridSearch {
+            factors: vec![2, 4, 8],
+            learning_rates: vec![0.1],
+        };
+        let base = BprConfig { epochs: 1, ..BprConfig::default() };
+        // Scorer that prefers 4 factors.
+        let outcome = grid.run(&base, &tiny_train(), |m| {
+            -((m.config().factors as f64) - 4.0).abs()
+        });
+        assert_eq!(outcome.best.factors, 4);
+        assert_eq!(outcome.points.iter().filter(|p| p.score == 0.0).count(), 1);
+    }
+
+    #[test]
+    fn base_fields_carry_over() {
+        let grid = GridSearch {
+            factors: vec![3],
+            learning_rates: vec![0.2],
+        };
+        let base = BprConfig { epochs: 1, seed: 123, ..BprConfig::default() };
+        let outcome = grid.run(&base, &tiny_train(), |_| 1.0);
+        assert_eq!(outcome.best.seed, 123);
+        assert_eq!(outcome.best.epochs, 1);
+        assert_eq!(outcome.best.factors, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_rejected() {
+        let grid = GridSearch {
+            factors: vec![],
+            learning_rates: vec![0.1],
+        };
+        let _ = grid.run(&BprConfig::default(), &tiny_train(), |_| 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Hybrid recommendation: a weighted blend of two recommenders' rankings.
+//!
+//! The paper's related work repeatedly points at CB+CF hybrids (Salter &
+//! Antonopoulos 2006; Christakou et al. 2007); its own Fig. 4 shows the
+//! natural division of labour — CF for short histories, CB for long ones.
+//! [`Blend`] combines any two fitted recommenders by mixing their
+//! *rank-normalised* scores (raw score scales are incomparable across
+//! model families), so a `Blend::new(bpr, closest, 0.5)` is the obvious
+//! production follow-up the paper gestures at.
+
+use crate::{rank_by_scores, Recommender};
+use rm_dataset::ids::{BookIdx, UserIdx};
+use rm_dataset::interactions::Interactions;
+
+/// Weighted rank-blend of two recommenders.
+pub struct Blend<A, B> {
+    first: A,
+    second: B,
+    /// Weight of `first`'s contribution in `[0, 1]`.
+    weight: f32,
+    train: Option<Interactions>,
+}
+
+impl<A: Recommender, B: Recommender> Blend<A, B> {
+    /// Creates the blend; `weight` is the share of the first recommender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(first: A, second: B, weight: f32) -> Self {
+        assert!((0.0..=1.0).contains(&weight), "blend weight out of range");
+        Self {
+            first,
+            second,
+            weight,
+            train: None,
+        }
+    }
+
+    /// The two component recommenders.
+    #[must_use]
+    pub fn components(&self) -> (&A, &B) {
+        (&self.first, &self.second)
+    }
+
+    fn train_ref(&self) -> &Interactions {
+        self.train.as_ref().expect("Blend::fit not called")
+    }
+
+    /// Rank-normalised blended scores: each component contributes
+    /// `1 - rank/n` for the books it ranks (0 for unranked), mixed by the
+    /// blend weight.
+    fn blended_scores(&self, user: UserIdx) -> Vec<f32> {
+        let n_books = self.train_ref().n_books();
+        let mut scores = vec![0.0f32; n_books];
+        for (rec, w) in [
+            (&self.first as &dyn Recommender, self.weight),
+            (&self.second, 1.0 - self.weight),
+        ] {
+            if w == 0.0 {
+                continue;
+            }
+            let ranking = rec.rank_all(user);
+            let len = ranking.len().max(1) as f32;
+            for (pos, &b) in ranking.iter().enumerate() {
+                scores[b as usize] += w * (1.0 - pos as f32 / len);
+            }
+        }
+        scores
+    }
+}
+
+impl<A: Recommender, B: Recommender> Recommender for Blend<A, B> {
+    fn name(&self) -> &'static str {
+        "Hybrid Blend"
+    }
+
+    fn fit(&mut self, train: &Interactions) {
+        self.first.fit(train);
+        self.second.fit(train);
+        self.train = Some(train.clone());
+    }
+
+    fn score(&self, user: UserIdx, book: BookIdx) -> f32 {
+        self.blended_scores(user)[book.index()]
+    }
+
+    fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
+        let scores = self.blended_scores(user);
+        rank_by_scores(self.train_ref().n_books(), self.train_ref().seen(user), k, |b| {
+            scores[b as usize]
+        })
+    }
+
+    fn rank_all(&self, user: UserIdx) -> Vec<u32> {
+        self.recommend(user, self.train_ref().n_books())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::most_read::MostReadItems;
+    use crate::random::RandomItems;
+
+    fn train() -> Interactions {
+        Interactions::from_pairs(
+            2,
+            6,
+            &[
+                (UserIdx(0), BookIdx(0)),
+                (UserIdx(1), BookIdx(0)),
+                (UserIdx(1), BookIdx(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn weight_one_equals_first_component() {
+        let t = train();
+        let mut blend = Blend::new(MostReadItems::new(), RandomItems::new(1), 1.0);
+        blend.fit(&t);
+        let mut most_read = MostReadItems::new();
+        most_read.fit(&t);
+        assert_eq!(blend.rank_all(UserIdx(0)), most_read.rank_all(UserIdx(0)));
+    }
+
+    #[test]
+    fn weight_zero_equals_second_component() {
+        let t = train();
+        let mut blend = Blend::new(MostReadItems::new(), RandomItems::new(1), 0.0);
+        blend.fit(&t);
+        let mut random = RandomItems::new(1);
+        random.fit(&t);
+        assert_eq!(blend.rank_all(UserIdx(0)), random.rank_all(UserIdx(0)));
+    }
+
+    #[test]
+    fn blend_excludes_seen() {
+        let t = train();
+        let mut blend = Blend::new(MostReadItems::new(), RandomItems::new(1), 0.5);
+        blend.fit(&t);
+        let recs = blend.rank_all(UserIdx(1));
+        assert!(!recs.contains(&0));
+        assert!(!recs.contains(&1));
+        assert_eq!(recs.len(), 4);
+    }
+
+    #[test]
+    fn agreement_wins_over_disagreement() {
+        // Two MostRead components agree perfectly: the blend must equal
+        // them at any weight.
+        let t = train();
+        let mut blend = Blend::new(MostReadItems::new(), MostReadItems::new(), 0.3);
+        blend.fit(&t);
+        let mut single = MostReadItems::new();
+        single.fit(&t);
+        assert_eq!(blend.rank_all(UserIdx(0)), single.rank_all(UserIdx(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_weight_rejected() {
+        let _ = Blend::new(MostReadItems::new(), RandomItems::new(1), 1.5);
+    }
+}

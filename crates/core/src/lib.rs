@@ -1,0 +1,110 @@
+//! The paper's recommender suite (Section 4).
+//!
+//! Four implicit-feedback recommenders behind one [`Recommender`] trait:
+//!
+//! * [`random::RandomItems`] — baseline: k unseen books uniformly at
+//!   random;
+//! * [`most_read::MostReadItems`] — baseline: the globally most-read books
+//!   of the training set, minus each user's seen set;
+//! * [`closest::ClosestItems`] — content-based: rank unseen books by mean
+//!   cosine similarity between metadata-summary embeddings and the user's
+//!   read books (Eq. 1), with a centroid fast path that is exactly
+//!   equivalent;
+//! * [`bpr::Bpr`] — collaborative filtering: matrix factorisation trained
+//!   on the BPR pairwise objective (Eqs. 2–3) with the WARP
+//!   negative-sampling variant of Weston et al. for the SGD updates.
+//!
+//! [`grid::GridSearch`] sweeps BPR hyper-parameters against a
+//! caller-supplied validation scorer (the paper selects by validation URR),
+//! and [`persist`] round-trips trained factor models through a compact
+//! binary codec.
+//!
+//! Three extensions implement the paper's future-work directions and the
+//! surrounding literature's standard baselines:
+//! [`markov::SequentialItems`] (first-order sequential recommendation,
+//! Section 7's pointer to Wang et al. 2019), [`hybrid::Blend`] (the CB+CF
+//! hybrid its related work surveys), and [`item_knn::ItemKnn`] (the
+//! classic item-based CF the `implicit` ecosystem ships).
+
+pub mod bpr;
+pub mod closest;
+pub mod grid;
+pub mod hybrid;
+pub mod item_knn;
+pub mod markov;
+pub mod most_read;
+pub mod persist;
+pub mod random;
+
+use rm_dataset::ids::{BookIdx, UserIdx};
+use rm_dataset::interactions::Interactions;
+
+/// A top-N implicit-feedback recommender.
+///
+/// The lifecycle is `fit` once on a training interaction matrix, then any
+/// number of `recommend`/`rank_all`/`score` calls. Users and books are the
+/// dense corpus indices of the training matrix.
+pub trait Recommender {
+    /// Short display name (used in report tables).
+    fn name(&self) -> &'static str;
+
+    /// Fits the recommender on the training interactions.
+    fn fit(&mut self, train: &Interactions);
+
+    /// Model score of `(user, book)`; higher ranks earlier. Only
+    /// meaningful after [`Recommender::fit`].
+    fn score(&self, user: UserIdx, book: BookIdx) -> f32;
+
+    /// The top-`k` unseen books for `user`, best first. Books the user has
+    /// read in the training set are never recommended.
+    fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32>;
+
+    /// The full ranking of unseen books (equivalent to
+    /// `recommend(user, n_books)`); used by the First-Rank KPI.
+    fn rank_all(&self, user: UserIdx) -> Vec<u32>;
+}
+
+/// Shared helper: ranks all books by a score function, excluding `seen`,
+/// keeping the top `k`. Ties break toward the lower book index.
+#[must_use]
+pub(crate) fn rank_by_scores(
+    n_books: usize,
+    seen: &[u32],
+    k: usize,
+    mut score: impl FnMut(u32) -> f32,
+) -> Vec<u32> {
+    let mut top = rm_util::TopK::new(k.max(1));
+    let mut seen_iter = seen.iter().copied().peekable();
+    for b in 0..n_books as u32 {
+        // `seen` is sorted: advance the cursor instead of binary-searching.
+        if seen_iter.peek() == Some(&b) {
+            seen_iter.next();
+            continue;
+        }
+        top.push(b, score(b));
+    }
+    top.into_items()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_by_scores_excludes_seen_and_orders() {
+        let got = rank_by_scores(5, &[1, 3], 3, |b| b as f32);
+        assert_eq!(got, vec![4, 2, 0]);
+    }
+
+    #[test]
+    fn rank_by_scores_k_larger_than_catalog() {
+        let got = rank_by_scores(3, &[], 10, |b| -(b as f32));
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_by_scores_all_seen() {
+        let got = rank_by_scores(2, &[0, 1], 5, |_| 1.0);
+        assert!(got.is_empty());
+    }
+}

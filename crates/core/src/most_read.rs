@@ -1,0 +1,146 @@
+//! The *Most Read Items* baseline (Section 4): the top-k most-read books
+//! of the training set, identical for every user minus their seen set.
+//!
+//! The paper finds this baseline *below* Random for BCT users — the merged
+//! training set is dominated by Anobii readers whose popularity profile
+//! (comics-heavy) differs from the library public's. The implementation
+//! here reproduces that mechanism faithfully: popularity is computed over
+//! *all* training readings.
+
+use crate::Recommender;
+use rm_dataset::ids::{BookIdx, UserIdx};
+use rm_dataset::interactions::Interactions;
+
+/// Global-popularity recommender.
+#[derive(Debug, Clone, Default)]
+pub struct MostReadItems {
+    /// Books sorted by descending training read count (ties by index).
+    by_popularity: Vec<u32>,
+    /// Read count per book.
+    counts: Vec<u64>,
+    train: Option<Interactions>,
+}
+
+impl MostReadItems {
+    /// Creates the (unfitted) baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn train(&self) -> &Interactions {
+        self.train.as_ref().expect("MostReadItems::fit not called")
+    }
+
+    /// Read count of a book in the training set.
+    #[must_use]
+    pub fn count(&self, book: BookIdx) -> u64 {
+        self.counts[book.index()]
+    }
+}
+
+impl Recommender for MostReadItems {
+    fn name(&self) -> &'static str {
+        "Most Read Items"
+    }
+
+    fn fit(&mut self, train: &Interactions) {
+        self.counts = train.book_counts();
+        let mut order: Vec<u32> = (0..train.n_books() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.counts[b as usize]
+                .cmp(&self.counts[a as usize])
+                .then(a.cmp(&b))
+        });
+        self.by_popularity = order;
+        self.train = Some(train.clone());
+    }
+
+    fn score(&self, _user: UserIdx, book: BookIdx) -> f32 {
+        self.counts[book.index()] as f32
+    }
+
+    fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
+        let seen = self.train().seen(user);
+        self.by_popularity
+            .iter()
+            .copied()
+            .filter(|&b| seen.binary_search(&b).is_err())
+            .take(k)
+            .collect()
+    }
+
+    fn rank_all(&self, user: UserIdx) -> Vec<u32> {
+        self.recommend(user, self.train().n_books())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fitted() -> MostReadItems {
+        // Book read counts: 0 → 3, 1 → 1, 2 → 2, 3 → 0.
+        let train = Interactions::from_pairs(
+            3,
+            4,
+            &[
+                (UserIdx(0), BookIdx(0)),
+                (UserIdx(1), BookIdx(0)),
+                (UserIdx(2), BookIdx(0)),
+                (UserIdx(0), BookIdx(2)),
+                (UserIdx(1), BookIdx(2)),
+                (UserIdx(2), BookIdx(1)),
+            ],
+        );
+        let mut m = MostReadItems::new();
+        m.fit(&train);
+        m
+    }
+
+    #[test]
+    fn popularity_order() {
+        let m = fitted();
+        // User 1 has read 0 and 2 → gets 1 then 3.
+        assert_eq!(m.recommend(UserIdx(1), 4), vec![1, 3]);
+        // User 2 has read 0 and 1 → gets 2 then 3.
+        assert_eq!(m.recommend(UserIdx(2), 4), vec![2, 3]);
+    }
+
+    #[test]
+    fn same_global_list_for_everyone() {
+        let m = fitted();
+        // An (imaginary) user with nothing read: compare two users' lists
+        // ignoring exclusions — both are prefixes of the same order.
+        assert_eq!(m.rank_all(UserIdx(1)), vec![1, 3]);
+        assert_eq!(m.rank_all(UserIdx(2)), vec![2, 3]);
+        assert_eq!(m.score(UserIdx(0), BookIdx(0)), 3.0);
+        assert_eq!(m.score(UserIdx(1), BookIdx(0)), 3.0);
+    }
+
+    #[test]
+    fn counts_exposed() {
+        let m = fitted();
+        assert_eq!(m.count(BookIdx(0)), 3);
+        assert_eq!(m.count(BookIdx(3)), 0);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let m = fitted();
+        assert_eq!(m.recommend(UserIdx(1), 1), vec![1]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let train = Interactions::from_pairs(
+            1,
+            3,
+            &[(UserIdx(0), BookIdx(2))],
+        );
+        let mut m = MostReadItems::new();
+        m.fit(&train);
+        // Books 0 and 1 both have count 0 → index order.
+        assert_eq!(m.recommend(UserIdx(0), 3), vec![0, 1]);
+    }
+}

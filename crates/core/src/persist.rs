@@ -1,0 +1,216 @@
+//! Binary persistence of trained BPR models.
+//!
+//! A deployed recommendation service (the Reading&Machine VR kiosk) trains
+//! offline and serves online; this module provides the handoff format — a
+//! small self-describing little-endian codec with a magic header and a
+//! trailing checksum, no external serialisation dependencies.
+//!
+//! Layout: `magic (8) | users u32 | books u32 | factors u32 |
+//! user_factors f32×(users·L) | item_factors f32×(books·L) | fnv64 of all
+//! preceding bytes`.
+
+use crate::bpr::BprModel;
+use rm_sparse::DenseMatrix;
+
+/// Format magic: "RMBPR\0\0\x01" (version 1).
+const MAGIC: [u8; 8] = *b"RMBPR\0\0\x01";
+
+/// Errors arising when decoding a serialised model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than the fixed header.
+    Truncated,
+    /// Magic bytes mismatch (not a model file / wrong version).
+    BadMagic,
+    /// Declared dimensions don't match the payload length.
+    LengthMismatch,
+    /// Checksum mismatch (corrupted payload).
+    BadChecksum,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "input truncated"),
+            Self::BadMagic => write!(f, "bad magic (not a BPR model, or unsupported version)"),
+            Self::LengthMismatch => write!(f, "payload length does not match declared dimensions"),
+            Self::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Serialises a model.
+#[must_use]
+pub fn encode(model: &BprModel) -> Vec<u8> {
+    let users = model.user_factors.rows();
+    let books = model.item_factors.rows();
+    let factors = model.user_factors.cols();
+    assert_eq!(factors, model.item_factors.cols(), "factor dims disagree");
+
+    let mut out = Vec::with_capacity(8 + 12 + 4 * (users + books) * factors + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&u32::try_from(users).expect("user count fits u32").to_le_bytes());
+    out.extend_from_slice(&u32::try_from(books).expect("book count fits u32").to_le_bytes());
+    out.extend_from_slice(&u32::try_from(factors).expect("factor count fits u32").to_le_bytes());
+    for &v in model.user_factors.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in model.item_factors.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let checksum = fnv64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Deserialises a model.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the input is truncated, has the wrong
+/// magic, inconsistent dimensions, or a bad checksum.
+pub fn decode(bytes: &[u8]) -> Result<BprModel, DecodeError> {
+    if bytes.len() < 8 + 12 + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let read_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    let users = read_u32(8) as usize;
+    let books = read_u32(12) as usize;
+    let factors = read_u32(16) as usize;
+
+    let payload_f32 = (users + books)
+        .checked_mul(factors)
+        .ok_or(DecodeError::LengthMismatch)?;
+    let expected_len = 20 + 4 * payload_f32 + 8;
+    if bytes.len() != expected_len {
+        return Err(DecodeError::LengthMismatch);
+    }
+
+    let body_end = bytes.len() - 8;
+    let declared = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    if fnv64(&bytes[..body_end]) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+
+    let mut floats = bytes[20..body_end]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")));
+    let user_data: Vec<f32> = floats.by_ref().take(users * factors).collect();
+    let item_data: Vec<f32> = floats.collect();
+
+    Ok(BprModel {
+        user_factors: DenseMatrix::from_vec(users, factors, user_data),
+        item_factors: DenseMatrix::from_vec(books, factors, item_data),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_util::rng::rng_from_seed;
+
+    fn model() -> BprModel {
+        let mut rng = rng_from_seed(3);
+        BprModel {
+            user_factors: DenseMatrix::gaussian(7, 4, 0.3, &mut rng),
+            item_factors: DenseMatrix::gaussian(11, 4, 0.3, &mut rng),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let m = model();
+        let bytes = encode(&m);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&model());
+        assert_eq!(decode(&bytes[..10]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&bytes[..bytes.len() - 1]), Err(DecodeError::LengthMismatch));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = encode(&model());
+        bytes[0] ^= 0xFF;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = encode(&model());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
+    fn dimension_tampering_detected() {
+        let mut bytes = encode(&model());
+        // Inflate the user count.
+        bytes[8] = bytes[8].wrapping_add(1);
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::LengthMismatch | DecodeError::BadChecksum)
+        ));
+    }
+
+    #[test]
+    fn empty_model_round_trips() {
+        let m = BprModel {
+            user_factors: DenseMatrix::zeros(0, 3),
+            item_factors: DenseMatrix::zeros(0, 3),
+        };
+        let back = decode(&encode(&m)).unwrap();
+        assert_eq!(back.user_factors.rows(), 0);
+        assert_eq!(back.item_factors.cols(), 3);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn round_trip_arbitrary_dims(
+            users in 0usize..12,
+            books in 0usize..12,
+            factors in 1usize..6,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = rng_from_seed(seed);
+            let m = BprModel {
+                user_factors: DenseMatrix::gaussian(users, factors, 0.5, &mut rng),
+                item_factors: DenseMatrix::gaussian(books, factors, 0.5, &mut rng),
+            };
+            let back = decode(&encode(&m)).unwrap();
+            proptest::prop_assert_eq!(m, back);
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..256)) {
+            // Decoding garbage must fail cleanly, never panic.
+            let _ = decode(&bytes);
+        }
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(DecodeError::BadMagic.to_string().contains("magic"));
+        assert!(DecodeError::BadChecksum.to_string().contains("checksum"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Prints the merged-corpus statistics for a preset, for calibration
+//! against the paper's Section 3 numbers.
+//!
+//! Usage: `cargo run --release -p rm-datagen --example calibrate [paper|medium|tiny] [seed]`
+
+use rm_datagen::Preset;
+use rm_dataset::stats::{dominant_genre_share, genre_shares, reading_cdfs, summarize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let preset = match args.get(1).map(String::as_str) {
+        Some("paper") => Preset::Paper,
+        Some("tiny") => Preset::Tiny,
+        _ => Preset::Medium,
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let t0 = std::time::Instant::now();
+    let corpus = rm_datagen::generate_corpus(seed, preset);
+    println!("generated {preset:?} corpus in {:.1?}", t0.elapsed());
+
+    let s = summarize(&corpus);
+    println!("{s:#?}");
+
+    let (per_user, per_book) = reading_cdfs(&corpus);
+    println!(
+        "readings/user: p25={} p50={} p75={} p95={} max={:?}",
+        per_user.quantile(0.25),
+        per_user.quantile(0.5),
+        per_user.quantile(0.75),
+        per_user.quantile(0.95),
+        per_user.max()
+    );
+    println!(
+        "readings/book: p25={} p50={} p75={} p95={} max={:?}",
+        per_book.quantile(0.25),
+        per_book.quantile(0.5),
+        per_book.quantile(0.75),
+        per_book.quantile(0.95),
+        per_book.max()
+    );
+
+    println!("top genre shares of readings:");
+    for (label, share) in genre_shares(&corpus).into_iter().take(8) {
+        println!("  {label:<28} {share:.3}");
+    }
+    println!(
+        "users with 2 dominant genres (>=10x): {:.3}",
+        dominant_genre_share(&corpus, 10.0, 10)
+    );
+}

@@ -1,0 +1,220 @@
+//! Generator configuration.
+//!
+//! Every knob the calibration (DESIGN.md §3) tunes is explicit here;
+//! [`crate::presets`] provides the tuned value sets. The defaults on the
+//! individual structs are sensible mid-scale values, but experiments should
+//! go through a preset.
+
+use rm_dataset::genre::{genre_id, N_RAW_GENRES};
+
+/// Heavy-tailed per-user activity: a log-normal, clamped and rounded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityParams {
+    /// Mean of the underlying normal (median activity = exp(mu)).
+    pub mu: f64,
+    /// Std-dev of the underlying normal.
+    pub sigma: f64,
+    /// Minimum events per user.
+    pub min: u64,
+    /// Maximum events per user (the paper's merged corpus tops out at
+    /// ~480 readings per user).
+    pub max: u64,
+}
+
+/// One source's user-population parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceConfig {
+    /// Number of users to generate (before any pipeline pruning).
+    pub n_users: usize,
+    /// Per-user activity distribution.
+    pub activity: ActivityParams,
+    /// Reading-preference share per raw genre (length [`N_RAW_GENRES`],
+    /// sums to 1). Users draw their two dominant genres from this.
+    pub genre_shares: Vec<f64>,
+    /// Probability mass a user puts on their two dominant genres
+    /// (the paper: 99 % of users have two genres ≥ 10× the rest, i.e.
+    /// mass ≥ 10/11 ≈ 0.91).
+    pub dominant_mass: f64,
+    /// Probability that the next reading follows a previously-read author
+    /// instead of a fresh genre-popularity draw.
+    pub author_loyalty: f64,
+    /// Probability that a reading lands in the overlap catalogue (books
+    /// present in both sources) rather than in this source's exclusive
+    /// catalogue.
+    pub overlap_bias: f64,
+    /// Probability that a genre-popularity reading stays inside one of the
+    /// user's two preferred sub-communities (see
+    /// [`WorldConfig::subclusters_per_genre`]).
+    pub subcluster_mass: f64,
+    /// Ceiling of the experience-dependent exploration probability: the
+    /// chance that a genre-popularity draw ignores popularity and
+    /// sub-community entirely and picks uniformly within the genre.
+    /// Exploration grows with the number of books already read —
+    /// `ε(n) = exploration_max · n / (n + exploration_halflife)` — so
+    /// voracious readers drift into the catalogue's long tail, where
+    /// co-reading statistics are thin (hurting CF) but author/genre
+    /// metadata still works (Fig. 4's crossover).
+    pub exploration_max: f64,
+    /// History size at which exploration reaches half its ceiling.
+    pub exploration_halflife: f64,
+    /// Fraction of this population that follows the *library public's*
+    /// within-genre popularity view instead of the Anobii community's.
+    /// BCT populations set 1.0; the Anobii population sets a minority
+    /// share — those like-minded Anobii readers are what makes the merged
+    /// training data genuinely predictive for BCT users (full BPR ≫ BPR
+    /// BCT-only) even though global popularity misleads (Most Read below
+    /// Random).
+    pub bct_like_fraction: f64,
+}
+
+/// The shared book world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Books present in both catalogues (merge candidates).
+    pub n_overlap_books: usize,
+    /// Books present only in the BCT catalogue.
+    pub n_bct_only_books: usize,
+    /// Items present only in the Anobii catalogue.
+    pub n_anobii_only_books: usize,
+    /// Share of *books* per raw genre (length [`N_RAW_GENRES`], sums
+    /// to 1). Distinct from reading shares: comics draw far more readings
+    /// per book than they have catalogue share.
+    pub book_genre_shares: Vec<f64>,
+    /// Mean books per author.
+    pub books_per_author: f64,
+    /// Extra productivity multiplier for the Comics genre (series volumes
+    /// share an author, which concentrates author-loyalty readings).
+    pub comics_series_boost: f64,
+    /// Sub-communities per genre. Authors (and hence their books) belong
+    /// to one sub-community; users prefer two. Sub-communities are
+    /// invisible to book metadata, so they are a purely collaborative
+    /// signal — the structural reason BPR outperforms the content-based
+    /// recommender except for long-history users (Fig. 4).
+    pub subclusters_per_genre: usize,
+    /// How much the BCT within-genre popularity ranking diverges from the
+    /// Anobii one (0 = identical, 1 = independent). The merged training
+    /// popularity is Anobii-dominated, so divergence makes the Most Read
+    /// baseline mislead for BCT users — the paper's Table 1 inversion
+    /// (Most Read below Random).
+    pub popularity_divergence: f64,
+    /// Zipf exponent of within-genre book popularity.
+    pub popularity_zipf: f64,
+    /// Zipf–Mandelbrot shift flattening the popularity head.
+    pub popularity_shift: f64,
+    /// Fraction of additional noise rows with a non-Italian language in
+    /// each source table (exercises the language filter).
+    pub foreign_fraction: f64,
+    /// Fraction of additional noise rows that are DVDs/periodicals (BCT)
+    /// or non-book items (Anobii).
+    pub non_book_fraction: f64,
+    /// Plot length in words.
+    pub plot_len: usize,
+    /// Keywords per book.
+    pub n_keywords: usize,
+    /// Themed vocabulary size per genre.
+    pub genre_lexicon_size: usize,
+    /// Shared generic vocabulary size.
+    pub generic_lexicon_size: usize,
+}
+
+/// Anobii star-rating distribution (1–5). Ratings below 3 are negative
+/// feedback the pipeline drops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatingModel {
+    /// P(rating = s) for s = 1..=5.
+    pub probs: [f64; 5],
+}
+
+impl Default for RatingModel {
+    fn default() -> Self {
+        // ~13 % negative feedback, mode at 4 stars.
+        Self {
+            probs: [0.04, 0.09, 0.22, 0.36, 0.29],
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// The shared book world.
+    pub world: WorldConfig,
+    /// BCT population.
+    pub bct: SourceConfig,
+    /// Anobii population.
+    pub anobii: SourceConfig,
+    /// Anobii rating-value model.
+    pub rating: RatingModel,
+}
+
+/// Builds a genre-share vector: named genres get the given shares, the
+/// remainder is spread geometrically (ratio `decay`) over all other
+/// non-pinned genres.
+///
+/// # Panics
+///
+/// Panics if a name is unknown or the pinned shares exceed 1.
+#[must_use]
+pub fn genre_share_vector(pinned: &[(&str, f64)], decay: f64) -> Vec<f64> {
+    let mut shares = vec![0.0f64; N_RAW_GENRES];
+    let mut pinned_total = 0.0;
+    for &(name, share) in pinned {
+        let id = genre_id(name).unwrap_or_else(|| panic!("unknown genre {name}"));
+        shares[id.0 as usize] = share;
+        pinned_total += share;
+    }
+    assert!(pinned_total <= 1.0 + 1e-9, "pinned shares exceed 1: {pinned_total}");
+    let rest = 1.0 - pinned_total;
+    let free: Vec<usize> = (0..N_RAW_GENRES).filter(|&g| shares[g] == 0.0).collect();
+    if !free.is_empty() && rest > 0.0 {
+        // Geometric weights over the free genres.
+        let weights: Vec<f64> = (0..free.len()).map(|i| decay.powi(i as i32)).collect();
+        let total: f64 = weights.iter().sum();
+        for (i, &g) in free.iter().enumerate() {
+            shares[g] = rest * weights[i] / total;
+        }
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_vector_sums_to_one() {
+        let v = genre_share_vector(&[("Comics", 0.44), ("Thriller", 0.14), ("Fantasy", 0.12)], 0.8);
+        assert_eq!(v.len(), N_RAW_GENRES);
+        let total: f64 = v.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!((v[0] - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpinned_shares_decay() {
+        let v = genre_share_vector(&[("Comics", 0.5)], 0.7);
+        let free: Vec<f64> = v.iter().copied().filter(|&s| s > 0.0 && s != 0.5).collect();
+        for w in free.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown genre")]
+    fn unknown_genre_panics() {
+        let _ = genre_share_vector(&[("Nope", 0.1)], 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn overweight_panics() {
+        let _ = genre_share_vector(&[("Comics", 0.7), ("Thriller", 0.5)], 0.8);
+    }
+
+    #[test]
+    fn rating_model_probs_sum_to_one() {
+        let m = RatingModel::default();
+        let total: f64 = m.probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

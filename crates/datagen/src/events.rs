@@ -1,0 +1,388 @@
+//! Reading-event generation: loans (BCT) and ratings (Anobii).
+//!
+//! Each user's readings are sampled from a three-way mixture:
+//!
+//! * **author loyalty** — with probability `author_loyalty`, the next book
+//!   is another book by an author the user has already read (the content
+//!   signal the paper's best metadata summary, authors+genres, exploits);
+//! * **genre popularity** — otherwise a genre is drawn from the user's
+//!   profile and a popularity-weighted book of that genre is picked (the
+//!   collaborative signal: users sharing dominant genres co-read);
+//! * **catalogue bias** — each draw lands in the overlap catalogue with
+//!   probability `overlap_bias`, in the source-exclusive catalogue
+//!   otherwise (exercising the merge-time drop path).
+//!
+//! Readings are distinct per user; BCT additionally emits occasional
+//! re-loans of the same book so the merge's deduplication path sees real
+//! duplicates.
+
+use crate::config::{GeneratorConfig, RatingModel, SourceConfig};
+use crate::users::{sample_reading_genre, sample_reading_subcluster, SourceKind, UserProfile};
+use crate::world::World;
+use rand::{Rng, RngExt};
+use rm_dataset::ids::Day;
+use rm_dataset::tables::{LoanRow, LoansTable, RatingRow, RatingsTable};
+use rm_util::rng::SeedTree;
+use rm_util::sample::sample_weighted_once;
+use std::collections::HashSet;
+
+/// Observation window of the BCT loans (2012–2020).
+const LOAN_DAYS: std::ops::Range<u32> = 0..(8 * Day::PER_YEAR);
+/// Observation window of the Anobii ratings (2014–2021).
+const RATING_DAYS: std::ops::Range<u32> = (2 * Day::PER_YEAR)..(9 * Day::PER_YEAR);
+
+/// Probability that a BCT loan is repeated later (same user, same book).
+const RELOAN_PROB: f64 = 0.05;
+
+/// Author-loyalty chains anchor on one of the user's most recent readings.
+const RECENCY_WINDOW: usize = 15;
+
+/// Reader fatigue: a user completes at most this many books of one author
+/// before moving on. Heavy readers therefore span many exploration-found
+/// authors — whose scattered fan bases give collaborative filtering little
+/// to work with, while author metadata still identifies them (Fig. 4).
+const AUTHOR_FATIGUE: u32 = 3;
+
+/// Interest drift: every ~ERA_LENGTH readings a user's tastes shift — the
+/// preferred sub-communities are re-drawn and the secondary dominant genre
+/// may change. A heavy reader's history therefore spans several eras that
+/// a single CF user vector must average over, while author metadata keeps
+/// matching era-locally.
+const ERA_LENGTH: usize = 30;
+
+/// Samples one user's distinct reading set (world book indices).
+fn sample_user_books<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &SourceConfig,
+    world: &World,
+    user: &UserProfile,
+    kind: SourceKind,
+) -> Vec<u32> {
+    let visible = kind.visible_classes();
+    let exclusive = kind.exclusive_class();
+    let view = user.pop_view;
+    let n_subs = world.n_subclusters().max(1) as u8;
+    let target = user.n_events as usize;
+    let mut seen: HashSet<u32> = HashSet::with_capacity(target);
+    let mut order: Vec<u32> = Vec::with_capacity(target);
+    let mut author_counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let max_attempts = target.saturating_mul(12).max(32);
+    let mut attempts = 0usize;
+    let mut era_user = *user;
+    let mut next_era = ERA_LENGTH;
+
+    while order.len() < target && attempts < max_attempts {
+        attempts += 1;
+        if order.len() >= next_era {
+            next_era += ERA_LENGTH;
+            era_user.subclusters = [rng.random_range(0..n_subs), rng.random_range(0..n_subs)];
+            if rng.random_bool(0.5) {
+                era_user.dominant[1] = sample_reading_genre(rng, cfg, user);
+            }
+        }
+        let user = &era_user;
+        let candidate = if !order.is_empty() && rng.random_bool(cfg.author_loyalty) {
+            // Follow a known author, anchored on a *recent* reading:
+            // readers chain from what they just read, so seasoned readers
+            // extend the obscure authors of their explored tail rather
+            // than the popular authors of their early history. Fatigued
+            // authors (already read AUTHOR_FATIGUE times) are not chained
+            // further.
+            let window = order.len().min(RECENCY_WINDOW);
+            let start = order.len() - window;
+            let anchor = order[start + rng.random_range(0..window)];
+            let author = world.books[anchor as usize].author;
+            if author_counts.get(&author).copied().unwrap_or(0) >= AUTHOR_FATIGUE {
+                None
+            } else {
+                world.sample_same_author(rng, anchor, &visible)
+            }
+        } else {
+            None
+        };
+        let candidate = candidate.or_else(|| {
+            let genre = sample_reading_genre(rng, cfg, user);
+            let class = if rng.random_bool(cfg.overlap_bias) {
+                crate::world::Membership::Overlap
+            } else {
+                exclusive
+            };
+            // Experience-dependent exploration: seasoned readers
+            // increasingly pick long-tail books of their genres.
+            let n = order.len() as f64;
+            let eps = cfg.exploration_max * n / (n + cfg.exploration_halflife);
+            if rng.random_bool(eps.clamp(0.0, 1.0)) {
+                world.sample_book_uniform(rng, genre, class)
+            } else {
+                let sub = sample_reading_subcluster(rng, cfg, user, n_subs);
+                world.sample_book_sub(rng, genre, sub, class, view)
+            }
+        });
+        let Some(book) = candidate else {
+            continue;
+        };
+        if seen.insert(book) {
+            *author_counts.entry(world.books[book as usize].author).or_insert(0) += 1;
+            order.push(book);
+        }
+    }
+    order
+}
+
+/// Generates the BCT Loans table for a population.
+#[must_use]
+pub fn generate_loans(
+    tree: &SeedTree,
+    config: &GeneratorConfig,
+    world: &World,
+    users: &[UserProfile],
+) -> LoansTable {
+    let mut rows: Vec<LoanRow> = Vec::new();
+    for user in users {
+        let mut rng = tree.child_idx(u64::from(user.raw_id)).rng();
+        let books = sample_user_books(&mut rng, &config.bct, world, user, SourceKind::Bct);
+        for book in books {
+            let Some(book_id) = world.books[book as usize].bct_id else {
+                debug_assert!(false, "BCT-visible book without a BCT id");
+                continue;
+            };
+            let date = Day(rng.random_range(LOAN_DAYS));
+            rows.push(LoanRow {
+                user_id: rm_dataset::ids::BctUserId(user.raw_id),
+                book_id,
+                date,
+            });
+            if rng.random_bool(RELOAN_PROB) {
+                rows.push(LoanRow {
+                    user_id: rm_dataset::ids::BctUserId(user.raw_id),
+                    book_id,
+                    date: Day(rng.random_range(LOAN_DAYS)),
+                });
+            }
+        }
+    }
+    LoansTable { rows }
+}
+
+/// Samples a star rating from the model.
+fn sample_rating<R: Rng + ?Sized>(rng: &mut R, model: &RatingModel) -> u8 {
+    (sample_weighted_once(rng, &model.probs) + 1) as u8
+}
+
+/// Generates the Anobii Ratings table for a population.
+#[must_use]
+pub fn generate_ratings(
+    tree: &SeedTree,
+    config: &GeneratorConfig,
+    world: &World,
+    users: &[UserProfile],
+) -> RatingsTable {
+    let mut rows: Vec<RatingRow> = Vec::new();
+    for user in users {
+        let mut rng = tree.child_idx(u64::from(user.raw_id)).rng();
+        let books = sample_user_books(&mut rng, &config.anobii, world, user, SourceKind::Anobii);
+        for book in books {
+            let Some(item_id) = world.books[book as usize].anobii_id else {
+                debug_assert!(false, "Anobii-visible book without an item id");
+                continue;
+            };
+            rows.push(RatingRow {
+                user_id: rm_dataset::ids::AnobiiUserId(user.raw_id),
+                item_id,
+                rating: sample_rating(&mut rng, &config.rating),
+                date: Day(rng.random_range(RATING_DAYS)),
+            });
+        }
+    }
+    RatingsTable { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Preset;
+    use crate::users::generate_population;
+    use rm_util::rng::rng_from_seed;
+
+    fn setup() -> (GeneratorConfig, World, Vec<UserProfile>, Vec<UserProfile>) {
+        let config = Preset::Tiny.generator_config();
+        let world = World::generate(&SeedTree::new(1), &config);
+        let bct = generate_population(&SeedTree::new(2), &config.bct, &world, SourceKind::Bct, None);
+        let anobii = generate_population(&SeedTree::new(3), &config.anobii, &world, SourceKind::Anobii, None);
+        (config, world, bct, anobii)
+    }
+
+    #[test]
+    fn loans_reference_valid_bct_books() {
+        let (config, world, bct, _) = setup();
+        let loans = generate_loans(&SeedTree::new(4), &config, &world, &bct);
+        let table = world.bct_books_table();
+        assert!(!loans.rows.is_empty());
+        for row in &loans.rows {
+            assert!(row.book_id.index() < table.rows.len());
+            assert!(LOAN_DAYS.contains(&row.date.0));
+        }
+    }
+
+    #[test]
+    fn ratings_reference_valid_items_with_valid_stars() {
+        let (config, world, _, anobii) = setup();
+        let ratings = generate_ratings(&SeedTree::new(5), &config, &world, &anobii);
+        let table = world.anobii_items_table();
+        assert!(!ratings.rows.is_empty());
+        for row in &ratings.rows {
+            assert!(row.item_id.index() < table.rows.len());
+            assert!((1..=5).contains(&row.rating));
+            assert!(RATING_DAYS.contains(&row.date.0));
+        }
+    }
+
+    #[test]
+    fn events_are_deterministic() {
+        let (config, world, bct, _) = setup();
+        let a = generate_loans(&SeedTree::new(6), &config, &world, &bct);
+        let b = generate_loans(&SeedTree::new(6), &config, &world, &bct);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn loans_contain_some_reloans() {
+        let (config, world, bct, _) = setup();
+        let loans = generate_loans(&SeedTree::new(7), &config, &world, &bct);
+        let mut pairs: Vec<(u32, u32)> = loans.rows.iter().map(|r| (r.user_id.raw(), r.book_id.raw())).collect();
+        let total = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert!(pairs.len() < total, "expected duplicate (user, book) loans");
+    }
+
+    #[test]
+    fn user_readings_are_distinct_and_bounded() {
+        let (config, world, bct, _) = setup();
+        let mut rng = rng_from_seed(8);
+        for user in bct.iter().take(20) {
+            let books = sample_user_books(&mut rng, &config.bct, &world, user, SourceKind::Bct);
+            let set: HashSet<u32> = books.iter().copied().collect();
+            assert_eq!(set.len(), books.len(), "duplicates in reading set");
+            assert!(books.len() <= user.n_events as usize);
+        }
+    }
+
+    #[test]
+    fn author_loyalty_concentrates_readings() {
+        // With loyalty 0.9 a user's readings should span far fewer authors
+        // than with loyalty 0.0.
+        let (mut config, world, _, _) = setup();
+        let user = UserProfile { raw_id: 0, n_events: 30, dominant: [0, 1], split: 0.6, subclusters: [0, 1], pop_view: crate::world::PopView::Bct };
+        let mut authors_spanned = |loyalty: f64, seed: u64| {
+            config.bct.author_loyalty = loyalty;
+            let mut rng = rng_from_seed(seed);
+            let books = sample_user_books(&mut rng, &config.bct, &world, &user, SourceKind::Bct);
+            books
+                .iter()
+                .map(|&b| world.books[b as usize].author)
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        let loyal: usize = (0..5).map(|s| authors_spanned(0.9, s)).sum();
+        let free: usize = (0..5).map(|s| authors_spanned(0.0, s)).sum();
+        assert!(loyal < free, "loyal {loyal} vs free {free}");
+    }
+
+    #[test]
+    fn author_fatigue_forces_author_spread() {
+        // A fully loyal reader would camp on one or two authors forever;
+        // the fatigue cap forces chains to abandon an author after
+        // AUTHOR_FATIGUE books, so a heavy reader must span many authors.
+        let (config, world, _, _) = setup();
+        let user = UserProfile {
+            raw_id: 0,
+            n_events: 40,
+            dominant: [0, 1],
+            split: 0.6,
+            subclusters: [0, 1],
+            pop_view: crate::world::PopView::Bct,
+        };
+        let mut cfg = config.bct.clone();
+        cfg.author_loyalty = 1.0;
+        cfg.exploration_max = 0.0;
+        let mut rng = rng_from_seed(31);
+        let books = sample_user_books(&mut rng, &cfg, &world, &user, SourceKind::Bct);
+        let authors: std::collections::HashSet<u32> =
+            books.iter().map(|&b| world.books[b as usize].author).collect();
+        assert!(
+            authors.len() as u32 * (AUTHOR_FATIGUE + 2) >= books.len() as u32,
+            "{} books across only {} authors",
+            books.len(),
+            authors.len()
+        );
+        assert!(authors.len() >= 4, "full loyalty without fatigue would camp on 1-2 authors");
+    }
+
+    #[test]
+    fn exploration_grows_with_experience() {
+        // With subcluster preference at 1.0 and no author loyalty, the
+        // only way out of the two preferred sub-communities is the
+        // experience-dependent exploration — so late readings must leave
+        // the preferred cells more often than early ones.
+        let (config, world, _, _) = setup();
+        let mut cfg = config.bct.clone();
+        cfg.author_loyalty = 0.0;
+        cfg.subcluster_mass = 1.0;
+        cfg.dominant_mass = 1.0;
+        let mut early_in = 0usize;
+        let mut early_n = 0usize;
+        let mut late_in = 0usize;
+        let mut late_n = 0usize;
+        let mut rng = rng_from_seed(32);
+        for raw_id in 0..25u32 {
+            let user = UserProfile {
+                raw_id,
+                n_events: 60,
+                dominant: [0, 1],
+                split: 0.6,
+                subclusters: [(raw_id % 4) as u8, ((raw_id + 1) % 4) as u8],
+                pop_view: crate::world::PopView::Bct,
+            };
+            let books = sample_user_books(&mut rng, &cfg, &world, &user, SourceKind::Bct);
+            let half = books.len() / 2;
+            for (i, &b) in books.iter().enumerate() {
+                let s = world.books[b as usize].subcluster;
+                let in_pref = s == user.subclusters[0] || s == user.subclusters[1];
+                if i < half {
+                    early_n += 1;
+                    early_in += usize::from(in_pref);
+                } else {
+                    late_n += 1;
+                    late_in += usize::from(in_pref);
+                }
+            }
+        }
+        let early = early_in as f64 / early_n as f64;
+        let late = late_in as f64 / late_n as f64;
+        assert!(
+            early > late + 0.03,
+            "early {early:.3} should be more concentrated than late {late:.3}"
+        );
+    }
+
+    #[test]
+    fn rating_distribution_matches_model() {
+        let model = RatingModel::default();
+        let mut rng = rng_from_seed(9);
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[(sample_rating(&mut rng, &model) - 1) as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - model.probs[s]).abs() < 0.01,
+                "star {}: got {got} want {}",
+                s + 1,
+                model.probs[s]
+            );
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Calibrated configuration presets.
+//!
+//! * [`Preset::Paper`] — full scale: calibrated so the *merged, pruned*
+//!   corpus approximates the paper's Section 3 statistics (≈ 2.3 k books,
+//!   ≈ 43 k users with a ≈ 6 k / 37 k BCT/Anobii split, ≈ 1 M readings,
+//!   Comics ≈ 44 % of readings). Used by the `repro-*` binaries.
+//! * [`Preset::Medium`] — ≈ 10× smaller population over a ≈ 4× smaller
+//!   catalogue; pipeline thresholds scaled to keep the pruning fractions
+//!   comparable. Used by integration tests and examples.
+//! * [`Preset::Tiny`] — milliseconds-scale fixture for unit tests.
+
+use crate::config::{ActivityParams, GeneratorConfig, RatingModel, SourceConfig, WorldConfig, genre_share_vector};
+use rm_dataset::filter::FilterConfig;
+use rm_dataset::genre::GenreConfig;
+use rm_dataset::merge::{MergeConfig, MinBookReadings, MinUserReadings, PruneMode};
+
+/// A named scale of the generator + pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Full paper-scale corpus.
+    Paper,
+    /// Integration-test scale.
+    Medium,
+    /// Unit-test scale.
+    Tiny,
+}
+
+/// Near-zero pins that keep book/reading mass off the genres the pipeline
+/// drops by name (books whose *primary* genre would be dropped would lose
+/// their genre profile entirely).
+const DROPPED_PINS: [(&str, f64); 4] = [
+    ("Fiction and Literature", 1e-4),
+    ("Textbooks", 1e-4),
+    ("References", 1e-4),
+    ("Self Help", 1e-4),
+];
+
+fn with_dropped_pins(pinned: &[(&str, f64)], decay: f64) -> Vec<f64> {
+    let mut all: Vec<(&str, f64)> = pinned.to_vec();
+    all.extend_from_slice(&DROPPED_PINS);
+    genre_share_vector(&all, decay)
+}
+
+/// Catalogue genre mix: Comics has an outsized catalogue presence (series
+/// volumes), literary genres follow.
+fn book_genre_shares() -> Vec<f64> {
+    with_dropped_pins(
+        &[
+            ("Comics", 0.22),
+            ("Thriller", 0.11),
+            ("Fantasy", 0.10),
+            ("Mystery", 0.07),
+            ("Historical Fiction", 0.06),
+        ],
+        0.82,
+    )
+}
+
+/// BCT readers: broader, more literary mix (the library public).
+fn bct_genre_shares() -> Vec<f64> {
+    with_dropped_pins(
+        &[
+            ("Thriller", 0.17),
+            ("Fantasy", 0.13),
+            ("Comics", 0.12),
+            ("Mystery", 0.09),
+            ("Historical Fiction", 0.07),
+        ],
+        0.85,
+    )
+}
+
+/// Anobii readers: comics-heavy (the community that drives the merged
+/// corpus to 44 % Comics readings, Fig. 2).
+fn anobii_genre_shares() -> Vec<f64> {
+    with_dropped_pins(
+        &[("Comics", 0.60), ("Thriller", 0.12), ("Fantasy", 0.10)],
+        0.80,
+    )
+}
+
+impl Preset {
+    /// The generator configuration for this scale.
+    #[must_use]
+    pub fn generator_config(self) -> GeneratorConfig {
+        match self {
+            Self::Paper => GeneratorConfig {
+                world: WorldConfig {
+                    n_overlap_books: 2_700,
+                    n_bct_only_books: 10_000,
+                    n_anobii_only_books: 16_000,
+                    book_genre_shares: book_genre_shares(),
+                    books_per_author: 5.0,
+                    comics_series_boost: 5.0,
+                    subclusters_per_genre: 16,
+                    popularity_divergence: 1.0,
+                    popularity_zipf: 1.0,
+                    popularity_shift: 16.0,
+                    foreign_fraction: 0.12,
+                    non_book_fraction: 0.08,
+                    plot_len: 24,
+                    n_keywords: 5,
+                    genre_lexicon_size: 300,
+                    generic_lexicon_size: 2_500,
+                },
+                bct: SourceConfig {
+                    n_users: 19_000,
+                    activity: ActivityParams { mu: 2.40, sigma: 0.80, min: 1, max: 650 },
+                    genre_shares: bct_genre_shares(),
+                    dominant_mass: 0.96,
+                    author_loyalty: 0.62,
+                    overlap_bias: 0.80,
+                    subcluster_mass: 0.45,
+                    exploration_max: 0.95,
+                    exploration_halflife: 10.0,
+                    bct_like_fraction: 1.0,
+                },
+                anobii: SourceConfig {
+                    n_users: 126_000,
+                    activity: ActivityParams { mu: 2.30, sigma: 1.05, min: 1, max: 650 },
+                    genre_shares: anobii_genre_shares(),
+                    dominant_mass: 0.96,
+                    author_loyalty: 0.52,
+                    overlap_bias: 0.85,
+                    subcluster_mass: 0.45,
+                    exploration_max: 0.95,
+                    exploration_halflife: 10.0,
+                    bct_like_fraction: 0.30,
+                },
+                rating: RatingModel::default(),
+            },
+            Self::Medium => GeneratorConfig {
+                world: WorldConfig {
+                    n_overlap_books: 675,
+                    n_bct_only_books: 2_500,
+                    n_anobii_only_books: 4_000,
+                    book_genre_shares: book_genre_shares(),
+                    books_per_author: 5.0,
+                    comics_series_boost: 5.0,
+                    subclusters_per_genre: 16,
+                    popularity_divergence: 1.0,
+                    popularity_zipf: 1.0,
+                    popularity_shift: 16.0,
+                    foreign_fraction: 0.12,
+                    non_book_fraction: 0.08,
+                    plot_len: 20,
+                    n_keywords: 4,
+                    genre_lexicon_size: 200,
+                    generic_lexicon_size: 1_200,
+                },
+                bct: SourceConfig {
+                    n_users: 1_900,
+                    activity: ActivityParams { mu: 2.40, sigma: 0.80, min: 1, max: 650 },
+                    genre_shares: bct_genre_shares(),
+                    dominant_mass: 0.96,
+                    author_loyalty: 0.62,
+                    overlap_bias: 0.80,
+                    subcluster_mass: 0.45,
+                    exploration_max: 0.95,
+                    exploration_halflife: 10.0,
+                    bct_like_fraction: 1.0,
+                },
+                anobii: SourceConfig {
+                    n_users: 12_600,
+                    activity: ActivityParams { mu: 2.30, sigma: 1.05, min: 1, max: 650 },
+                    genre_shares: anobii_genre_shares(),
+                    dominant_mass: 0.96,
+                    author_loyalty: 0.52,
+                    overlap_bias: 0.85,
+                    subcluster_mass: 0.45,
+                    exploration_max: 0.95,
+                    exploration_halflife: 10.0,
+                    bct_like_fraction: 0.30,
+                },
+                rating: RatingModel::default(),
+            },
+            Self::Tiny => GeneratorConfig {
+                world: WorldConfig {
+                    n_overlap_books: 120,
+                    n_bct_only_books: 60,
+                    n_anobii_only_books: 90,
+                    book_genre_shares: book_genre_shares(),
+                    books_per_author: 5.0,
+                    comics_series_boost: 4.0,
+                    subclusters_per_genre: 6,
+                    popularity_divergence: 1.0,
+                    popularity_zipf: 0.7,
+                    popularity_shift: 2.0,
+                    foreign_fraction: 0.10,
+                    non_book_fraction: 0.10,
+                    plot_len: 12,
+                    n_keywords: 3,
+                    genre_lexicon_size: 60,
+                    generic_lexicon_size: 300,
+                },
+                bct: SourceConfig {
+                    n_users: 150,
+                    activity: ActivityParams { mu: 2.48, sigma: 0.7, min: 1, max: 100 },
+                    genre_shares: bct_genre_shares(),
+                    dominant_mass: 0.96,
+                    author_loyalty: 0.62,
+                    overlap_bias: 0.80,
+                    subcluster_mass: 0.45,
+                    exploration_max: 0.95,
+                    exploration_halflife: 10.0,
+                    bct_like_fraction: 1.0,
+                },
+                anobii: SourceConfig {
+                    n_users: 350,
+                    activity: ActivityParams { mu: 2.48, sigma: 0.7, min: 1, max: 100 },
+                    genre_shares: anobii_genre_shares(),
+                    dominant_mass: 0.96,
+                    author_loyalty: 0.52,
+                    overlap_bias: 0.85,
+                    subcluster_mass: 0.45,
+                    exploration_max: 0.95,
+                    exploration_halflife: 10.0,
+                    bct_like_fraction: 0.30,
+                },
+                rating: RatingModel::default(),
+            },
+        }
+    }
+
+    /// The matching pipeline (merge + pruning) configuration. Activity
+    /// thresholds scale with the preset so the pruning removes a
+    /// comparable *fraction* of the corpus at every scale.
+    #[must_use]
+    pub fn merge_config(self) -> MergeConfig {
+        let (min_user, min_book) = match self {
+            Self::Paper => (10, 100),
+            Self::Medium => (10, 45),
+            Self::Tiny => (5, 8),
+        };
+        MergeConfig {
+            filter: FilterConfig::default(),
+            genre: GenreConfig::default(),
+            prune: PruneMode::SinglePass,
+            min_user_readings: MinUserReadings(min_user),
+            min_book_readings: MinBookReadings(min_book),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_have_valid_share_vectors() {
+        for preset in [Preset::Paper, Preset::Medium, Preset::Tiny] {
+            let c = preset.generator_config();
+            for shares in [&c.world.book_genre_shares, &c.bct.genre_shares, &c.anobii.genre_shares] {
+                let total: f64 = shares.iter().sum();
+                assert!((total - 1.0).abs() < 1e-9, "{preset:?}: sum {total}");
+                assert!(shares.iter().all(|&s| s >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_genres_carry_negligible_mass() {
+        let c = Preset::Paper.generator_config();
+        for (name, _) in DROPPED_PINS {
+            let id = rm_dataset::genre::genre_id(name).unwrap();
+            assert!(c.world.book_genre_shares[id.0 as usize] < 1e-3);
+        }
+    }
+
+    #[test]
+    fn anobii_is_comics_heavier_than_bct() {
+        let c = Preset::Paper.generator_config();
+        let comics = rm_dataset::genre::genre_id("Comics").unwrap().0 as usize;
+        assert!(c.anobii.genre_shares[comics] > 3.0 * c.bct.genre_shares[comics]);
+    }
+
+    #[test]
+    fn merge_thresholds_scale_down() {
+        assert!(Preset::Tiny.merge_config().min_book_readings.0 < Preset::Paper.merge_config().min_book_readings.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! User populations.
+//!
+//! Every user gets (a) a heavy-tailed target activity and (b) a genre
+//! profile consisting of two dominant genres carrying most of their reading
+//! mass — the paper observes that 99 % of users read two genres at least
+//! ten times more than all the others together. Dominant genres are drawn
+//! from the source's genre-share vector, so aggregate reading shares match
+//! the configured mix (Fig. 2).
+
+use crate::config::SourceConfig;
+use crate::world::{Membership, PopView, World};
+use rand::RngExt;
+use rm_util::rng::SeedTree;
+use rm_util::sample::{sample_weighted_once, LogNormal};
+
+/// Which source a population belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Turin public libraries (loans).
+    Bct,
+    /// Anobii (ratings).
+    Anobii,
+}
+
+impl SourceKind {
+    /// The membership classes visible to this source's users.
+    #[must_use]
+    pub fn visible_classes(self) -> [Membership; 2] {
+        match self {
+            Self::Bct => [Membership::Overlap, Membership::BctOnly],
+            Self::Anobii => [Membership::Overlap, Membership::AnobiiOnly],
+        }
+    }
+
+    /// The source-exclusive membership class.
+    #[must_use]
+    pub fn exclusive_class(self) -> Membership {
+        match self {
+            Self::Bct => Membership::BctOnly,
+            Self::Anobii => Membership::AnobiiOnly,
+        }
+    }
+
+    /// The popularity view this source's users follow.
+    #[must_use]
+    pub fn pop_view(self) -> PopView {
+        match self {
+            Self::Bct => PopView::Bct,
+            Self::Anobii => PopView::Anobii,
+        }
+    }
+}
+
+/// One generated user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserProfile {
+    /// The user's id in the source's user space.
+    pub raw_id: u32,
+    /// Target number of reading events.
+    pub n_events: u32,
+    /// The two dominant genres.
+    pub dominant: [u8; 2],
+    /// Fraction of the dominant mass on `dominant[0]` (the rest goes to
+    /// `dominant[1]`).
+    pub split: f64,
+    /// The two preferred sub-communities (applied within whichever genre a
+    /// reading draws).
+    pub subclusters: [u8; 2],
+    /// Which within-genre popularity profile this user follows.
+    pub pop_view: PopView,
+}
+
+/// Generates a source's population.
+///
+/// Dominant genres are redrawn (up to a few attempts) when the world has no
+/// overlap books of that genre, so every user can actually read inside the
+/// merge candidate catalogue.
+///
+/// `library_shares`, when given (the Anobii population passes the BCT
+/// genre shares), is the genre-preference vector used for *library-like*
+/// members of this population — the minority of Anobii readers whose
+/// tastes match the library public (both popularity view and genre mix).
+#[must_use]
+pub fn generate_population(
+    tree: &SeedTree,
+    cfg: &SourceConfig,
+    world: &World,
+    kind: SourceKind,
+    library_shares: Option<&[f64]>,
+) -> Vec<UserProfile> {
+    let mut rng = tree.rng();
+    let activity = LogNormal::new(cfg.activity.mu, cfg.activity.sigma);
+    let mut users = Vec::with_capacity(cfg.n_users);
+    let view = kind.pop_view();
+    let n_subs = world.n_subclusters().max(1) as u8;
+
+    let draw_genre =
+        |rng: &mut rm_util::rng::SeedableStdRng, shares: &[f64], exclude: Option<u8>| -> u8 {
+            for _ in 0..16 {
+                let g = sample_weighted_once(rng, shares) as u8;
+                if Some(g) == exclude {
+                    continue;
+                }
+                // Require the genre to be readable inside the overlap
+                // catalogue; otherwise this user could never contribute
+                // merged readings.
+                if world.sample_book(rng, g, Membership::Overlap, view).is_some() {
+                    return g;
+                }
+            }
+            // Fallback: the globally most-preferred genre.
+            shares
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite shares"))
+                .map(|(g, _)| g as u8)
+                .unwrap_or(0)
+        };
+
+    for raw_id in 0..cfg.n_users as u32 {
+        let n_events = activity.sample_count(&mut rng, cfg.activity.min, cfg.activity.max) as u32;
+        let pop_view = if rng.random_bool(cfg.bct_like_fraction.clamp(0.0, 1.0)) {
+            PopView::Bct
+        } else {
+            PopView::Anobii
+        };
+        let shares: &[f64] = match (pop_view, library_shares) {
+            (PopView::Bct, Some(lib)) => lib,
+            _ => &cfg.genre_shares,
+        };
+        let first = draw_genre(&mut rng, shares, None);
+        let second = draw_genre(&mut rng, shares, Some(first));
+        let split = 0.55 + rng.random::<f64>() * 0.3;
+        let sub_a = rng.random_range(0..n_subs);
+        let sub_b = if n_subs > 1 {
+            (sub_a + 1 + rng.random_range(0..n_subs - 1)) % n_subs
+        } else {
+            sub_a
+        };
+        users.push(UserProfile {
+            raw_id,
+            n_events,
+            dominant: [first, second],
+            split,
+            subclusters: [sub_a, sub_b],
+            pop_view,
+        });
+    }
+    users
+}
+
+/// Samples the genre of one reading for `user`: a dominant genre with
+/// probability `dominant_mass`, otherwise a tail draw from the source's
+/// genre shares.
+#[must_use]
+pub fn sample_reading_genre<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &SourceConfig,
+    user: &UserProfile,
+) -> u8 {
+    if rng.random_bool(cfg.dominant_mass) {
+        if rng.random_bool(user.split) {
+            user.dominant[0]
+        } else {
+            user.dominant[1]
+        }
+    } else {
+        sample_weighted_once(rng, &cfg.genre_shares) as u8
+    }
+}
+
+/// Samples the sub-community of one reading for `user`: one of the two
+/// preferred sub-communities with probability `subcluster_mass`, otherwise
+/// uniform over all of them.
+#[must_use]
+pub fn sample_reading_subcluster<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &SourceConfig,
+    user: &UserProfile,
+    n_subs: u8,
+) -> u8 {
+    if n_subs <= 1 {
+        return 0;
+    }
+    if rng.random_bool(cfg.subcluster_mass) {
+        user.subclusters[usize::from(rng.random_bool(0.5))]
+    } else {
+        rng.random_range(0..n_subs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Preset;
+    use rm_util::rng::rng_from_seed;
+
+    fn setup() -> (crate::config::GeneratorConfig, World) {
+        let config = Preset::Tiny.generator_config();
+        let world = World::generate(&SeedTree::new(1), &config);
+        (config, world)
+    }
+
+    #[test]
+    fn population_size_and_determinism() {
+        let (config, world) = setup();
+        let a = generate_population(&SeedTree::new(2), &config.bct, &world, SourceKind::Bct, None);
+        let b = generate_population(&SeedTree::new(2), &config.bct, &world, SourceKind::Bct, None);
+        assert_eq!(a.len(), config.bct.n_users);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn activity_respects_bounds() {
+        let (config, world) = setup();
+        let users = generate_population(&SeedTree::new(3), &config.bct, &world, SourceKind::Bct, None);
+        for u in &users {
+            assert!(u64::from(u.n_events) >= config.bct.activity.min);
+            assert!(u64::from(u.n_events) <= config.bct.activity.max);
+        }
+    }
+
+    #[test]
+    fn dominant_genres_are_distinct_and_readable() {
+        let (config, world) = setup();
+        let users = generate_population(&SeedTree::new(4), &config.anobii, &world, SourceKind::Anobii, None);
+        let mut rng = rng_from_seed(5);
+        for u in users.iter().take(50) {
+            assert_ne!(u.dominant[0], u.dominant[1]);
+            for g in u.dominant {
+                assert!(
+                    world.sample_book(&mut rng, g, Membership::Overlap, PopView::Anobii).is_some(),
+                    "dominant genre {g} has no overlap books"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reading_genres_concentrate_on_dominants() {
+        let (config, world) = setup();
+        let users = generate_population(&SeedTree::new(6), &config.bct, &world, SourceKind::Bct, None);
+        let u = &users[0];
+        let mut rng = rng_from_seed(7);
+        let n = 2000;
+        let dominant_hits = (0..n)
+            .filter(|_| {
+                let g = sample_reading_genre(&mut rng, &config.bct, u);
+                g == u.dominant[0] || g == u.dominant[1]
+            })
+            .count();
+        let share = dominant_hits as f64 / n as f64;
+        assert!(
+            share > config.bct.dominant_mass - 0.05,
+            "dominant share {share}"
+        );
+    }
+
+    #[test]
+    fn pop_view_fractions_follow_config() {
+        let (config, world) = setup();
+        // Tiny preset: BCT fully library-view, Anobii 30% library-like.
+        let bct = generate_population(&SeedTree::new(21), &config.bct, &world, SourceKind::Bct, None);
+        assert!(bct.iter().all(|u| u.pop_view == PopView::Bct));
+        let mut cfg = config.anobii.clone();
+        cfg.n_users = 2000;
+        let anobii = generate_population(&SeedTree::new(22), &cfg, &world, SourceKind::Anobii, None);
+        let like = anobii.iter().filter(|u| u.pop_view == PopView::Bct).count();
+        let share = like as f64 / anobii.len() as f64;
+        assert!(
+            (share - cfg.bct_like_fraction).abs() < 0.05,
+            "library-like share {share} vs {}",
+            cfg.bct_like_fraction
+        );
+    }
+
+    #[test]
+    fn library_like_users_use_library_genre_shares() {
+        let (config, world) = setup();
+        let mut cfg = config.anobii.clone();
+        cfg.n_users = 3000;
+        let lib_shares = config.bct.genre_shares.clone();
+        let users = generate_population(
+            &SeedTree::new(23),
+            &cfg,
+            &world,
+            SourceKind::Anobii,
+            Some(&lib_shares),
+        );
+        let comics = rm_dataset::genre::genre_id("Comics").unwrap().0;
+        let comics_share = |view: PopView| {
+            let group: Vec<_> = users.iter().filter(|u| u.pop_view == view).collect();
+            group.iter().filter(|u| u.dominant[0] == comics).count() as f64 / group.len() as f64
+        };
+        // Anobii-view users are comics-led; library-like ones are not.
+        assert!(
+            comics_share(PopView::Anobii) > 2.0 * comics_share(PopView::Bct),
+            "anobii {} vs library-like {}",
+            comics_share(PopView::Anobii),
+            comics_share(PopView::Bct)
+        );
+    }
+
+    #[test]
+    fn subclusters_are_in_range_and_distinct() {
+        let (config, world) = setup();
+        let users = generate_population(&SeedTree::new(24), &config.bct, &world, SourceKind::Bct, None);
+        let n_subs = world.n_subclusters() as u8;
+        for u in &users {
+            assert!(u.subclusters[0] < n_subs);
+            assert!(u.subclusters[1] < n_subs);
+            if n_subs > 1 {
+                assert_ne!(u.subclusters[0], u.subclusters[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn subcluster_sampling_concentrates_on_preferences() {
+        let (config, world) = setup();
+        let users = generate_population(&SeedTree::new(25), &config.bct, &world, SourceKind::Bct, None);
+        let u = &users[0];
+        let n_subs = world.n_subclusters() as u8;
+        let mut rng = rng_from_seed(26);
+        let n = 4000;
+        let preferred = (0..n)
+            .filter(|_| {
+                let s = sample_reading_subcluster(&mut rng, &config.bct, u, n_subs);
+                s == u.subclusters[0] || s == u.subclusters[1]
+            })
+            .count();
+        let share = preferred as f64 / n as f64;
+        assert!(
+            share > config.bct.subcluster_mass - 0.05,
+            "preferred-subcluster share {share}"
+        );
+    }
+
+    #[test]
+    fn visible_classes_match_source() {
+        assert_eq!(
+            SourceKind::Bct.visible_classes(),
+            [Membership::Overlap, Membership::BctOnly]
+        );
+        assert_eq!(SourceKind::Anobii.exclusive_class(), Membership::AnobiiOnly);
+    }
+}

@@ -1,0 +1,276 @@
+//! The merged corpus: the final books / users / readings the recommenders
+//! consume (output of the Section 3 preparation).
+
+use crate::genre::{AggGenreId, GenreModel};
+use crate::ids::{AnobiiItemId, AnobiiUserId, BctBookId, BctUserId, BookIdx, Day, UserIdx};
+
+/// Which source a user comes from. BCT users are the recommendation target
+/// (they get a test split); Anobii users only contribute training signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Turin public-library subscriber.
+    Bct,
+    /// Anobii community member.
+    Anobii,
+}
+
+/// A book of the merged catalogue — present in *both* sources, carrying the
+/// union of their attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Book {
+    /// Title (BCT spelling).
+    pub title: String,
+    /// Author(s).
+    pub authors: Vec<String>,
+    /// Plot synopsis (from Anobii).
+    pub plot: String,
+    /// Crowd-sourced keywords (from Anobii).
+    pub keywords: Vec<String>,
+    /// Post-processed genres: top-4 aggregated genres with
+    /// vote-proportional probabilities summing to 1 (empty when no votes
+    /// survived the genre pipeline).
+    pub genres: Vec<(AggGenreId, f32)>,
+    /// The book's id in the BCT Books table.
+    pub bct_id: BctBookId,
+    /// The item's id in the Anobii Items table.
+    pub anobii_id: AnobiiItemId,
+}
+
+/// A user of the merged corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct User {
+    /// Originating source.
+    pub source: Source,
+    /// Raw id within the source's user space.
+    pub raw_id: u32,
+}
+
+impl User {
+    /// The BCT user id, when this is a BCT user.
+    #[must_use]
+    pub fn bct_id(&self) -> Option<BctUserId> {
+        matches!(self.source, Source::Bct).then(|| BctUserId(self.raw_id))
+    }
+
+    /// The Anobii user id, when this is an Anobii user.
+    #[must_use]
+    pub fn anobii_id(&self) -> Option<AnobiiUserId> {
+        matches!(self.source, Source::Anobii).then(|| AnobiiUserId(self.raw_id))
+    }
+}
+
+/// One reading event of the merged Readings table (a BCT loan or a positive
+/// Anobii rating). `(user, book)` pairs are unique — re-loans collapse to
+/// the earliest date, since repetition adds no implicit-feedback signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reading {
+    /// Reading user (dense corpus index).
+    pub user: UserIdx,
+    /// Read book (dense corpus index).
+    pub book: BookIdx,
+    /// Date of the loan / rating.
+    pub date: Day,
+}
+
+/// The merged, pruned corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Catalogue, indexed by [`BookIdx`].
+    pub books: Vec<Book>,
+    /// Users, indexed by [`UserIdx`].
+    pub users: Vec<User>,
+    /// Readings table, sorted by (user, book).
+    pub readings: Vec<Reading>,
+    /// The fitted genre model (needed to label aggregated genres).
+    pub genre_model: GenreModel,
+}
+
+impl Corpus {
+    /// Catalogue size.
+    #[must_use]
+    pub fn n_books(&self) -> usize {
+        self.books.len()
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of readings.
+    #[must_use]
+    pub fn n_readings(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Indices of BCT users (the evaluation targets).
+    #[must_use]
+    pub fn bct_users(&self) -> Vec<UserIdx> {
+        self.users
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.source == Source::Bct)
+            .map(|(i, _)| UserIdx(i as u32))
+            .collect()
+    }
+
+    /// Indices of Anobii users.
+    #[must_use]
+    pub fn anobii_users(&self) -> Vec<UserIdx> {
+        self.users
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.source == Source::Anobii)
+            .map(|(i, _)| UserIdx(i as u32))
+            .collect()
+    }
+
+    /// Readings of each user, as ranges into `readings` (valid because the
+    /// table is sorted by user).
+    #[must_use]
+    pub fn readings_by_user(&self) -> Vec<&[Reading]> {
+        let mut out = Vec::with_capacity(self.n_users());
+        let mut start = 0usize;
+        for u in 0..self.n_users() as u32 {
+            let mut end = start;
+            while end < self.readings.len() && self.readings[end].user.0 == u {
+                end += 1;
+            }
+            out.push(&self.readings[start..end]);
+            start = end;
+        }
+        debug_assert_eq!(start, self.readings.len(), "readings not sorted by user");
+        out
+    }
+
+    /// Number of distinct readings per user.
+    #[must_use]
+    pub fn readings_per_user(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n_users()];
+        for r in &self.readings {
+            counts[r.user.index()] += 1;
+        }
+        counts
+    }
+
+    /// Number of distinct readings per book.
+    #[must_use]
+    pub fn readings_per_book(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n_books()];
+        for r in &self.readings {
+            counts[r.book.index()] += 1;
+        }
+        counts
+    }
+
+    /// Checks internal invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn validate(&self) {
+        let n_users = self.n_users() as u32;
+        let n_books = self.n_books() as u32;
+        let mut prev: Option<(u32, u32)> = None;
+        for r in &self.readings {
+            assert!(r.user.0 < n_users, "reading references unknown user");
+            assert!(r.book.0 < n_books, "reading references unknown book");
+            let key = (r.user.0, r.book.0);
+            if let Some(p) = prev {
+                assert!(p < key, "readings must be strictly sorted by (user, book)");
+            }
+            prev = Some(key);
+        }
+        for b in &self.books {
+            let total: f32 = b.genres.iter().map(|&(_, p)| p).sum();
+            assert!(
+                b.genres.is_empty() || (total - 1.0).abs() < 1e-4,
+                "genre probabilities must sum to 1, got {total}"
+            );
+            for &(g, _) in &b.genres {
+                assert!((g.0 as usize) < self.genre_model.n_genres());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> Corpus {
+        Corpus {
+            books: vec![Book {
+                title: "T".into(),
+                authors: vec!["A".into()],
+                plot: String::new(),
+                keywords: vec![],
+                genres: vec![(AggGenreId(0), 1.0)],
+                bct_id: BctBookId(10),
+                anobii_id: AnobiiItemId(20),
+            }],
+            users: vec![
+                User { source: Source::Bct, raw_id: 1 },
+                User { source: Source::Anobii, raw_id: 2 },
+            ],
+            readings: vec![
+                Reading { user: UserIdx(0), book: BookIdx(0), date: Day(5) },
+                Reading { user: UserIdx(1), book: BookIdx(0), date: Day(9) },
+            ],
+            genre_model: GenreModel::identity(),
+        }
+    }
+
+    #[test]
+    fn source_partitions() {
+        let c = tiny_corpus();
+        assert_eq!(c.bct_users(), vec![UserIdx(0)]);
+        assert_eq!(c.anobii_users(), vec![UserIdx(1)]);
+    }
+
+    #[test]
+    fn user_id_accessors() {
+        let u = User { source: Source::Bct, raw_id: 7 };
+        assert_eq!(u.bct_id(), Some(BctUserId(7)));
+        assert_eq!(u.anobii_id(), None);
+    }
+
+    #[test]
+    fn per_user_and_per_book_counts() {
+        let c = tiny_corpus();
+        assert_eq!(c.readings_per_user(), vec![1, 1]);
+        assert_eq!(c.readings_per_book(), vec![2]);
+    }
+
+    #[test]
+    fn readings_by_user_ranges() {
+        let c = tiny_corpus();
+        let by_user = c.readings_by_user();
+        assert_eq!(by_user.len(), 2);
+        assert_eq!(by_user[0].len(), 1);
+        assert_eq!(by_user[0][0].date, Day(5));
+        assert_eq!(by_user[1][0].date, Day(9));
+    }
+
+    #[test]
+    fn validate_accepts_consistent_corpus() {
+        tiny_corpus().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn validate_rejects_unsorted_readings() {
+        let mut c = tiny_corpus();
+        c.readings.reverse();
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn validate_rejects_bad_genre_probs() {
+        let mut c = tiny_corpus();
+        c.books[0].genres = vec![(AggGenreId(0), 0.4)];
+        c.validate();
+    }
+}

@@ -1,0 +1,151 @@
+//! Source filtering (Section 3 of the paper).
+//!
+//! * BCT: keep *monographs* and *manuscripts* written in Italian (the paper
+//!   keeps 228 059 of 290 125 books);
+//! * Anobii: keep items that are books written in Italian;
+//! * Anobii ratings: drop ratings below 3, "since we assume that those are
+//!   negative feedback" — the remaining readings are treated as uniform
+//!   positive implicit feedback.
+
+use crate::tables::{AnobiiItemRow, AnobiiItemsTable, BctBookRow, BctBooksTable, Language, RatingRow, RatingsTable};
+
+/// Filtering thresholds. The defaults are the paper's choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterConfig {
+    /// Language to keep.
+    pub language: Language,
+    /// Minimum Anobii rating treated as positive feedback (inclusive).
+    pub min_rating: u8,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self {
+            language: Language::Italian,
+            min_rating: 3,
+        }
+    }
+}
+
+/// Returns the BCT book rows surviving the type + language filter.
+#[must_use]
+pub fn filter_bct_books<'a>(table: &'a BctBooksTable, config: &FilterConfig) -> Vec<&'a BctBookRow> {
+    table
+        .rows
+        .iter()
+        .filter(|r| r.item_type.is_kept() && r.language == config.language)
+        .collect()
+}
+
+/// Returns the Anobii item rows surviving the book + language filter.
+#[must_use]
+pub fn filter_anobii_items<'a>(
+    table: &'a AnobiiItemsTable,
+    config: &FilterConfig,
+) -> Vec<&'a AnobiiItemRow> {
+    table
+        .rows
+        .iter()
+        .filter(|r| r.is_book && r.language == config.language)
+        .collect()
+}
+
+/// Returns the rating rows surviving the positive-feedback filter.
+#[must_use]
+pub fn filter_ratings<'a>(table: &'a RatingsTable, config: &FilterConfig) -> Vec<&'a RatingRow> {
+    table
+        .rows
+        .iter()
+        .filter(|r| r.rating >= config.min_rating)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genre::GenreId;
+    use crate::ids::{AnobiiItemId, AnobiiUserId, BctBookId, Day};
+    use crate::tables::ItemType;
+
+    fn bct_row(id: u32, item_type: ItemType, language: Language) -> BctBookRow {
+        BctBookRow {
+            book_id: BctBookId(id),
+            authors: vec!["A. Autore".to_owned()],
+            title: format!("Libro {id}"),
+            item_type,
+            language,
+        }
+    }
+
+    fn anobii_row(id: u32, is_book: bool, language: Language) -> AnobiiItemRow {
+        AnobiiItemRow {
+            item_id: AnobiiItemId(id),
+            authors: vec!["A. Autore".to_owned()],
+            title: format!("Item {id}"),
+            language,
+            plot: String::new(),
+            keywords: Vec::new(),
+            genre_votes: vec![(GenreId(0), 3)],
+            is_book,
+        }
+    }
+
+    #[test]
+    fn bct_filter_keeps_italian_monographs_and_manuscripts() {
+        let table = BctBooksTable {
+            rows: vec![
+                bct_row(0, ItemType::Monograph, Language::Italian),
+                bct_row(1, ItemType::Manuscript, Language::Italian),
+                bct_row(2, ItemType::Dvd, Language::Italian),
+                bct_row(3, ItemType::Monograph, Language::English),
+                bct_row(4, ItemType::Other, Language::Other),
+            ],
+        };
+        let kept = filter_bct_books(&table, &FilterConfig::default());
+        let ids: Vec<u32> = kept.iter().map(|r| r.book_id.raw()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn anobii_filter_keeps_italian_books() {
+        let table = AnobiiItemsTable {
+            rows: vec![
+                anobii_row(0, true, Language::Italian),
+                anobii_row(1, false, Language::Italian),
+                anobii_row(2, true, Language::French),
+            ],
+        };
+        let kept = filter_anobii_items(&table, &FilterConfig::default());
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].item_id.raw(), 0);
+    }
+
+    #[test]
+    fn rating_filter_drops_below_three() {
+        let table = RatingsTable {
+            rows: (1..=5)
+                .map(|r| RatingRow {
+                    user_id: AnobiiUserId(0),
+                    item_id: AnobiiItemId(r as u32),
+                    rating: r,
+                    date: Day(0),
+                })
+                .collect(),
+        };
+        let kept = filter_ratings(&table, &FilterConfig::default());
+        let ratings: Vec<u8> = kept.iter().map(|r| r.rating).collect();
+        assert_eq!(ratings, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn custom_language_filter() {
+        let table = BctBooksTable {
+            rows: vec![bct_row(0, ItemType::Monograph, Language::English)],
+        };
+        let cfg = FilterConfig {
+            language: Language::English,
+            ..FilterConfig::default()
+        };
+        assert_eq!(filter_bct_books(&table, &cfg).len(), 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! Genre taxonomy and post-processing.
+//!
+//! Anobii books carry crowd-sourced genre votes over a 41-label taxonomy
+//! (Section 3). The paper's preparation does three things that this module
+//! reproduces exactly:
+//!
+//! 1. **pruning** — genres "associated with almost all books or with very
+//!    few books" are dropped (the paper names *Fiction and Literature*,
+//!    *Textbooks*, *References*, *Self Help*);
+//! 2. **aggregation** — remaining genres are merged "to have the
+//!    distribution of genres among books as balanced as possible",
+//!    accepting a merge when it improves the entropy-balance criterion;
+//! 3. **top-4 selection** — each book keeps its 4 most-voted genres with
+//!    probabilities proportional to vote counts (summing to one).
+
+use rm_util::stats::entropy;
+use std::collections::HashMap;
+
+/// Identifier of a raw (pre-aggregation) genre — an index into
+/// [`RAW_GENRES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GenreId(pub u8);
+
+/// Identifier of an aggregated genre (post-processing), indexing
+/// [`GenreModel::labels`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AggGenreId(pub u8);
+
+/// The 41-label taxonomy used by the Anobii items table.
+///
+/// Labels follow the ones the paper names (Comics, Thriller, Fantasy,
+/// Fiction and Literature, Textbooks, References, Self Help) completed with
+/// the customary Anobii shelf genres.
+pub const RAW_GENRES: [&str; 41] = [
+    "Comics",
+    "Thriller",
+    "Fantasy",
+    "Fiction and Literature",
+    "Mystery",
+    "Crime",
+    "Science Fiction",
+    "Horror",
+    "Romance",
+    "Historical Fiction",
+    "Biography",
+    "Autobiography",
+    "Memoir",
+    "History",
+    "Philosophy",
+    "Psychology",
+    "Science",
+    "Mathematics",
+    "Technology",
+    "Nature",
+    "Travel",
+    "Cooking",
+    "Art",
+    "Music",
+    "Poetry",
+    "Drama",
+    "Classics",
+    "Young Adult",
+    "Children",
+    "Adventure",
+    "Humor",
+    "Religion",
+    "Politics",
+    "Economics",
+    "Sociology",
+    "Sport",
+    "Textbooks",
+    "References",
+    "Self Help",
+    "Health",
+    "Education",
+];
+
+/// Number of raw genres.
+pub const N_RAW_GENRES: usize = RAW_GENRES.len();
+
+/// Genres the paper drops outright for being near-universal or near-absent.
+pub const DROPPED_GENRES: [&str; 4] = ["Fiction and Literature", "Textbooks", "References", "Self Help"];
+
+/// Maximum genres kept per book after processing.
+pub const TOP_GENRES_PER_BOOK: usize = 4;
+
+/// Configuration of the genre pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenreConfig {
+    /// Drop genres attached to more than this fraction of books
+    /// ("associated with almost all books").
+    pub max_book_share: f64,
+    /// Drop genres attached to fewer than this fraction of books
+    /// ("associated with very few books").
+    pub min_book_share: f64,
+    /// Stop merging when this many aggregated genres remain.
+    pub min_genres: usize,
+}
+
+impl Default for GenreConfig {
+    fn default() -> Self {
+        Self {
+            max_book_share: 0.8,
+            min_book_share: 0.002,
+            min_genres: 12,
+        }
+    }
+}
+
+/// The fitted genre model: which raw genres survive, how they map onto
+/// aggregated genres, and the aggregated labels.
+#[derive(Debug, Clone)]
+pub struct GenreModel {
+    /// `mapping[raw.0]` is the aggregated genre, or `None` if dropped.
+    mapping: Vec<Option<AggGenreId>>,
+    /// Human-readable label per aggregated genre (merged labels joined
+    /// with `+`).
+    labels: Vec<String>,
+}
+
+impl GenreModel {
+    /// Fits the model from per-genre occurrence statistics.
+    ///
+    /// * `book_counts[g]` — number of books genre `g` is attached to;
+    /// * `vote_counts[g]` — total user votes for genre `g`;
+    /// * `n_books` — catalogue size (for the share-based pruning).
+    ///
+    /// Aggregation greedily merges the two lowest-vote aggregated genres
+    /// while the merge improves the *balance* of the vote distribution —
+    /// normalised entropy `H / ln(K)` — and more than `config.min_genres`
+    /// genres remain. Merging two categories always lowers raw entropy but
+    /// can raise normalised entropy when it removes a tiny category, which
+    /// is exactly the "as balanced as possible" reading of the paper.
+    #[must_use]
+    pub fn fit(book_counts: &[u64], vote_counts: &[u64], n_books: usize, config: &GenreConfig) -> Self {
+        assert_eq!(book_counts.len(), N_RAW_GENRES);
+        assert_eq!(vote_counts.len(), N_RAW_GENRES);
+
+        // Step 1: prune by name and by share.
+        let mut kept: Vec<usize> = Vec::new();
+        for (g, name) in RAW_GENRES.iter().enumerate() {
+            if DROPPED_GENRES.contains(name) {
+                continue;
+            }
+            let share = if n_books == 0 {
+                0.0
+            } else {
+                book_counts[g] as f64 / n_books as f64
+            };
+            if share > config.max_book_share || share < config.min_book_share {
+                continue;
+            }
+            kept.push(g);
+        }
+
+        // Step 2: greedy balance-improving merges on vote counts.
+        // Each group is (member raw ids, total votes).
+        let mut groups: Vec<(Vec<usize>, u64)> =
+            kept.iter().map(|&g| (vec![g], vote_counts[g])).collect();
+
+        loop {
+            if groups.len() <= config.min_genres.max(2) {
+                break;
+            }
+            let counts: Vec<u64> = groups.iter().map(|(_, c)| *c).collect();
+            let balance_now = normalized_entropy(&counts);
+
+            // Candidate: merge the two smallest groups.
+            let (a, b) = two_smallest(&counts);
+            let mut merged = counts.clone();
+            merged[a] += merged[b];
+            merged.swap_remove(b);
+            let balance_after = normalized_entropy(&merged);
+
+            if balance_after <= balance_now {
+                break;
+            }
+            // Remove the higher index first so the lower one stays valid
+            // after swap_remove.
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            let (mut members_hi, votes_hi) = groups.swap_remove(hi);
+            groups[lo].0.append(&mut members_hi);
+            groups[lo].1 += votes_hi;
+        }
+
+        // Deterministic output order: by descending votes, ties by first
+        // member id.
+        groups.sort_by(|x, y| y.1.cmp(&x.1).then(x.0[0].cmp(&y.0[0])));
+
+        let mut mapping: Vec<Option<AggGenreId>> = vec![None; N_RAW_GENRES];
+        let mut labels = Vec::with_capacity(groups.len());
+        for (agg_idx, (members, _)) in groups.iter().enumerate() {
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            labels.push(
+                sorted
+                    .iter()
+                    .map(|&g| RAW_GENRES[g])
+                    .collect::<Vec<_>>()
+                    .join("+"),
+            );
+            for &g in members {
+                mapping[g] = Some(AggGenreId(agg_idx as u8));
+            }
+        }
+
+        Self { mapping, labels }
+    }
+
+    /// Label-only model: no raw-genre mapping (every raw genre reads as
+    /// dropped), aggregated labels as given. Used when deserialising a
+    /// corpus, where the aggregation mapping is no longer needed.
+    #[must_use]
+    pub fn from_labels(labels: Vec<String>) -> Self {
+        Self {
+            mapping: vec![None; N_RAW_GENRES],
+            labels,
+        }
+    }
+
+    /// Identity model: every raw genre maps to itself (used by unit tests
+    /// and by pipelines that skip aggregation).
+    #[must_use]
+    pub fn identity() -> Self {
+        Self {
+            mapping: (0..N_RAW_GENRES)
+                .map(|g| Some(AggGenreId(g as u8)))
+                .collect(),
+            labels: RAW_GENRES.iter().map(|&s| s.to_owned()).collect(),
+        }
+    }
+
+    /// Aggregated genre of a raw genre; `None` when dropped.
+    #[must_use]
+    pub fn map(&self, raw: GenreId) -> Option<AggGenreId> {
+        self.mapping[raw.0 as usize]
+    }
+
+    /// Number of aggregated genres.
+    #[must_use]
+    pub fn n_genres(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label of an aggregated genre.
+    #[must_use]
+    pub fn label(&self, g: AggGenreId) -> &str {
+        &self.labels[g.0 as usize]
+    }
+
+    /// All aggregated labels in id order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Processes one book's raw genre votes into its final genre profile:
+    /// votes are re-keyed to aggregated genres, the top
+    /// [`TOP_GENRES_PER_BOOK`] by votes are kept, and probabilities are
+    /// vote-proportional (summing to 1). Returns an empty vector when no
+    /// votes survive.
+    #[must_use]
+    pub fn process_votes(&self, votes: &[(GenreId, u32)]) -> Vec<(AggGenreId, f32)> {
+        let mut agg: HashMap<AggGenreId, u64> = HashMap::new();
+        for &(raw, v) in votes {
+            if let Some(a) = self.map(raw) {
+                *agg.entry(a).or_insert(0) += u64::from(v);
+            }
+        }
+        let mut list: Vec<(AggGenreId, u64)> = agg.into_iter().filter(|&(_, v)| v > 0).collect();
+        // Descending votes, ascending id for determinism.
+        list.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        list.truncate(TOP_GENRES_PER_BOOK);
+        let total: u64 = list.iter().map(|&(_, v)| v).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        list.into_iter()
+            .map(|(g, v)| (g, v as f32 / total as f32))
+            .collect()
+    }
+}
+
+/// Normalised Shannon entropy `H / ln(K)`; defined as 1.0 for `K <= 1`.
+#[must_use]
+fn normalized_entropy(counts: &[u64]) -> f64 {
+    if counts.len() <= 1 {
+        return 1.0;
+    }
+    entropy(counts) / (counts.len() as f64).ln()
+}
+
+/// Indices of the two smallest values (`counts.len() >= 2`).
+fn two_smallest(counts: &[u64]) -> (usize, usize) {
+    debug_assert!(counts.len() >= 2);
+    let mut a = 0usize; // smallest
+    let mut b = 1usize; // second smallest
+    if counts[b] < counts[a] {
+        std::mem::swap(&mut a, &mut b);
+    }
+    for i in 2..counts.len() {
+        if counts[i] < counts[a] {
+            b = a;
+            a = i;
+        } else if counts[i] < counts[b] {
+            b = i;
+        }
+    }
+    (a, b)
+}
+
+/// Looks up a raw genre id by label (test/datagen helper).
+#[must_use]
+pub fn genre_id(label: &str) -> Option<GenreId> {
+    RAW_GENRES
+        .iter()
+        .position(|&g| g == label)
+        .map(|i| GenreId(i as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_counts(per_genre: u64) -> (Vec<u64>, Vec<u64>) {
+        (vec![per_genre; N_RAW_GENRES], vec![per_genre * 10; N_RAW_GENRES])
+    }
+
+    #[test]
+    fn named_drops_always_apply() {
+        let (books, votes) = uniform_counts(100);
+        let m = GenreModel::fit(&books, &votes, 1000, &GenreConfig::default());
+        for name in DROPPED_GENRES {
+            let id = genre_id(name).unwrap();
+            assert_eq!(m.map(id), None, "{name} should be dropped");
+        }
+        assert!(m.map(genre_id("Comics").unwrap()).is_some());
+    }
+
+    #[test]
+    fn share_pruning_drops_extremes() {
+        let (mut books, votes) = uniform_counts(100);
+        let comics = genre_id("Comics").unwrap().0 as usize;
+        let sport = genre_id("Sport").unwrap().0 as usize;
+        books[comics] = 990; // attached to 99 % of books
+        books[sport] = 1; // attached to 0.1 %
+        let m = GenreModel::fit(&books, &votes, 1000, &GenreConfig::default());
+        assert_eq!(m.map(GenreId(comics as u8)), None);
+        assert_eq!(m.map(GenreId(sport as u8)), None);
+    }
+
+    #[test]
+    fn aggregation_merges_small_genres() {
+        let n_books = 10_000;
+        let books = vec![500u64; N_RAW_GENRES];
+        // Hugely imbalanced votes: first few genres dominate.
+        let votes: Vec<u64> = (0..N_RAW_GENRES)
+            .map(|g| if g < 3 { 1_000_000 } else { 100 })
+            .collect();
+        let m = GenreModel::fit(&books, &votes, n_books, &GenreConfig::default());
+        // Small genres must have been merged: fewer agg genres than kept raw.
+        assert!(m.n_genres() < N_RAW_GENRES - DROPPED_GENRES.len());
+        assert!(m.n_genres() >= GenreConfig::default().min_genres.min(2));
+        // Some label should be a merged one.
+        assert!(m.labels().iter().any(|l| l.contains('+')));
+    }
+
+    #[test]
+    fn balanced_votes_need_no_merging() {
+        let (books, votes) = uniform_counts(500);
+        let m = GenreModel::fit(&books, &votes, 10_000, &GenreConfig::default());
+        assert_eq!(m.n_genres(), N_RAW_GENRES - DROPPED_GENRES.len());
+        assert!(m.labels().iter().all(|l| !l.contains('+')));
+    }
+
+    #[test]
+    fn mapping_is_total_over_agg_range() {
+        let (books, votes) = uniform_counts(500);
+        let m = GenreModel::fit(&books, &votes, 10_000, &GenreConfig::default());
+        for g in 0..N_RAW_GENRES {
+            if let Some(a) = m.map(GenreId(g as u8)) {
+                assert!((a.0 as usize) < m.n_genres());
+            }
+        }
+    }
+
+    #[test]
+    fn process_votes_top4_and_probabilities() {
+        let m = GenreModel::identity();
+        let votes: Vec<(GenreId, u32)> = (0..6).map(|g| (GenreId(g), (g + 1) as u32 * 10)).collect();
+        let out = m.process_votes(&votes);
+        assert_eq!(out.len(), TOP_GENRES_PER_BOOK);
+        // Kept the top-voted genres (5, 4, 3, 2 → votes 60, 50, 40, 30).
+        assert_eq!(out[0].0, AggGenreId(5));
+        let total: f32 = out.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!((out[0].1 - 60.0 / 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn process_votes_dropped_genres_excluded() {
+        let (books, votes) = uniform_counts(100);
+        let m = GenreModel::fit(&books, &votes, 1000, &GenreConfig::default());
+        let dropped = genre_id("Self Help").unwrap();
+        let comics = genre_id("Comics").unwrap();
+        let out = m.process_votes(&[(dropped, 100), (comics, 1)]);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn process_votes_empty_when_nothing_survives() {
+        let m = GenreModel::identity();
+        assert!(m.process_votes(&[]).is_empty());
+    }
+
+    #[test]
+    fn process_votes_folds_merged_genres() {
+        // Force a model where two genres merge, then votes for both should
+        // combine under one aggregated id.
+        let n_books = 10_000;
+        let books = vec![500u64; N_RAW_GENRES];
+        let votes: Vec<u64> = (0..N_RAW_GENRES).map(|g| if g < 2 { 1_000_000 } else { 10 }).collect();
+        let m = GenreModel::fit(&books, &votes, n_books, &GenreConfig::default());
+        // Find two raw genres mapped to the same aggregate.
+        let mut by_agg: HashMap<AggGenreId, Vec<GenreId>> = HashMap::new();
+        for g in 0..N_RAW_GENRES {
+            if let Some(a) = m.map(GenreId(g as u8)) {
+                by_agg.entry(a).or_default().push(GenreId(g as u8));
+            }
+        }
+        let merged = by_agg.values().find(|v| v.len() >= 2).expect("some merge happened");
+        let out = m.process_votes(&[(merged[0], 5), (merged[1], 7)]);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_smallest_finds_correct_pair() {
+        let (a, b) = two_smallest(&[5, 1, 3, 0, 9]);
+        assert_eq!(a, 3);
+        assert_eq!(b, 1);
+    }
+
+    #[test]
+    fn normalized_entropy_bounds() {
+        assert_eq!(normalized_entropy(&[10]), 1.0);
+        assert!((normalized_entropy(&[5, 5]) - 1.0).abs() < 1e-12);
+        assert!(normalized_entropy(&[1, 999]) < 0.1);
+    }
+
+    #[test]
+    fn genre_id_lookup() {
+        assert_eq!(genre_id("Comics"), Some(GenreId(0)));
+        assert_eq!(genre_id("Nonexistent"), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! The user–item interaction matrix `I ∈ {0,1}^(U×B)` (Section 4).
+//!
+//! [`Interactions`] is a thin, domain-typed wrapper over a pattern
+//! [`CsrMatrix`]: row `u` holds the sorted book indices user `u` has read.
+//! Recommenders consume this type directly (it is their entire training
+//! input besides catalogue metadata).
+
+use crate::corpus::Corpus;
+use crate::ids::{BookIdx, UserIdx};
+use rm_sparse::CsrMatrix;
+
+/// Binary user×book interaction matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interactions {
+    matrix: CsrMatrix,
+}
+
+impl Interactions {
+    /// Builds from explicit (user, book) pairs (duplicates collapse).
+    #[must_use]
+    pub fn from_pairs(n_users: usize, n_books: usize, pairs: &[(UserIdx, BookIdx)]) -> Self {
+        let raw: Vec<(u32, u32)> = pairs.iter().map(|&(u, b)| (u.0, b.0)).collect();
+        Self {
+            matrix: CsrMatrix::from_pairs(n_users, n_books, &raw),
+        }
+    }
+
+    /// Builds from a corpus's full readings table.
+    #[must_use]
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let raw: Vec<(u32, u32)> = corpus.readings.iter().map(|r| (r.user.0, r.book.0)).collect();
+        Self {
+            matrix: CsrMatrix::from_pairs(corpus.n_users(), corpus.n_books(), &raw),
+        }
+    }
+
+    /// Number of users (rows).
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of books (columns).
+    #[must_use]
+    pub fn n_books(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// Number of interactions.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+
+    /// Sorted book indices read by `user`.
+    #[inline]
+    #[must_use]
+    pub fn seen(&self, user: UserIdx) -> &[u32] {
+        self.matrix.row(user.index())
+    }
+
+    /// Whether `user` has read `book`.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, user: UserIdx, book: BookIdx) -> bool {
+        self.matrix.contains(user.index(), book.0)
+    }
+
+    /// Readings per user.
+    #[must_use]
+    pub fn user_counts(&self) -> Vec<u64> {
+        self.matrix.row_counts()
+    }
+
+    /// Readings per book.
+    #[must_use]
+    pub fn book_counts(&self) -> Vec<u64> {
+        self.matrix.col_counts()
+    }
+
+    /// Restricts to a subset of users (renumbered densely in the given
+    /// order); the book space is unchanged. Used by the *BPR (BCT only)*
+    /// baseline, which trains on BCT users alone.
+    #[must_use]
+    pub fn select_users(&self, users: &[UserIdx]) -> Self {
+        let keep: Vec<u32> = users.iter().map(|u| u.0).collect();
+        Self {
+            matrix: self.matrix.select_rows(&keep),
+        }
+    }
+
+    /// The underlying CSR matrix.
+    #[must_use]
+    pub fn as_csr(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Interactions {
+        Interactions::from_pairs(
+            3,
+            4,
+            &[
+                (UserIdx(0), BookIdx(1)),
+                (UserIdx(0), BookIdx(3)),
+                (UserIdx(2), BookIdx(0)),
+                (UserIdx(0), BookIdx(1)), // duplicate
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let i = sample();
+        assert_eq!(i.n_users(), 3);
+        assert_eq!(i.n_books(), 4);
+        assert_eq!(i.nnz(), 3);
+    }
+
+    #[test]
+    fn seen_and_contains() {
+        let i = sample();
+        assert_eq!(i.seen(UserIdx(0)), &[1, 3]);
+        assert_eq!(i.seen(UserIdx(1)), &[] as &[u32]);
+        assert!(i.contains(UserIdx(2), BookIdx(0)));
+        assert!(!i.contains(UserIdx(2), BookIdx(1)));
+    }
+
+    #[test]
+    fn counts() {
+        let i = sample();
+        assert_eq!(i.user_counts(), vec![2, 0, 1]);
+        assert_eq!(i.book_counts(), vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn select_users_keeps_book_space() {
+        let i = sample();
+        let s = i.select_users(&[UserIdx(2), UserIdx(0)]);
+        assert_eq!(s.n_users(), 2);
+        assert_eq!(s.n_books(), 4);
+        assert_eq!(s.seen(UserIdx(0)), &[0]); // old user 2
+        assert_eq!(s.seen(UserIdx(1)), &[1, 3]); // old user 0
+    }
+}

@@ -1,0 +1,385 @@
+//! Corpus persistence: write a merged corpus to disk and load it back.
+//!
+//! Generating a paper-scale corpus takes seconds, but downstream users
+//! (notebooks, other languages, repeated benchmark runs) want a stable
+//! on-disk artefact. The format is three tab-separated files plus a small
+//! manifest:
+//!
+//! ```text
+//! <dir>/manifest.tsv    format version, counts, genre labels
+//! <dir>/books.tsv       title, authors, plot, keywords, genres, source ids
+//! <dir>/users.tsv       source, raw id
+//! <dir>/readings.tsv    user, book, day
+//! ```
+//!
+//! Multi-valued fields are `|`-separated; genre profiles are
+//! `genre:probability` pairs. Tabs, newlines, and `|` never occur in
+//! generated text (asserted at write time), so no quoting layer is needed.
+
+use crate::corpus::{Book, Corpus, Reading, Source, User};
+use crate::genre::GenreModel;
+use crate::ids::{AnobiiItemId, BctBookId, BookIdx, Day, UserIdx};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::Path;
+
+/// Format version written to the manifest.
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from corpus I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Fs(std::io::Error),
+    /// A file's contents don't parse.
+    Parse {
+        /// Which file.
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Manifest declares an unsupported format version.
+    UnsupportedVersion(u32),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fs(e) => write!(f, "filesystem error: {e}"),
+            Self::Parse { file, line, message } => {
+                write!(f, "parse error in {file}:{line}: {message}")
+            }
+            Self::UnsupportedVersion(v) => write!(f, "unsupported corpus format version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Fs(e)
+    }
+}
+
+fn check_clean(field: &str) -> &str {
+    assert!(
+        !field.contains(['\t', '\n', '\r', '|']),
+        "field contains a reserved separator: {field:?}"
+    );
+    field
+}
+
+/// Writes a corpus into `dir` (created if missing).
+///
+/// # Errors
+///
+/// Returns [`IoError::Fs`] on filesystem failures.
+///
+/// # Panics
+///
+/// Panics if any text field contains a tab, newline, or `|` (generated
+/// corpora never do).
+pub fn save_corpus(corpus: &Corpus, dir: &Path) -> Result<(), IoError> {
+    std::fs::create_dir_all(dir)?;
+
+    // Manifest: version, counts, genre labels (the GenreModel's mapping is
+    // only needed at preparation time; labels suffice downstream).
+    let mut manifest = String::new();
+    let _ = writeln!(manifest, "version\t{FORMAT_VERSION}");
+    let _ = writeln!(
+        manifest,
+        "counts\t{}\t{}\t{}",
+        corpus.n_books(),
+        corpus.n_users(),
+        corpus.n_readings()
+    );
+    let _ = writeln!(
+        manifest,
+        "genres\t{}",
+        corpus
+            .genre_model
+            .labels()
+            .iter()
+            .map(|l| check_clean(l))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    std::fs::write(dir.join("manifest.tsv"), manifest)?;
+
+    let mut books = BufWriter::new(std::fs::File::create(dir.join("books.tsv"))?);
+    for b in &corpus.books {
+        let genres = b
+            .genres
+            .iter()
+            .map(|(g, p)| format!("{}:{p}", g.0))
+            .collect::<Vec<_>>()
+            .join("|");
+        writeln!(
+            books,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            check_clean(&b.title),
+            b.authors.iter().map(|a| check_clean(a)).collect::<Vec<_>>().join("|"),
+            check_clean(&b.plot),
+            b.keywords.iter().map(|k| check_clean(k)).collect::<Vec<_>>().join("|"),
+            genres,
+            b.bct_id.raw(),
+            b.anobii_id.raw()
+        )?;
+    }
+    books.flush()?;
+
+    let mut users = BufWriter::new(std::fs::File::create(dir.join("users.tsv"))?);
+    for u in &corpus.users {
+        let source = match u.source {
+            Source::Bct => "bct",
+            Source::Anobii => "anobii",
+        };
+        writeln!(users, "{source}\t{}", u.raw_id)?;
+    }
+    users.flush()?;
+
+    let mut readings = BufWriter::new(std::fs::File::create(dir.join("readings.tsv"))?);
+    for r in &corpus.readings {
+        writeln!(readings, "{}\t{}\t{}", r.user.0, r.book.0, r.date.0)?;
+    }
+    readings.flush()?;
+    Ok(())
+}
+
+fn parse_err(file: &'static str, line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        file,
+        line,
+        message: message.into(),
+    }
+}
+
+/// Loads a corpus previously written by [`save_corpus`].
+///
+/// The genre model is reconstructed as label-only (the aggregation mapping
+/// is not needed after preparation); label indices match the saved
+/// aggregated genre ids.
+///
+/// # Errors
+///
+/// Returns an [`IoError`] on filesystem or parse failures.
+pub fn load_corpus(dir: &Path) -> Result<Corpus, IoError> {
+    // Manifest.
+    let manifest = std::fs::read_to_string(dir.join("manifest.tsv"))?;
+    let mut version = None;
+    let mut labels: Vec<String> = Vec::new();
+    for (i, line) in manifest.lines().enumerate() {
+        let mut parts = line.split('\t');
+        match parts.next() {
+            Some("version") => {
+                let v: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err("manifest.tsv", i + 1, "bad version"))?;
+                if v != FORMAT_VERSION {
+                    return Err(IoError::UnsupportedVersion(v));
+                }
+                version = Some(v);
+            }
+            Some("genres") => {
+                labels = parts
+                    .next()
+                    .unwrap_or("")
+                    .split('|')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            _ => {}
+        }
+    }
+    if version.is_none() {
+        return Err(parse_err("manifest.tsv", 1, "missing version line"));
+    }
+    let genre_model = GenreModel::from_labels(labels);
+
+    // Books.
+    let mut books = Vec::new();
+    let reader = BufReader::new(std::fs::File::open(dir.join("books.tsv"))?);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != 7 {
+            return Err(parse_err("books.tsv", i + 1, format!("expected 7 fields, got {}", parts.len())));
+        }
+        let split_multi = |s: &str| -> Vec<String> {
+            s.split('|').filter(|p| !p.is_empty()).map(str::to_owned).collect()
+        };
+        let mut genres = Vec::new();
+        for pair in parts[4].split('|').filter(|p| !p.is_empty()) {
+            let (g, p) = pair
+                .split_once(':')
+                .ok_or_else(|| parse_err("books.tsv", i + 1, "bad genre pair"))?;
+            let g: u8 = g.parse().map_err(|_| parse_err("books.tsv", i + 1, "bad genre id"))?;
+            let p: f32 = p.parse().map_err(|_| parse_err("books.tsv", i + 1, "bad genre prob"))?;
+            genres.push((crate::genre::AggGenreId(g), p));
+        }
+        let bct_id: u32 = parts[5].parse().map_err(|_| parse_err("books.tsv", i + 1, "bad bct id"))?;
+        let anobii_id: u32 =
+            parts[6].parse().map_err(|_| parse_err("books.tsv", i + 1, "bad anobii id"))?;
+        books.push(Book {
+            title: parts[0].to_owned(),
+            authors: split_multi(parts[1]),
+            plot: parts[2].to_owned(),
+            keywords: split_multi(parts[3]),
+            genres,
+            bct_id: BctBookId(bct_id),
+            anobii_id: AnobiiItemId(anobii_id),
+        });
+    }
+
+    // Users.
+    let mut users = Vec::new();
+    let reader = BufReader::new(std::fs::File::open(dir.join("users.tsv"))?);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let (source, raw) = line
+            .split_once('\t')
+            .ok_or_else(|| parse_err("users.tsv", i + 1, "expected 2 fields"))?;
+        let source = match source {
+            "bct" => Source::Bct,
+            "anobii" => Source::Anobii,
+            other => return Err(parse_err("users.tsv", i + 1, format!("unknown source {other}"))),
+        };
+        let raw_id: u32 = raw.parse().map_err(|_| parse_err("users.tsv", i + 1, "bad raw id"))?;
+        users.push(User { source, raw_id });
+    }
+
+    // Readings.
+    let mut readings = Vec::new();
+    let reader = BufReader::new(std::fs::File::open(dir.join("readings.tsv"))?);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != 3 {
+            return Err(parse_err("readings.tsv", i + 1, "expected 3 fields"));
+        }
+        let user: u32 = parts[0].parse().map_err(|_| parse_err("readings.tsv", i + 1, "bad user"))?;
+        let book: u32 = parts[1].parse().map_err(|_| parse_err("readings.tsv", i + 1, "bad book"))?;
+        let day: u32 = parts[2].parse().map_err(|_| parse_err("readings.tsv", i + 1, "bad day"))?;
+        if user as usize >= users.len() {
+            return Err(parse_err("readings.tsv", i + 1, "user out of range"));
+        }
+        if book as usize >= books.len() {
+            return Err(parse_err("readings.tsv", i + 1, "book out of range"));
+        }
+        readings.push(Reading {
+            user: UserIdx(user),
+            book: BookIdx(book),
+            date: Day(day),
+        });
+    }
+
+    Ok(Corpus {
+        books,
+        users,
+        readings,
+        genre_model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genre::AggGenreId;
+
+    fn corpus() -> Corpus {
+        Corpus {
+            books: vec![Book {
+                title: "Il Pendolo".into(),
+                authors: vec!["Umberto Eco".into(), "Altro Nome".into()],
+                plot: "una trama molto lunga e misteriosa".into(),
+                keywords: vec!["mistero".into(), "storia".into()],
+                genres: vec![(AggGenreId(0), 0.75), (AggGenreId(2), 0.25)],
+                bct_id: BctBookId(17),
+                anobii_id: AnobiiItemId(93),
+            }],
+            users: vec![
+                User { source: Source::Bct, raw_id: 4 },
+                User { source: Source::Anobii, raw_id: 9 },
+            ],
+            readings: vec![
+                Reading { user: UserIdx(0), book: BookIdx(0), date: Day(123) },
+                Reading { user: UserIdx(1), book: BookIdx(0), date: Day(456) },
+            ],
+            genre_model: GenreModel::identity(),
+        }
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rm-io-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = tmpdir("roundtrip");
+        let c = corpus();
+        save_corpus(&c, &dir).unwrap();
+        let back = load_corpus(&dir).unwrap();
+        assert_eq!(back.books, c.books);
+        assert_eq!(back.users, c.users);
+        assert_eq!(back.readings, c.readings);
+        assert_eq!(back.genre_model.labels(), c.genre_model.labels());
+        back.validate();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_an_fs_error() {
+        let err = load_corpus(Path::new("/nonexistent/rm-io")).unwrap_err();
+        assert!(matches!(err, IoError::Fs(_)));
+    }
+
+    #[test]
+    fn corrupted_readings_reported_with_line() {
+        let dir = tmpdir("corrupt");
+        save_corpus(&corpus(), &dir).unwrap();
+        std::fs::write(dir.join("readings.tsv"), "0\t0\t1\nnot-a-number\t0\t2\n").unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        match err {
+            IoError::Parse { file, line, .. } => {
+                assert_eq!(file, "readings.tsv");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_range_reading_rejected() {
+        let dir = tmpdir("range");
+        save_corpus(&corpus(), &dir).unwrap();
+        std::fs::write(dir.join("readings.tsv"), "0\t99\t1\n").unwrap();
+        assert!(matches!(load_corpus(&dir), Err(IoError::Parse { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let dir = tmpdir("version");
+        save_corpus(&corpus(), &dir).unwrap();
+        std::fs::write(dir.join("manifest.tsv"), "version\t99\ngenres\tComics\n").unwrap();
+        assert!(matches!(load_corpus(&dir), Err(IoError::UnsupportedVersion(99))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved separator")]
+    fn reserved_characters_rejected_at_save() {
+        let dir = tmpdir("reserved");
+        let mut c = corpus();
+        c.books[0].title = "Tab\there".into();
+        let _ = save_corpus(&c, &dir);
+    }
+}

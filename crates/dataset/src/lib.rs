@@ -1,0 +1,38 @@
+//! The data platform of the reading-machine pipeline (Section 3 of the
+//! paper).
+//!
+//! The paper works with two heterogeneous sources — the BCT loan archive of
+//! the Turin public libraries and the Anobii social catalogue — and derives
+//! from them a single merged corpus of books, users, and readings. This
+//! crate implements every step of that derivation on typed in-memory
+//! tables:
+//!
+//! 1. raw table schemas ([`tables`]) with newtype identifiers ([`ids`]);
+//! 2. source filtering ([`filter`]): Italian monographs/manuscripts only,
+//!    Anobii ratings below 3 dropped as negative feedback;
+//! 3. genre post-processing ([`genre`]): the 41 crowd-sourced genres are
+//!    pruned of ubiquitous/rare labels, aggregated under an entropy-balance
+//!    criterion, and reduced to each book's top-4 genres with
+//!    vote-proportional probabilities;
+//! 4. the BCT ⋈ Anobii catalogue join and reading-table union ([`merge`]),
+//!    followed by activity pruning (users < 10 readings, books < 100
+//!    readings) into the final [`corpus::Corpus`];
+//! 5. metadata summaries for the content-based recommender ([`summary`]);
+//! 6. interaction matrices ([`interactions`]) and corpus statistics
+//!    ([`stats`]) feeding Figs. 1–2;
+//! 7. corpus persistence ([`io`]): save/load the merged corpus as
+//!    tab-separated files for reuse outside this process.
+
+pub mod corpus;
+pub mod filter;
+pub mod genre;
+pub mod ids;
+pub mod interactions;
+pub mod io;
+pub mod merge;
+pub mod stats;
+pub mod summary;
+pub mod tables;
+
+pub use corpus::{Book, Corpus, Source, User};
+pub use summary::SummaryFields;

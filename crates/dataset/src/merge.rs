@@ -1,0 +1,479 @@
+//! Merging the BCT and Anobii datasets (Section 3, "Merging BCT and Anobii
+//! datasets").
+//!
+//! The merged catalogue is the *intersection* of the two filtered
+//! catalogues — "for each book present in both the BCT and Anobii datasets,
+//! we keep all the attributes from both" — joined on a normalised
+//! (title, first author) key. The Readings table is the union of the BCT
+//! loans and the positive Anobii ratings restricted to the merged
+//! catalogue, after which low-activity users (< 10 readings) and unpopular
+//! books (< 100 readings) are pruned.
+
+use crate::corpus::{Book, Corpus, Reading, Source, User};
+use crate::filter::{filter_anobii_items, filter_bct_books, filter_ratings, FilterConfig};
+use crate::genre::{GenreConfig, GenreModel, N_RAW_GENRES};
+use crate::ids::{BookIdx, Day, UserIdx};
+use crate::tables::{AnobiiItemsTable, BctBooksTable, LoansTable, RatingsTable};
+use rm_embed::tokenize::tokens;
+use std::collections::HashMap;
+
+/// How the activity thresholds are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// One pass: drop unpopular books, then recount and drop low-activity
+    /// users. This is the literal reading of the paper ("we drop users who
+    /// read less than 10 books and books which are read less than 100
+    /// times") and the default.
+    #[default]
+    SinglePass,
+    /// Iterate book- and user-pruning to a fixpoint. Stricter; cascades can
+    /// remove substantially more of the corpus.
+    Fixpoint,
+}
+
+/// Configuration of the merge + pruning stage. Defaults are the paper's
+/// thresholds.
+#[derive(Debug, Clone, Default)]
+pub struct MergeConfig {
+    /// Source filtering thresholds.
+    pub filter: FilterConfig,
+    /// Genre pipeline thresholds.
+    pub genre: GenreConfig,
+    /// Prune application mode.
+    pub prune: PruneMode,
+    /// Users with fewer distinct readings than this are dropped.
+    pub min_user_readings: MinUserReadings,
+    /// Books with fewer distinct readings than this are dropped.
+    pub min_book_readings: MinBookReadings,
+}
+
+/// Newtype default-carrier for the user threshold (paper: 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinUserReadings(pub u32);
+
+impl Default for MinUserReadings {
+    fn default() -> Self {
+        Self(10)
+    }
+}
+
+/// Newtype default-carrier for the book threshold (paper: 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinBookReadings(pub u32);
+
+impl Default for MinBookReadings {
+    fn default() -> Self {
+        Self(100)
+    }
+}
+
+/// Normalised join key for catalogue matching: folded tokens of the title
+/// followed by folded tokens of the first author.
+#[must_use]
+pub fn join_key(title: &str, authors: &[String]) -> String {
+    let mut parts = tokens(title);
+    if let Some(first_author) = authors.first() {
+        parts.extend(tokens(first_author));
+    }
+    parts.join(" ")
+}
+
+/// Runs the full merge pipeline and returns the pruned corpus.
+///
+/// Steps: filter both sources → fit the genre model on the filtered Anobii
+/// catalogue → join catalogues on [`join_key`] → union loans and positive
+/// ratings into a deduplicated readings table → apply activity pruning →
+/// renumber densely.
+#[must_use]
+pub fn build_corpus(
+    bct_books: &BctBooksTable,
+    loans: &LoansTable,
+    anobii_items: &AnobiiItemsTable,
+    ratings: &RatingsTable,
+    config: &MergeConfig,
+) -> Corpus {
+    // --- 1. Source filters. ---
+    let kept_bct = filter_bct_books(bct_books, &config.filter);
+    let kept_anobii = filter_anobii_items(anobii_items, &config.filter);
+    let kept_ratings = filter_ratings(ratings, &config.filter);
+
+    // --- 2. Genre model over the filtered Anobii catalogue. ---
+    let mut book_counts = vec![0u64; N_RAW_GENRES];
+    let mut vote_counts = vec![0u64; N_RAW_GENRES];
+    for item in &kept_anobii {
+        for &(g, v) in &item.genre_votes {
+            if v > 0 {
+                book_counts[g.0 as usize] += 1;
+                vote_counts[g.0 as usize] += u64::from(v);
+            }
+        }
+    }
+    let genre_model = GenreModel::fit(&book_counts, &vote_counts, kept_anobii.len(), &config.genre);
+
+    // --- 3. Catalogue join (intersection). ---
+    let mut anobii_by_key: HashMap<String, &crate::tables::AnobiiItemRow> = HashMap::new();
+    for item in &kept_anobii {
+        // First occurrence wins; later duplicates (reprints with identical
+        // normalised title+author) are ignored.
+        anobii_by_key.entry(join_key(&item.title, &item.authors)).or_insert(item);
+    }
+
+    let mut books: Vec<Book> = Vec::new();
+    let mut bct_to_book: HashMap<u32, BookIdx> = HashMap::new();
+    let mut anobii_to_book: HashMap<u32, BookIdx> = HashMap::new();
+    for row in &kept_bct {
+        let key = join_key(&row.title, &row.authors);
+        let Some(item) = anobii_by_key.remove(&key) else {
+            continue;
+        };
+        let idx = BookIdx(books.len() as u32);
+        books.push(Book {
+            title: row.title.clone(),
+            authors: row.authors.clone(),
+            plot: item.plot.clone(),
+            keywords: item.keywords.clone(),
+            genres: genre_model.process_votes(&item.genre_votes),
+            bct_id: row.book_id,
+            anobii_id: item.item_id,
+        });
+        bct_to_book.insert(row.book_id.raw(), idx);
+        anobii_to_book.insert(item.item_id.raw(), idx);
+    }
+
+    // --- 4. Readings union, deduplicated to the earliest date. ---
+    let mut users: Vec<User> = Vec::new();
+    let mut user_index: HashMap<(Source, u32), UserIdx> = HashMap::new();
+    let mut readings: HashMap<(u32, u32), Day> = HashMap::new();
+
+    let intern_user = |users: &mut Vec<User>,
+                           user_index: &mut HashMap<(Source, u32), UserIdx>,
+                           source: Source,
+                           raw: u32| {
+        *user_index.entry((source, raw)).or_insert_with(|| {
+            let idx = UserIdx(users.len() as u32);
+            users.push(User { source, raw_id: raw });
+            idx
+        })
+    };
+
+    for loan in &loans.rows {
+        let Some(&book) = bct_to_book.get(&loan.book_id.raw()) else {
+            continue;
+        };
+        let user = intern_user(&mut users, &mut user_index, Source::Bct, loan.user_id.raw());
+        readings
+            .entry((user.0, book.0))
+            .and_modify(|d| *d = (*d).min(loan.date))
+            .or_insert(loan.date);
+    }
+    for rating in &kept_ratings {
+        let Some(&book) = anobii_to_book.get(&rating.item_id.raw()) else {
+            continue;
+        };
+        let user = intern_user(&mut users, &mut user_index, Source::Anobii, rating.user_id.raw());
+        readings
+            .entry((user.0, book.0))
+            .and_modify(|d| *d = (*d).min(rating.date))
+            .or_insert(rating.date);
+    }
+
+    // --- 5. Activity pruning. ---
+    let mut keep_book = vec![true; books.len()];
+    let mut keep_user = vec![true; users.len()];
+    loop {
+        // Books below the threshold (counting readings of kept users).
+        let mut book_reads = vec![0u32; books.len()];
+        for &(u, b) in readings.keys() {
+            if keep_user[u as usize] && keep_book[b as usize] {
+                book_reads[b as usize] += 1;
+            }
+        }
+        let mut changed = false;
+        for (b, &reads) in book_reads.iter().enumerate() {
+            if keep_book[b] && reads < config.min_book_readings.0 {
+                keep_book[b] = false;
+                changed = true;
+            }
+        }
+        // Users below the threshold (counting readings of kept books).
+        let mut user_reads = vec![0u32; users.len()];
+        for &(u, b) in readings.keys() {
+            if keep_user[u as usize] && keep_book[b as usize] {
+                user_reads[u as usize] += 1;
+            }
+        }
+        for (u, &reads) in user_reads.iter().enumerate() {
+            if keep_user[u] && reads < config.min_user_readings.0 {
+                keep_user[u] = false;
+                changed = true;
+            }
+        }
+        if config.prune == PruneMode::SinglePass || !changed {
+            break;
+        }
+    }
+
+    // --- 6. Dense renumbering, sorted readings. ---
+    let mut book_renum = vec![u32::MAX; books.len()];
+    let mut final_books = Vec::new();
+    for (b, book) in books.into_iter().enumerate() {
+        if keep_book[b] {
+            book_renum[b] = final_books.len() as u32;
+            final_books.push(book);
+        }
+    }
+    let mut user_renum = vec![u32::MAX; users.len()];
+    let mut final_users = Vec::new();
+    for (u, user) in users.into_iter().enumerate() {
+        if keep_user[u] {
+            user_renum[u] = final_users.len() as u32;
+            final_users.push(user);
+        }
+    }
+
+    let mut final_readings: Vec<Reading> = readings
+        .into_iter()
+        .filter(|&((u, b), _)| keep_user[u as usize] && keep_book[b as usize])
+        .map(|((u, b), date)| Reading {
+            user: UserIdx(user_renum[u as usize]),
+            book: BookIdx(book_renum[b as usize]),
+            date,
+        })
+        .collect();
+    final_readings.sort_unstable_by_key(|r| (r.user.0, r.book.0));
+
+    // Drop users that lost *all* readings to book pruning (possible in
+    // single-pass mode when every book they read was unpopular — they would
+    // otherwise be empty rows).
+    let corpus = compact_empty_users(final_books, final_users, final_readings, genre_model);
+    debug_assert!({
+        corpus.validate();
+        true
+    });
+    corpus
+}
+
+/// Removes users with zero readings and renumbers.
+fn compact_empty_users(
+    books: Vec<Book>,
+    users: Vec<User>,
+    readings: Vec<Reading>,
+    genre_model: GenreModel,
+) -> Corpus {
+    let mut has_reading = vec![false; users.len()];
+    for r in &readings {
+        has_reading[r.user.index()] = true;
+    }
+    if has_reading.iter().all(|&h| h) {
+        return Corpus { books, users, readings, genre_model };
+    }
+    let mut renum = vec![u32::MAX; users.len()];
+    let mut final_users = Vec::with_capacity(users.len());
+    for (u, user) in users.into_iter().enumerate() {
+        if has_reading[u] {
+            renum[u] = final_users.len() as u32;
+            final_users.push(user);
+        }
+    }
+    let readings = readings
+        .into_iter()
+        .map(|r| Reading { user: UserIdx(renum[r.user.index()]), ..r })
+        .collect();
+    Corpus { books, users: final_users, readings, genre_model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genre::{genre_id, GenreId};
+    use crate::ids::{AnobiiItemId, AnobiiUserId, BctBookId, BctUserId};
+    use crate::tables::{AnobiiItemRow, BctBookRow, ItemType, Language, LoanRow, RatingRow};
+
+    fn bct_book(id: u32, title: &str, author: &str) -> BctBookRow {
+        BctBookRow {
+            book_id: BctBookId(id),
+            authors: vec![author.to_owned()],
+            title: title.to_owned(),
+            item_type: ItemType::Monograph,
+            language: Language::Italian,
+        }
+    }
+
+    fn anobii_item(id: u32, title: &str, author: &str) -> AnobiiItemRow {
+        AnobiiItemRow {
+            item_id: AnobiiItemId(id),
+            authors: vec![author.to_owned()],
+            title: title.to_owned(),
+            language: Language::Italian,
+            plot: format!("trama di {title}"),
+            keywords: vec!["parola".to_owned()],
+            genre_votes: vec![(genre_id("Comics").unwrap(), 5), (GenreId(1), 2)],
+            is_book: true,
+        }
+    }
+
+    /// A tiny but complete fixture: 3 overlapping books, 1 BCT-only book,
+    /// 1 Anobii-only item; thresholds lowered so the fixture survives.
+    fn fixture() -> (BctBooksTable, LoansTable, AnobiiItemsTable, RatingsTable, MergeConfig) {
+        let bct_books = BctBooksTable {
+            rows: vec![
+                bct_book(100, "Il Nome della Rosa", "Umberto Eco"),
+                bct_book(101, "Orlando Furioso", "Ludovico Ariosto"),
+                bct_book(102, "Libro Solo BCT", "Autore Uno"),
+                bct_book(103, "Il Pendolo", "Umberto Eco"),
+            ],
+        };
+        let anobii_items = AnobiiItemsTable {
+            rows: vec![
+                anobii_item(200, "Il nome della ROSA", "Umberto ECO"), // matches 100
+                anobii_item(201, "Orlando furioso", "Ludovico Ariosto"), // matches 101
+                anobii_item(202, "Solo Anobii", "Autore Due"),
+                anobii_item(203, "Il Pendolo", "Umberto Eco"), // matches 103
+            ],
+        };
+        // Users: BCT user 1 reads all three merged books; BCT user 2 reads
+        // two; Anobii users 11, 12 rate merged books (one rating below 3 is
+        // dropped).
+        let loans = LoansTable {
+            rows: vec![
+                LoanRow { user_id: BctUserId(1), book_id: BctBookId(100), date: Day(10) },
+                LoanRow { user_id: BctUserId(1), book_id: BctBookId(101), date: Day(11) },
+                LoanRow { user_id: BctUserId(1), book_id: BctBookId(103), date: Day(12) },
+                LoanRow { user_id: BctUserId(1), book_id: BctBookId(100), date: Day(2) }, // re-loan, earlier
+                LoanRow { user_id: BctUserId(2), book_id: BctBookId(100), date: Day(20) },
+                LoanRow { user_id: BctUserId(2), book_id: BctBookId(101), date: Day(21) },
+                LoanRow { user_id: BctUserId(2), book_id: BctBookId(102), date: Day(22) }, // unmatched book
+            ],
+        };
+        let ratings = RatingsTable {
+            rows: vec![
+                RatingRow { user_id: AnobiiUserId(11), item_id: AnobiiItemId(200), rating: 5, date: Day(30) },
+                RatingRow { user_id: AnobiiUserId(11), item_id: AnobiiItemId(201), rating: 4, date: Day(31) },
+                RatingRow { user_id: AnobiiUserId(11), item_id: AnobiiItemId(203), rating: 2, date: Day(32) }, // negative, dropped
+                RatingRow { user_id: AnobiiUserId(12), item_id: AnobiiItemId(200), rating: 3, date: Day(40) },
+                RatingRow { user_id: AnobiiUserId(12), item_id: AnobiiItemId(203), rating: 5, date: Day(41) },
+                RatingRow { user_id: AnobiiUserId(12), item_id: AnobiiItemId(202), rating: 5, date: Day(42) }, // unmatched item
+            ],
+        };
+        let config = MergeConfig {
+            min_user_readings: MinUserReadings(2),
+            min_book_readings: MinBookReadings(2),
+            // The fixture's two genres cover every book; disable the
+            // share-based pruning so they survive.
+            genre: GenreConfig {
+                max_book_share: 1.0,
+                min_book_share: 0.0,
+                ..GenreConfig::default()
+            },
+            ..MergeConfig::default()
+        };
+        (bct_books, loans, anobii_items, ratings, config)
+    }
+
+    #[test]
+    fn join_key_normalises() {
+        assert_eq!(
+            join_key("Il Nome della ROSA", &["Umberto Eco".to_owned()]),
+            join_key("il nome della rosa!", &["UMBERTO ECO".to_owned()])
+        );
+        assert_ne!(
+            join_key("Il Nome della Rosa", &["Umberto Eco".to_owned()]),
+            join_key("Il Nome della Rosa", &["Altro Autore".to_owned()])
+        );
+    }
+
+    #[test]
+    fn catalogue_is_the_intersection() {
+        let (b, l, a, r, cfg) = fixture();
+        let c = build_corpus(&b, &l, &a, &r, &cfg);
+        // 3 matched books; "Il Pendolo" has 2 readings (user1 loan + user12
+        // rating), survives min_book_readings=2.
+        assert_eq!(c.n_books(), 3);
+        let titles: Vec<&str> = c.books.iter().map(|bk| bk.title.as_str()).collect();
+        assert!(titles.contains(&"Il Nome della Rosa"));
+        assert!(!titles.contains(&"Libro Solo BCT"));
+        // Attributes come from both sides.
+        assert!(c.books.iter().all(|bk| !bk.plot.is_empty()));
+        assert!(c.books.iter().all(|bk| !bk.genres.is_empty()));
+    }
+
+    #[test]
+    fn readings_union_dedup_and_rating_filter() {
+        let (b, l, a, r, cfg) = fixture();
+        let c = build_corpus(&b, &l, &a, &r, &cfg);
+        c.validate();
+        // user1: 3 readings (re-loan deduplicated); user2: 2 (unmatched book
+        // dropped); user11: 2 (negative rating dropped); user12: 2
+        // (unmatched item dropped).
+        assert_eq!(c.n_users(), 4);
+        assert_eq!(c.n_readings(), 9);
+        // Dedup kept the earliest date for user1 × "Il Nome della Rosa".
+        let user1 = c
+            .users
+            .iter()
+            .position(|u| u.source == Source::Bct && u.raw_id == 1)
+            .unwrap();
+        let rosa = c.books.iter().position(|bk| bk.title == "Il Nome della Rosa").unwrap() as u32;
+        let reading = c
+            .readings
+            .iter()
+            .find(|rd| rd.user.0 == user1 as u32 && rd.book.0 == rosa)
+            .unwrap();
+        assert_eq!(reading.date, Day(2));
+    }
+
+    #[test]
+    fn pruning_drops_low_activity() {
+        let (b, l, a, r, mut cfg) = fixture();
+        cfg.min_user_readings = MinUserReadings(3);
+        let c = build_corpus(&b, &l, &a, &r, &cfg);
+        // Only user1 has >= 3 readings.
+        assert_eq!(c.n_users(), 1);
+        assert_eq!(c.users[0].source, Source::Bct);
+        assert_eq!(c.users[0].raw_id, 1);
+        c.validate();
+    }
+
+    #[test]
+    fn book_pruning_cascades_in_fixpoint_mode() {
+        let (b, l, a, r, mut cfg) = fixture();
+        cfg.min_book_readings = MinBookReadings(3);
+        cfg.min_user_readings = MinUserReadings(2);
+        cfg.prune = PruneMode::Fixpoint;
+        let c = build_corpus(&b, &l, &a, &r, &cfg);
+        c.validate();
+        // Books with 3+ readings: Rosa (4), Orlando (3). Pendolo (2) dies.
+        assert_eq!(c.n_books(), 2);
+        // User12 then has 1 reading and dies; user1 keeps 2, user2 keeps 2,
+        // user11 keeps 2.
+        assert_eq!(c.n_users(), 3);
+    }
+
+    #[test]
+    fn empty_sources_give_empty_corpus() {
+        let cfg = MergeConfig::default();
+        let c = build_corpus(
+            &BctBooksTable::default(),
+            &LoansTable::default(),
+            &AnobiiItemsTable::default(),
+            &RatingsTable::default(),
+            &cfg,
+        );
+        assert_eq!(c.n_books(), 0);
+        assert_eq!(c.n_users(), 0);
+        assert_eq!(c.n_readings(), 0);
+    }
+
+    #[test]
+    fn users_without_surviving_readings_are_compacted() {
+        let (b, l, a, r, mut cfg) = fixture();
+        // Kill Pendolo (2 readings < 3) in single-pass mode: user12 keeps
+        // only 1 reading but the user threshold of 1 would keep them; with
+        // threshold 2 user12 must disappear entirely, not remain empty.
+        cfg.min_book_readings = MinBookReadings(3);
+        cfg.min_user_readings = MinUserReadings(2);
+        let c = build_corpus(&b, &l, &a, &r, &cfg);
+        c.validate();
+        assert!(c.readings_per_user().iter().all(|&n| n > 0));
+    }
+}

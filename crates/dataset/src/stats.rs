@@ -1,0 +1,257 @@
+//! Corpus statistics backing Section 3's characterisation and Figs. 1–2.
+//!
+//! * [`reading_cdfs`] — the per-user and per-book reading-count ECDFs
+//!   plotted in Fig. 1;
+//! * [`genre_shares`] — the share of readings per genre plotted in Fig. 2
+//!   (each reading contributes its book's genre *probabilities*, so shares
+//!   sum to 1 over books with genres);
+//! * [`dominant_genre_share`] — the "99 % of users read two genres at least
+//!   ten times more than all the other genres together" check;
+//! * [`CorpusSummary`] — the headline counts reported in the dataset
+//!   section.
+
+use crate::corpus::{Corpus, Source};
+use rm_util::stats::Ecdf;
+
+/// Headline corpus statistics (the numbers quoted in Section 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusSummary {
+    /// Books in the merged, pruned catalogue.
+    pub n_books: usize,
+    /// Users in total.
+    pub n_users: usize,
+    /// BCT users among them.
+    pub n_bct_users: usize,
+    /// Anobii users among them.
+    pub n_anobii_users: usize,
+    /// Total readings.
+    pub n_readings: usize,
+    /// Median readings per user.
+    pub median_readings_per_user: u64,
+    /// Maximum readings per user.
+    pub max_readings_per_user: u64,
+    /// Maximum readings per book.
+    pub max_readings_per_book: u64,
+}
+
+/// Computes the headline summary.
+#[must_use]
+pub fn summarize(corpus: &Corpus) -> CorpusSummary {
+    let per_user = corpus.readings_per_user();
+    let per_book = corpus.readings_per_book();
+    let user_ecdf = Ecdf::from_observations(&per_user);
+    CorpusSummary {
+        n_books: corpus.n_books(),
+        n_users: corpus.n_users(),
+        n_bct_users: corpus.users.iter().filter(|u| u.source == Source::Bct).count(),
+        n_anobii_users: corpus.users.iter().filter(|u| u.source == Source::Anobii).count(),
+        n_readings: corpus.n_readings(),
+        median_readings_per_user: if per_user.is_empty() { 0 } else { user_ecdf.quantile(0.5) },
+        max_readings_per_user: per_user.iter().copied().max().unwrap_or(0),
+        max_readings_per_book: per_book.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// The Fig. 1 CDFs: `(readings per user, readings per book)`.
+#[must_use]
+pub fn reading_cdfs(corpus: &Corpus) -> (Ecdf, Ecdf) {
+    (
+        Ecdf::from_observations(&corpus.readings_per_user()),
+        Ecdf::from_observations(&corpus.readings_per_book()),
+    )
+}
+
+/// The Fig. 2 bar heights: share of readings per aggregated genre,
+/// descending. Each reading contributes its book's genre probability mass;
+/// books without genres contribute nothing. Returns
+/// `(genre label, share)` pairs; shares sum to ≤ 1 (exactly 1 when every
+/// read book has genres).
+#[must_use]
+pub fn genre_shares(corpus: &Corpus) -> Vec<(String, f64)> {
+    let mut mass = vec![0.0f64; corpus.genre_model.n_genres()];
+    for r in &corpus.readings {
+        for &(g, p) in &corpus.books[r.book.index()].genres {
+            mass[g.0 as usize] += f64::from(p);
+        }
+    }
+    let total = corpus.n_readings().max(1) as f64;
+    let mut out: Vec<(String, f64)> = mass
+        .into_iter()
+        .enumerate()
+        .map(|(g, m)| (corpus.genre_model.labels()[g].clone(), m / total))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Fraction of users whose top-2 genres are read at least `ratio` times
+/// more than all their other genres combined (the paper reports 0.99 at
+/// ratio 10). Each reading counts toward its book's *top-probability*
+/// genre — the natural "what genre did they read" attribution; spreading a
+/// reading across the book's full probability profile would dilute every
+/// user below the 10× bar by construction. Users with fewer than
+/// `min_readings` readings are skipped.
+#[must_use]
+pub fn dominant_genre_share(corpus: &Corpus, ratio: f64, min_readings: usize) -> f64 {
+    // Top genre per book, precomputed.
+    let top_genre: Vec<Option<u8>> = corpus
+        .books
+        .iter()
+        .map(|b| {
+            b.genres
+                .iter()
+                .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite prob"))
+                .map(|&(g, _)| g.0)
+        })
+        .collect();
+
+    let by_user = corpus.readings_by_user();
+    let mut qualifying = 0usize;
+    let mut dominant = 0usize;
+    for readings in by_user {
+        if readings.len() < min_readings {
+            continue;
+        }
+        let mut counts = vec![0u64; corpus.genre_model.n_genres()];
+        for r in readings {
+            if let Some(g) = top_genre[r.book.index()] {
+                counts[g as usize] += 1;
+            }
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        if counts.len() < 2 {
+            continue;
+        }
+        qualifying += 1;
+        let top2 = counts[0] + counts[1];
+        let rest: u64 = counts[2..].iter().sum();
+        if top2 as f64 >= ratio * rest as f64 {
+            dominant += 1;
+        }
+    }
+    if qualifying == 0 {
+        0.0
+    } else {
+        dominant as f64 / qualifying as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Book, Reading, User};
+    use crate::genre::{AggGenreId, GenreModel};
+    use crate::ids::{AnobiiItemId, BctBookId, BookIdx, Day, UserIdx};
+
+    fn book(genres: Vec<(AggGenreId, f32)>) -> Book {
+        Book {
+            title: "T".into(),
+            authors: vec!["A".into()],
+            plot: String::new(),
+            keywords: vec![],
+            genres,
+            bct_id: BctBookId(0),
+            anobii_id: AnobiiItemId(0),
+        }
+    }
+
+    fn corpus() -> Corpus {
+        // Book 0: pure Comics; book 1: half Comics half Thriller; book 2:
+        // pure Fantasy.
+        let books = vec![
+            book(vec![(AggGenreId(0), 1.0)]),
+            book(vec![(AggGenreId(0), 0.5), (AggGenreId(1), 0.5)]),
+            book(vec![(AggGenreId(2), 1.0)]),
+        ];
+        let users = vec![
+            User { source: Source::Bct, raw_id: 0 },
+            User { source: Source::Anobii, raw_id: 1 },
+        ];
+        let readings = vec![
+            Reading { user: UserIdx(0), book: BookIdx(0), date: Day(0) },
+            Reading { user: UserIdx(0), book: BookIdx(1), date: Day(0) },
+            Reading { user: UserIdx(1), book: BookIdx(0), date: Day(0) },
+            Reading { user: UserIdx(1), book: BookIdx(2), date: Day(0) },
+        ];
+        Corpus { books, users, readings, genre_model: GenreModel::identity() }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summarize(&corpus());
+        assert_eq!(s.n_books, 3);
+        assert_eq!(s.n_users, 2);
+        assert_eq!(s.n_bct_users, 1);
+        assert_eq!(s.n_anobii_users, 1);
+        assert_eq!(s.n_readings, 4);
+        assert_eq!(s.median_readings_per_user, 2);
+        assert_eq!(s.max_readings_per_user, 2);
+        assert_eq!(s.max_readings_per_book, 2);
+    }
+
+    #[test]
+    fn cdfs_reflect_counts() {
+        let (per_user, per_book) = reading_cdfs(&corpus());
+        assert_eq!(per_user.sample_size(), 2);
+        assert_eq!(per_book.sample_size(), 3);
+        assert_eq!(per_book.eval(1), 2.0 / 3.0);
+        assert_eq!(per_book.eval(2), 1.0);
+    }
+
+    #[test]
+    fn genre_shares_sum_to_one_and_order() {
+        let shares = genre_shares(&corpus());
+        let total: f64 = shares.iter().map(|&(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Comics: 2 pure readings + 2×0.5 = wait, book1 read once → 0.5.
+        // Comics mass = 1 + 0.5 + 1 = 2.5 of 4 readings.
+        assert_eq!(shares[0].0, "Comics");
+        assert!((shares[0].1 - 2.5 / 4.0).abs() < 1e-9);
+        // Descending order.
+        for w in shares.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_statistics() {
+        let c = Corpus {
+            books: vec![],
+            users: vec![],
+            readings: vec![],
+            genre_model: GenreModel::identity(),
+        };
+        let s = summarize(&c);
+        assert_eq!(s.n_readings, 0);
+        assert_eq!(s.median_readings_per_user, 0);
+        assert_eq!(dominant_genre_share(&c, 10.0, 1), 0.0);
+    }
+
+    #[test]
+    fn dominant_genre_share_detects_concentration() {
+        // User 0 reads only Comics books → top-2 mass trivially dominates.
+        let mut c = corpus();
+        c.readings = vec![
+            Reading { user: UserIdx(0), book: BookIdx(0), date: Day(0) },
+            Reading { user: UserIdx(0), book: BookIdx(1), date: Day(0) },
+        ];
+        assert_eq!(dominant_genre_share(&c, 10.0, 1), 1.0);
+    }
+
+    #[test]
+    fn dominant_genre_share_detects_spread() {
+        // A user spread evenly over 3 genres: top-2 = 2×, rest = 1× →
+        // fails a ratio of 10.
+        let mut c = corpus();
+        c.readings = vec![
+            Reading { user: UserIdx(0), book: BookIdx(0), date: Day(0) },
+            Reading { user: UserIdx(0), book: BookIdx(2), date: Day(0) },
+        ];
+        // Add a third book so a real third genre appears.
+        c.readings.push(Reading { user: UserIdx(0), book: BookIdx(1), date: Day(0) });
+        // Top-genre counts: Comics 1, Thriller 1, Fantasy 1 → top2 = 2,
+        // rest = 1 → ratio 2, failing the 10× bar but passing a 2× bar.
+        assert_eq!(dominant_genre_share(&c, 10.0, 1), 0.0);
+        assert_eq!(dominant_genre_share(&c, 2.0, 1), 1.0);
+    }
+}

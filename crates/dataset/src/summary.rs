@@ -1,0 +1,247 @@
+//! Metadata summaries for the content-based recommender (Section 4,
+//! "Closest Items").
+//!
+//! A *metadata summary* is "a string given by the concatenation of the
+//! book's metadata"; the paper evaluates "all the possible combinations of
+//! (i) the book title, (ii) the author(s), (iii) the book plot, (iv) the
+//! genres, and (v) the book keywords" (Fig. 5). [`SummaryFields`] is the
+//! corresponding bitset; [`build_summary`] renders one book's summary.
+
+use crate::corpus::{Book, Corpus};
+
+/// Bitset of metadata fields included in a summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SummaryFields(u8);
+
+impl SummaryFields {
+    /// Book title.
+    pub const TITLE: Self = Self(1);
+    /// Author(s).
+    pub const AUTHORS: Self = Self(2);
+    /// Plot synopsis.
+    pub const PLOT: Self = Self(4);
+    /// Aggregated genres (weighted by repetition according to their
+    /// probability — see [`build_summary`]).
+    pub const GENRES: Self = Self(8);
+    /// Keywords.
+    pub const KEYWORDS: Self = Self(16);
+    /// All five fields.
+    pub const ALL: Self = Self(31);
+
+    /// The paper's best combination: authors + genres (Section 6.2).
+    pub const BEST: Self = Self(2 | 8);
+
+    /// Union of two field sets.
+    #[must_use]
+    pub fn with(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    /// True when every field of `other` is included.
+    #[must_use]
+    pub fn contains(self, other: Self) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when no field is selected.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// All 31 non-empty combinations, in ascending bit order. Fig. 5's
+    /// sweep iterates a subset of these.
+    #[must_use]
+    pub fn all_combinations() -> Vec<Self> {
+        (1..=Self::ALL.0).map(Self).collect()
+    }
+
+    /// Short label, e.g. `"authors+genres"`.
+    #[must_use]
+    pub fn label(self) -> String {
+        let mut parts = Vec::new();
+        if self.contains(Self::TITLE) {
+            parts.push("title");
+        }
+        if self.contains(Self::AUTHORS) {
+            parts.push("authors");
+        }
+        if self.contains(Self::PLOT) {
+            parts.push("plot");
+        }
+        if self.contains(Self::GENRES) {
+            parts.push("genres");
+        }
+        if self.contains(Self::KEYWORDS) {
+            parts.push("keywords");
+        }
+        if parts.is_empty() {
+            "none".to_owned()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Number of times the top-probability genre label is repeated in a
+/// summary; lower-probability genres are repeated proportionally. This
+/// carries the vote-proportional genre *probabilities* (Section 3) into the
+/// bag-of-words encoder, which only sees token counts.
+const GENRE_REPEAT_SCALE: f32 = 4.0;
+
+/// Renders the metadata summary of `book` for the selected `fields`,
+/// using `corpus`'s genre model for genre labels.
+#[must_use]
+pub fn build_summary(corpus: &Corpus, book: &Book, fields: SummaryFields) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if fields.contains(SummaryFields::TITLE) {
+        parts.push(book.title.clone());
+    }
+    if fields.contains(SummaryFields::AUTHORS) {
+        parts.extend(book.authors.iter().cloned());
+    }
+    if fields.contains(SummaryFields::PLOT) {
+        parts.push(book.plot.clone());
+    }
+    if fields.contains(SummaryFields::GENRES) {
+        for &(g, p) in &book.genres {
+            let label = corpus.genre_model.label(g);
+            let repeats = ((p * GENRE_REPEAT_SCALE).round() as usize).max(1);
+            for _ in 0..repeats {
+                parts.push(label.to_owned());
+            }
+        }
+    }
+    if fields.contains(SummaryFields::KEYWORDS) {
+        parts.extend(book.keywords.iter().cloned());
+    }
+    parts.join(" ")
+}
+
+/// Renders the summaries of the whole catalogue.
+#[must_use]
+pub fn build_summaries(corpus: &Corpus, fields: SummaryFields) -> Vec<String> {
+    corpus
+        .books
+        .iter()
+        .map(|b| build_summary(corpus, b, fields))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Source, User};
+    use crate::genre::{AggGenreId, GenreModel};
+    use crate::ids::{AnobiiItemId, BctBookId};
+
+    fn corpus_with_book(genres: Vec<(AggGenreId, f32)>) -> Corpus {
+        Corpus {
+            books: vec![Book {
+                title: "La Storia".into(),
+                authors: vec!["Elsa Morante".into(), "Altro Autore".into()],
+                plot: "una famiglia a roma durante la guerra".into(),
+                keywords: vec!["guerra".into(), "roma".into()],
+                genres,
+                bct_id: BctBookId(0),
+                anobii_id: AnobiiItemId(0),
+            }],
+            users: vec![User { source: Source::Bct, raw_id: 0 }],
+            readings: vec![],
+            genre_model: GenreModel::identity(),
+        }
+    }
+
+    #[test]
+    fn field_bitset_algebra() {
+        let f = SummaryFields::TITLE.with(SummaryFields::GENRES);
+        assert!(f.contains(SummaryFields::TITLE));
+        assert!(f.contains(SummaryFields::GENRES));
+        assert!(!f.contains(SummaryFields::PLOT));
+        assert!(!SummaryFields::TITLE.is_empty());
+        assert_eq!(SummaryFields::ALL.label(), "title+authors+plot+genres+keywords");
+        assert_eq!(SummaryFields::BEST.label(), "authors+genres");
+    }
+
+    #[test]
+    fn all_combinations_count() {
+        let combos = SummaryFields::all_combinations();
+        assert_eq!(combos.len(), 31);
+        assert!(combos.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn title_only_summary() {
+        let c = corpus_with_book(vec![]);
+        assert_eq!(build_summary(&c, &c.books[0], SummaryFields::TITLE), "La Storia");
+    }
+
+    #[test]
+    fn authors_summary_includes_all_authors() {
+        let c = corpus_with_book(vec![]);
+        let s = build_summary(&c, &c.books[0], SummaryFields::AUTHORS);
+        assert!(s.contains("Elsa Morante"));
+        assert!(s.contains("Altro Autore"));
+    }
+
+    #[test]
+    fn genres_repeated_by_probability() {
+        let c = corpus_with_book(vec![(AggGenreId(0), 0.75), (AggGenreId(1), 0.25)]);
+        let s = build_summary(&c, &c.books[0], SummaryFields::GENRES);
+        let comics = s.matches("Comics").count();
+        let thriller = s.matches("Thriller").count();
+        assert_eq!(comics, 3); // 0.75 * 4
+        assert_eq!(thriller, 1); // 0.25 * 4
+    }
+
+    #[test]
+    fn combined_summary_concatenates() {
+        let c = corpus_with_book(vec![(AggGenreId(0), 1.0)]);
+        let s = build_summary(&c, &c.books[0], SummaryFields::BEST);
+        assert!(s.contains("Elsa Morante"));
+        assert!(s.contains("Comics"));
+        assert!(!s.contains("La Storia")); // title excluded
+        assert!(!s.contains("famiglia")); // plot excluded
+    }
+
+    #[test]
+    fn build_summaries_covers_catalogue() {
+        let c = corpus_with_book(vec![]);
+        let all = build_summaries(&c, SummaryFields::KEYWORDS);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0], "guerra roma");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn bitset_union_is_monotone(a in 0u8..32, b in 0u8..32) {
+            let fa = SummaryFields(a);
+            let fb = SummaryFields(b);
+            let joined = fa.with(fb);
+            proptest::prop_assert!(joined.contains(fa));
+            proptest::prop_assert!(joined.contains(fb));
+            // Union is commutative and idempotent.
+            proptest::prop_assert_eq!(joined, fb.with(fa));
+            proptest::prop_assert_eq!(joined.with(fa), joined);
+        }
+
+        #[test]
+        fn summary_grows_with_fields(bits in 1u8..32) {
+            let c = corpus_with_book(vec![(AggGenreId(0), 1.0)]);
+            let sub = SummaryFields(bits);
+            let full = build_summary(&c, &c.books[0], SummaryFields::ALL);
+            let part = build_summary(&c, &c.books[0], sub);
+            // Every token of a sub-summary appears in the full summary.
+            for token in part.split_whitespace() {
+                proptest::prop_assert!(full.contains(token), "token {} missing", token);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fields_give_empty_summary() {
+        let c = corpus_with_book(vec![(AggGenreId(0), 1.0)]);
+        let s = build_summary(&c, &c.books[0], SummaryFields(0));
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Raw table schemas for the two sources (Section 3 of the paper).
+//!
+//! These mirror the tables the paper describes: the BCT *Books* and *Loans*
+//! tables, and the Anobii *Items* and *Ratings* tables. They are plain
+//! vectors of row structs — the pipeline reads them once, sequentially, so
+//! columnar layouts would buy nothing.
+
+use crate::genre::GenreId;
+use crate::ids::{AnobiiItemId, AnobiiUserId, BctBookId, BctUserId, Day};
+
+/// Physical type of a BCT catalogue item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ItemType {
+    /// A monograph — kept by the paper's filter.
+    Monograph,
+    /// A manuscript — kept by the paper's filter.
+    Manuscript,
+    /// A DVD — dropped.
+    Dvd,
+    /// A periodical — dropped.
+    Periodical,
+    /// Sheet music — dropped.
+    MusicScore,
+    /// Anything else — dropped.
+    Other,
+}
+
+impl ItemType {
+    /// Whether the paper's preparation keeps this type.
+    #[must_use]
+    pub fn is_kept(self) -> bool {
+        matches!(self, Self::Monograph | Self::Manuscript)
+    }
+}
+
+/// Language of an edition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// Italian — the only language the paper keeps.
+    Italian,
+    /// English.
+    English,
+    /// French.
+    French,
+    /// German.
+    German,
+    /// Spanish.
+    Spanish,
+    /// Any other language.
+    Other,
+}
+
+/// One row of the BCT Books table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BctBookRow {
+    /// Unique book identifier.
+    pub book_id: BctBookId,
+    /// Author(s), one string per author.
+    pub authors: Vec<String>,
+    /// Title of the edition.
+    pub title: String,
+    /// Type of the item (monograph, manuscript, DVD, ...).
+    pub item_type: ItemType,
+    /// Language of the edition.
+    pub language: Language,
+}
+
+/// The BCT Books table.
+#[derive(Debug, Clone, Default)]
+pub struct BctBooksTable {
+    /// All rows.
+    pub rows: Vec<BctBookRow>,
+}
+
+/// One row of the BCT Loans table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoanRow {
+    /// Anonymised borrowing user.
+    pub user_id: BctUserId,
+    /// Borrowed book.
+    pub book_id: BctBookId,
+    /// Date of the loan.
+    pub date: Day,
+}
+
+/// The BCT Loans table (2012–2020 in the paper).
+#[derive(Debug, Clone, Default)]
+pub struct LoansTable {
+    /// All rows.
+    pub rows: Vec<LoanRow>,
+}
+
+/// One row of the Anobii Items table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnobiiItemRow {
+    /// Unique item identifier.
+    pub item_id: AnobiiItemId,
+    /// Author(s).
+    pub authors: Vec<String>,
+    /// Title.
+    pub title: String,
+    /// Language of the edition.
+    pub language: Language,
+    /// Crowd-sourced plot synopsis.
+    pub plot: String,
+    /// Crowd-sourced keywords.
+    pub keywords: Vec<String>,
+    /// Genre votes: `(genre, number of users who attached it)`.
+    pub genre_votes: Vec<(GenreId, u32)>,
+    /// Whether the item is a book at all (the Anobii catalogue also lists
+    /// non-book items, which the pipeline drops).
+    pub is_book: bool,
+}
+
+/// The Anobii Items table.
+#[derive(Debug, Clone, Default)]
+pub struct AnobiiItemsTable {
+    /// All rows.
+    pub rows: Vec<AnobiiItemRow>,
+}
+
+/// One row of the Anobii Ratings table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatingRow {
+    /// Anonymised rating user.
+    pub user_id: AnobiiUserId,
+    /// Rated item.
+    pub item_id: AnobiiItemId,
+    /// Star rating, 1–5 (increasing appreciation).
+    pub rating: u8,
+    /// Date the rating was entered.
+    pub date: Day,
+}
+
+/// The Anobii Ratings table (2014–2021 in the paper).
+#[derive(Debug, Clone, Default)]
+pub struct RatingsTable {
+    /// All rows.
+    pub rows: Vec<RatingRow>,
+}
+
+impl BctBooksTable {
+    /// Number of distinct books.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl LoansTable {
+    /// Number of loans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl AnobiiItemsTable {
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl RatingsTable {
+    /// Number of ratings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_type_filter_matches_paper() {
+        assert!(ItemType::Monograph.is_kept());
+        assert!(ItemType::Manuscript.is_kept());
+        assert!(!ItemType::Dvd.is_kept());
+        assert!(!ItemType::Periodical.is_kept());
+        assert!(!ItemType::Other.is_kept());
+    }
+
+    #[test]
+    fn tables_default_empty() {
+        assert!(BctBooksTable::default().is_empty());
+        assert!(LoansTable::default().is_empty());
+        assert!(AnobiiItemsTable::default().is_empty());
+        assert!(RatingsTable::default().is_empty());
+    }
+
+    #[test]
+    fn loan_row_is_small() {
+        // 12 bytes of payload; allow padding to 12 exactly (u32 × 3).
+        assert_eq!(std::mem::size_of::<LoanRow>(), 12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Tokenisation: lowercasing, accent folding, word and character n-grams.
+//!
+//! The corpus is Italian, so accent folding matters (`perché` / `perche`
+//! must collide) and inflection is heavy (`lettore` / `lettori`), which the
+//! boundary-marked character n-grams absorb.
+
+/// Folds the Latin-1/Latin-Extended accents that occur in Italian text and
+/// lowercases everything else. Characters outside the alphanumeric range map
+/// to separators.
+#[must_use]
+pub fn fold_char(c: char) -> Option<char> {
+    let c = c.to_lowercase().next().unwrap_or(c);
+    match c {
+        'à' | 'á' | 'â' | 'ä' | 'ã' | 'å' => Some('a'),
+        'è' | 'é' | 'ê' | 'ë' => Some('e'),
+        'ì' | 'í' | 'î' | 'ï' => Some('i'),
+        'ò' | 'ó' | 'ô' | 'ö' | 'õ' => Some('o'),
+        'ù' | 'ú' | 'û' | 'ü' => Some('u'),
+        'ç' => Some('c'),
+        'ñ' => Some('n'),
+        _ if c.is_alphanumeric() => Some(c),
+        _ => None,
+    }
+}
+
+/// Splits `text` into normalised word tokens.
+///
+/// A token is a maximal run of alphanumeric characters after accent folding;
+/// single-character tokens are kept (initials matter for author names).
+#[must_use]
+pub fn tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        match fold_char(c) {
+            Some(f) => cur.push(f),
+            None => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Character n-grams of a single token, wrapped in boundary markers
+/// (`^token$`), for `n` in `[lo, hi]`. Tokens shorter than `lo` (after
+/// wrapping) yield the wrapped token itself.
+#[must_use]
+pub fn char_ngrams(token: &str, lo: usize, hi: usize) -> Vec<String> {
+    debug_assert!(lo >= 2 && lo <= hi);
+    let wrapped: Vec<char> = std::iter::once('^')
+        .chain(token.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    let mut out = Vec::new();
+    if wrapped.len() <= lo {
+        out.push(wrapped.iter().collect());
+        return out;
+    }
+    for n in lo..=hi.min(wrapped.len()) {
+        for win in wrapped.windows(n) {
+            out.push(win.iter().collect());
+        }
+    }
+    out
+}
+
+/// The Italian stop-word list applied before weighting.
+///
+/// Deliberately short: IDF already downweights common words; this list only
+/// removes the closed-class words so frequent that they would dominate term
+/// frequencies in very short fields (titles).
+pub const STOPWORDS: &[&str] = &[
+    "di", "a", "da", "in", "con", "su", "per", "tra", "fra", "il", "lo", "la", "i", "gli", "le",
+    "un", "uno", "una", "e", "ed", "o", "che", "non", "si", "del", "della", "dei", "delle",
+    "dello", "al", "alla", "ai", "alle", "nel", "nella", "sul", "sulla", "un'", "l", "d",
+];
+
+/// True when `token` is a stop word.
+#[must_use]
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_folds_accents() {
+        assert_eq!(tokens("Perché NO"), vec!["perche", "no"]);
+        assert_eq!(tokens("Città d'Autunno"), vec!["citta", "d", "autunno"]);
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokens("Il nome... della-rosa (1980)"),
+            vec!["il", "nome", "della", "rosa", "1980"]
+        );
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(tokens("").is_empty());
+        assert!(tokens("!!! --- ***").is_empty());
+    }
+
+    #[test]
+    fn ngrams_have_boundaries() {
+        let grams = char_ngrams("ab", 3, 4);
+        assert!(grams.contains(&"^ab".to_owned()));
+        assert!(grams.contains(&"ab$".to_owned()));
+        assert!(grams.contains(&"^ab$".to_owned()));
+    }
+
+    #[test]
+    fn short_token_yields_wrapped_self() {
+        assert_eq!(char_ngrams("a", 3, 5), vec!["^a$".to_owned()]);
+    }
+
+    #[test]
+    fn ngram_count_matches_formula() {
+        // "rosa" wrapped = 6 chars; 3-grams: 4, 4-grams: 3 => 7 total.
+        assert_eq!(char_ngrams("rosa", 3, 4).len(), 7);
+    }
+
+    #[test]
+    fn stopwords_detected() {
+        assert!(is_stopword("della"));
+        assert!(!is_stopword("rosa"));
+    }
+
+    #[test]
+    fn shared_stem_shares_ngrams() {
+        let a: std::collections::HashSet<_> = char_ngrams("lettore", 3, 5).into_iter().collect();
+        let b: std::collections::HashSet<_> = char_ngrams("lettori", 3, 5).into_iter().collect();
+        let c: std::collections::HashSet<_> = char_ngrams("zanzara", 3, 5).into_iter().collect();
+        let ab = a.intersection(&b).count();
+        let ac = a.intersection(&c).count();
+        assert!(ab > ac, "inflected forms should overlap more ({ab} vs {ac})");
+    }
+}

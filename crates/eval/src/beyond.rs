@@ -1,0 +1,304 @@
+//! Beyond-accuracy metrics — the paper's future-work direction
+//! ("metrics for evaluating the diversity and serendipity of the
+//! recommendations", Section 7).
+//!
+//! All metrics operate on top-k lists and average over the evaluation
+//! users:
+//!
+//! * **intra-list diversity** — `1 −` mean pairwise similarity of the
+//!   recommended books' genre profiles (1 = every pair of recommendations
+//!   from disjoint genres);
+//! * **novelty** — mean self-information `−log₂ p(b)` of the recommended
+//!   books under the training popularity distribution (recommending only
+//!   blockbusters scores low);
+//! * **serendipity** — share of *relevant* recommendations that are also
+//!   *unexpected*: their top genre is outside the user's two most-read
+//!   training genres;
+//! * **genre coverage** — distinct top genres in the list divided by the
+//!   list length.
+
+use crate::metrics::UserCase;
+use rm_core::Recommender;
+use rm_dataset::ids::UserIdx;
+use rm_dataset::interactions::Interactions;
+use rm_dataset::Corpus;
+
+/// Aggregated beyond-accuracy metrics at one `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeyondAccuracy {
+    /// List length.
+    pub k: usize,
+    /// Mean intra-list diversity in `[0, 1]`.
+    pub diversity: f64,
+    /// Mean novelty (bits); higher = deeper into the catalogue tail.
+    pub novelty: f64,
+    /// Mean serendipity in `[0, 1]` (share of relevant recommendations
+    /// outside the user's dominant genres).
+    pub serendipity: f64,
+    /// Mean genre coverage in `(0, 1]`.
+    pub genre_coverage: f64,
+    /// Users evaluated.
+    pub n_users: usize,
+}
+
+/// Genre-profile similarity of two books: probability mass they assign to
+/// shared genres (generalised overlap; 1 when identical single-genre
+/// profiles, 0 when disjoint).
+#[must_use]
+pub fn genre_similarity(corpus: &Corpus, a: u32, b: u32) -> f64 {
+    let ga = &corpus.books[a as usize].genres;
+    let gb = &corpus.books[b as usize].genres;
+    let mut sim = 0.0f64;
+    for &(g, pa) in ga {
+        if let Some(&(_, pb)) = gb.iter().find(|&&(h, _)| h == g) {
+            sim += f64::from(pa.min(pb));
+        }
+    }
+    sim
+}
+
+/// Intra-list diversity of one recommendation list.
+#[must_use]
+pub fn intra_list_diversity(corpus: &Corpus, recs: &[u32]) -> f64 {
+    if recs.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for (i, &a) in recs.iter().enumerate() {
+        for &b in &recs[i + 1..] {
+            total += 1.0 - genre_similarity(corpus, a, b);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Mean novelty (bits of self-information) of one list under the training
+/// popularity distribution. Books never read in training get the maximum
+/// (`log2(total + 1)` via add-one smoothing).
+#[must_use]
+pub fn novelty(book_counts: &[u64], recs: &[u32]) -> f64 {
+    if recs.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = book_counts.iter().sum::<u64>().max(1);
+    recs.iter()
+        .map(|&b| {
+            let p = (book_counts[b as usize] + 1) as f64 / (total + 1) as f64;
+            -p.log2()
+        })
+        .sum::<f64>()
+        / recs.len() as f64
+}
+
+/// The user's two most-read training genres (by top-genre counting).
+fn dominant_genres(corpus: &Corpus, train: &Interactions, user: UserIdx) -> Vec<u8> {
+    let mut counts = vec![0u32; corpus.genre_model.n_genres()];
+    for &b in train.seen(user) {
+        if let Some(&(g, _)) = corpus.books[b as usize]
+            .genres
+            .iter()
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+        {
+            counts[g.0 as usize] += 1;
+        }
+    }
+    let mut order: Vec<u8> = (0..counts.len() as u8).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(counts[g as usize]));
+    order.truncate(2);
+    order.retain(|&g| counts[g as usize] > 0);
+    order
+}
+
+/// Evaluates all beyond-accuracy metrics for a recommender.
+#[must_use]
+pub fn evaluate_beyond(
+    rec: &dyn Recommender,
+    corpus: &Corpus,
+    train: &Interactions,
+    cases: &[UserCase<'_>],
+    k: usize,
+) -> BeyondAccuracy {
+    let book_counts = train.book_counts();
+    let mut diversity = 0.0;
+    let mut nov = 0.0;
+    let mut serendipity = 0.0;
+    let mut coverage = 0.0;
+    let mut n_users = 0usize;
+
+    for case in cases {
+        if case.test.is_empty() {
+            continue;
+        }
+        let recs = rec.recommend(case.user, k);
+        if recs.is_empty() {
+            continue;
+        }
+        n_users += 1;
+        diversity += intra_list_diversity(corpus, &recs);
+        nov += novelty(&book_counts, &recs);
+
+        // Serendipity: relevant ∧ outside the user's dominant genres.
+        let dominant = dominant_genres(corpus, train, case.user);
+        let relevant: Vec<u32> = recs
+            .iter()
+            .copied()
+            .filter(|b| case.test.binary_search(b).is_ok())
+            .collect();
+        if !relevant.is_empty() {
+            let unexpected = relevant
+                .iter()
+                .filter(|&&b| {
+                    corpus.books[b as usize]
+                        .genres
+                        .iter()
+                        .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+                        .is_none_or(|&(g, _)| !dominant.contains(&g.0))
+                })
+                .count();
+            serendipity += unexpected as f64 / relevant.len() as f64;
+        }
+
+        // Genre coverage: distinct top genres in the list.
+        let mut genres: Vec<u8> = recs
+            .iter()
+            .filter_map(|&b| {
+                corpus.books[b as usize]
+                    .genres
+                    .iter()
+                    .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+                    .map(|&(g, _)| g.0)
+            })
+            .collect();
+        genres.sort_unstable();
+        genres.dedup();
+        coverage += genres.len() as f64 / recs.len() as f64;
+    }
+
+    let denom = n_users.max(1) as f64;
+    BeyondAccuracy {
+        k,
+        diversity: diversity / denom,
+        novelty: nov / denom,
+        serendipity: serendipity / denom,
+        genre_coverage: coverage / denom,
+        n_users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_dataset::corpus::{Book, Reading, Source, User};
+    use rm_dataset::genre::{AggGenreId, GenreModel};
+    use rm_dataset::ids::{AnobiiItemId, BctBookId, BookIdx, Day};
+
+    fn book(genre: u8) -> Book {
+        Book {
+            title: "T".into(),
+            authors: vec!["A".into()],
+            plot: String::new(),
+            keywords: vec![],
+            genres: vec![(AggGenreId(genre), 1.0)],
+            bct_id: BctBookId(0),
+            anobii_id: AnobiiItemId(0),
+        }
+    }
+
+    fn corpus() -> Corpus {
+        Corpus {
+            // Books 0-2 genre 0; books 3-4 genre 1; book 5 genre 2.
+            books: vec![book(0), book(0), book(0), book(1), book(1), book(2)],
+            users: vec![User { source: Source::Bct, raw_id: 0 }],
+            readings: vec![
+                Reading { user: UserIdx(0), book: BookIdx(0), date: Day(0) },
+                Reading { user: UserIdx(0), book: BookIdx(1), date: Day(1) },
+            ],
+            genre_model: GenreModel::identity(),
+        }
+    }
+
+    #[test]
+    fn genre_similarity_overlap() {
+        let c = corpus();
+        assert_eq!(genre_similarity(&c, 0, 1), 1.0);
+        assert_eq!(genre_similarity(&c, 0, 3), 0.0);
+    }
+
+    #[test]
+    fn diversity_extremes() {
+        let c = corpus();
+        assert_eq!(intra_list_diversity(&c, &[0, 1, 2]), 0.0);
+        assert_eq!(intra_list_diversity(&c, &[0, 3, 5]), 1.0);
+        assert_eq!(intra_list_diversity(&c, &[0]), 0.0);
+    }
+
+    #[test]
+    fn novelty_prefers_tail() {
+        // Book 0 read 9 times, book 5 once.
+        let counts = vec![9u64, 0, 0, 0, 0, 1];
+        assert!(novelty(&counts, &[5]) > novelty(&counts, &[0]));
+        assert_eq!(novelty(&counts, &[]), 0.0);
+    }
+
+    #[test]
+    fn evaluate_beyond_on_fixed_recommender() {
+        struct Fixed;
+        impl Recommender for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn fit(&mut self, _t: &Interactions) {}
+            fn score(&self, _u: UserIdx, _b: BookIdx) -> f32 {
+                0.0
+            }
+            fn recommend(&self, _u: UserIdx, k: usize) -> Vec<u32> {
+                vec![3, 5][..k.min(2)].to_vec()
+            }
+            fn rank_all(&self, u: UserIdx) -> Vec<u32> {
+                self.recommend(u, 2)
+            }
+        }
+        let c = corpus();
+        let train = Interactions::from_corpus(&c);
+        let test = [3u32, 4];
+        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let b = evaluate_beyond(&Fixed, &c, &train, &cases, 2);
+        assert_eq!(b.n_users, 1);
+        // Recs {3, 5}: genres 1 and 2 → diversity 1, coverage 1.
+        assert_eq!(b.diversity, 1.0);
+        assert_eq!(b.genre_coverage, 1.0);
+        // Relevant = {3}; user's dominant genre is 0 (read books 0, 1), so
+        // the hit on genre 1 is serendipitous.
+        assert_eq!(b.serendipity, 1.0);
+        assert!(b.novelty > 0.0);
+    }
+
+    #[test]
+    fn serendipity_zero_for_in_genre_hits() {
+        struct InGenre;
+        impl Recommender for InGenre {
+            fn name(&self) -> &'static str {
+                "in-genre"
+            }
+            fn fit(&mut self, _t: &Interactions) {}
+            fn score(&self, _u: UserIdx, _b: BookIdx) -> f32 {
+                0.0
+            }
+            fn recommend(&self, _u: UserIdx, _k: usize) -> Vec<u32> {
+                vec![2]
+            }
+            fn rank_all(&self, u: UserIdx) -> Vec<u32> {
+                self.recommend(u, 1)
+            }
+        }
+        let c = corpus();
+        let train = Interactions::from_corpus(&c);
+        let test = [2u32];
+        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let b = evaluate_beyond(&InGenre, &c, &train, &cases, 1);
+        // The hit (book 2, genre 0) is inside the dominant genre.
+        assert_eq!(b.serendipity, 0.0);
+    }
+}

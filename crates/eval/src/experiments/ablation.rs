@@ -1,0 +1,139 @@
+//! Design-choice ablations for the CF model (DESIGN.md §6): the WARP
+//! sampling variant versus plain sigmoid BPR, across latent-factor
+//! budgets. The paper uses WARP on Rendle's BPR objective; this ablation
+//! quantifies what that choice buys on the same corpus.
+
+use super::kpi;
+use crate::harness::Harness;
+use crate::metrics::{default_threads, evaluate_parallel, Kpis};
+use rm_core::bpr::{Bpr, BprConfig, Loss, NegativeSampling};
+use rm_util::report::Table;
+
+/// One (loss, sampling, factors) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Update rule.
+    pub loss: Loss,
+    /// Negative-candidate distribution.
+    pub sampling: NegativeSampling,
+    /// Latent factors.
+    pub factors: usize,
+    /// KPIs at the experiment's k.
+    pub kpis: Kpis,
+    /// Training wall-clock seconds.
+    pub train_seconds: f64,
+}
+
+/// The ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ablation {
+    /// List length.
+    pub k: usize,
+    /// All cells, loss-major.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the ablation over both losses and the given factor counts, with
+/// uniform negative sampling, plus one popularity-sampled WARP cell per
+/// factor count (the implicit-feedback refinement).
+#[must_use]
+pub fn run(harness: &Harness, base: &BprConfig, factor_counts: &[usize], k: usize) -> Ablation {
+    let cases = harness.test_cases();
+    let mut cells = Vec::new();
+    let mut variants: Vec<(Loss, NegativeSampling)> = vec![
+        (Loss::Warp, NegativeSampling::Uniform),
+        (Loss::Bpr, NegativeSampling::Uniform),
+        (Loss::Warp, NegativeSampling::Popularity { alpha: 0.5 }),
+    ];
+    variants.dedup();
+    for (loss, sampling) in variants {
+        for &factors in factor_counts {
+            let mut model = Bpr::new(BprConfig {
+                loss,
+                factors,
+                negative_sampling: sampling,
+                ..base.clone()
+            });
+            let t = harness.fit_timed(&mut model);
+            cells.push(Cell {
+                loss,
+                sampling,
+                factors,
+                kpis: evaluate_parallel(&model, &cases, k, default_threads()),
+                train_seconds: t.as_secs_f64(),
+            });
+        }
+    }
+    Ablation { k, cells }
+}
+
+impl Ablation {
+    /// Renders the ablation matrix.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["loss", "negatives", "L", "URR", "NRR", "R", "FR", "train (s)"]);
+        for cell in &self.cells {
+            t.push_row([
+                match cell.loss {
+                    Loss::Warp => "WARP".to_owned(),
+                    Loss::Bpr => "sigmoid".to_owned(),
+                },
+                match cell.sampling {
+                    NegativeSampling::Uniform => "uniform".to_owned(),
+                    NegativeSampling::Popularity { alpha } => format!("pop^{alpha}"),
+                },
+                cell.factors.to_string(),
+                kpi(cell.kpis.urr),
+                kpi(cell.kpis.nrr),
+                kpi(cell.kpis.recall),
+                format!("{:.0}", cell.kpis.first_rank),
+                format!("{:.2}", cell.train_seconds),
+            ]);
+        }
+        t
+    }
+
+    /// `loss,sampling,factors,urr,nrr,recall,first_rank,train_seconds` CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("loss,sampling,factors,urr,nrr,recall,first_rank,train_seconds\n");
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{:?},{:?},{},{:.6},{:.6},{:.6},{:.2},{:.3}\n",
+                cell.loss, cell.sampling, cell.factors, cell.kpis.urr, cell.kpis.nrr,
+                cell.kpis.recall, cell.kpis.first_rank, cell.train_seconds
+            ));
+        }
+        out
+    }
+
+    /// The best cell of a loss by NRR.
+    #[must_use]
+    pub fn best_of(&self, loss: Loss) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .filter(|c| c.loss == loss)
+            .max_by(|a, b| a.kpis.nrr.partial_cmp(&b.kpis.nrr).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_datagen::Preset;
+
+    #[test]
+    fn ablation_covers_the_grid() {
+        let h = Harness::generate(19, Preset::Tiny);
+        let base = BprConfig { epochs: 5, ..BprConfig::default() };
+        let a = run(&h, &base, &[4, 8], 10);
+        assert_eq!(a.cells.len(), 6);
+        assert!(a.best_of(Loss::Warp).is_some());
+        assert!(a.best_of(Loss::Bpr).is_some());
+        for c in &a.cells {
+            assert!(c.train_seconds > 0.0);
+            assert!((0.0..=1.0).contains(&c.kpis.urr));
+        }
+        assert_eq!(a.table().len(), 6);
+    }
+}

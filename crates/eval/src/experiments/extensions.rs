@@ -1,0 +1,208 @@
+//! Extension experiment: the paper's future-work algorithms and metrics.
+//!
+//! Evaluates the full recommender line-up — the paper's four plus
+//! item-kNN (the classic implicit-CF baseline), the sequential
+//! recommender (Section 7's pointer to sequential recsys), and the CB+CF
+//! hybrid blend — on both the accuracy KPIs and the beyond-accuracy
+//! metrics (diversity, novelty, serendipity, coverage) the paper names as
+//! future evaluation dimensions.
+
+use super::kpi;
+use crate::beyond::{evaluate_beyond, BeyondAccuracy};
+use crate::harness::{Harness, TrainedSuite};
+use crate::metrics::{default_threads, evaluate_parallel, Kpis};
+use rm_core::bpr::Bpr;
+use rm_core::closest::ClosestItems;
+use rm_core::hybrid::Blend;
+use rm_core::item_knn::{ItemKnn, ItemKnnConfig};
+use rm_core::markov::{SequentialConfig, SequentialItems};
+use rm_core::Recommender;
+use rm_dataset::summary::SummaryFields;
+use rm_embed::EncoderConfig;
+use rm_util::report::Table;
+
+/// One recommender's combined accuracy + beyond-accuracy row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Display name.
+    pub name: String,
+    /// Accuracy KPIs at the experiment's k.
+    pub kpis: Kpis,
+    /// Beyond-accuracy metrics at the same k.
+    pub beyond: BeyondAccuracy,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extensions {
+    /// List length.
+    pub k: usize,
+    /// One row per recommender.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the extension line-up. The hybrid blends BPR with Closest Items
+/// at `hybrid_weight` (share of BPR).
+#[must_use]
+pub fn run(harness: &Harness, suite: &TrainedSuite, k: usize, hybrid_weight: f32) -> Extensions {
+    let cases = harness.test_cases();
+    let train = &harness.split.train;
+
+    let mut sequential = SequentialItems::from_corpus(&harness.corpus, SequentialConfig::default());
+    sequential.fit(train);
+
+    let mut item_knn = ItemKnn::new(ItemKnnConfig::default());
+    item_knn.fit(train);
+
+    let mut hybrid = Blend::new(
+        Bpr::new(suite.bpr.config().clone()),
+        ClosestItems::from_corpus(&harness.corpus, SummaryFields::BEST, EncoderConfig::default()),
+        hybrid_weight,
+    );
+    hybrid.fit(train);
+
+    let mut rows = Vec::new();
+    for rec in [
+        &suite.random as &(dyn Recommender + Sync),
+        &suite.most_read,
+        &suite.closest,
+        &suite.bpr,
+        &item_knn,
+        &sequential,
+        &hybrid,
+    ] {
+        rows.push(Row {
+            name: rec.name().to_owned(),
+            kpis: evaluate_parallel(rec, &cases, k, default_threads()),
+            beyond: evaluate_beyond(rec, &harness.corpus, train, &cases, k),
+        });
+    }
+    Extensions { k, rows }
+}
+
+impl Extensions {
+    /// Renders the combined table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new([
+            "",
+            "URR",
+            "NRR",
+            "diversity",
+            "novelty",
+            "serendipity",
+            "coverage",
+        ]);
+        for row in &self.rows {
+            t.push_row([
+                row.name.clone(),
+                kpi(row.kpis.urr),
+                kpi(row.kpis.nrr),
+                kpi(row.beyond.diversity),
+                format!("{:.1}", row.beyond.novelty),
+                kpi(row.beyond.serendipity),
+                kpi(row.beyond.genre_coverage),
+            ]);
+        }
+        t
+    }
+
+    /// `name,urr,nrr,diversity,novelty,serendipity,coverage` CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,urr,nrr,diversity,novelty,serendipity,coverage\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                row.name,
+                row.kpis.urr,
+                row.kpis.nrr,
+                row.beyond.diversity,
+                row.beyond.novelty,
+                row.beyond.serendipity,
+                row.beyond.genre_coverage
+            ));
+        }
+        out
+    }
+
+    /// Row lookup by name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_core::bpr::BprConfig;
+    use rm_datagen::Preset;
+
+    fn quick() -> Extensions {
+        let h = Harness::generate(17, Preset::Tiny);
+        let suite = TrainedSuite::train(
+            &h,
+            BprConfig { factors: 6, epochs: 5, ..BprConfig::default() },
+            SummaryFields::BEST,
+            17,
+        );
+        run(&h, &suite, 10, 0.5)
+    }
+
+    #[test]
+    fn seven_recommenders_evaluated() {
+        let e = quick();
+        assert_eq!(e.rows.len(), 7);
+        assert!(e.row("Sequential Items").is_some());
+        assert!(e.row("Hybrid Blend").is_some());
+        assert!(e.row("Item kNN").is_some());
+    }
+
+    #[test]
+    fn item_knn_beats_random() {
+        let e = quick();
+        assert!(
+            e.row("Item kNN").unwrap().kpis.nrr > e.row("Random Items").unwrap().kpis.nrr,
+            "item-kNN should learn the co-reading structure"
+        );
+    }
+
+    #[test]
+    fn sequential_beats_random() {
+        let e = quick();
+        assert!(
+            e.row("Sequential Items").unwrap().kpis.nrr > e.row("Random Items").unwrap().kpis.nrr,
+            "sequential should learn something"
+        );
+    }
+
+    #[test]
+    fn hybrid_is_competitive_with_components() {
+        let e = quick();
+        let hybrid = e.row("Hybrid Blend").unwrap().kpis.nrr;
+        let best = e.row("BPR").unwrap().kpis.nrr.max(e.row("Closest Items").unwrap().kpis.nrr);
+        assert!(hybrid > 0.5 * best, "hybrid {hybrid} vs best component {best}");
+    }
+
+    #[test]
+    fn popularity_recommender_has_lowest_novelty() {
+        let e = quick();
+        let most_read = e.row("Most Read Items").unwrap().beyond.novelty;
+        let random = e.row("Random Items").unwrap().beyond.novelty;
+        assert!(most_read < random, "MostRead novelty {most_read} vs random {random}");
+    }
+
+    #[test]
+    fn metrics_in_range_and_renderable() {
+        let e = quick();
+        for row in &e.rows {
+            assert!((0.0..=1.0).contains(&row.beyond.diversity), "{}", row.name);
+            assert!((0.0..=1.0).contains(&row.beyond.serendipity), "{}", row.name);
+            assert!((0.0..=1.0 + 1e-9).contains(&row.beyond.genre_coverage), "{}", row.name);
+            assert!(row.beyond.novelty >= 0.0);
+        }
+        assert_eq!(e.table().len(), 7);
+        assert_eq!(e.to_csv().lines().count(), 8);
+    }
+}

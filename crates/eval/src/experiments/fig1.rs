@@ -1,0 +1,88 @@
+//! Fig. 1: CDFs of the readings per user and per book in the merged
+//! corpus (log-scaled x-axis in the paper).
+
+use crate::harness::Harness;
+use rm_util::report::Table;
+use rm_util::stats::Ecdf;
+
+/// The two empirical CDFs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1 {
+    /// CDF of readings per user.
+    pub per_user: Ecdf,
+    /// CDF of readings per book.
+    pub per_book: Ecdf,
+}
+
+/// Computes the figure's series.
+#[must_use]
+pub fn run(harness: &Harness) -> Fig1 {
+    let (per_user, per_book) = rm_dataset::stats::reading_cdfs(&harness.corpus);
+    Fig1 { per_user, per_book }
+}
+
+impl Fig1 {
+    /// A compact quantile table (the full step series goes to CSV).
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["quantile", "readings/user", "readings/book"]);
+        for q in [0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            t.push_row([
+                format!("p{:.0}", q * 100.0),
+                self.per_user.quantile(q).to_string(),
+                self.per_book.quantile(q).to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The full step series: `series,value,cdf` rows for both curves.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,value,cdf\n");
+        for (v, p) in self.per_user.points() {
+            out.push_str(&format!("user,{v},{p:.6}\n"));
+        }
+        for (v, p) in self.per_book.points() {
+            out.push_str(&format!("book,{v},{p:.6}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_datagen::Preset;
+
+    #[test]
+    fn cdfs_cover_the_corpus() {
+        let h = Harness::generate(6, Preset::Tiny);
+        let f = run(&h);
+        assert_eq!(f.per_user.sample_size(), h.corpus.n_users());
+        assert_eq!(f.per_book.sample_size(), h.corpus.n_books());
+        // Tiny preset: min 5 readings/user (applied after book pruning, so
+        // it holds exactly). The book threshold (8) is applied *before*
+        // user pruning in single-pass mode, so final counts can dip below
+        // it — only positivity is guaranteed.
+        assert!(f.per_user.quantile(0.01) >= 5);
+        assert!(f.per_book.quantile(0.01) >= 1);
+    }
+
+    #[test]
+    fn csv_has_both_series() {
+        let h = Harness::generate(6, Preset::Tiny);
+        let csv = run(&h).to_csv();
+        assert!(csv.starts_with("series,value,cdf\n"));
+        assert!(csv.contains("\nbook,"));
+        assert!(csv.lines().count() > 3);
+    }
+
+    #[test]
+    fn table_quantiles_monotone() {
+        let h = Harness::generate(6, Preset::Tiny);
+        let f = run(&h);
+        assert!(f.per_user.quantile(1.0) >= f.per_user.quantile(0.5));
+        assert_eq!(f.table().len(), 6);
+    }
+}

@@ -1,0 +1,154 @@
+//! Fig. 3: URR / NRR (panel a) and Precision / Recall (panel b) as the
+//! number of recommended books k varies from 1 to 50, for Random Items,
+//! Closest Items, and BPR.
+//!
+//! Expected shape: URR, NRR, R grow with k; P decreases with k; BPR above
+//! Closest above Random at every k.
+
+use super::kpi;
+use crate::harness::{Harness, TrainedSuite};
+use crate::metrics::{default_threads, evaluate_at_parallel, Kpis};
+use rm_core::Recommender;
+use rm_util::report::Table;
+
+/// One algorithm's KPI series over k.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display name.
+    pub name: String,
+    /// KPIs, aligned with [`Fig3::ks`].
+    pub kpis: Vec<Kpis>,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3 {
+    /// The evaluated k values.
+    pub ks: Vec<usize>,
+    /// Series for Random, Closest, BPR (paper's panel order).
+    pub series: Vec<Series>,
+}
+
+/// Runs the sweep. `ks` defaults to `[1, 50]` stepped when empty.
+#[must_use]
+pub fn run(harness: &Harness, suite: &TrainedSuite, ks: &[usize]) -> Fig3 {
+    let ks: Vec<usize> = if ks.is_empty() {
+        (1..=50).collect()
+    } else {
+        ks.to_vec()
+    };
+    let cases = harness.test_cases();
+    let series = [
+        &suite.random as &(dyn Recommender + Sync),
+        &suite.closest,
+        &suite.bpr,
+    ]
+    .into_iter()
+    .map(|rec| Series {
+        name: rec.name().to_owned(),
+        kpis: evaluate_at_parallel(rec, &cases, &ks, default_threads()),
+    })
+    .collect();
+    Fig3 { ks, series }
+}
+
+impl Fig3 {
+    /// Renders both panels at a subset of ks.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["algorithm", "k", "URR", "NRR", "P", "R"]);
+        for s in &self.series {
+            for (i, &k) in self.ks.iter().enumerate() {
+                if self.ks.len() > 10 && ![1, 5, 10, 20, 30, 40, 50].contains(&k) {
+                    continue;
+                }
+                let m = &s.kpis[i];
+                t.push_row([
+                    s.name.clone(),
+                    k.to_string(),
+                    kpi(m.urr),
+                    kpi(m.nrr),
+                    kpi(m.precision),
+                    kpi(m.recall),
+                ]);
+            }
+        }
+        t
+    }
+
+    /// Full series CSV: `algorithm,k,urr,nrr,precision,recall`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("algorithm,k,urr,nrr,precision,recall\n");
+        for s in &self.series {
+            for m in &s.kpis {
+                out.push_str(&format!(
+                    "{},{},{:.6},{:.6},{:.6},{:.6}\n",
+                    s.name, m.k, m.urr, m.nrr, m.precision, m.recall
+                ));
+            }
+        }
+        out
+    }
+
+    /// The series of a given algorithm.
+    #[must_use]
+    pub fn series_of(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_core::bpr::BprConfig;
+    use rm_datagen::Preset;
+    use rm_dataset::summary::SummaryFields;
+
+    fn fig() -> Fig3 {
+        let h = Harness::generate(5, Preset::Tiny);
+        let suite = TrainedSuite::train(
+            &h,
+            BprConfig { factors: 8, epochs: 8, ..BprConfig::default() },
+            SummaryFields::BEST,
+            5,
+        );
+        run(&h, &suite, &[1, 5, 10, 20])
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let f = fig();
+        for s in &f.series {
+            for w in s.kpis.windows(2) {
+                assert!(w[1].urr >= w[0].urr - 1e-12, "{}: URR not monotone", s.name);
+                assert!(w[1].nrr >= w[0].nrr - 1e-12, "{}: NRR not monotone", s.name);
+                assert!(w[1].recall >= w[0].recall - 1e-12, "{}: R not monotone", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn has_three_series() {
+        let f = fig();
+        assert_eq!(f.series.len(), 3);
+        assert!(f.series_of("BPR").is_some());
+        assert!(f.series_of("Random Items").is_some());
+        assert!(f.series_of("Closest Items").is_some());
+    }
+
+    #[test]
+    fn fr_constant_across_k() {
+        let f = fig();
+        for s in &f.series {
+            let fr0 = s.kpis[0].first_rank;
+            assert!(s.kpis.iter().all(|m| (m.first_rank - fr0).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn csv_row_count() {
+        let f = fig();
+        assert_eq!(f.to_csv().lines().count(), 1 + 3 * 4);
+    }
+}

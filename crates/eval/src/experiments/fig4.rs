@@ -1,0 +1,144 @@
+//! Fig. 4: NRR on the test set by number of training-set books per user,
+//! at k = 20, for Random, Closest Items, and BPR.
+//!
+//! Bins are equal-population (the paper's: < 8, 8–10, 11–16, 17–100).
+//! Expected shape: every algorithm improves with history (the Random curve
+//! shows the pure test-size effect); Closest Items gains steeply with
+//! history. In the paper, Closest additionally *overtakes* BPR in the top
+//! bin while BPR stays nearly flat; on the synthetic corpus BPR keeps a
+//! lead in every bin — a documented deviation (see EXPERIMENTS.md F4):
+//! synthetic tastes are stationary enough that CF's per-reading accuracy
+//! does not collapse for heavy readers the way the real data's does.
+
+use crate::groups::{equal_population_bins, evaluate_by_bin, BinnedKpis, HistoryBin};
+use crate::harness::{Harness, TrainedSuite};
+use rm_core::Recommender;
+use rm_util::report::Table;
+
+/// One algorithm's per-bin NRR series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display name.
+    pub name: String,
+    /// Per-bin results, aligned with [`Fig4::bins`].
+    pub binned: Vec<BinnedKpis>,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4 {
+    /// The history bins.
+    pub bins: Vec<HistoryBin>,
+    /// Series for Random, Closest, BPR.
+    pub series: Vec<Series>,
+    /// List length (paper: 20).
+    pub k: usize,
+}
+
+/// Runs the experiment with `n_bins` equal-population bins.
+#[must_use]
+pub fn run(harness: &Harness, suite: &TrainedSuite, k: usize, n_bins: usize) -> Fig4 {
+    let cases = harness.test_cases();
+    let histories = harness.test_case_histories();
+    let bins = equal_population_bins(&histories, n_bins);
+    let series = [
+        &suite.random as &(dyn Recommender + Sync),
+        &suite.closest,
+        &suite.bpr,
+    ]
+    .into_iter()
+    .map(|rec| Series {
+        name: rec.name().to_owned(),
+        binned: evaluate_by_bin(rec, &cases, &histories, &bins, k),
+    })
+    .collect();
+    Fig4 { bins, series, k }
+}
+
+impl Fig4 {
+    /// Renders the bar chart's values.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut header = vec!["books in training set".to_owned(), "users".to_owned()];
+        header.extend(self.series.iter().map(|s| format!("NRR {}", s.name)));
+        let mut t = Table::new(header);
+        for (i, bin) in self.bins.iter().enumerate() {
+            let mut row = vec![bin.label(i == 0), self.series[0].binned[i].n_users.to_string()];
+            row.extend(
+                self.series
+                    .iter()
+                    .map(|s| format!("{:.2}", s.binned[i].kpis.nrr)),
+            );
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// `algorithm,bin_lo,bin_hi,n_users,nrr` CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("algorithm,bin_lo,bin_hi,n_users,nrr\n");
+        for s in &self.series {
+            for b in &s.binned {
+                out.push_str(&format!(
+                    "{},{},{},{},{:.6}\n",
+                    s.name, b.bin.lo, b.bin.hi, b.n_users, b.kpis.nrr
+                ));
+            }
+        }
+        out
+    }
+
+    /// The series of a given algorithm.
+    #[must_use]
+    pub fn series_of(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_core::bpr::BprConfig;
+    use rm_datagen::Preset;
+    use rm_dataset::summary::SummaryFields;
+
+    fn fig() -> Fig4 {
+        let h = Harness::generate(9, Preset::Tiny);
+        let suite = TrainedSuite::train(
+            &h,
+            BprConfig { factors: 8, epochs: 8, ..BprConfig::default() },
+            SummaryFields::BEST,
+            5,
+        );
+        run(&h, &suite, 10, 3)
+    }
+
+    #[test]
+    fn bins_partition_all_users() {
+        let f = fig();
+        let total_users: usize = f.series[0].binned.iter().map(|b| b.n_users).sum();
+        let h = Harness::generate(9, Preset::Tiny);
+        assert_eq!(total_users, h.test_cases().len());
+    }
+
+    #[test]
+    fn three_series_same_bins() {
+        let f = fig();
+        assert_eq!(f.series.len(), 3);
+        for s in &f.series {
+            assert_eq!(s.binned.len(), f.bins.len());
+            for (b, bin) in s.binned.iter().zip(&f.bins) {
+                assert_eq!(&b.bin, bin);
+            }
+        }
+    }
+
+    #[test]
+    fn table_and_csv_render() {
+        let f = fig();
+        assert_eq!(f.table().len(), f.bins.len());
+        let csv = f.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 3 * f.bins.len());
+    }
+}

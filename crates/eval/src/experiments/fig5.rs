@@ -1,0 +1,150 @@
+//! Fig. 5: Closest Items KPIs at k = 20 as the *metadata summary*
+//! composition varies (Section 6.2).
+//!
+//! Paper's finding, in order of quality: title ≈ random < plot ≈ keywords
+//! < authors < authors+genres (best); adding keywords to the best combo
+//! slightly hurts.
+
+use super::kpi;
+use crate::harness::Harness;
+use crate::metrics::{default_threads, evaluate_parallel, Kpis};
+use rm_core::closest::ClosestItems;
+use rm_core::Recommender;
+use rm_dataset::summary::SummaryFields;
+use rm_embed::EncoderConfig;
+use rm_util::report::Table;
+
+/// The default variant list: the paper's Fig. 5 bars plus the
+/// authors+genres+keywords combination discussed in the text.
+#[must_use]
+pub fn paper_variants() -> Vec<SummaryFields> {
+    vec![
+        SummaryFields::TITLE,
+        SummaryFields::PLOT,
+        SummaryFields::KEYWORDS,
+        SummaryFields::AUTHORS,
+        SummaryFields::GENRES,
+        SummaryFields::AUTHORS.with(SummaryFields::GENRES),
+        SummaryFields::AUTHORS
+            .with(SummaryFields::GENRES)
+            .with(SummaryFields::KEYWORDS),
+    ]
+}
+
+/// One variant's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The metadata fields.
+    pub fields: SummaryFields,
+    /// KPIs at the experiment's k.
+    pub kpis: Kpis,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5 {
+    /// List length (paper: 20).
+    pub k: usize,
+    /// One row per variant, in input order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the ablation: builds, fits, and evaluates one Closest Items
+/// instance per variant. Each variant re-fits its own IDF model, exactly
+/// as a fresh deployment of that summary would.
+#[must_use]
+pub fn run(harness: &Harness, variants: &[SummaryFields], k: usize) -> Fig5 {
+    let cases = harness.test_cases();
+    let rows = variants
+        .iter()
+        .map(|&fields| {
+            let mut ci = ClosestItems::from_corpus(&harness.corpus, fields, EncoderConfig::default());
+            ci.fit(&harness.split.train);
+            Row {
+                fields,
+                kpis: evaluate_parallel(&ci, &cases, k, default_threads()),
+            }
+        })
+        .collect();
+    Fig5 { k, rows }
+}
+
+impl Fig5 {
+    /// Renders the grouped-bar values.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["metadata summary", "URR", "NRR", "P", "R", "FR"]);
+        for row in &self.rows {
+            t.push_row([
+                row.fields.label(),
+                kpi(row.kpis.urr),
+                kpi(row.kpis.nrr),
+                kpi(row.kpis.precision),
+                kpi(row.kpis.recall),
+                format!("{:.0}", row.kpis.first_rank),
+            ]);
+        }
+        t
+    }
+
+    /// `summary,urr,nrr,precision,recall,first_rank` CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("summary,urr,nrr,precision,recall,first_rank\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6},{:.2}\n",
+                row.fields.label(),
+                row.kpis.urr,
+                row.kpis.nrr,
+                row.kpis.precision,
+                row.kpis.recall,
+                row.kpis.first_rank
+            ));
+        }
+        out
+    }
+
+    /// The row of a given field combination.
+    #[must_use]
+    pub fn row(&self, fields: SummaryFields) -> Option<&Row> {
+        self.rows.iter().find(|r| r.fields == fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_datagen::Preset;
+
+    fn fig() -> Fig5 {
+        let h = Harness::generate(12, Preset::Tiny);
+        run(&h, &paper_variants(), 10)
+    }
+
+    #[test]
+    fn all_variants_evaluated() {
+        let f = fig();
+        assert_eq!(f.rows.len(), 7);
+        assert!(f.row(SummaryFields::BEST).is_some());
+    }
+
+    #[test]
+    fn authors_beat_title() {
+        let f = fig();
+        let title = f.row(SummaryFields::TITLE).unwrap().kpis.nrr;
+        let authors = f.row(SummaryFields::AUTHORS).unwrap().kpis.nrr;
+        assert!(
+            authors > title,
+            "authors NRR {authors} should beat title NRR {title}"
+        );
+    }
+
+    #[test]
+    fn table_lists_labels() {
+        let f = fig();
+        let s = f.table().render();
+        assert!(s.contains("authors+genres"));
+        assert!(s.contains("title"));
+    }
+}

@@ -1,0 +1,84 @@
+//! The §6 hyper-parameter grid search: latent factors × learning rate,
+//! selected by URR on the validation set.
+//!
+//! The paper reports L = 20 and learning rate 0.2 as the winning point.
+//! Validation URR is computed over the BCT users' validation books (the
+//! recommendation targets), at the application's k = 20.
+
+use crate::harness::Harness;
+use crate::metrics::{default_threads, evaluate_parallel, validation_cases};
+use rm_core::bpr::BprConfig;
+use rm_core::grid::{GridOutcome, GridSearch};
+use rm_dataset::corpus::Source;
+use rm_util::report::Table;
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridExperiment {
+    /// The underlying sweep outcome.
+    pub outcome: GridOutcome,
+    /// The k at which validation URR was computed.
+    pub k: usize,
+}
+
+/// Runs the sweep.
+#[must_use]
+pub fn run(harness: &Harness, grid: &GridSearch, base: &BprConfig, k: usize) -> GridExperiment {
+    // Validation cases restricted to BCT users (the targets).
+    let all_cases = validation_cases(&harness.split);
+    let cases: Vec<_> = all_cases
+        .into_iter()
+        .filter(|c| harness.corpus.users[c.user.index()].source == Source::Bct)
+        .collect();
+    let outcome = grid.run(base, &harness.split.train, |bpr| {
+        evaluate_parallel(bpr, &cases, k, default_threads()).urr
+    });
+    GridExperiment { outcome, k }
+}
+
+impl GridExperiment {
+    /// Renders the sweep matrix.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["latent factors", "learning rate", "validation URR"]);
+        for p in &self.outcome.points {
+            t.push_row([
+                p.factors.to_string(),
+                format!("{}", p.learning_rate),
+                format!("{:.4}", p.score),
+            ]);
+        }
+        t
+    }
+
+    /// `factors,learning_rate,urr` CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("factors,learning_rate,urr\n");
+        for p in &self.outcome.points {
+            out.push_str(&format!("{},{},{:.6}\n", p.factors, p.learning_rate, p.score));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_datagen::Preset;
+
+    #[test]
+    fn sweep_selects_a_point() {
+        let h = Harness::generate(13, Preset::Tiny);
+        let grid = GridSearch {
+            factors: vec![4, 8],
+            learning_rates: vec![0.1, 0.2],
+        };
+        let base = BprConfig { epochs: 4, ..BprConfig::default() };
+        let e = run(&h, &grid, &base, 10);
+        assert_eq!(e.outcome.points.len(), 4);
+        assert!(grid.factors.contains(&e.outcome.best.factors));
+        assert!(e.outcome.points.iter().all(|p| (0.0..=1.0).contains(&p.score)));
+        assert_eq!(e.table().len(), 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! One runner per table / figure of the paper's evaluation (Section 6).
+//!
+//! Each module produces a structured result plus `render()` (the
+//! human-readable table the paper prints) and `to_csv()` (the
+//! machine-readable series a plot would consume). The `repro-*` binaries
+//! in `rm-bench` are thin wrappers around these runners.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table1`] | Table 1 — KPIs of all recommenders at k = 20 |
+//! | [`table2`] | Table 2 — training / recommendation wall-clock time |
+//! | [`fig1`] | Fig. 1 — CDFs of readings per user and per book |
+//! | [`fig2`] | Fig. 2 — genre shares of readings |
+//! | [`fig3`] | Fig. 3 — KPIs versus list length k |
+//! | [`fig4`] | Fig. 4 — NRR by training-history bin |
+//! | [`fig5`] | Fig. 5 — KPIs by metadata-summary composition |
+//! | [`grid`] | §6 ¶1 — BPR hyper-parameter grid search |
+//! | [`ablation`] | extension — WARP-vs-sigmoid loss and factor-count ablation |
+//! | [`extensions`] | extension — future-work algorithms and beyond-accuracy metrics |
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod grid;
+pub mod table1;
+pub mod table2;
+
+use rm_util::report::fmt_f64;
+
+/// Formats a KPI cell at the paper's two-decimal precision.
+#[must_use]
+pub(crate) fn kpi(v: f64) -> String {
+    fmt_f64(v, 2)
+}

@@ -1,0 +1,144 @@
+//! Table 1: URR / NRR / P / R / FR of every recommender at k = 20.
+//!
+//! Paper's reference values (k = 20):
+//!
+//! | | URR | NRR | P | R | FR |
+//! |---|---|---|---|---|---|
+//! | Random Items | 0.07 | 0.07 | 0.00 | 0.01 | 370 |
+//! | Most Read Items | 0.03 | 0.03 | 0.00 | 0.01 | 556 |
+//! | Closest Items | 0.22 | 0.29 | 0.01 | 0.05 | 186 |
+//! | BPR | 0.26 | 0.35 | 0.02 | 0.08 | 130 |
+//! | BPR (BCT only) | 0.15 | 0.17 | 0.01 | 0.04 | 298 |
+//!
+//! The target *shape*: MostRead ≤ Random ≪ Closest < BPR, and BPR trained
+//! on BCT users alone well below full BPR.
+
+use super::kpi;
+use crate::harness::{Harness, TrainedSuite};
+use crate::metrics::{default_threads, evaluate_parallel, Kpis};
+use rm_core::bpr::BprConfig;
+use rm_core::Recommender;
+use rm_util::report::Table;
+
+/// One recommender's row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Display name.
+    pub name: String,
+    /// KPIs at the experiment's k.
+    pub kpis: Kpis,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Recommendation list length (paper: 20).
+    pub k: usize,
+    /// Rows in the paper's order.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment: evaluates the trained suite plus the BCT-only BPR
+/// variant at `k`.
+#[must_use]
+pub fn run(harness: &Harness, suite: &TrainedSuite, bct_only_config: BprConfig, k: usize) -> Table1 {
+    let cases = harness.test_cases();
+    let mut rows: Vec<Row> = [
+        (&suite.random as &(dyn Recommender + Sync)),
+        &suite.most_read,
+        &suite.closest,
+        &suite.bpr,
+    ]
+    .into_iter()
+    .map(|rec| Row {
+        name: rec.name().to_owned(),
+        kpis: evaluate_parallel(rec, &cases, k, default_threads()),
+    })
+    .collect();
+
+    let (bct_bpr, bct_cases) = harness.bct_only_bpr(bct_only_config);
+    rows.push(Row {
+        name: "BPR (BCT only)".to_owned(),
+        kpis: evaluate_parallel(&bct_bpr, &bct_cases, k, default_threads()),
+    });
+
+    Table1 { k, rows }
+}
+
+impl Table1 {
+    /// Renders the paper-style table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["", "URR", "NRR", "P", "R", "FR"]);
+        for row in &self.rows {
+            t.push_row([
+                row.name.clone(),
+                kpi(row.kpis.urr),
+                kpi(row.kpis.nrr),
+                kpi(row.kpis.precision),
+                kpi(row.kpis.recall),
+                format!("{:.0}", row.kpis.first_rank),
+            ]);
+        }
+        t
+    }
+
+    /// Fetches a row by name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_datagen::Preset;
+    use rm_dataset::summary::SummaryFields;
+
+    fn quick() -> Table1 {
+        let h = Harness::generate(3, Preset::Tiny);
+        let config = BprConfig { factors: 8, epochs: 8, ..BprConfig::default() };
+        let suite = TrainedSuite::train(&h, config.clone(), SummaryFields::BEST, 5);
+        run(&h, &suite, config, 10)
+    }
+
+    #[test]
+    fn has_all_five_rows() {
+        let t = quick();
+        let names: Vec<&str> = t.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Random Items", "Most Read Items", "Closest Items", "BPR", "BPR (BCT only)"]
+        );
+    }
+
+    #[test]
+    fn kpis_in_valid_ranges() {
+        let t = quick();
+        for row in &t.rows {
+            assert!((0.0..=1.0).contains(&row.kpis.urr), "{}: {:?}", row.name, row.kpis);
+            assert!(row.kpis.nrr >= row.kpis.urr - 1e-12, "NRR >= URR by definition");
+            assert!((0.0..=1.0).contains(&row.kpis.precision));
+            assert!((0.0..=1.0).contains(&row.kpis.recall));
+            assert!(row.kpis.first_rank >= 1.0);
+            assert!(row.kpis.n_users > 0);
+        }
+    }
+
+    #[test]
+    fn renders_paper_shape() {
+        let t = quick();
+        let rendered = t.table().render();
+        assert!(rendered.contains("URR"));
+        assert!(rendered.contains("BPR (BCT only)"));
+        assert_eq!(rendered.lines().count(), 2 + 5);
+    }
+
+    #[test]
+    fn row_lookup() {
+        let t = quick();
+        assert!(t.row("BPR").is_some());
+        assert!(t.row("nope").is_none());
+    }
+}

@@ -1,0 +1,407 @@
+//! The five KPIs of Section 5.
+//!
+//! All KPIs average over the evaluation users (BCT users with a non-empty
+//! test set). One full ranking per user serves every KPI and every `k`
+//! simultaneously:
+//!
+//! * **URR** (Eq. 4) — fraction of users with ≥ 1 relevant book in their
+//!   top-k;
+//! * **NRR** (Eq. 5) — mean number of relevant books in the top-k;
+//! * **Precision** (Eq. 6) — mean `|T_u ∩ R_u| / |R_u|`;
+//! * **Recall** (Eq. 7) — mean `|T_u ∩ R_u| / |T_u|`;
+//! * **FR** — mean rank (1-based) of the first relevant book over the full
+//!   ranking; independent of `k`. A user none of whose test books appear
+//!   in the ranking contributes `catalogue size` (cannot happen with the
+//!   in-tree recommenders, whose rankings cover all unseen books, but the
+//!   sentinel keeps the metric total).
+
+use crate::split::Split;
+use rm_core::Recommender;
+use rm_dataset::ids::UserIdx;
+
+/// One evaluation case: a user (in the recommender's index space) plus
+/// their sorted test books.
+#[derive(Debug, Clone)]
+pub struct UserCase<'a> {
+    /// User index *in the recommender's training matrix*.
+    pub user: UserIdx,
+    /// The user's test books, sorted ascending.
+    pub test: &'a [u32],
+}
+
+/// The KPI values at one `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kpis {
+    /// Recommendation list length.
+    pub k: usize,
+    /// Users with Relevant Recommendations (Eq. 4).
+    pub urr: f64,
+    /// Average Number of Relevant Recommendations (Eq. 5).
+    pub nrr: f64,
+    /// Precision (Eq. 6).
+    pub precision: f64,
+    /// Recall (Eq. 7).
+    pub recall: f64,
+    /// Average First Rank position (1-based; k-independent).
+    pub first_rank: f64,
+    /// Number of users evaluated.
+    pub n_users: usize,
+}
+
+/// Partial KPI sums over a chunk of users; combined across chunks by the
+/// parallel evaluator.
+#[derive(Debug, Clone)]
+struct Accumulator {
+    per_k_hits: Vec<u64>,
+    per_k_users_hit: Vec<u64>,
+    per_k_precision: Vec<f64>,
+    per_k_recall: Vec<f64>,
+    first_rank_sum: f64,
+    n_users: usize,
+}
+
+impl Accumulator {
+    fn new(n_ks: usize) -> Self {
+        Self {
+            per_k_hits: vec![0; n_ks],
+            per_k_users_hit: vec![0; n_ks],
+            per_k_precision: vec![0.0; n_ks],
+            per_k_recall: vec![0.0; n_ks],
+            first_rank_sum: 0.0,
+            n_users: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (a, b) in self.per_k_hits.iter_mut().zip(&other.per_k_hits) {
+            *a += b;
+        }
+        for (a, b) in self.per_k_users_hit.iter_mut().zip(&other.per_k_users_hit) {
+            *a += b;
+        }
+        for (a, b) in self.per_k_precision.iter_mut().zip(&other.per_k_precision) {
+            *a += b;
+        }
+        for (a, b) in self.per_k_recall.iter_mut().zip(&other.per_k_recall) {
+            *a += b;
+        }
+        self.first_rank_sum += other.first_rank_sum;
+        self.n_users += other.n_users;
+    }
+
+    fn into_kpis(self, ks: &[usize]) -> Vec<Kpis> {
+        let denom = self.n_users.max(1) as f64;
+        ks.iter()
+            .enumerate()
+            .map(|(ki, &k)| Kpis {
+                k,
+                urr: self.per_k_users_hit[ki] as f64 / denom,
+                nrr: self.per_k_hits[ki] as f64 / denom,
+                precision: self.per_k_precision[ki] / denom,
+                recall: self.per_k_recall[ki] / denom,
+                first_rank: self.first_rank_sum / denom,
+                n_users: self.n_users,
+            })
+            .collect()
+    }
+}
+
+/// One ranking pass per user over a chunk of cases.
+fn accumulate(rec: &dyn Recommender, cases: &[UserCase<'_>], ks: &[usize]) -> Accumulator {
+    let max_k = *ks.iter().max().expect("non-empty ks");
+    let mut acc = Accumulator::new(ks.len());
+
+    for case in cases {
+        if case.test.is_empty() {
+            continue;
+        }
+        acc.n_users += 1;
+        let ranking = rec.rank_all(case.user);
+        // First relevant rank + cumulative hit counts at each position up
+        // to max_k.
+        let mut first_rank: Option<usize> = None;
+        let mut hits_at = vec![0u32; max_k + 1];
+        let mut hits = 0u32;
+        for (pos, &b) in ranking.iter().enumerate() {
+            let relevant = case.test.binary_search(&b).is_ok();
+            if relevant && first_rank.is_none() {
+                first_rank = Some(pos + 1);
+            }
+            if pos < max_k {
+                if relevant {
+                    hits += 1;
+                }
+                hits_at[pos + 1] = hits;
+            } else if first_rank.is_some() {
+                break;
+            }
+        }
+        acc.first_rank_sum += first_rank.unwrap_or(ranking.len().max(1)) as f64;
+
+        for (ki, &k) in ks.iter().enumerate() {
+            let reach = k.min(ranking.len());
+            let h = u64::from(hits_at[reach.min(max_k)]);
+            acc.per_k_hits[ki] += h;
+            if h > 0 {
+                acc.per_k_users_hit[ki] += 1;
+            }
+            if reach > 0 {
+                acc.per_k_precision[ki] += h as f64 / reach as f64;
+            }
+            acc.per_k_recall[ki] += h as f64 / case.test.len() as f64;
+        }
+    }
+    acc
+}
+
+/// Evaluates a recommender at several `k` values with one ranking pass per
+/// user. `ks` must be non-empty; cases with an empty test set are skipped.
+#[must_use]
+pub fn evaluate_at(rec: &dyn Recommender, cases: &[UserCase<'_>], ks: &[usize]) -> Vec<Kpis> {
+    assert!(!ks.is_empty(), "need at least one k");
+    accumulate(rec, cases, ks).into_kpis(ks)
+}
+
+/// Parallel [`evaluate_at`]: users are split across `threads` chunks and
+/// each chunk is evaluated on its own thread. URR and NRR are bit-identical
+/// to the serial version (integer sums); precision/recall/first-rank agree
+/// up to floating-point summation order. Deterministic: chunking and the
+/// merge order are fixed.
+///
+/// # Panics
+///
+/// Panics if `ks` is empty or `threads == 0`.
+#[must_use]
+pub fn evaluate_at_parallel(
+    rec: &(dyn Recommender + Sync),
+    cases: &[UserCase<'_>],
+    ks: &[usize],
+    threads: usize,
+) -> Vec<Kpis> {
+    assert!(!ks.is_empty(), "need at least one k");
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || cases.len() < 2 * threads {
+        return evaluate_at(rec, cases, ks);
+    }
+    let chunk = cases.len().div_ceil(threads);
+    let partials: Vec<Accumulator> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cases
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || accumulate(rec, slice, ks)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("evaluator thread panicked")).collect()
+    });
+    let mut total = Accumulator::new(ks.len());
+    for p in &partials {
+        total.merge(p);
+    }
+    total.into_kpis(ks)
+}
+
+/// Evaluates at a single `k`.
+#[must_use]
+pub fn evaluate(rec: &dyn Recommender, cases: &[UserCase<'_>], k: usize) -> Kpis {
+    evaluate_at(rec, cases, &[k])[0]
+}
+
+/// Parallel [`evaluate`].
+#[must_use]
+pub fn evaluate_parallel(
+    rec: &(dyn Recommender + Sync),
+    cases: &[UserCase<'_>],
+    k: usize,
+    threads: usize,
+) -> Kpis {
+    evaluate_at_parallel(rec, cases, &[k], threads)[0]
+}
+
+/// The machine's available parallelism (1 when unknown).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Builds the standard evaluation cases from a split: every user with a
+/// non-empty test set, identified in the full corpus index space.
+#[must_use]
+pub fn test_cases(split: &Split) -> Vec<UserCase<'_>> {
+    split
+        .test
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_empty())
+        .map(|(u, t)| UserCase {
+            user: UserIdx(u as u32),
+            test: t,
+        })
+        .collect()
+}
+
+/// Builds validation cases (used by the grid search, which selects by
+/// validation URR).
+#[must_use]
+pub fn validation_cases(split: &Split) -> Vec<UserCase<'_>> {
+    split
+        .validation
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(u, v)| UserCase {
+            user: UserIdx(u as u32),
+            test: v,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_dataset::ids::BookIdx;
+    use rm_dataset::interactions::Interactions;
+
+    /// A recommender with a fixed global ranking (book 0 best), excluding
+    /// seen books.
+    struct FixedRanking {
+        train: Interactions,
+    }
+
+    impl Recommender for FixedRanking {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn fit(&mut self, _train: &Interactions) {}
+        fn score(&self, _u: UserIdx, b: BookIdx) -> f32 {
+            -(b.0 as f32)
+        }
+        fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
+            let seen = self.train.seen(user);
+            (0..self.train.n_books() as u32)
+                .filter(|b| seen.binary_search(b).is_err())
+                .take(k)
+                .collect()
+        }
+        fn rank_all(&self, user: UserIdx) -> Vec<u32> {
+            self.recommend(user, self.train.n_books())
+        }
+    }
+
+    fn rec() -> FixedRanking {
+        FixedRanking {
+            train: Interactions::from_pairs(2, 10, &[(UserIdx(0), BookIdx(0))]),
+        }
+    }
+
+    #[test]
+    fn kpis_hand_computed() {
+        // User 0: seen {0}, ranking = 1..9. Test {2, 9}.
+        // k=3 → recs {1,2,3}: hits 1; first relevant rank = 2.
+        let r = rec();
+        let test = [2u32, 9];
+        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let k3 = evaluate(&r, &cases, 3);
+        assert_eq!(k3.n_users, 1);
+        assert_eq!(k3.urr, 1.0);
+        assert_eq!(k3.nrr, 1.0);
+        assert!((k3.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((k3.recall - 0.5).abs() < 1e-12);
+        assert_eq!(k3.first_rank, 2.0);
+    }
+
+    #[test]
+    fn k1_miss_counts_zero() {
+        let r = rec();
+        let test = [2u32];
+        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let k1 = evaluate(&r, &cases, 1);
+        assert_eq!(k1.urr, 0.0);
+        assert_eq!(k1.nrr, 0.0);
+        assert_eq!(k1.precision, 0.0);
+        assert_eq!(k1.recall, 0.0);
+        assert_eq!(k1.first_rank, 2.0); // FR ignores k
+    }
+
+    #[test]
+    fn multi_k_consistent_with_single_k() {
+        let r = rec();
+        let test = [2u32, 5, 9];
+        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let multi = evaluate_at(&r, &cases, &[1, 3, 5, 9]);
+        for kpi in &multi {
+            let single = evaluate(&r, &cases, kpi.k);
+            assert_eq!(kpi, &single, "k = {}", kpi.k);
+        }
+    }
+
+    #[test]
+    fn averaging_over_users() {
+        let r = rec();
+        let t0 = [1u32]; // hit at rank 1 for user 0
+        let t1 = [9u32]; // user 1 (nothing seen): rank of 9 is 10
+        let cases = [
+            UserCase { user: UserIdx(0), test: &t0 },
+            UserCase { user: UserIdx(1), test: &t1 },
+        ];
+        let k = evaluate(&r, &cases, 1);
+        assert_eq!(k.n_users, 2);
+        assert_eq!(k.urr, 0.5);
+        assert_eq!(k.nrr, 0.5);
+        assert_eq!(k.first_rank, (1.0 + 10.0) / 2.0);
+    }
+
+    #[test]
+    fn empty_test_users_skipped() {
+        let r = rec();
+        let t: [u32; 0] = [];
+        let t1 = [1u32];
+        let cases = [
+            UserCase { user: UserIdx(0), test: &t },
+            UserCase { user: UserIdx(1), test: &t1 },
+        ];
+        let k = evaluate(&r, &cases, 5);
+        assert_eq!(k.n_users, 1);
+        assert_eq!(k.urr, 1.0);
+    }
+
+    #[test]
+    fn urr_bounded_by_one_nrr_by_test_size() {
+        let r = rec();
+        let test = [1u32, 2, 3];
+        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let k = evaluate(&r, &cases, 9);
+        assert_eq!(k.urr, 1.0);
+        assert_eq!(k.nrr, 3.0);
+        assert_eq!(k.recall, 1.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let r = rec();
+        let tests: Vec<Vec<u32>> = (0..40)
+            .map(|i| vec![1 + (i % 5) as u32, 6 + (i % 3) as u32])
+            .collect();
+        let cases: Vec<UserCase<'_>> = tests
+            .iter()
+            .map(|t| UserCase { user: UserIdx(1), test: t })
+            .collect();
+        let ks = [1usize, 3, 7];
+        let serial = evaluate_at(&r, &cases, &ks);
+        for threads in [1usize, 2, 4, 7] {
+            let parallel = evaluate_at_parallel(&r, &cases, &ks, threads);
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.urr, p.urr, "threads {threads}");
+                assert_eq!(s.nrr, p.nrr, "threads {threads}");
+                assert!((s.precision - p.precision).abs() < 1e-12);
+                assert!((s.recall - p.recall).abs() < 1e-12);
+                assert!((s.first_rank - p.first_rank).abs() < 1e-9);
+                assert_eq!(s.n_users, p.n_users);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one k")]
+    fn empty_ks_rejected() {
+        let r = rec();
+        let _ = evaluate_at(&r, &[], &[]);
+    }
+}

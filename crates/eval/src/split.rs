@@ -1,0 +1,305 @@
+//! Per-user train / validation / test splits (Section 5).
+//!
+//! "We use 20 % of the readings of each BCT user as test set. The remaining
+//! part is further split into training and validation (80 % and 20 % of the
+//! remaining readings for each user, respectively). All the Anobii data are
+//! used for training (80 %) and validation (20 %), without a test set."
+//!
+//! Rounding rules (documented once, applied everywhere): per user,
+//! `n_test = max(1, round(0.2·n))` for BCT users (so every evaluation
+//! target has at least one test book), then `n_val = round(0.2·(n −
+//! n_test))` (possibly 0), rest train. Assignment is a seeded per-user
+//! shuffle, so splits are stable under changes elsewhere in the corpus.
+
+use rm_dataset::corpus::{Corpus, Source};
+use rm_dataset::ids::UserIdx;
+use rm_dataset::interactions::Interactions;
+use rand::seq::SliceRandom;
+use rm_util::rng::SeedTree;
+
+/// How readings are assigned to the three parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// Seeded per-user shuffle (the paper's protocol — its split is not
+    /// described as chronological).
+    #[default]
+    Random,
+    /// Chronological: each user's *latest* readings become test, the
+    /// latest of the remainder validation. The right protocol for
+    /// sequential recommenders, which must not peek at the future.
+    Temporal,
+}
+
+/// Split fractions + seed. Defaults are the paper's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitConfig {
+    /// Fraction of each BCT user's readings held out for test.
+    pub test_fraction: f64,
+    /// Fraction of the *remaining* readings held out for validation.
+    pub validation_fraction: f64,
+    /// Assignment strategy.
+    pub strategy: SplitStrategy,
+    /// Shuffle seed (unused by the temporal strategy except for date
+    /// ties, which keep corpus order).
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self {
+            test_fraction: 0.2,
+            validation_fraction: 0.2,
+            strategy: SplitStrategy::Random,
+            seed: 0xD15C0,
+        }
+    }
+}
+
+/// The materialised split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training interactions over all users.
+    pub train: Interactions,
+    /// Per-user validation books (sorted).
+    pub validation: Vec<Vec<u32>>,
+    /// Per-user test books (sorted; empty for Anobii users).
+    pub test: Vec<Vec<u32>>,
+}
+
+impl Split {
+    /// Splits a corpus.
+    #[must_use]
+    pub fn of_corpus(corpus: &Corpus, config: &SplitConfig) -> Self {
+        let tree = SeedTree::new(config.seed);
+        let by_user = corpus.readings_by_user();
+        let n_users = corpus.n_users();
+        let mut train_pairs: Vec<(UserIdx, rm_dataset::ids::BookIdx)> = Vec::new();
+        let mut validation = vec![Vec::new(); n_users];
+        let mut test = vec![Vec::new(); n_users];
+
+        for (u, readings) in by_user.iter().enumerate() {
+            // Order determines assignment: the *last* positions become
+            // test. Random strategy shuffles; temporal sorts by date so
+            // the latest readings are held out.
+            let books: Vec<u32> = match config.strategy {
+                SplitStrategy::Random => {
+                    let mut books: Vec<u32> = readings.iter().map(|r| r.book.0).collect();
+                    let mut rng = tree.child_idx(u as u64).rng();
+                    books.shuffle(&mut rng);
+                    books
+                }
+                SplitStrategy::Temporal => {
+                    let mut dated: Vec<(u32, u32)> =
+                        readings.iter().map(|r| (r.date.0, r.book.0)).collect();
+                    dated.sort_unstable();
+                    // Reverse so the latest readings sit at the front
+                    // (the positions the test split takes).
+                    dated.into_iter().rev().map(|(_, b)| b).collect()
+                }
+            };
+            let n = books.len();
+
+            let is_bct = corpus.users[u].source == Source::Bct;
+            let n_test = if is_bct && n > 0 {
+                ((n as f64 * config.test_fraction).round() as usize).clamp(1, n.saturating_sub(1).max(1))
+            } else {
+                0
+            };
+            let remaining = n - n_test;
+            let n_val = (remaining as f64 * config.validation_fraction).round() as usize;
+            let n_val = n_val.min(remaining.saturating_sub(1));
+
+            for (pos, &b) in books.iter().enumerate() {
+                if pos < n_test {
+                    test[u].push(b);
+                } else if pos < n_test + n_val {
+                    validation[u].push(b);
+                } else {
+                    train_pairs.push((UserIdx(u as u32), rm_dataset::ids::BookIdx(b)));
+                }
+            }
+            test[u].sort_unstable();
+            validation[u].sort_unstable();
+        }
+
+        Self {
+            train: Interactions::from_pairs(n_users, corpus.n_books(), &train_pairs),
+            validation,
+            test,
+        }
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.train.n_users()
+    }
+
+    /// Number of books.
+    #[must_use]
+    pub fn n_books(&self) -> usize {
+        self.train.n_books()
+    }
+
+    /// Total readings across the three parts.
+    #[must_use]
+    pub fn total_readings(&self) -> usize {
+        self.train.nnz()
+            + self.validation.iter().map(Vec::len).sum::<usize>()
+            + self.test.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Users with a non-empty test set (the evaluation targets).
+    #[must_use]
+    pub fn test_users(&self) -> Vec<UserIdx> {
+        self.test
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(u, _)| UserIdx(u as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_dataset::corpus::{Book, Reading, User};
+    use rm_dataset::genre::GenreModel;
+    use rm_dataset::ids::{AnobiiItemId, BctBookId, BookIdx, Day};
+
+    /// A corpus with one BCT user (20 readings) and one Anobii user (10).
+    fn corpus() -> Corpus {
+        let books: Vec<Book> = (0..30)
+            .map(|i| Book {
+                title: format!("B{i}"),
+                authors: vec!["A".into()],
+                plot: String::new(),
+                keywords: vec![],
+                genres: vec![],
+                bct_id: BctBookId(i),
+                anobii_id: AnobiiItemId(i),
+            })
+            .collect();
+        let users = vec![
+            User { source: Source::Bct, raw_id: 0 },
+            User { source: Source::Anobii, raw_id: 1 },
+        ];
+        let mut readings = Vec::new();
+        for b in 0..20u32 {
+            readings.push(Reading { user: UserIdx(0), book: BookIdx(b), date: Day(b) });
+        }
+        for b in 20..30u32 {
+            readings.push(Reading { user: UserIdx(1), book: BookIdx(b), date: Day(b) });
+        }
+        Corpus { books, users, readings, genre_model: GenreModel::identity() }
+    }
+
+    #[test]
+    fn fractions_match_paper() {
+        let split = Split::of_corpus(&corpus(), &SplitConfig::default());
+        // BCT user: 20 readings → 4 test, 16 remaining → 3 val (round 3.2),
+        // 13 train.
+        assert_eq!(split.test[0].len(), 4);
+        assert_eq!(split.validation[0].len(), 3);
+        assert_eq!(split.train.seen(UserIdx(0)).len(), 13);
+        // Anobii user: 10 readings → 0 test, 2 val, 8 train.
+        assert_eq!(split.test[1].len(), 0);
+        assert_eq!(split.validation[1].len(), 2);
+        assert_eq!(split.train.seen(UserIdx(1)).len(), 8);
+    }
+
+    #[test]
+    fn parts_are_disjoint_and_complete() {
+        let c = corpus();
+        let split = Split::of_corpus(&c, &SplitConfig::default());
+        assert_eq!(split.total_readings(), c.n_readings());
+        for u in 0..2usize {
+            let mut all: Vec<u32> = split.train.seen(UserIdx(u as u32)).to_vec();
+            all.extend(&split.validation[u]);
+            all.extend(&split.test[u]);
+            all.sort_unstable();
+            let mut expected: Vec<u32> = c.readings_by_user()[u].iter().map(|r| r.book.0).collect();
+            expected.sort_unstable();
+            assert_eq!(all, expected);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let c = corpus();
+        let a = Split::of_corpus(&c, &SplitConfig::default());
+        let b = Split::of_corpus(&c, &SplitConfig::default());
+        assert_eq!(a.test, b.test);
+        assert_eq!(a.validation, b.validation);
+        let other = Split::of_corpus(&c, &SplitConfig { seed: 1, ..SplitConfig::default() });
+        assert_ne!(a.test, other.test);
+    }
+
+    #[test]
+    fn test_users_are_bct_only() {
+        let split = Split::of_corpus(&corpus(), &SplitConfig::default());
+        assert_eq!(split.test_users(), vec![UserIdx(0)]);
+    }
+
+    #[test]
+    fn tiny_bct_user_keeps_one_test_and_one_train() {
+        let mut c = corpus();
+        // Shrink BCT user to 2 readings.
+        c.readings.retain(|r| r.user != UserIdx(0) || r.book.0 < 2);
+        let split = Split::of_corpus(&c, &SplitConfig::default());
+        assert_eq!(split.test[0].len(), 1);
+        assert_eq!(split.train.seen(UserIdx(0)).len(), 1);
+    }
+
+    #[test]
+    fn temporal_strategy_holds_out_the_latest_readings() {
+        let c = corpus();
+        let split = Split::of_corpus(
+            &c,
+            &SplitConfig {
+                strategy: SplitStrategy::Temporal,
+                ..SplitConfig::default()
+            },
+        );
+        // BCT user read books 0..20 on days 0..20: the 4 latest (16..20)
+        // are the test set, the next 3 latest validation.
+        assert_eq!(split.test[0], vec![16, 17, 18, 19]);
+        assert_eq!(split.validation[0], vec![13, 14, 15]);
+        let train: Vec<u32> = split.train.seen(UserIdx(0)).to_vec();
+        assert_eq!(train, (0..13).collect::<Vec<u32>>());
+        // Every train reading predates every test reading.
+        let max_train_day = train.iter().max().unwrap();
+        let min_test_day = split.test[0].iter().min().unwrap();
+        assert!(max_train_day < min_test_day);
+    }
+
+    #[test]
+    fn temporal_strategy_is_seed_independent() {
+        let c = corpus();
+        let make = |seed| {
+            Split::of_corpus(
+                &c,
+                &SplitConfig {
+                    strategy: SplitStrategy::Temporal,
+                    seed,
+                    ..SplitConfig::default()
+                },
+            )
+        };
+        assert_eq!(make(1).test, make(2).test);
+    }
+
+    #[test]
+    fn zero_fraction_config() {
+        let c = corpus();
+        let split = Split::of_corpus(
+            &c,
+            &SplitConfig { test_fraction: 0.0, validation_fraction: 0.0, ..SplitConfig::default() },
+        );
+        // test_fraction 0 still guarantees >= 1 test book per BCT user
+        // (evaluation targets must be testable); validation is empty.
+        assert_eq!(split.test[0].len(), 1);
+        assert!(split.validation.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,226 @@
+//! `reading-machine` — the command-line face of the library.
+//!
+//! ```text
+//! reading-machine generate --preset medium --seed 42 --out corpus/
+//! reading-machine stats    --corpus corpus/
+//! reading-machine train    --corpus corpus/ --model model.bpr [--factors 20] [--epochs 15]
+//! reading-machine recommend --corpus corpus/ --model model.bpr --user 17 [--k 20]
+//! reading-machine evaluate --corpus corpus/ [--k 20]
+//! ```
+//!
+//! `generate` writes the merged synthetic corpus as TSV; `train` persists a
+//! BPR model with the binary codec; `recommend` serves top-k titles for a
+//! user; `evaluate` runs the paper's KPI comparison on a fresh split.
+
+use reading_machine::dataset::io::{load_corpus, save_corpus};
+use reading_machine::dataset::stats::{genre_shares, summarize};
+use reading_machine::eval::harness::{Harness, TrainedSuite};
+use reading_machine::eval::metrics::{default_threads, evaluate_parallel};
+use reading_machine::prelude::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout closes early (`reading-machine stats | head`).
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info.to_string();
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage("missing command");
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "train" => cmd_train(&args[1..]),
+        "recommend" => cmd_recommend(&args[1..]),
+        "evaluate" => cmd_evaluate(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            return ExitCode::SUCCESS;
+        }
+        other => return usage(&format!("unknown command {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  reading-machine generate  --out DIR [--preset paper|medium|tiny] [--seed N]\n  \
+         reading-machine stats     --corpus DIR\n  \
+         reading-machine train     --corpus DIR --model FILE [--factors N] [--epochs N] [--lr F]\n  \
+         reading-machine recommend --corpus DIR --model FILE --user N [--k N]\n  \
+         reading-machine evaluate  --corpus DIR [--k N] [--seed N]"
+    );
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    print_usage();
+    ExitCode::from(2)
+}
+
+/// Minimal flag parser: `--name value` pairs.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {flag}"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            out.push((name.to_owned(), value.clone()));
+        }
+        Ok(Self(out))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{name}: {v}")),
+        }
+    }
+}
+
+fn preset_of(flags: &Flags) -> Result<Preset, String> {
+    match flags.get("preset").unwrap_or("medium") {
+        "paper" => Ok(Preset::Paper),
+        "medium" => Ok(Preset::Medium),
+        "tiny" => Ok(Preset::Tiny),
+        other => Err(format!("unknown preset {other}")),
+    }
+}
+
+fn load(flags: &Flags) -> Result<Corpus, String> {
+    let dir = PathBuf::from(flags.required("corpus")?);
+    load_corpus(&dir).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let out = PathBuf::from(flags.required("out")?);
+    let seed: u64 = flags.parse_num("seed", 42)?;
+    let preset = preset_of(&flags)?;
+    let corpus = reading_machine::datagen::generate_corpus(seed, preset);
+    save_corpus(&corpus, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} books, {} users, {} readings to {}",
+        corpus.n_books(),
+        corpus.n_users(),
+        corpus.n_readings(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let corpus = load(&flags)?;
+    let s = summarize(&corpus);
+    println!("{s:#?}");
+    println!("top genres:");
+    for (label, share) in genre_shares(&corpus).into_iter().take(8) {
+        println!("  {label:<40} {:.1}%", share * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let corpus = load(&flags)?;
+    let model_path = PathBuf::from(flags.required("model")?);
+    let config = BprConfig {
+        factors: flags.parse_num("factors", 20)?,
+        epochs: flags.parse_num("epochs", 15)?,
+        learning_rate: flags.parse_num("lr", 0.2)?,
+        seed: flags.parse_num("seed", 42)?,
+        ..BprConfig::default()
+    };
+    // Train on ALL readings (deployment mode — no held-out test).
+    let interactions = Interactions::from_corpus(&corpus);
+    let mut bpr = Bpr::new(config);
+    let t0 = std::time::Instant::now();
+    bpr.fit(&interactions);
+    let bytes = reading_machine::core::persist::encode(bpr.model().expect("fitted"));
+    std::fs::write(&model_path, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "trained BPR on {} interactions in {:.1?}; wrote {} bytes to {}",
+        interactions.nnz(),
+        t0.elapsed(),
+        bytes.len(),
+        model_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_recommend(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let corpus = load(&flags)?;
+    let model_path = PathBuf::from(flags.required("model")?);
+    let user: u32 = flags.required("user")?.parse().map_err(|_| "bad --user".to_owned())?;
+    let k: usize = flags.parse_num("k", 20)?;
+    if user as usize >= corpus.n_users() {
+        return Err(format!("user {user} out of range (corpus has {})", corpus.n_users()));
+    }
+    let bytes = std::fs::read(&model_path).map_err(|e| e.to_string())?;
+    let model = reading_machine::core::persist::decode(&bytes).map_err(|e| e.to_string())?;
+    let interactions = Interactions::from_corpus(&corpus);
+    let mut bpr = Bpr::new(BprConfig::default());
+    bpr.install(model, &interactions);
+    println!("top-{k} for user {user}:");
+    for (rank, b) in bpr.recommend(UserIdx(user), k).into_iter().enumerate() {
+        let book = &corpus.books[b as usize];
+        println!("  {:>2}. {} — {}", rank + 1, book.title, book.authors.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let corpus = load(&flags)?;
+    let k: usize = flags.parse_num("k", 20)?;
+    let seed: u64 = flags.parse_num("seed", 42)?;
+    let harness = Harness::from_corpus(corpus, &SplitConfig::default());
+    let suite = TrainedSuite::train(&harness, BprConfig::default(), SummaryFields::BEST, seed);
+    let cases = harness.test_cases();
+    println!("KPIs @{k} over {} test users:", cases.len());
+    for rec in [
+        &suite.random as &(dyn Recommender + Sync),
+        &suite.most_read,
+        &suite.closest,
+        &suite.bpr,
+    ] {
+        let m = evaluate_parallel(rec, &cases, k, default_threads());
+        println!(
+            "  {:<16} URR {:.2}  NRR {:.2}  P {:.3}  R {:.3}  FR {:.0}",
+            rec.name(),
+            m.urr,
+            m.nrr,
+            m.precision,
+            m.recall,
+            m.first_rank
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! Row-major dense `f32` matrices for latent factors.
+//!
+//! BPR stores `V ∈ R^(U×L)` and the transposed item factors `Pᵀ ∈ R^(B×L)` as
+//! `DenseMatrix`; SGD updates touch one row of each per step, so rows are the
+//! unit of access. L is small (5–64), so rows fit comfortably in cache lines
+//! and plain autovectorised loops in [`crate::vecops`] are the right kernel.
+
+use rand::Rng;
+use rand::RngExt;
+
+/// A row-major dense matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// All-zeros matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds each entry from `f(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Gaussian init `N(0, scale²)` — the zero-mean normal prior the BPR
+    /// formulation places on the factors (Section 4, Eq. 3).
+    #[must_use]
+    pub fn gaussian<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        Self::from_fn(rows, cols, |_, _| {
+            rm_util::sample::standard_normal(rng) as f32 * scale
+        })
+    }
+
+    /// Uniform init in `[-scale, scale]`.
+    #[must_use]
+    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        Self::from_fn(rows, cols, |_, _| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Two distinct rows, one mutable each — the shape of a BPR SGD step
+    /// (update user row and item row together).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn two_rows_mut(&mut self, a: usize, b: usize) -> (&mut [f32], &mut [f32]) {
+        assert_ne!(a, b, "two_rows_mut requires distinct rows");
+        let cols = self.cols;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * cols);
+            (&mut lo[a * cols..(a + 1) * cols], &mut hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * cols);
+            let (bslice, aslice) = (&mut lo[b * cols..(b + 1) * cols], &mut hi[..cols]);
+            (aslice, bslice)
+        }
+    }
+
+    /// The raw backing buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Frobenius norm squared — the `‖V‖²` regularisation term.
+    #[must_use]
+    pub fn frob_norm_sq(&self) -> f64 {
+        self.data.iter().map(|&v| f64::from(v) * f64::from(v)).sum()
+    }
+
+    /// Matrix–vector product `self · x` (len(x) == cols).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| crate::vecops::dot(self.row(r), x))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_util::rng::rng_from_seed;
+
+    #[test]
+    fn zeros_and_from_fn() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.as_slice(), &[0.0; 6]);
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.row(1), &[7.0, 0.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn two_rows_mut_both_orders() {
+        let mut m = DenseMatrix::from_fn(3, 2, |r, _| r as f32);
+        {
+            let (a, b) = m.two_rows_mut(0, 2);
+            assert_eq!(a, &[0.0, 0.0]);
+            assert_eq!(b, &[2.0, 2.0]);
+            a[0] = -1.0;
+            b[1] = -2.0;
+        }
+        {
+            let (a, b) = m.two_rows_mut(2, 0);
+            assert_eq!(a[1], -2.0);
+            assert_eq!(b[0], -1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn two_rows_mut_same_row_panics() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        let _ = m.two_rows_mut(1, 1);
+    }
+
+    #[test]
+    fn gaussian_statistics() {
+        let mut rng = rng_from_seed(11);
+        let m = DenseMatrix::gaussian(100, 100, 0.1, &mut rng);
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 0.01).abs() < 0.002, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = rng_from_seed(12);
+        let m = DenseMatrix::uniform(10, 10, 0.5, &mut rng);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.5));
+        assert!(m.as_slice().iter().any(|&v| v < 0.0));
+        assert!(m.as_slice().iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn frob_norm() {
+        let m = DenseMatrix::from_vec(1, 3, vec![1.0, 2.0, 2.0]);
+        assert!((m.frob_norm_sq() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_basic() {
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+}

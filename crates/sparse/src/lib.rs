@@ -1,0 +1,21 @@
+//! In-memory linear algebra for implicit-feedback recommenders.
+//!
+//! The workloads in this workspace are small enough to hold in RAM (a few
+//! thousand books, tens of thousands of users, ~10^6 interactions) but hot
+//! enough that representation matters: BPR touches the interaction matrix
+//! hundreds of millions of times during SGD. The crate provides
+//!
+//! * [`csr::CsrMatrix`] — compressed sparse row storage of the user–item
+//!   interaction matrix `I ∈ {0,1}^(U×B)` (Section 4 of the paper), built
+//!   from unsorted (row, col) pairs with duplicate folding;
+//! * [`dense::DenseMatrix`] — row-major `f32` storage for the latent factor
+//!   matrices `V` (users × L) and `P`ᵀ (books × L);
+//! * [`vecops`] — the handful of vector kernels (dot, axpy, cosine, L2
+//!   normalisation) everything else is written in terms of.
+
+pub mod csr;
+pub mod dense;
+pub mod vecops;
+
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;

@@ -1,0 +1,154 @@
+//! Vector kernels shared by the factorisation and embedding code.
+//!
+//! All functions operate on equal-length slices and are written as plain
+//! indexed loops over `zip`ped iterators so LLVM autovectorises them; factor
+//! dimensions are small (L ≤ 64) and embedding dimensions moderate (≈ 256),
+//! so this is plenty without SIMD intrinsics.
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ; in release the shorter length governs.
+#[inline]
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+#[must_use]
+pub fn norm2(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Normalises `x` to unit L2 norm in place; a zero vector is left unchanged
+/// and `false` is returned.
+#[inline]
+pub fn normalize(x: &mut [f32]) -> bool {
+    let n = norm2(x);
+    if n > 0.0 && n.is_finite() {
+        scale(1.0 / n, x);
+        true
+    } else {
+        false
+    }
+}
+
+/// Cosine similarity; `0.0` when either vector is zero.
+#[inline]
+#[must_use]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm2(a);
+    let nb = norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+/// Element-wise mean of `vectors` (all the same length).
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or lengths disagree.
+#[must_use]
+pub fn mean_vector(vectors: &[&[f32]]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "mean of zero vectors");
+    let dim = vectors[0].len();
+    let mut acc = vec![0.0f32; dim];
+    for v in vectors {
+        assert_eq!(v.len(), dim, "mixed dimensions in mean_vector");
+        axpy(1.0, v, &mut acc);
+    }
+    scale(1.0 / vectors.len() as f32, &mut acc);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_axpy_scale() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        let mut y = b;
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, [3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut v = [3.0f32, 4.0];
+        assert!(normalize(&mut v));
+        assert!((norm2(&v) - 1.0).abs() < 1e-6);
+        let mut z = [0.0f32, 0.0];
+        assert!(!normalize(&mut z));
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_known_values() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_vector_basic() {
+        let a = [0.0f32, 2.0];
+        let b = [2.0f32, 4.0];
+        assert_eq!(mean_vector(&[&a, &b]), vec![1.0, 3.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_bounded(a in proptest::collection::vec(-10.0f32..10.0, 4), b in proptest::collection::vec(-10.0f32..10.0, 4)) {
+            let c = cosine(&a, &b);
+            prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c));
+        }
+
+        #[test]
+        fn cosine_scale_invariant(v in proptest::collection::vec(-5.0f32..5.0, 8), s in 0.1f32..10.0) {
+            let scaled: Vec<f32> = v.iter().map(|&x| x * s).collect();
+            let c1 = cosine(&v, &v);
+            let c2 = cosine(&v, &scaled);
+            prop_assert!((c1 - c2).abs() < 1e-4);
+        }
+
+        #[test]
+        fn normalized_dot_equals_cosine(a in proptest::collection::vec(-5.0f32..5.0, 6), b in proptest::collection::vec(-5.0f32..5.0, 6)) {
+            let mut an = a.clone();
+            let mut bn = b.clone();
+            if normalize(&mut an) && normalize(&mut bn) {
+                prop_assert!((dot(&an, &bn) - cosine(&a, &b)).abs() < 1e-4);
+            }
+        }
+    }
+}

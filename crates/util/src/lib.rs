@@ -1,0 +1,27 @@
+//! Shared plumbing for the `reading-machine` workspace.
+//!
+//! This crate collects the small, dependency-free building blocks every other
+//! crate needs:
+//!
+//! * [`rng`] — seeded, splittable random-number generation so that every
+//!   stochastic stage of the pipeline is reproducible from a single `u64`;
+//! * [`sample`] — discrete sampling machinery (Walker alias tables, Zipf and
+//!   log-normal samplers) used by the synthetic data generators and by the
+//!   WARP negative sampler;
+//! * [`stats`] — descriptive statistics (quantiles, empirical CDFs, Shannon
+//!   entropy) used both by the genre-aggregation pipeline and by the
+//!   experiment harness;
+//! * [`topk`] — deterministic top-k selection of scored items, the common
+//!   last step of every recommender;
+//! * [`report`] — minimal ASCII-table and CSV rendering for experiment
+//!   output, so the benchmark harness has no external formatting
+//!   dependencies.
+
+pub mod report;
+pub mod rng;
+pub mod sample;
+pub mod stats;
+pub mod topk;
+
+pub use rng::SeedableStdRng;
+pub use topk::TopK;

@@ -1,0 +1,189 @@
+//! Minimal report rendering: aligned ASCII tables and CSV.
+//!
+//! The `repro-*` binaries print the same rows the paper's tables report and
+//! additionally write machine-readable CSV next to them; this module is the
+//! only formatting dependency they need.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its length must match the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with space-padded columns and a separator rule.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as RFC-4180-ish CSV (quotes cells containing
+    /// commas, quotes, or newlines).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&csv_escape(cell));
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Escapes one CSV cell.
+#[must_use]
+fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        let mut s = String::with_capacity(cell.len() + 2);
+        s.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                s.push('"');
+            }
+            s.push(c);
+        }
+        s.push('"');
+        s
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// Formats a float with `digits` decimal places (the paper's tables use 2).
+#[must_use]
+pub fn fmt_f64(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["name", "URR"]);
+        t.push_row(["Random Items", "0.07"]);
+        t.push_row(["BPR", "0.26"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name          URR");
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(lines[2], "Random Items  0.07");
+        assert_eq!(lines[3], "BPR           0.26");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["pl,ain", "qu\"ote"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"pl,ain\",\"qu\"\"ote\"\n");
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let mut t = Table::new(["x"]);
+        t.push_row(["simple"]);
+        assert_eq!(t.to_csv(), "x\nsimple\n");
+    }
+
+    #[test]
+    fn fmt_f64_matches_paper_precision() {
+        assert_eq!(fmt_f64(0.256, 2), "0.26");
+        assert_eq!(fmt_f64(30.554, 2), "30.55");
+        assert_eq!(fmt_f64(1.0, 0), "1");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["x"]);
+        assert!(t.is_empty());
+        t.push_row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

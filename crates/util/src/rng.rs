@@ -1,0 +1,159 @@
+//! Seeded, splittable random-number generation.
+//!
+//! Every stochastic component in the workspace (data generators, splitters,
+//! SGD initialisation, negative samplers, the random recommender) is driven
+//! by an explicit `u64` seed. To keep independent pipeline stages
+//! *independently* reproducible — adding one more draw in stage A must not
+//! perturb stage B — seeds are derived hierarchically with
+//! [`derive_seed`], a SplitMix64-style mixer, instead of sharing one RNG
+//! stream across stages.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Convenience alias: the single RNG type used across the workspace.
+pub type SeedableStdRng = StdRng;
+
+/// Creates the workspace-standard RNG from a `u64` seed.
+#[inline]
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream label.
+///
+/// The label keeps sibling streams (e.g. "titles" vs. "plots") decorrelated
+/// even when the parent seed is small or sequential. Mixing follows
+/// SplitMix64's finaliser, which has full avalanche behaviour, so
+/// `derive_seed(s, a) != derive_seed(s, b)` for all practically relevant
+/// `a != b`.
+#[inline]
+#[must_use]
+pub fn derive_seed(parent: u64, label: u64) -> u64 {
+    let mut z = parent ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a child seed from a parent seed and a string label.
+///
+/// Used where the stream identity is most naturally a name
+/// (`"bct.loans"`, `"anobii.ratings"`, ...). The string is folded with FNV-1a
+/// before mixing, so the mapping is stable across runs and platforms.
+#[inline]
+#[must_use]
+pub fn derive_seed_str(parent: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    derive_seed(parent, h)
+}
+
+/// A small hierarchical seed source.
+///
+/// A `SeedTree` wraps one seed and hands out labelled child seeds or child
+/// RNGs. Typical use: the corpus generator owns the root, each table
+/// generator gets `tree.child("loans")`, and each user gets
+/// `tree.child("loans").child_idx(user_idx)` so per-user streams are stable
+/// under reordering of other users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    seed: u64,
+}
+
+impl SeedTree {
+    /// Creates a tree rooted at `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The seed at this node.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A child node labelled by a string.
+    #[must_use]
+    pub fn child(&self, label: &str) -> Self {
+        Self {
+            seed: derive_seed_str(self.seed, label),
+        }
+    }
+
+    /// A child node labelled by an index.
+    #[must_use]
+    pub fn child_idx(&self, idx: u64) -> Self {
+        Self {
+            seed: derive_seed(self.seed, idx),
+        }
+    }
+
+    /// An RNG seeded at this node.
+    #[must_use]
+    pub fn rng(&self) -> StdRng {
+        rng_from_seed(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(8);
+        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_seed_is_label_sensitive() {
+        let s = 12345;
+        assert_ne!(derive_seed(s, 0), derive_seed(s, 1));
+        assert_ne!(derive_seed(s, 1), derive_seed(s, 2));
+        assert_ne!(derive_seed_str(s, "loans"), derive_seed_str(s, "ratings"));
+    }
+
+    #[test]
+    fn derive_seed_is_parent_sensitive() {
+        assert_ne!(derive_seed(1, 42), derive_seed(2, 42));
+        assert_ne!(derive_seed_str(1, "x"), derive_seed_str(2, "x"));
+    }
+
+    #[test]
+    fn seed_tree_children_are_stable_and_distinct() {
+        let t = SeedTree::new(99);
+        assert_eq!(t.child("a").seed(), t.child("a").seed());
+        assert_ne!(t.child("a").seed(), t.child("b").seed());
+        assert_ne!(t.child_idx(0).seed(), t.child_idx(1).seed());
+        // Nested derivation is order-dependent, as intended.
+        assert_ne!(t.child("a").child("b").seed(), t.child("b").child("a").seed());
+    }
+
+    #[test]
+    fn seed_tree_rng_matches_direct_construction() {
+        let t = SeedTree::new(5).child("x");
+        let mut a = t.rng();
+        let mut b = rng_from_seed(t.seed());
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+}

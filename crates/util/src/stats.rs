@@ -1,0 +1,239 @@
+//! Descriptive statistics used across the pipeline.
+//!
+//! Three consumers drive the contents: the genre-aggregation step of the
+//! dataset pipeline (Shannon [`entropy`]), the Fig. 1 reproduction
+//! (empirical CDFs via [`Ecdf`]), and the synthetic-data calibration tests
+//! (means / medians / [`quantile`]s of count distributions).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance; `0.0` for fewer than two values.
+#[must_use]
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Quantile `q ∈ [0, 1]` with linear interpolation between order statistics
+/// (the "R-7" definition used by NumPy's default).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range: {q}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted ascending"
+    );
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median via [`quantile`] after sorting a copy.
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    quantile(&v, 0.5)
+}
+
+/// Shannon entropy (nats) of a count histogram. Zero counts contribute
+/// nothing; an empty or all-zero histogram has entropy zero.
+#[must_use]
+pub fn entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// An empirical cumulative distribution function over integer-valued
+/// observations (e.g. readings per user).
+///
+/// Stores the sorted distinct values with cumulative probabilities;
+/// [`Ecdf::points`] yields exactly the series a CDF plot needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    values: Vec<u64>,
+    cumulative: Vec<f64>,
+    n: usize,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from raw observations.
+    #[must_use]
+    pub fn from_observations(obs: &[u64]) -> Self {
+        let mut sorted = obs.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut values = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut seen = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            let v = sorted[i];
+            let mut j = i;
+            while j < n && sorted[j] == v {
+                j += 1;
+            }
+            seen += j - i;
+            values.push(v);
+            cumulative.push(seen as f64 / n as f64);
+            i = j;
+        }
+        Self { values, cumulative, n }
+    }
+
+    /// Number of observations the ECDF was built from.
+    #[must_use]
+    pub fn sample_size(&self) -> usize {
+        self.n
+    }
+
+    /// P(X <= x).
+    #[must_use]
+    pub fn eval(&self, x: u64) -> f64 {
+        match self.values.binary_search(&x) {
+            Ok(i) => self.cumulative[i],
+            Err(0) => 0.0,
+            Err(i) => self.cumulative[i - 1],
+        }
+    }
+
+    /// The (value, cumulative-probability) step points.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.values.iter().copied().zip(self.cumulative.iter().copied())
+    }
+
+    /// Largest observed value (None when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.values.last().copied()
+    }
+
+    /// Smallest `x` with `P(X <= x) >= q` (i.e. the `q`-quantile of the
+    /// step function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ECDF is empty or `q` is outside `(0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(!self.values.is_empty(), "quantile of empty ECDF");
+        assert!(q > 0.0 && q <= 1.0, "quantile level out of range: {q}");
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < q)
+            .min(self.values.len() - 1);
+        self.values[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_unsorted_input() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(median(&[4.0, 1.0]), 2.5);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_n() {
+        let h = entropy(&[10, 10, 10, 10]);
+        assert!((h - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_degenerate_is_zero() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0, 0]), 0.0);
+        assert_eq!(entropy(&[42]), 0.0);
+    }
+
+    #[test]
+    fn entropy_merging_equal_bins_decreases() {
+        // Aggregating two equal-mass genres into one strictly reduces
+        // entropy — the property the genre pipeline relies on.
+        let before = entropy(&[50, 50, 100]);
+        let after = entropy(&[100, 100]);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn ecdf_step_behaviour() {
+        let e = Ecdf::from_observations(&[1, 1, 2, 5]);
+        assert_eq!(e.sample_size(), 4);
+        assert_eq!(e.eval(0), 0.0);
+        assert_eq!(e.eval(1), 0.5);
+        assert_eq!(e.eval(3), 0.75);
+        assert_eq!(e.eval(5), 1.0);
+        assert_eq!(e.eval(99), 1.0);
+        assert_eq!(e.max(), Some(5));
+    }
+
+    #[test]
+    fn ecdf_quantile_matches_eval() {
+        let e = Ecdf::from_observations(&[10, 20, 30, 40, 50]);
+        assert_eq!(e.quantile(0.2), 10);
+        assert_eq!(e.quantile(0.5), 30);
+        assert_eq!(e.quantile(1.0), 50);
+    }
+
+    #[test]
+    fn ecdf_points_are_monotone() {
+        let e = Ecdf::from_observations(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let pts: Vec<_> = e.points().collect();
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

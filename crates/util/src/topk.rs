@@ -1,0 +1,230 @@
+//! Deterministic top-k selection of scored items.
+//!
+//! Every recommender ends with "return the k highest-scored unseen books",
+//! over catalogues of a few thousand items and k ≈ 20–50. A bounded binary
+//! min-heap gives O(n log k) with no allocation beyond the k-slot buffer.
+//! Ties are broken toward the *lower* item index so results are fully
+//! deterministic regardless of iteration order quirks.
+
+use std::cmp::Ordering;
+
+/// One scored candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Item identifier (recommenders use dense item indices).
+    pub item: u32,
+    /// Score; higher is better. Must not be NaN (pushes with NaN panic in
+    /// debug builds and are skipped in release builds).
+    pub score: f32,
+}
+
+impl Scored {
+    /// Ordering used by the heap: primarily by score, ties by *reversed*
+    /// item index so that the "smaller index wins" rule holds for equal
+    /// scores.
+    fn key(&self) -> (f32, std::cmp::Reverse<u32>) {
+        (self.score, std::cmp::Reverse(self.item))
+    }
+
+    fn cmp_key(&self, other: &Self) -> Ordering {
+        let (sa, ia) = self.key();
+        let (sb, ib) = other.key();
+        sa.partial_cmp(&sb).expect("NaN score in TopK").then(ia.cmp(&ib))
+    }
+}
+
+/// Bounded selector of the `k` highest-scored items.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    /// Min-heap on (score, Reverse(item)): `heap[0]` is the current worst
+    /// kept element.
+    heap: Vec<Scored>,
+}
+
+impl TopK {
+    /// Creates a selector that keeps the best `k` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k requires k >= 1");
+        Self { k, heap: Vec::with_capacity(k) }
+    }
+
+    /// Capacity `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of items currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no item has been offered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers a candidate.
+    #[inline]
+    pub fn push(&mut self, item: u32, score: f32) {
+        debug_assert!(!score.is_nan(), "NaN score offered to TopK");
+        if score.is_nan() {
+            return;
+        }
+        let cand = Scored { item, score };
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+            self.sift_up(self.heap.len() - 1);
+        } else if cand.cmp_key(&self.heap[0]) == Ordering::Greater {
+            self.heap[0] = cand;
+            self.sift_down(0);
+        }
+    }
+
+    /// The score a candidate must beat to enter a full selector; `None`
+    /// while the selector still has room.
+    #[must_use]
+    pub fn threshold(&self) -> Option<f32> {
+        (self.heap.len() == self.k).then(|| self.heap[0].score)
+    }
+
+    /// Consumes the selector, returning items sorted best-first
+    /// (descending score, ascending item index on ties).
+    #[must_use]
+    pub fn into_sorted(mut self) -> Vec<Scored> {
+        self.heap.sort_by(|a, b| b.cmp_key(a));
+        self.heap
+    }
+
+    /// Convenience: best-first item indices only.
+    #[must_use]
+    pub fn into_items(self) -> Vec<u32> {
+        self.into_sorted().into_iter().map(|s| s.item).collect()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].cmp_key(&self.heap[parent]) == Ordering::Less {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut smallest = i;
+            if l < n && self.heap[l].cmp_key(&self.heap[smallest]) == Ordering::Less {
+                smallest = l;
+            }
+            if r < n && self.heap[r].cmp_key(&self.heap[smallest]) == Ordering::Less {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+/// Selects the top-`k` of an iterator of `(item, score)` pairs, best-first.
+#[must_use]
+pub fn top_k_of(iter: impl IntoIterator<Item = (u32, f32)>, k: usize) -> Vec<Scored> {
+    let mut sel = TopK::new(k);
+    for (item, score) in iter {
+        sel.push(item, score);
+    }
+    sel.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let scored = top_k_of((0..100).map(|i| (i, i as f32)), 3);
+        let items: Vec<u32> = scored.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![99, 98, 97]);
+    }
+
+    #[test]
+    fn fewer_than_k_returns_all_sorted() {
+        let scored = top_k_of([(4, 0.5), (2, 0.9)], 10);
+        let items: Vec<u32> = scored.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![2, 4]);
+    }
+
+    #[test]
+    fn ties_break_by_lower_index() {
+        let scored = top_k_of([(5, 1.0), (1, 1.0), (3, 1.0)], 2);
+        let items: Vec<u32> = scored.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![1, 3]);
+    }
+
+    #[test]
+    fn threshold_reports_current_floor() {
+        let mut sel = TopK::new(2);
+        assert_eq!(sel.threshold(), None);
+        sel.push(0, 1.0);
+        assert_eq!(sel.threshold(), None);
+        sel.push(1, 2.0);
+        assert_eq!(sel.threshold(), Some(1.0));
+        sel.push(2, 3.0);
+        assert_eq!(sel.threshold(), Some(2.0));
+    }
+
+    #[test]
+    fn negative_scores_handled() {
+        let scored = top_k_of([(0, -3.0), (1, -1.0), (2, -2.0)], 2);
+        let items: Vec<u32> = scored.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_full_sort(scores in proptest::collection::vec(-1000i32..1000, 1..200), k in 1usize..30) {
+            let pairs: Vec<(u32, f32)> = scores.iter().enumerate()
+                .map(|(i, &s)| (i as u32, s as f32)).collect();
+            let got: Vec<u32> = top_k_of(pairs.iter().copied(), k)
+                .into_iter().map(|s| s.item).collect();
+
+            let mut all = pairs;
+            all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            all.truncate(k);
+            let want: Vec<u32> = all.into_iter().map(|(i, _)| i).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn result_is_sorted_desc(scores in proptest::collection::vec(-1.0f32..1.0, 1..100)) {
+            let got = top_k_of(scores.iter().enumerate().map(|(i, &s)| (i as u32, s)), 10);
+            for w in got.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The Fig. 4 analysis as a library call: how recommendation quality
+//! depends on how much history a user has — and where the content-based
+//! approach overtakes collaborative filtering.
+//!
+//! Run with: `cargo run --release --example cold_start`
+
+use reading_machine::eval::experiments::fig4;
+use reading_machine::prelude::*;
+
+fn main() {
+    let harness = Harness::generate(42, Preset::Tiny);
+    let suite = TrainedSuite::train(&harness, BprConfig::default(), SummaryFields::BEST, 42);
+
+    let result = fig4::run(&harness, &suite, 10, 3);
+    println!("NRR @10 by number of training-set books per user:\n");
+    println!("{}", result.table().render());
+
+    let closest = result.series_of("Closest Items").unwrap();
+    let bpr = result.series_of("BPR").unwrap();
+    let gain = |s: &fig4::Series| {
+        let first = s.binned.first().unwrap().kpis.nrr.max(1e-9);
+        s.binned.last().unwrap().kpis.nrr / first
+    };
+    println!(
+        "history gain (top bin / bottom bin): Closest {:.1}x, BPR {:.1}x",
+        gain(closest),
+        gain(bpr)
+    );
+}

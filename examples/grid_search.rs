@@ -1,0 +1,24 @@
+//! Hyper-parameter search as a library call: sweep latent factors ×
+//! learning rate, selecting by validation URR — the paper's §6 procedure.
+//!
+//! Run with: `cargo run --release --example grid_search`
+
+use reading_machine::core::grid::GridSearch;
+use reading_machine::eval::experiments::grid;
+use reading_machine::prelude::*;
+
+fn main() {
+    let harness = Harness::generate(42, Preset::Tiny);
+    let sweep = GridSearch {
+        factors: vec![5, 10, 20],
+        learning_rates: vec![0.05, 0.1, 0.2],
+    };
+    let base = BprConfig { epochs: 8, ..BprConfig::default() };
+
+    let result = grid::run(&harness, &sweep, &base, 10);
+    println!("{}", result.table().render());
+    println!(
+        "selected: L = {}, learning rate = {}",
+        result.outcome.best.factors, result.outcome.best.learning_rate
+    );
+}

@@ -1,0 +1,46 @@
+//! The deployment scenario the Reading&Machine project targets: a reader
+//! walks up to the library kiosk. If they were in last night's training
+//! run, serve from the trained factors; if they are brand new, fold them
+//! into the factor space from their borrowing history alone (BPR) or use
+//! the training-free content centroid (Closest Items).
+//!
+//! Run with: `cargo run --release --example kiosk_serving`
+
+use reading_machine::prelude::*;
+
+fn main() {
+    let harness = Harness::generate(42, Preset::Tiny);
+    let corpus = &harness.corpus;
+
+    // Nightly training.
+    let mut bpr = Bpr::new(BprConfig::default());
+    harness.fit_timed(&mut bpr);
+    let closest = ClosestItems::from_corpus(corpus, SummaryFields::BEST, EncoderConfig::default());
+
+    // A brand-new reader who borrowed three books this week.
+    let known_user = harness.test_cases()[0].user;
+    let history: Vec<u32> = harness.split.train.seen(known_user).iter().take(3).copied().collect();
+    println!("new reader's history:");
+    for &b in &history {
+        println!("  - {}", corpus.books[b as usize].title);
+    }
+
+    let t0 = std::time::Instant::now();
+    let cf_recs = bpr.recommend_for_history(&history, 5);
+    let cf_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let cb_recs = closest.recommend_for_history(&history, 5);
+    let cb_time = t1.elapsed();
+
+    println!("\ncollaborative fold-in ({cf_time:.1?}):");
+    for (i, b) in cf_recs.iter().enumerate() {
+        println!("  {}. {}", i + 1, corpus.books[*b as usize].title);
+    }
+    println!("\ncontent centroid ({cb_time:.1?}):");
+    for (i, b) in cb_recs.iter().enumerate() {
+        println!("  {}. {}", i + 1, corpus.books[*b as usize].title);
+    }
+
+    // Neither pathway retrains anything — both are live-request latencies.
+    assert!(cf_time.as_millis() < 100 && cb_time.as_millis() < 100);
+}

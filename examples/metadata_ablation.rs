@@ -1,0 +1,25 @@
+//! The Fig. 5 ablation as a library call: which metadata fields make the
+//! content-based recommender work?
+//!
+//! Run with: `cargo run --release --example metadata_ablation`
+
+use reading_machine::eval::experiments::fig5;
+use reading_machine::prelude::*;
+
+fn main() {
+    let harness = Harness::generate(42, Preset::Tiny);
+    println!(
+        "catalogue: {} books; evaluating Closest Items at k = 10\n",
+        harness.corpus.n_books()
+    );
+
+    let result = fig5::run(&harness, &fig5::paper_variants(), 10);
+    println!("{}", result.table().render());
+
+    let best = result
+        .rows
+        .iter()
+        .max_by(|a, b| a.kpis.nrr.partial_cmp(&b.kpis.nrr).unwrap())
+        .unwrap();
+    println!("best metadata summary by NRR: {}", best.fields.label());
+}

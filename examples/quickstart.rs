@@ -1,0 +1,45 @@
+//! Quickstart: generate a small synthetic library corpus, train the BPR
+//! recommender, and print recommendations for one reader.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use reading_machine::prelude::*;
+
+fn main() {
+    // 1. Generate a corpus (tiny preset: a few hundred users) and split it
+    //    the way the paper does (per-user 20% test for library users).
+    let harness = Harness::generate(42, Preset::Tiny);
+    let corpus = &harness.corpus;
+    println!(
+        "corpus: {} books, {} users, {} readings",
+        corpus.n_books(),
+        corpus.n_users(),
+        corpus.n_readings()
+    );
+
+    // 2. Train the collaborative-filtering recommender.
+    let mut bpr = Bpr::new(BprConfig::default());
+    let train_time = harness.fit_timed(&mut bpr);
+    println!("trained BPR in {train_time:.2?}");
+
+    // 3. Recommend k = 10 books for the first library user with a test set.
+    let cases = harness.test_cases();
+    let user = cases[0].user;
+    println!("\ntop-10 for user {user}:");
+    for (rank, book) in bpr.recommend(user, 10).into_iter().enumerate() {
+        let b = &corpus.books[book as usize];
+        println!(
+            "  {:>2}. {} — {}",
+            rank + 1,
+            b.title,
+            b.authors.join(", ")
+        );
+    }
+
+    // 4. Evaluate the paper's KPIs over all test users.
+    let kpis = evaluate(&bpr, &cases, 10);
+    println!(
+        "\nKPIs @10 over {} users: URR {:.2}, NRR {:.2}, P {:.3}, R {:.3}, FR {:.0}",
+        kpis.n_users, kpis.urr, kpis.nrr, kpis.precision, kpis.recall, kpis.first_rank
+    );
+}

@@ -1,0 +1,86 @@
+//! Calibration guardrails: the Medium-preset corpus must keep the paper's
+//! Section 3 statistical shape (scaled). These tolerances are loose enough
+//! to survive routine generator changes but catch structural regressions
+//! (broken join, broken pruning, collapsed genre mix).
+
+use reading_machine::datagen::{generate, Preset};
+use reading_machine::dataset::merge::build_corpus;
+use reading_machine::dataset::stats::{dominant_genre_share, genre_shares, reading_cdfs, summarize};
+
+#[test]
+fn medium_corpus_matches_scaled_paper_statistics() {
+    let corpus = reading_machine::datagen::generate_corpus(42, Preset::Medium);
+    let s = summarize(&corpus);
+
+    // Medium targets ~1/10 of the paper's users over ~1/4 of its books.
+    assert!((300..=900).contains(&s.n_books), "books {}", s.n_books);
+    assert!((2_500..=7_000).contains(&s.n_users), "users {}", s.n_users);
+    assert!(
+        s.n_bct_users * 3 < s.n_anobii_users,
+        "BCT users should be the minority: {} vs {}",
+        s.n_bct_users,
+        s.n_anobii_users
+    );
+    assert!(s.n_bct_users > 200, "bct users {}", s.n_bct_users);
+    assert!((40_000..=200_000).contains(&s.n_readings), "readings {}", s.n_readings);
+
+    // Per-user readings: threshold 10, median in the paper's vicinity.
+    assert!((11..=25).contains(&s.median_readings_per_user), "median {}", s.median_readings_per_user);
+    assert!(s.max_readings_per_user > 60, "max/user {}", s.max_readings_per_user);
+}
+
+#[test]
+fn medium_genre_mix_is_comics_led() {
+    let corpus = reading_machine::datagen::generate_corpus(42, Preset::Medium);
+    let shares = genre_shares(&corpus);
+    assert_eq!(shares[0].0, "Comics", "top genre should be Comics");
+    assert!(shares[0].1 > 0.25, "comics share {}", shares[0].1);
+    // Thriller and Fantasy in the next ranks with meaningful shares.
+    let find = |name: &str| shares.iter().find(|(l, _)| l == name).map(|&(_, s)| s).unwrap_or(0.0);
+    assert!(find("Thriller") > 0.08);
+    assert!(find("Fantasy") > 0.06);
+    // Comics clearly dominates the runner-up.
+    assert!(shares[0].1 > 1.8 * shares[1].1);
+}
+
+#[test]
+fn medium_users_have_two_dominant_genres() {
+    let corpus = reading_machine::datagen::generate_corpus(42, Preset::Medium);
+    let share = dominant_genre_share(&corpus, 10.0, 10);
+    assert!(share > 0.85, "dominant-genre share {share}");
+}
+
+#[test]
+fn reading_distributions_are_heavy_tailed() {
+    let corpus = reading_machine::datagen::generate_corpus(42, Preset::Medium);
+    let (per_user, per_book) = reading_cdfs(&corpus);
+    // Right-skew: mean above median for books.
+    let book_median = per_book.quantile(0.5);
+    let book_p95 = per_book.quantile(0.95);
+    assert!(book_p95 > 2 * book_median, "book tail p95 {book_p95} vs median {book_median}");
+    let user_median = per_user.quantile(0.5);
+    let user_p95 = per_user.quantile(0.95);
+    assert!(user_p95 > 2 * user_median, "user tail p95 {user_p95} vs median {user_median}");
+}
+
+#[test]
+fn filters_do_real_work_on_raw_tables() {
+    let preset = Preset::Tiny;
+    let config = preset.generator_config();
+    let tables = generate(42, &config);
+    let corpus = build_corpus(
+        &tables.bct_books,
+        &tables.loans,
+        &tables.anobii_items,
+        &tables.ratings,
+        &preset.merge_config(),
+    );
+    // Noise rows exist and are excluded: the merged catalogue is smaller
+    // than either raw table and no larger than the overlap.
+    assert!(corpus.n_books() <= config.world.n_overlap_books);
+    assert!(tables.bct_books.len() > config.world.n_overlap_books);
+    // Some loans reference non-merged books and were dropped, and users
+    // below the threshold disappeared.
+    assert!(corpus.n_readings() < tables.loans.len() + tables.ratings.len());
+    assert!(corpus.n_users() < config.bct.n_users + config.anobii.n_users);
+}
