@@ -23,7 +23,11 @@ fn bench(c: &mut Criterion) {
             ))
         });
     });
-    let mut ci = ClosestItems::from_corpus(&harness.corpus, SummaryFields::ALL, EncoderConfig::default());
+    let mut ci = ClosestItems::from_corpus(
+        &harness.corpus,
+        SummaryFields::ALL,
+        EncoderConfig::default(),
+    );
     ci.fit(&harness.split.train);
     group.bench_function("evaluate_closest_all_fields", |b| {
         b.iter(|| black_box(evaluate(&ci, &cases, 20)));

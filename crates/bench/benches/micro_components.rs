@@ -32,10 +32,21 @@ fn bench(c: &mut Criterion) {
     let book_table = ZipfWeights::new(0.3).alias_table(2_332);
     let mut rng2 = rng_from_seed(2);
     let pairs: Vec<(u32, u32)> = (0..100_000)
-        .map(|_| (user_table.sample(&mut rng2) as u32, book_table.sample(&mut rng2) as u32))
+        .map(|_| {
+            (
+                user_table.sample(&mut rng2) as u32,
+                book_table.sample(&mut rng2) as u32,
+            )
+        })
         .collect();
     c.bench_function("micro/csr_from_100k_pairs", |b| {
-        b.iter(|| black_box(rm_sparse::CsrMatrix::from_pairs(5_000, 2_332, black_box(&pairs))));
+        b.iter(|| {
+            black_box(rm_sparse::CsrMatrix::from_pairs(
+                5_000,
+                2_332,
+                black_box(&pairs),
+            ))
+        });
     });
 
     // Metadata-summary encoding.
@@ -50,7 +61,15 @@ fn bench(c: &mut Criterion) {
         use rm_embed::ann::SignLshIndex;
         use rm_embed::EmbeddingStore;
         let texts: Vec<String> = (0..2_332)
-            .map(|i| format!("autore{} genere{} parola{} tema{}", i % 700, i % 14, i, i % 97))
+            .map(|i| {
+                format!(
+                    "autore{} genere{} parola{} tema{}",
+                    i % 700,
+                    i % 14,
+                    i,
+                    i % 97
+                )
+            })
             .collect();
         let store = EmbeddingStore::encode_all(&encoder, &texts);
         let index = SignLshIndex::build(&store, 14, 3);
@@ -67,7 +86,10 @@ fn bench(c: &mut Criterion) {
         let pairs: Vec<(rm_dataset::ids::UserIdx, rm_dataset::ids::BookIdx)> = (0..500u32)
             .flat_map(|u| {
                 (0..20u32).map(move |i| {
-                    (rm_dataset::ids::UserIdx(u), rm_dataset::ids::BookIdx((u % 10) * 100 + i))
+                    (
+                        rm_dataset::ids::UserIdx(u),
+                        rm_dataset::ids::BookIdx((u % 10) * 100 + i),
+                    )
                 })
             })
             .collect();
@@ -77,7 +99,13 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("warp_epoch_10k_interactions", |b| {
         b.iter_batched(
-            || Bpr::new(BprConfig { factors: 20, epochs: 1, ..BprConfig::default() }),
+            || {
+                Bpr::new(BprConfig {
+                    factors: 20,
+                    epochs: 1,
+                    ..BprConfig::default()
+                })
+            },
             |mut bpr| {
                 bpr.fit(&train);
                 black_box(bpr)

@@ -1,0 +1,114 @@
+//! Serving-engine throughput: single calls vs the scoped-thread batch
+//! path at 1, 4, and 8 workers, plus the cache hit path.
+//!
+//! The fixture trains a Tiny-preset suite once, persists it through the
+//! artifact registry, and reloads it exactly as production serving would.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_core::bpr::{Bpr, BprConfig};
+use rm_core::closest::ClosestItems;
+use rm_core::most_read::MostReadItems;
+use rm_core::Recommender;
+use rm_datagen::Preset;
+use rm_dataset::ids::UserIdx;
+use rm_dataset::summary::SummaryFields;
+use rm_embed::EncoderConfig;
+use rm_eval::harness::Harness;
+use rm_serve::engine::{EngineConfig, ServingEngine};
+use rm_serve::registry::{ArtifactRegistry, Manifest};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let h = Harness::generate(11, Preset::Tiny);
+    let train = h.split.train.clone();
+    let mut bpr = Bpr::new(BprConfig {
+        factors: 8,
+        epochs: 3,
+        ..BprConfig::default()
+    });
+    bpr.fit(&train);
+    let mut most_read = MostReadItems::new();
+    most_read.fit(&train);
+    let mut closest =
+        ClosestItems::from_corpus(&h.corpus, SummaryFields::BEST, EncoderConfig::default());
+    closest.fit(&train);
+
+    let dir = std::env::temp_dir().join(format!("rm-serve-bench-{}", std::process::id()));
+    let registry = ArtifactRegistry::new(&dir);
+    registry
+        .save(
+            &Manifest {
+                epoch: 1,
+                fields: SummaryFields::BEST,
+            },
+            bpr.model().expect("fitted"),
+            &most_read,
+            closest.store(),
+        )
+        .expect("save artifacts");
+
+    let users: Vec<UserIdx> = (0..256)
+        .map(|i| UserIdx(i % train.n_users() as u32))
+        .collect();
+    let k = 10;
+
+    // Cold single calls (cache disabled isolates model cost).
+    let engine = ServingEngine::load(
+        &registry,
+        &train,
+        EngineConfig {
+            cache_capacity: 0,
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine loads");
+    c.bench_function("serve/single_256req", |b| {
+        b.iter(|| {
+            for &u in &users {
+                black_box(engine.recommend(u, k));
+            }
+        });
+    });
+
+    for workers in [1usize, 4, 8] {
+        let engine = ServingEngine::load(
+            &registry,
+            &train,
+            EngineConfig {
+                cache_capacity: 0,
+                workers,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("engine loads");
+        c.bench_function(&format!("serve/batch_256req_x{workers}"), |b| {
+            b.iter(|| black_box(engine.recommend_batch(&users, k)));
+        });
+    }
+
+    // Warm cache: every request after the first pass is a hit.
+    let warm = ServingEngine::load(
+        &registry,
+        &train,
+        EngineConfig {
+            cache_capacity: 4096,
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine loads");
+    warm.recommend_batch(&users, k);
+    c.bench_function("serve/cached_256req", |b| {
+        b.iter(|| {
+            for &u in &users {
+                black_box(warm.recommend(u, k));
+            }
+        });
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,7 +10,12 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let (harness, suite) = rm_bench::bench_context();
-    let users: Vec<_> = harness.test_cases().iter().map(|c| c.user).take(64).collect();
+    let users: Vec<_> = harness
+        .test_cases()
+        .iter()
+        .map(|c| c.user)
+        .take(64)
+        .collect();
 
     let mut group = c.benchmark_group("table2/recommendation_k20");
     for rec in [

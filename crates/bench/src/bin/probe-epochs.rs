@@ -11,10 +11,16 @@ fn main() {
     let hist = harness.test_case_histories();
     let bins = equal_population_bins(&hist, 4);
     for epochs in [3usize, 6, 10, 15] {
-        let mut bpr = Bpr::new(BprConfig { epochs, ..opts.bpr_config() });
+        let mut bpr = Bpr::new(BprConfig {
+            epochs,
+            ..opts.bpr_config()
+        });
         bpr.fit(&harness.split.train);
         let binned = evaluate_by_bin(&bpr, &cases, &hist, &bins, 20);
-        let nrrs: Vec<String> = binned.iter().map(|b| format!("{:.2}", b.kpis.nrr)).collect();
+        let nrrs: Vec<String> = binned
+            .iter()
+            .map(|b| format!("{:.2}", b.kpis.nrr))
+            .collect();
         println!("epochs {epochs:>2}: NRR by bin = {}", nrrs.join("  "));
     }
 }

@@ -12,7 +12,8 @@ fn main() {
     let suite = opts.suite(&harness);
     let cases = harness.test_cases();
     let hist = harness.test_case_histories();
-    let book_pop = rm_dataset::interactions::Interactions::from_corpus(&harness.corpus).book_counts();
+    let book_pop =
+        rm_dataset::interactions::Interactions::from_corpus(&harness.corpus).book_counts();
 
     for (name, rec) in [
         ("Closest", &suite.closest as &dyn Recommender),
@@ -28,7 +29,11 @@ fn main() {
                     continue;
                 }
                 tests += case.test.len();
-                let train_authors: HashSet<&str> = harness.split.train.seen(case.user).iter()
+                let train_authors: HashSet<&str> = harness
+                    .split
+                    .train
+                    .seen(case.user)
+                    .iter()
                     .flat_map(|&b| harness.corpus.books[b as usize].authors.iter())
                     .map(String::as_str)
                     .collect();
@@ -36,7 +41,11 @@ fn main() {
                     if case.test.binary_search(&b).is_ok() {
                         hits += 1;
                         pop_sum += book_pop[b as usize] as f64;
-                        if harness.corpus.books[b as usize].authors.iter().any(|a| train_authors.contains(a.as_str())) {
+                        if harness.corpus.books[b as usize]
+                            .authors
+                            .iter()
+                            .any(|a| train_authors.contains(a.as_str()))
+                        {
                             same_author += 1;
                         }
                     }

@@ -33,7 +33,11 @@ fn main() {
             ci.point,
             ci.lo,
             ci.hi,
-            if ci.excludes_zero() { "significant at 95%" } else { "not significant" }
+            if ci.excludes_zero() {
+                "significant at 95%"
+            } else {
+                "not significant"
+            }
         );
     }
     println!("total {:.1?}", t0.elapsed());

@@ -155,7 +155,6 @@ pub fn bench_context() -> (Harness, TrainedSuite) {
     (harness, suite)
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,9 +173,11 @@ mod tests {
 
     #[test]
     fn flags_parse() {
-        let o = Options::parse(&args(&["--preset", "tiny", "--seed", "7", "--out", "/tmp/x"]))
-            .unwrap()
-            .unwrap();
+        let o = Options::parse(&args(&[
+            "--preset", "tiny", "--seed", "7", "--out", "/tmp/x",
+        ]))
+        .unwrap()
+        .unwrap();
         assert_eq!(o.preset, Preset::Tiny);
         assert_eq!(o.seed, 7);
         assert_eq!(o.out, PathBuf::from("/tmp/x"));
@@ -195,16 +196,27 @@ mod tests {
 
     #[test]
     fn errors_are_specific() {
-        assert!(Options::parse(&args(&["--preset", "huge"])).unwrap_err().contains("preset"));
-        assert!(Options::parse(&args(&["--seed", "abc"])).unwrap_err().contains("seed"));
-        assert!(Options::parse(&args(&["--wat"])).unwrap_err().contains("--wat"));
-        assert!(Options::parse(&args(&["--seed"])).unwrap_err().contains("seed"));
+        assert!(Options::parse(&args(&["--preset", "huge"]))
+            .unwrap_err()
+            .contains("preset"));
+        assert!(Options::parse(&args(&["--seed", "abc"]))
+            .unwrap_err()
+            .contains("seed"));
+        assert!(Options::parse(&args(&["--wat"]))
+            .unwrap_err()
+            .contains("--wat"));
+        assert!(Options::parse(&args(&["--seed"]))
+            .unwrap_err()
+            .contains("seed"));
     }
 
     #[test]
     fn bpr_config_scales_epochs_with_preset() {
         let paper = Options::parse(&[]).unwrap().unwrap().bpr_config();
-        let tiny = Options::parse(&args(&["--preset", "tiny"])).unwrap().unwrap().bpr_config();
+        let tiny = Options::parse(&args(&["--preset", "tiny"]))
+            .unwrap()
+            .unwrap()
+            .bpr_config();
         assert!(paper.epochs > tiny.epochs);
         assert_eq!(paper.factors, 20);
     }

@@ -34,7 +34,11 @@ impl ClosestItems {
     /// summary for `fields`, fits the encoder's IDF model on those
     /// summaries, and encodes the catalogue.
     #[must_use]
-    pub fn from_corpus(corpus: &Corpus, fields: SummaryFields, encoder_config: EncoderConfig) -> Self {
+    pub fn from_corpus(
+        corpus: &Corpus,
+        fields: SummaryFields,
+        encoder_config: EncoderConfig,
+    ) -> Self {
         let summaries = build_summaries(corpus, fields);
         let encoder = SemanticEncoder::fit(encoder_config, &summaries);
         let store = EmbeddingStore::encode_all(&encoder, &summaries);
@@ -106,7 +110,7 @@ impl ClosestItems {
 }
 
 impl Recommender for ClosestItems {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Closest Items"
     }
 
@@ -134,6 +138,22 @@ impl Recommender for ClosestItems {
         rank_by_scores(self.train().n_books(), self.train().seen(user), k, |b| {
             sims[b as usize]
         })
+    }
+
+    fn recommend_batch(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
+        let train = self.train();
+        // One catalogue-sized similarity buffer for the whole batch.
+        let mut sims = Vec::with_capacity(self.store.len());
+        users
+            .iter()
+            .map(|&u| {
+                let Some(q) = self.query(u) else {
+                    return Vec::new();
+                };
+                self.store.similarities_into(&q, &mut sims);
+                rank_by_scores(train.n_books(), train.seen(u), k, |b| sims[b as usize])
+            })
+            .collect()
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
@@ -170,7 +190,10 @@ mod tests {
                 book("Ombra Lunga", "Carlo Verdi", 0),
                 book("Draghi di Cristallo", "Luisa Blu", 7),
             ],
-            users: vec![User { source: Source::Bct, raw_id: 0 }],
+            users: vec![User {
+                source: Source::Bct,
+                raw_id: 0,
+            }],
             readings: vec![rm_dataset::corpus::Reading {
                 user: UserIdx(0),
                 book: BookIdx(0),
@@ -210,11 +233,8 @@ mod tests {
     fn centroid_matches_bruteforce_average() {
         // Multi-book history: the fast path must equal Eq. 1 exactly.
         let c = corpus();
-        let train = Interactions::from_pairs(
-            1,
-            4,
-            &[(UserIdx(0), BookIdx(0)), (UserIdx(0), BookIdx(3))],
-        );
+        let train =
+            Interactions::from_pairs(1, 4, &[(UserIdx(0), BookIdx(0)), (UserIdx(0), BookIdx(3))]);
         let mut ci = ClosestItems::from_corpus(&c, SummaryFields::ALL, EncoderConfig::default());
         ci.fit(&train);
         for b in [1u32, 2] {
@@ -244,9 +264,8 @@ mod tests {
         let authors = fitted(SummaryFields::AUTHORS);
         // With authors, book 1 (same author) scores far above book 3;
         // with titles only the two share no tokens, so the gap collapses.
-        let gap = |ci: &ClosestItems| {
-            ci.score(UserIdx(0), BookIdx(1)) - ci.score(UserIdx(0), BookIdx(3))
-        };
+        let gap =
+            |ci: &ClosestItems| ci.score(UserIdx(0), BookIdx(1)) - ci.score(UserIdx(0), BookIdx(3));
         assert!(gap(&authors) > gap(&title_only) + 0.3);
     }
 
@@ -255,9 +274,31 @@ mod tests {
         // A fresh reader with the same history as user 0 gets the same
         // recommendations — without any training matrix involved.
         let ci = fitted(SummaryFields::BEST);
-        let unfitted = ClosestItems::from_corpus(&corpus(), SummaryFields::BEST, EncoderConfig::default());
-        assert_eq!(unfitted.recommend_for_history(&[0], 3), ci.recommend(UserIdx(0), 3));
+        let unfitted =
+            ClosestItems::from_corpus(&corpus(), SummaryFields::BEST, EncoderConfig::default());
+        assert_eq!(
+            unfitted.recommend_for_history(&[0], 3),
+            ci.recommend(UserIdx(0), 3)
+        );
         assert!(unfitted.recommend_for_history(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_calls() {
+        // User 1 has an empty history: the batch entry must stay empty
+        // without disturbing its neighbours' shared buffer.
+        let c = corpus();
+        let train = Interactions::from_pairs(2, 4, &[(UserIdx(0), BookIdx(0))]);
+        let mut ci = ClosestItems::from_corpus(&c, SummaryFields::BEST, EncoderConfig::default());
+        ci.fit(&train);
+        let users = [UserIdx(0), UserIdx(1), UserIdx(0)];
+        for k in [1usize, 3, usize::MAX] {
+            let batch = ci.recommend_batch(&users, k);
+            assert_eq!(batch.len(), users.len());
+            for (&u, got) in users.iter().zip(&batch) {
+                assert_eq!(got, &ci.recommend(u, k), "user {u:?} k {k}");
+            }
+        }
     }
 
     #[test]

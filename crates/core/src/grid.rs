@@ -114,7 +114,10 @@ mod tests {
             factors: vec![2, 4],
             learning_rates: vec![0.05, 0.1, 0.2],
         };
-        let base = BprConfig { epochs: 2, ..BprConfig::default() };
+        let base = BprConfig {
+            epochs: 2,
+            ..BprConfig::default()
+        };
         let outcome = grid.run(&base, &tiny_train(), |_| 0.0);
         assert_eq!(outcome.points.len(), 6);
         // Ties keep the first point.
@@ -128,7 +131,10 @@ mod tests {
             factors: vec![2, 4, 8],
             learning_rates: vec![0.1],
         };
-        let base = BprConfig { epochs: 1, ..BprConfig::default() };
+        let base = BprConfig {
+            epochs: 1,
+            ..BprConfig::default()
+        };
         // Scorer that prefers 4 factors.
         let outcome = grid.run(&base, &tiny_train(), |m| {
             -((m.config().factors as f64) - 4.0).abs()
@@ -143,7 +149,11 @@ mod tests {
             factors: vec![3],
             learning_rates: vec![0.2],
         };
-        let base = BprConfig { epochs: 1, seed: 123, ..BprConfig::default() };
+        let base = BprConfig {
+            epochs: 1,
+            seed: 123,
+            ..BprConfig::default()
+        };
         let outcome = grid.run(&base, &tiny_train(), |_| 1.0);
         assert_eq!(outcome.best.seed, 123);
         assert_eq!(outcome.best.epochs, 1);

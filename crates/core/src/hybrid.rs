@@ -72,7 +72,7 @@ impl<A: Recommender, B: Recommender> Blend<A, B> {
 }
 
 impl<A: Recommender, B: Recommender> Recommender for Blend<A, B> {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Hybrid Blend"
     }
 
@@ -88,9 +88,12 @@ impl<A: Recommender, B: Recommender> Recommender for Blend<A, B> {
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
         let scores = self.blended_scores(user);
-        rank_by_scores(self.train_ref().n_books(), self.train_ref().seen(user), k, |b| {
-            scores[b as usize]
-        })
+        rank_by_scores(
+            self.train_ref().n_books(),
+            self.train_ref().seen(user),
+            k,
+            |b| scores[b as usize],
+        )
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {

@@ -115,17 +115,17 @@ impl ItemKnn {
 }
 
 impl Recommender for ItemKnn {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Item kNN"
     }
 
     fn fit(&mut self, train: &Interactions) {
         let n_books = train.n_books();
         let by_item = train.as_csr().transpose(); // book × user
-        // Popularity for the cosine denominator counts only the users that
-        // also contribute to the co-occurrence numerator (those under the
-        // history cap) — otherwise books read mostly by skipped heavy
-        // users would get systematically shrunken similarities.
+                                                  // Popularity for the cosine denominator counts only the users that
+                                                  // also contribute to the co-occurrence numerator (those under the
+                                                  // history cap) — otherwise books read mostly by skipped heavy
+                                                  // users would get systematically shrunken similarities.
         let counted = |u: u32| train.seen(UserIdx(u)).len() <= self.config.max_user_history;
         let pop: Vec<f32> = (0..n_books)
             .map(|b| by_item.row(b).iter().filter(|&&u| counted(u)).count() as f32)
@@ -164,7 +164,11 @@ impl Recommender for ItemKnn {
             }
             touched.clear();
             // CSR rows must be sorted by column index.
-            let mut row: Vec<(u32, f32)> = top.into_sorted().into_iter().map(|s| (s.item, s.score)).collect();
+            let mut row: Vec<(u32, f32)> = top
+                .into_sorted()
+                .into_iter()
+                .map(|s| (s.item, s.score))
+                .collect();
             row.sort_unstable_by_key(|&(b, _)| b);
             for (b, s) in row {
                 indices.push(b);
@@ -173,7 +177,9 @@ impl Recommender for ItemKnn {
             indptr.push(indices.len());
         }
 
-        self.similarities = Some(CsrMatrix::from_parts(n_books, n_books, indptr, indices, values));
+        self.similarities = Some(CsrMatrix::from_parts(
+            n_books, n_books, indptr, indices, values,
+        ));
         self.train = Some(train.clone());
     }
 
@@ -183,9 +189,12 @@ impl Recommender for ItemKnn {
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
         let scores = self.user_scores(user);
-        rank_by_scores(self.train_ref().n_books(), self.train_ref().seen(user), k, |b| {
-            scores[b as usize]
-        })
+        rank_by_scores(
+            self.train_ref().n_books(),
+            self.train_ref().seen(user),
+            k,
+            |b| scores[b as usize],
+        )
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
@@ -267,12 +276,18 @@ mod tests {
     #[test]
     fn shrinkage_damps_similarities() {
         let strong = {
-            let mut knn = ItemKnn::new(ItemKnnConfig { shrinkage: 0.0, ..ItemKnnConfig::default() });
+            let mut knn = ItemKnn::new(ItemKnnConfig {
+                shrinkage: 0.0,
+                ..ItemKnnConfig::default()
+            });
             knn.fit(&community_train());
             knn.neighbors_of(BookIdx(0))[0].1
         };
         let damped = {
-            let mut knn = ItemKnn::new(ItemKnnConfig { shrinkage: 20.0, ..ItemKnnConfig::default() });
+            let mut knn = ItemKnn::new(ItemKnnConfig {
+                shrinkage: 20.0,
+                ..ItemKnnConfig::default()
+            });
             knn.fit(&community_train());
             knn.neighbors_of(BookIdx(0))[0].1
         };
@@ -281,7 +296,10 @@ mod tests {
 
     #[test]
     fn neighbor_cap_respected() {
-        let mut knn = ItemKnn::new(ItemKnnConfig { neighbors: 1, ..ItemKnnConfig::default() });
+        let mut knn = ItemKnn::new(ItemKnnConfig {
+            neighbors: 1,
+            ..ItemKnnConfig::default()
+        });
         knn.fit(&community_train());
         for b in 0..6 {
             assert!(knn.neighbors_of(BookIdx(b)).len() <= 1);
@@ -292,7 +310,8 @@ mod tests {
     fn heavy_users_are_skipped() {
         // One user reads everything: with the cap below their history they
         // contribute no co-occurrence, so the two cliques stay separate.
-        let mut pairs: Vec<(UserIdx, BookIdx)> = (0..6u32).map(|b| (UserIdx(0), BookIdx(b))).collect();
+        let mut pairs: Vec<(UserIdx, BookIdx)> =
+            (0..6u32).map(|b| (UserIdx(0), BookIdx(b))).collect();
         pairs.push((UserIdx(1), BookIdx(0)));
         pairs.push((UserIdx(1), BookIdx(1)));
         let train = Interactions::from_pairs(2, 6, &pairs);

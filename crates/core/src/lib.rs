@@ -45,8 +45,10 @@ use rm_dataset::interactions::Interactions;
 /// number of `recommend`/`rank_all`/`score` calls. Users and books are the
 /// dense corpus indices of the training matrix.
 pub trait Recommender {
-    /// Short display name (used in report tables).
-    fn name(&self) -> &'static str;
+    /// Short display name (used in report tables). Borrowed from `self` so
+    /// implementations may carry runtime-built names (e.g. a serving slot
+    /// labelled with its artifact epoch).
+    fn name(&self) -> &str;
 
     /// Fits the recommender on the training interactions.
     fn fit(&mut self, train: &Interactions);
@@ -58,6 +60,17 @@ pub trait Recommender {
     /// The top-`k` unseen books for `user`, best first. Books the user has
     /// read in the training set are never recommended.
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32>;
+
+    /// Top-`k` recommendations for a batch of users, in input order.
+    ///
+    /// The default defers to [`Recommender::recommend`] per user; models
+    /// with per-call setup cost (score buffers, centroids) override it to
+    /// amortise that work across the batch. Implementations must return
+    /// exactly `users.len()` rankings, each byte-identical to the
+    /// corresponding single-user call.
+    fn recommend_batch(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
+        users.iter().map(|&u| self.recommend(u, k)).collect()
+    }
 
     /// The full ranking of unseen books (equivalent to
     /// `recommend(user, n_books)`); used by the First-Rank KPI.
@@ -73,7 +86,10 @@ pub(crate) fn rank_by_scores(
     k: usize,
     mut score: impl FnMut(u32) -> f32,
 ) -> Vec<u32> {
-    let mut top = rm_util::TopK::new(k.max(1));
+    // Clamp before TopK: `k` may be usize::MAX ("rank everything") and
+    // TopK pre-allocates its capacity.
+    let k = k.min(n_books).max(1);
+    let mut top = rm_util::TopK::new(k);
     let mut seen_iter = seen.iter().copied().peekable();
     for b in 0..n_books as u32 {
         // `seen` is sorted: advance the cursor instead of binary-searching.

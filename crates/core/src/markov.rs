@@ -76,11 +76,15 @@ impl SequentialItems {
     }
 
     fn train_ref(&self) -> &Interactions {
-        self.train.as_ref().expect("SequentialItems::fit not called")
+        self.train
+            .as_ref()
+            .expect("SequentialItems::fit not called")
     }
 
     fn transitions_ref(&self) -> &CsrMatrix {
-        self.transitions.as_ref().expect("SequentialItems::fit not called")
+        self.transitions
+            .as_ref()
+            .expect("SequentialItems::fit not called")
     }
 
     /// The user's training readings in date order (latest last).
@@ -111,7 +115,7 @@ impl SequentialItems {
 }
 
 impl Recommender for SequentialItems {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Sequential Items"
     }
 
@@ -191,7 +195,10 @@ mod tests {
             })
             .collect();
         let users = (0..3)
-            .map(|raw_id| User { source: Source::Bct, raw_id })
+            .map(|raw_id| User {
+                source: Source::Bct,
+                raw_id,
+            })
             .collect();
         let mut readings = Vec::new();
         for u in 0..2u32 {
@@ -203,8 +210,16 @@ mod tests {
                 });
             }
         }
-        readings.push(Reading { user: UserIdx(2), book: BookIdx(0), date: Day(0) });
-        readings.push(Reading { user: UserIdx(2), book: BookIdx(1), date: Day(10) });
+        readings.push(Reading {
+            user: UserIdx(2),
+            book: BookIdx(0),
+            date: Day(0),
+        });
+        readings.push(Reading {
+            user: UserIdx(2),
+            book: BookIdx(1),
+            date: Day(10),
+        });
         let mut c = Corpus {
             books,
             users,

@@ -28,6 +28,36 @@ impl MostReadItems {
         Self::default()
     }
 
+    /// Rebuilds the baseline from persisted read counts (see
+    /// [`crate::persist`]): the popularity order is derived from the
+    /// counts, exactly as [`Recommender::fit`] derives it. The training
+    /// matrix for seen-book exclusion must follow via
+    /// [`MostReadItems::install`].
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let mut m = Self::default();
+        m.set_counts(counts);
+        m
+    }
+
+    /// Attaches the interactions used for seen-book exclusion to a model
+    /// restored by [`MostReadItems::from_counts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalogue sizes disagree.
+    pub fn install(&mut self, train: &Interactions) {
+        assert_eq!(self.counts.len(), train.n_books(), "book count mismatch");
+        self.train = Some(train.clone());
+    }
+
+    fn set_counts(&mut self, counts: Vec<u64>) {
+        let mut order: Vec<u32> = (0..counts.len() as u32).collect();
+        order.sort_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]).then(a.cmp(&b)));
+        self.counts = counts;
+        self.by_popularity = order;
+    }
+
     fn train(&self) -> &Interactions {
         self.train.as_ref().expect("MostReadItems::fit not called")
     }
@@ -37,22 +67,27 @@ impl MostReadItems {
     pub fn count(&self, book: BookIdx) -> u64 {
         self.counts[book.index()]
     }
+
+    /// Read counts per book (the persisted state).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Books sorted by descending read count (ties by index).
+    #[must_use]
+    pub fn popularity_order(&self) -> &[u32] {
+        &self.by_popularity
+    }
 }
 
 impl Recommender for MostReadItems {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Most Read Items"
     }
 
     fn fit(&mut self, train: &Interactions) {
-        self.counts = train.book_counts();
-        let mut order: Vec<u32> = (0..train.n_books() as u32).collect();
-        order.sort_by(|&a, &b| {
-            self.counts[b as usize]
-                .cmp(&self.counts[a as usize])
-                .then(a.cmp(&b))
-        });
-        self.by_popularity = order;
+        self.set_counts(train.book_counts());
         self.train = Some(train.clone());
     }
 
@@ -133,11 +168,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_index() {
-        let train = Interactions::from_pairs(
-            1,
-            3,
-            &[(UserIdx(0), BookIdx(2))],
-        );
+        let train = Interactions::from_pairs(1, 3, &[(UserIdx(0), BookIdx(2))]);
         let mut m = MostReadItems::new();
         m.fit(&train);
         // Books 0 and 1 both have count 0 → index order.

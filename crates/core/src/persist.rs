@@ -1,19 +1,31 @@
-//! Binary persistence of trained BPR models.
+//! Binary persistence of trained models.
 //!
 //! A deployed recommendation service (the Reading&Machine VR kiosk) trains
 //! offline and serves online; this module provides the handoff format — a
-//! small self-describing little-endian codec with a magic header and a
-//! trailing checksum, no external serialisation dependencies.
+//! small self-describing little-endian codec with a magic header, a
+//! per-model tag byte, and a trailing checksum, no external serialisation
+//! dependencies.
 //!
-//! Layout: `magic (8) | users u32 | books u32 | factors u32 |
-//! user_factors f32×(users·L) | item_factors f32×(books·L) | fnv64 of all
-//! preceding bytes`.
+//! Container layout (version 2): `magic "RMODEL\0\x02" (8) | tag (1) |
+//! model payload | fnv64 of all preceding bytes`. Each persistable model
+//! implements [`PersistModel`] — a payload codec plus a unique tag — and
+//! inherits [`PersistModel::to_bytes`] / [`PersistModel::from_bytes`],
+//! which handle the container (magic, tag dispatch, checksum) uniformly.
+//!
+//! Version-1 files (`"RMBPR\0\0\x01"`, BPR only, no tag byte) are still
+//! decoded by [`BprModel::from_bytes`] and [`decode`]; the seed codec
+//! never wrote any other model kind.
 
 use crate::bpr::BprModel;
+use crate::most_read::MostReadItems;
+use rm_embed::EmbeddingStore;
 use rm_sparse::DenseMatrix;
 
-/// Format magic: "RMBPR\0\0\x01" (version 1).
-const MAGIC: [u8; 8] = *b"RMBPR\0\0\x01";
+/// Container magic: "RMODEL\0\x02" (version 2, tagged).
+const MAGIC: [u8; 8] = *b"RMODEL\0\x02";
+
+/// Version-1 magic: "RMBPR\0\0\x01" (BPR factors only, untagged).
+const LEGACY_BPR_MAGIC: [u8; 8] = *b"RMBPR\0\0\x01";
 
 /// Errors arising when decoding a serialised model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +34,13 @@ pub enum DecodeError {
     Truncated,
     /// Magic bytes mismatch (not a model file / wrong version).
     BadMagic,
+    /// The file holds a different model kind than requested.
+    WrongModel {
+        /// The tag the caller asked for.
+        expected: u8,
+        /// The tag found in the file.
+        found: u8,
+    },
     /// Declared dimensions don't match the payload length.
     LengthMismatch,
     /// Checksum mismatch (corrupted payload).
@@ -32,7 +51,13 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Truncated => write!(f, "input truncated"),
-            Self::BadMagic => write!(f, "bad magic (not a BPR model, or unsupported version)"),
+            Self::BadMagic => write!(f, "bad magic (not a model file, or unsupported version)"),
+            Self::WrongModel { expected, found } => {
+                write!(
+                    f,
+                    "model tag mismatch (expected {expected:#04x}, found {found:#04x})"
+                )
+            }
             Self::LengthMismatch => write!(f, "payload length does not match declared dimensions"),
             Self::BadChecksum => write!(f, "checksum mismatch"),
         }
@@ -51,72 +76,245 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serialises a model.
-#[must_use]
-pub fn encode(model: &BprModel) -> Vec<u8> {
-    let users = model.user_factors.rows();
-    let books = model.item_factors.rows();
-    let factors = model.user_factors.cols();
-    assert_eq!(factors, model.item_factors.cols(), "factor dims disagree");
+/// A model with a binary artifact codec.
+///
+/// Implementations define only the payload layout; the container (magic,
+/// tag byte, trailing checksum) is handled by the provided
+/// [`PersistModel::to_bytes`] / [`PersistModel::from_bytes`], so every
+/// artifact on disk is self-describing and corruption-evident the same
+/// way.
+pub trait PersistModel: Sized {
+    /// Unique model-kind tag stored after the magic.
+    const TAG: u8;
 
-    let mut out = Vec::with_capacity(8 + 12 + 4 * (users + books) * factors + 8);
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&u32::try_from(users).expect("user count fits u32").to_le_bytes());
-    out.extend_from_slice(&u32::try_from(books).expect("book count fits u32").to_le_bytes());
-    out.extend_from_slice(&u32::try_from(factors).expect("factor count fits u32").to_le_bytes());
-    for &v in model.user_factors.as_slice() {
-        out.extend_from_slice(&v.to_le_bytes());
+    /// Human-readable model kind (manifest entries, error context).
+    const KIND: &'static str;
+
+    /// Appends the model payload (everything between tag and checksum).
+    fn encode_payload(&self, out: &mut Vec<u8>);
+
+    /// Decodes the payload produced by
+    /// [`PersistModel::encode_payload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the payload is malformed.
+    fn decode_payload(payload: &[u8]) -> Result<Self, DecodeError>;
+
+    /// Serialises the model into a tagged, checksummed container.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 1 + 8);
+        out.extend_from_slice(&MAGIC);
+        out.push(Self::TAG);
+        self.encode_payload(&mut out);
+        let checksum = fnv64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
     }
-    for &v in model.item_factors.as_slice() {
-        out.extend_from_slice(&v.to_le_bytes());
+
+    /// Deserialises a model from a tagged container.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the input is truncated, has the
+    /// wrong magic, carries a different model's tag, declares dimensions
+    /// inconsistent with the payload, or fails the checksum.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode_payload(container_payload(bytes, Self::TAG)?)
     }
-    let checksum = fnv64(&out);
-    out.extend_from_slice(&checksum.to_le_bytes());
-    out
 }
 
-/// Deserialises a model.
+/// Validates the container (magic, checksum, then tag) and returns the
+/// payload slice. The checksum is verified *before* the tag so a flipped
+/// tag byte reports corruption, not a model-kind mismatch.
+fn container_payload(bytes: &[u8], expected_tag: u8) -> Result<&[u8], DecodeError> {
+    if bytes.len() < 8 + 1 + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let body_end = bytes.len() - 8;
+    let declared = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    if fnv64(&bytes[..body_end]) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+    if bytes[8] != expected_tag {
+        return Err(DecodeError::WrongModel {
+            expected: expected_tag,
+            found: bytes[8],
+        });
+    }
+    Ok(&bytes[9..body_end])
+}
+
+/// The model tag stored in a container, without decoding the payload.
+/// `None` when the input is not a version-2 container.
+#[must_use]
+pub fn peek_tag(bytes: &[u8]) -> Option<u8> {
+    (bytes.len() >= 8 + 1 + 8 && bytes[..8] == MAGIC).then(|| bytes[8])
+}
+
+fn push_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&u32::try_from(v).expect("dimension fits u32").to_le_bytes());
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> usize {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize
+}
+
+/// Reads a `f32` little-endian payload of exactly `n` values.
+fn read_f32s(bytes: &[u8], n: usize) -> Result<Vec<f32>, DecodeError> {
+    if bytes.len() != 4 * n {
+        return Err(DecodeError::LengthMismatch);
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}
+
+impl PersistModel for BprModel {
+    const TAG: u8 = 0x01;
+    const KIND: &'static str = "bpr";
+
+    /// `users u32 | books u32 | factors u32 | user_factors f32×(users·L) |
+    /// item_factors f32×(books·L)` — identical to the version-1 body, so
+    /// the legacy path shares this decoder.
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        let factors = self.user_factors.cols();
+        assert_eq!(factors, self.item_factors.cols(), "factor dims disagree");
+        push_u32(out, self.user_factors.rows());
+        push_u32(out, self.item_factors.rows());
+        push_u32(out, factors);
+        for &v in self.user_factors.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in self.item_factors.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, DecodeError> {
+        if payload.len() < 12 {
+            return Err(DecodeError::Truncated);
+        }
+        let users = read_u32(payload, 0);
+        let books = read_u32(payload, 4);
+        let factors = read_u32(payload, 8);
+        let n = (users + books)
+            .checked_mul(factors)
+            .ok_or(DecodeError::LengthMismatch)?;
+        let floats = read_f32s(&payload[12..], n)?;
+        let (user_data, item_data) = floats.split_at(users * factors);
+        Ok(Self {
+            user_factors: DenseMatrix::from_vec(users, factors, user_data.to_vec()),
+            item_factors: DenseMatrix::from_vec(books, factors, item_data.to_vec()),
+        })
+    }
+
+    /// Accepts both the version-2 container and version-1
+    /// (`"RMBPR\0\0\x01"`) files written by the seed codec.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() >= 8 && bytes[..8] == LEGACY_BPR_MAGIC {
+            return decode_legacy_bpr(bytes);
+        }
+        Self::decode_payload(container_payload(bytes, Self::TAG)?)
+    }
+}
+
+/// Version-1 layout: `magic (8) | users u32 | books u32 | factors u32 |
+/// f32 payload | fnv64` — the body matches the version-2 BPR payload.
+fn decode_legacy_bpr(bytes: &[u8]) -> Result<BprModel, DecodeError> {
+    if bytes.len() < 8 + 12 + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let body_end = bytes.len() - 8;
+    let declared = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    if fnv64(&bytes[..body_end]) != declared {
+        return Err(DecodeError::BadChecksum);
+    }
+    BprModel::decode_payload(&bytes[8..body_end])
+}
+
+impl PersistModel for MostReadItems {
+    const TAG: u8 = 0x02;
+    const KIND: &'static str = "most-read";
+
+    /// `books u32 | counts u64×books`. The popularity order is derived,
+    /// not stored: the decoder rebuilds it from the counts.
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        let counts = self.counts();
+        push_u32(out, counts.len());
+        for &c in counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, DecodeError> {
+        if payload.len() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let books = read_u32(payload, 0);
+        let body = &payload[4..];
+        if body.len() != 8 * books {
+            return Err(DecodeError::LengthMismatch);
+        }
+        let counts: Vec<u64> = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        Ok(Self::from_counts(counts))
+    }
+}
+
+impl PersistModel for EmbeddingStore {
+    const TAG: u8 = 0x03;
+    const KIND: &'static str = "embeddings";
+
+    /// `rows u32 | dim u32 | embeddings f32×(rows·dim)`. Rows are the
+    /// already-normalised unit vectors; the decoder restores them verbatim
+    /// so a round trip is bit-exact.
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        push_u32(out, self.len());
+        push_u32(out, self.dim());
+        for i in 0..self.len() {
+            for &v in self.embedding(i) {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, DecodeError> {
+        if payload.len() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let rows = read_u32(payload, 0);
+        let dim = read_u32(payload, 4);
+        let n = rows.checked_mul(dim).ok_or(DecodeError::LengthMismatch)?;
+        let data = read_f32s(&payload[8..], n)?;
+        Ok(Self::from_unit_matrix(DenseMatrix::from_vec(
+            rows, dim, data,
+        )))
+    }
+}
+
+/// Serialises a BPR model (alias for [`PersistModel::to_bytes`], kept for
+/// the original BPR-only API).
+#[must_use]
+pub fn encode(model: &BprModel) -> Vec<u8> {
+    model.to_bytes()
+}
+
+/// Deserialises a BPR model from either codec version (alias for
+/// [`PersistModel::from_bytes`], kept for the original BPR-only API).
 ///
 /// # Errors
 ///
 /// Returns a [`DecodeError`] when the input is truncated, has the wrong
 /// magic, inconsistent dimensions, or a bad checksum.
 pub fn decode(bytes: &[u8]) -> Result<BprModel, DecodeError> {
-    if bytes.len() < 8 + 12 + 8 {
-        return Err(DecodeError::Truncated);
-    }
-    if bytes[..8] != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    let read_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-    let users = read_u32(8) as usize;
-    let books = read_u32(12) as usize;
-    let factors = read_u32(16) as usize;
-
-    let payload_f32 = (users + books)
-        .checked_mul(factors)
-        .ok_or(DecodeError::LengthMismatch)?;
-    let expected_len = 20 + 4 * payload_f32 + 8;
-    if bytes.len() != expected_len {
-        return Err(DecodeError::LengthMismatch);
-    }
-
-    let body_end = bytes.len() - 8;
-    let declared = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
-    if fnv64(&bytes[..body_end]) != declared {
-        return Err(DecodeError::BadChecksum);
-    }
-
-    let mut floats = bytes[20..body_end]
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")));
-    let user_data: Vec<f32> = floats.by_ref().take(users * factors).collect();
-    let item_data: Vec<f32> = floats.collect();
-
-    Ok(BprModel {
-        user_factors: DenseMatrix::from_vec(users, factors, user_data),
-        item_factors: DenseMatrix::from_vec(books, factors, item_data),
-    })
+    BprModel::from_bytes(bytes)
 }
 
 #[cfg(test)]
@@ -132,6 +330,17 @@ mod tests {
         }
     }
 
+    /// Re-creates a version-1 file byte stream (what the seed codec
+    /// wrote): legacy magic, untagged body, fnv64 checksum.
+    fn encode_legacy(model: &BprModel) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&LEGACY_BPR_MAGIC);
+        model.encode_payload(&mut out);
+        let checksum = fnv64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
     #[test]
     fn round_trip_is_exact() {
         let m = model();
@@ -141,10 +350,26 @@ mod tests {
     }
 
     #[test]
+    fn legacy_files_still_decode() {
+        let m = model();
+        let v1 = encode_legacy(&m);
+        assert_eq!(decode(&v1).unwrap(), m);
+        // And legacy corruption is still detected.
+        let mut bad = v1.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        assert_eq!(decode(&bad), Err(DecodeError::BadChecksum));
+        assert_eq!(decode(&v1[..v1.len() - 1]), Err(DecodeError::BadChecksum));
+    }
+
+    #[test]
     fn truncation_detected() {
         let bytes = encode(&model());
         assert_eq!(decode(&bytes[..10]), Err(DecodeError::Truncated));
-        assert_eq!(decode(&bytes[..bytes.len() - 1]), Err(DecodeError::LengthMismatch));
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::BadChecksum)
+        );
     }
 
     #[test]
@@ -165,12 +390,39 @@ mod tests {
     #[test]
     fn dimension_tampering_detected() {
         let mut bytes = encode(&model());
-        // Inflate the user count.
-        bytes[8] = bytes[8].wrapping_add(1);
+        // Inflate the user count (first payload u32, after magic + tag).
+        bytes[9] = bytes[9].wrapping_add(1);
         assert!(matches!(
             decode(&bytes),
             Err(DecodeError::LengthMismatch | DecodeError::BadChecksum)
         ));
+    }
+
+    #[test]
+    fn wrong_tag_detected() {
+        let m = fitted_most_read();
+        let bytes = m.to_bytes();
+        // Same container, different model type.
+        let err = BprModel::from_bytes(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::WrongModel {
+                expected: BprModel::TAG,
+                found: MostReadItems::TAG
+            }
+        );
+        assert!(err.to_string().contains("tag mismatch"));
+    }
+
+    #[test]
+    fn peek_tag_identifies_kind() {
+        assert_eq!(peek_tag(&encode(&model())), Some(BprModel::TAG));
+        assert_eq!(
+            peek_tag(&fitted_most_read().to_bytes()),
+            Some(MostReadItems::TAG)
+        );
+        assert_eq!(peek_tag(b"short"), None);
+        assert_eq!(peek_tag(&encode_legacy(&model())), None);
     }
 
     #[test]
@@ -182,6 +434,46 @@ mod tests {
         let back = decode(&encode(&m)).unwrap();
         assert_eq!(back.user_factors.rows(), 0);
         assert_eq!(back.item_factors.cols(), 3);
+    }
+
+    fn fitted_most_read() -> MostReadItems {
+        use crate::Recommender;
+        use rm_dataset::ids::{BookIdx, UserIdx};
+        use rm_dataset::interactions::Interactions;
+        let train = Interactions::from_pairs(
+            3,
+            5,
+            &[
+                (UserIdx(0), BookIdx(0)),
+                (UserIdx(1), BookIdx(0)),
+                (UserIdx(2), BookIdx(3)),
+            ],
+        );
+        let mut m = MostReadItems::new();
+        m.fit(&train);
+        m
+    }
+
+    #[test]
+    fn most_read_round_trip_preserves_order_and_counts() {
+        use rm_dataset::ids::BookIdx;
+        let m = fitted_most_read();
+        let back = MostReadItems::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.counts(), m.counts());
+        assert_eq!(back.count(BookIdx(0)), 2);
+        assert_eq!(back.popularity_order(), m.popularity_order());
+    }
+
+    #[test]
+    fn embedding_store_round_trip_is_exact() {
+        let mut rng = rng_from_seed(9);
+        let store = EmbeddingStore::from_matrix(DenseMatrix::gaussian(6, 5, 1.0, &mut rng));
+        let back = EmbeddingStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(back.len(), store.len());
+        assert_eq!(back.dim(), store.dim());
+        for i in 0..store.len() {
+            assert_eq!(back.embedding(i), store.embedding(i), "row {i}");
+        }
     }
 
     proptest::proptest! {
@@ -205,6 +497,27 @@ mod tests {
         fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..256)) {
             // Decoding garbage must fail cleanly, never panic.
             let _ = decode(&bytes);
+            let _ = MostReadItems::from_bytes(&bytes);
+            let _ = EmbeddingStore::from_bytes(&bytes);
+        }
+
+        #[test]
+        fn bit_flips_never_round_trip_silently(
+            seed in 0u64..500,
+            flip_bit in 0usize..64,
+        ) {
+            // Flipping any single bit must either fail to decode or (for
+            // a flip inside the checksum trailer caught by the checksum)
+            // never produce a *different* model silently.
+            let mut rng = rng_from_seed(seed);
+            let m = BprModel {
+                user_factors: DenseMatrix::gaussian(3, 2, 0.5, &mut rng),
+                item_factors: DenseMatrix::gaussian(4, 2, 0.5, &mut rng),
+            };
+            let mut bytes = encode(&m);
+            let pos = flip_bit % (bytes.len() * 8);
+            bytes[pos / 8] ^= 1 << (pos % 8);
+            proptest::prop_assert!(decode(&bytes).is_err(), "bit {pos} survived");
         }
     }
 

@@ -6,11 +6,11 @@
 //! evaluations are reproducible; different users get independent draws.
 
 use crate::Recommender;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use rm_dataset::ids::{BookIdx, UserIdx};
 use rm_dataset::interactions::Interactions;
 use rm_util::rng::derive_seed;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Uniform-random recommender.
 #[derive(Debug, Clone)]
@@ -44,15 +44,14 @@ impl RandomItems {
                 unseen.push(b);
             }
         }
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, u64::from(user.0)));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(self.seed, u64::from(user.0)));
         unseen.shuffle(&mut rng);
         unseen
     }
 }
 
 impl Recommender for RandomItems {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "Random Items"
     }
 

@@ -163,7 +163,10 @@ pub fn genre_share_vector(pinned: &[(&str, f64)], decay: f64) -> Vec<f64> {
         shares[id.0 as usize] = share;
         pinned_total += share;
     }
-    assert!(pinned_total <= 1.0 + 1e-9, "pinned shares exceed 1: {pinned_total}");
+    assert!(
+        pinned_total <= 1.0 + 1e-9,
+        "pinned shares exceed 1: {pinned_total}"
+    );
     let rest = 1.0 - pinned_total;
     let free: Vec<usize> = (0..N_RAW_GENRES).filter(|&g| shares[g] == 0.0).collect();
     if !free.is_empty() && rest > 0.0 {
@@ -183,7 +186,10 @@ mod tests {
 
     #[test]
     fn share_vector_sums_to_one() {
-        let v = genre_share_vector(&[("Comics", 0.44), ("Thriller", 0.14), ("Fantasy", 0.12)], 0.8);
+        let v = genre_share_vector(
+            &[("Comics", 0.44), ("Thriller", 0.14), ("Fantasy", 0.12)],
+            0.8,
+        );
         assert_eq!(v.len(), N_RAW_GENRES);
         let total: f64 = v.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "total {total}");

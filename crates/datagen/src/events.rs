@@ -100,6 +100,11 @@ fn sample_user_books<R: Rng + ?Sized>(
         } else {
             None
         };
+        // A chained book the reader already has is a dead end, not a
+        // candidate: without this the loop can livelock on a fully-read
+        // small-catalogue author (loyalty re-proposes the same books and
+        // the genre fallback below never runs).
+        let candidate = candidate.filter(|b| !seen.contains(b));
         let candidate = candidate.or_else(|| {
             let genre = sample_reading_genre(rng, cfg, user);
             let class = if rng.random_bool(cfg.overlap_bias) {
@@ -122,7 +127,9 @@ fn sample_user_books<R: Rng + ?Sized>(
             continue;
         };
         if seen.insert(book) {
-            *author_counts.entry(world.books[book as usize].author).or_insert(0) += 1;
+            *author_counts
+                .entry(world.books[book as usize].author)
+                .or_insert(0) += 1;
             order.push(book);
         }
     }
@@ -207,8 +214,20 @@ mod tests {
     fn setup() -> (GeneratorConfig, World, Vec<UserProfile>, Vec<UserProfile>) {
         let config = Preset::Tiny.generator_config();
         let world = World::generate(&SeedTree::new(1), &config);
-        let bct = generate_population(&SeedTree::new(2), &config.bct, &world, SourceKind::Bct, None);
-        let anobii = generate_population(&SeedTree::new(3), &config.anobii, &world, SourceKind::Anobii, None);
+        let bct = generate_population(
+            &SeedTree::new(2),
+            &config.bct,
+            &world,
+            SourceKind::Bct,
+            None,
+        );
+        let anobii = generate_population(
+            &SeedTree::new(3),
+            &config.anobii,
+            &world,
+            SourceKind::Anobii,
+            None,
+        );
         (config, world, bct, anobii)
     }
 
@@ -249,7 +268,11 @@ mod tests {
     fn loans_contain_some_reloans() {
         let (config, world, bct, _) = setup();
         let loans = generate_loans(&SeedTree::new(7), &config, &world, &bct);
-        let mut pairs: Vec<(u32, u32)> = loans.rows.iter().map(|r| (r.user_id.raw(), r.book_id.raw())).collect();
+        let mut pairs: Vec<(u32, u32)> = loans
+            .rows
+            .iter()
+            .map(|r| (r.user_id.raw(), r.book_id.raw()))
+            .collect();
         let total = pairs.len();
         pairs.sort_unstable();
         pairs.dedup();
@@ -273,7 +296,14 @@ mod tests {
         // With loyalty 0.9 a user's readings should span far fewer authors
         // than with loyalty 0.0.
         let (mut config, world, _, _) = setup();
-        let user = UserProfile { raw_id: 0, n_events: 30, dominant: [0, 1], split: 0.6, subclusters: [0, 1], pop_view: crate::world::PopView::Bct };
+        let user = UserProfile {
+            raw_id: 0,
+            n_events: 30,
+            dominant: [0, 1],
+            split: 0.6,
+            subclusters: [0, 1],
+            pop_view: crate::world::PopView::Bct,
+        };
         let mut authors_spanned = |loyalty: f64, seed: u64| {
             config.bct.author_loyalty = loyalty;
             let mut rng = rng_from_seed(seed);
@@ -308,15 +338,20 @@ mod tests {
         cfg.exploration_max = 0.0;
         let mut rng = rng_from_seed(31);
         let books = sample_user_books(&mut rng, &cfg, &world, &user, SourceKind::Bct);
-        let authors: std::collections::HashSet<u32> =
-            books.iter().map(|&b| world.books[b as usize].author).collect();
+        let authors: std::collections::HashSet<u32> = books
+            .iter()
+            .map(|&b| world.books[b as usize].author)
+            .collect();
         assert!(
             authors.len() as u32 * (AUTHOR_FATIGUE + 2) >= books.len() as u32,
             "{} books across only {} authors",
             books.len(),
             authors.len()
         );
-        assert!(authors.len() >= 4, "full loyalty without fatigue would camp on 1-2 authors");
+        assert!(
+            authors.len() >= 4,
+            "full loyalty without fatigue would camp on 1-2 authors"
+        );
     }
 
     #[test]

@@ -31,9 +31,30 @@ pub const FUNCTION_WORDS: [&str; 12] = [
 
 /// Curated first names for authors.
 pub const FIRST_NAMES: [&str; 24] = [
-    "Alessandro", "Giulia", "Marco", "Francesca", "Luca", "Elena", "Andrea", "Sara", "Matteo",
-    "Chiara", "Davide", "Anna", "Stefano", "Laura", "Paolo", "Martina", "Simone", "Valentina",
-    "Giorgio", "Silvia", "Antonio", "Elisa", "Roberto", "Irene",
+    "Alessandro",
+    "Giulia",
+    "Marco",
+    "Francesca",
+    "Luca",
+    "Elena",
+    "Andrea",
+    "Sara",
+    "Matteo",
+    "Chiara",
+    "Davide",
+    "Anna",
+    "Stefano",
+    "Laura",
+    "Paolo",
+    "Martina",
+    "Simone",
+    "Valentina",
+    "Giorgio",
+    "Silvia",
+    "Antonio",
+    "Elisa",
+    "Roberto",
+    "Irene",
 ];
 
 /// Curated surname stems; the generator appends generated surnames too.
@@ -143,7 +164,11 @@ pub fn render_title<R: Rng + ?Sized>(
         if i > 0 && rng.random_bool(0.4) {
             parts.push(FUNCTION_WORDS[rng.random_range(0..FUNCTION_WORDS.len())].to_owned());
         }
-        let pool = if rng.random_bool(themed_prob) { themed } else { generic };
+        let pool = if rng.random_bool(themed_prob) {
+            themed
+        } else {
+            generic
+        };
         let mut w = pool.sample(rng).to_owned();
         if let Some(first) = w.get_mut(0..1) {
             first.make_ascii_uppercase();
@@ -167,7 +192,11 @@ pub fn render_plot<R: Rng + ?Sized>(
         if i % 4 == 3 {
             parts.push(FUNCTION_WORDS[rng.random_range(0..FUNCTION_WORDS.len())].to_owned());
         }
-        let pool = if rng.random_bool(themed_frac) { themed } else { generic };
+        let pool = if rng.random_bool(themed_frac) {
+            themed
+        } else {
+            generic
+        };
         parts.push(pool.sample(rng).to_owned());
     }
     parts.join(" ")
@@ -246,8 +275,10 @@ mod tests {
         let tree = SeedTree::new(5);
         let a = GenreLexicon::generate(&tree, 0, 50);
         let b = GenreLexicon::generate(&tree, 1, 50);
-        let wa: std::collections::HashSet<_> = (0..50).map(|i| a.themed.word(i).to_owned()).collect();
-        let wb: std::collections::HashSet<_> = (0..50).map(|i| b.themed.word(i).to_owned()).collect();
+        let wa: std::collections::HashSet<_> =
+            (0..50).map(|i| a.themed.word(i).to_owned()).collect();
+        let wb: std::collections::HashSet<_> =
+            (0..50).map(|i| b.themed.word(i).to_owned()).collect();
         let overlap = wa.intersection(&wb).count();
         assert!(overlap < 5, "genre lexicons overlap too much: {overlap}");
     }

@@ -57,8 +57,20 @@ pub struct RawTables {
 pub fn generate(seed: u64, config: &GeneratorConfig) -> RawTables {
     let tree = rm_util::rng::SeedTree::new(seed);
     let world = world::World::generate(&tree.child("world"), config);
-    let bct_users = users::generate_population(&tree.child("bct-users"), &config.bct, &world, users::SourceKind::Bct, None);
-    let anobii_users = users::generate_population(&tree.child("anobii-users"), &config.anobii, &world, users::SourceKind::Anobii, Some(&config.bct.genre_shares));
+    let bct_users = users::generate_population(
+        &tree.child("bct-users"),
+        &config.bct,
+        &world,
+        users::SourceKind::Bct,
+        None,
+    );
+    let anobii_users = users::generate_population(
+        &tree.child("anobii-users"),
+        &config.anobii,
+        &world,
+        users::SourceKind::Anobii,
+        Some(&config.bct.genre_shares),
+    );
     let loans = events::generate_loans(&tree.child("loans"), config, &world, &bct_users);
     let ratings = events::generate_ratings(&tree.child("ratings"), config, &world, &anobii_users);
     RawTables {

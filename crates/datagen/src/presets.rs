@@ -9,7 +9,9 @@
 //!   comparable. Used by integration tests and examples.
 //! * [`Preset::Tiny`] — milliseconds-scale fixture for unit tests.
 
-use crate::config::{ActivityParams, GeneratorConfig, RatingModel, SourceConfig, WorldConfig, genre_share_vector};
+use crate::config::{
+    genre_share_vector, ActivityParams, GeneratorConfig, RatingModel, SourceConfig, WorldConfig,
+};
 use rm_dataset::filter::FilterConfig;
 use rm_dataset::genre::GenreConfig;
 use rm_dataset::merge::{MergeConfig, MinBookReadings, MinUserReadings, PruneMode};
@@ -105,7 +107,12 @@ impl Preset {
                 },
                 bct: SourceConfig {
                     n_users: 19_000,
-                    activity: ActivityParams { mu: 2.40, sigma: 0.80, min: 1, max: 650 },
+                    activity: ActivityParams {
+                        mu: 2.40,
+                        sigma: 0.80,
+                        min: 1,
+                        max: 650,
+                    },
                     genre_shares: bct_genre_shares(),
                     dominant_mass: 0.96,
                     author_loyalty: 0.62,
@@ -117,7 +124,12 @@ impl Preset {
                 },
                 anobii: SourceConfig {
                     n_users: 126_000,
-                    activity: ActivityParams { mu: 2.30, sigma: 1.05, min: 1, max: 650 },
+                    activity: ActivityParams {
+                        mu: 2.30,
+                        sigma: 1.05,
+                        min: 1,
+                        max: 650,
+                    },
                     genre_shares: anobii_genre_shares(),
                     dominant_mass: 0.96,
                     author_loyalty: 0.52,
@@ -150,7 +162,12 @@ impl Preset {
                 },
                 bct: SourceConfig {
                     n_users: 1_900,
-                    activity: ActivityParams { mu: 2.40, sigma: 0.80, min: 1, max: 650 },
+                    activity: ActivityParams {
+                        mu: 2.40,
+                        sigma: 0.80,
+                        min: 1,
+                        max: 650,
+                    },
                     genre_shares: bct_genre_shares(),
                     dominant_mass: 0.96,
                     author_loyalty: 0.62,
@@ -162,7 +179,12 @@ impl Preset {
                 },
                 anobii: SourceConfig {
                     n_users: 12_600,
-                    activity: ActivityParams { mu: 2.30, sigma: 1.05, min: 1, max: 650 },
+                    activity: ActivityParams {
+                        mu: 2.30,
+                        sigma: 1.05,
+                        min: 1,
+                        max: 650,
+                    },
                     genre_shares: anobii_genre_shares(),
                     dominant_mass: 0.96,
                     author_loyalty: 0.52,
@@ -195,7 +217,12 @@ impl Preset {
                 },
                 bct: SourceConfig {
                     n_users: 150,
-                    activity: ActivityParams { mu: 2.48, sigma: 0.7, min: 1, max: 100 },
+                    activity: ActivityParams {
+                        mu: 2.48,
+                        sigma: 0.7,
+                        min: 1,
+                        max: 100,
+                    },
                     genre_shares: bct_genre_shares(),
                     dominant_mass: 0.96,
                     author_loyalty: 0.62,
@@ -207,7 +234,12 @@ impl Preset {
                 },
                 anobii: SourceConfig {
                     n_users: 350,
-                    activity: ActivityParams { mu: 2.48, sigma: 0.7, min: 1, max: 100 },
+                    activity: ActivityParams {
+                        mu: 2.48,
+                        sigma: 0.7,
+                        min: 1,
+                        max: 100,
+                    },
                     genre_shares: anobii_genre_shares(),
                     dominant_mass: 0.96,
                     author_loyalty: 0.52,
@@ -250,7 +282,11 @@ mod tests {
     fn all_presets_have_valid_share_vectors() {
         for preset in [Preset::Paper, Preset::Medium, Preset::Tiny] {
             let c = preset.generator_config();
-            for shares in [&c.world.book_genre_shares, &c.bct.genre_shares, &c.anobii.genre_shares] {
+            for shares in [
+                &c.world.book_genre_shares,
+                &c.bct.genre_shares,
+                &c.anobii.genre_shares,
+            ] {
                 let total: f64 = shares.iter().sum();
                 assert!((total - 1.0).abs() < 1e-9, "{preset:?}: sum {total}");
                 assert!(shares.iter().all(|&s| s >= 0.0));
@@ -276,6 +312,9 @@ mod tests {
 
     #[test]
     fn merge_thresholds_scale_down() {
-        assert!(Preset::Tiny.merge_config().min_book_readings.0 < Preset::Paper.merge_config().min_book_readings.0);
+        assert!(
+            Preset::Tiny.merge_config().min_book_readings.0
+                < Preset::Paper.merge_config().min_book_readings.0
+        );
     }
 }

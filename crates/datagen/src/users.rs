@@ -104,7 +104,10 @@ pub fn generate_population(
                 // Require the genre to be readable inside the overlap
                 // catalogue; otherwise this user could never contribute
                 // merged readings.
-                if world.sample_book(rng, g, Membership::Overlap, view).is_some() {
+                if world
+                    .sample_book(rng, g, Membership::Overlap, view)
+                    .is_some()
+                {
                     return g;
                 }
             }
@@ -204,8 +207,20 @@ mod tests {
     #[test]
     fn population_size_and_determinism() {
         let (config, world) = setup();
-        let a = generate_population(&SeedTree::new(2), &config.bct, &world, SourceKind::Bct, None);
-        let b = generate_population(&SeedTree::new(2), &config.bct, &world, SourceKind::Bct, None);
+        let a = generate_population(
+            &SeedTree::new(2),
+            &config.bct,
+            &world,
+            SourceKind::Bct,
+            None,
+        );
+        let b = generate_population(
+            &SeedTree::new(2),
+            &config.bct,
+            &world,
+            SourceKind::Bct,
+            None,
+        );
         assert_eq!(a.len(), config.bct.n_users);
         assert_eq!(a, b);
     }
@@ -213,7 +228,13 @@ mod tests {
     #[test]
     fn activity_respects_bounds() {
         let (config, world) = setup();
-        let users = generate_population(&SeedTree::new(3), &config.bct, &world, SourceKind::Bct, None);
+        let users = generate_population(
+            &SeedTree::new(3),
+            &config.bct,
+            &world,
+            SourceKind::Bct,
+            None,
+        );
         for u in &users {
             assert!(u64::from(u.n_events) >= config.bct.activity.min);
             assert!(u64::from(u.n_events) <= config.bct.activity.max);
@@ -223,13 +244,21 @@ mod tests {
     #[test]
     fn dominant_genres_are_distinct_and_readable() {
         let (config, world) = setup();
-        let users = generate_population(&SeedTree::new(4), &config.anobii, &world, SourceKind::Anobii, None);
+        let users = generate_population(
+            &SeedTree::new(4),
+            &config.anobii,
+            &world,
+            SourceKind::Anobii,
+            None,
+        );
         let mut rng = rng_from_seed(5);
         for u in users.iter().take(50) {
             assert_ne!(u.dominant[0], u.dominant[1]);
             for g in u.dominant {
                 assert!(
-                    world.sample_book(&mut rng, g, Membership::Overlap, PopView::Anobii).is_some(),
+                    world
+                        .sample_book(&mut rng, g, Membership::Overlap, PopView::Anobii)
+                        .is_some(),
                     "dominant genre {g} has no overlap books"
                 );
             }
@@ -239,7 +268,13 @@ mod tests {
     #[test]
     fn reading_genres_concentrate_on_dominants() {
         let (config, world) = setup();
-        let users = generate_population(&SeedTree::new(6), &config.bct, &world, SourceKind::Bct, None);
+        let users = generate_population(
+            &SeedTree::new(6),
+            &config.bct,
+            &world,
+            SourceKind::Bct,
+            None,
+        );
         let u = &users[0];
         let mut rng = rng_from_seed(7);
         let n = 2000;
@@ -260,11 +295,18 @@ mod tests {
     fn pop_view_fractions_follow_config() {
         let (config, world) = setup();
         // Tiny preset: BCT fully library-view, Anobii 30% library-like.
-        let bct = generate_population(&SeedTree::new(21), &config.bct, &world, SourceKind::Bct, None);
+        let bct = generate_population(
+            &SeedTree::new(21),
+            &config.bct,
+            &world,
+            SourceKind::Bct,
+            None,
+        );
         assert!(bct.iter().all(|u| u.pop_view == PopView::Bct));
         let mut cfg = config.anobii.clone();
         cfg.n_users = 2000;
-        let anobii = generate_population(&SeedTree::new(22), &cfg, &world, SourceKind::Anobii, None);
+        let anobii =
+            generate_population(&SeedTree::new(22), &cfg, &world, SourceKind::Anobii, None);
         let like = anobii.iter().filter(|u| u.pop_view == PopView::Bct).count();
         let share = like as f64 / anobii.len() as f64;
         assert!(
@@ -304,7 +346,13 @@ mod tests {
     #[test]
     fn subclusters_are_in_range_and_distinct() {
         let (config, world) = setup();
-        let users = generate_population(&SeedTree::new(24), &config.bct, &world, SourceKind::Bct, None);
+        let users = generate_population(
+            &SeedTree::new(24),
+            &config.bct,
+            &world,
+            SourceKind::Bct,
+            None,
+        );
         let n_subs = world.n_subclusters() as u8;
         for u in &users {
             assert!(u.subclusters[0] < n_subs);
@@ -318,7 +366,13 @@ mod tests {
     #[test]
     fn subcluster_sampling_concentrates_on_preferences() {
         let (config, world) = setup();
-        let users = generate_population(&SeedTree::new(25), &config.bct, &world, SourceKind::Bct, None);
+        let users = generate_population(
+            &SeedTree::new(25),
+            &config.bct,
+            &world,
+            SourceKind::Bct,
+            None,
+        );
         let u = &users[0];
         let n_subs = world.n_subclusters() as u8;
         let mut rng = rng_from_seed(26);

@@ -164,7 +164,8 @@ impl World {
             (Membership::BctOnly, wc.n_bct_only_books),
             (Membership::AnobiiOnly, wc.n_anobii_only_books),
         ];
-        let mut books: Vec<WorldBook> = Vec::with_capacity(class_sizes.iter().map(|&(_, n)| n).sum());
+        let mut books: Vec<WorldBook> =
+            Vec::with_capacity(class_sizes.iter().map(|&(_, n)| n).sum());
         let mut genre_rank = vec![0usize; N_RAW_GENRES];
         let mut popularity: Vec<f64> = Vec::with_capacity(books.capacity());
         for (membership, n) in class_sizes {
@@ -258,8 +259,14 @@ impl World {
 
         // --- Catalogue tables with noise rows; assign table ids. ---
         let mut table_rng = tree.child("tables").rng();
-        let (bct_table, anobii_table) =
-            Self::render_tables(&mut table_rng, wc, &mut books, &authors, &generic, &surnames);
+        let (bct_table, anobii_table) = Self::render_tables(
+            &mut table_rng,
+            wc,
+            &mut books,
+            &authors,
+            &generic,
+            &surnames,
+        );
 
         // --- Divergent per-view popularity: the BCT view blends the
         // Anobii weight with a within-genre permutation of the weights,
@@ -336,7 +343,11 @@ impl World {
     /// secondary, the near-universal *Fiction and Literature* shelf on most
     /// books, occasional rare shelves — matching the "4 genres per book on
     /// average" and the pruning behaviour of Section 3.
-    fn sample_genre_votes<R: Rng + ?Sized>(rng: &mut R, primary: u8, secondary: u8) -> Vec<(GenreId, u32)> {
+    fn sample_genre_votes<R: Rng + ?Sized>(
+        rng: &mut R,
+        primary: u8,
+        secondary: u8,
+    ) -> Vec<(GenreId, u32)> {
         let mut votes = vec![
             (GenreId(primary), 22 + rng.random_range(0..12u32)),
             (GenreId(secondary), 3 + rng.random_range(0..5u32)),
@@ -373,7 +384,12 @@ impl World {
         let mut bct_rows: Vec<BctBookRow> = Vec::new();
         let mut anobii_rows: Vec<AnobiiItemRow> = Vec::new();
 
-        let foreign_langs = [Language::English, Language::French, Language::German, Language::Spanish];
+        let foreign_langs = [
+            Language::English,
+            Language::French,
+            Language::German,
+            Language::Spanish,
+        ];
 
         for (i, book) in books.iter_mut().enumerate() {
             let author_name = authors[book.author as usize].name.clone();
@@ -384,11 +400,18 @@ impl World {
                     book_id: id,
                     authors: vec![author_name.clone()],
                     title: book.title.clone(),
-                    item_type: if i % 17 == 0 { ItemType::Manuscript } else { ItemType::Monograph },
+                    item_type: if i % 17 == 0 {
+                        ItemType::Manuscript
+                    } else {
+                        ItemType::Monograph
+                    },
                     language: Language::Italian,
                 });
             }
-            if matches!(book.membership, Membership::Overlap | Membership::AnobiiOnly) {
+            if matches!(
+                book.membership,
+                Membership::Overlap | Membership::AnobiiOnly
+            ) {
                 let id = AnobiiItemId(anobii_rows.len() as u32);
                 book.anobii_id = Some(id);
                 anobii_rows.push(AnobiiItemRow {
@@ -418,7 +441,11 @@ impl World {
                 (ItemType::Monograph, foreign_langs[k % foreign_langs.len()])
             } else {
                 (
-                    if k % 2 == 0 { ItemType::Dvd } else { ItemType::Periodical },
+                    if k % 2 == 0 {
+                        ItemType::Dvd
+                    } else {
+                        ItemType::Periodical
+                    },
                     Language::Italian,
                 )
             };
@@ -455,7 +482,10 @@ impl World {
             });
         }
 
-        (BctBooksTable { rows: bct_rows }, AnobiiItemsTable { rows: anobii_rows })
+        (
+            BctBooksTable { rows: bct_rows },
+            AnobiiItemsTable { rows: anobii_rows },
+        )
     }
 
     /// The generated BCT Books table.
@@ -516,7 +546,9 @@ impl World {
         v: PopView,
     ) -> Option<u32> {
         for class in [preferred, Membership::Overlap] {
-            if let Some(sampler) = self.samplers[view_index(v)][class_index(class)][genre as usize].as_ref() {
+            if let Some(sampler) =
+                self.samplers[view_index(v)][class_index(class)][genre as usize].as_ref()
+            {
                 if let Some(cell) = sampler.by_sub.get(sub as usize).and_then(Option::as_ref) {
                     return Some(cell.sample(rng));
                 }
@@ -623,7 +655,10 @@ mod tests {
         let count = |m: Membership| w.books.iter().filter(|b| b.membership == m).count();
         assert_eq!(count(Membership::Overlap), config.world.n_overlap_books);
         assert_eq!(count(Membership::BctOnly), config.world.n_bct_only_books);
-        assert_eq!(count(Membership::AnobiiOnly), config.world.n_anobii_only_books);
+        assert_eq!(
+            count(Membership::AnobiiOnly),
+            config.world.n_anobii_only_books
+        );
     }
 
     #[test]
@@ -679,7 +714,12 @@ mod tests {
         let w = tiny_world();
         let mut rng = SeedTree::new(9).rng();
         for _ in 0..100 {
-            if let Some(b) = w.sample_book(&mut rng, w.books[0].primary_genre, Membership::Overlap, PopView::Bct) {
+            if let Some(b) = w.sample_book(
+                &mut rng,
+                w.books[0].primary_genre,
+                Membership::Overlap,
+                PopView::Bct,
+            ) {
                 assert_eq!(w.books[b as usize].membership, Membership::Overlap);
                 assert_eq!(w.books[b as usize].primary_genre, w.books[0].primary_genre);
             }
@@ -790,7 +830,10 @@ mod tests {
                 .sample_same_author(&mut rng, book, &[Membership::Overlap])
                 .expect("another overlap book exists");
             assert_ne!(other, book);
-            assert_eq!(w.books[other as usize].author, w.books[book as usize].author);
+            assert_eq!(
+                w.books[other as usize].author,
+                w.books[book as usize].author
+            );
             assert_eq!(w.books[other as usize].membership, Membership::Overlap);
         }
     }

@@ -211,12 +211,26 @@ mod tests {
                 anobii_id: AnobiiItemId(20),
             }],
             users: vec![
-                User { source: Source::Bct, raw_id: 1 },
-                User { source: Source::Anobii, raw_id: 2 },
+                User {
+                    source: Source::Bct,
+                    raw_id: 1,
+                },
+                User {
+                    source: Source::Anobii,
+                    raw_id: 2,
+                },
             ],
             readings: vec![
-                Reading { user: UserIdx(0), book: BookIdx(0), date: Day(5) },
-                Reading { user: UserIdx(1), book: BookIdx(0), date: Day(9) },
+                Reading {
+                    user: UserIdx(0),
+                    book: BookIdx(0),
+                    date: Day(5),
+                },
+                Reading {
+                    user: UserIdx(1),
+                    book: BookIdx(0),
+                    date: Day(9),
+                },
             ],
             genre_model: GenreModel::identity(),
         }
@@ -231,7 +245,10 @@ mod tests {
 
     #[test]
     fn user_id_accessors() {
-        let u = User { source: Source::Bct, raw_id: 7 };
+        let u = User {
+            source: Source::Bct,
+            raw_id: 7,
+        };
         assert_eq!(u.bct_id(), Some(BctUserId(7)));
         assert_eq!(u.anobii_id(), None);
     }

@@ -7,7 +7,9 @@
 //!   negative feedback" — the remaining readings are treated as uniform
 //!   positive implicit feedback.
 
-use crate::tables::{AnobiiItemRow, AnobiiItemsTable, BctBookRow, BctBooksTable, Language, RatingRow, RatingsTable};
+use crate::tables::{
+    AnobiiItemRow, AnobiiItemsTable, BctBookRow, BctBooksTable, Language, RatingRow, RatingsTable,
+};
 
 /// Filtering thresholds. The defaults are the paper's choices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +31,10 @@ impl Default for FilterConfig {
 
 /// Returns the BCT book rows surviving the type + language filter.
 #[must_use]
-pub fn filter_bct_books<'a>(table: &'a BctBooksTable, config: &FilterConfig) -> Vec<&'a BctBookRow> {
+pub fn filter_bct_books<'a>(
+    table: &'a BctBooksTable,
+    config: &FilterConfig,
+) -> Vec<&'a BctBookRow> {
     table
         .rows
         .iter()

@@ -79,7 +79,12 @@ pub const RAW_GENRES: [&str; 41] = [
 pub const N_RAW_GENRES: usize = RAW_GENRES.len();
 
 /// Genres the paper drops outright for being near-universal or near-absent.
-pub const DROPPED_GENRES: [&str; 4] = ["Fiction and Literature", "Textbooks", "References", "Self Help"];
+pub const DROPPED_GENRES: [&str; 4] = [
+    "Fiction and Literature",
+    "Textbooks",
+    "References",
+    "Self Help",
+];
 
 /// Maximum genres kept per book after processing.
 pub const TOP_GENRES_PER_BOOK: usize = 4;
@@ -132,7 +137,12 @@ impl GenreModel {
     /// can raise normalised entropy when it removes a tiny category, which
     /// is exactly the "as balanced as possible" reading of the paper.
     #[must_use]
-    pub fn fit(book_counts: &[u64], vote_counts: &[u64], n_books: usize, config: &GenreConfig) -> Self {
+    pub fn fit(
+        book_counts: &[u64],
+        vote_counts: &[u64],
+        n_books: usize,
+        config: &GenreConfig,
+    ) -> Self {
         assert_eq!(book_counts.len(), N_RAW_GENRES);
         assert_eq!(vote_counts.len(), N_RAW_GENRES);
 
@@ -323,7 +333,10 @@ mod tests {
     use super::*;
 
     fn uniform_counts(per_genre: u64) -> (Vec<u64>, Vec<u64>) {
-        (vec![per_genre; N_RAW_GENRES], vec![per_genre * 10; N_RAW_GENRES])
+        (
+            vec![per_genre; N_RAW_GENRES],
+            vec![per_genre * 10; N_RAW_GENRES],
+        )
     }
 
     #[test]
@@ -387,7 +400,8 @@ mod tests {
     #[test]
     fn process_votes_top4_and_probabilities() {
         let m = GenreModel::identity();
-        let votes: Vec<(GenreId, u32)> = (0..6).map(|g| (GenreId(g), (g + 1) as u32 * 10)).collect();
+        let votes: Vec<(GenreId, u32)> =
+            (0..6).map(|g| (GenreId(g), (g + 1) as u32 * 10)).collect();
         let out = m.process_votes(&votes);
         assert_eq!(out.len(), TOP_GENRES_PER_BOOK);
         // Kept the top-voted genres (5, 4, 3, 2 → votes 60, 50, 40, 30).
@@ -420,7 +434,9 @@ mod tests {
         // combine under one aggregated id.
         let n_books = 10_000;
         let books = vec![500u64; N_RAW_GENRES];
-        let votes: Vec<u64> = (0..N_RAW_GENRES).map(|g| if g < 2 { 1_000_000 } else { 10 }).collect();
+        let votes: Vec<u64> = (0..N_RAW_GENRES)
+            .map(|g| if g < 2 { 1_000_000 } else { 10 })
+            .collect();
         let m = GenreModel::fit(&books, &votes, n_books, &GenreConfig::default());
         // Find two raw genres mapped to the same aggregate.
         let mut by_agg: HashMap<AggGenreId, Vec<GenreId>> = HashMap::new();
@@ -429,7 +445,10 @@ mod tests {
                 by_agg.entry(a).or_default().push(GenreId(g as u8));
             }
         }
-        let merged = by_agg.values().find(|v| v.len() >= 2).expect("some merge happened");
+        let merged = by_agg
+            .values()
+            .find(|v| v.len() >= 2)
+            .expect("some merge happened");
         let out = m.process_votes(&[(merged[0], 5), (merged[1], 7)]);
         assert_eq!(out.len(), 1);
         assert!((out[0].1 - 1.0).abs() < 1e-6);

@@ -28,7 +28,11 @@ impl Interactions {
     /// Builds from a corpus's full readings table.
     #[must_use]
     pub fn from_corpus(corpus: &Corpus) -> Self {
-        let raw: Vec<(u32, u32)> = corpus.readings.iter().map(|r| (r.user.0, r.book.0)).collect();
+        let raw: Vec<(u32, u32)> = corpus
+            .readings
+            .iter()
+            .map(|r| (r.user.0, r.book.0))
+            .collect();
         Self {
             matrix: CsrMatrix::from_pairs(corpus.n_users(), corpus.n_books(), &raw),
         }

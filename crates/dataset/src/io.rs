@@ -48,7 +48,11 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Fs(e) => write!(f, "filesystem error: {e}"),
-            Self::Parse { file, line, message } => {
+            Self::Parse {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "parse error in {file}:{line}: {message}")
             }
             Self::UnsupportedVersion(v) => write!(f, "unsupported corpus format version {v}"),
@@ -121,9 +125,17 @@ pub fn save_corpus(corpus: &Corpus, dir: &Path) -> Result<(), IoError> {
             books,
             "{}\t{}\t{}\t{}\t{}\t{}\t{}",
             check_clean(&b.title),
-            b.authors.iter().map(|a| check_clean(a)).collect::<Vec<_>>().join("|"),
+            b.authors
+                .iter()
+                .map(|a| check_clean(a))
+                .collect::<Vec<_>>()
+                .join("|"),
             check_clean(&b.plot),
-            b.keywords.iter().map(|k| check_clean(k)).collect::<Vec<_>>().join("|"),
+            b.keywords
+                .iter()
+                .map(|k| check_clean(k))
+                .collect::<Vec<_>>()
+                .join("|"),
             genres,
             b.bct_id.raw(),
             b.anobii_id.raw()
@@ -208,23 +220,37 @@ pub fn load_corpus(dir: &Path) -> Result<Corpus, IoError> {
         let line = line?;
         let parts: Vec<&str> = line.split('\t').collect();
         if parts.len() != 7 {
-            return Err(parse_err("books.tsv", i + 1, format!("expected 7 fields, got {}", parts.len())));
+            return Err(parse_err(
+                "books.tsv",
+                i + 1,
+                format!("expected 7 fields, got {}", parts.len()),
+            ));
         }
         let split_multi = |s: &str| -> Vec<String> {
-            s.split('|').filter(|p| !p.is_empty()).map(str::to_owned).collect()
+            s.split('|')
+                .filter(|p| !p.is_empty())
+                .map(str::to_owned)
+                .collect()
         };
         let mut genres = Vec::new();
         for pair in parts[4].split('|').filter(|p| !p.is_empty()) {
             let (g, p) = pair
                 .split_once(':')
                 .ok_or_else(|| parse_err("books.tsv", i + 1, "bad genre pair"))?;
-            let g: u8 = g.parse().map_err(|_| parse_err("books.tsv", i + 1, "bad genre id"))?;
-            let p: f32 = p.parse().map_err(|_| parse_err("books.tsv", i + 1, "bad genre prob"))?;
+            let g: u8 = g
+                .parse()
+                .map_err(|_| parse_err("books.tsv", i + 1, "bad genre id"))?;
+            let p: f32 = p
+                .parse()
+                .map_err(|_| parse_err("books.tsv", i + 1, "bad genre prob"))?;
             genres.push((crate::genre::AggGenreId(g), p));
         }
-        let bct_id: u32 = parts[5].parse().map_err(|_| parse_err("books.tsv", i + 1, "bad bct id"))?;
-        let anobii_id: u32 =
-            parts[6].parse().map_err(|_| parse_err("books.tsv", i + 1, "bad anobii id"))?;
+        let bct_id: u32 = parts[5]
+            .parse()
+            .map_err(|_| parse_err("books.tsv", i + 1, "bad bct id"))?;
+        let anobii_id: u32 = parts[6]
+            .parse()
+            .map_err(|_| parse_err("books.tsv", i + 1, "bad anobii id"))?;
         books.push(Book {
             title: parts[0].to_owned(),
             authors: split_multi(parts[1]),
@@ -247,9 +273,17 @@ pub fn load_corpus(dir: &Path) -> Result<Corpus, IoError> {
         let source = match source {
             "bct" => Source::Bct,
             "anobii" => Source::Anobii,
-            other => return Err(parse_err("users.tsv", i + 1, format!("unknown source {other}"))),
+            other => {
+                return Err(parse_err(
+                    "users.tsv",
+                    i + 1,
+                    format!("unknown source {other}"),
+                ))
+            }
         };
-        let raw_id: u32 = raw.parse().map_err(|_| parse_err("users.tsv", i + 1, "bad raw id"))?;
+        let raw_id: u32 = raw
+            .parse()
+            .map_err(|_| parse_err("users.tsv", i + 1, "bad raw id"))?;
         users.push(User { source, raw_id });
     }
 
@@ -262,9 +296,15 @@ pub fn load_corpus(dir: &Path) -> Result<Corpus, IoError> {
         if parts.len() != 3 {
             return Err(parse_err("readings.tsv", i + 1, "expected 3 fields"));
         }
-        let user: u32 = parts[0].parse().map_err(|_| parse_err("readings.tsv", i + 1, "bad user"))?;
-        let book: u32 = parts[1].parse().map_err(|_| parse_err("readings.tsv", i + 1, "bad book"))?;
-        let day: u32 = parts[2].parse().map_err(|_| parse_err("readings.tsv", i + 1, "bad day"))?;
+        let user: u32 = parts[0]
+            .parse()
+            .map_err(|_| parse_err("readings.tsv", i + 1, "bad user"))?;
+        let book: u32 = parts[1]
+            .parse()
+            .map_err(|_| parse_err("readings.tsv", i + 1, "bad book"))?;
+        let day: u32 = parts[2]
+            .parse()
+            .map_err(|_| parse_err("readings.tsv", i + 1, "bad day"))?;
         if user as usize >= users.len() {
             return Err(parse_err("readings.tsv", i + 1, "user out of range"));
         }
@@ -303,12 +343,26 @@ mod tests {
                 anobii_id: AnobiiItemId(93),
             }],
             users: vec![
-                User { source: Source::Bct, raw_id: 4 },
-                User { source: Source::Anobii, raw_id: 9 },
+                User {
+                    source: Source::Bct,
+                    raw_id: 4,
+                },
+                User {
+                    source: Source::Anobii,
+                    raw_id: 9,
+                },
             ],
             readings: vec![
-                Reading { user: UserIdx(0), book: BookIdx(0), date: Day(123) },
-                Reading { user: UserIdx(1), book: BookIdx(0), date: Day(456) },
+                Reading {
+                    user: UserIdx(0),
+                    book: BookIdx(0),
+                    date: Day(123),
+                },
+                Reading {
+                    user: UserIdx(1),
+                    book: BookIdx(0),
+                    date: Day(456),
+                },
             ],
             genre_model: GenreModel::identity(),
         }
@@ -370,7 +424,10 @@ mod tests {
         let dir = tmpdir("version");
         save_corpus(&corpus(), &dir).unwrap();
         std::fs::write(dir.join("manifest.tsv"), "version\t99\ngenres\tComics\n").unwrap();
-        assert!(matches!(load_corpus(&dir), Err(IoError::UnsupportedVersion(99))));
+        assert!(matches!(
+            load_corpus(&dir),
+            Err(IoError::UnsupportedVersion(99))
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

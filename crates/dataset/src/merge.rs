@@ -115,7 +115,9 @@ pub fn build_corpus(
     for item in &kept_anobii {
         // First occurrence wins; later duplicates (reprints with identical
         // normalised title+author) are ignored.
-        anobii_by_key.entry(join_key(&item.title, &item.authors)).or_insert(item);
+        anobii_by_key
+            .entry(join_key(&item.title, &item.authors))
+            .or_insert(item);
     }
 
     let mut books: Vec<Book> = Vec::new();
@@ -146,12 +148,15 @@ pub fn build_corpus(
     let mut readings: HashMap<(u32, u32), Day> = HashMap::new();
 
     let intern_user = |users: &mut Vec<User>,
-                           user_index: &mut HashMap<(Source, u32), UserIdx>,
-                           source: Source,
-                           raw: u32| {
+                       user_index: &mut HashMap<(Source, u32), UserIdx>,
+                       source: Source,
+                       raw: u32| {
         *user_index.entry((source, raw)).or_insert_with(|| {
             let idx = UserIdx(users.len() as u32);
-            users.push(User { source, raw_id: raw });
+            users.push(User {
+                source,
+                raw_id: raw,
+            });
             idx
         })
     };
@@ -170,7 +175,12 @@ pub fn build_corpus(
         let Some(&book) = anobii_to_book.get(&rating.item_id.raw()) else {
             continue;
         };
-        let user = intern_user(&mut users, &mut user_index, Source::Anobii, rating.user_id.raw());
+        let user = intern_user(
+            &mut users,
+            &mut user_index,
+            Source::Anobii,
+            rating.user_id.raw(),
+        );
         readings
             .entry((user.0, book.0))
             .and_modify(|d| *d = (*d).min(rating.date))
@@ -265,7 +275,12 @@ fn compact_empty_users(
         has_reading[r.user.index()] = true;
     }
     if has_reading.iter().all(|&h| h) {
-        return Corpus { books, users, readings, genre_model };
+        return Corpus {
+            books,
+            users,
+            readings,
+            genre_model,
+        };
     }
     let mut renum = vec![u32::MAX; users.len()];
     let mut final_users = Vec::with_capacity(users.len());
@@ -277,9 +292,17 @@ fn compact_empty_users(
     }
     let readings = readings
         .into_iter()
-        .map(|r| Reading { user: UserIdx(renum[r.user.index()]), ..r })
+        .map(|r| Reading {
+            user: UserIdx(renum[r.user.index()]),
+            ..r
+        })
         .collect();
-    Corpus { books, users: final_users, readings, genre_model }
+    Corpus {
+        books,
+        users: final_users,
+        readings,
+        genre_model,
+    }
 }
 
 #[cfg(test)]
@@ -314,7 +337,13 @@ mod tests {
 
     /// A tiny but complete fixture: 3 overlapping books, 1 BCT-only book,
     /// 1 Anobii-only item; thresholds lowered so the fixture survives.
-    fn fixture() -> (BctBooksTable, LoansTable, AnobiiItemsTable, RatingsTable, MergeConfig) {
+    fn fixture() -> (
+        BctBooksTable,
+        LoansTable,
+        AnobiiItemsTable,
+        RatingsTable,
+        MergeConfig,
+    ) {
         let bct_books = BctBooksTable {
             rows: vec![
                 bct_book(100, "Il Nome della Rosa", "Umberto Eco"),
@@ -336,23 +365,81 @@ mod tests {
         // dropped).
         let loans = LoansTable {
             rows: vec![
-                LoanRow { user_id: BctUserId(1), book_id: BctBookId(100), date: Day(10) },
-                LoanRow { user_id: BctUserId(1), book_id: BctBookId(101), date: Day(11) },
-                LoanRow { user_id: BctUserId(1), book_id: BctBookId(103), date: Day(12) },
-                LoanRow { user_id: BctUserId(1), book_id: BctBookId(100), date: Day(2) }, // re-loan, earlier
-                LoanRow { user_id: BctUserId(2), book_id: BctBookId(100), date: Day(20) },
-                LoanRow { user_id: BctUserId(2), book_id: BctBookId(101), date: Day(21) },
-                LoanRow { user_id: BctUserId(2), book_id: BctBookId(102), date: Day(22) }, // unmatched book
+                LoanRow {
+                    user_id: BctUserId(1),
+                    book_id: BctBookId(100),
+                    date: Day(10),
+                },
+                LoanRow {
+                    user_id: BctUserId(1),
+                    book_id: BctBookId(101),
+                    date: Day(11),
+                },
+                LoanRow {
+                    user_id: BctUserId(1),
+                    book_id: BctBookId(103),
+                    date: Day(12),
+                },
+                LoanRow {
+                    user_id: BctUserId(1),
+                    book_id: BctBookId(100),
+                    date: Day(2),
+                }, // re-loan, earlier
+                LoanRow {
+                    user_id: BctUserId(2),
+                    book_id: BctBookId(100),
+                    date: Day(20),
+                },
+                LoanRow {
+                    user_id: BctUserId(2),
+                    book_id: BctBookId(101),
+                    date: Day(21),
+                },
+                LoanRow {
+                    user_id: BctUserId(2),
+                    book_id: BctBookId(102),
+                    date: Day(22),
+                }, // unmatched book
             ],
         };
         let ratings = RatingsTable {
             rows: vec![
-                RatingRow { user_id: AnobiiUserId(11), item_id: AnobiiItemId(200), rating: 5, date: Day(30) },
-                RatingRow { user_id: AnobiiUserId(11), item_id: AnobiiItemId(201), rating: 4, date: Day(31) },
-                RatingRow { user_id: AnobiiUserId(11), item_id: AnobiiItemId(203), rating: 2, date: Day(32) }, // negative, dropped
-                RatingRow { user_id: AnobiiUserId(12), item_id: AnobiiItemId(200), rating: 3, date: Day(40) },
-                RatingRow { user_id: AnobiiUserId(12), item_id: AnobiiItemId(203), rating: 5, date: Day(41) },
-                RatingRow { user_id: AnobiiUserId(12), item_id: AnobiiItemId(202), rating: 5, date: Day(42) }, // unmatched item
+                RatingRow {
+                    user_id: AnobiiUserId(11),
+                    item_id: AnobiiItemId(200),
+                    rating: 5,
+                    date: Day(30),
+                },
+                RatingRow {
+                    user_id: AnobiiUserId(11),
+                    item_id: AnobiiItemId(201),
+                    rating: 4,
+                    date: Day(31),
+                },
+                RatingRow {
+                    user_id: AnobiiUserId(11),
+                    item_id: AnobiiItemId(203),
+                    rating: 2,
+                    date: Day(32),
+                }, // negative, dropped
+                RatingRow {
+                    user_id: AnobiiUserId(12),
+                    item_id: AnobiiItemId(200),
+                    rating: 3,
+                    date: Day(40),
+                },
+                RatingRow {
+                    user_id: AnobiiUserId(12),
+                    item_id: AnobiiItemId(203),
+                    rating: 5,
+                    date: Day(41),
+                },
+                RatingRow {
+                    user_id: AnobiiUserId(12),
+                    item_id: AnobiiItemId(202),
+                    rating: 5,
+                    date: Day(42),
+                }, // unmatched item
             ],
         };
         let config = MergeConfig {
@@ -413,7 +500,11 @@ mod tests {
             .iter()
             .position(|u| u.source == Source::Bct && u.raw_id == 1)
             .unwrap();
-        let rosa = c.books.iter().position(|bk| bk.title == "Il Nome della Rosa").unwrap() as u32;
+        let rosa = c
+            .books
+            .iter()
+            .position(|bk| bk.title == "Il Nome della Rosa")
+            .unwrap() as u32;
         let reading = c
             .readings
             .iter()

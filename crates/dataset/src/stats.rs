@@ -43,10 +43,22 @@ pub fn summarize(corpus: &Corpus) -> CorpusSummary {
     CorpusSummary {
         n_books: corpus.n_books(),
         n_users: corpus.n_users(),
-        n_bct_users: corpus.users.iter().filter(|u| u.source == Source::Bct).count(),
-        n_anobii_users: corpus.users.iter().filter(|u| u.source == Source::Anobii).count(),
+        n_bct_users: corpus
+            .users
+            .iter()
+            .filter(|u| u.source == Source::Bct)
+            .count(),
+        n_anobii_users: corpus
+            .users
+            .iter()
+            .filter(|u| u.source == Source::Anobii)
+            .count(),
         n_readings: corpus.n_readings(),
-        median_readings_per_user: if per_user.is_empty() { 0 } else { user_ecdf.quantile(0.5) },
+        median_readings_per_user: if per_user.is_empty() {
+            0
+        } else {
+            user_ecdf.quantile(0.5)
+        },
         max_readings_per_user: per_user.iter().copied().max().unwrap_or(0),
         max_readings_per_book: per_book.iter().copied().max().unwrap_or(0),
     }
@@ -164,16 +176,43 @@ mod tests {
             book(vec![(AggGenreId(2), 1.0)]),
         ];
         let users = vec![
-            User { source: Source::Bct, raw_id: 0 },
-            User { source: Source::Anobii, raw_id: 1 },
+            User {
+                source: Source::Bct,
+                raw_id: 0,
+            },
+            User {
+                source: Source::Anobii,
+                raw_id: 1,
+            },
         ];
         let readings = vec![
-            Reading { user: UserIdx(0), book: BookIdx(0), date: Day(0) },
-            Reading { user: UserIdx(0), book: BookIdx(1), date: Day(0) },
-            Reading { user: UserIdx(1), book: BookIdx(0), date: Day(0) },
-            Reading { user: UserIdx(1), book: BookIdx(2), date: Day(0) },
+            Reading {
+                user: UserIdx(0),
+                book: BookIdx(0),
+                date: Day(0),
+            },
+            Reading {
+                user: UserIdx(0),
+                book: BookIdx(1),
+                date: Day(0),
+            },
+            Reading {
+                user: UserIdx(1),
+                book: BookIdx(0),
+                date: Day(0),
+            },
+            Reading {
+                user: UserIdx(1),
+                book: BookIdx(2),
+                date: Day(0),
+            },
         ];
-        Corpus { books, users, readings, genre_model: GenreModel::identity() }
+        Corpus {
+            books,
+            users,
+            readings,
+            genre_model: GenreModel::identity(),
+        }
     }
 
     #[test]
@@ -232,8 +271,16 @@ mod tests {
         // User 0 reads only Comics books → top-2 mass trivially dominates.
         let mut c = corpus();
         c.readings = vec![
-            Reading { user: UserIdx(0), book: BookIdx(0), date: Day(0) },
-            Reading { user: UserIdx(0), book: BookIdx(1), date: Day(0) },
+            Reading {
+                user: UserIdx(0),
+                book: BookIdx(0),
+                date: Day(0),
+            },
+            Reading {
+                user: UserIdx(0),
+                book: BookIdx(1),
+                date: Day(0),
+            },
         ];
         assert_eq!(dominant_genre_share(&c, 10.0, 1), 1.0);
     }
@@ -244,11 +291,23 @@ mod tests {
         // fails a ratio of 10.
         let mut c = corpus();
         c.readings = vec![
-            Reading { user: UserIdx(0), book: BookIdx(0), date: Day(0) },
-            Reading { user: UserIdx(0), book: BookIdx(2), date: Day(0) },
+            Reading {
+                user: UserIdx(0),
+                book: BookIdx(0),
+                date: Day(0),
+            },
+            Reading {
+                user: UserIdx(0),
+                book: BookIdx(2),
+                date: Day(0),
+            },
         ];
         // Add a third book so a real third genre appears.
-        c.readings.push(Reading { user: UserIdx(0), book: BookIdx(1), date: Day(0) });
+        c.readings.push(Reading {
+            user: UserIdx(0),
+            book: BookIdx(1),
+            date: Day(0),
+        });
         // Top-genre counts: Comics 1, Thriller 1, Fantasy 1 → top2 = 2,
         // rest = 1 → ratio 2, failing the 10× bar but passing a 2× bar.
         assert_eq!(dominant_genre_share(&c, 10.0, 1), 0.0);

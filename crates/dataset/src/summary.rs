@@ -49,6 +49,20 @@ impl SummaryFields {
         self.0 == 0
     }
 
+    /// The raw bit mask — the persisted form used by serving-artifact
+    /// manifests.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds the set from a persisted bit mask; bits outside
+    /// [`SummaryFields::ALL`] are discarded.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        Self(bits & Self::ALL.0)
+    }
+
     /// All 31 non-empty combinations, in ascending bit order. Fig. 5's
     /// sweep iterates a subset of these.
     #[must_use]
@@ -146,7 +160,10 @@ mod tests {
                 bct_id: BctBookId(0),
                 anobii_id: AnobiiItemId(0),
             }],
-            users: vec![User { source: Source::Bct, raw_id: 0 }],
+            users: vec![User {
+                source: Source::Bct,
+                raw_id: 0,
+            }],
             readings: vec![],
             genre_model: GenreModel::identity(),
         }
@@ -159,7 +176,10 @@ mod tests {
         assert!(f.contains(SummaryFields::GENRES));
         assert!(!f.contains(SummaryFields::PLOT));
         assert!(!SummaryFields::TITLE.is_empty());
-        assert_eq!(SummaryFields::ALL.label(), "title+authors+plot+genres+keywords");
+        assert_eq!(
+            SummaryFields::ALL.label(),
+            "title+authors+plot+genres+keywords"
+        );
         assert_eq!(SummaryFields::BEST.label(), "authors+genres");
     }
 
@@ -173,7 +193,10 @@ mod tests {
     #[test]
     fn title_only_summary() {
         let c = corpus_with_book(vec![]);
-        assert_eq!(build_summary(&c, &c.books[0], SummaryFields::TITLE), "La Storia");
+        assert_eq!(
+            build_summary(&c, &c.books[0], SummaryFields::TITLE),
+            "La Storia"
+        );
     }
 
     #[test]
@@ -236,6 +259,16 @@ mod tests {
                 proptest::prop_assert!(full.contains(token), "token {} missing", token);
             }
         }
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for f in SummaryFields::all_combinations() {
+            assert_eq!(SummaryFields::from_bits(f.bits()), f);
+        }
+        // Unknown high bits are dropped, not preserved.
+        assert_eq!(SummaryFields::from_bits(0xFF), SummaryFields::ALL);
+        assert!(SummaryFields::from_bits(0b0100_0000).is_empty());
     }
 
     #[test]

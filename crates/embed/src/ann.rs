@@ -173,7 +173,8 @@ mod tests {
         assert_eq!(a.signature(s.embedding(7)), b.signature(s.embedding(7)));
         let c = SignLshIndex::build(&s, 10, 6);
         // Different seed, different planes (signatures differ somewhere).
-        let differs = (0..s.len()).any(|i| a.signature(s.embedding(i)) != c.signature(s.embedding(i)));
+        let differs =
+            (0..s.len()).any(|i| a.signature(s.embedding(i)) != c.signature(s.embedding(i)));
         assert!(differs);
     }
 

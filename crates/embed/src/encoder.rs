@@ -228,7 +228,10 @@ mod tests {
     fn shared_vocabulary_beats_disjoint() {
         let e = enc();
         let shared = e.similarity("umberto eco giallo storico", "umberto eco romanzo storico");
-        let disjoint = e.similarity("umberto eco giallo storico", "manga avventura spaziale robot");
+        let disjoint = e.similarity(
+            "umberto eco giallo storico",
+            "manga avventura spaziale robot",
+        );
         assert!(
             shared > disjoint + 0.2,
             "shared {shared} vs disjoint {disjoint}"
@@ -282,7 +285,10 @@ mod tests {
             hash_seed: 2,
             ..EncoderConfig::default()
         });
-        assert_ne!(a.encode("la storia infinita"), b.encode("la storia infinita"));
+        assert_ne!(
+            a.encode("la storia infinita"),
+            b.encode("la storia infinita")
+        );
     }
 
     #[test]

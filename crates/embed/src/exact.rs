@@ -108,7 +108,11 @@ impl ExactEncoder {
     fn features_of(config: &EncoderConfig, token: &str) -> Vec<String> {
         let mut out = vec![format!("w:{token}")];
         if let Some((lo, hi)) = config.char_ngrams {
-            out.extend(char_ngrams(token, lo, hi).into_iter().map(|g| format!("g:{g}")));
+            out.extend(
+                char_ngrams(token, lo, hi)
+                    .into_iter()
+                    .map(|g| format!("g:{g}")),
+            );
         }
         out
     }
@@ -221,10 +225,19 @@ mod tests {
 
     #[test]
     fn sparse_dot_merge_join() {
-        let a = SparseVec { indices: vec![1, 3, 7], values: vec![0.5, 0.5, 0.5] };
-        let b = SparseVec { indices: vec![3, 7, 9], values: vec![1.0, 2.0, 3.0] };
+        let a = SparseVec {
+            indices: vec![1, 3, 7],
+            values: vec![0.5, 0.5, 0.5],
+        };
+        let b = SparseVec {
+            indices: vec![3, 7, 9],
+            values: vec![1.0, 2.0, 3.0],
+        };
         assert!((a.dot(&b) - (0.5 + 1.0)).abs() < 1e-6);
-        let empty = SparseVec { indices: vec![], values: vec![] };
+        let empty = SparseVec {
+            indices: vec![],
+            values: vec![],
+        };
         assert_eq!(a.dot(&empty), 0.0);
     }
 
@@ -251,7 +264,10 @@ mod tests {
         let exact = ExactEncoder::fit(EncoderConfig::default(), &c);
         let distortion_at = |dim: usize| {
             let hashed = SemanticEncoder::fit(
-                EncoderConfig { dim, ..EncoderConfig::default() },
+                EncoderConfig {
+                    dim,
+                    ..EncoderConfig::default()
+                },
                 &c,
             );
             mean_cosine_distortion(&hashed, &exact, &c, 30)

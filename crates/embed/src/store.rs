@@ -41,6 +41,22 @@ impl EmbeddingStore {
         Self { matrix }
     }
 
+    /// Wraps rows that are *already* unit (or zero) vectors — e.g. decoded
+    /// from a persisted artifact — without renormalising, so restored
+    /// embeddings are bit-identical to the stored ones.
+    #[must_use]
+    pub fn from_unit_matrix(matrix: DenseMatrix) -> Self {
+        #[cfg(debug_assertions)]
+        for r in 0..matrix.rows() {
+            let norm_sq: f32 = matrix.row(r).iter().map(|v| v * v).sum();
+            debug_assert!(
+                norm_sq == 0.0 || (norm_sq - 1.0).abs() < 1e-3,
+                "row {r} is not a unit vector (|v|^2 = {norm_sq})"
+            );
+        }
+        Self { matrix }
+    }
+
     /// Number of stored items.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -84,6 +100,16 @@ impl EmbeddingStore {
         self.matrix.matvec(query)
     }
 
+    /// [`EmbeddingStore::similarities_to`] writing into `out` (cleared and
+    /// refilled), so batch callers can reuse one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != dim`.
+    pub fn similarities_into(&self, query: &[f32], out: &mut Vec<f32>) {
+        self.matrix.matvec_into(query, out);
+    }
+
     /// Mean of the embeddings at `indices`, L2-normalised.
     ///
     /// Because rows are unit vectors, the dot of a candidate with this
@@ -97,7 +123,10 @@ impl EmbeddingStore {
     #[must_use]
     pub fn centroid(&self, indices: &[u32]) -> Vec<f32> {
         assert!(!indices.is_empty(), "centroid of empty set");
-        let rows: Vec<&[f32]> = indices.iter().map(|&i| self.matrix.row(i as usize)).collect();
+        let rows: Vec<&[f32]> = indices
+            .iter()
+            .map(|&i| self.matrix.row(i as usize))
+            .collect();
         let mut c = vecops::mean_vector(&rows);
         vecops::normalize(&mut c);
         c
@@ -113,7 +142,10 @@ impl EmbeddingStore {
     #[must_use]
     pub fn mean_embedding(&self, indices: &[u32]) -> Vec<f32> {
         assert!(!indices.is_empty(), "mean of empty set");
-        let rows: Vec<&[f32]> = indices.iter().map(|&i| self.matrix.row(i as usize)).collect();
+        let rows: Vec<&[f32]> = indices
+            .iter()
+            .map(|&i| self.matrix.row(i as usize))
+            .collect();
         vecops::mean_vector(&rows)
     }
 
@@ -212,7 +244,10 @@ mod tests {
         let mean = s.mean_embedding(&seen);
         // Brute-force Eq. 1 for candidates 2 and 3.
         let avg = |b: usize| {
-            seen.iter().map(|&i| s.similarity(b, i as usize)).sum::<f32>() / seen.len() as f32
+            seen.iter()
+                .map(|&i| s.similarity(b, i as usize))
+                .sum::<f32>()
+                / seen.len() as f32
         };
         let dot2 = rm_sparse::vecops::dot(&mean, s.embedding(2));
         let dot3 = rm_sparse::vecops::dot(&mean, s.embedding(3));

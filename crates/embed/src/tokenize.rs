@@ -143,6 +143,9 @@ mod tests {
         let c: std::collections::HashSet<_> = char_ngrams("zanzara", 3, 5).into_iter().collect();
         let ab = a.intersection(&b).count();
         let ac = a.intersection(&c).count();
-        assert!(ab > ac, "inflected forms should overlap more ({ab} vs {ac})");
+        assert!(
+            ab > ac,
+            "inflected forms should overlap more ({ab} vs {ac})"
+        );
     }
 }

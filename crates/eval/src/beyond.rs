@@ -210,10 +210,21 @@ mod tests {
         Corpus {
             // Books 0-2 genre 0; books 3-4 genre 1; book 5 genre 2.
             books: vec![book(0), book(0), book(0), book(1), book(1), book(2)],
-            users: vec![User { source: Source::Bct, raw_id: 0 }],
+            users: vec![User {
+                source: Source::Bct,
+                raw_id: 0,
+            }],
             readings: vec![
-                Reading { user: UserIdx(0), book: BookIdx(0), date: Day(0) },
-                Reading { user: UserIdx(0), book: BookIdx(1), date: Day(1) },
+                Reading {
+                    user: UserIdx(0),
+                    book: BookIdx(0),
+                    date: Day(0),
+                },
+                Reading {
+                    user: UserIdx(0),
+                    book: BookIdx(1),
+                    date: Day(1),
+                },
             ],
             genre_model: GenreModel::identity(),
         }
@@ -246,7 +257,7 @@ mod tests {
     fn evaluate_beyond_on_fixed_recommender() {
         struct Fixed;
         impl Recommender for Fixed {
-            fn name(&self) -> &'static str {
+            fn name(&self) -> &str {
                 "fixed"
             }
             fn fit(&mut self, _t: &Interactions) {}
@@ -263,7 +274,10 @@ mod tests {
         let c = corpus();
         let train = Interactions::from_corpus(&c);
         let test = [3u32, 4];
-        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let cases = [UserCase {
+            user: UserIdx(0),
+            test: &test,
+        }];
         let b = evaluate_beyond(&Fixed, &c, &train, &cases, 2);
         assert_eq!(b.n_users, 1);
         // Recs {3, 5}: genres 1 and 2 → diversity 1, coverage 1.
@@ -279,7 +293,7 @@ mod tests {
     fn serendipity_zero_for_in_genre_hits() {
         struct InGenre;
         impl Recommender for InGenre {
-            fn name(&self) -> &'static str {
+            fn name(&self) -> &str {
                 "in-genre"
             }
             fn fit(&mut self, _t: &Interactions) {}
@@ -296,7 +310,10 @@ mod tests {
         let c = corpus();
         let train = Interactions::from_corpus(&c);
         let test = [2u32];
-        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let cases = [UserCase {
+            user: UserIdx(0),
+            test: &test,
+        }];
         let b = evaluate_beyond(&InGenre, &c, &train, &cases, 1);
         // The hit (book 2, genre 0) is inside the dominant genre.
         assert_eq!(b.serendipity, 0.0);

@@ -102,7 +102,10 @@ impl PerUserStats {
             Metric::Urr => idx.iter().filter(|&&i| self.hits[i] > 0).count() as f64 / n,
             Metric::Nrr => idx.iter().map(|&i| f64::from(self.hits[i])).sum::<f64>() / n,
             Metric::Precision => {
-                idx.iter().map(|&i| f64::from(self.hits[i]) / self.k as f64).sum::<f64>() / n
+                idx.iter()
+                    .map(|&i| f64::from(self.hits[i]) / self.k as f64)
+                    .sum::<f64>()
+                    / n
             }
             Metric::Recall => {
                 idx.iter()
@@ -169,7 +172,13 @@ fn resample<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
 ///
 /// Panics if `stats` is empty, `replicates == 0`, or `level ∉ (0, 1)`.
 #[must_use]
-pub fn bootstrap_ci(stats: &PerUserStats, metric: Metric, replicates: usize, seed: u64, level: f64) -> Interval {
+pub fn bootstrap_ci(
+    stats: &PerUserStats,
+    metric: Metric,
+    replicates: usize,
+    seed: u64,
+    level: f64,
+) -> Interval {
     assert!(!stats.is_empty(), "no users to bootstrap");
     assert!(replicates > 0, "need at least one replicate");
     assert!(level > 0.0 && level < 1.0, "level out of range");
@@ -196,7 +205,11 @@ pub fn paired_difference_ci(
     seed: u64,
     level: f64,
 ) -> Interval {
-    assert_eq!(a.len(), b.len(), "paired bootstrap needs identical user sets");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "paired bootstrap needs identical user sets"
+    );
     assert!(!a.is_empty(), "no users to bootstrap");
     assert!(replicates > 0, "need at least one replicate");
     assert!(level > 0.0 && level < 1.0, "level out of range");
@@ -279,7 +292,7 @@ mod tests {
             train: Interactions,
         }
         impl Recommender for Fixed {
-            fn name(&self) -> &'static str {
+            fn name(&self) -> &str {
                 "fixed"
             }
             fn fit(&mut self, _t: &Interactions) {}
@@ -301,7 +314,10 @@ mod tests {
             train: Interactions::from_pairs(1, 10, &[(UserIdx(0), BookIdx(0))]),
         };
         let test = [2u32, 9];
-        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let cases = [UserCase {
+            user: UserIdx(0),
+            test: &test,
+        }];
         let stats = PerUserStats::collect(&rec, &cases, 3);
         let kpis = crate::metrics::evaluate(&rec, &cases, 3);
         assert_eq!(stats.point(Metric::Urr), kpis.urr);

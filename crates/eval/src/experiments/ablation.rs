@@ -71,7 +71,16 @@ impl Ablation {
     /// Renders the ablation matrix.
     #[must_use]
     pub fn table(&self) -> Table {
-        let mut t = Table::new(["loss", "negatives", "L", "URR", "NRR", "R", "FR", "train (s)"]);
+        let mut t = Table::new([
+            "loss",
+            "negatives",
+            "L",
+            "URR",
+            "NRR",
+            "R",
+            "FR",
+            "train (s)",
+        ]);
         for cell in &self.cells {
             t.push_row([
                 match cell.loss {
@@ -96,12 +105,19 @@ impl Ablation {
     /// `loss,sampling,factors,urr,nrr,recall,first_rank,train_seconds` CSV.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("loss,sampling,factors,urr,nrr,recall,first_rank,train_seconds\n");
+        let mut out =
+            String::from("loss,sampling,factors,urr,nrr,recall,first_rank,train_seconds\n");
         for cell in &self.cells {
             out.push_str(&format!(
                 "{:?},{:?},{},{:.6},{:.6},{:.6},{:.2},{:.3}\n",
-                cell.loss, cell.sampling, cell.factors, cell.kpis.urr, cell.kpis.nrr,
-                cell.kpis.recall, cell.kpis.first_rank, cell.train_seconds
+                cell.loss,
+                cell.sampling,
+                cell.factors,
+                cell.kpis.urr,
+                cell.kpis.nrr,
+                cell.kpis.recall,
+                cell.kpis.first_rank,
+                cell.train_seconds
             ));
         }
         out
@@ -125,7 +141,10 @@ mod tests {
     #[test]
     fn ablation_covers_the_grid() {
         let h = Harness::generate(19, Preset::Tiny);
-        let base = BprConfig { epochs: 5, ..BprConfig::default() };
+        let base = BprConfig {
+            epochs: 5,
+            ..BprConfig::default()
+        };
         let a = run(&h, &base, &[4, 8], 10);
         assert_eq!(a.cells.len(), 6);
         assert!(a.best_of(Loss::Warp).is_some());

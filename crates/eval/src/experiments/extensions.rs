@@ -56,7 +56,11 @@ pub fn run(harness: &Harness, suite: &TrainedSuite, k: usize, hybrid_weight: f32
 
     let mut hybrid = Blend::new(
         Bpr::new(suite.bpr.config().clone()),
-        ClosestItems::from_corpus(&harness.corpus, SummaryFields::BEST, EncoderConfig::default()),
+        ClosestItems::from_corpus(
+            &harness.corpus,
+            SummaryFields::BEST,
+            EncoderConfig::default(),
+        ),
         hybrid_weight,
     );
     hybrid.fit(train);
@@ -143,7 +147,11 @@ mod tests {
         let h = Harness::generate(17, Preset::Tiny);
         let suite = TrainedSuite::train(
             &h,
-            BprConfig { factors: 6, epochs: 5, ..BprConfig::default() },
+            BprConfig {
+                factors: 6,
+                epochs: 5,
+                ..BprConfig::default()
+            },
             SummaryFields::BEST,
             17,
         );
@@ -181,8 +189,16 @@ mod tests {
     fn hybrid_is_competitive_with_components() {
         let e = quick();
         let hybrid = e.row("Hybrid Blend").unwrap().kpis.nrr;
-        let best = e.row("BPR").unwrap().kpis.nrr.max(e.row("Closest Items").unwrap().kpis.nrr);
-        assert!(hybrid > 0.5 * best, "hybrid {hybrid} vs best component {best}");
+        let best = e
+            .row("BPR")
+            .unwrap()
+            .kpis
+            .nrr
+            .max(e.row("Closest Items").unwrap().kpis.nrr);
+        assert!(
+            hybrid > 0.5 * best,
+            "hybrid {hybrid} vs best component {best}"
+        );
     }
 
     #[test]
@@ -190,7 +206,10 @@ mod tests {
         let e = quick();
         let most_read = e.row("Most Read Items").unwrap().beyond.novelty;
         let random = e.row("Random Items").unwrap().beyond.novelty;
-        assert!(most_read < random, "MostRead novelty {most_read} vs random {random}");
+        assert!(
+            most_read < random,
+            "MostRead novelty {most_read} vs random {random}"
+        );
     }
 
     #[test]
@@ -198,8 +217,16 @@ mod tests {
         let e = quick();
         for row in &e.rows {
             assert!((0.0..=1.0).contains(&row.beyond.diversity), "{}", row.name);
-            assert!((0.0..=1.0).contains(&row.beyond.serendipity), "{}", row.name);
-            assert!((0.0..=1.0 + 1e-9).contains(&row.beyond.genre_coverage), "{}", row.name);
+            assert!(
+                (0.0..=1.0).contains(&row.beyond.serendipity),
+                "{}",
+                row.name
+            );
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&row.beyond.genre_coverage),
+                "{}",
+                row.name
+            );
             assert!(row.beyond.novelty >= 0.0);
         }
         assert_eq!(e.table().len(), 7);

@@ -109,7 +109,11 @@ mod tests {
         let h = Harness::generate(5, Preset::Tiny);
         let suite = TrainedSuite::train(
             &h,
-            BprConfig { factors: 8, epochs: 8, ..BprConfig::default() },
+            BprConfig {
+                factors: 8,
+                epochs: 8,
+                ..BprConfig::default()
+            },
             SummaryFields::BEST,
             5,
         );
@@ -123,7 +127,11 @@ mod tests {
             for w in s.kpis.windows(2) {
                 assert!(w[1].urr >= w[0].urr - 1e-12, "{}: URR not monotone", s.name);
                 assert!(w[1].nrr >= w[0].nrr - 1e-12, "{}: NRR not monotone", s.name);
-                assert!(w[1].recall >= w[0].recall - 1e-12, "{}: R not monotone", s.name);
+                assert!(
+                    w[1].recall >= w[0].recall - 1e-12,
+                    "{}: R not monotone",
+                    s.name
+                );
             }
         }
     }

@@ -63,7 +63,10 @@ impl Fig4 {
         header.extend(self.series.iter().map(|s| format!("NRR {}", s.name)));
         let mut t = Table::new(header);
         for (i, bin) in self.bins.iter().enumerate() {
-            let mut row = vec![bin.label(i == 0), self.series[0].binned[i].n_users.to_string()];
+            let mut row = vec![
+                bin.label(i == 0),
+                self.series[0].binned[i].n_users.to_string(),
+            ];
             row.extend(
                 self.series
                     .iter()
@@ -107,7 +110,11 @@ mod tests {
         let h = Harness::generate(9, Preset::Tiny);
         let suite = TrainedSuite::train(
             &h,
-            BprConfig { factors: 8, epochs: 8, ..BprConfig::default() },
+            BprConfig {
+                factors: 8,
+                epochs: 8,
+                ..BprConfig::default()
+            },
             SummaryFields::BEST,
             5,
         );

@@ -58,7 +58,8 @@ pub fn run(harness: &Harness, variants: &[SummaryFields], k: usize) -> Fig5 {
     let rows = variants
         .iter()
         .map(|&fields| {
-            let mut ci = ClosestItems::from_corpus(&harness.corpus, fields, EncoderConfig::default());
+            let mut ci =
+                ClosestItems::from_corpus(&harness.corpus, fields, EncoderConfig::default());
             ci.fit(&harness.split.train);
             Row {
                 fields,

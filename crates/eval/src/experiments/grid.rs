@@ -56,7 +56,10 @@ impl GridExperiment {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("factors,learning_rate,urr\n");
         for p in &self.outcome.points {
-            out.push_str(&format!("{},{},{:.6}\n", p.factors, p.learning_rate, p.score));
+            out.push_str(&format!(
+                "{},{},{:.6}\n",
+                p.factors, p.learning_rate, p.score
+            ));
         }
         out
     }
@@ -74,11 +77,18 @@ mod tests {
             factors: vec![4, 8],
             learning_rates: vec![0.1, 0.2],
         };
-        let base = BprConfig { epochs: 4, ..BprConfig::default() };
+        let base = BprConfig {
+            epochs: 4,
+            ..BprConfig::default()
+        };
         let e = run(&h, &grid, &base, 10);
         assert_eq!(e.outcome.points.len(), 4);
         assert!(grid.factors.contains(&e.outcome.best.factors));
-        assert!(e.outcome.points.iter().all(|p| (0.0..=1.0).contains(&p.score)));
+        assert!(e
+            .outcome
+            .points
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.score)));
         assert_eq!(e.table().len(), 4);
     }
 }

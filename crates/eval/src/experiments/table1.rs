@@ -41,7 +41,12 @@ pub struct Table1 {
 /// Runs the experiment: evaluates the trained suite plus the BCT-only BPR
 /// variant at `k`.
 #[must_use]
-pub fn run(harness: &Harness, suite: &TrainedSuite, bct_only_config: BprConfig, k: usize) -> Table1 {
+pub fn run(
+    harness: &Harness,
+    suite: &TrainedSuite,
+    bct_only_config: BprConfig,
+    k: usize,
+) -> Table1 {
     let cases = harness.test_cases();
     let mut rows: Vec<Row> = [
         (&suite.random as &(dyn Recommender + Sync)),
@@ -98,7 +103,11 @@ mod tests {
 
     fn quick() -> Table1 {
         let h = Harness::generate(3, Preset::Tiny);
-        let config = BprConfig { factors: 8, epochs: 8, ..BprConfig::default() };
+        let config = BprConfig {
+            factors: 8,
+            epochs: 8,
+            ..BprConfig::default()
+        };
         let suite = TrainedSuite::train(&h, config.clone(), SummaryFields::BEST, 5);
         run(&h, &suite, config, 10)
     }
@@ -109,7 +118,13 @@ mod tests {
         let names: Vec<&str> = t.rows.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["Random Items", "Most Read Items", "Closest Items", "BPR", "BPR (BCT only)"]
+            vec![
+                "Random Items",
+                "Most Read Items",
+                "Closest Items",
+                "BPR",
+                "BPR (BCT only)"
+            ]
         );
     }
 
@@ -117,8 +132,16 @@ mod tests {
     fn kpis_in_valid_ranges() {
         let t = quick();
         for row in &t.rows {
-            assert!((0.0..=1.0).contains(&row.kpis.urr), "{}: {:?}", row.name, row.kpis);
-            assert!(row.kpis.nrr >= row.kpis.urr - 1e-12, "NRR >= URR by definition");
+            assert!(
+                (0.0..=1.0).contains(&row.kpis.urr),
+                "{}: {:?}",
+                row.name,
+                row.kpis
+            );
+            assert!(
+                row.kpis.nrr >= row.kpis.urr - 1e-12,
+                "NRR >= URR by definition"
+            );
             assert!((0.0..=1.0).contains(&row.kpis.precision));
             assert!((0.0..=1.0).contains(&row.kpis.recall));
             assert!(row.kpis.first_rank >= 1.0);

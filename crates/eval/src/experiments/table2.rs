@@ -74,7 +74,8 @@ impl Table2 {
         for row in &self.rows {
             t.push_row([
                 row.name.clone(),
-                row.training.map_or_else(|| "-".to_owned(), |d| format!("{:.2}", d.as_secs_f64())),
+                row.training
+                    .map_or_else(|| "-".to_owned(), |d| format!("{:.2}", d.as_secs_f64())),
                 format!("{:.6}", row.recommendation.as_secs_f64()),
             ]);
         }
@@ -93,7 +94,11 @@ mod tests {
         let h = Harness::generate(4, Preset::Tiny);
         let suite = TrainedSuite::train(
             &h,
-            BprConfig { factors: 4, epochs: 3, ..BprConfig::default() },
+            BprConfig {
+                factors: 4,
+                epochs: 3,
+                ..BprConfig::default()
+            },
             SummaryFields::BEST,
             5,
         );

@@ -55,7 +55,10 @@ pub fn equal_population_bins(histories: &[u64], n_bins: usize) -> Vec<HistoryBin
         let end = ((b + 1) * n / n_bins).min(n) - 1;
         let hi = sorted[end];
         if b == n_bins - 1 {
-            bins.push(HistoryBin { lo, hi: sorted[n - 1] });
+            bins.push(HistoryBin {
+                lo,
+                hi: sorted[n - 1],
+            });
         } else if hi >= lo {
             // Next bin starts just above this bin's upper bound.
             bins.push(HistoryBin { lo, hi });

@@ -136,10 +136,16 @@ impl TrainedSuite {
     /// Trains the full suite. `fields` is the Closest Items metadata
     /// summary (the paper's best is authors+genres).
     #[must_use]
-    pub fn train(harness: &Harness, bpr_config: BprConfig, fields: SummaryFields, seed: u64) -> Self {
+    pub fn train(
+        harness: &Harness,
+        bpr_config: BprConfig,
+        fields: SummaryFields,
+        seed: u64,
+    ) -> Self {
         let mut random = RandomItems::new(rm_util::rng::derive_seed_str(seed, "random-rec"));
         let mut most_read = MostReadItems::new();
-        let mut closest = ClosestItems::from_corpus(&harness.corpus, fields, EncoderConfig::default());
+        let mut closest =
+            ClosestItems::from_corpus(&harness.corpus, fields, EncoderConfig::default());
         let mut bpr = Bpr::new(bpr_config);
         let fit_times = [
             harness.fit_timed(&mut random),
@@ -212,7 +218,11 @@ mod tests {
         let h = harness();
         let suite = TrainedSuite::train(
             &h,
-            BprConfig { factors: 4, epochs: 2, ..BprConfig::default() },
+            BprConfig {
+                factors: 4,
+                epochs: 2,
+                ..BprConfig::default()
+            },
             SummaryFields::BEST,
             7,
         );

@@ -106,49 +106,63 @@ impl Accumulator {
     }
 }
 
-/// One ranking pass per user over a chunk of cases.
+/// Users per [`Recommender::recommend_batch`] call inside
+/// [`accumulate`]: large enough to amortise per-batch setup (score
+/// buffers), small enough to keep at most a few full rankings resident.
+const EVAL_BATCH: usize = 64;
+
+/// One ranking pass per user over a chunk of cases, batched through
+/// [`Recommender::recommend_batch`] so models that amortise per-call setup
+/// across a batch (BPR's score buffer, Closest Items' similarity buffer)
+/// serve the evaluator at batch speed.
 fn accumulate(rec: &dyn Recommender, cases: &[UserCase<'_>], ks: &[usize]) -> Accumulator {
     let max_k = *ks.iter().max().expect("non-empty ks");
     let mut acc = Accumulator::new(ks.len());
 
-    for case in cases {
-        if case.test.is_empty() {
-            continue;
-        }
-        acc.n_users += 1;
-        let ranking = rec.rank_all(case.user);
-        // First relevant rank + cumulative hit counts at each position up
-        // to max_k.
-        let mut first_rank: Option<usize> = None;
-        let mut hits_at = vec![0u32; max_k + 1];
-        let mut hits = 0u32;
-        for (pos, &b) in ranking.iter().enumerate() {
-            let relevant = case.test.binary_search(&b).is_ok();
-            if relevant && first_rank.is_none() {
-                first_rank = Some(pos + 1);
-            }
-            if pos < max_k {
-                if relevant {
-                    hits += 1;
+    let live: Vec<&UserCase<'_>> = cases.iter().filter(|c| !c.test.is_empty()).collect();
+    let mut users: Vec<UserIdx> = Vec::with_capacity(EVAL_BATCH);
+    for chunk in live.chunks(EVAL_BATCH) {
+        users.clear();
+        users.extend(chunk.iter().map(|c| c.user));
+        // Full rankings (k unbounded): FR needs the first relevant
+        // position wherever it falls.
+        let rankings = rec.recommend_batch(&users, usize::MAX);
+        debug_assert_eq!(rankings.len(), chunk.len(), "recommend_batch contract");
+        for (case, ranking) in chunk.iter().zip(&rankings) {
+            acc.n_users += 1;
+            // First relevant rank + cumulative hit counts at each position
+            // up to max_k.
+            let mut first_rank: Option<usize> = None;
+            let mut hits_at = vec![0u32; max_k + 1];
+            let mut hits = 0u32;
+            for (pos, &b) in ranking.iter().enumerate() {
+                let relevant = case.test.binary_search(&b).is_ok();
+                if relevant && first_rank.is_none() {
+                    first_rank = Some(pos + 1);
                 }
-                hits_at[pos + 1] = hits;
-            } else if first_rank.is_some() {
-                break;
+                if pos < max_k {
+                    if relevant {
+                        hits += 1;
+                    }
+                    hits_at[pos + 1] = hits;
+                } else if first_rank.is_some() {
+                    break;
+                }
             }
-        }
-        acc.first_rank_sum += first_rank.unwrap_or(ranking.len().max(1)) as f64;
+            acc.first_rank_sum += first_rank.unwrap_or(ranking.len().max(1)) as f64;
 
-        for (ki, &k) in ks.iter().enumerate() {
-            let reach = k.min(ranking.len());
-            let h = u64::from(hits_at[reach.min(max_k)]);
-            acc.per_k_hits[ki] += h;
-            if h > 0 {
-                acc.per_k_users_hit[ki] += 1;
+            for (ki, &k) in ks.iter().enumerate() {
+                let reach = k.min(ranking.len());
+                let h = u64::from(hits_at[reach.min(max_k)]);
+                acc.per_k_hits[ki] += h;
+                if h > 0 {
+                    acc.per_k_users_hit[ki] += 1;
+                }
+                if reach > 0 {
+                    acc.per_k_precision[ki] += h as f64 / reach as f64;
+                }
+                acc.per_k_recall[ki] += h as f64 / case.test.len() as f64;
             }
-            if reach > 0 {
-                acc.per_k_precision[ki] += h as f64 / reach as f64;
-            }
-            acc.per_k_recall[ki] += h as f64 / case.test.len() as f64;
         }
     }
     acc
@@ -189,7 +203,10 @@ pub fn evaluate_at_parallel(
             .chunks(chunk)
             .map(|slice| scope.spawn(move || accumulate(rec, slice, ks)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("evaluator thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluator thread panicked"))
+            .collect()
     });
     let mut total = Accumulator::new(ks.len());
     for p in &partials {
@@ -266,7 +283,7 @@ mod tests {
     }
 
     impl Recommender for FixedRanking {
-        fn name(&self) -> &'static str {
+        fn name(&self) -> &str {
             "fixed"
         }
         fn fit(&mut self, _train: &Interactions) {}
@@ -297,7 +314,10 @@ mod tests {
         // k=3 → recs {1,2,3}: hits 1; first relevant rank = 2.
         let r = rec();
         let test = [2u32, 9];
-        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let cases = [UserCase {
+            user: UserIdx(0),
+            test: &test,
+        }];
         let k3 = evaluate(&r, &cases, 3);
         assert_eq!(k3.n_users, 1);
         assert_eq!(k3.urr, 1.0);
@@ -311,7 +331,10 @@ mod tests {
     fn k1_miss_counts_zero() {
         let r = rec();
         let test = [2u32];
-        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let cases = [UserCase {
+            user: UserIdx(0),
+            test: &test,
+        }];
         let k1 = evaluate(&r, &cases, 1);
         assert_eq!(k1.urr, 0.0);
         assert_eq!(k1.nrr, 0.0);
@@ -324,7 +347,10 @@ mod tests {
     fn multi_k_consistent_with_single_k() {
         let r = rec();
         let test = [2u32, 5, 9];
-        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let cases = [UserCase {
+            user: UserIdx(0),
+            test: &test,
+        }];
         let multi = evaluate_at(&r, &cases, &[1, 3, 5, 9]);
         for kpi in &multi {
             let single = evaluate(&r, &cases, kpi.k);
@@ -338,8 +364,14 @@ mod tests {
         let t0 = [1u32]; // hit at rank 1 for user 0
         let t1 = [9u32]; // user 1 (nothing seen): rank of 9 is 10
         let cases = [
-            UserCase { user: UserIdx(0), test: &t0 },
-            UserCase { user: UserIdx(1), test: &t1 },
+            UserCase {
+                user: UserIdx(0),
+                test: &t0,
+            },
+            UserCase {
+                user: UserIdx(1),
+                test: &t1,
+            },
         ];
         let k = evaluate(&r, &cases, 1);
         assert_eq!(k.n_users, 2);
@@ -354,8 +386,14 @@ mod tests {
         let t: [u32; 0] = [];
         let t1 = [1u32];
         let cases = [
-            UserCase { user: UserIdx(0), test: &t },
-            UserCase { user: UserIdx(1), test: &t1 },
+            UserCase {
+                user: UserIdx(0),
+                test: &t,
+            },
+            UserCase {
+                user: UserIdx(1),
+                test: &t1,
+            },
         ];
         let k = evaluate(&r, &cases, 5);
         assert_eq!(k.n_users, 1);
@@ -366,7 +404,10 @@ mod tests {
     fn urr_bounded_by_one_nrr_by_test_size() {
         let r = rec();
         let test = [1u32, 2, 3];
-        let cases = [UserCase { user: UserIdx(0), test: &test }];
+        let cases = [UserCase {
+            user: UserIdx(0),
+            test: &test,
+        }];
         let k = evaluate(&r, &cases, 9);
         assert_eq!(k.urr, 1.0);
         assert_eq!(k.nrr, 3.0);
@@ -381,7 +422,10 @@ mod tests {
             .collect();
         let cases: Vec<UserCase<'_>> = tests
             .iter()
-            .map(|t| UserCase { user: UserIdx(1), test: t })
+            .map(|t| UserCase {
+                user: UserIdx(1),
+                test: t,
+            })
             .collect();
         let ks = [1usize, 3, 7];
         let serial = evaluate_at(&r, &cases, &ks);

@@ -11,10 +11,10 @@
 //! n_test))` (possibly 0), rest train. Assignment is a seeded per-user
 //! shuffle, so splits are stable under changes elsewhere in the corpus.
 
+use rand::seq::SliceRandom;
 use rm_dataset::corpus::{Corpus, Source};
 use rm_dataset::ids::UserIdx;
 use rm_dataset::interactions::Interactions;
-use rand::seq::SliceRandom;
 use rm_util::rng::SeedTree;
 
 /// How readings are assigned to the three parts.
@@ -101,7 +101,8 @@ impl Split {
 
             let is_bct = corpus.users[u].source == Source::Bct;
             let n_test = if is_bct && n > 0 {
-                ((n as f64 * config.test_fraction).round() as usize).clamp(1, n.saturating_sub(1).max(1))
+                ((n as f64 * config.test_fraction).round() as usize)
+                    .clamp(1, n.saturating_sub(1).max(1))
             } else {
                 0
             };
@@ -182,17 +183,36 @@ mod tests {
             })
             .collect();
         let users = vec![
-            User { source: Source::Bct, raw_id: 0 },
-            User { source: Source::Anobii, raw_id: 1 },
+            User {
+                source: Source::Bct,
+                raw_id: 0,
+            },
+            User {
+                source: Source::Anobii,
+                raw_id: 1,
+            },
         ];
         let mut readings = Vec::new();
         for b in 0..20u32 {
-            readings.push(Reading { user: UserIdx(0), book: BookIdx(b), date: Day(b) });
+            readings.push(Reading {
+                user: UserIdx(0),
+                book: BookIdx(b),
+                date: Day(b),
+            });
         }
         for b in 20..30u32 {
-            readings.push(Reading { user: UserIdx(1), book: BookIdx(b), date: Day(b) });
+            readings.push(Reading {
+                user: UserIdx(1),
+                book: BookIdx(b),
+                date: Day(b),
+            });
         }
-        Corpus { books, users, readings, genre_model: GenreModel::identity() }
+        Corpus {
+            books,
+            users,
+            readings,
+            genre_model: GenreModel::identity(),
+        }
     }
 
     #[test]
@@ -232,7 +252,13 @@ mod tests {
         let b = Split::of_corpus(&c, &SplitConfig::default());
         assert_eq!(a.test, b.test);
         assert_eq!(a.validation, b.validation);
-        let other = Split::of_corpus(&c, &SplitConfig { seed: 1, ..SplitConfig::default() });
+        let other = Split::of_corpus(
+            &c,
+            &SplitConfig {
+                seed: 1,
+                ..SplitConfig::default()
+            },
+        );
         assert_ne!(a.test, other.test);
     }
 
@@ -295,7 +321,11 @@ mod tests {
         let c = corpus();
         let split = Split::of_corpus(
             &c,
-            &SplitConfig { test_fraction: 0.0, validation_fraction: 0.0, ..SplitConfig::default() },
+            &SplitConfig {
+                test_fraction: 0.0,
+                validation_fraction: 0.0,
+                ..SplitConfig::default()
+            },
         );
         // test_fraction 0 still guarantees >= 1 test book per BCT user
         // (evaluation targets must be testable); validation is empty.

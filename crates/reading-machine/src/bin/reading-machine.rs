@@ -4,13 +4,24 @@
 //! reading-machine generate --preset medium --seed 42 --out corpus/
 //! reading-machine stats    --corpus corpus/
 //! reading-machine train    --corpus corpus/ --model model.bpr [--factors 20] [--epochs 15]
+//! reading-machine train    --out artifacts/ [--corpus corpus/] [--epoch 1]
 //! reading-machine recommend --corpus corpus/ --model model.bpr --user 17 [--k 20]
 //! reading-machine evaluate --corpus corpus/ [--k 20]
+//! reading-machine serve-bench --artifacts artifacts/ [--corpus corpus/] [--requests 2000]
 //! ```
 //!
 //! `generate` writes the merged synthetic corpus as TSV; `train` persists a
-//! BPR model with the binary codec; `recommend` serves top-k titles for a
-//! user; `evaluate` runs the paper's KPI comparison on a fresh split.
+//! BPR model with the binary codec (`--model FILE`) or the full serving
+//! artifact set (`--out DIR`: BPR + Most Read counts + catalogue
+//! embeddings + manifest); `recommend` serves top-k titles for a user;
+//! `evaluate` runs the paper's KPI comparison on a fresh split;
+//! `serve-bench` loads an artifact directory into the serving engine and
+//! reports single vs batched throughput with latency quantiles.
+//!
+//! Commands that need a corpus accept either `--corpus DIR` or regenerate
+//! it deterministically from `--preset`/`--seed` — so `train --out` and
+//! `serve-bench` agree on the training interactions without shipping them
+//! in the registry.
 
 use reading_machine::dataset::io::{load_corpus, save_corpus};
 use reading_machine::dataset::stats::{genre_shares, summarize};
@@ -39,6 +50,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args[1..]),
         "recommend" => cmd_recommend(&args[1..]),
         "evaluate" => cmd_evaluate(&args[1..]),
+        "serve-bench" => cmd_serve_bench(&args[1..]),
         "--help" | "-h" | "help" => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -59,8 +71,11 @@ fn print_usage() {
         "usage:\n  reading-machine generate  --out DIR [--preset paper|medium|tiny] [--seed N]\n  \
          reading-machine stats     --corpus DIR\n  \
          reading-machine train     --corpus DIR --model FILE [--factors N] [--epochs N] [--lr F]\n  \
+         reading-machine train     --out DIR [--corpus DIR] [--epoch N] [--factors N] [--epochs N]\n  \
          reading-machine recommend --corpus DIR --model FILE --user N [--k N]\n  \
-         reading-machine evaluate  --corpus DIR [--k N] [--seed N]"
+         reading-machine evaluate  --corpus DIR [--k N] [--seed N]\n  \
+         reading-machine serve-bench --artifacts DIR [--corpus DIR] [--k N] [--requests N]\n\n\
+         commands taking [--corpus DIR] regenerate the corpus from --preset/--seed when it is omitted"
     );
 }
 
@@ -88,11 +103,15 @@ impl Flags {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.0.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn required(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("--{name} is required"))
+        self.get(name)
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -115,6 +134,19 @@ fn preset_of(flags: &Flags) -> Result<Preset, String> {
 fn load(flags: &Flags) -> Result<Corpus, String> {
     let dir = PathBuf::from(flags.required("corpus")?);
     load_corpus(&dir).map_err(|e| e.to_string())
+}
+
+/// The corpus from `--corpus DIR`, or regenerated deterministically from
+/// `--preset`/`--seed` when the flag is absent.
+fn corpus_of(flags: &Flags) -> Result<Corpus, String> {
+    match flags.get("corpus") {
+        Some(dir) => load_corpus(&PathBuf::from(dir)).map_err(|e| e.to_string()),
+        None => {
+            let seed: u64 = flags.parse_num("seed", 42)?;
+            let preset = preset_of(flags)?;
+            Ok(reading_machine::datagen::generate_corpus(seed, preset))
+        }
+    }
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -148,6 +180,9 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if let Some(out) = flags.get("out") {
+        return cmd_train_artifacts(&flags, PathBuf::from(out));
+    }
     let corpus = load(&flags)?;
     let model_path = PathBuf::from(flags.required("model")?);
     let config = BprConfig {
@@ -174,14 +209,144 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `train --out DIR`: fit the full serving suite on every reading
+/// (deployment mode) and persist it as an artifact registry.
+fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
+    let corpus = corpus_of(flags)?;
+    let train = Interactions::from_corpus(&corpus);
+    let config = BprConfig {
+        factors: flags.parse_num("factors", 20)?,
+        epochs: flags.parse_num("epochs", 15)?,
+        learning_rate: flags.parse_num("lr", 0.2)?,
+        seed: flags.parse_num("seed", 42)?,
+        ..BprConfig::default()
+    };
+    let fields = SummaryFields::BEST;
+    let t0 = std::time::Instant::now();
+    let mut bpr = Bpr::new(config);
+    bpr.fit(&train);
+    let mut most_read = MostReadItems::new();
+    most_read.fit(&train);
+    let mut closest = ClosestItems::from_corpus(&corpus, fields, EncoderConfig::default());
+    closest.fit(&train);
+    let manifest = Manifest {
+        epoch: flags.parse_num("epoch", 1)?,
+        fields,
+    };
+    let registry = ArtifactRegistry::new(&out);
+    registry
+        .save(
+            &manifest,
+            bpr.model().expect("fitted"),
+            &most_read,
+            closest.store(),
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "trained serving suite on {} interactions in {:.1?}; wrote epoch-{} artifacts to {}",
+        train.nnz(),
+        t0.elapsed(),
+        manifest.epoch,
+        out.display()
+    );
+    Ok(())
+}
+
+/// `serve-bench`: load an artifact registry and measure single-call vs
+/// batched serving throughput, printing the engine's request metrics.
+fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let registry = ArtifactRegistry::new(PathBuf::from(flags.required("artifacts")?));
+    let corpus = corpus_of(&flags)?;
+    let train = Interactions::from_corpus(&corpus);
+    let k: usize = flags.parse_num("k", 10)?;
+    let requests: usize = flags.parse_num("requests", 2000)?;
+    let cache_capacity: usize = flags.parse_num("cache", 4096)?;
+
+    // The request stream: all users, cycled until `requests` is reached,
+    // so the cache sees realistic repeats.
+    let users: Vec<UserIdx> = (0..requests)
+        .map(|i| UserIdx((i % train.n_users()) as u32))
+        .collect();
+
+    let engine_with = |workers: usize| {
+        ServingEngine::load(
+            &registry,
+            &train,
+            EngineConfig {
+                workers,
+                cache_capacity,
+                ..EngineConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())
+    };
+
+    let probe = engine_with(1)?;
+    println!(
+        "serve-bench: {requests} requests over {} users, k={k}, epoch {}",
+        train.n_users(),
+        probe.epoch()
+    );
+    if probe.degraded().is_empty() {
+        println!("all model slots healthy");
+    } else {
+        for (slot, reason) in probe.degraded() {
+            println!("DEGRADED {}: {reason}", slot.label());
+        }
+    }
+
+    // Single-call baseline: one thread, one request at a time.
+    let single = engine_with(1)?;
+    let t0 = std::time::Instant::now();
+    for &u in &users {
+        std::hint::black_box(single.recommend(u, k));
+    }
+    let single_qps = requests as f64 / t0.elapsed().as_secs_f64();
+
+    let mut table = reading_machine::util::report::Table::new(["mode", "req/s", "speedup"]);
+    table.push_row([
+        "single".to_owned(),
+        reading_machine::util::report::fmt_f64(single_qps, 0),
+        "1.00".to_owned(),
+    ]);
+    let mut four_worker_metrics = None;
+    for workers in [1usize, 4, 8] {
+        let engine = engine_with(workers)?;
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(engine.recommend_batch(&users, k));
+        let qps = requests as f64 / t0.elapsed().as_secs_f64();
+        table.push_row([
+            format!("batch x{workers}"),
+            reading_machine::util::report::fmt_f64(qps, 0),
+            reading_machine::util::report::fmt_f64(qps / single_qps, 2),
+        ]);
+        if workers == 4 {
+            four_worker_metrics = Some(engine.metrics());
+        }
+    }
+    println!("{}", table.render());
+    if let Some(m) = four_worker_metrics {
+        println!("request metrics (batch x4 run):");
+        println!("{}", m.render());
+    }
+    Ok(())
+}
+
 fn cmd_recommend(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     let corpus = load(&flags)?;
     let model_path = PathBuf::from(flags.required("model")?);
-    let user: u32 = flags.required("user")?.parse().map_err(|_| "bad --user".to_owned())?;
+    let user: u32 = flags
+        .required("user")?
+        .parse()
+        .map_err(|_| "bad --user".to_owned())?;
     let k: usize = flags.parse_num("k", 20)?;
     if user as usize >= corpus.n_users() {
-        return Err(format!("user {user} out of range (corpus has {})", corpus.n_users()));
+        return Err(format!(
+            "user {user} out of range (corpus has {})",
+            corpus.n_users()
+        ));
     }
     let bytes = std::fs::read(&model_path).map_err(|e| e.to_string())?;
     let model = reading_machine::core::persist::decode(&bytes).map_err(|e| e.to_string())?;
@@ -191,7 +356,12 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
     println!("top-{k} for user {user}:");
     for (rank, b) in bpr.recommend(UserIdx(user), k).into_iter().enumerate() {
         let book = &corpus.books[b as usize];
-        println!("  {:>2}. {} — {}", rank + 1, book.title, book.authors.join(", "));
+        println!(
+            "  {:>2}. {} — {}",
+            rank + 1,
+            book.title,
+            book.authors.join(", ")
+        );
     }
     Ok(())
 }

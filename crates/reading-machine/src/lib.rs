@@ -30,10 +30,12 @@ pub mod prelude {
     pub use rm_dataset::summary::SummaryFields;
     pub use rm_dataset::{Book, Corpus, Source, User};
     pub use rm_embed::{EmbeddingStore, EncoderConfig, SemanticEncoder};
+    pub use rm_eval::bootstrap::{bootstrap_ci, paired_difference_ci, Metric, PerUserStats};
     pub use rm_eval::harness::{Harness, TrainedSuite};
     pub use rm_eval::metrics::{evaluate, evaluate_at, Kpis, UserCase};
-    pub use rm_eval::bootstrap::{bootstrap_ci, paired_difference_ci, Metric, PerUserStats};
     pub use rm_eval::{Split, SplitConfig, SplitStrategy};
+    pub use rm_serve::engine::{EngineConfig, ModelSlot, ServingEngine};
+    pub use rm_serve::registry::{ArtifactRegistry, Manifest};
 }
 
 pub use rm_core as core;
@@ -41,5 +43,6 @@ pub use rm_datagen as datagen;
 pub use rm_dataset as dataset;
 pub use rm_embed as embed;
 pub use rm_eval as eval;
+pub use rm_serve as serve;
 pub use rm_sparse as sparse;
 pub use rm_util as util;

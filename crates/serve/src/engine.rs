@@ -1,0 +1,413 @@
+//! The online serving engine: artifacts in, ranked book lists out.
+//!
+//! [`ServingEngine::load`] restores the trained models from an
+//! [`ArtifactRegistry`] and answers [`ServingEngine::recommend`] /
+//! [`ServingEngine::recommend_batch`] requests through a configurable
+//! *fallback chain*: each request walks the chain (default
+//! BPR → Closest Items → Most Read Items → Random Items) and is served
+//! by the first slot that is healthy **and** returns a non-empty list.
+//! A slot degrades — without failing the load — when its artifact is
+//! missing, truncated, checksum-corrupted, or dimensionally incompatible
+//! with the training interactions; a healthy slot still falls through
+//! when it has nothing to say (e.g. Closest Items for a reader with no
+//! history).
+//!
+//! Results are memoised in a bounded LRU keyed `(user, k, model_epoch)`;
+//! the epoch comes from the registry manifest, and
+//! [`ServingEngine::reload`] both bumps it and explicitly clears the
+//! cache, so a retrain can never serve stale lists. Batch requests are
+//! fanned out over a `std::thread::scope` worker pool sharing the same
+//! cache and [`ServeMetrics`].
+
+use crate::cache::LruCache;
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::registry::{ArtifactRegistry, LoadedArtifacts, RegistryError};
+use rm_core::bpr::{Bpr, BprConfig};
+use rm_core::closest::ClosestItems;
+use rm_core::most_read::MostReadItems;
+use rm_core::random::RandomItems;
+use rm_core::Recommender;
+use rm_dataset::ids::UserIdx;
+use rm_dataset::interactions::Interactions;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One link of the fallback chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSlot {
+    /// Collaborative filtering (the paper's best model).
+    Bpr,
+    /// Content-based Closest Items.
+    ClosestItems,
+    /// Global-popularity Most Read Items.
+    MostRead,
+    /// Uniform-random terminal fallback.
+    Random,
+}
+
+impl ModelSlot {
+    /// Number of slots (sizes the metrics arrays).
+    pub const COUNT: usize = 4;
+
+    /// Every slot, in default chain order.
+    pub const ALL: [Self; Self::COUNT] =
+        [Self::Bpr, Self::ClosestItems, Self::MostRead, Self::Random];
+
+    /// Dense index for metrics arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Self::Bpr => 0,
+            Self::ClosestItems => 1,
+            Self::MostRead => 2,
+            Self::Random => 3,
+        }
+    }
+
+    /// Display name, matching the recommenders' [`Recommender::name`].
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Bpr => "BPR",
+            Self::ClosestItems => "Closest Items",
+            Self::MostRead => "Most Read Items",
+            Self::Random => "Random Items",
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Slots tried in order; the first non-empty answer wins. Slots not
+    /// listed are never consulted.
+    pub chain: Vec<ModelSlot>,
+    /// Worker threads for [`ServingEngine::recommend_batch`].
+    pub workers: usize,
+    /// LRU entries; `0` disables caching entirely.
+    pub cache_capacity: usize,
+    /// Seed of the terminal Random Items fallback.
+    pub random_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            chain: ModelSlot::ALL.to_vec(),
+            workers: 4,
+            cache_capacity: 4096,
+            random_seed: 42,
+        }
+    }
+}
+
+type CacheKey = (u32, usize, u64);
+
+/// The offline-trained / online-serving recommendation engine.
+#[derive(Debug)]
+pub struct ServingEngine {
+    config: EngineConfig,
+    train: Interactions,
+    epoch: u64,
+    bpr: Option<Bpr>,
+    closest: Option<ClosestItems>,
+    most_read: Option<MostReadItems>,
+    random: RandomItems,
+    degraded: Vec<(ModelSlot, String)>,
+    cache: Mutex<LruCache<CacheKey, Vec<u32>>>,
+    metrics: ServeMetrics,
+}
+
+impl ServingEngine {
+    /// Opens `registry` and builds the engine over `train` (the
+    /// interactions the artifacts were fitted on — rebuilt
+    /// deterministically from the corpus, they are not part of the
+    /// registry). Slot-level artifact failures degrade the chain and are
+    /// reported via [`ServingEngine::degraded`]; only a missing or
+    /// unparsable manifest fails the load.
+    pub fn load(
+        registry: &ArtifactRegistry,
+        train: &Interactions,
+        config: EngineConfig,
+    ) -> Result<Self, RegistryError> {
+        let loaded = registry.load()?;
+        let cache_capacity = config.cache_capacity;
+        let random_seed = config.random_seed;
+        let mut random = RandomItems::new(random_seed);
+        random.fit(train);
+        let mut engine = Self {
+            config,
+            train: train.clone(),
+            epoch: 0,
+            bpr: None,
+            closest: None,
+            most_read: None,
+            random,
+            degraded: Vec::new(),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            metrics: ServeMetrics::new(),
+        };
+        engine.install_artifacts(loaded);
+        Ok(engine)
+    }
+
+    /// Swaps in a freshly saved artifact set: re-reads every slot, bumps
+    /// the epoch from the manifest, and explicitly clears the cache (the
+    /// epoch in the key already fences stale entries; clearing also
+    /// returns their memory).
+    pub fn reload(&mut self, registry: &ArtifactRegistry) -> Result<(), RegistryError> {
+        let loaded = registry.load()?;
+        self.install_artifacts(loaded);
+        self.cache.get_mut().expect("cache mutex poisoned").clear();
+        Ok(())
+    }
+
+    fn install_artifacts(&mut self, loaded: LoadedArtifacts) {
+        self.epoch = loaded.manifest.epoch;
+        self.degraded.clear();
+
+        self.bpr = match loaded.bpr {
+            Ok(model)
+                if model.user_factors.rows() == self.train.n_users()
+                    && model.item_factors.rows() == self.train.n_books() =>
+            {
+                let mut bpr = Bpr::new(BprConfig::default());
+                bpr.install(model, &self.train);
+                Some(bpr)
+            }
+            Ok(model) => {
+                self.degrade(
+                    ModelSlot::Bpr,
+                    format!(
+                        "dimension mismatch: model {}x{}, train {}x{}",
+                        model.user_factors.rows(),
+                        model.item_factors.rows(),
+                        self.train.n_users(),
+                        self.train.n_books()
+                    ),
+                );
+                None
+            }
+            Err(e) => {
+                self.degrade(ModelSlot::Bpr, e.to_string());
+                None
+            }
+        };
+
+        self.closest = match loaded.embeddings {
+            Ok(store) if store.len() == self.train.n_books() => {
+                let mut ci = ClosestItems::from_store(store, loaded.manifest.fields);
+                ci.fit(&self.train);
+                Some(ci)
+            }
+            Ok(store) => {
+                self.degrade(
+                    ModelSlot::ClosestItems,
+                    format!(
+                        "dimension mismatch: {} embeddings, {} books",
+                        store.len(),
+                        self.train.n_books()
+                    ),
+                );
+                None
+            }
+            Err(e) => {
+                self.degrade(ModelSlot::ClosestItems, e.to_string());
+                None
+            }
+        };
+
+        self.most_read = match loaded.most_read {
+            Ok(mut mr) if mr.counts().len() == self.train.n_books() => {
+                mr.install(&self.train);
+                Some(mr)
+            }
+            Ok(mr) => {
+                self.degrade(
+                    ModelSlot::MostRead,
+                    format!(
+                        "dimension mismatch: {} counts, {} books",
+                        mr.counts().len(),
+                        self.train.n_books()
+                    ),
+                );
+                None
+            }
+            Err(e) => {
+                self.degrade(ModelSlot::MostRead, e.to_string());
+                None
+            }
+        };
+    }
+
+    fn degrade(&mut self, slot: ModelSlot, reason: String) {
+        self.degraded.push((slot, reason));
+    }
+
+    /// The slots that failed to load, with the reason — the health report
+    /// an operator would page on.
+    #[must_use]
+    pub fn degraded(&self) -> &[(ModelSlot, String)] {
+        &self.degraded
+    }
+
+    /// True when the slot's model loaded and is servable.
+    #[must_use]
+    pub fn slot_loaded(&self, slot: ModelSlot) -> bool {
+        match slot {
+            ModelSlot::Bpr => self.bpr.is_some(),
+            ModelSlot::ClosestItems => self.closest.is_some(),
+            ModelSlot::MostRead => self.most_read.is_some(),
+            ModelSlot::Random => true,
+        }
+    }
+
+    /// The current artifact epoch (from the registry manifest).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Point-in-time request metrics.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Number of cached recommendation lists.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache mutex poisoned").len()
+    }
+
+    fn slot_model(&self, slot: ModelSlot) -> Option<&dyn Recommender> {
+        match slot {
+            ModelSlot::Bpr => self.bpr.as_ref().map(|m| m as &dyn Recommender),
+            ModelSlot::ClosestItems => self.closest.as_ref().map(|m| m as &dyn Recommender),
+            ModelSlot::MostRead => self.most_read.as_ref().map(|m| m as &dyn Recommender),
+            ModelSlot::Random => Some(&self.random),
+        }
+    }
+
+    /// Top-`k` books for `user`, walking the fallback chain. An unknown
+    /// user (outside the training matrix) gets an empty list. The call
+    /// records latency, cache, and per-slot counters.
+    pub fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
+        self.serve_chunk(&[user], k)
+            .pop()
+            .expect("one answer per user")
+    }
+
+    /// Serves one worker's share of a batch (or a single request): the
+    /// cache is probed once for the whole chunk, the fallback chain is
+    /// walked with the models' batched entry points (which reuse one
+    /// catalogue-sized buffer across the chunk), and the metrics mutex is
+    /// taken once. Amortising the per-request overhead this way is what
+    /// makes batched serving outrun single calls even on one core.
+    fn serve_chunk(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
+        let t0 = Instant::now();
+        let mut out: Vec<Option<Vec<u32>>> = vec![None; users.len()];
+        let mut hits = 0u64;
+        let mut misses: Vec<usize> = Vec::with_capacity(users.len());
+        if self.config.cache_capacity > 0 {
+            let mut cache = self.cache.lock().expect("cache mutex poisoned");
+            for (i, &u) in users.iter().enumerate() {
+                match cache.get(&(u.0, k, self.epoch)) {
+                    Some(books) => {
+                        out[i] = Some(books.clone());
+                        hits += 1;
+                    }
+                    None => misses.push(i),
+                }
+            }
+        } else {
+            misses.extend(0..users.len());
+        }
+
+        // Unknown users (outside the training matrix) get empty lists
+        // without consulting the chain.
+        misses.retain(|&i| {
+            let known = users[i].index() < self.train.n_users();
+            if !known {
+                out[i] = Some(Vec::new());
+            }
+            known
+        });
+
+        let mut served = [0u64; ModelSlot::COUNT];
+        let mut fallbacks = [0u64; ModelSlot::COUNT];
+        let mut remaining = misses.clone();
+        for &slot in &self.config.chain {
+            if remaining.is_empty() {
+                break;
+            }
+            let Some(model) = self.slot_model(slot) else {
+                // Degraded slot: every remaining request falls through.
+                fallbacks[slot.index()] += remaining.len() as u64;
+                continue;
+            };
+            let chunk_users: Vec<UserIdx> = remaining.iter().map(|&i| users[i]).collect();
+            let answers = model.recommend_batch(&chunk_users, k);
+            let mut still_empty = Vec::new();
+            for (&i, books) in remaining.iter().zip(answers) {
+                if books.is_empty() {
+                    // Healthy slot with nothing to say (e.g. Closest
+                    // Items for an empty history): fall through too.
+                    fallbacks[slot.index()] += 1;
+                    still_empty.push(i);
+                } else {
+                    served[slot.index()] += 1;
+                    out[i] = Some(books);
+                }
+            }
+            remaining = still_empty;
+        }
+        // Chain exhausted: empty answers, not served by any slot.
+        for i in remaining {
+            out[i] = Some(Vec::new());
+        }
+
+        if self.config.cache_capacity > 0 && !misses.is_empty() {
+            let mut cache = self.cache.lock().expect("cache mutex poisoned");
+            for &i in &misses {
+                let books = out[i].as_ref().expect("answered above");
+                if !books.is_empty() {
+                    cache.insert((users[i].0, k, self.epoch), books.clone());
+                }
+            }
+        }
+
+        self.metrics
+            .record_chunk(t0.elapsed(), users.len() as u64, hits, &served, &fallbacks);
+        out.into_iter()
+            .map(|o| o.expect("answered above"))
+            .collect()
+    }
+
+    /// [`ServingEngine::recommend`] for a batch of users, fanned out over
+    /// [`EngineConfig::workers`] scoped threads. Answers come back in
+    /// request order and are byte-identical to single calls.
+    pub fn recommend_batch(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
+        let workers = self.config.workers.max(1).min(users.len().max(1));
+        if workers <= 1 {
+            return self.serve_chunk(users, k);
+        }
+        let chunk = users.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = users
+                .chunks(chunk)
+                .map(|part| s.spawn(move || self.serve_chunk(part, k)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        })
+    }
+}

@@ -1,0 +1,30 @@
+//! `rm-serve` — the offline-train / online-serve half of the library
+//! recommender.
+//!
+//! The evaluation crates answer "which model is best?"; this crate
+//! answers "how do the trained models face readers?". The lifecycle is:
+//!
+//! 1. **Train offline** (`reading-machine train --out DIR`): fit BPR,
+//!    Most Read Items, and the catalogue embeddings, then persist them
+//!    into an [`ArtifactRegistry`] directory with a manifest (epoch +
+//!    summary fields).
+//! 2. **Serve online**: [`ServingEngine::load`] restores the artifacts
+//!    and serves [`ServingEngine::recommend`] /
+//!    [`ServingEngine::recommend_batch`] requests through a fallback
+//!    chain (BPR → Closest Items → Most Read → Random), with a bounded
+//!    LRU cache keyed by `(user, k, model_epoch)` and in-tree request
+//!    metrics (latency quantiles, QPS, cache hit ratio, per-slot
+//!    serve/fallback counts).
+//!
+//! A corrupt or missing artifact never takes serving down — the slot
+//! degrades, the chain skips it, and the metrics show the fall-throughs.
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod registry;
+
+pub use cache::LruCache;
+pub use engine::{EngineConfig, ModelSlot, ServingEngine};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use registry::{ArtifactRegistry, LoadedArtifacts, Manifest, RegistryError, SlotError};

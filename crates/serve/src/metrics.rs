@@ -1,0 +1,278 @@
+//! Request metrics for the serving engine.
+//!
+//! One mutex-guarded accumulator shared by every worker thread: request
+//! and cache-hit counters, a quarter-octave latency
+//! [`Histogram`](rm_util::stats::Histogram) in nanoseconds, and per-slot
+//! serve / fallback counts. [`ServeMetrics::snapshot`] clones the state
+//! out; [`MetricsSnapshot::render`] formats it with the same
+//! [`Table`](rm_util::report::Table) renderer the evaluation reports use.
+
+use crate::engine::ModelSlot;
+use rm_util::report::{fmt_f64, Table};
+use rm_util::stats::Histogram;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default, Clone)]
+struct Counters {
+    requests: u64,
+    cache_hits: u64,
+    latency: Histogram,
+    served: [u64; ModelSlot::COUNT],
+    fallbacks: [u64; ModelSlot::COUNT],
+}
+
+/// Thread-safe metrics accumulator owned by the engine.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    inner: Mutex<Counters>,
+    started: Instant,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh metrics; the QPS clock starts now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Counters::default()),
+            started: Instant::now(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
+        self.inner.lock().expect("metrics mutex poisoned")
+    }
+
+    /// Records a request answered from the cache.
+    pub fn record_hit(&self, latency: Duration) {
+        let mut c = self.lock();
+        c.requests += 1;
+        c.cache_hits += 1;
+        c.latency.record(latency.as_nanos() as u64);
+    }
+
+    /// Records a request answered by a model. `served` is the slot that
+    /// produced the list (`None` when the whole chain came up empty);
+    /// `fell_through` are the slots tried before it, each of which counts
+    /// as one fallback.
+    pub fn record_serve(
+        &self,
+        latency: Duration,
+        served: Option<ModelSlot>,
+        fell_through: &[ModelSlot],
+    ) {
+        let mut c = self.lock();
+        c.requests += 1;
+        c.latency.record(latency.as_nanos() as u64);
+        if let Some(slot) = served {
+            c.served[slot.index()] += 1;
+        }
+        for &slot in fell_through {
+            c.fallbacks[slot.index()] += 1;
+        }
+    }
+
+    /// Records a whole served chunk in one lock acquisition: `n` requests
+    /// taking `elapsed` total (each accounted the amortised per-request
+    /// latency), `hits` of them from the cache, plus per-slot serve and
+    /// fall-through counts.
+    pub fn record_chunk(
+        &self,
+        elapsed: Duration,
+        n: u64,
+        hits: u64,
+        served: &[u64; ModelSlot::COUNT],
+        fallbacks: &[u64; ModelSlot::COUNT],
+    ) {
+        if n == 0 {
+            return;
+        }
+        let per_request = (elapsed.as_nanos() / u128::from(n)) as u64;
+        let mut c = self.lock();
+        c.requests += n;
+        c.cache_hits += hits;
+        c.latency.record_n(per_request, n);
+        for i in 0..ModelSlot::COUNT {
+            c.served[i] += served[i];
+            c.fallbacks[i] += fallbacks[i];
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let c = self.lock().clone();
+        MetricsSnapshot {
+            requests: c.requests,
+            cache_hits: c.cache_hits,
+            latency: c.latency,
+            served: c.served,
+            fallbacks: c.fallbacks,
+            elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// Zeroes every counter and restarts the QPS clock.
+    pub fn reset(&mut self) {
+        *self.lock() = Counters::default();
+        self.started = Instant::now();
+    }
+}
+
+/// An immutable copy of the serving counters.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Total requests (cache hits included).
+    pub requests: u64,
+    /// Requests answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Request latency histogram, nanoseconds.
+    pub latency: Histogram,
+    /// Requests served per model slot (indexed by [`ModelSlot::index`]).
+    pub served: [u64; ModelSlot::COUNT],
+    /// Fall-throughs per model slot.
+    pub fallbacks: [u64; ModelSlot::COUNT],
+    /// Wall-clock time since the metrics were created or reset.
+    pub elapsed: Duration,
+}
+
+impl MetricsSnapshot {
+    /// Requests per second over the metrics' lifetime.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+
+    /// Cache hits over total requests; `0.0` before the first request.
+    #[must_use]
+    pub fn cache_hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.requests as f64
+    }
+
+    /// The latency/throughput summary table.
+    #[must_use]
+    pub fn latency_table(&self) -> Table {
+        let mut t = Table::new(["metric", "value"]);
+        t.push_row(["requests".to_owned(), self.requests.to_string()]);
+        t.push_row(["qps".to_owned(), fmt_f64(self.qps(), 1)]);
+        t.push_row([
+            "cache hit ratio".to_owned(),
+            fmt_f64(self.cache_hit_ratio(), 3),
+        ]);
+        for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            t.push_row([
+                format!("latency {label}"),
+                fmt_micros(self.latency.quantile(q)),
+            ]);
+        }
+        t.push_row([
+            "latency mean".to_owned(),
+            fmt_micros(self.latency.mean() as u64),
+        ]);
+        t.push_row(["latency max".to_owned(), fmt_micros(self.latency.max())]);
+        t
+    }
+
+    /// The per-slot serve/fallback table, in chain order.
+    #[must_use]
+    pub fn slot_table(&self) -> Table {
+        let mut t = Table::new(["model", "served", "fallbacks"]);
+        for slot in ModelSlot::ALL {
+            t.push_row([
+                slot.label().to_owned(),
+                self.served[slot.index()].to_string(),
+                self.fallbacks[slot.index()].to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Both tables, ready to print.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}",
+            self.latency_table().render(),
+            self.slot_table().render()
+        )
+    }
+}
+
+/// Nanoseconds as a human-readable microsecond figure.
+fn fmt_micros(nanos: u64) -> String {
+    format!("{} us", fmt_f64(nanos as f64 / 1_000.0, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.record_serve(Duration::from_micros(100), Some(ModelSlot::Bpr), &[]);
+        m.record_serve(
+            Duration::from_micros(200),
+            Some(ModelSlot::MostRead),
+            &[ModelSlot::Bpr, ModelSlot::ClosestItems],
+        );
+        m.record_hit(Duration::from_micros(1));
+        let s = m.snapshot();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.served[ModelSlot::Bpr.index()], 1);
+        assert_eq!(s.served[ModelSlot::MostRead.index()], 1);
+        assert_eq!(s.fallbacks[ModelSlot::Bpr.index()], 1);
+        assert_eq!(s.fallbacks[ModelSlot::ClosestItems.index()], 1);
+        assert_eq!(s.latency.count(), 3);
+        assert!((s.cache_hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_safe() {
+        let s = ServeMetrics::new().snapshot();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.cache_hit_ratio(), 0.0);
+        assert_eq!(s.latency.quantile(0.99), 0);
+        // QPS may be 0/epsilon but must not be NaN.
+        assert!(s.qps().is_finite());
+    }
+
+    #[test]
+    fn render_mentions_every_headline_number() {
+        let m = ServeMetrics::new();
+        m.record_serve(Duration::from_micros(50), Some(ModelSlot::Random), &[]);
+        let text = m.snapshot().render();
+        for needle in [
+            "p50",
+            "p95",
+            "p99",
+            "cache hit ratio",
+            "qps",
+            "Random Items",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_and_restarts() {
+        let mut m = ServeMetrics::new();
+        m.record_hit(Duration::from_micros(5));
+        m.reset();
+        assert_eq!(m.snapshot().requests, 0);
+    }
+}

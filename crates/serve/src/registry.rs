@@ -1,0 +1,351 @@
+//! The on-disk artifact registry: one directory per trained model set.
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/manifest.txt        epoch + Closest Items summary fields
+//! <dir>/bpr.rmodel          BprModel        (tag 0x01)
+//! <dir>/most_read.rmodel    MostReadItems   (tag 0x02)
+//! <dir>/embeddings.rmodel   EmbeddingStore  (tag 0x03)
+//! ```
+//!
+//! Loading is *slot-tolerant*: the manifest is mandatory, but each model
+//! slot resolves to its own `Result` so a missing, truncated, or
+//! checksum-corrupted artifact degrades exactly one link of the serving
+//! fallback chain instead of failing the whole load.
+
+use rm_core::bpr::BprModel;
+use rm_core::most_read::MostReadItems;
+use rm_core::persist::{DecodeError, PersistModel};
+use rm_dataset::summary::SummaryFields;
+use rm_embed::EmbeddingStore;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside a registry directory.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+/// BPR model artifact file name.
+pub const BPR_FILE: &str = "bpr.rmodel";
+/// Most Read Items artifact file name.
+pub const MOST_READ_FILE: &str = "most_read.rmodel";
+/// Embedding store artifact file name.
+pub const EMBEDDINGS_FILE: &str = "embeddings.rmodel";
+
+const MANIFEST_HEADER: &str = "rm-serve-manifest 1";
+
+/// The registry metadata persisted alongside the model artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// Training epoch: bumped on every retrain, part of the serving-cache
+    /// key so stale entries can never survive a reload.
+    pub epoch: u64,
+    /// The metadata summary the embeddings were built from.
+    pub fields: SummaryFields,
+}
+
+impl Manifest {
+    /// Renders the manifest as `key value` lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{MANIFEST_HEADER}\nepoch {}\nfields {}\n",
+            self.epoch,
+            self.fields.bits()
+        )
+    }
+
+    /// Parses [`Manifest::render`] output.
+    pub fn parse(text: &str) -> Result<Self, RegistryError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(MANIFEST_HEADER) {
+            return Err(RegistryError::BadManifest("missing header".into()));
+        }
+        let mut epoch = None;
+        let mut fields = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| RegistryError::BadManifest(format!("bad line: {line}")))?;
+            match key {
+                "epoch" => {
+                    epoch =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            RegistryError::BadManifest(format!("bad epoch: {value}"))
+                        })?);
+                }
+                "fields" => {
+                    fields = Some(SummaryFields::from_bits(value.parse::<u8>().map_err(
+                        |_| RegistryError::BadManifest(format!("bad fields: {value}")),
+                    )?));
+                }
+                // Unknown keys are ignored for forward compatibility.
+                _ => {}
+            }
+        }
+        Ok(Self {
+            epoch: epoch.ok_or_else(|| RegistryError::BadManifest("missing epoch".into()))?,
+            fields: fields.ok_or_else(|| RegistryError::BadManifest("missing fields".into()))?,
+        })
+    }
+}
+
+/// Why the registry as a whole could not be opened.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The manifest file is absent or unreadable.
+    Io(io::Error),
+    /// The manifest is present but unparsable.
+    BadManifest(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "registry i/o error: {e}"),
+            Self::BadManifest(msg) => write!(f, "bad manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Why one model slot failed to load (the registry itself is fine).
+#[derive(Debug)]
+pub enum SlotError {
+    /// The artifact file does not exist.
+    Missing,
+    /// The file exists but could not be read.
+    Io(String),
+    /// The bytes were read but failed the codec (truncation, checksum,
+    /// wrong model tag, …).
+    Decode(DecodeError),
+}
+
+impl fmt::Display for SlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Missing => write!(f, "artifact missing"),
+            Self::Io(msg) => write!(f, "artifact unreadable: {msg}"),
+            Self::Decode(e) => write!(f, "artifact corrupt: {e}"),
+        }
+    }
+}
+
+/// Per-slot load outcome.
+pub type SlotResult<T> = Result<T, SlotError>;
+
+/// Everything a [`crate::engine::ServingEngine`] needs from disk, with
+/// per-slot success or failure.
+#[derive(Debug)]
+pub struct LoadedArtifacts {
+    /// The parsed manifest.
+    pub manifest: Manifest,
+    /// The collaborative-filtering model.
+    pub bpr: SlotResult<BprModel>,
+    /// The popularity baseline's read counts.
+    pub most_read: SlotResult<MostReadItems>,
+    /// The catalogue embeddings for Closest Items.
+    pub embeddings: SlotResult<EmbeddingStore>,
+}
+
+/// Handle to an artifact directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactRegistry {
+    dir: PathBuf,
+}
+
+impl ArtifactRegistry {
+    /// Points at (but does not create) an artifact directory.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The registry directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Absolute path of a file inside the registry.
+    #[must_use]
+    pub fn path_of(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+
+    /// Writes the full artifact set (creating the directory if needed).
+    /// The manifest is written last so a crash mid-save leaves a registry
+    /// that fails to open rather than one that half-loads.
+    pub fn save(
+        &self,
+        manifest: &Manifest,
+        bpr: &BprModel,
+        most_read: &MostReadItems,
+        embeddings: &EmbeddingStore,
+    ) -> io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        std::fs::write(self.path_of(BPR_FILE), bpr.to_bytes())?;
+        std::fs::write(self.path_of(MOST_READ_FILE), most_read.to_bytes())?;
+        std::fs::write(self.path_of(EMBEDDINGS_FILE), embeddings.to_bytes())?;
+        std::fs::write(self.path_of(MANIFEST_FILE), manifest.render())?;
+        Ok(())
+    }
+
+    fn load_slot<M: PersistModel>(&self, file: &str) -> SlotResult<M> {
+        let bytes = match std::fs::read(self.path_of(file)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(SlotError::Missing),
+            Err(e) => return Err(SlotError::Io(e.to_string())),
+        };
+        M::from_bytes(&bytes).map_err(SlotError::Decode)
+    }
+
+    /// Opens the registry: the manifest must parse, each model slot loads
+    /// independently.
+    pub fn load(&self) -> Result<LoadedArtifacts, RegistryError> {
+        let manifest_text = std::fs::read_to_string(self.path_of(MANIFEST_FILE))?;
+        let manifest = Manifest::parse(&manifest_text)?;
+        Ok(LoadedArtifacts {
+            manifest,
+            bpr: self.load_slot(BPR_FILE),
+            most_read: self.load_slot(MOST_READ_FILE),
+            embeddings: self.load_slot(EMBEDDINGS_FILE),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_sparse::DenseMatrix;
+
+    fn temp_registry(tag: &str) -> ArtifactRegistry {
+        let dir =
+            std::env::temp_dir().join(format!("rm-serve-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactRegistry::new(dir)
+    }
+
+    fn tiny_artifacts() -> (BprModel, MostReadItems, EmbeddingStore) {
+        let bpr = BprModel {
+            user_factors: DenseMatrix::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]),
+            item_factors: DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.5, 0.5]),
+        };
+        let most_read = MostReadItems::from_counts(vec![5, 0, 2]);
+        let embeddings = EmbeddingStore::from_matrix(DenseMatrix::from_vec(
+            3,
+            2,
+            vec![3.0, 4.0, 1.0, 0.0, 0.0, 2.0],
+        ));
+        (bpr, most_read, embeddings)
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let m = Manifest {
+            epoch: 42,
+            fields: SummaryFields::BEST,
+        };
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        assert!(matches!(
+            Manifest::parse("not a manifest"),
+            Err(RegistryError::BadManifest(_))
+        ));
+        assert!(matches!(
+            Manifest::parse(MANIFEST_HEADER),
+            Err(RegistryError::BadManifest(_))
+        ));
+        assert!(matches!(
+            Manifest::parse(&format!("{MANIFEST_HEADER}\nepoch x\nfields 2")),
+            Err(RegistryError::BadManifest(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_ignores_unknown_keys() {
+        let text = format!("{MANIFEST_HEADER}\nepoch 7\nfields 10\nfuture stuff\n");
+        let m = Manifest::parse(&text).unwrap();
+        assert_eq!(m.epoch, 7);
+        assert_eq!(m.fields, SummaryFields::BEST);
+    }
+
+    #[test]
+    fn save_then_load_round_trips_every_slot() {
+        let reg = temp_registry("roundtrip");
+        let (bpr, most_read, embeddings) = tiny_artifacts();
+        let manifest = Manifest {
+            epoch: 3,
+            fields: SummaryFields::ALL,
+        };
+        reg.save(&manifest, &bpr, &most_read, &embeddings).unwrap();
+
+        let loaded = reg.load().unwrap();
+        assert_eq!(loaded.manifest, manifest);
+        assert_eq!(loaded.bpr.unwrap(), bpr);
+        assert_eq!(loaded.most_read.unwrap().counts(), most_read.counts());
+        let store = loaded.embeddings.unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.embedding(0), embeddings.embedding(0));
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn missing_registry_is_an_io_error() {
+        let reg = ArtifactRegistry::new("/nonexistent/rm-serve-nowhere");
+        assert!(matches!(reg.load(), Err(RegistryError::Io(_))));
+    }
+
+    #[test]
+    fn missing_slot_degrades_not_fails() {
+        let reg = temp_registry("missing-slot");
+        let (bpr, most_read, embeddings) = tiny_artifacts();
+        let manifest = Manifest {
+            epoch: 1,
+            fields: SummaryFields::BEST,
+        };
+        reg.save(&manifest, &bpr, &most_read, &embeddings).unwrap();
+        std::fs::remove_file(reg.path_of(BPR_FILE)).unwrap();
+
+        let loaded = reg.load().unwrap();
+        assert!(matches!(loaded.bpr, Err(SlotError::Missing)));
+        assert!(loaded.most_read.is_ok());
+        assert!(loaded.embeddings.is_ok());
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn swapped_artifacts_fail_with_wrong_model() {
+        // A valid most-read file parked under the BPR name passes the
+        // checksum but trips the tag check.
+        let reg = temp_registry("swapped");
+        let (bpr, most_read, embeddings) = tiny_artifacts();
+        let manifest = Manifest {
+            epoch: 1,
+            fields: SummaryFields::BEST,
+        };
+        reg.save(&manifest, &bpr, &most_read, &embeddings).unwrap();
+        std::fs::copy(reg.path_of(MOST_READ_FILE), reg.path_of(BPR_FILE)).unwrap();
+
+        let loaded = reg.load().unwrap();
+        assert!(matches!(
+            loaded.bpr,
+            Err(SlotError::Decode(DecodeError::WrongModel { .. }))
+        ));
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+}

@@ -95,7 +95,13 @@ impl CsrMatrix {
             indptr.push(indices.len());
         }
 
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Builds directly from validated CSR arrays (pattern form when `values`
@@ -114,7 +120,11 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr length");
         assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr must end at nnz");
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr must end at nnz"
+        );
         assert!(
             values.is_empty() || values.len() == indices.len(),
             "values must be empty or match nnz"
@@ -129,7 +139,13 @@ impl CsrMatrix {
                 assert!((last as usize) < cols, "column out of bounds");
             }
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -333,7 +349,8 @@ mod tests {
 
     #[test]
     fn triplets_combine_duplicates() {
-        let m = CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (0, 1, 3.0), (1, 2, 1.0)], |a, b| a + b);
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0), (0, 1, 3.0), (1, 2, 1.0)], |a, b| a + b);
         assert_eq!(m.get(0, 1), 5.0);
         assert_eq!(m.get(1, 2), 1.0);
         assert_eq!(m.nnz(), 2);

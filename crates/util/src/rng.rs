@@ -121,7 +121,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = rng_from_seed(7);
         let mut b = rng_from_seed(8);
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -146,7 +148,10 @@ mod tests {
         assert_ne!(t.child("a").seed(), t.child("b").seed());
         assert_ne!(t.child_idx(0).seed(), t.child_idx(1).seed());
         // Nested derivation is order-dependent, as intended.
-        assert_ne!(t.child("a").child("b").seed(), t.child("b").child("a").seed());
+        assert_ne!(
+            t.child("a").child("b").seed(),
+            t.child("b").child("a").seed()
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl AliasTable {
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "weights must be finite and non-negative"
+                );
                 w
             })
             .sum();
@@ -122,7 +125,10 @@ impl ZipfWeights {
     /// Plain Zipf with the given exponent.
     #[must_use]
     pub fn new(exponent: f64) -> Self {
-        Self { exponent, shift: 0.0 }
+        Self {
+            exponent,
+            shift: 0.0,
+        }
     }
 
     /// Zipf–Mandelbrot with a head-flattening shift.
@@ -345,7 +351,10 @@ mod tests {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = v[v.len() / 2];
         let expected = 3.0f64.exp();
-        assert!((median / expected - 1.0).abs() < 0.05, "median {median} vs {expected}");
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median} vs {expected}"
+        );
     }
 
     #[test]

@@ -110,7 +110,11 @@ impl Ecdf {
             cumulative.push(seen as f64 / n as f64);
             i = j;
         }
-        Self { values, cumulative, n }
+        Self {
+            values,
+            cumulative,
+            n,
+        }
     }
 
     /// Number of observations the ECDF was built from.
@@ -131,7 +135,10 @@ impl Ecdf {
 
     /// The (value, cumulative-probability) step points.
     pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.values.iter().copied().zip(self.cumulative.iter().copied())
+        self.values
+            .iter()
+            .copied()
+            .zip(self.cumulative.iter().copied())
     }
 
     /// Largest observed value (None when empty).
@@ -155,6 +162,168 @@ impl Ecdf {
             .partition_point(|&c| c < q)
             .min(self.values.len() - 1);
         self.values[idx]
+    }
+}
+
+/// A mergeable latency histogram with logarithmic buckets.
+///
+/// Values (e.g. nanoseconds) land in quarter-octave buckets — bucket
+/// boundaries grow by `2^(1/4)` — so quantile estimates carry at most
+/// ~19 % relative error while the whole histogram stays 256 counters,
+/// cheap enough to sit on every request path. Exact `min`/`max`/`sum`
+/// are tracked on the side, and [`Histogram::merge`] combines per-worker
+/// histograms without loss (bucket counts simply add).
+///
+/// The serving engine records request latencies here and reports
+/// p50/p95/p99 via [`Histogram::quantile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Quarter-octave buckets spanning all of `u64`: 4 per power of two.
+const HIST_BUCKETS: usize = 256;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; HIST_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
+            return 0;
+        }
+        // floor(log2(v) * 4): exponent gives the octave, the top bits of
+        // the mantissa pick the quarter within it.
+        let e = value.ilog2();
+        let quarter = if e >= 2 {
+            // The two bits just below the leading one.
+            ((value >> (e - 2)) & 0b11) as u32
+        } else {
+            // e == 1: values 2 and 3 fall in quarters 0 and 2.
+            ((value & 1) * 2) as u32
+        };
+        ((e * 4 + quarter) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i` — the representative value reported for
+    /// samples that landed there.
+    fn bucket_upper(i: usize) -> u64 {
+        let e = (i / 4) as u32;
+        let quarter = (i % 4) as u64;
+        if e >= 62 {
+            return u64::MAX;
+        }
+        // 2^e * (1 + (quarter+1)/4), exact in integers.
+        (1u64 << e) + ((quarter + 1) << e) / 4
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical observations in O(1) — how batched request
+    /// paths account one amortised per-request latency for a whole chunk.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += n;
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact arithmetic mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Exact smallest observation; `0` when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest observation.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the `⌈q·n⌉`-th smallest sample, clamped to the exact
+    /// observed range. `0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile level out of range: {q}");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -224,6 +393,96 @@ mod tests {
         assert_eq!(e.quantile(0.2), 10);
         assert_eq!(e.quantile(0.5), 30);
         assert_eq!(e.quantile(1.0), 50);
+    }
+
+    #[test]
+    fn histogram_empty_is_inert() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_single_value_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(1_000);
+        // Clamping to the observed range makes a single sample exact.
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 1_000);
+        }
+        assert_eq!(h.mean(), 1_000.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        // Quarter-octave buckets: estimate within ~19 % of the true value.
+        for (q, truth) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let est = h.quantile(q) as f64;
+            assert!(
+                (est - truth).abs() / truth < 0.2,
+                "q{q}: estimated {est}, true {truth}"
+            );
+        }
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5_000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        for v in [3u64, 17, 90, 1_000, 250_000, 1 << 40] {
+            for _ in 0..5 {
+                h.record(v);
+            }
+        }
+        let qs: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert!(qs[0] >= 3 && *qs.last().unwrap() == 1 << 40);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..500u64 {
+            let target = if v % 2 == 0 { &mut a } else { &mut b };
+            target.record(v * 37);
+            both.record(v * 37);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn histogram_record_n_equals_repeated_record() {
+        let mut bulk = Histogram::new();
+        let mut loop_ = Histogram::new();
+        bulk.record_n(777, 9);
+        bulk.record_n(5, 0); // no-op
+        for _ in 0..9 {
+            loop_.record(777);
+        }
+        assert_eq!(bulk, loop_);
+    }
+
+    #[test]
+    fn histogram_extremes_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
     }
 
     #[test]

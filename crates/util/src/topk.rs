@@ -29,7 +29,9 @@ impl Scored {
     fn cmp_key(&self, other: &Self) -> Ordering {
         let (sa, ia) = self.key();
         let (sb, ib) = other.key();
-        sa.partial_cmp(&sb).expect("NaN score in TopK").then(ia.cmp(&ib))
+        sa.partial_cmp(&sb)
+            .expect("NaN score in TopK")
+            .then(ia.cmp(&ib))
     }
 }
 
@@ -51,7 +53,10 @@ impl TopK {
     #[must_use]
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "top-k requires k >= 1");
-        Self { k, heap: Vec::with_capacity(k) }
+        Self {
+            k,
+            heap: Vec::with_capacity(k),
+        }
     }
 
     /// Capacity `k`.

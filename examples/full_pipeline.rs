@@ -18,9 +18,15 @@ fn main() {
     // --- Stage 1: raw tables, as the source systems would export them. ---
     let config = preset.generator_config();
     let tables = reading_machine::datagen::generate(seed, &config);
-    println!("raw BCT books table:     {:>8} rows", tables.bct_books.len());
+    println!(
+        "raw BCT books table:     {:>8} rows",
+        tables.bct_books.len()
+    );
     println!("raw BCT loans table:     {:>8} rows", tables.loans.len());
-    println!("raw Anobii items table:  {:>8} rows", tables.anobii_items.len());
+    println!(
+        "raw Anobii items table:  {:>8} rows",
+        tables.anobii_items.len()
+    );
     println!("raw Anobii ratings:      {:>8} rows", tables.ratings.len());
 
     // --- Stage 2: the Section 3 preparation pipeline. ---

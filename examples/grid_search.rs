@@ -13,7 +13,10 @@ fn main() {
         factors: vec![5, 10, 20],
         learning_rates: vec![0.05, 0.1, 0.2],
     };
-    let base = BprConfig { epochs: 8, ..BprConfig::default() };
+    let base = BprConfig {
+        epochs: 8,
+        ..BprConfig::default()
+    };
 
     let result = grid::run(&harness, &sweep, &base, 10);
     println!("{}", result.table().render());

@@ -19,7 +19,14 @@ fn main() {
 
     // A brand-new reader who borrowed three books this week.
     let known_user = harness.test_cases()[0].user;
-    let history: Vec<u32> = harness.split.train.seen(known_user).iter().take(3).copied().collect();
+    let history: Vec<u32> = harness
+        .split
+        .train
+        .seen(known_user)
+        .iter()
+        .take(3)
+        .copied()
+        .collect();
     println!("new reader's history:");
     for &b in &history {
         println!("  - {}", corpus.books[b as usize].title);

@@ -28,12 +28,7 @@ fn main() {
     println!("\ntop-10 for user {user}:");
     for (rank, book) in bpr.recommend(user, 10).into_iter().enumerate() {
         let b = &corpus.books[book as usize];
-        println!(
-            "  {:>2}. {} — {}",
-            rank + 1,
-            b.title,
-            b.authors.join(", ")
-        );
+        println!("  {:>2}. {} — {}", rank + 1, b.title, b.authors.join(", "));
     }
 
     // 4. Evaluate the paper's KPIs over all test users.

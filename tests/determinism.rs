@@ -37,7 +37,11 @@ fn split_and_training_are_deterministic() {
         });
         harness.fit_timed(&mut bpr);
         let cases = harness.test_cases();
-        let recs: Vec<Vec<u32>> = cases.iter().take(20).map(|c| bpr.recommend(c.user, 10)).collect();
+        let recs: Vec<Vec<u32>> = cases
+            .iter()
+            .take(20)
+            .map(|c| bpr.recommend(c.user, 10))
+            .collect();
         let kpis = evaluate(&bpr, &cases, 10);
         (recs, kpis)
     };

@@ -30,7 +30,11 @@ fn every_recommender_respects_the_contract() {
     let h = harness();
     let suite = TrainedSuite::train(
         &h,
-        BprConfig { factors: 6, epochs: 4, ..BprConfig::default() },
+        BprConfig {
+            factors: 6,
+            epochs: 4,
+            ..BprConfig::default()
+        },
         SummaryFields::BEST,
         7,
     );
@@ -49,7 +53,12 @@ fn every_recommender_respects_the_contract() {
             let mut dedup = recs.clone();
             dedup.sort_unstable();
             dedup.dedup();
-            assert_eq!(dedup.len(), recs.len(), "{}: duplicate recommendations", rec.name());
+            assert_eq!(
+                dedup.len(),
+                recs.len(),
+                "{}: duplicate recommendations",
+                rec.name()
+            );
             for &b in &recs {
                 assert!(b < n_books, "{}: book out of range", rec.name());
                 assert!(
@@ -60,7 +69,12 @@ fn every_recommender_respects_the_contract() {
             }
             // The top-k list is a prefix of the full ranking.
             let full = rec.rank_all(case.user);
-            assert_eq!(recs[..], full[..recs.len()], "{}: prefix property", rec.name());
+            assert_eq!(
+                recs[..],
+                full[..recs.len()],
+                "{}: prefix property",
+                rec.name()
+            );
             assert_eq!(
                 full.len(),
                 n_books as usize - seen.len(),
@@ -74,7 +88,11 @@ fn every_recommender_respects_the_contract() {
 #[test]
 fn kpis_are_internally_consistent() {
     let h = harness();
-    let mut bpr = Bpr::new(BprConfig { factors: 6, epochs: 6, ..BprConfig::default() });
+    let mut bpr = Bpr::new(BprConfig {
+        factors: 6,
+        epochs: 6,
+        ..BprConfig::default()
+    });
     h.fit_timed(&mut bpr);
     let cases = h.test_cases();
     let ks = [1usize, 5, 10, 20];
@@ -111,7 +129,11 @@ fn bct_only_variant_evaluates_same_users() {
 #[test]
 fn model_persistence_round_trips_through_bytes() {
     let h = harness();
-    let mut bpr = Bpr::new(BprConfig { factors: 6, epochs: 4, ..BprConfig::default() });
+    let mut bpr = Bpr::new(BprConfig {
+        factors: 6,
+        epochs: 4,
+        ..BprConfig::default()
+    });
     h.fit_timed(&mut bpr);
     let bytes = reading_machine::core::persist::encode(bpr.model().unwrap());
     let model = reading_machine::core::persist::decode(&bytes).unwrap();

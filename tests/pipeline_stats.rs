@@ -5,7 +5,9 @@
 
 use reading_machine::datagen::{generate, Preset};
 use reading_machine::dataset::merge::build_corpus;
-use reading_machine::dataset::stats::{dominant_genre_share, genre_shares, reading_cdfs, summarize};
+use reading_machine::dataset::stats::{
+    dominant_genre_share, genre_shares, reading_cdfs, summarize,
+};
 
 #[test]
 fn medium_corpus_matches_scaled_paper_statistics() {
@@ -22,11 +24,23 @@ fn medium_corpus_matches_scaled_paper_statistics() {
         s.n_anobii_users
     );
     assert!(s.n_bct_users > 200, "bct users {}", s.n_bct_users);
-    assert!((40_000..=200_000).contains(&s.n_readings), "readings {}", s.n_readings);
+    assert!(
+        (40_000..=200_000).contains(&s.n_readings),
+        "readings {}",
+        s.n_readings
+    );
 
     // Per-user readings: threshold 10, median in the paper's vicinity.
-    assert!((11..=25).contains(&s.median_readings_per_user), "median {}", s.median_readings_per_user);
-    assert!(s.max_readings_per_user > 60, "max/user {}", s.max_readings_per_user);
+    assert!(
+        (11..=25).contains(&s.median_readings_per_user),
+        "median {}",
+        s.median_readings_per_user
+    );
+    assert!(
+        s.max_readings_per_user > 60,
+        "max/user {}",
+        s.max_readings_per_user
+    );
 }
 
 #[test]
@@ -36,7 +50,13 @@ fn medium_genre_mix_is_comics_led() {
     assert_eq!(shares[0].0, "Comics", "top genre should be Comics");
     assert!(shares[0].1 > 0.25, "comics share {}", shares[0].1);
     // Thriller and Fantasy in the next ranks with meaningful shares.
-    let find = |name: &str| shares.iter().find(|(l, _)| l == name).map(|&(_, s)| s).unwrap_or(0.0);
+    let find = |name: &str| {
+        shares
+            .iter()
+            .find(|(l, _)| l == name)
+            .map(|&(_, s)| s)
+            .unwrap_or(0.0)
+    };
     assert!(find("Thriller") > 0.08);
     assert!(find("Fantasy") > 0.06);
     // Comics clearly dominates the runner-up.
@@ -57,10 +77,16 @@ fn reading_distributions_are_heavy_tailed() {
     // Right-skew: mean above median for books.
     let book_median = per_book.quantile(0.5);
     let book_p95 = per_book.quantile(0.95);
-    assert!(book_p95 > 2 * book_median, "book tail p95 {book_p95} vs median {book_median}");
+    assert!(
+        book_p95 > 2 * book_median,
+        "book tail p95 {book_p95} vs median {book_median}"
+    );
     let user_median = per_user.quantile(0.5);
     let user_p95 = per_user.quantile(0.95);
-    assert!(user_p95 > 2 * user_median, "user tail p95 {user_p95} vs median {user_median}");
+    assert!(
+        user_p95 > 2 * user_median,
+        "user tail p95 {user_p95} vs median {user_median}"
+    );
 }
 
 #[test]

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of criterion 0.8 the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warm-up,
+//! then timed batches until a wall-clock budget is spent, and reports the
+//! mean / min / max per-iteration time on stdout. There are no statistical
+//! regressions, plots, or saved baselines. When the binary is compiled as a
+//! `#[test]` harness-less bench under `cargo test`, benches still execute
+//! (with a single iteration) so breakage shows up in CI.
+
+use std::time::{Duration, Instant};
+
+/// How [`Bencher::iter_batched`] amortises setup between measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Run setup before every single iteration.
+    PerIteration,
+    /// Run setup once per small batch of iterations.
+    SmallInput,
+    /// Run setup once per large batch of iterations.
+    LargeInput,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Far smaller than the real crate's defaults: these benches run in
+        // CI smoke mode, not for publication-grade statistics.
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The benchmark manager: entry point of every bench target.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.config, f);
+        self
+    }
+
+    /// Starts a named group whose benchmarks share configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let config = self.config;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            config,
+        }
+    }
+
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    config: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.config, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, config: Config, mut f: F) {
+    // Warm-up: grow the iteration count until the warm-up budget is spent,
+    // which also calibrates iterations-per-sample.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    let per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= config.warm_up_time {
+            per_iter =
+                b.elapsed.max(Duration::from_nanos(1)) / u32::try_from(iters).unwrap_or(u32::MAX);
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 20);
+    }
+
+    let budget_per_sample =
+        config.measurement_time / u32::try_from(config.sample_size).unwrap_or(u32::MAX);
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+    let mut samples = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_seconds(samples[0]),
+        fmt_seconds(mean),
+        fmt_seconds(*samples.last().unwrap()),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Criterion bench group entry point (generated).
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring the real crate.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_batched_benches() {
+        let mut c = Criterion::default();
+        c.sample_size(2).measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut sum = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |x| sum += x, BatchSize::PerIteration);
+        });
+        group.finish();
+        assert!(sum > 0);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(2.0), "2.000 s");
+        assert_eq!(fmt_seconds(0.002), "2.000 ms");
+        assert_eq!(fmt_seconds(0.000_002), "2.000 us");
+        assert!(fmt_seconds(0.000_000_002).ends_with("ns"));
+    }
+}

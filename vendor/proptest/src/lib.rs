@@ -1,0 +1,188 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! re-implements the subset of proptest the workspace's tests use: the
+//! [`proptest!`] macro, `prop_assert*` assertions, integer/float range
+//! strategies, tuples, [`collection::vec`], `num::<int>::ANY`, and a small
+//! character-class subset of string (regex) strategies.
+//!
+//! Semantics differ from the real crate in two deliberate ways: failing
+//! cases are *not* shrunk (the failing input is printed as-is), and the
+//! per-test RNG is seeded deterministically from the case index, so a
+//! failure always reproduces. The case count defaults to 64 and honours
+//! `PROPTEST_CASES`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::{LenRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `len` (a `usize` or a range of `usize`).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<LenRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+}
+
+/// Per-type "any value" strategies, named like the real crate's modules.
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            /// Whole-domain strategy for the primitive of the same name.
+            pub mod $m {
+                /// Any value of the type, uniformly.
+                pub const ANY: core::ops::RangeInclusive<$t> = <$t>::MIN..=<$t>::MAX;
+            }
+        )*};
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i8: i8, i16: i16, i32: i32, i64: i64);
+}
+
+/// The glob-imported surface: the [`Strategy`](crate::strategy::Strategy)
+/// trait and the test macros.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test body runs once per case (64 by default, `PROPTEST_CASES` to
+/// override) with inputs generated from a case-indexed deterministic RNG.
+/// `prop_assert*` failures abort the case with the generated inputs
+/// printed; there is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { { $body } ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case}/{cases} failed: {}", e.0);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking
+/// directly (usable only inside [`proptest!`] bodies).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 1u32..7, v in crate::collection::vec(-1.0f32..1.0, 3..9)) {
+            prop_assert!((1..7).contains(&x));
+            prop_assert!(v.len() >= 3 && v.len() < 9);
+            prop_assert!(v.iter().all(|f| (-1.0..1.0).contains(f)));
+        }
+
+        #[test]
+        fn tuples_and_bytes(p in (0u32..4, 0u32..4), b in crate::num::u8::ANY) {
+            prop_assert!(p.0 < 4 && p.1 < 4);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn string_strategy_respects_class_and_len() {
+        let strat = "[a-c0-1 .]{2,5}";
+        let mut rng = TestRng::for_case(11);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "bad length {n} for {s:?}");
+            assert!(
+                s.chars().all(|c| "abc01 .".contains(c)),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_string_strategy_is_identity() {
+        let mut rng = TestRng::for_case(0);
+        assert_eq!("ciao".generate(&mut rng), "ciao");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = crate::collection::vec(0u64..1000, 0..20);
+        let a = strat.generate(&mut TestRng::for_case(3));
+        let b = strat.generate(&mut TestRng::for_case(3));
+        let c = strat.generate(&mut TestRng::for_case(4));
+        assert_eq!(a, b);
+        assert_ne!(
+            TestRng::for_case(3).next_u64(),
+            TestRng::for_case(4).next_u64()
+        );
+        let _ = c;
+    }
+
+    #[test]
+    fn fixed_length_class() {
+        let mut rng = TestRng::for_case(7);
+        let s = "[xyz]{4}".generate(&mut rng);
+        assert_eq!(s.chars().count(), 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically maps an RNG stream to a value. Unlike
+//! the real proptest there is no shrinking tree — `generate` returns the
+//! final value directly.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_float_ranges!(f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Length specification accepted by [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct LenRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for LenRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for LenRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for LenRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty length range");
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+impl LenRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.lo..self.hi)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` (see [`crate::collection::vec`]).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: LenRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.draw(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// String strategies from a character-class pattern.
+///
+/// Supports the single form the workspace uses — `[class]{m}` /
+/// `[class]{m,n}` where the class lists literal characters and `a-z`
+/// ranges — plus plain literals (generated verbatim). This is a tiny
+/// subset of the real crate's full regex support.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((alphabet, lo, hi)) => {
+                let n = rng.random_range(lo..=hi);
+                (0..n)
+                    .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+                    .collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `[class]{m}` or `[class]{m,n}` into (alphabet, min, max);
+/// `None` when the pattern is not of that shape.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let quant = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range (a dash at either end is a literal dash).
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "inverted character range {lo}-{hi}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern}");
+
+    let (lo, hi) = match quant.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = quant.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "inverted repetition {{{lo},{hi}}} in {pattern}");
+    Some((alphabet, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn parse_forms() {
+        let (alpha, lo, hi) = parse_class_pattern("[a-c.]{0,9}").unwrap();
+        assert_eq!(alpha, vec!['a', 'b', 'c', '.']);
+        assert_eq!((lo, hi), (0, 9));
+        let (_, lo, hi) = parse_class_pattern("[x]{5}").unwrap();
+        assert_eq!((lo, hi), (5, 5));
+        assert!(parse_class_pattern("plain text").is_none());
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let (alpha, _, _) = parse_class_pattern("[a-c-]{1}").unwrap();
+        assert!(alpha.contains(&'-'));
+    }
+
+    #[test]
+    fn tuple_and_range_strategies_compose() {
+        let mut rng = TestRng::for_case(5);
+        let (a, b, c) = (0u32..3, 10i64..20, 0.0f64..1.0).generate(&mut rng);
+        assert!(a < 3);
+        assert!((10..20).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+    }
+
+    #[test]
+    fn fixed_len_vec() {
+        let strat = VecStrategy {
+            element: 0u8..=255,
+            len: LenRange::from(4usize),
+        };
+        assert_eq!(strat.generate(&mut TestRng::for_case(1)).len(), 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! The minimal runner plumbing behind the [`proptest!`](crate::proptest)
+//! macro: a deterministic per-case RNG and the error type `prop_assert*`
+//! returns.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed proptest case, carrying the formatted assertion message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+/// Result alias for proptest bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The number of cases each property runs: `PROPTEST_CASES` or 64.
+#[must_use]
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-case RNG (no global entropy: a failing case index
+/// always reproduces the same inputs).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for one case index.
+    #[must_use]
+    pub fn for_case(case: u64) -> Self {
+        // Offset so case 0 does not collide with common user seeds.
+        Self {
+            inner: StdRng::seed_from_u64(0x5EED_0000_0000_0000 ^ case),
+        }
+    }
+
+    /// The next 64 random bits (inherent so callers need no trait import).
+    pub fn next_u64(&mut self) -> u64 {
+        rand::Rng::next_u64(&mut self.inner)
+    }
+}
+
+impl rand::Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_case_count() {
+        // The env var is not set in CI runs of this suite.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(case_count(), 64);
+        }
+    }
+
+    #[test]
+    fn case_rngs_differ() {
+        assert_ne!(
+            TestRng::for_case(0).next_u64(),
+            TestRng::for_case(1).next_u64()
+        );
+    }
+}
