@@ -317,6 +317,39 @@ pub fn decode(bytes: &[u8]) -> Result<BprModel, DecodeError> {
     BprModel::from_bytes(bytes)
 }
 
+/// Writes `bytes` to `path` atomically: the data goes to a `.tmp`
+/// sibling first, is fsync'd, and is renamed over the destination, so a
+/// crash mid-publication leaves either the old artifact or the new one —
+/// never a torn file. The parent directory is fsync'd after the rename
+/// (best-effort: some filesystems refuse directory handles) so the
+/// rename itself survives a power loss.
+///
+/// # Errors
+///
+/// Returns the underlying [`std::io::Error`] when the temporary file
+/// cannot be created, written, synced, or renamed.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,5 +558,33 @@ mod tests {
     fn display_messages() {
         assert!(DecodeError::BadMagic.to_string().contains("magic"));
         assert!(DecodeError::BadChecksum.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("rm-persist-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.rmodel");
+
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer payload");
+
+        // No .tmp sibling survives a successful publication.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_into_missing_dir_fails_cleanly() {
+        let path = std::path::Path::new("/nonexistent/rm-persist-nowhere/m.rmodel");
+        assert!(write_atomic(path, b"x").is_err());
     }
 }

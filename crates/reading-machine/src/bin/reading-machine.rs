@@ -16,7 +16,11 @@
 //! embeddings + manifest); `recommend` serves top-k titles for a user;
 //! `evaluate` runs the paper's KPI comparison on a fresh split;
 //! `serve-bench` loads an artifact directory into the serving engine and
-//! reports single vs batched throughput with latency quantiles.
+//! reports single vs batched throughput with latency quantiles. Built
+//! with `--features testing` it also accepts `--chaos PLAN`
+//! (`bpr-panic|bpr-error|bpr-latency|storm`), which replays the request
+//! stream under injected faults and reports availability, per-slot fault
+//! counters, and circuit-breaker activity.
 //!
 //! Commands that need a corpus accept either `--corpus DIR` or regenerate
 //! it deterministically from `--preset`/`--seed` — so `train --out` and
@@ -74,7 +78,8 @@ fn print_usage() {
          reading-machine train     --out DIR [--corpus DIR] [--epoch N] [--factors N] [--epochs N]\n  \
          reading-machine recommend --corpus DIR --model FILE --user N [--k N]\n  \
          reading-machine evaluate  --corpus DIR [--k N] [--seed N]\n  \
-         reading-machine serve-bench --artifacts DIR [--corpus DIR] [--k N] [--requests N]\n\n\
+         reading-machine serve-bench --artifacts DIR [--corpus DIR] [--k N] [--requests N] [--chaos PLAN]\n\n\
+         --chaos PLAN (bpr-panic|bpr-error|bpr-latency|storm) needs a build with --features testing\n\
          commands taking [--corpus DIR] regenerate the corpus from --preset/--seed when it is omitted"
     );
 }
@@ -256,6 +261,9 @@ fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
 /// batched serving throughput, printing the engine's request metrics.
 fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if let Some(plan) = flags.get("chaos") {
+        return cmd_serve_chaos(&flags, plan);
+    }
     let registry = ArtifactRegistry::new(PathBuf::from(flags.required("artifacts")?));
     let corpus = corpus_of(&flags)?;
     let train = Interactions::from_corpus(&corpus);
@@ -329,6 +337,115 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     if let Some(m) = four_worker_metrics {
         println!("request metrics (batch x4 run):");
         println!("{}", m.render());
+    }
+    Ok(())
+}
+
+/// `serve-bench --chaos` without the harness compiled in: refuse with a
+/// pointer to the right build instead of silently benching fault-free.
+#[cfg(not(feature = "testing"))]
+fn cmd_serve_chaos(_flags: &Flags, _plan: &str) -> Result<(), String> {
+    Err("--chaos needs the fault-injection harness; rebuild with \
+         `cargo run -p reading-machine --features testing -- serve-bench ...`"
+        .into())
+}
+
+/// `serve-bench --chaos PLAN`: replay the request stream with faults
+/// injected into the engine and report availability, per-slot fault
+/// counters, and circuit-breaker activity.
+#[cfg(feature = "testing")]
+fn cmd_serve_chaos(flags: &Flags, plan_name: &str) -> Result<(), String> {
+    use reading_machine::serve::{CallWindow, FaultPlan};
+    use std::time::Duration;
+
+    let registry = ArtifactRegistry::new(PathBuf::from(flags.required("artifacts")?));
+    let corpus = corpus_of(flags)?;
+    let train = Interactions::from_corpus(&corpus);
+    let k: usize = flags.parse_num("k", 10)?;
+    let requests: usize = flags.parse_num("requests", 2000)?;
+    // Cache off by default: a cache hit would mask the injected faults.
+    let cache_capacity: usize = flags.parse_num("cache", 0)?;
+
+    let stall = Duration::from_millis(10);
+    let plan = match plan_name {
+        "bpr-panic" => FaultPlan::none().panic_in(ModelSlot::Bpr, CallWindow::always()),
+        "bpr-error" => FaultPlan::none().error_in(ModelSlot::Bpr, CallWindow::always()),
+        "bpr-latency" => FaultPlan::none().latency(ModelSlot::Bpr, stall),
+        "storm" => FaultPlan::none()
+            .panic_in(ModelSlot::Bpr, CallWindow::always())
+            .error_in(ModelSlot::ClosestItems, CallWindow::always())
+            .latency(ModelSlot::MostRead, stall),
+        other => {
+            return Err(format!(
+                "unknown chaos plan {other} (bpr-panic|bpr-error|bpr-latency|storm)"
+            ))
+        }
+    };
+    // Latency plans get a slot budget tight enough for the stall to trip
+    // it, so timeouts and breaker trips show up in the report.
+    let slot_budget =
+        matches!(plan_name, "bpr-latency" | "storm").then(|| Duration::from_millis(2));
+
+    // Injected panics are the point of the exercise: keep their reports
+    // out of the output while real panics still print.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("injected fault"));
+        if !injected {
+            previous_hook(info);
+        }
+    }));
+
+    let engine = ServingEngine::load_with_faults(
+        &registry,
+        &train,
+        EngineConfig {
+            workers: 4,
+            cache_capacity,
+            slot_budget,
+            ..EngineConfig::default()
+        },
+        plan,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let users: Vec<UserIdx> = (0..requests)
+        .map(|i| UserIdx((i % train.n_users()) as u32))
+        .collect();
+    // Serve in small batches (as a kiosk frontend would) so the fault
+    // counters see many slot calls and the breakers get to act.
+    let batch: usize = flags.parse_num("batch", 64)?;
+    let t0 = std::time::Instant::now();
+    let mut answered = 0usize;
+    for part in users.chunks(batch.max(1)) {
+        answered += engine
+            .recommend_batch(part, k)
+            .iter()
+            .filter(|a| !a.is_empty())
+            .count();
+    }
+    let elapsed = t0.elapsed();
+
+    let m = engine.metrics();
+    println!(
+        "serve-bench --chaos {plan_name}: {requests} requests over {} users, k={k}, {elapsed:.1?}",
+        train.n_users()
+    );
+    println!(
+        "availability {:.4} ({answered}/{requests} answered non-empty), worker panics {}",
+        m.availability(),
+        m.worker_panics
+    );
+    println!("{}", m.render());
+    if let Some(states) = engine.breaker_states() {
+        let rendered: Vec<String> = ModelSlot::ALL
+            .iter()
+            .map(|s| format!("{}={}", s.label(), states[s.index()].label()))
+            .collect();
+        println!("breaker states: {}", rendered.join("  "));
     }
     Ok(())
 }

@@ -1,0 +1,245 @@
+//! Per-slot circuit breakers for the serving fallback chain.
+//!
+//! A breaker protects the chain from a slot that fails *repeatedly at
+//! runtime* (panics, timeouts, injected errors) — the complement of the
+//! load-time degradation the registry already provides. The state
+//! machine:
+//!
+//! ```text
+//!            failures >= threshold
+//!   Closed ─────────────────────────▶ Open
+//!     ▲                                │ cooldown elapses
+//!     │ probe succeeds                 ▼ (next admit)
+//!     └────────────────────────── HalfOpen ──▶ Open (probe fails)
+//! ```
+//!
+//! While `Open`, the slot is skipped without being attempted; after
+//! [`BreakerConfig::cooldown`] the next request is admitted as a single
+//! half-open *probe* (concurrent requests keep skipping), and its
+//! outcome decides between closing the breaker and re-opening it. All
+//! timing is expressed as readings of the engine's
+//! [`Clock`](rm_util::clock::Clock), so tests drive transitions with a
+//! fake clock.
+
+use std::time::Duration;
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive slot failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every request is admitted.
+    Closed,
+    /// Tripped: requests are rejected until the cooldown elapses.
+    Open,
+    /// Cooling down: exactly one probe request is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Display label for report tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Closed => "closed",
+            Self::Open => "open",
+            Self::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// A state transition that just happened (for the metrics counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The breaker tripped (`Closed → Open` or a failed probe).
+    Opened,
+    /// The cooldown elapsed and a probe was admitted (`Open → HalfOpen`).
+    HalfOpened,
+    /// A probe succeeded (`HalfOpen → Closed`).
+    Closed,
+}
+
+/// One slot's breaker. Not internally synchronised — the engine guards
+/// its per-slot array with a single mutex.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Clock reading at which an open breaker starts probing.
+    open_until: Duration,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `config` (a zero threshold behaves as one).
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: Duration::ZERO,
+        }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Consecutive failures recorded since the last success.
+    #[must_use]
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Asks to send a request through the slot at clock reading `now`.
+    ///
+    /// Returns whether the request is admitted, plus any transition the
+    /// decision caused (an elapsed cooldown moves `Open → HalfOpen` and
+    /// admits the caller as the probe).
+    pub fn admit(&mut self, now: Duration) -> (bool, Option<Transition>) {
+        match self.state {
+            BreakerState::Closed => (true, None),
+            BreakerState::Open if now >= self.open_until => {
+                self.state = BreakerState::HalfOpen;
+                (true, Some(Transition::HalfOpened))
+            }
+            // A probe is in flight (or the cooldown is running): skip.
+            BreakerState::Open | BreakerState::HalfOpen => (false, None),
+        }
+    }
+
+    /// Records a successful slot call admitted earlier.
+    pub fn record_success(&mut self) -> Option<Transition> {
+        self.consecutive_failures = 0;
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                Some(Transition::Closed)
+            }
+            BreakerState::Closed | BreakerState::Open => None,
+        }
+    }
+
+    /// Records a failed slot call (panic, timeout, error) at `now`.
+    pub fn record_failure(&mut self, now: Duration) -> Option<Transition> {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = match self.state {
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => {
+                self.consecutive_failures >= self.config.failure_threshold.max(1)
+            }
+            // Stragglers admitted before the trip change nothing.
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.open_until = now + self.config.cooldown;
+            Some(Transition::Opened)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let mut b = breaker(3, 100);
+        let now = Duration::ZERO;
+        assert_eq!(b.record_failure(now), None);
+        assert_eq!(b.record_failure(now), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(now).0);
+        // A success resets the streak.
+        assert_eq!(b.record_success(), None);
+        assert_eq!(b.consecutive_failures(), 0);
+        assert_eq!(b.record_failure(now), None);
+        assert_eq!(b.record_failure(now), None);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn opens_at_threshold_and_rejects_during_cooldown() {
+        let mut b = breaker(2, 100);
+        let now = Duration::ZERO;
+        assert_eq!(b.record_failure(now), None);
+        assert_eq!(b.record_failure(now), Some(Transition::Opened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(Duration::from_millis(50)), (false, None));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let mut b = breaker(1, 100);
+        b.record_failure(Duration::ZERO);
+        let (admitted, t) = b.admit(Duration::from_millis(100));
+        assert!(admitted);
+        assert_eq!(t, Some(Transition::HalfOpened));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Concurrent requests are rejected while the probe is out.
+        assert_eq!(b.admit(Duration::from_millis(101)), (false, None));
+    }
+
+    #[test]
+    fn probe_success_closes() {
+        let mut b = breaker(1, 100);
+        b.record_failure(Duration::ZERO);
+        b.admit(Duration::from_millis(100));
+        assert_eq!(b.record_success(), Some(Transition::Closed));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(Duration::from_millis(101)).0);
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_fresh_cooldown() {
+        let mut b = breaker(1, 100);
+        b.record_failure(Duration::ZERO);
+        b.admit(Duration::from_millis(100));
+        assert_eq!(
+            b.record_failure(Duration::from_millis(100)),
+            Some(Transition::Opened)
+        );
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(Duration::from_millis(150)), (false, None));
+        let (admitted, t) = b.admit(Duration::from_millis(200));
+        assert!(admitted);
+        assert_eq!(t, Some(Transition::HalfOpened));
+    }
+
+    #[test]
+    fn zero_threshold_behaves_as_one() {
+        let mut b = breaker(0, 100);
+        assert_eq!(b.record_failure(Duration::ZERO), Some(Transition::Opened));
+    }
+}

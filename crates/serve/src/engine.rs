@@ -12,15 +12,37 @@
 //! when it has nothing to say (e.g. Closest Items for a reader with no
 //! history).
 //!
+//! Runtime failures degrade the same way instead of taking serving down:
+//!
+//! * every slot call runs under [`std::panic::catch_unwind`], so a
+//!   panicking model degrades the affected requests down the chain;
+//! * an optional per-slot budget ([`EngineConfig::slot_budget`]) cuts
+//!   off slow slot calls — the answers are discarded, a timeout is
+//!   recorded, and the chain advances — while an optional whole-request
+//!   budget ([`EngineConfig::request_budget`]) stops the chain walk once
+//!   a request's [`Deadline`] expires;
+//! * each slot carries a [`CircuitBreaker`]: repeated failures (panics,
+//!   timeouts, injected errors) open it and the slot is skipped without
+//!   being attempted until a cooldown admits a half-open probe;
+//! * [`ServingEngine::reload_with_retry`] retries a failed artifact
+//!   reload with deterministic, seeded-jitter exponential backoff
+//!   ([`Backoff`]) and keeps serving the old epoch until a reload
+//!   succeeds.
+//!
+//! All timing flows through the [`Clock`] in [`EngineConfig::clock`], so
+//! tests drive deadlines, cooldowns, and backoff with a fake clock.
+//!
 //! Results are memoised in a bounded LRU keyed `(user, k, model_epoch)`;
 //! the epoch comes from the registry manifest, and
 //! [`ServingEngine::reload`] both bumps it and explicitly clears the
 //! cache, so a retrain can never serve stale lists. Batch requests are
 //! fanned out over a `std::thread::scope` worker pool sharing the same
-//! cache and [`ServeMetrics`].
+//! cache and [`ServeMetrics`]; a worker that somehow panics outside the
+//! per-slot isolation degrades only its own chunk.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 use crate::cache::LruCache;
-use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::metrics::{ChunkStats, MetricsSnapshot, ServeMetrics};
 use crate::registry::{ArtifactRegistry, LoadedArtifacts, RegistryError};
 use rm_core::bpr::{Bpr, BprConfig};
 use rm_core::closest::ClosestItems;
@@ -29,8 +51,9 @@ use rm_core::random::RandomItems;
 use rm_core::Recommender;
 use rm_dataset::ids::UserIdx;
 use rm_dataset::interactions::Interactions;
-use std::sync::Mutex;
-use std::time::Instant;
+use rm_util::clock::{Backoff, Clock, Deadline, MonotonicClock};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// One link of the fallback chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +111,22 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Seed of the terminal Random Items fallback.
     pub random_seed: u64,
+    /// Per-slot-call time budget: a call exceeding it is cut off (its
+    /// answers discarded, a timeout recorded, the breaker notified) and
+    /// the chain advances. `None` disables the check — and its two
+    /// clock reads — entirely.
+    pub slot_budget: Option<Duration>,
+    /// Whole-request budget: each request carries a [`Deadline`] this
+    /// far in the future, and once it expires the chain walk stops (the
+    /// remaining requests answer empty, counted as deadline skips).
+    /// `None` disables the check.
+    pub request_budget: Option<Duration>,
+    /// Per-slot circuit-breaker configuration; `None` disables breakers.
+    pub breaker: Option<BreakerConfig>,
+    /// The monotonic clock deadlines, breaker cooldowns, and reload
+    /// backoff read. Tests substitute a
+    /// [`FakeClock`](rm_util::clock::FakeClock).
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +136,10 @@ impl Default for EngineConfig {
             workers: 4,
             cache_capacity: 4096,
             random_seed: 42,
+            slot_budget: None,
+            request_budget: None,
+            breaker: Some(BreakerConfig::default()),
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 }
@@ -115,7 +158,10 @@ pub struct ServingEngine {
     random: RandomItems,
     degraded: Vec<(ModelSlot, String)>,
     cache: Mutex<LruCache<CacheKey, Vec<u32>>>,
+    breakers: Option<Mutex<[CircuitBreaker; ModelSlot::COUNT]>>,
     metrics: ServeMetrics,
+    #[cfg(feature = "testing")]
+    faults: crate::fault::FaultInjector,
 }
 
 impl ServingEngine {
@@ -133,6 +179,9 @@ impl ServingEngine {
         let loaded = registry.load()?;
         let cache_capacity = config.cache_capacity;
         let random_seed = config.random_seed;
+        let breakers = config
+            .breaker
+            .map(|cfg| Mutex::new(std::array::from_fn(|_| CircuitBreaker::new(cfg))));
         let mut random = RandomItems::new(random_seed);
         random.fit(train);
         let mut engine = Self {
@@ -145,26 +194,97 @@ impl ServingEngine {
             random,
             degraded: Vec::new(),
             cache: Mutex::new(LruCache::new(cache_capacity)),
+            breakers,
             metrics: ServeMetrics::new(),
+            #[cfg(feature = "testing")]
+            faults: crate::fault::FaultInjector::default(),
         };
         engine.install_artifacts(loaded);
         Ok(engine)
     }
 
+    /// [`ServingEngine::load`], then arms the fault-injection plan —
+    /// the chaos harness's entry point.
+    #[cfg(feature = "testing")]
+    pub fn load_with_faults(
+        registry: &ArtifactRegistry,
+        train: &Interactions,
+        config: EngineConfig,
+        plan: crate::fault::FaultPlan,
+    ) -> Result<Self, RegistryError> {
+        let mut engine = Self::load(registry, train, config)?;
+        engine.inject_faults(plan);
+        Ok(engine)
+    }
+
+    /// Replaces the active fault plan (and resets its call counters).
+    #[cfg(feature = "testing")]
+    pub fn inject_faults(&mut self, plan: crate::fault::FaultPlan) {
+        self.faults = crate::fault::FaultInjector::new(plan);
+    }
+
+    /// The active fault injector (call counts, plan).
+    #[cfg(feature = "testing")]
+    #[must_use]
+    pub fn fault_injector(&self) -> &crate::fault::FaultInjector {
+        &self.faults
+    }
+
     /// Swaps in a freshly saved artifact set: re-reads every slot, bumps
-    /// the epoch from the manifest, and explicitly clears the cache (the
-    /// epoch in the key already fences stale entries; clearing also
-    /// returns their memory).
+    /// the epoch from the manifest, resets the circuit breakers (a new
+    /// epoch deserves a clean slate), and explicitly clears the cache
+    /// (the epoch in the key already fences stale entries; clearing also
+    /// returns their memory). On error the engine is untouched and keeps
+    /// serving the old epoch.
     pub fn reload(&mut self, registry: &ArtifactRegistry) -> Result<(), RegistryError> {
         let loaded = registry.load()?;
         self.install_artifacts(loaded);
-        self.cache.get_mut().expect("cache mutex poisoned").clear();
+        self.cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         Ok(())
+    }
+
+    /// [`ServingEngine::reload`] with bounded retries: each failed
+    /// attempt sleeps the backoff schedule's next deterministic,
+    /// seeded-jitter delay (through the engine clock) before trying
+    /// again. Returns the number of attempts a successful reload took;
+    /// on exhaustion returns the last error with the engine untouched,
+    /// still serving the old epoch.
+    pub fn reload_with_retry(
+        &mut self,
+        registry: &ArtifactRegistry,
+        backoff: &Backoff,
+    ) -> Result<u32, RegistryError> {
+        let attempts = backoff.attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match self.reload(registry) {
+                Ok(()) => return Ok(attempt + 1),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= attempts {
+                        return Err(e);
+                    }
+                    self.config.clock.sleep(backoff.delay(attempt - 1));
+                }
+            }
+        }
     }
 
     fn install_artifacts(&mut self, loaded: LoadedArtifacts) {
         self.epoch = loaded.manifest.epoch;
         self.degraded.clear();
+        if let (Some(breakers), Some(cfg)) = (&mut self.breakers, self.config.breaker) {
+            for b in breakers
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter_mut()
+            {
+                *b = CircuitBreaker::new(cfg);
+            }
+        }
 
         self.bpr = match loaded.bpr {
             Ok(model)
@@ -280,10 +400,25 @@ impl ServingEngine {
         self.metrics.snapshot()
     }
 
+    /// Current circuit-breaker state per slot (by [`ModelSlot::index`]);
+    /// `None` when breakers are disabled.
+    #[must_use]
+    pub fn breaker_states(&self) -> Option<[BreakerState; ModelSlot::COUNT]> {
+        let breakers = self.breakers.as_ref()?;
+        let guard = breakers.lock().unwrap_or_else(PoisonError::into_inner);
+        Some(std::array::from_fn(|i| guard[i].state()))
+    }
+
     /// Number of cached recommendation lists.
     #[must_use]
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache mutex poisoned").len()
+        self.lock_cache().len()
+    }
+
+    /// The cache holds plain answer lists; recover a poisoned mutex
+    /// rather than letting one isolated panic end serving.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, LruCache<CacheKey, Vec<u32>>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn slot_model(&self, slot: ModelSlot) -> Option<&dyn Recommender> {
@@ -292,6 +427,48 @@ impl ServingEngine {
             ModelSlot::ClosestItems => self.closest.as_ref().map(|m| m as &dyn Recommender),
             ModelSlot::MostRead => self.most_read.as_ref().map(|m| m as &dyn Recommender),
             ModelSlot::Random => Some(&self.random),
+        }
+    }
+
+    /// Asks `slot`'s breaker to admit a call, folding any state
+    /// transition into the chunk stats. Always true with breakers off.
+    fn breaker_admit(&self, slot: ModelSlot, stats: &mut ChunkStats) -> bool {
+        let Some(breakers) = &self.breakers else {
+            return true;
+        };
+        let now = self.config.clock.now();
+        let (admitted, transition) =
+            breakers.lock().unwrap_or_else(PoisonError::into_inner)[slot.index()].admit(now);
+        Self::count_transition(transition, slot, stats);
+        admitted
+    }
+
+    /// Reports a successful slot call to its breaker.
+    fn breaker_success(&self, slot: ModelSlot, stats: &mut ChunkStats) {
+        if let Some(breakers) = &self.breakers {
+            let transition = breakers.lock().unwrap_or_else(PoisonError::into_inner)[slot.index()]
+                .record_success();
+            Self::count_transition(transition, slot, stats);
+        }
+    }
+
+    /// Reports a failed slot call (panic, timeout, injected error) to
+    /// its breaker.
+    fn breaker_failure(&self, slot: ModelSlot, stats: &mut ChunkStats) {
+        if let Some(breakers) = &self.breakers {
+            let now = self.config.clock.now();
+            let transition = breakers.lock().unwrap_or_else(PoisonError::into_inner)[slot.index()]
+                .record_failure(now);
+            Self::count_transition(transition, slot, stats);
+        }
+    }
+
+    fn count_transition(transition: Option<Transition>, slot: ModelSlot, stats: &mut ChunkStats) {
+        match transition {
+            Some(Transition::Opened) => stats.breaker_opened[slot.index()] += 1,
+            Some(Transition::HalfOpened) => stats.breaker_half_open[slot.index()] += 1,
+            Some(Transition::Closed) => stats.breaker_closed[slot.index()] += 1,
+            None => {}
         }
     }
 
@@ -310,18 +487,23 @@ impl ServingEngine {
     /// catalogue-sized buffer across the chunk), and the metrics mutex is
     /// taken once. Amortising the per-request overhead this way is what
     /// makes batched serving outrun single calls even on one core.
+    ///
+    /// Each slot call is one *attempt*: it runs under panic isolation
+    /// and (when configured) a deadline budget and a circuit breaker; a
+    /// failed attempt degrades every not-yet-served request in the chunk
+    /// down the chain, never the process.
     fn serve_chunk(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
         let t0 = Instant::now();
         let mut out: Vec<Option<Vec<u32>>> = vec![None; users.len()];
-        let mut hits = 0u64;
+        let mut stats = ChunkStats::new(users.len() as u64, 0);
         let mut misses: Vec<usize> = Vec::with_capacity(users.len());
         if self.config.cache_capacity > 0 {
-            let mut cache = self.cache.lock().expect("cache mutex poisoned");
+            let mut cache = self.lock_cache();
             for (i, &u) in users.iter().enumerate() {
                 match cache.get(&(u.0, k, self.epoch)) {
                     Some(books) => {
                         out[i] = Some(books.clone());
-                        hits += 1;
+                        stats.hits += 1;
                     }
                     None => misses.push(i),
                 }
@@ -340,41 +522,100 @@ impl ServingEngine {
             known
         });
 
-        let mut served = [0u64; ModelSlot::COUNT];
-        let mut fallbacks = [0u64; ModelSlot::COUNT];
+        let deadline = self
+            .config
+            .request_budget
+            .map(|budget| Deadline::after(&*self.config.clock, budget));
         let mut remaining = misses.clone();
         for &slot in &self.config.chain {
             if remaining.is_empty() {
                 break;
             }
+            if let Some(d) = deadline {
+                if d.expired(&*self.config.clock) {
+                    stats.deadline_skips += remaining.len() as u64;
+                    break;
+                }
+            }
             let Some(model) = self.slot_model(slot) else {
                 // Degraded slot: every remaining request falls through.
-                fallbacks[slot.index()] += remaining.len() as u64;
+                stats.fallbacks[slot.index()] += remaining.len() as u64;
                 continue;
             };
+            if !self.breaker_admit(slot, &mut stats) {
+                stats.breaker_skips[slot.index()] += 1;
+                stats.fallbacks[slot.index()] += remaining.len() as u64;
+                continue;
+            }
+            // The budget clock starts before fault injection so injected
+            // latency counts against the slot like real slowness would.
+            let slot_started = self.config.slot_budget.map(|_| self.config.clock.now());
+            #[cfg(feature = "testing")]
+            let injected = self.faults.on_call(slot);
+            #[cfg(feature = "testing")]
+            {
+                if let Some(d) = injected.latency {
+                    self.config.clock.sleep(d);
+                }
+                if injected.error {
+                    self.breaker_failure(slot, &mut stats);
+                    stats.fallbacks[slot.index()] += remaining.len() as u64;
+                    continue;
+                }
+            }
             let chunk_users: Vec<UserIdx> = remaining.iter().map(|&i| users[i]).collect();
-            let answers = model.recommend_batch(&chunk_users, k);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "testing")]
+                if injected.panic {
+                    panic!("injected fault: {} slot panic", slot.label());
+                }
+                model.recommend_batch(&chunk_users, k)
+            }));
+            let answers = match outcome {
+                Ok(answers) => answers,
+                Err(_) => {
+                    // The slot panicked: isolate it, degrade the chunk
+                    // down the chain, and let the breaker see a failure.
+                    stats.panics[slot.index()] += 1;
+                    stats.fallbacks[slot.index()] += remaining.len() as u64;
+                    self.breaker_failure(slot, &mut stats);
+                    continue;
+                }
+            };
+            if let (Some(budget), Some(started)) = (self.config.slot_budget, slot_started) {
+                let elapsed = self.config.clock.now().saturating_sub(started);
+                if elapsed > budget {
+                    // Too slow: cut the slot off (its answers are
+                    // discarded) and advance the chain.
+                    stats.timeouts[slot.index()] += 1;
+                    stats.fallbacks[slot.index()] += remaining.len() as u64;
+                    self.breaker_failure(slot, &mut stats);
+                    continue;
+                }
+            }
+            self.breaker_success(slot, &mut stats);
             let mut still_empty = Vec::new();
             for (&i, books) in remaining.iter().zip(answers) {
                 if books.is_empty() {
                     // Healthy slot with nothing to say (e.g. Closest
                     // Items for an empty history): fall through too.
-                    fallbacks[slot.index()] += 1;
+                    stats.fallbacks[slot.index()] += 1;
                     still_empty.push(i);
                 } else {
-                    served[slot.index()] += 1;
+                    stats.served[slot.index()] += 1;
                     out[i] = Some(books);
                 }
             }
             remaining = still_empty;
         }
-        // Chain exhausted: empty answers, not served by any slot.
+        // Chain exhausted (or deadline expired): empty answers, not
+        // served by any slot.
         for i in remaining {
             out[i] = Some(Vec::new());
         }
 
         if self.config.cache_capacity > 0 && !misses.is_empty() {
-            let mut cache = self.cache.lock().expect("cache mutex poisoned");
+            let mut cache = self.lock_cache();
             for &i in &misses {
                 let books = out[i].as_ref().expect("answered above");
                 if !books.is_empty() {
@@ -383,8 +624,8 @@ impl ServingEngine {
             }
         }
 
-        self.metrics
-            .record_chunk(t0.elapsed(), users.len() as u64, hits, &served, &fallbacks);
+        stats.elapsed = t0.elapsed();
+        self.metrics.record_chunk(&stats);
         out.into_iter()
             .map(|o| o.expect("answered above"))
             .collect()
@@ -402,11 +643,21 @@ impl ServingEngine {
         std::thread::scope(|s| {
             let handles: Vec<_> = users
                 .chunks(chunk)
-                .map(|part| s.spawn(move || self.serve_chunk(part, k)))
+                .map(|part| (s.spawn(move || self.serve_chunk(part, k)), part.len()))
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("serve worker panicked"))
+                .flat_map(|(h, len)| match h.join() {
+                    Ok(answers) => answers,
+                    // Slot panics are already isolated inside
+                    // serve_chunk, so this is a harness bug — but one
+                    // poisoned chunk must degrade to empty answers, not
+                    // take the rest of the batch (and the process) down.
+                    Err(_) => {
+                        self.metrics.record_worker_panic(len as u64);
+                        vec![Vec::new(); len]
+                    }
+                })
                 .collect()
         })
     }

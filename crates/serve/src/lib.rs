@@ -18,13 +18,29 @@
 //!
 //! A corrupt or missing artifact never takes serving down — the slot
 //! degrades, the chain skips it, and the metrics show the fall-throughs.
+//! Runtime failures are contained the same way: slot calls run under
+//! panic isolation with optional per-slot deadline budgets, repeated
+//! failures open a per-slot [circuit breaker](breaker), artifact
+//! publication is atomic and lock-guarded, and `reload` can retry with
+//! deterministic backoff while the old epoch keeps serving. The
+//! `testing` feature adds a [fault-injection harness](fault) (compiled
+//! out of default builds) that the chaos test suite and
+//! `serve-bench --chaos` drive.
 
+pub mod breaker;
 pub mod cache;
 pub mod engine;
+#[cfg(feature = "testing")]
+pub mod fault;
 pub mod metrics;
 pub mod registry;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::LruCache;
 pub use engine::{EngineConfig, ModelSlot, ServingEngine};
-pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use registry::{ArtifactRegistry, LoadedArtifacts, Manifest, RegistryError, SlotError};
+#[cfg(feature = "testing")]
+pub use fault::{CallWindow, FaultPlan};
+pub use metrics::{ChunkStats, MetricsSnapshot, ServeMetrics};
+pub use registry::{
+    ArtifactRegistry, LoadedArtifacts, Manifest, RegistryError, RegistryLock, SlotError,
+};

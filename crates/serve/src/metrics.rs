@@ -2,15 +2,18 @@
 //!
 //! One mutex-guarded accumulator shared by every worker thread: request
 //! and cache-hit counters, a quarter-octave latency
-//! [`Histogram`](rm_util::stats::Histogram) in nanoseconds, and per-slot
-//! serve / fallback counts. [`ServeMetrics::snapshot`] clones the state
-//! out; [`MetricsSnapshot::render`] formats it with the same
+//! [`Histogram`](rm_util::stats::Histogram) in nanoseconds, per-slot
+//! serve / fallback counts, and the fault-tolerance counters — slot-call
+//! timeouts, isolated panics, circuit-breaker skips and state
+//! transitions, deadline-exhausted requests, and worker-thread panics.
+//! [`ServeMetrics::snapshot`] clones the state out;
+//! [`MetricsSnapshot::render`] formats it with the same
 //! [`Table`](rm_util::report::Table) renderer the evaluation reports use.
 
 use crate::engine::ModelSlot;
 use rm_util::report::{fmt_f64, Table};
 use rm_util::stats::Histogram;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Default, Clone)]
@@ -20,6 +23,57 @@ struct Counters {
     latency: Histogram,
     served: [u64; ModelSlot::COUNT],
     fallbacks: [u64; ModelSlot::COUNT],
+    timeouts: [u64; ModelSlot::COUNT],
+    panics: [u64; ModelSlot::COUNT],
+    breaker_skips: [u64; ModelSlot::COUNT],
+    breaker_opened: [u64; ModelSlot::COUNT],
+    breaker_half_open: [u64; ModelSlot::COUNT],
+    breaker_closed: [u64; ModelSlot::COUNT],
+    deadline_skips: u64,
+    worker_panics: u64,
+}
+
+/// Everything one served chunk contributes to the counters, accumulated
+/// lock-free during the chain walk and folded in under a single lock
+/// acquisition by [`ServeMetrics::record_chunk`].
+#[derive(Debug, Default, Clone)]
+pub struct ChunkStats {
+    /// Requests in the chunk.
+    pub n: u64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Wall-clock time serving the chunk (amortised per request).
+    pub elapsed: Duration,
+    /// Requests served per slot.
+    pub served: [u64; ModelSlot::COUNT],
+    /// Per-request fall-throughs per slot.
+    pub fallbacks: [u64; ModelSlot::COUNT],
+    /// Slot *calls* cut off by the per-slot budget.
+    pub timeouts: [u64; ModelSlot::COUNT],
+    /// Slot *calls* that panicked and were isolated.
+    pub panics: [u64; ModelSlot::COUNT],
+    /// Slot *calls* skipped because the breaker was open.
+    pub breaker_skips: [u64; ModelSlot::COUNT],
+    /// Breaker `→ Open` transitions.
+    pub breaker_opened: [u64; ModelSlot::COUNT],
+    /// Breaker `Open → HalfOpen` transitions (probes admitted).
+    pub breaker_half_open: [u64; ModelSlot::COUNT],
+    /// Breaker `HalfOpen → Closed` transitions (probes succeeded).
+    pub breaker_closed: [u64; ModelSlot::COUNT],
+    /// Requests answered empty because the request deadline expired.
+    pub deadline_skips: u64,
+}
+
+impl ChunkStats {
+    /// Stats for a chunk of `n` requests, `hits` of them cache hits.
+    #[must_use]
+    pub fn new(n: u64, hits: u64) -> Self {
+        Self {
+            n,
+            hits,
+            ..Self::default()
+        }
+    }
 }
 
 /// Thread-safe metrics accumulator owned by the engine.
@@ -45,8 +99,11 @@ impl ServeMetrics {
         }
     }
 
+    /// Counters are plain accumulators, so a panic that poisoned the
+    /// mutex left them merely mid-update — recover the data rather than
+    /// letting one isolated panic take metrics (and serving) down.
     fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
-        self.inner.lock().expect("metrics mutex poisoned")
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Records a request answered from the cache.
@@ -78,30 +135,37 @@ impl ServeMetrics {
         }
     }
 
-    /// Records a whole served chunk in one lock acquisition: `n` requests
-    /// taking `elapsed` total (each accounted the amortised per-request
-    /// latency), `hits` of them from the cache, plus per-slot serve and
-    /// fall-through counts.
-    pub fn record_chunk(
-        &self,
-        elapsed: Duration,
-        n: u64,
-        hits: u64,
-        served: &[u64; ModelSlot::COUNT],
-        fallbacks: &[u64; ModelSlot::COUNT],
-    ) {
-        if n == 0 {
+    /// Folds a whole served chunk into the counters in one lock
+    /// acquisition; each of its requests is accounted the amortised
+    /// per-request latency.
+    pub fn record_chunk(&self, stats: &ChunkStats) {
+        if stats.n == 0 {
             return;
         }
-        let per_request = (elapsed.as_nanos() / u128::from(n)) as u64;
+        let per_request = (stats.elapsed.as_nanos() / u128::from(stats.n)) as u64;
+        let mut c = self.lock();
+        c.requests += stats.n;
+        c.cache_hits += stats.hits;
+        c.latency.record_n(per_request, stats.n);
+        for i in 0..ModelSlot::COUNT {
+            c.served[i] += stats.served[i];
+            c.fallbacks[i] += stats.fallbacks[i];
+            c.timeouts[i] += stats.timeouts[i];
+            c.panics[i] += stats.panics[i];
+            c.breaker_skips[i] += stats.breaker_skips[i];
+            c.breaker_opened[i] += stats.breaker_opened[i];
+            c.breaker_half_open[i] += stats.breaker_half_open[i];
+            c.breaker_closed[i] += stats.breaker_closed[i];
+        }
+        c.deadline_skips += stats.deadline_skips;
+    }
+
+    /// Records a batch worker that panicked: its `n` requests were
+    /// answered empty so the rest of the batch could still return.
+    pub fn record_worker_panic(&self, n: u64) {
         let mut c = self.lock();
         c.requests += n;
-        c.cache_hits += hits;
-        c.latency.record_n(per_request, n);
-        for i in 0..ModelSlot::COUNT {
-            c.served[i] += served[i];
-            c.fallbacks[i] += fallbacks[i];
-        }
+        c.worker_panics += 1;
     }
 
     /// A point-in-time copy of every counter.
@@ -114,6 +178,14 @@ impl ServeMetrics {
             latency: c.latency,
             served: c.served,
             fallbacks: c.fallbacks,
+            timeouts: c.timeouts,
+            panics: c.panics,
+            breaker_skips: c.breaker_skips,
+            breaker_opened: c.breaker_opened,
+            breaker_half_open: c.breaker_half_open,
+            breaker_closed: c.breaker_closed,
+            deadline_skips: c.deadline_skips,
+            worker_panics: c.worker_panics,
             elapsed: self.started.elapsed(),
         }
     }
@@ -138,6 +210,22 @@ pub struct MetricsSnapshot {
     pub served: [u64; ModelSlot::COUNT],
     /// Fall-throughs per model slot.
     pub fallbacks: [u64; ModelSlot::COUNT],
+    /// Slot calls cut off by the per-slot deadline budget.
+    pub timeouts: [u64; ModelSlot::COUNT],
+    /// Slot calls that panicked and were isolated by the engine.
+    pub panics: [u64; ModelSlot::COUNT],
+    /// Slot calls skipped by an open circuit breaker.
+    pub breaker_skips: [u64; ModelSlot::COUNT],
+    /// Circuit-breaker `→ Open` transitions per slot.
+    pub breaker_opened: [u64; ModelSlot::COUNT],
+    /// Circuit-breaker `Open → HalfOpen` transitions per slot.
+    pub breaker_half_open: [u64; ModelSlot::COUNT],
+    /// Circuit-breaker `HalfOpen → Closed` transitions per slot.
+    pub breaker_closed: [u64; ModelSlot::COUNT],
+    /// Requests answered empty because their deadline expired mid-chain.
+    pub deadline_skips: u64,
+    /// Batch worker threads that panicked (requests degraded to empty).
+    pub worker_panics: u64,
     /// Wall-clock time since the metrics were created or reset.
     pub elapsed: Duration,
 }
@@ -162,6 +250,19 @@ impl MetricsSnapshot {
         self.cache_hits as f64 / self.requests as f64
     }
 
+    /// Fraction of requests that were answered with a non-degraded
+    /// outcome: everything except deadline-exhausted requests, requests
+    /// the whole chain failed, and worker-panic blanks. Cache hits and
+    /// fallback-served requests count as available.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            return 1.0;
+        }
+        let answered = self.cache_hits + self.served.iter().sum::<u64>();
+        answered as f64 / self.requests as f64
+    }
+
     /// The latency/throughput summary table.
     #[must_use]
     pub fn latency_table(&self) -> Table {
@@ -183,30 +284,62 @@ impl MetricsSnapshot {
             fmt_micros(self.latency.mean() as u64),
         ]);
         t.push_row(["latency max".to_owned(), fmt_micros(self.latency.max())]);
+        t.push_row(["deadline skips".to_owned(), self.deadline_skips.to_string()]);
+        t.push_row(["worker panics".to_owned(), self.worker_panics.to_string()]);
         t
     }
 
-    /// The per-slot serve/fallback table, in chain order.
+    /// The per-slot serve/fault table, in chain order. `timeouts`,
+    /// `panics`, and `brk skips` count slot *calls* (a batched chunk is
+    /// one call); `served`/`fallbacks` count requests.
     #[must_use]
     pub fn slot_table(&self) -> Table {
-        let mut t = Table::new(["model", "served", "fallbacks"]);
+        let mut t = Table::new([
+            "model",
+            "served",
+            "fallbacks",
+            "timeouts",
+            "panics",
+            "brk skips",
+        ]);
         for slot in ModelSlot::ALL {
+            let i = slot.index();
             t.push_row([
                 slot.label().to_owned(),
-                self.served[slot.index()].to_string(),
-                self.fallbacks[slot.index()].to_string(),
+                self.served[i].to_string(),
+                self.fallbacks[i].to_string(),
+                self.timeouts[i].to_string(),
+                self.panics[i].to_string(),
+                self.breaker_skips[i].to_string(),
             ]);
         }
         t
     }
 
-    /// Both tables, ready to print.
+    /// Circuit-breaker transition counts per slot.
+    #[must_use]
+    pub fn breaker_table(&self) -> Table {
+        let mut t = Table::new(["model", "opened", "half-open", "closed"]);
+        for slot in ModelSlot::ALL {
+            let i = slot.index();
+            t.push_row([
+                slot.label().to_owned(),
+                self.breaker_opened[i].to_string(),
+                self.breaker_half_open[i].to_string(),
+                self.breaker_closed[i].to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// All three tables, ready to print.
     #[must_use]
     pub fn render(&self) -> String {
         format!(
-            "{}\n{}",
+            "{}\n{}\n{}",
             self.latency_table().render(),
-            self.slot_table().render()
+            self.slot_table().render(),
+            self.breaker_table().render()
         )
     }
 }
@@ -242,10 +375,44 @@ mod tests {
     }
 
     #[test]
+    fn chunk_stats_fold_in_fault_counters() {
+        let m = ServeMetrics::new();
+        let mut stats = ChunkStats::new(8, 2);
+        stats.elapsed = Duration::from_micros(800);
+        stats.served[ModelSlot::ClosestItems.index()] = 6;
+        stats.fallbacks[ModelSlot::Bpr.index()] = 6;
+        stats.timeouts[ModelSlot::Bpr.index()] = 1;
+        stats.panics[ModelSlot::Bpr.index()] = 1;
+        stats.breaker_skips[ModelSlot::Bpr.index()] = 3;
+        stats.breaker_opened[ModelSlot::Bpr.index()] = 1;
+        stats.breaker_half_open[ModelSlot::Bpr.index()] = 1;
+        stats.breaker_closed[ModelSlot::Bpr.index()] = 1;
+        stats.deadline_skips = 2;
+        m.record_chunk(&stats);
+        m.record_worker_panic(4);
+
+        let s = m.snapshot();
+        let i = ModelSlot::Bpr.index();
+        assert_eq!(s.requests, 12);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.timeouts[i], 1);
+        assert_eq!(s.panics[i], 1);
+        assert_eq!(s.breaker_skips[i], 3);
+        assert_eq!(s.breaker_opened[i], 1);
+        assert_eq!(s.breaker_half_open[i], 1);
+        assert_eq!(s.breaker_closed[i], 1);
+        assert_eq!(s.deadline_skips, 2);
+        assert_eq!(s.worker_panics, 1);
+        // 2 hits + 6 served out of 12 requests answered non-degraded.
+        assert!((s.availability() - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn empty_snapshot_is_safe() {
         let s = ServeMetrics::new().snapshot();
         assert_eq!(s.requests, 0);
         assert_eq!(s.cache_hit_ratio(), 0.0);
+        assert_eq!(s.availability(), 1.0);
         assert_eq!(s.latency.quantile(0.99), 0);
         // QPS may be 0/epsilon but must not be NaN.
         assert!(s.qps().is_finite());
@@ -263,6 +430,11 @@ mod tests {
             "cache hit ratio",
             "qps",
             "Random Items",
+            "timeouts",
+            "panics",
+            "brk skips",
+            "half-open",
+            "deadline skips",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

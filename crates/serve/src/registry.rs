@@ -13,18 +13,29 @@
 //! slot resolves to its own `Result` so a missing, truncated, or
 //! checksum-corrupted artifact degrades exactly one link of the serving
 //! fallback chain instead of failing the whole load.
+//!
+//! Publication is *crash-safe*: every file is written through
+//! [`rm_core::persist::write_atomic`] (`.tmp` sibling, fsync, rename) so
+//! no artifact is ever torn, and the fsync'd manifest goes last so the
+//! epoch bump is the commit point. `save` and `load` additionally take a
+//! cooperative `registry.lock` file, so a trainer publishing into a
+//! directory and a server reloading from it can never interleave.
 
 use rm_core::bpr::BprModel;
 use rm_core::most_read::MostReadItems;
-use rm_core::persist::{DecodeError, PersistModel};
+use rm_core::persist::{write_atomic, DecodeError, PersistModel};
 use rm_dataset::summary::SummaryFields;
 use rm_embed::EmbeddingStore;
 use std::fmt;
 use std::io;
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Manifest file name inside a registry directory.
 pub const MANIFEST_FILE: &str = "manifest.txt";
+/// Cooperative lock file guarding saves and loads of one directory.
+pub const LOCK_FILE: &str = "registry.lock";
 /// BPR model artifact file name.
 pub const BPR_FILE: &str = "bpr.rmodel";
 /// Most Read Items artifact file name.
@@ -159,17 +170,98 @@ pub struct LoadedArtifacts {
     pub embeddings: SlotResult<EmbeddingStore>,
 }
 
+/// A held `registry.lock`: created with `O_EXCL`, removed on drop.
+///
+/// The lock is *cooperative* — it only excludes other
+/// [`ArtifactRegistry`] users, which is exactly the save-vs-reload race
+/// it exists to prevent. The holder's PID is written into the file to
+/// make a stale lock diagnosable.
+#[derive(Debug)]
+pub struct RegistryLock {
+    path: PathBuf,
+}
+
+impl RegistryLock {
+    /// Polling interval while waiting for a held lock.
+    const POLL: Duration = Duration::from_millis(2);
+
+    fn acquire(dir: &Path, wait: Duration) -> io::Result<Self> {
+        let path = dir.join(LOCK_FILE);
+        let deadline = Instant::now() + wait;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            format!(
+                                "registry.lock held by another process (waited {wait:?}); \
+                                 remove {} if its holder crashed",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Self::POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for RegistryLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Handle to an artifact directory.
 #[derive(Debug, Clone)]
 pub struct ArtifactRegistry {
     dir: PathBuf,
+    lock_wait: Duration,
 }
 
 impl ArtifactRegistry {
+    /// How long `save`/`load` wait for the cooperative lock by default.
+    pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_secs(5);
+
     /// Points at (but does not create) an artifact directory.
     #[must_use]
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        Self { dir: dir.into() }
+        Self {
+            dir: dir.into(),
+            lock_wait: Self::DEFAULT_LOCK_WAIT,
+        }
+    }
+
+    /// The same registry with a different lock-acquisition timeout.
+    #[must_use]
+    pub fn with_lock_wait(mut self, wait: Duration) -> Self {
+        self.lock_wait = wait;
+        self
+    }
+
+    /// Takes the cooperative `registry.lock` explicitly (for callers
+    /// doing multi-step maintenance). `save` and `load` take it
+    /// internally; while a caller holds it they will block, then fail.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when another holder keeps the lock past the
+    /// registry's lock-wait timeout; any other I/O error from creating
+    /// the lock file.
+    pub fn lock(&self) -> io::Result<RegistryLock> {
+        std::fs::create_dir_all(&self.dir)?;
+        RegistryLock::acquire(&self.dir, self.lock_wait)
     }
 
     /// The registry directory.
@@ -184,9 +276,12 @@ impl ArtifactRegistry {
         self.dir.join(file)
     }
 
-    /// Writes the full artifact set (creating the directory if needed).
-    /// The manifest is written last so a crash mid-save leaves a registry
-    /// that fails to open rather than one that half-loads.
+    /// Writes the full artifact set (creating the directory if needed)
+    /// under the cooperative lock. Every file goes through an atomic
+    /// `.tmp`-then-rename publication so a crash mid-save can tear
+    /// nothing; the fsync'd manifest is written last, making the epoch
+    /// bump the commit point — a crash before it leaves the previous
+    /// manifest (and epoch) in force.
     pub fn save(
         &self,
         manifest: &Manifest,
@@ -195,10 +290,43 @@ impl ArtifactRegistry {
         embeddings: &EmbeddingStore,
     ) -> io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
-        std::fs::write(self.path_of(BPR_FILE), bpr.to_bytes())?;
-        std::fs::write(self.path_of(MOST_READ_FILE), most_read.to_bytes())?;
-        std::fs::write(self.path_of(EMBEDDINGS_FILE), embeddings.to_bytes())?;
-        std::fs::write(self.path_of(MANIFEST_FILE), manifest.render())?;
+        let _lock = RegistryLock::acquire(&self.dir, self.lock_wait)?;
+        write_atomic(&self.path_of(BPR_FILE), &bpr.to_bytes())?;
+        write_atomic(&self.path_of(MOST_READ_FILE), &most_read.to_bytes())?;
+        write_atomic(&self.path_of(EMBEDDINGS_FILE), &embeddings.to_bytes())?;
+        write_atomic(&self.path_of(MANIFEST_FILE), manifest.render().as_bytes())?;
+        Ok(())
+    }
+
+    /// [`ArtifactRegistry::save`], then corrupts the slots a
+    /// [`FaultPlan`](crate::fault::FaultPlan) marks `corrupt_on_save` —
+    /// each such artifact is truncated to half its length, simulating a
+    /// publisher that died mid-write *without* the atomic-rename
+    /// protocol. Chaos tests use this to prove a reload degrades exactly
+    /// the corrupted slots.
+    #[cfg(feature = "testing")]
+    pub fn save_with_faults(
+        &self,
+        manifest: &Manifest,
+        bpr: &BprModel,
+        most_read: &MostReadItems,
+        embeddings: &EmbeddingStore,
+        plan: &crate::fault::FaultPlan,
+    ) -> io::Result<()> {
+        use crate::engine::ModelSlot;
+        self.save(manifest, bpr, most_read, embeddings)?;
+        let files = [
+            (ModelSlot::Bpr, BPR_FILE),
+            (ModelSlot::MostRead, MOST_READ_FILE),
+            (ModelSlot::ClosestItems, EMBEDDINGS_FILE),
+        ];
+        for (slot, file) in files {
+            if plan.slot(slot).corrupt_on_save {
+                let path = self.path_of(file);
+                let bytes = std::fs::read(&path)?;
+                std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+            }
+        }
         Ok(())
     }
 
@@ -212,8 +340,18 @@ impl ArtifactRegistry {
     }
 
     /// Opens the registry: the manifest must parse, each model slot loads
-    /// independently.
+    /// independently. The cooperative lock is held across the reads so a
+    /// concurrent `save` cannot interleave; a registry directory that
+    /// does not exist yet skips the lock and reports the manifest's
+    /// `NotFound` as usual.
     pub fn load(&self) -> Result<LoadedArtifacts, RegistryError> {
+        let _lock = match RegistryLock::acquire(&self.dir, self.lock_wait) {
+            Ok(lock) => Some(lock),
+            // Missing directory: fall through to the manifest read, which
+            // produces the canonical "registry absent" error.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(RegistryError::Io(e)),
+        };
         let manifest_text = std::fs::read_to_string(self.path_of(MANIFEST_FILE))?;
         let manifest = Manifest::parse(&manifest_text)?;
         Ok(LoadedArtifacts {
@@ -301,6 +439,65 @@ mod tests {
         let store = loaded.embeddings.unwrap();
         assert_eq!(store.len(), 3);
         assert_eq!(store.embedding(0), embeddings.embedding(0));
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn save_leaves_no_temp_or_lock_files() {
+        let reg = temp_registry("atomic");
+        let (bpr, most_read, embeddings) = tiny_artifacts();
+        let manifest = Manifest {
+            epoch: 1,
+            fields: SummaryFields::BEST,
+        };
+        reg.save(&manifest, &bpr, &most_read, &embeddings).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(reg.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp") || n == LOCK_FILE)
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn save_while_locked_times_out_and_succeeds_after_release() {
+        let reg = temp_registry("locked").with_lock_wait(Duration::from_millis(50));
+        let (bpr, most_read, embeddings) = tiny_artifacts();
+        let manifest = Manifest {
+            epoch: 1,
+            fields: SummaryFields::BEST,
+        };
+
+        let held = reg.lock().expect("explicit lock");
+        let err = reg
+            .save(&manifest, &bpr, &most_read, &embeddings)
+            .expect_err("save under a held lock must fail");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{err}");
+        assert!(err.to_string().contains("registry.lock"), "{err}");
+
+        // Loads respect the same lock.
+        assert!(matches!(reg.load(), Err(RegistryError::Io(_))));
+
+        drop(held);
+        reg.save(&manifest, &bpr, &most_read, &embeddings)
+            .expect("save after release");
+        assert!(reg.load().is_ok());
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn lock_is_released_on_drop_even_after_timeout() {
+        let reg = temp_registry("lock-drop").with_lock_wait(Duration::from_millis(10));
+        let first = reg.lock().unwrap();
+        assert!(reg.lock().is_err(), "second lock while held");
+        drop(first);
+        let second = reg.lock().expect("lock after drop");
+        drop(second);
+        assert!(
+            !reg.path_of(LOCK_FILE).exists(),
+            "lock file must be removed on drop"
+        );
         let _ = std::fs::remove_dir_all(reg.dir());
     }
 

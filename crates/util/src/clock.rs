@@ -1,0 +1,249 @@
+//! Monotonic time for the serving layer: a clock abstraction, request
+//! deadlines, and deterministic retry backoff.
+//!
+//! Production code reads a [`MonotonicClock`] (a thin wrapper over
+//! [`std::time::Instant`]); tests substitute a [`FakeClock`] whose
+//! [`Clock::sleep`] *advances* the reading instead of blocking, so
+//! timeout and circuit-breaker behaviour is exercised deterministically
+//! and instantly. A [`Deadline`] is a point on that timeline; a
+//! [`Backoff`] is a bounded exponential retry schedule whose jitter is
+//! derived from a seed (via [`crate::rng::derive_seed`]) rather than an
+//! ambient RNG, so retry timing is reproducible too.
+
+use crate::rng::{derive_seed, unit_f64};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic clock: readings never decrease and start near zero.
+///
+/// `Send + Sync` because the serving engine shares one clock across its
+/// worker threads; `Debug` so engine configurations stay printable.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+
+    /// Blocks (or, for fake clocks, pretends to block) for `d`.
+    ///
+    /// The default implementation really sleeps; [`FakeClock`] overrides
+    /// it to advance its reading so tests never wait on wall time.
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// The production clock: [`Instant`]-backed, origin at construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A test clock that only moves when told to (or when "slept" on).
+///
+/// Shared via `Arc`: the test holds one handle and advances it, the code
+/// under test reads another.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    nanos: AtomicU64,
+}
+
+impl FakeClock {
+    /// A fake clock reading zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the reading forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    /// Advances instead of blocking: injected latency costs simulated
+    /// time, not test wall time.
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+/// A point on a clock's timeline by which work must finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    at: Duration,
+}
+
+impl Deadline {
+    /// The deadline `budget` from the clock's current reading.
+    #[must_use]
+    pub fn after(clock: &dyn Clock, budget: Duration) -> Self {
+        Self {
+            at: clock.now() + budget,
+        }
+    }
+
+    /// A deadline at an absolute clock reading.
+    #[must_use]
+    pub fn at(at: Duration) -> Self {
+        Self { at }
+    }
+
+    /// True once the clock has reached the deadline.
+    #[must_use]
+    pub fn expired(&self, clock: &dyn Clock) -> bool {
+        clock.now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    #[must_use]
+    pub fn remaining(&self, clock: &dyn Clock) -> Duration {
+        self.at.saturating_sub(clock.now())
+    }
+}
+
+/// A bounded exponential backoff schedule with deterministic jitter.
+///
+/// Attempt `i` (zero-based) waits `base * 2^i` capped at `max`, scaled
+/// by a jitter factor in `[0.5, 1.0)` drawn from `seed` and `i` alone —
+/// two processes with the same seed retry on the same schedule, and a
+/// test can predict every delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Total attempts (the first is immediate; sleeps happen between).
+    pub attempts: u32,
+    /// Delay before the second attempt.
+    pub base: Duration,
+    /// Cap on any single delay.
+    pub max: Duration,
+    /// Jitter stream seed.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay to wait after failed attempt `attempt` (zero-based).
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let doubling = 1u32 << attempt.min(20);
+        let exp = self.base.saturating_mul(doubling).min(self.max);
+        let jitter = 0.5 + unit_f64(derive_seed(self.seed, u64::from(attempt))) / 2.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_moves_only_on_advance() {
+        let c = FakeClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(5));
+        // sleep() is simulated: it advances rather than blocks.
+        c.sleep(Duration::from_secs(3600));
+        assert_eq!(
+            c.now(),
+            Duration::from_secs(3600) + Duration::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn deadline_expires_exactly_on_time() {
+        let c = FakeClock::new();
+        let d = Deadline::after(&c, Duration::from_millis(10));
+        assert!(!d.expired(&c));
+        assert_eq!(d.remaining(&c), Duration::from_millis(10));
+        c.advance(Duration::from_millis(9));
+        assert!(!d.expired(&c));
+        c.advance(Duration::from_millis(1));
+        assert!(d.expired(&c));
+        assert_eq!(d.remaining(&c), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let b = Backoff::default();
+        for attempt in 0..6 {
+            let d1 = b.delay(attempt);
+            let d2 = b.delay(attempt);
+            assert_eq!(d1, d2, "attempt {attempt} must be reproducible");
+            let exp = b.base.saturating_mul(1 << attempt).min(b.max);
+            assert!(d1 >= exp.mul_f64(0.5), "attempt {attempt}: {d1:?} < half");
+            assert!(d1 <= exp, "attempt {attempt}: {d1:?} > cap");
+        }
+    }
+
+    #[test]
+    fn backoff_seeds_decorrelate_schedules() {
+        let a = Backoff {
+            seed: 1,
+            ..Backoff::default()
+        };
+        let b = Backoff {
+            seed: 2,
+            ..Backoff::default()
+        };
+        let differs = (0..4).any(|i| a.delay(i) != b.delay(i));
+        assert!(differs, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn backoff_caps_at_max() {
+        let b = Backoff {
+            attempts: 10,
+            base: Duration::from_millis(100),
+            max: Duration::from_millis(300),
+            seed: 7,
+        };
+        for attempt in 0..10 {
+            assert!(b.delay(attempt) <= Duration::from_millis(300));
+        }
+    }
+}

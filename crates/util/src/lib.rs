@@ -5,6 +5,9 @@
 //!
 //! * [`rng`] — seeded, splittable random-number generation so that every
 //!   stochastic stage of the pipeline is reproducible from a single `u64`;
+//! * [`clock`] — a monotonic clock abstraction (real and fake), request
+//!   deadlines, and deterministic retry backoff, used by the serving
+//!   layer's fault-tolerance machinery;
 //! * [`sample`] — discrete sampling machinery (Walker alias tables, Zipf and
 //!   log-normal samplers) used by the synthetic data generators and by the
 //!   WARP negative sampler;
@@ -17,11 +20,13 @@
 //!   output, so the benchmark harness has no external formatting
 //!   dependencies.
 
+pub mod clock;
 pub mod report;
 pub mod rng;
 pub mod sample;
 pub mod stats;
 pub mod topk;
 
+pub use clock::{Backoff, Clock, Deadline, FakeClock, MonotonicClock};
 pub use rng::SeedableStdRng;
 pub use topk::TopK;

@@ -55,6 +55,18 @@ pub fn derive_seed_str(parent: u64, label: &str) -> u64 {
     derive_seed(parent, h)
 }
 
+/// Maps a seed to a uniform `f64` in `[0, 1)`.
+///
+/// Used where a single deterministic draw is needed without the weight of
+/// an RNG stream — e.g. the jitter factor of a retry backoff schedule
+/// (`rm_util::clock::Backoff`). The top 53 bits of the seed become the
+/// mantissa, so the mapping is exact and platform-independent.
+#[inline]
+#[must_use]
+pub fn unit_f64(seed: u64) -> f64 {
+    (seed >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// A small hierarchical seed source.
 ///
 /// A `SeedTree` wraps one seed and hands out labelled child seeds or child
@@ -152,6 +164,17 @@ mod tests {
             t.child("a").child("b").seed(),
             t.child("b").child("a").seed()
         );
+    }
+
+    #[test]
+    fn unit_f64_is_in_range_and_deterministic() {
+        for seed in [0u64, 1, 42, u64::MAX, 0x5EED_5EED_5EED_5EED] {
+            let u = unit_f64(seed);
+            assert!((0.0..1.0).contains(&u), "unit_f64({seed}) = {u}");
+            assert_eq!(u, unit_f64(seed));
+        }
+        // Not constant.
+        assert_ne!(unit_f64(derive_seed(1, 0)), unit_f64(derive_seed(1, 1)));
     }
 
     #[test]

@@ -13,8 +13,10 @@ use std::cmp::Ordering;
 pub struct Scored {
     /// Item identifier (recommenders use dense item indices).
     pub item: u32,
-    /// Score; higher is better. Must not be NaN (pushes with NaN panic in
-    /// debug builds and are skipped in release builds).
+    /// Score; higher is better. NaN scores are skipped by
+    /// [`TopK::push`] in every build profile, and the heap ordering is
+    /// total ([`f32::total_cmp`]) so a NaN reaching the comparator can
+    /// never panic a serving thread.
     pub score: f32,
 }
 
@@ -22,16 +24,14 @@ impl Scored {
     /// Ordering used by the heap: primarily by score, ties by *reversed*
     /// item index so that the "smaller index wins" rule holds for equal
     /// scores.
-    fn key(&self) -> (f32, std::cmp::Reverse<u32>) {
-        (self.score, std::cmp::Reverse(self.item))
-    }
-
+    ///
+    /// Scores compare with [`f32::total_cmp`], which is total over every
+    /// bit pattern — `push` filters NaN, but a serving path must not be
+    /// able to panic on one slipping through in a release build.
     fn cmp_key(&self, other: &Self) -> Ordering {
-        let (sa, ia) = self.key();
-        let (sb, ib) = other.key();
-        sa.partial_cmp(&sb)
-            .expect("NaN score in TopK")
-            .then(ia.cmp(&ib))
+        self.score
+            .total_cmp(&other.score)
+            .then(other.item.cmp(&self.item))
     }
 }
 
@@ -77,10 +77,10 @@ impl TopK {
         self.heap.is_empty()
     }
 
-    /// Offers a candidate.
+    /// Offers a candidate. NaN scores are dropped: a recommender that
+    /// divides by a zero norm must degrade a candidate, not kill serving.
     #[inline]
     pub fn push(&mut self, item: u32, score: f32) {
-        debug_assert!(!score.is_nan(), "NaN score offered to TopK");
         if score.is_nan() {
             return;
         }
@@ -207,6 +207,66 @@ mod tests {
     #[should_panic(expected = "k >= 1")]
     fn zero_k_panics() {
         let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn nan_scores_are_skipped_not_fatal() {
+        // NaN offers are dropped whether the selector is filling or full,
+        // and never displace a real candidate.
+        let scored = top_k_of(
+            [
+                (0, f32::NAN),
+                (1, 1.0),
+                (2, f32::NAN),
+                (3, 2.0),
+                (4, f32::NAN),
+            ],
+            2,
+        );
+        let items: Vec<u32> = scored.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![3, 1]);
+    }
+
+    #[test]
+    fn infinities_order_correctly() {
+        let scored = top_k_of(
+            [
+                (0, f32::NEG_INFINITY),
+                (1, 0.0),
+                (2, f32::INFINITY),
+                (3, -1.0),
+            ],
+            3,
+        );
+        let items: Vec<u32> = scored.iter().map(|s| s.item).collect();
+        assert_eq!(items, vec![2, 1, 3]);
+        // -inf still wins a selector with room.
+        let lone = top_k_of([(7, f32::NEG_INFINITY)], 2);
+        assert_eq!(lone.len(), 1);
+        assert_eq!(lone[0].item, 7);
+    }
+
+    #[test]
+    fn mixed_nan_inf_churn_is_total() {
+        // Release-build regression guard for the old partial_cmp panic:
+        // interleave NaN and ±inf through enough pushes to exercise both
+        // sift directions.
+        let mut sel = TopK::new(4);
+        for i in 0..64u32 {
+            let score = match i % 4 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                _ => (i as f32).sin(),
+            };
+            sel.push(i, score);
+        }
+        let got = sel.into_sorted();
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|s| !s.score.is_nan()));
+        for w in got.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
     }
 
     proptest! {

@@ -16,4 +16,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> chaos suite (rm-serve with fault injection compiled in)"
+cargo test -q -p rm-serve --features testing
+
+echo "==> serve crate: no unwrap/expect on lock()/join()"
+# The serving path must degrade, never abort: poisoned mutexes are
+# recovered with PoisonError::into_inner and worker join errors turn into
+# empty answers. Deliberate exceptions live in the allowlist.
+if grep -rn -E '\.(lock|join)\(\)\s*\.\s*(unwrap|expect)\(' crates/serve/src crates/serve/tests \
+    | grep -vFf scripts/serve_expect_allowlist.txt; then
+  echo "error: unallowlisted unwrap/expect on a lock()/join() result in crates/serve" >&2
+  echo "       recover it (PoisonError::into_inner / graceful join handling) or add the" >&2
+  echo "       exact line to scripts/serve_expect_allowlist.txt with a justification" >&2
+  exit 1
+fi
+
 echo "All checks passed."
