@@ -34,8 +34,8 @@ pub struct PerUserStats {
     pub hits: Vec<u32>,
     /// Test-set size per user.
     pub test_sizes: Vec<u32>,
-    /// First relevant rank per user (sentinel = ranking length when no
-    /// test book appears).
+    /// First relevant rank per user (sentinel = ranking length + 1 —
+    /// one past the end — when no test book appears).
     pub first_ranks: Vec<f64>,
     /// The list length.
     pub k: usize,
@@ -71,7 +71,9 @@ impl PerUserStats {
             }
             hits.push(h);
             test_sizes.push(case.test.len() as u32);
-            first_ranks.push(first.unwrap_or(ranking.len().max(1)) as f64);
+            // Same miss sentinel as `metrics::accumulate`: one rank past
+            // the end of the list.
+            first_ranks.push(first.unwrap_or(ranking.len() + 1) as f64);
         }
         Self {
             hits,

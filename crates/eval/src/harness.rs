@@ -4,8 +4,12 @@
 //! Every experiment runner in [`crate::experiments`] starts from a
 //! [`Harness`]; the heavyweight artefacts (the trained BPR model, the
 //! encoded catalogue) are built once in [`TrainedSuite`] and shared.
+//! [`run_timed_pipeline`] runs the whole offline pipeline — datagen →
+//! dataset prep → embed → train → eval — under a [`PipelineTimer`] whose
+//! per-stage wall-clock readings come from the [`Clock`] abstraction, so
+//! the stage report is exact (and deterministic) under a fake clock.
 
-use crate::metrics::{test_cases, UserCase};
+use crate::metrics::{evaluate, test_cases, Kpis, UserCase};
 use crate::split::{Split, SplitConfig};
 use rm_core::bpr::{Bpr, BprConfig};
 use rm_core::closest::ClosestItems;
@@ -18,6 +22,9 @@ use rm_dataset::interactions::Interactions;
 use rm_dataset::summary::SummaryFields;
 use rm_dataset::Corpus;
 use rm_embed::EncoderConfig;
+use rm_util::clock::{Clock, MonotonicClock};
+use rm_util::report::{fmt_f64, Table};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Corpus + split, the immutable context of one experiment campaign.
@@ -142,24 +149,160 @@ impl TrainedSuite {
         fields: SummaryFields,
         seed: u64,
     ) -> Self {
-        let mut random = RandomItems::new(rm_util::rng::derive_seed_str(seed, "random-rec"));
-        let mut most_read = MostReadItems::new();
-        let mut closest =
-            ClosestItems::from_corpus(&harness.corpus, fields, EncoderConfig::default());
-        let mut bpr = Bpr::new(bpr_config);
-        let fit_times = [
-            harness.fit_timed(&mut random),
-            harness.fit_timed(&mut most_read),
-            harness.fit_timed(&mut closest),
-            harness.fit_timed(&mut bpr),
-        ];
+        let mut timer = PipelineTimer::real();
+        Self::train_timed(harness, bpr_config, fields, seed, &mut timer)
+    }
+
+    /// [`TrainedSuite::train`] with the catalogue-embedding and
+    /// model-fitting stages recorded on `timer` (as `embed` and `train`).
+    #[must_use]
+    pub fn train_timed(
+        harness: &Harness,
+        bpr_config: BprConfig,
+        fields: SummaryFields,
+        seed: u64,
+        timer: &mut PipelineTimer,
+    ) -> Self {
+        let mut closest = timer.time("embed", || {
+            ClosestItems::from_corpus(&harness.corpus, fields, EncoderConfig::default())
+        });
+        timer.time("train", || {
+            let mut random = RandomItems::new(rm_util::rng::derive_seed_str(seed, "random-rec"));
+            let mut most_read = MostReadItems::new();
+            let mut bpr = Bpr::new(bpr_config);
+            let fit_times = [
+                harness.fit_timed(&mut random),
+                harness.fit_timed(&mut most_read),
+                harness.fit_timed(&mut closest),
+                harness.fit_timed(&mut bpr),
+            ];
+            Self {
+                random,
+                most_read,
+                closest,
+                bpr,
+                fit_times,
+            }
+        })
+    }
+}
+
+/// Per-stage wall-clock timing of the offline pipeline, read through the
+/// [`Clock`] abstraction (deterministic under a fake clock).
+#[derive(Debug)]
+pub struct PipelineTimer {
+    clock: Arc<dyn Clock>,
+    stages: Vec<(&'static str, Duration)>,
+}
+
+impl PipelineTimer {
+    /// A timer reading `clock`.
+    #[must_use]
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
         Self {
-            random,
-            most_read,
-            closest,
-            bpr,
-            fit_times,
+            clock,
+            stages: Vec::new(),
         }
+    }
+
+    /// A timer on the real monotonic clock.
+    #[must_use]
+    pub fn real() -> Self {
+        Self::new(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Runs `stage`, appending its elapsed clock time to the record.
+    pub fn time<T>(&mut self, stage: &'static str, f: impl FnOnce() -> T) -> T {
+        let t0 = self.clock.now();
+        let out = f();
+        let elapsed = self.clock.now().saturating_sub(t0);
+        self.stages.push((stage, elapsed));
+        out
+    }
+
+    /// The recorded stages, in execution order.
+    #[must_use]
+    pub fn stages(&self) -> &[(&'static str, Duration)] {
+        &self.stages
+    }
+
+    /// Total time across all recorded stages.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// The stage report: per-stage time and share of the total.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let total = self.total().as_secs_f64();
+        let mut t = Table::new(["stage", "seconds", "share"]);
+        for (stage, d) in &self.stages {
+            let secs = d.as_secs_f64();
+            let share = if total > 0.0 { secs / total } else { 0.0 };
+            t.push_row([
+                (*stage).to_owned(),
+                fmt_f64(secs, 3),
+                format!("{}%", fmt_f64(share * 100.0, 1)),
+            ]);
+        }
+        t.push_row(["total".to_owned(), fmt_f64(total, 3), "100.0%".to_owned()]);
+        t
+    }
+}
+
+/// Output of [`run_timed_pipeline`]: the trained context plus the KPI
+/// row of each suite model and the stage timings that produced them.
+pub struct TimedPipeline {
+    /// Corpus + split.
+    pub harness: Harness,
+    /// The four trained recommenders.
+    pub suite: TrainedSuite,
+    /// KPIs at the requested `k`, in suite order
+    /// (random, most_read, closest, bpr).
+    pub kpis: [Kpis; 4],
+    /// Stage timings: datagen → dataset_prep → embed → train → eval.
+    pub timer: PipelineTimer,
+}
+
+/// Runs the full offline pipeline — synthetic corpus generation, dataset
+/// preparation (split), catalogue embedding, model training, and
+/// evaluation at `k` — with each stage timed on `clock`.
+#[must_use]
+pub fn run_timed_pipeline(
+    seed: u64,
+    preset: Preset,
+    bpr_config: BprConfig,
+    fields: SummaryFields,
+    k: usize,
+    clock: Arc<dyn Clock>,
+) -> TimedPipeline {
+    let mut timer = PipelineTimer::new(clock);
+    let corpus = timer.time("datagen", || rm_datagen::generate_corpus(seed, preset));
+    let harness = timer.time("dataset_prep", || {
+        Harness::from_corpus(
+            corpus,
+            &SplitConfig {
+                seed: rm_util::rng::derive_seed_str(seed, "split"),
+                ..SplitConfig::default()
+            },
+        )
+    });
+    let suite = TrainedSuite::train_timed(&harness, bpr_config, fields, seed, &mut timer);
+    let kpis = timer.time("eval", || {
+        let cases = harness.test_cases();
+        [
+            evaluate(&suite.random, &cases, k),
+            evaluate(&suite.most_read, &cases, k),
+            evaluate(&suite.closest, &cases, k),
+            evaluate(&suite.bpr, &cases, k),
+        ]
+    });
+    TimedPipeline {
+        harness,
+        suite,
+        kpis,
+        timer,
     }
 }
 
@@ -211,6 +354,71 @@ mod tests {
             let recs = bpr.recommend(c.user, 3);
             assert!(recs.len() <= 3);
         }
+    }
+
+    #[test]
+    fn pipeline_timer_is_deterministic_under_fake_clock() {
+        use rm_util::clock::FakeClock;
+        let clock = Arc::new(FakeClock::new());
+        let mut timer = PipelineTimer::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        let out = timer.time("datagen", || {
+            clock.advance(Duration::from_millis(30));
+            7u32
+        });
+        assert_eq!(out, 7);
+        timer.time("train", || clock.advance(Duration::from_millis(70)));
+        assert_eq!(
+            timer.stages(),
+            &[
+                ("datagen", Duration::from_millis(30)),
+                ("train", Duration::from_millis(70)),
+            ]
+        );
+        assert_eq!(timer.total(), Duration::from_millis(100));
+        let table = timer.table().render();
+        for needle in ["datagen", "train", "total", "30.0%", "70.0%", "100.0%"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn timed_pipeline_covers_every_stage_in_order() {
+        let result = run_timed_pipeline(
+            11,
+            Preset::Tiny,
+            BprConfig {
+                factors: 4,
+                epochs: 2,
+                ..BprConfig::default()
+            },
+            SummaryFields::BEST,
+            5,
+            Arc::new(MonotonicClock::new()),
+        );
+        let stages: Vec<&str> = result.timer.stages().iter().map(|(s, _)| *s).collect();
+        assert_eq!(
+            stages,
+            ["datagen", "dataset_prep", "embed", "train", "eval"]
+        );
+        for kpi in &result.kpis {
+            assert!(kpi.n_users > 0);
+        }
+        // The timed path trains the same suite as the plain one.
+        let plain = TrainedSuite::train(
+            &result.harness,
+            BprConfig {
+                factors: 4,
+                epochs: 2,
+                ..BprConfig::default()
+            },
+            SummaryFields::BEST,
+            11,
+        );
+        let cases = result.harness.test_cases();
+        assert_eq!(
+            crate::metrics::evaluate(&plain.bpr, &cases, 5),
+            crate::metrics::evaluate(&result.suite.bpr, &cases, 5),
+        );
     }
 
     #[test]

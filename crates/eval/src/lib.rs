@@ -8,7 +8,8 @@
 //! * [`groups`] — user grouping by training-history size (Fig. 4's
 //!   equal-population bins).
 //! * [`harness`] — end-to-end context: generate corpus → split → train →
-//!   evaluate, with wall-clock timing for Table 2.
+//!   evaluate, with wall-clock timing for Table 2 and a per-stage
+//!   pipeline timer ([`harness::run_timed_pipeline`]).
 //! * [`beyond`] — the beyond-accuracy metrics (diversity, novelty,
 //!   serendipity, genre coverage) the paper names as future work.
 //! * [`bootstrap`] — percentile bootstrap confidence intervals over users,
@@ -24,5 +25,6 @@ pub mod harness;
 pub mod metrics;
 pub mod split;
 
+pub use harness::{run_timed_pipeline, PipelineTimer, TimedPipeline};
 pub use metrics::{Kpis, UserCase};
 pub use split::{Split, SplitConfig, SplitStrategy};

@@ -11,9 +11,11 @@
 //! * **Recall** (Eq. 7) — mean `|T_u ∩ R_u| / |T_u|`;
 //! * **FR** — mean rank (1-based) of the first relevant book over the full
 //!   ranking; independent of `k`. A user none of whose test books appear
-//!   in the ranking contributes `catalogue size` (cannot happen with the
-//!   in-tree recommenders, whose rankings cover all unseen books, but the
-//!   sentinel keeps the metric total).
+//!   in the ranking contributes `ranking length + 1` — one position past
+//!   the end, strictly worse than a last-place hit, per the paper's §5
+//!   convention of penalising a miss beyond the list (cannot happen with
+//!   the in-tree recommenders, whose rankings cover all unseen books, but
+//!   the sentinel keeps the metric total).
 
 use crate::split::Split;
 use rm_core::Recommender;
@@ -149,7 +151,9 @@ fn accumulate(rec: &dyn Recommender, cases: &[UserCase<'_>], ks: &[usize]) -> Ac
                     break;
                 }
             }
-            acc.first_rank_sum += first_rank.unwrap_or(ranking.len().max(1)) as f64;
+            // A miss is charged one rank past the end of the list —
+            // strictly worse than a hit at the last position.
+            acc.first_rank_sum += first_rank.unwrap_or(ranking.len() + 1) as f64;
 
             for (ki, &k) in ks.iter().enumerate() {
                 let reach = k.min(ranking.len());
@@ -378,6 +382,36 @@ mod tests {
         assert_eq!(k.urr, 0.5);
         assert_eq!(k.nrr, 0.5);
         assert_eq!(k.first_rank, (1.0 + 10.0) / 2.0);
+    }
+
+    #[test]
+    fn miss_sentinel_is_one_past_the_list() {
+        let r = rec();
+        // User 0's ranking is 1..=9 (book 0 is excluded as seen): 9
+        // items. A hit at the very last position scores rank 9 …
+        let last = [9u32];
+        let hit = evaluate(
+            &r,
+            &[UserCase {
+                user: UserIdx(0),
+                test: &last,
+            }],
+            1,
+        );
+        assert_eq!(hit.first_rank, 9.0);
+        // … while a test book that never appears in the ranking is
+        // charged one rank past the end — strictly worse than any hit.
+        let missing = [0u32];
+        let miss = evaluate(
+            &r,
+            &[UserCase {
+                user: UserIdx(0),
+                test: &missing,
+            }],
+            1,
+        );
+        assert_eq!(miss.first_rank, 10.0);
+        assert!(miss.first_rank > hit.first_rank);
     }
 
     #[test]

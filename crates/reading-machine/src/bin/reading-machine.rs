@@ -6,18 +6,23 @@
 //! reading-machine train    --corpus corpus/ --model model.bpr [--factors 20] [--epochs 15]
 //! reading-machine train    --out artifacts/ [--corpus corpus/] [--epoch 1]
 //! reading-machine recommend --corpus corpus/ --model model.bpr --user 17 [--k 20]
-//! reading-machine evaluate --corpus corpus/ [--k 20]
+//! reading-machine evaluate [--corpus corpus/] [--k 20]
 //! reading-machine serve-bench --artifacts artifacts/ [--corpus corpus/] [--requests 2000]
+//! reading-machine metrics-dump --artifacts artifacts/ [--requests 1000]
 //! ```
 //!
 //! `generate` writes the merged synthetic corpus as TSV; `train` persists a
 //! BPR model with the binary codec (`--model FILE`) or the full serving
 //! artifact set (`--out DIR`: BPR + Most Read counts + catalogue
 //! embeddings + manifest); `recommend` serves top-k titles for a user;
-//! `evaluate` runs the paper's KPI comparison on a fresh split;
-//! `serve-bench` loads an artifact directory into the serving engine and
-//! reports single vs batched throughput with latency quantiles. Built
-//! with `--features testing` it also accepts `--chaos PLAN`
+//! `evaluate` runs the paper's KPI comparison on a fresh split and prints
+//! the per-stage pipeline timing report; `serve-bench` loads an artifact
+//! directory into the serving engine and reports single vs batched
+//! throughput with latency quantiles; `metrics-dump` replays a request
+//! stream and prints the engine metrics in Prometheus text exposition
+//! format. `train` and `serve-bench` accept `--trace FILE`, draining the
+//! structured span/event log as JSONL after the run. Built with
+//! `--features testing`, `serve-bench` also accepts `--chaos PLAN`
 //! (`bpr-panic|bpr-error|bpr-latency|storm`), which replays the request
 //! stream under injected faults and reports availability, per-slot fault
 //! counters, and circuit-breaker activity.
@@ -29,11 +34,14 @@
 
 use reading_machine::dataset::io::{load_corpus, save_corpus};
 use reading_machine::dataset::stats::{genre_shares, summarize};
-use reading_machine::eval::harness::{Harness, TrainedSuite};
+use reading_machine::eval::harness::{run_timed_pipeline, Harness, PipelineTimer, TrainedSuite};
 use reading_machine::eval::metrics::{default_threads, evaluate_parallel};
 use reading_machine::prelude::*;
+use reading_machine::util::clock::MonotonicClock;
+use reading_machine::util::trace::Tracer;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     // Exit quietly when stdout closes early (`reading-machine stats | head`).
@@ -55,6 +63,7 @@ fn main() -> ExitCode {
         "recommend" => cmd_recommend(&args[1..]),
         "evaluate" => cmd_evaluate(&args[1..]),
         "serve-bench" => cmd_serve_bench(&args[1..]),
+        "metrics-dump" => cmd_metrics_dump(&args[1..]),
         "--help" | "-h" | "help" => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -74,11 +83,13 @@ fn print_usage() {
     eprintln!(
         "usage:\n  reading-machine generate  --out DIR [--preset paper|medium|tiny] [--seed N]\n  \
          reading-machine stats     --corpus DIR\n  \
-         reading-machine train     --corpus DIR --model FILE [--factors N] [--epochs N] [--lr F]\n  \
-         reading-machine train     --out DIR [--corpus DIR] [--epoch N] [--factors N] [--epochs N]\n  \
+         reading-machine train     --corpus DIR --model FILE [--factors N] [--epochs N] [--lr F] [--trace FILE]\n  \
+         reading-machine train     --out DIR [--corpus DIR] [--epoch N] [--factors N] [--epochs N] [--trace FILE]\n  \
          reading-machine recommend --corpus DIR --model FILE --user N [--k N]\n  \
-         reading-machine evaluate  --corpus DIR [--k N] [--seed N]\n  \
-         reading-machine serve-bench --artifacts DIR [--corpus DIR] [--k N] [--requests N] [--chaos PLAN]\n\n\
+         reading-machine evaluate  [--corpus DIR] [--k N] [--seed N]\n  \
+         reading-machine serve-bench --artifacts DIR [--corpus DIR] [--k N] [--requests N] [--trace FILE] [--chaos PLAN]\n  \
+         reading-machine metrics-dump --artifacts DIR [--corpus DIR] [--k N] [--requests N]\n\n\
+         --trace FILE drains the structured span/event log as JSONL after the run\n\
          --chaos PLAN (bpr-panic|bpr-error|bpr-latency|storm) needs a build with --features testing\n\
          commands taking [--corpus DIR] regenerate the corpus from --preset/--seed when it is omitted"
     );
@@ -125,6 +136,37 @@ impl Flags {
             Some(v) => v.parse().map_err(|_| format!("bad --{name}: {v}")),
         }
     }
+}
+
+/// A tracer for the run: recording when `--trace FILE` was given,
+/// disabled (zero-cost) otherwise.
+fn trace_sink(flags: &Flags) -> Arc<Tracer> {
+    if flags.get("trace").is_some() {
+        Arc::new(Tracer::enabled(1 << 16, Arc::new(MonotonicClock::new())))
+    } else {
+        Arc::new(Tracer::disabled())
+    }
+}
+
+/// Drains the tracer to the `--trace FILE` as JSONL (no-op without the
+/// flag).
+fn flush_trace(flags: &Flags, tracer: &Tracer) -> Result<(), String> {
+    let Some(path) = flags.get("trace") else {
+        return Ok(());
+    };
+    let dropped = tracer.dropped();
+    let jsonl = tracer.drain_jsonl();
+    std::fs::write(path, &jsonl).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} trace events to {path}{}",
+        jsonl.lines().count(),
+        if dropped > 0 {
+            format!(" ({dropped} oldest dropped by the ring)")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
 }
 
 fn preset_of(flags: &Flags) -> Result<Preset, String> {
@@ -198,12 +240,21 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         ..BprConfig::default()
     };
     // Train on ALL readings (deployment mode — no held-out test).
+    let tracer = trace_sink(&flags);
     let interactions = Interactions::from_corpus(&corpus);
     let mut bpr = Bpr::new(config);
     let t0 = std::time::Instant::now();
+    let span = tracer.span("fit_bpr");
     bpr.fit(&interactions);
+    span.finish(|f| {
+        f.push("interactions", interactions.nnz());
+    });
+    let span = tracer.span("persist");
     let bytes = reading_machine::core::persist::encode(bpr.model().expect("fitted"));
     std::fs::write(&model_path, &bytes).map_err(|e| e.to_string())?;
+    span.finish(|f| {
+        f.push("bytes", bytes.len());
+    });
     println!(
         "trained BPR on {} interactions in {:.1?}; wrote {} bytes to {}",
         interactions.nnz(),
@@ -211,7 +262,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         bytes.len(),
         model_path.display()
     );
-    Ok(())
+    flush_trace(&flags, &tracer)
 }
 
 /// `train --out DIR`: fit the full serving suite on every reading
@@ -227,18 +278,30 @@ fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
         ..BprConfig::default()
     };
     let fields = SummaryFields::BEST;
+    let tracer = trace_sink(flags);
     let t0 = std::time::Instant::now();
+    let span = tracer.span("fit_bpr");
     let mut bpr = Bpr::new(config);
     bpr.fit(&train);
+    span.finish(|f| {
+        f.push("interactions", train.nnz());
+    });
+    let span = tracer.span("fit_most_read");
     let mut most_read = MostReadItems::new();
     most_read.fit(&train);
+    drop(span);
+    let span = tracer.span("embed");
     let mut closest = ClosestItems::from_corpus(&corpus, fields, EncoderConfig::default());
     closest.fit(&train);
+    span.finish(|f| {
+        f.push("books", corpus.n_books());
+    });
     let manifest = Manifest {
         epoch: flags.parse_num("epoch", 1)?,
         fields,
     };
     let registry = ArtifactRegistry::new(&out);
+    let span = tracer.span("save_artifacts");
     registry
         .save(
             &manifest,
@@ -247,6 +310,9 @@ fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
             closest.store(),
         )
         .map_err(|e| e.to_string())?;
+    span.finish(|f| {
+        f.push("epoch", manifest.epoch);
+    });
     println!(
         "trained serving suite on {} interactions in {:.1?}; wrote epoch-{} artifacts to {}",
         train.nnz(),
@@ -254,7 +320,7 @@ fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
         manifest.epoch,
         out.display()
     );
-    Ok(())
+    flush_trace(flags, &tracer)
 }
 
 /// `serve-bench`: load an artifact registry and measure single-call vs
@@ -277,6 +343,9 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         .map(|i| UserIdx((i % train.n_users()) as u32))
         .collect();
 
+    // One tracer shared by every engine the bench builds, so the JSONL
+    // drain covers the whole run in one stream.
+    let tracer = trace_sink(&flags);
     let engine_with = |workers: usize| {
         ServingEngine::load(
             &registry,
@@ -284,6 +353,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
             EngineConfig {
                 workers,
                 cache_capacity,
+                tracer: Arc::clone(&tracer),
                 ..EngineConfig::default()
             },
         )
@@ -338,6 +408,29 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         println!("request metrics (batch x4 run):");
         println!("{}", m.render());
     }
+    flush_trace(&flags, &tracer)
+}
+
+/// `metrics-dump`: replay a request stream through the engine and print
+/// its metrics in Prometheus text exposition format (counters, latency
+/// histogram with cumulative buckets, live breaker states).
+fn cmd_metrics_dump(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let registry = ArtifactRegistry::new(PathBuf::from(flags.required("artifacts")?));
+    let corpus = corpus_of(&flags)?;
+    let train = Interactions::from_corpus(&corpus);
+    let k: usize = flags.parse_num("k", 10)?;
+    let requests: usize = flags.parse_num("requests", 1000)?;
+    let engine = ServingEngine::load(&registry, &train, EngineConfig::default())
+        .map_err(|e| e.to_string())?;
+    for (slot, reason) in engine.degraded() {
+        eprintln!("DEGRADED {}: {reason}", slot.label());
+    }
+    let users: Vec<UserIdx> = (0..requests)
+        .map(|i| UserIdx((i % train.n_users()) as u32))
+        .collect();
+    std::hint::black_box(engine.recommend_batch(&users, k));
+    print!("{}", engine.metrics_prometheus());
     Ok(())
 }
 
@@ -485,29 +578,62 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
 
 fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    let corpus = load(&flags)?;
     let k: usize = flags.parse_num("k", 20)?;
     let seed: u64 = flags.parse_num("seed", 42)?;
-    let harness = Harness::from_corpus(corpus, &SplitConfig::default());
-    let suite = TrainedSuite::train(&harness, BprConfig::default(), SummaryFields::BEST, seed);
+    if flags.get("corpus").is_none() {
+        // No corpus on disk: run the whole timed pipeline, datagen
+        // through eval, and report the per-stage breakdown.
+        let preset = preset_of(&flags)?;
+        let result = run_timed_pipeline(
+            seed,
+            preset,
+            BprConfig::default(),
+            SummaryFields::BEST,
+            k,
+            Arc::new(MonotonicClock::new()),
+        );
+        println!("KPIs @{k} over {} test users:", result.kpis[0].n_users);
+        let names = ["Random Items", "Most Read Items", "Closest Items", "BPR"];
+        for (name, m) in names.iter().zip(&result.kpis) {
+            print_kpi_row(name, m);
+        }
+        println!("pipeline stages:");
+        println!("{}", result.timer.table().render());
+        return Ok(());
+    }
+    let corpus = load(&flags)?;
+    let mut timer = PipelineTimer::real();
+    let harness = timer.time("dataset_prep", || {
+        Harness::from_corpus(corpus, &SplitConfig::default())
+    });
+    let suite = TrainedSuite::train_timed(
+        &harness,
+        BprConfig::default(),
+        SummaryFields::BEST,
+        seed,
+        &mut timer,
+    );
     let cases = harness.test_cases();
     println!("KPIs @{k} over {} test users:", cases.len());
-    for rec in [
-        &suite.random as &(dyn Recommender + Sync),
-        &suite.most_read,
-        &suite.closest,
-        &suite.bpr,
-    ] {
-        let m = evaluate_parallel(rec, &cases, k, default_threads());
-        println!(
-            "  {:<16} URR {:.2}  NRR {:.2}  P {:.3}  R {:.3}  FR {:.0}",
-            rec.name(),
-            m.urr,
-            m.nrr,
-            m.precision,
-            m.recall,
-            m.first_rank
-        );
-    }
+    timer.time("eval", || {
+        for rec in [
+            &suite.random as &(dyn Recommender + Sync),
+            &suite.most_read,
+            &suite.closest,
+            &suite.bpr,
+        ] {
+            let m = evaluate_parallel(rec, &cases, k, default_threads());
+            print_kpi_row(rec.name(), &m);
+        }
+    });
+    println!("pipeline stages:");
+    println!("{}", timer.table().render());
     Ok(())
+}
+
+fn print_kpi_row(name: &str, m: &reading_machine::eval::Kpis) {
+    println!(
+        "  {:<16} URR {:.2}  NRR {:.2}  P {:.3}  R {:.3}  FR {:.0}",
+        name, m.urr, m.nrr, m.precision, m.recall, m.first_rank
+    );
 }

@@ -75,6 +75,18 @@ pub enum Transition {
     Closed,
 }
 
+impl Transition {
+    /// The state the breaker moved *to*, as a trace-event label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Opened => "open",
+            Self::HalfOpened => "half_open",
+            Self::Closed => "closed",
+        }
+    }
+}
+
 /// One slot's breaker. Not internally synchronised — the engine guards
 /// its per-slot array with a single mutex.
 #[derive(Debug)]

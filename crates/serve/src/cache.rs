@@ -201,6 +201,60 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_survives_repeated_insert_and_get() {
+        // The disabled cache is the `cache_capacity: 0` engine config;
+        // it must stay inert (and allocation-free) under churn.
+        let mut c = LruCache::new(0);
+        for i in 0..100 {
+            c.insert(i, i);
+            assert_eq!(c.get(&i), None);
+            assert_eq!(c.len(), 0);
+        }
+        assert!(c.nodes.is_empty(), "disabled cache allocated nodes");
+        c.clear();
+        assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_recency_without_growing() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        // Re-inserting an existing key must not consume a slot …
+        c.insert("a", 100);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&"a"), Some(&100));
+        // … and must have promoted "a": the next two evictions take
+        // "b" then "c", never "a".
+        c.insert("d", 4);
+        c.insert("e", 5);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), None);
+        assert_eq!(c.get(&"a"), Some(&100));
+    }
+
+    #[test]
+    fn eviction_order_after_mixed_get_and_insert() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        // Recency now (MRU→LRU): c, b, a. Touch "a", re-insert "b":
+        assert_eq!(c.get(&"a"), Some(&1)); // a, c, b
+        c.insert("b", 20); // b, a, c
+        c.insert("d", 4); // evicts "c"
+        assert_eq!(c.get(&"c"), None);
+        // d, b, a → next eviction takes "a".
+        c.insert("e", 5);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.get(&"b"), Some(&20));
+        assert_eq!(c.get(&"d"), Some(&4));
+        assert_eq!(c.get(&"e"), Some(&5));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
     fn clear_empties_and_cache_still_works() {
         let mut c = LruCache::new(3);
         for (k, v) in [("a", 1), ("b", 2), ("c", 3)] {

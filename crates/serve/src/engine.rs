@@ -52,8 +52,9 @@ use rm_core::Recommender;
 use rm_dataset::ids::UserIdx;
 use rm_dataset::interactions::Interactions;
 use rm_util::clock::{Backoff, Clock, Deadline, MonotonicClock};
+use rm_util::trace::Tracer;
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One link of the fallback chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,18 @@ impl ModelSlot {
             Self::Random => "Random Items",
         }
     }
+
+    /// Snake-case identifier used as the `slot` label in Prometheus
+    /// exposition and trace events.
+    #[must_use]
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            Self::Bpr => "bpr",
+            Self::ClosestItems => "closest_items",
+            Self::MostRead => "most_read",
+            Self::Random => "random",
+        }
+    }
 }
 
 /// Engine tuning knobs.
@@ -127,6 +140,11 @@ pub struct EngineConfig {
     /// backoff read. Tests substitute a
     /// [`FakeClock`](rm_util::clock::FakeClock).
     pub clock: Arc<dyn Clock>,
+    /// Structured trace sink for per-chunk spans, slot-call outcomes,
+    /// breaker transitions, and reloads. Disabled by default — a
+    /// disabled tracer costs one branch per call site and allocates
+    /// nothing.
+    pub tracer: Arc<Tracer>,
 }
 
 impl Default for EngineConfig {
@@ -140,6 +158,7 @@ impl Default for EngineConfig {
             request_budget: None,
             breaker: Some(BreakerConfig::default()),
             clock: Arc::new(MonotonicClock::new()),
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 }
@@ -184,6 +203,7 @@ impl ServingEngine {
             .map(|cfg| Mutex::new(std::array::from_fn(|_| CircuitBreaker::new(cfg))));
         let mut random = RandomItems::new(random_seed);
         random.fit(train);
+        let metrics = ServeMetrics::new(Arc::clone(&config.clock));
         let mut engine = Self {
             config,
             train: train.clone(),
@@ -195,7 +215,7 @@ impl ServingEngine {
             degraded: Vec::new(),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             breakers,
-            metrics: ServeMetrics::new(),
+            metrics,
             #[cfg(feature = "testing")]
             faults: crate::fault::FaultInjector::default(),
         };
@@ -237,12 +257,29 @@ impl ServingEngine {
     /// returns their memory). On error the engine is untouched and keeps
     /// serving the old epoch.
     pub fn reload(&mut self, registry: &ArtifactRegistry) -> Result<(), RegistryError> {
-        let loaded = registry.load()?;
+        // The span must borrow a local handle, not `self.config`, so the
+        // `&mut self` artifact swap below stays borrowable.
+        let tracer = Arc::clone(&self.config.tracer);
+        let span = tracer.span("reload");
+        let loaded = match registry.load() {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                span.finish(|f| {
+                    f.push("ok", false).push("error", e.to_string());
+                });
+                return Err(e);
+            }
+        };
         self.install_artifacts(loaded);
         self.cache
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
+        span.finish(|f| {
+            f.push("ok", true)
+                .push("epoch", self.epoch)
+                .push("degraded_slots", self.degraded.len());
+        });
         Ok(())
     }
 
@@ -400,6 +437,21 @@ impl ServingEngine {
         self.metrics.snapshot()
     }
 
+    /// Point-in-time metrics in Prometheus text exposition format,
+    /// including the live breaker state per slot (when breakers are on).
+    #[must_use]
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics
+            .snapshot()
+            .render_prometheus(self.breaker_states())
+    }
+
+    /// The engine's trace sink (drain it for JSONL output).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.config.tracer
+    }
+
     /// Current circuit-breaker state per slot (by [`ModelSlot::index`]);
     /// `None` when breakers are disabled.
     #[must_use]
@@ -439,7 +491,7 @@ impl ServingEngine {
         let now = self.config.clock.now();
         let (admitted, transition) =
             breakers.lock().unwrap_or_else(PoisonError::into_inner)[slot.index()].admit(now);
-        Self::count_transition(transition, slot, stats);
+        self.count_transition(transition, slot, stats);
         admitted
     }
 
@@ -448,7 +500,7 @@ impl ServingEngine {
         if let Some(breakers) = &self.breakers {
             let transition = breakers.lock().unwrap_or_else(PoisonError::into_inner)[slot.index()]
                 .record_success();
-            Self::count_transition(transition, slot, stats);
+            self.count_transition(transition, slot, stats);
         }
     }
 
@@ -459,17 +511,27 @@ impl ServingEngine {
             let now = self.config.clock.now();
             let transition = breakers.lock().unwrap_or_else(PoisonError::into_inner)[slot.index()]
                 .record_failure(now);
-            Self::count_transition(transition, slot, stats);
+            self.count_transition(transition, slot, stats);
         }
     }
 
-    fn count_transition(transition: Option<Transition>, slot: ModelSlot, stats: &mut ChunkStats) {
-        match transition {
-            Some(Transition::Opened) => stats.breaker_opened[slot.index()] += 1,
-            Some(Transition::HalfOpened) => stats.breaker_half_open[slot.index()] += 1,
-            Some(Transition::Closed) => stats.breaker_closed[slot.index()] += 1,
-            None => {}
+    /// Folds a breaker state transition into the chunk counters and
+    /// emits a `breaker_transition` trace event.
+    fn count_transition(
+        &self,
+        transition: Option<Transition>,
+        slot: ModelSlot,
+        stats: &mut ChunkStats,
+    ) {
+        let Some(t) = transition else { return };
+        match t {
+            Transition::Opened => stats.breaker_opened[slot.index()] += 1,
+            Transition::HalfOpened => stats.breaker_half_open[slot.index()] += 1,
+            Transition::Closed => stats.breaker_closed[slot.index()] += 1,
         }
+        self.config.tracer.event("breaker_transition", |f| {
+            f.push("slot", slot.metric_label()).push("to", t.label());
+        });
     }
 
     /// Top-`k` books for `user`, walking the fallback chain. An unknown
@@ -493,7 +555,9 @@ impl ServingEngine {
     /// failed attempt degrades every not-yet-served request in the chunk
     /// down the chain, never the process.
     fn serve_chunk(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
-        let t0 = Instant::now();
+        let tracer = &self.config.tracer;
+        let span = tracer.span("serve_chunk");
+        let t0 = self.config.clock.now();
         let mut out: Vec<Option<Vec<u32>>> = vec![None; users.len()];
         let mut stats = ChunkStats::new(users.len() as u64, 0);
         let mut misses: Vec<usize> = Vec::with_capacity(users.len());
@@ -511,6 +575,11 @@ impl ServingEngine {
         } else {
             misses.extend(0..users.len());
         }
+        tracer.event("cache_lookup", |f| {
+            f.push("n", users.len())
+                .push("hits", stats.hits)
+                .push("epoch", self.epoch);
+        });
 
         // Unknown users (outside the training matrix) get empty lists
         // without consulting the chain.
@@ -534,17 +603,30 @@ impl ServingEngine {
             if let Some(d) = deadline {
                 if d.expired(&*self.config.clock) {
                     stats.deadline_skips += remaining.len() as u64;
+                    tracer.event("deadline_expired", |f| {
+                        f.push("skipped", remaining.len());
+                    });
                     break;
                 }
             }
             let Some(model) = self.slot_model(slot) else {
                 // Degraded slot: every remaining request falls through.
                 stats.fallbacks[slot.index()] += remaining.len() as u64;
+                tracer.event("slot_call", |f| {
+                    f.push("slot", slot.metric_label())
+                        .push("requests", remaining.len())
+                        .push("outcome", "degraded");
+                });
                 continue;
             };
             if !self.breaker_admit(slot, &mut stats) {
                 stats.breaker_skips[slot.index()] += 1;
                 stats.fallbacks[slot.index()] += remaining.len() as u64;
+                tracer.event("slot_call", |f| {
+                    f.push("slot", slot.metric_label())
+                        .push("requests", remaining.len())
+                        .push("outcome", "breaker_open");
+                });
                 continue;
             }
             // The budget clock starts before fault injection so injected
@@ -560,6 +642,11 @@ impl ServingEngine {
                 if injected.error {
                     self.breaker_failure(slot, &mut stats);
                     stats.fallbacks[slot.index()] += remaining.len() as u64;
+                    tracer.event("slot_call", |f| {
+                        f.push("slot", slot.metric_label())
+                            .push("requests", remaining.len())
+                            .push("outcome", "injected_error");
+                    });
                     continue;
                 }
             }
@@ -579,6 +666,11 @@ impl ServingEngine {
                     stats.panics[slot.index()] += 1;
                     stats.fallbacks[slot.index()] += remaining.len() as u64;
                     self.breaker_failure(slot, &mut stats);
+                    tracer.event("slot_call", |f| {
+                        f.push("slot", slot.metric_label())
+                            .push("requests", remaining.len())
+                            .push("outcome", "panic");
+                    });
                     continue;
                 }
             };
@@ -590,10 +682,17 @@ impl ServingEngine {
                     stats.timeouts[slot.index()] += 1;
                     stats.fallbacks[slot.index()] += remaining.len() as u64;
                     self.breaker_failure(slot, &mut stats);
+                    tracer.event("slot_call", |f| {
+                        f.push("slot", slot.metric_label())
+                            .push("requests", remaining.len())
+                            .push("outcome", "timeout")
+                            .push("elapsed_ns", elapsed.as_nanos() as u64);
+                    });
                     continue;
                 }
             }
             self.breaker_success(slot, &mut stats);
+            let attempted = remaining.len();
             let mut still_empty = Vec::new();
             for (&i, books) in remaining.iter().zip(answers) {
                 if books.is_empty() {
@@ -606,6 +705,12 @@ impl ServingEngine {
                     out[i] = Some(books);
                 }
             }
+            tracer.event("slot_call", |f| {
+                f.push("slot", slot.metric_label())
+                    .push("requests", attempted)
+                    .push("outcome", "ok")
+                    .push("served", attempted - still_empty.len());
+            });
             remaining = still_empty;
         }
         // Chain exhausted (or deadline expired): empty answers, not
@@ -624,8 +729,13 @@ impl ServingEngine {
             }
         }
 
-        stats.elapsed = t0.elapsed();
+        stats.elapsed = self.config.clock.now().saturating_sub(t0);
         self.metrics.record_chunk(&stats);
+        span.finish(|f| {
+            f.push("n", users.len())
+                .push("hits", stats.hits)
+                .push("deadline_skips", stats.deadline_skips);
+        });
         out.into_iter()
             .map(|o| o.expect("answered above"))
             .collect()
@@ -655,6 +765,9 @@ impl ServingEngine {
                     // take the rest of the batch (and the process) down.
                     Err(_) => {
                         self.metrics.record_worker_panic(len as u64);
+                        self.config.tracer.event("worker_panic", |f| {
+                            f.push("requests", len);
+                        });
                         vec![Vec::new(); len]
                     }
                 })

@@ -6,15 +6,23 @@
 //! serve / fallback counts, and the fault-tolerance counters — slot-call
 //! timeouts, isolated panics, circuit-breaker skips and state
 //! transitions, deadline-exhausted requests, and worker-thread panics.
-//! [`ServeMetrics::snapshot`] clones the state out;
-//! [`MetricsSnapshot::render`] formats it with the same
-//! [`Table`](rm_util::report::Table) renderer the evaluation reports use.
+//! All wall-clock time flows through the engine's
+//! [`Clock`](rm_util::clock::Clock), so QPS and elapsed time are exact
+//! (and testable) under a fake clock. [`ServeMetrics::snapshot`] clones
+//! the state out; [`MetricsSnapshot::render`] formats it with the same
+//! [`Table`](rm_util::report::Table) renderer the evaluation reports
+//! use, and [`MetricsSnapshot::render_prometheus`] emits the standard
+//! text exposition format (counters, gauges, a cumulative-bucket latency
+//! histogram, and — when provided — live breaker states).
 
+use crate::breaker::BreakerState;
 use crate::engine::ModelSlot;
+use rm_util::clock::{Clock, MonotonicClock};
 use rm_util::report::{fmt_f64, Table};
 use rm_util::stats::Histogram;
-use std::sync::{Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 #[derive(Debug, Default, Clone)]
 struct Counters {
@@ -80,22 +88,29 @@ impl ChunkStats {
 #[derive(Debug)]
 pub struct ServeMetrics {
     inner: Mutex<Counters>,
-    started: Instant,
+    clock: Arc<dyn Clock>,
+    /// Clock reading when the metrics were created or last reset (the
+    /// QPS denominator's origin).
+    started: Duration,
 }
 
 impl Default for ServeMetrics {
     fn default() -> Self {
-        Self::new()
+        Self::new(Arc::new(MonotonicClock::new()))
     }
 }
 
 impl ServeMetrics {
-    /// Fresh metrics; the QPS clock starts now.
+    /// Fresh metrics; the QPS clock starts at `clock`'s current reading.
+    /// The engine passes its own clock so fake-clock tests (and chaos
+    /// runs with simulated latency) see consistent QPS and elapsed time.
     #[must_use]
-    pub fn new() -> Self {
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        let started = clock.now();
         Self {
             inner: Mutex::new(Counters::default()),
-            started: Instant::now(),
+            clock,
+            started,
         }
     }
 
@@ -137,16 +152,17 @@ impl ServeMetrics {
 
     /// Folds a whole served chunk into the counters in one lock
     /// acquisition; each of its requests is accounted the amortised
-    /// per-request latency.
+    /// per-request latency. A zero-request chunk records no latency
+    /// (there is nothing to amortise over) but its fault counters —
+    /// breaker transitions, timeouts — still land.
     pub fn record_chunk(&self, stats: &ChunkStats) {
-        if stats.n == 0 {
-            return;
-        }
-        let per_request = (stats.elapsed.as_nanos() / u128::from(stats.n)) as u64;
         let mut c = self.lock();
         c.requests += stats.n;
         c.cache_hits += stats.hits;
-        c.latency.record_n(per_request, stats.n);
+        if stats.n > 0 {
+            let per_request = (stats.elapsed.as_nanos() / u128::from(stats.n)) as u64;
+            c.latency.record_n(per_request, stats.n);
+        }
         for i in 0..ModelSlot::COUNT {
             c.served[i] += stats.served[i];
             c.fallbacks[i] += stats.fallbacks[i];
@@ -186,14 +202,14 @@ impl ServeMetrics {
             breaker_closed: c.breaker_closed,
             deadline_skips: c.deadline_skips,
             worker_panics: c.worker_panics,
-            elapsed: self.started.elapsed(),
+            elapsed: self.clock.now().saturating_sub(self.started),
         }
     }
 
     /// Zeroes every counter and restarts the QPS clock.
     pub fn reset(&mut self) {
         *self.lock() = Counters::default();
-        self.started = Instant::now();
+        self.started = self.clock.now();
     }
 }
 
@@ -226,7 +242,7 @@ pub struct MetricsSnapshot {
     pub deadline_skips: u64,
     /// Batch worker threads that panicked (requests degraded to empty).
     pub worker_panics: u64,
-    /// Wall-clock time since the metrics were created or reset.
+    /// Clock time since the metrics were created or reset.
     pub elapsed: Duration,
 }
 
@@ -342,6 +358,159 @@ impl MetricsSnapshot {
             self.breaker_table().render()
         )
     }
+
+    /// Prometheus text exposition of every counter in the snapshot:
+    /// totals, gauges, per-slot counters, breaker transition counts, the
+    /// latency histogram with cumulative `le` buckets (in seconds), and
+    /// — when `breakers` is given — the live breaker state per slot
+    /// (`0` closed, `1` half-open, `2` open). The numbers are the same
+    /// ones [`MetricsSnapshot::render`] prints as tables.
+    #[must_use]
+    pub fn render_prometheus(&self, breakers: Option<[BreakerState; ModelSlot::COUNT]>) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+            );
+        };
+        counter(
+            &mut out,
+            "rm_serve_requests_total",
+            "Total requests (cache hits included).",
+            self.requests,
+        );
+        counter(
+            &mut out,
+            "rm_serve_cache_hits_total",
+            "Requests answered from the LRU cache.",
+            self.cache_hits,
+        );
+        counter(
+            &mut out,
+            "rm_serve_deadline_skips_total",
+            "Requests answered empty because their deadline expired.",
+            self.deadline_skips,
+        );
+        counter(
+            &mut out,
+            "rm_serve_worker_panics_total",
+            "Batch worker threads that panicked.",
+            self.worker_panics,
+        );
+        gauge(
+            &mut out,
+            "rm_serve_qps",
+            "Requests per second since metrics creation or reset.",
+            self.qps(),
+        );
+        gauge(
+            &mut out,
+            "rm_serve_cache_hit_ratio",
+            "Cache hits over total requests.",
+            self.cache_hit_ratio(),
+        );
+        gauge(
+            &mut out,
+            "rm_serve_availability",
+            "Fraction of requests answered non-degraded.",
+            self.availability(),
+        );
+
+        let per_slot: [(&str, &str, &[u64; ModelSlot::COUNT]); 8] = [
+            (
+                "rm_serve_served_total",
+                "Requests served per model slot.",
+                &self.served,
+            ),
+            (
+                "rm_serve_fallbacks_total",
+                "Per-request fall-throughs per model slot.",
+                &self.fallbacks,
+            ),
+            (
+                "rm_serve_slot_timeouts_total",
+                "Slot calls cut off by the per-slot budget.",
+                &self.timeouts,
+            ),
+            (
+                "rm_serve_slot_panics_total",
+                "Slot calls that panicked and were isolated.",
+                &self.panics,
+            ),
+            (
+                "rm_serve_breaker_skips_total",
+                "Slot calls skipped by an open circuit breaker.",
+                &self.breaker_skips,
+            ),
+            (
+                "rm_serve_breaker_opened_total",
+                "Circuit-breaker transitions to Open.",
+                &self.breaker_opened,
+            ),
+            (
+                "rm_serve_breaker_half_open_total",
+                "Circuit-breaker transitions to HalfOpen.",
+                &self.breaker_half_open,
+            ),
+            (
+                "rm_serve_breaker_closed_total",
+                "Circuit-breaker transitions to Closed.",
+                &self.breaker_closed,
+            ),
+        ];
+        for (name, help, values) in per_slot {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+            for slot in ModelSlot::ALL {
+                let _ = writeln!(
+                    out,
+                    "{name}{{slot=\"{}\"}} {}",
+                    slot.metric_label(),
+                    values[slot.index()]
+                );
+            }
+        }
+
+        if let Some(states) = breakers {
+            let name = "rm_serve_breaker_state";
+            let _ = writeln!(
+                out,
+                "# HELP {name} Live breaker state per slot (0 closed, 1 half-open, 2 open).\n\
+                 # TYPE {name} gauge"
+            );
+            for slot in ModelSlot::ALL {
+                let value = match states[slot.index()] {
+                    BreakerState::Closed => 0,
+                    BreakerState::HalfOpen => 1,
+                    BreakerState::Open => 2,
+                };
+                let _ = writeln!(out, "{name}{{slot=\"{}\"}} {value}", slot.metric_label());
+            }
+        }
+
+        let name = "rm_serve_request_latency_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Request latency distribution.\n# TYPE {name} histogram"
+        );
+        for (upper_ns, cumulative) in self.latency.cumulative_buckets() {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                upper_ns as f64 / 1e9
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.latency.count());
+        let _ = writeln!(out, "{name}_sum {}", self.latency.sum() as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count {}", self.latency.count());
+        out
+    }
 }
 
 /// Nanoseconds as a human-readable microsecond figure.
@@ -352,10 +521,11 @@ fn fmt_micros(nanos: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rm_util::clock::FakeClock;
 
     #[test]
     fn counters_accumulate() {
-        let m = ServeMetrics::new();
+        let m = ServeMetrics::default();
         m.record_serve(Duration::from_micros(100), Some(ModelSlot::Bpr), &[]);
         m.record_serve(
             Duration::from_micros(200),
@@ -376,7 +546,7 @@ mod tests {
 
     #[test]
     fn chunk_stats_fold_in_fault_counters() {
-        let m = ServeMetrics::new();
+        let m = ServeMetrics::default();
         let mut stats = ChunkStats::new(8, 2);
         stats.elapsed = Duration::from_micros(800);
         stats.served[ModelSlot::ClosestItems.index()] = 6;
@@ -408,8 +578,56 @@ mod tests {
     }
 
     #[test]
+    fn zero_request_chunk_is_safe_and_keeps_fault_counters() {
+        // Regression: `elapsed / n` must not divide by a zero request
+        // count — and a zero-request chunk can still carry breaker
+        // transitions that must not be silently dropped.
+        let m = ServeMetrics::default();
+        let mut stats = ChunkStats::new(0, 0);
+        stats.elapsed = Duration::from_micros(50);
+        stats.breaker_opened[ModelSlot::Bpr.index()] = 1;
+        stats.timeouts[ModelSlot::Bpr.index()] = 1;
+        m.record_chunk(&stats);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.latency.count(), 0, "nothing to amortise latency over");
+        assert_eq!(s.breaker_opened[ModelSlot::Bpr.index()], 1);
+        assert_eq!(s.timeouts[ModelSlot::Bpr.index()], 1);
+    }
+
+    #[test]
+    fn qps_and_elapsed_follow_the_injected_clock() {
+        let clock = Arc::new(FakeClock::new());
+        let m = ServeMetrics::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        for _ in 0..30 {
+            m.record_hit(Duration::from_micros(2));
+        }
+        clock.advance(Duration::from_secs(3));
+        let s = m.snapshot();
+        assert_eq!(s.elapsed, Duration::from_secs(3));
+        assert!((s.qps() - 10.0).abs() < 1e-9, "qps = {}", s.qps());
+    }
+
+    #[test]
+    fn reset_restarts_the_qps_clock() {
+        let clock = Arc::new(FakeClock::new());
+        let mut m = ServeMetrics::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        m.record_hit(Duration::from_micros(5));
+        clock.advance(Duration::from_secs(10));
+        m.reset();
+        clock.advance(Duration::from_secs(2));
+        for _ in 0..4 {
+            m.record_hit(Duration::from_micros(5));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.elapsed, Duration::from_secs(2));
+        assert!((s.qps() - 2.0).abs() < 1e-9, "qps = {}", s.qps());
+    }
+
+    #[test]
     fn empty_snapshot_is_safe() {
-        let s = ServeMetrics::new().snapshot();
+        let s = ServeMetrics::default().snapshot();
         assert_eq!(s.requests, 0);
         assert_eq!(s.cache_hit_ratio(), 0.0);
         assert_eq!(s.availability(), 1.0);
@@ -420,7 +638,7 @@ mod tests {
 
     #[test]
     fn render_mentions_every_headline_number() {
-        let m = ServeMetrics::new();
+        let m = ServeMetrics::default();
         m.record_serve(Duration::from_micros(50), Some(ModelSlot::Random), &[]);
         let text = m.snapshot().render();
         for needle in [
@@ -440,9 +658,115 @@ mod tests {
         }
     }
 
+    /// Pulls the numeric value of `name` (exact match, labels included)
+    /// out of a Prometheus text exposition.
+    fn prom_value(text: &str, name: &str) -> f64 {
+        let line = text
+            .lines()
+            .find(|l| l.strip_prefix(name).is_some_and(|r| r.starts_with(' ')))
+            .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"));
+        line.rsplit(' ').next().unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn prometheus_roundtrips_the_snapshot_counters() {
+        let clock = Arc::new(FakeClock::new());
+        let m = ServeMetrics::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        m.record_serve(Duration::from_micros(100), Some(ModelSlot::Bpr), &[]);
+        m.record_serve(
+            Duration::from_micros(300),
+            Some(ModelSlot::MostRead),
+            &[ModelSlot::Bpr],
+        );
+        m.record_hit(Duration::from_micros(1));
+        clock.advance(Duration::from_secs(1));
+        let s = m.snapshot();
+        let text = s.render_prometheus(Some([
+            BreakerState::Closed,
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+            BreakerState::Closed,
+        ]));
+
+        // Every counter the human-readable tables show round-trips.
+        assert_eq!(prom_value(&text, "rm_serve_requests_total"), 3.0);
+        assert_eq!(prom_value(&text, "rm_serve_cache_hits_total"), 1.0);
+        assert_eq!(
+            prom_value(&text, "rm_serve_served_total{slot=\"bpr\"}"),
+            s.served[ModelSlot::Bpr.index()] as f64
+        );
+        assert_eq!(
+            prom_value(&text, "rm_serve_served_total{slot=\"most_read\"}"),
+            1.0
+        );
+        assert_eq!(
+            prom_value(&text, "rm_serve_fallbacks_total{slot=\"bpr\"}"),
+            1.0
+        );
+        assert!((prom_value(&text, "rm_serve_qps") - s.qps()).abs() < 1e-9);
+        assert!(
+            (prom_value(&text, "rm_serve_cache_hit_ratio") - s.cache_hit_ratio()).abs() < 1e-12
+        );
+        // Live breaker states (0 closed / 1 half-open / 2 open).
+        assert_eq!(
+            prom_value(&text, "rm_serve_breaker_state{slot=\"closest_items\"}"),
+            2.0
+        );
+        assert_eq!(
+            prom_value(&text, "rm_serve_breaker_state{slot=\"most_read\"}"),
+            1.0
+        );
+        // Histogram: +Inf bucket, _count, and _sum agree with the data.
+        assert_eq!(
+            prom_value(
+                &text,
+                "rm_serve_request_latency_seconds_bucket{le=\"+Inf\"}"
+            ),
+            3.0
+        );
+        assert_eq!(
+            prom_value(&text, "rm_serve_request_latency_seconds_count"),
+            s.latency.count() as f64
+        );
+        assert!(
+            (prom_value(&text, "rm_serve_request_latency_seconds_sum")
+                - s.latency.sum() as f64 / 1e9)
+                .abs()
+                < 1e-12
+        );
+        // Cumulative buckets never decrease and close at the count.
+        let bucket_counts: Vec<f64> = text
+            .lines()
+            .filter(|l| l.starts_with("rm_serve_request_latency_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*bucket_counts.last().unwrap(), 3.0);
+        // Each metric family is typed exactly once.
+        assert_eq!(
+            text.matches("# TYPE rm_serve_request_latency_seconds histogram")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn prometheus_without_breakers_omits_the_state_gauge() {
+        let s = ServeMetrics::default().snapshot();
+        let text = s.render_prometheus(None);
+        assert!(!text.contains("rm_serve_breaker_state"));
+        assert_eq!(
+            prom_value(
+                &text,
+                "rm_serve_request_latency_seconds_bucket{le=\"+Inf\"}"
+            ),
+            0.0
+        );
+    }
+
     #[test]
     fn reset_zeroes_and_restarts() {
-        let mut m = ServeMetrics::new();
+        let mut m = ServeMetrics::default();
         m.record_hit(Duration::from_micros(5));
         m.reset();
         assert_eq!(m.snapshot().requests, 0);

@@ -1,0 +1,298 @@
+//! Observability integration tests: the engine's structured trace and
+//! its Prometheus exposition, driven end-to-end over real artifacts.
+
+use rm_core::bpr::{Bpr, BprConfig};
+use rm_core::closest::ClosestItems;
+use rm_core::most_read::MostReadItems;
+use rm_core::Recommender;
+use rm_datagen::Preset;
+use rm_dataset::ids::UserIdx;
+use rm_dataset::interactions::Interactions;
+use rm_dataset::summary::SummaryFields;
+use rm_embed::EncoderConfig;
+use rm_eval::harness::Harness;
+use rm_serve::engine::{EngineConfig, ServingEngine};
+use rm_serve::registry::{ArtifactRegistry, Manifest};
+use rm_util::clock::{Clock, FakeClock};
+use rm_util::trace::{Kind, Tracer};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rm-serve-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Fixture {
+    train: Interactions,
+    registry: ArtifactRegistry,
+}
+
+fn train_fixture(tag: &str) -> Fixture {
+    let h = Harness::generate(11, Preset::Tiny);
+    let train = h.split.train.clone();
+    let mut bpr = Bpr::new(BprConfig {
+        factors: 4,
+        epochs: 2,
+        ..BprConfig::default()
+    });
+    bpr.fit(&train);
+    let mut most_read = MostReadItems::new();
+    most_read.fit(&train);
+    let mut closest =
+        ClosestItems::from_corpus(&h.corpus, SummaryFields::BEST, EncoderConfig::default());
+    closest.fit(&train);
+    let registry = ArtifactRegistry::new(unique_dir(tag));
+    registry
+        .save(
+            &Manifest {
+                epoch: 1,
+                fields: SummaryFields::BEST,
+            },
+            bpr.model().expect("fitted"),
+            &most_read,
+            closest.store(),
+        )
+        .expect("save artifacts");
+    Fixture { train, registry }
+}
+
+fn user_with_history(train: &Interactions) -> UserIdx {
+    (0..train.n_users() as u32)
+        .map(UserIdx)
+        .find(|&u| !train.seen(u).is_empty())
+        .expect("some user has a history")
+}
+
+/// Single-worker engine with a fake clock and an enabled tracer.
+fn traced_engine(fx: &Fixture, clock: Arc<FakeClock>) -> ServingEngine {
+    let config = EngineConfig {
+        workers: 1,
+        clock: Arc::clone(&clock) as Arc<dyn Clock>,
+        tracer: Arc::new(Tracer::enabled(4096, Arc::clone(&clock) as Arc<dyn Clock>)),
+        ..EngineConfig::default()
+    };
+    ServingEngine::load(&fx.registry, &fx.train, config).expect("engine loads")
+}
+
+#[test]
+fn serve_path_emits_spans_and_cache_events() {
+    let fx = train_fixture("spans");
+    let clock = Arc::new(FakeClock::new());
+    let engine = traced_engine(&fx, clock);
+    let user = user_with_history(&fx.train);
+
+    let first = engine.recommend(user, 5);
+    assert!(!first.is_empty());
+    let events = engine.tracer().drain();
+    let kinds: Vec<Kind> = events.iter().map(|e| e.kind).collect();
+    assert_eq!(events[0].name, "serve_chunk");
+    assert_eq!(kinds[0], Kind::Enter);
+    assert_eq!(kinds[kinds.len() - 1], Kind::Exit);
+    assert!(
+        events.iter().any(|e| e.name == "cache_lookup"),
+        "no cache_lookup in {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "slot_call"
+            && e.fields
+                .iter()
+                .any(|(k, v)| *k == "outcome" && *v == rm_util::trace::Value::Str("ok".into()))),
+        "no successful slot_call in {events:?}"
+    );
+
+    // A repeat of the same request is answered from the cache: the trace
+    // shows the hit and no slot is called.
+    assert_eq!(engine.recommend(user, 5), first);
+    let events = engine.tracer().drain();
+    let cache = events
+        .iter()
+        .find(|e| e.name == "cache_lookup")
+        .expect("cache_lookup traced");
+    assert!(
+        cache
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "hits" && *v == rm_util::trace::Value::U64(1)),
+        "cache hit not traced: {cache:?}"
+    );
+    assert!(events.iter().all(|e| e.name != "slot_call"));
+}
+
+#[test]
+fn trace_is_deterministic_and_jsonl_parseable_under_fake_clock() {
+    let fx = train_fixture("determinism");
+    let run = || {
+        let clock = Arc::new(FakeClock::new());
+        let engine = traced_engine(&fx, Arc::clone(&clock));
+        let users: Vec<UserIdx> = (0..8u32).map(UserIdx).collect();
+        for chunk in [&users[..4], &users[4..]] {
+            let _ = engine.recommend_batch(chunk, 5);
+            clock.advance(std::time::Duration::from_millis(7));
+        }
+        engine.tracer().drain_jsonl()
+    };
+    let (a, b) = (run(), run());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "identical runs must trace identically");
+
+    // Every line is one flat JSON object with the fixed envelope keys
+    // and monotonically increasing seq numbers.
+    let mut last_seq: Option<u64> = None;
+    for line in a.lines() {
+        assert!(line.starts_with("{\"seq\":"), "bad line: {line}");
+        assert!(line.ends_with('}'), "bad line: {line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        for key in ["\"at_ns\":", "\"kind\":\"", "\"name\":\""] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        let seq: u64 = line["{\"seq\":".len()..]
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .expect("numeric seq");
+        assert!(last_seq.is_none_or(|p| seq > p), "seq not increasing");
+        last_seq = Some(seq);
+    }
+}
+
+#[test]
+fn span_timings_measure_the_fake_clock() {
+    let fx = train_fixture("timing");
+    let clock = Arc::new(FakeClock::new());
+    // Injected per-slot latency is the only thing that advances a fake
+    // clock inside the chain, so use the slot budget path: none here —
+    // instead advance manually between requests and check `at_ns`.
+    let engine = traced_engine(&fx, Arc::clone(&clock));
+    let user = user_with_history(&fx.train);
+    let _ = engine.recommend(user, 5);
+    clock.advance(std::time::Duration::from_millis(3));
+    let _ = engine.recommend(user, 5);
+    let events = engine.tracer().drain();
+    let enters: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "serve_chunk" && e.kind == Kind::Enter)
+        .collect();
+    assert_eq!(enters.len(), 2);
+    assert_eq!(enters[0].at, std::time::Duration::ZERO);
+    assert_eq!(enters[1].at, std::time::Duration::from_millis(3));
+}
+
+#[test]
+fn disabled_tracer_serves_identically_and_records_nothing() {
+    let fx = train_fixture("disabled");
+    let clock = Arc::new(FakeClock::new());
+    let traced = traced_engine(&fx, Arc::clone(&clock));
+    let silent = ServingEngine::load(
+        &fx.registry,
+        &fx.train,
+        EngineConfig {
+            workers: 1,
+            clock: Arc::new(FakeClock::new()) as Arc<dyn Clock>,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine loads");
+    let users: Vec<UserIdx> = (0..6u32).map(UserIdx).collect();
+    assert_eq!(
+        traced.recommend_batch(&users, 5),
+        silent.recommend_batch(&users, 5),
+        "tracing must not change answers"
+    );
+    assert!(!silent.tracer().is_enabled());
+    assert!(silent.tracer().is_empty());
+    assert_eq!(silent.tracer().drain_jsonl(), "");
+}
+
+#[test]
+fn engine_prometheus_exposition_matches_snapshot() {
+    let fx = train_fixture("prom");
+    let clock = Arc::new(FakeClock::new());
+    let engine = traced_engine(&fx, Arc::clone(&clock));
+    let users: Vec<UserIdx> = (0..10u32).map(UserIdx).collect();
+    let _ = engine.recommend_batch(&users, 5);
+    let _ = engine.recommend_batch(&users, 5); // all cache hits
+    clock.advance(std::time::Duration::from_secs(2));
+
+    let snapshot = engine.metrics();
+    let text = engine.metrics_prometheus();
+    let value = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.strip_prefix(name).is_some_and(|r| r.starts_with(' ')))
+            .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(value("rm_serve_requests_total"), snapshot.requests as f64);
+    assert_eq!(
+        value("rm_serve_cache_hits_total"),
+        snapshot.cache_hits as f64
+    );
+    assert_eq!(value("rm_serve_cache_hits_total"), 10.0);
+    assert!((value("rm_serve_qps") - snapshot.qps()).abs() < 1e-9);
+    assert!((value("rm_serve_qps") - 10.0).abs() < 1e-9, "20 req / 2 s");
+    // Breakers are on by default, so the live state gauge is exposed,
+    // and every slot reads healthy.
+    for slot in ["bpr", "closest_items", "most_read", "random"] {
+        assert_eq!(
+            value(&format!("rm_serve_breaker_state{{slot=\"{slot}\"}}")),
+            0.0,
+            "slot {slot} should be closed"
+        );
+    }
+    assert_eq!(
+        value("rm_serve_request_latency_seconds_count"),
+        snapshot.latency.count() as f64
+    );
+}
+
+#[cfg(feature = "testing")]
+mod chaos {
+    use super::*;
+    use rm_serve::breaker::BreakerConfig;
+    use rm_serve::engine::ModelSlot;
+    use rm_serve::fault::{CallWindow, FaultPlan};
+    use rm_util::trace::Value;
+
+    #[test]
+    fn breaker_transitions_are_traced() {
+        let fx = train_fixture("breaker-trace");
+        let clock = Arc::new(FakeClock::new());
+        let config = EngineConfig {
+            workers: 1,
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: std::time::Duration::from_millis(50),
+            }),
+            clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            tracer: Arc::new(Tracer::enabled(4096, Arc::clone(&clock) as Arc<dyn Clock>)),
+            ..EngineConfig::default()
+        };
+        let mut engine =
+            ServingEngine::load(&fx.registry, &fx.train, config).expect("engine loads");
+        engine.inject_faults(FaultPlan::none().error_in(ModelSlot::Bpr, CallWindow::first(2)));
+        let user = user_with_history(&fx.train);
+        let _ = engine.recommend(user, 5);
+        let _ = engine.recommend(user, 7);
+        let events = engine.tracer().drain();
+        let transition = events
+            .iter()
+            .find(|e| e.name == "breaker_transition")
+            .expect("breaker transition traced");
+        assert!(transition
+            .fields
+            .contains(&(("slot", Value::Str("bpr".into())))));
+        assert!(transition
+            .fields
+            .contains(&(("to", Value::Str("open".into())))));
+        // The error outcomes are traced too.
+        assert!(events.iter().any(|e| e.name == "slot_call"
+            && e.fields
+                .contains(&(("outcome", Value::Str("injected_error".into()))))));
+    }
+}

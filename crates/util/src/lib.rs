@@ -18,7 +18,10 @@
 //!   last step of every recommender;
 //! * [`report`] — minimal ASCII-table and CSV rendering for experiment
 //!   output, so the benchmark harness has no external formatting
-//!   dependencies.
+//!   dependencies;
+//! * [`trace`] — a bounded, structured span/event log (JSONL drain,
+//!   deterministic under a fake clock) the serving and training
+//!   pipelines use for observability.
 
 pub mod clock;
 pub mod report;
@@ -26,7 +29,9 @@ pub mod rng;
 pub mod sample;
 pub mod stats;
 pub mod topk;
+pub mod trace;
 
 pub use clock::{Backoff, Clock, Deadline, FakeClock, MonotonicClock};
 pub use rng::SeedableStdRng;
 pub use topk::TopK;
+pub use trace::{TraceEvent, Tracer};

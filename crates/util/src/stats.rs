@@ -271,6 +271,35 @@ impl Histogram {
         self.total
     }
 
+    /// Exact sum of every recorded value (u128: `u64::MAX` observations
+    /// of `u64::MAX` cannot overflow it).
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Cumulative bucket counts over the occupied range, as
+    /// `(upper_bound, observations ≤ upper_bound)` pairs — exactly the
+    /// series a Prometheus-style histogram exposition needs. Empty when
+    /// nothing has been recorded; the last entry's count equals
+    /// [`Histogram::count`].
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        // bucket_of is monotone, so no count lands below bucket_of(min).
+        let lo = Self::bucket_of(self.min);
+        let hi = Self::bucket_of(self.max);
+        let mut cumulative = 0u64;
+        (lo..=hi)
+            .map(|i| {
+                cumulative += self.counts[i];
+                (Self::bucket_upper(i), cumulative)
+            })
+            .collect()
+    }
+
     /// True when nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -473,6 +502,24 @@ mod tests {
             loop_.record(777);
         }
         assert_eq!(bulk, loop_);
+    }
+
+    #[test]
+    fn histogram_cumulative_buckets_cover_all_counts() {
+        let mut h = Histogram::new();
+        assert!(h.cumulative_buckets().is_empty());
+        for v in [10u64, 10, 500, 64_000, 64_001] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        // Bounds ascend strictly, counts never decrease.
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Every observation is ≤ the last bound; count closes at total.
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        assert!(buckets.last().unwrap().0 >= h.max());
+        assert_eq!(h.sum(), 128_521);
     }
 
     #[test]

@@ -1,0 +1,605 @@
+//! Structured tracing: a bounded ring-buffer event log with spans.
+//!
+//! The serving and training pipelines emit [`TraceEvent`]s into a
+//! [`Tracer`]: plain events, and span enter/exit pairs whose elapsed
+//! time is measured through the [`Clock`] abstraction — so a test run
+//! under a [`FakeClock`](crate::clock::FakeClock) produces bit-identical
+//! traces, sequence numbers and timings included.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** A disabled tracer holds no buffer and
+//!    no clock; [`Tracer::event`] returns before invoking the
+//!    field-building closure, so neither fields nor strings are ever
+//!    allocated, and [`Tracer::span`] hands back an inert guard.
+//! 2. **Bounded.** Events live in a ring of fixed capacity; overflow
+//!    drops the *oldest* events and counts them ([`Tracer::dropped`])
+//!    rather than growing without limit on a hot serving path.
+//! 3. **Structured.** Every event carries `key=value` fields
+//!    ([`Value`]), not preformatted strings, and drains as JSONL
+//!    ([`Tracer::drain_jsonl`]) — one self-describing JSON object per
+//!    line, trivially greppable and machine-parseable.
+
+use crate::clock::Clock;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// A structured field value. Numeric and boolean variants are `Copy`
+/// and allocation-free; `Str` owns its text (built only when the tracer
+/// is enabled, thanks to the closure-based recording API).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sequence numbers, nanoseconds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (ratios, scores).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Owned text (labels, outcomes, error messages).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+/// What a [`TraceEvent`] marks: a point event or a span boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A point-in-time event.
+    Event,
+    /// A span was entered.
+    Enter,
+    /// A span was exited; its fields include `span` (the enter event's
+    /// sequence number) and `elapsed_ns`.
+    Exit,
+}
+
+impl Kind {
+    /// The JSON value of the `kind` key.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Event => "event",
+            Self::Enter => "enter",
+            Self::Exit => "exit",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonically increasing sequence number (never reused, even
+    /// across drains or ring overflow).
+    pub seq: u64,
+    /// Clock reading when the event was recorded.
+    pub at: Duration,
+    /// Point event or span boundary.
+    pub kind: Kind,
+    /// Static event name (e.g. `serve_chunk`, `slot_call`).
+    pub name: &'static str,
+    /// Structured `key=value` payload, in recording order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\",\"name\":\"{}\"",
+            self.seq,
+            self.at.as_nanos(),
+            self.kind.label(),
+            self.name
+        );
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":");
+                write_json_value(&mut out, v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn write_json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        // Non-finite floats are not valid JSON numbers; quote them.
+        Value::F64(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        Value::F64(f) => {
+            let _ = write!(out, "\"{f}\"");
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+    }
+}
+
+/// Builder the recording closures fill in; only ever constructed when
+/// the tracer is enabled.
+#[derive(Debug, Default)]
+pub struct FieldSet {
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl FieldSet {
+    /// Appends one `key=value` field.
+    pub fn push(&mut self, name: &'static str, value: impl Into<Value>) -> &mut Self {
+        self.fields.push((name, value.into()));
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct Enabled {
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+/// The event log. Shared across worker threads behind an `Arc`; a
+/// disabled tracer is a single `None` and costs one branch per call.
+#[derive(Debug)]
+pub struct Tracer {
+    inner: Option<Enabled>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing and allocates nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording tracer holding at most `capacity` events (oldest
+    /// dropped first); timestamps read `clock`.
+    #[must_use]
+    pub fn enabled(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Some(Enabled {
+                clock,
+                capacity,
+                ring: Mutex::new(Ring {
+                    events: VecDeque::with_capacity(capacity),
+                    next_seq: 0,
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
+    /// True when events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Events currently buffered (not yet drained).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |e| {
+            e.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .events
+                .len()
+        })
+    }
+
+    /// True when no events are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped so far because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |e| {
+            e.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .dropped
+        })
+    }
+
+    /// Records a point event. The closure builds the fields and runs
+    /// only when the tracer is enabled — a disabled tracer returns
+    /// before any allocation.
+    pub fn event(&self, name: &'static str, build: impl FnOnce(&mut FieldSet)) {
+        let Some(enabled) = &self.inner else {
+            return;
+        };
+        let at = enabled.clock.now();
+        let mut fs = FieldSet::default();
+        build(&mut fs);
+        Self::push(enabled, at, Kind::Event, name, fs.fields);
+    }
+
+    /// Opens a span: records an `enter` event now and an `exit` event —
+    /// carrying the enter's sequence number and the elapsed clock time —
+    /// when the returned guard is finished or dropped. Inert (and
+    /// allocation-free) on a disabled tracer.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        let Some(enabled) = &self.inner else {
+            return Span {
+                tracer: self,
+                name,
+                enter_seq: 0,
+                started: Duration::ZERO,
+                finished: true,
+            };
+        };
+        let started = enabled.clock.now();
+        let enter_seq = Self::push(enabled, started, Kind::Enter, name, Vec::new());
+        Span {
+            tracer: self,
+            name,
+            enter_seq,
+            started,
+            finished: false,
+        }
+    }
+
+    /// Takes every buffered event out, oldest first. Sequence numbers
+    /// keep counting across drains.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |e| {
+            e.ring
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .events
+                .drain(..)
+                .collect()
+        })
+    }
+
+    /// Drains the buffer as JSONL: one JSON object per line, trailing
+    /// newline included (empty string when nothing was recorded).
+    #[must_use]
+    pub fn drain_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.drain() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn push(
+        enabled: &Enabled,
+        at: Duration,
+        kind: Kind,
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) -> u64 {
+        let mut ring = enabled.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == enabled.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(TraceEvent {
+            seq,
+            at,
+            kind,
+            name,
+            fields,
+        });
+        seq
+    }
+}
+
+/// An open span; exiting (via [`Span::finish`] or drop) records the
+/// matching `exit` event with the elapsed clock time.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    enter_seq: u64,
+    started: Duration,
+    finished: bool,
+}
+
+impl Span<'_> {
+    /// Sequence number of the span's `enter` event (0 when disabled).
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.enter_seq
+    }
+
+    /// Closes the span, attaching extra fields to the `exit` event.
+    pub fn finish(mut self, build: impl FnOnce(&mut FieldSet)) {
+        self.exit(build);
+    }
+
+    fn exit(&mut self, build: impl FnOnce(&mut FieldSet)) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let Some(enabled) = &self.tracer.inner else {
+            return;
+        };
+        let now = enabled.clock.now();
+        let mut fs = FieldSet::default();
+        fs.push("span", self.enter_seq);
+        fs.push(
+            "elapsed_ns",
+            now.saturating_sub(self.started).as_nanos() as u64,
+        );
+        build(&mut fs);
+        Tracer::push(enabled, now, Kind::Exit, self.name, fs.fields);
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.exit(|_| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    fn fake_tracer(capacity: usize) -> (Arc<FakeClock>, Tracer) {
+        let clock = Arc::new(FakeClock::new());
+        let tracer = Tracer::enabled(capacity, Arc::clone(&clock) as Arc<dyn Clock>);
+        (clock, tracer)
+    }
+
+    #[test]
+    fn events_carry_seq_time_and_fields() {
+        let (clock, tracer) = fake_tracer(16);
+        tracer.event("first", |f| {
+            f.push("n", 3u64);
+        });
+        clock.advance(Duration::from_nanos(250));
+        tracer.event("second", |f| {
+            f.push("label", "bpr").push("ok", true).push("score", 0.5);
+        });
+        let events = tracer.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].at, Duration::ZERO);
+        assert_eq!(events[0].fields, vec![("n", Value::U64(3))]);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].at, Duration::from_nanos(250));
+        assert_eq!(events[1].name, "second");
+    }
+
+    #[test]
+    fn span_exit_links_enter_and_measures_elapsed() {
+        let (clock, tracer) = fake_tracer(16);
+        let span = tracer.span("work");
+        clock.advance(Duration::from_nanos(700));
+        span.finish(|f| {
+            f.push("items", 4u64);
+        });
+        let events = tracer.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, Kind::Enter);
+        assert_eq!(events[1].kind, Kind::Exit);
+        assert_eq!(
+            events[1].fields,
+            vec![
+                ("span", Value::U64(events[0].seq)),
+                ("elapsed_ns", Value::U64(700)),
+                ("items", Value::U64(4)),
+            ]
+        );
+    }
+
+    #[test]
+    fn dropped_span_still_exits() {
+        let (clock, tracer) = fake_tracer(16);
+        {
+            let _span = tracer.span("implicit");
+            clock.advance(Duration::from_nanos(40));
+        }
+        let events = tracer.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind, Kind::Exit);
+        assert_eq!(events[1].fields[1], ("elapsed_ns", Value::U64(40)));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let (_clock, tracer) = fake_tracer(3);
+        for _ in 0..5 {
+            tracer.event("e", |_| {});
+        }
+        assert_eq!(tracer.dropped(), 2);
+        let events = tracer.drain();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        // Oldest (0, 1) dropped; survivors keep their original seqs.
+        assert_eq!(seqs, vec![2, 3, 4]);
+        // Seq numbering continues after a drain.
+        tracer.event("later", |_| {});
+        assert_eq!(tracer.drain()[0].seq, 5);
+    }
+
+    #[test]
+    fn jsonl_output_is_wellformed_and_escaped() {
+        let (_clock, tracer) = fake_tracer(8);
+        tracer.event("tricky", |f| {
+            f.push("msg", "say \"hi\"\nback\\slash\ttab");
+            f.push("nan", f64::NAN);
+            f.push("neg", -3i64);
+        });
+        let jsonl = tracer.drain_jsonl();
+        let line = jsonl.trim_end();
+        assert!(line.starts_with("{\"seq\":0,\"at_ns\":0,"), "{line}");
+        assert!(line.contains("\"kind\":\"event\""), "{line}");
+        assert!(
+            line.contains("say \\\"hi\\\"\\nback\\\\slash\\ttab"),
+            "{line}"
+        );
+        // Non-finite floats must not produce bare NaN tokens.
+        assert!(line.contains("\"nan\":\"NaN\""), "{line}");
+        assert!(line.contains("\"neg\":-3"), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert_eq!(jsonl.lines().count(), 1);
+    }
+
+    #[test]
+    fn identical_runs_trace_identically_under_fake_clock() {
+        let run = || {
+            let (clock, tracer) = fake_tracer(32);
+            for i in 0..4u64 {
+                let span = tracer.span("step");
+                clock.advance(Duration::from_micros(10 + i));
+                span.finish(|f| {
+                    f.push("i", i);
+                });
+            }
+            tracer.drain_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn disabled_tracer_records_and_allocates_nothing() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        let mut built = 0u64;
+        for _ in 0..1000 {
+            // The closure must never run: field construction (and its
+            // allocations) is what "zero cost when disabled" buys.
+            tracer.event("e", |f| {
+                built += 1;
+                f.push("expensive", "x".repeat(1 << 20));
+            });
+            let span = tracer.span("s");
+            span.finish(|_| {
+                built += 1;
+            });
+        }
+        assert_eq!(built, 0, "field closures ran on a disabled tracer");
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.dropped(), 0);
+        assert_eq!(tracer.drain_jsonl(), "");
+    }
+
+    #[test]
+    fn disabled_path_is_cheap() {
+        // Not a benchmark — just a sanity bound: a million disabled
+        // event+span pairs are branch-only and must finish instantly
+        // relative to the multi-second budget even in debug builds.
+        let tracer = Tracer::disabled();
+        let t0 = std::time::Instant::now();
+        for _ in 0..1_000_000 {
+            tracer.event("e", |f| {
+                f.push("k", 1u64);
+            });
+            drop(tracer.span("s"));
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "disabled tracing too slow: {:?}",
+            t0.elapsed()
+        );
+    }
+}

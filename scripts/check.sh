@@ -19,6 +19,24 @@ cargo test --workspace -q
 echo "==> chaos suite (rm-serve with fault injection compiled in)"
 cargo test -q -p rm-serve --features testing
 
+echo "==> observability: trace + metrics exposition tests"
+cargo test -q -p rm-util trace
+cargo test -q -p rm-serve --test trace_tests
+cargo test -q -p rm-serve --features testing --test trace_tests
+cargo test -q -p rm-serve metrics
+
+echo "==> serve crate: no Instant::now() outside the Clock abstraction"
+# All serving-path timing flows through EngineConfig::clock so it is
+# testable under FakeClock. Deliberate exceptions (the cross-process
+# registry lock wait) live in the allowlist.
+if grep -rn 'Instant::now()' crates/serve/src crates/serve/tests \
+    | grep -vFf scripts/serve_instant_allowlist.txt; then
+  echo "error: unallowlisted Instant::now() in crates/serve" >&2
+  echo "       read the engine clock (EngineConfig::clock / rm_util::clock::Clock)" >&2
+  echo "       or add the exact line to scripts/serve_instant_allowlist.txt with a reason" >&2
+  exit 1
+fi
+
 echo "==> serve crate: no unwrap/expect on lock()/join()"
 # The serving path must degrade, never abort: poisoned mutexes are
 # recovered with PoisonError::into_inner and worker join errors turn into
