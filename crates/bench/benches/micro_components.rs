@@ -13,6 +13,56 @@ use rm_util::topk::top_k_of;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
+    // Dense kernels: unrolled dot vs the scalar reference chain, at the
+    // BPR factor count (64) and the encoder dimension (256), plus full
+    // catalogue scans (2 332 rows) single-query and register-blocked.
+    {
+        use rm_sparse::vecops::{dot, dot_block, dot_ref};
+        use rm_sparse::DenseMatrix;
+        let vec_of = |salt: u64, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let h = (i as u64 ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    (h >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+                })
+                .collect()
+        };
+        for dim in [64usize, 256] {
+            let a = vec_of(1, dim);
+            let b_ = vec_of(2, dim);
+            c.bench_function(&format!("micro/dot_ref_{dim}"), |b| {
+                b.iter(|| black_box(dot_ref(black_box(&a), black_box(&b_))));
+            });
+            c.bench_function(&format!("micro/dot_{dim}"), |b| {
+                b.iter(|| black_box(dot(black_box(&a), black_box(&b_))));
+            });
+        }
+        let dim = 256;
+        let rows = 2_332;
+        let m = DenseMatrix::from_vec(rows, dim, vec_of(3, rows * dim));
+        let queries: Vec<Vec<f32>> = (0..4).map(|q| vec_of(10 + q, dim)).collect();
+        let mut out = Vec::with_capacity(rows);
+        c.bench_function("micro/matvec_2332x256", |b| {
+            b.iter(|| {
+                m.matvec_into(black_box(&queries[0]), &mut out);
+                black_box(out.last().copied())
+            });
+        });
+        let xs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        let mut outs: Vec<Vec<f32>> = (0..4).map(|_| Vec::with_capacity(rows)).collect();
+        c.bench_function("micro/matvec_block4_2332x256", |b| {
+            b.iter(|| {
+                m.matvec_block_into(black_box(&xs), &mut outs);
+                black_box(outs[3].last().copied())
+            });
+        });
+        let quad: [&[f32]; 4] = [&queries[0], &queries[1], &queries[2], &queries[3]];
+        let probe = vec_of(42, dim);
+        c.bench_function("micro/dot_block4_256", |b| {
+            b.iter(|| black_box(dot_block(black_box(&probe), black_box(quad))));
+        });
+    }
+
     // Alias sampling over a catalogue-sized support.
     let table = ZipfWeights::with_shift(1.0, 16.0).alias_table(2_332);
     let mut rng = rng_from_seed(1);

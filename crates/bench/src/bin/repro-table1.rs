@@ -21,6 +21,23 @@ fn main() {
     section("Table 1 — KPIs at k = 20");
     print!("{}", result.table().render());
     opts.write_csv("table1.csv", &result.table().to_csv());
+    // Full-precision sibling of table1.csv: the rendered table rounds to two
+    // decimals, which is too coarse to diff KPIs across kernel changes.
+    let mut precise = String::from("name,URR,NRR,P,R,FR\n");
+    for row in &result.rows {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            precise,
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            row.name,
+            row.kpis.urr,
+            row.kpis.nrr,
+            row.kpis.precision,
+            row.kpis.recall,
+            row.kpis.first_rank
+        );
+    }
+    opts.write_csv("table1_precise.csv", &precise);
 
     // Paired bootstrap: is the CF > CB gap solid on this corpus?
     let cases = harness.test_cases();

@@ -14,12 +14,12 @@
 //! comparable across catalogue sizes. A plain-BPR (sigmoid) update is
 //! available for ablation via [`Loss::Bpr`].
 
-use crate::{rank_by_scores, Recommender};
+use crate::{rank_by_scores, rank_by_scores_into, Recommender};
 use rand::seq::SliceRandom;
 use rand::RngExt;
 use rm_dataset::ids::{BookIdx, UserIdx};
 use rm_dataset::interactions::Interactions;
-use rm_sparse::vecops::dot;
+use rm_sparse::vecops::{dot, dot_ref};
 use rm_sparse::DenseMatrix;
 use rm_util::rng::SeedTree;
 
@@ -346,6 +346,30 @@ impl Recommender for Bpr {
             }
         };
 
+        // O(1) negative-membership test for heavy readers. Every draw asks
+        // "has u read j?"; the binary search over a power user's history is
+        // the dominant per-draw cost, so users past the threshold get a
+        // bitset (one load + mask). Light users keep the search — their
+        // histories are a cache line or two.
+        const HEAVY_READER_THRESHOLD: usize = 64;
+        let words = n_books.div_ceil(64);
+        let heavy_bits: Vec<Option<Box<[u64]>>> = (0..n_users)
+            .map(|u| {
+                let seen = train.seen(UserIdx(u as u32));
+                (seen.len() >= HEAVY_READER_THRESHOLD).then(|| {
+                    let mut bits = vec![0u64; words].into_boxed_slice();
+                    for &b in seen {
+                        bits[(b as usize) >> 6] |= 1u64 << (b & 63);
+                    }
+                    bits
+                })
+            })
+            .collect();
+        let is_read = |u: u32, j: u32| match &heavy_bits[u as usize] {
+            Some(bits) => bits[(j as usize) >> 6] & (1u64 << (j & 63)) != 0,
+            None => train.contains(UserIdx(u), BookIdx(j)),
+        };
+
         for epoch in 0..self.config.epochs {
             let mut rng = tree.child("epoch").child_idx(epoch as u64).rng();
             positives.shuffle(&mut rng);
@@ -353,7 +377,21 @@ impl Recommender for Bpr {
             let mut total_trials = 0usize;
 
             for &(u, i) in &positives {
-                let score_i = dot(user_factors.row(u as usize), item_factors.row(i as usize));
+                // The user row is borrowed once for the whole trial loop
+                // (it is only mutated after sampling finishes), and the
+                // positive's score is computed once per positive — each
+                // draw pays one bitset/search probe plus one dot.
+                //
+                // Training scores stay on the scalar reference chain
+                // (`dot_ref`): WARP's margin test compares scores that are
+                // often ulps apart, so switching the reduction order flips
+                // occasional comparisons and 15 epochs of SGD amplify each
+                // flip chaotically — the fitted model (and the golden Table 1
+                // KPIs pinned on it) would silently drift. The unrolled
+                // kernels take over after fit, where scores feed rankings
+                // rather than feedback loops.
+                let vu_row = user_factors.row(u as usize);
+                let score_i = dot_ref(vu_row, item_factors.row(i as usize));
                 let mut trials = 0usize;
                 let (j, score_j) = loop {
                     if trials >= self.config.max_trials {
@@ -363,11 +401,11 @@ impl Recommender for Bpr {
                         None => rng.random_range(0..n_books as u32),
                         Some(table) => table.sample(&mut rng) as u32,
                     };
-                    if train.contains(UserIdx(u), BookIdx(j)) {
+                    if is_read(u, j) {
                         continue;
                     }
                     trials += 1;
-                    let score_j = dot(user_factors.row(u as usize), item_factors.row(j as usize));
+                    let score_j = dot_ref(vu_row, item_factors.row(j as usize));
                     // Plain BPR updates on every sampled negative; WARP
                     // keeps searching for a margin violator.
                     if matches!(self.config.loss, Loss::Bpr) || score_j > score_i - margin {
@@ -446,43 +484,49 @@ impl Recommender for Bpr {
         )
     }
 
-    fn recommend_batch(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
+    fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
         let m = self.model_ref();
         let train = self.train_ref();
         let n_books = train.n_books();
-        // Score four users per pass over the item factors (shared row
-        // loads, independent accumulators); the buffers are reused across
-        // the whole batch. matvec4_into is bit-identical to matvec_into,
-        // so batch answers equal single calls exactly.
-        let mut out = Vec::with_capacity(users.len());
+        out.resize_with(users.len(), Vec::new);
+        // Score four users per pass over the item factors via the shared
+        // blocked matvec (bit-identical to matvec_into, so batch answers
+        // equal single calls exactly). Scratch is per batch, not per user:
+        // score buffers, the TopK heap, and the caller's ranking pool are
+        // all refilled in place.
+        let mut top = rm_util::TopK::new(1);
         let mut bufs: [Vec<f32>; 4] = std::array::from_fn(|_| Vec::with_capacity(n_books));
+        let mut slot = 0usize;
         let mut quads = users.chunks_exact(4);
         for quad in &mut quads {
-            let [b0, b1, b2, b3] = &mut bufs;
-            m.item_factors.matvec4_into(
-                [
-                    m.user_factors.row(quad[0].index()),
-                    m.user_factors.row(quad[1].index()),
-                    m.user_factors.row(quad[2].index()),
-                    m.user_factors.row(quad[3].index()),
-                ],
-                [b0, b1, b2, b3],
-            );
+            let xs: [&[f32]; 4] = std::array::from_fn(|i| m.user_factors.row(quad[i].index()));
+            m.item_factors.matvec_block_into(&xs, &mut bufs);
             for (&u, scores) in quad.iter().zip(&bufs) {
-                out.push(rank_by_scores(n_books, train.seen(u), k, |b| {
-                    scores[b as usize]
-                }));
+                rank_by_scores_into(
+                    n_books,
+                    train.seen(u),
+                    k,
+                    |b| scores[b as usize],
+                    &mut top,
+                    &mut out[slot],
+                );
+                slot += 1;
             }
         }
         for &u in quads.remainder() {
             let scores = &mut bufs[0];
             m.item_factors
                 .matvec_into(m.user_factors.row(u.index()), scores);
-            out.push(rank_by_scores(n_books, train.seen(u), k, |b| {
-                scores[b as usize]
-            }));
+            rank_by_scores_into(
+                n_books,
+                train.seen(u),
+                k,
+                |b| scores[b as usize],
+                &mut top,
+                &mut out[slot],
+            );
+            slot += 1;
         }
-        out
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
@@ -635,6 +679,26 @@ mod tests {
             for (&u, got) in users.iter().zip(&batch) {
                 assert_eq!(got, &bpr.recommend(u, k), "user {u:?} k {k}");
             }
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_ranking_pool() {
+        // Passing the same pool across batches must refill the inner
+        // buffers in place — the eval harness relies on this for its
+        // no-per-user-allocation guarantee.
+        let (train, _) = community_train();
+        let mut bpr = Bpr::new(quick_config());
+        bpr.fit(&train);
+        let users: Vec<UserIdx> = (0..20).map(UserIdx).collect();
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        bpr.recommend_batch_into(&users, usize::MAX, &mut pool);
+        let ptrs: Vec<*const u32> = pool.iter().map(|v| v.as_ptr()).collect();
+        let first: Vec<Vec<u32>> = pool.clone();
+        bpr.recommend_batch_into(&users, usize::MAX, &mut pool);
+        assert_eq!(pool, first, "second batch must answer identically");
+        for (i, v) in pool.iter().enumerate() {
+            assert_eq!(v.as_ptr(), ptrs[i], "ranking buffer {i} reallocated");
         }
     }
 

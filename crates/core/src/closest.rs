@@ -14,7 +14,7 @@
 //! exact pairwise scorer is kept for verification ([`ClosestItems::score`]
 //! uses the same mean, and tests compare against brute force).
 
-use crate::{rank_by_scores, Recommender};
+use crate::{rank_by_scores, rank_by_scores_into, Recommender};
 use rm_dataset::ids::{BookIdx, UserIdx};
 use rm_dataset::interactions::Interactions;
 use rm_dataset::summary::{build_summaries, SummaryFields};
@@ -79,8 +79,19 @@ impl ClosestItems {
     /// The user's Eq. 1 query vector: mean of read-book embeddings, or
     /// `None` for a user with no training readings.
     fn query(&self, user: UserIdx) -> Option<Vec<f32>> {
+        let mut buf = Vec::new();
+        self.query_into(user, &mut buf).then_some(buf)
+    }
+
+    /// [`ClosestItems::query`] into a caller-provided buffer; returns
+    /// `false` (buffer untouched) for a user with no training readings.
+    fn query_into(&self, user: UserIdx, buf: &mut Vec<f32>) -> bool {
         let seen = self.train().seen(user);
-        (!seen.is_empty()).then(|| self.store.mean_embedding(seen))
+        if seen.is_empty() {
+            return false;
+        }
+        self.store.mean_embedding_into(seen, buf);
+        true
     }
 
     /// Top-`k` books for a reader who is not in the training matrix, given
@@ -93,8 +104,22 @@ impl ClosestItems {
     /// Panics if the history references a book outside the catalogue.
     #[must_use]
     pub fn recommend_for_history(&self, seen: &[u32], k: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.recommend_for_history_into(seen, k, &mut out);
+        out
+    }
+
+    /// [`ClosestItems::recommend_for_history`] refilling a caller-owned
+    /// ranking buffer, so kiosk-style serving loops rank repeat queries
+    /// without per-call allocation of the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history references a book outside the catalogue.
+    pub fn recommend_for_history_into(&self, seen: &[u32], k: usize, out: &mut Vec<u32>) {
+        out.clear();
         if seen.is_empty() {
-            return Vec::new();
+            return;
         }
         assert!(
             seen.iter().all(|&b| (b as usize) < self.store.len()),
@@ -105,7 +130,15 @@ impl ClosestItems {
         let mut sorted_seen = seen.to_vec();
         sorted_seen.sort_unstable();
         sorted_seen.dedup();
-        crate::rank_by_scores(self.store.len(), &sorted_seen, k, |b| sims[b as usize])
+        let mut top = rm_util::TopK::new(1);
+        rank_by_scores_into(
+            self.store.len(),
+            &sorted_seen,
+            k,
+            |b| sims[b as usize],
+            &mut top,
+            out,
+        );
     }
 }
 
@@ -140,20 +173,30 @@ impl Recommender for ClosestItems {
         })
     }
 
-    fn recommend_batch(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
+    fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
         let train = self.train();
-        // One catalogue-sized similarity buffer for the whole batch.
+        out.resize_with(users.len(), Vec::new);
+        // All scratch — the Eq. 1 centroid, the catalogue-sized similarity
+        // buffer, the TopK heap, and the caller's ranking pool — is shared
+        // across the batch; per user nothing is allocated.
+        let mut query = Vec::with_capacity(self.store.dim());
         let mut sims = Vec::with_capacity(self.store.len());
-        users
-            .iter()
-            .map(|&u| {
-                let Some(q) = self.query(u) else {
-                    return Vec::new();
-                };
-                self.store.similarities_into(&q, &mut sims);
-                rank_by_scores(train.n_books(), train.seen(u), k, |b| sims[b as usize])
-            })
-            .collect()
+        let mut top = rm_util::TopK::new(1);
+        for (&u, slot) in users.iter().zip(out.iter_mut()) {
+            if !self.query_into(u, &mut query) {
+                slot.clear();
+                continue;
+            }
+            self.store.similarities_into(&query, &mut sims);
+            rank_by_scores_into(
+                train.n_books(),
+                train.seen(u),
+                k,
+                |b| sims[b as usize],
+                &mut top,
+                slot,
+            );
+        }
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
@@ -298,6 +341,24 @@ mod tests {
             for (&u, got) in users.iter().zip(&batch) {
                 assert_eq!(got, &ci.recommend(u, k), "user {u:?} k {k}");
             }
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_ranking_pool() {
+        let c = corpus();
+        let train = Interactions::from_pairs(2, 4, &[(UserIdx(0), BookIdx(0))]);
+        let mut ci = ClosestItems::from_corpus(&c, SummaryFields::BEST, EncoderConfig::default());
+        ci.fit(&train);
+        let users = [UserIdx(0), UserIdx(0), UserIdx(0)];
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        ci.recommend_batch_into(&users, 3, &mut pool);
+        let ptrs: Vec<*const u32> = pool.iter().map(|v| v.as_ptr()).collect();
+        let first = pool.clone();
+        ci.recommend_batch_into(&users, 3, &mut pool);
+        assert_eq!(pool, first);
+        for (i, v) in pool.iter().enumerate() {
+            assert_eq!(v.as_ptr(), ptrs[i], "ranking buffer {i} reallocated");
         }
     }
 

@@ -8,7 +8,7 @@
 //! model families), so a `Blend::new(bpr, closest, 0.5)` is the obvious
 //! production follow-up the paper gestures at.
 
-use crate::{rank_by_scores, Recommender};
+use crate::{rank_by_scores, rank_by_scores_into, Recommender};
 use rm_dataset::ids::{BookIdx, UserIdx};
 use rm_dataset::interactions::Interactions;
 
@@ -96,6 +96,46 @@ impl<A: Recommender, B: Recommender> Recommender for Blend<A, B> {
         )
     }
 
+    fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
+        let train = self.train_ref();
+        let n_books = train.n_books();
+        out.resize_with(users.len(), Vec::new);
+        // The blended-score buffer, the components' ranking pool, and the
+        // TopK are shared across the batch (components that override
+        // `recommend_batch_into` also reuse the pool's inner buffer).
+        let mut scores = Vec::with_capacity(n_books);
+        let mut component_pool: Vec<Vec<u32>> = Vec::new();
+        let mut top = rm_util::TopK::new(1);
+        for (&u, slot) in users.iter().zip(out.iter_mut()) {
+            scores.clear();
+            scores.resize(n_books, 0.0);
+            for (rec, w) in [
+                (&self.first as &dyn Recommender, self.weight),
+                (&self.second, 1.0 - self.weight),
+            ] {
+                if w == 0.0 {
+                    continue;
+                }
+                // rank_all(u) by contract equals recommend(u, everything),
+                // which the pooled batch path answers byte-identically.
+                rec.recommend_batch_into(std::slice::from_ref(&u), usize::MAX, &mut component_pool);
+                let ranking = &component_pool[0];
+                let len = ranking.len().max(1) as f32;
+                for (pos, &b) in ranking.iter().enumerate() {
+                    scores[b as usize] += w * (1.0 - pos as f32 / len);
+                }
+            }
+            rank_by_scores_into(
+                n_books,
+                train.seen(u),
+                k,
+                |b| scores[b as usize],
+                &mut top,
+                slot,
+            );
+        }
+    }
+
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
         self.recommend(user, self.train_ref().n_books())
     }
@@ -160,6 +200,21 @@ mod tests {
         let mut single = MostReadItems::new();
         single.fit(&t);
         assert_eq!(blend.rank_all(UserIdx(0)), single.rank_all(UserIdx(0)));
+    }
+
+    #[test]
+    fn batch_matches_single_calls() {
+        let t = train();
+        let mut blend = Blend::new(MostReadItems::new(), MostReadItems::new(), 0.4);
+        blend.fit(&t);
+        let users = [UserIdx(0), UserIdx(1), UserIdx(0)];
+        for k in [1usize, 3, usize::MAX] {
+            let batch = blend.recommend_batch(&users, k);
+            assert_eq!(batch.len(), users.len());
+            for (&u, got) in users.iter().zip(&batch) {
+                assert_eq!(got, &blend.recommend(u, k), "user {u:?} k {k}");
+            }
+        }
     }
 
     #[test]

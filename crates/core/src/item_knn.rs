@@ -17,7 +17,7 @@
 //! co-occurrence counts against all books sharing a reader, then keep the
 //! top-N — `O(Σ_u n_u²)` time, `O(catalogue)` scratch memory.
 
-use crate::{rank_by_scores, Recommender};
+use crate::{rank_by_scores, rank_by_scores_into, Recommender};
 use rm_dataset::ids::{BookIdx, UserIdx};
 use rm_dataset::interactions::Interactions;
 use rm_sparse::CsrMatrix;
@@ -100,9 +100,19 @@ impl ItemKnn {
 
     /// Accumulated similarity scores of every book for `user`.
     fn user_scores(&self, user: UserIdx) -> Vec<f32> {
+        let mut scores = Vec::new();
+        self.user_scores_into(user, &mut scores);
+        scores
+    }
+
+    /// [`ItemKnn::user_scores`] refilling a caller-owned catalogue-sized
+    /// buffer (zeroed, then accumulated) so batch scoring reuses one
+    /// allocation.
+    fn user_scores_into(&self, user: UserIdx, scores: &mut Vec<f32>) {
         let train = self.train_ref();
         let sims = self.sims_ref();
-        let mut scores = vec![0.0f32; train.n_books()];
+        scores.clear();
+        scores.resize(train.n_books(), 0.0);
         for &i in train.seen(user) {
             if let Some(values) = sims.row_values(i as usize) {
                 for (&j, &s) in sims.row(i as usize).iter().zip(values) {
@@ -110,7 +120,6 @@ impl ItemKnn {
                 }
             }
         }
-        scores
     }
 }
 
@@ -195,6 +204,25 @@ impl Recommender for ItemKnn {
             k,
             |b| scores[b as usize],
         )
+    }
+
+    fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
+        let train = self.train_ref();
+        out.resize_with(users.len(), Vec::new);
+        // One catalogue-sized score buffer + one TopK for the whole batch.
+        let mut scores = Vec::with_capacity(train.n_books());
+        let mut top = rm_util::TopK::new(1);
+        for (&u, slot) in users.iter().zip(out.iter_mut()) {
+            self.user_scores_into(u, &mut scores);
+            rank_by_scores_into(
+                train.n_books(),
+                train.seen(u),
+                k,
+                |b| scores[b as usize],
+                &mut top,
+                slot,
+            );
+        }
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
@@ -324,6 +352,19 @@ mod tests {
         // Only user 1's pair (0, 1) counts.
         assert_eq!(knn.neighbors_of(BookIdx(0)).len(), 1);
         assert!(knn.neighbors_of(BookIdx(5)).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_calls() {
+        let knn = fitted();
+        let users: Vec<UserIdx> = (0..10).map(UserIdx).collect();
+        for k in [1usize, 3, usize::MAX] {
+            let batch = knn.recommend_batch(&users, k);
+            assert_eq!(batch.len(), users.len());
+            for (&u, got) in users.iter().zip(&batch) {
+                assert_eq!(got, &knn.recommend(u, k), "user {u:?} k {k}");
+            }
+        }
     }
 
     #[test]

@@ -63,13 +63,32 @@ pub trait Recommender {
 
     /// Top-`k` recommendations for a batch of users, in input order.
     ///
-    /// The default defers to [`Recommender::recommend`] per user; models
-    /// with per-call setup cost (score buffers, centroids) override it to
-    /// amortise that work across the batch. Implementations must return
-    /// exactly `users.len()` rankings, each byte-identical to the
-    /// corresponding single-user call.
+    /// Delegates to [`Recommender::recommend_batch_into`] with a fresh
+    /// output pool; callers that batch repeatedly (the eval harness, the
+    /// serving engine) should hold the pool themselves and call the
+    /// `_into` variant directly.
     fn recommend_batch(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
-        users.iter().map(|&u| self.recommend(u, k)).collect()
+        let mut out = Vec::new();
+        self.recommend_batch_into(users, k, &mut out);
+        out
+    }
+
+    /// [`Recommender::recommend_batch`] writing into a caller-owned pool.
+    ///
+    /// `out` is resized to `users.len()`; each inner `Vec` is cleared and
+    /// refilled *in place*, so a pool passed back across batches makes
+    /// per-user scoring allocation-free once the buffers have grown to
+    /// steady state. Implementations must produce rankings byte-identical
+    /// to the corresponding single-user [`Recommender::recommend`] calls.
+    ///
+    /// The default defers to `recommend` per user (allocating per user);
+    /// models with per-call setup cost (score buffers, centroids) override
+    /// it to amortise that work and reuse the pool.
+    fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
+        out.resize_with(users.len(), Vec::new);
+        for (&u, slot) in users.iter().zip(out.iter_mut()) {
+            *slot = self.recommend(u, k);
+        }
     }
 
     /// The full ranking of unseen books (equivalent to
@@ -84,12 +103,29 @@ pub(crate) fn rank_by_scores(
     n_books: usize,
     seen: &[u32],
     k: usize,
-    mut score: impl FnMut(u32) -> f32,
+    score: impl FnMut(u32) -> f32,
 ) -> Vec<u32> {
+    let mut top = rm_util::TopK::new(1);
+    let mut out = Vec::new();
+    rank_by_scores_into(n_books, seen, k, score, &mut top, &mut out);
+    out
+}
+
+/// [`rank_by_scores`] with caller-owned scratch: `top` is re-armed via
+/// [`rm_util::TopK::reset`] and `out` refilled in place, so batch scorers
+/// rank every user without per-user allocation.
+pub(crate) fn rank_by_scores_into(
+    n_books: usize,
+    seen: &[u32],
+    k: usize,
+    mut score: impl FnMut(u32) -> f32,
+    top: &mut rm_util::TopK,
+    out: &mut Vec<u32>,
+) {
     // Clamp before TopK: `k` may be usize::MAX ("rank everything") and
     // TopK pre-allocates its capacity.
     let k = k.min(n_books).max(1);
-    let mut top = rm_util::TopK::new(k);
+    top.reset(k);
     let mut seen_iter = seen.iter().copied().peekable();
     for b in 0..n_books as u32 {
         // `seen` is sorted: advance the cursor instead of binary-searching.
@@ -99,7 +135,7 @@ pub(crate) fn rank_by_scores(
         }
         top.push(b, score(b));
     }
-    top.into_items()
+    top.drain_sorted_into(out);
 }
 
 #[cfg(test)]

@@ -115,9 +115,23 @@ impl SemanticEncoder {
     #[must_use]
     pub fn encode(&self, text: &str) -> Vec<f32> {
         let mut out = vec![0.0f32; self.config.dim];
+        self.encode_into(text, &mut out);
+        out
+    }
+
+    /// [`SemanticEncoder::encode`] writing into a caller-provided buffer
+    /// (zeroed first), so batch encoders fill their matrix rows directly
+    /// instead of allocating a vector per text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dim()`.
+    pub fn encode_into(&self, text: &str, out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.dim, "encode buffer dimension");
+        out.fill(0.0);
         let toks = self.normalised_tokens(text);
         if toks.is_empty() {
-            return out;
+            return;
         }
 
         // Term frequencies. Accumulation must run in a deterministic
@@ -138,7 +152,7 @@ impl SemanticEncoder {
                 count as f32
             };
             let w = tf_w * self.idf_weight(tok);
-            self.splat(tok.as_bytes(), w, &mut out);
+            self.splat(tok.as_bytes(), w, out);
             if let Some((lo, hi)) = self.config.char_ngrams {
                 let grams = char_ngrams(tok, lo, hi);
                 if !grams.is_empty() {
@@ -148,14 +162,13 @@ impl SemanticEncoder {
                     // long words don't get extra weight.
                     let gw = w * self.config.ngram_weight / (grams.len() as f32).sqrt();
                     for g in &grams {
-                        self.splat(g.as_bytes(), gw, &mut out);
+                        self.splat(g.as_bytes(), gw, out);
                     }
                 }
             }
         }
 
-        rm_sparse::vecops::normalize(&mut out);
-        out
+        rm_sparse::vecops::normalize(out);
     }
 
     /// Cosine similarity of two texts under this encoder.
@@ -208,6 +221,26 @@ mod tests {
         assert_eq!(v1, v2);
         let norm = rm_sparse::vecops::norm2(&v1);
         assert!((norm - 1.0).abs() < 1e-5, "norm {norm}");
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_clears_stale_data() {
+        let e = enc();
+        let mut buf = vec![f32::NAN; e.dim()];
+        e.encode_into("il nome della rosa", &mut buf);
+        assert_eq!(buf, e.encode("il nome della rosa"));
+        // A previously-used buffer must be fully overwritten, even by an
+        // all-stopword text that encodes to zero.
+        e.encode_into("il la di e", &mut buf);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "encode buffer dimension")]
+    fn encode_into_rejects_wrong_dim() {
+        let e = enc();
+        let mut buf = vec![0.0f32; e.dim() + 1];
+        e.encode_into("x", &mut buf);
     }
 
     #[test]

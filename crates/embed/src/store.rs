@@ -18,13 +18,14 @@ pub struct EmbeddingStore {
 }
 
 impl EmbeddingStore {
-    /// Encodes `texts` with `encoder` into a store.
+    /// Encodes `texts` with `encoder` into a store, writing each embedding
+    /// straight into its matrix row (no per-text vector allocation).
     #[must_use]
     pub fn encode_all<S: AsRef<str>>(encoder: &SemanticEncoder, texts: &[S]) -> Self {
         let dim = encoder.dim();
-        let mut data = Vec::with_capacity(texts.len() * dim);
-        for t in texts {
-            data.extend_from_slice(&encoder.encode(t.as_ref()));
+        let mut data = vec![0.0f32; texts.len() * dim];
+        for (t, row) in texts.iter().zip(data.chunks_exact_mut(dim)) {
+            encoder.encode_into(t.as_ref(), row);
         }
         Self {
             matrix: DenseMatrix::from_vec(texts.len(), dim, data),
@@ -122,12 +123,8 @@ impl EmbeddingStore {
     /// Panics if `indices` is empty.
     #[must_use]
     pub fn centroid(&self, indices: &[u32]) -> Vec<f32> {
-        assert!(!indices.is_empty(), "centroid of empty set");
-        let rows: Vec<&[f32]> = indices
-            .iter()
-            .map(|&i| self.matrix.row(i as usize))
-            .collect();
-        let mut c = vecops::mean_vector(&rows);
+        let mut c = Vec::new();
+        self.mean_embedding_into(indices, &mut c);
         vecops::normalize(&mut c);
         c
     }
@@ -141,12 +138,27 @@ impl EmbeddingStore {
     /// Panics if `indices` is empty.
     #[must_use]
     pub fn mean_embedding(&self, indices: &[u32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.mean_embedding_into(indices, &mut out);
+        out
+    }
+
+    /// [`EmbeddingStore::mean_embedding`] writing into `out` (cleared and
+    /// refilled). Accumulates rows in place — no row-pointer list, no
+    /// per-call result vector — so per-user query building on the serve
+    /// and eval paths is allocation-free once `out` has capacity `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn mean_embedding_into(&self, indices: &[u32], out: &mut Vec<f32>) {
         assert!(!indices.is_empty(), "mean of empty set");
-        let rows: Vec<&[f32]> = indices
-            .iter()
-            .map(|&i| self.matrix.row(i as usize))
-            .collect();
-        vecops::mean_vector(&rows)
+        out.clear();
+        out.resize(self.dim(), 0.0);
+        for &i in indices {
+            vecops::axpy(1.0, self.matrix.row(i as usize), out);
+        }
+        vecops::scale(1.0 / indices.len() as f32, out);
     }
 
     /// Exact k nearest neighbours of item `i` (excluding itself),
@@ -253,6 +265,18 @@ mod tests {
         let dot3 = rm_sparse::vecops::dot(&mean, s.embedding(3));
         assert!((dot2 - avg(2)).abs() < 1e-5);
         assert!((dot3 - avg(3)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mean_embedding_into_matches_and_reuses_buffer() {
+        let s = store();
+        let mut buf = Vec::new();
+        s.mean_embedding_into(&[0, 1, 2], &mut buf);
+        assert_eq!(buf, s.mean_embedding(&[0, 1, 2]));
+        let ptr = buf.as_ptr();
+        s.mean_embedding_into(&[2, 3], &mut buf);
+        assert_eq!(buf, s.mean_embedding(&[2, 3]));
+        assert_eq!(ptr, buf.as_ptr(), "query buffer must be reused");
     }
 
     #[test]

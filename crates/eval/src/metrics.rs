@@ -114,28 +114,33 @@ impl Accumulator {
 const EVAL_BATCH: usize = 64;
 
 /// One ranking pass per user over a chunk of cases, batched through
-/// [`Recommender::recommend_batch`] so models that amortise per-call setup
-/// across a batch (BPR's score buffer, Closest Items' similarity buffer)
-/// serve the evaluator at batch speed.
+/// [`Recommender::recommend_batch_into`] so models that amortise per-call
+/// setup across a batch (BPR's score buffer, Closest Items' similarity
+/// buffer) serve the evaluator at batch speed. The ranking pool and the
+/// per-position hit counters persist across chunks, so per-user scoring
+/// does not touch the allocator once the buffers reach steady state.
 fn accumulate(rec: &dyn Recommender, cases: &[UserCase<'_>], ks: &[usize]) -> Accumulator {
     let max_k = *ks.iter().max().expect("non-empty ks");
     let mut acc = Accumulator::new(ks.len());
 
     let live: Vec<&UserCase<'_>> = cases.iter().filter(|c| !c.test.is_empty()).collect();
     let mut users: Vec<UserIdx> = Vec::with_capacity(EVAL_BATCH);
+    let mut rankings: Vec<Vec<u32>> = Vec::with_capacity(EVAL_BATCH);
+    let mut hits_at: Vec<u32> = Vec::new();
     for chunk in live.chunks(EVAL_BATCH) {
         users.clear();
         users.extend(chunk.iter().map(|c| c.user));
         // Full rankings (k unbounded): FR needs the first relevant
         // position wherever it falls.
-        let rankings = rec.recommend_batch(&users, usize::MAX);
+        rec.recommend_batch_into(&users, usize::MAX, &mut rankings);
         debug_assert_eq!(rankings.len(), chunk.len(), "recommend_batch contract");
         for (case, ranking) in chunk.iter().zip(&rankings) {
             acc.n_users += 1;
             // First relevant rank + cumulative hit counts at each position
             // up to max_k.
             let mut first_rank: Option<usize> = None;
-            let mut hits_at = vec![0u32; max_k + 1];
+            hits_at.clear();
+            hits_at.resize(max_k + 1, 0);
             let mut hits = 0u32;
             for (pos, &b) in ranking.iter().enumerate() {
                 let relevant = case.test.binary_search(&b).is_ok();
@@ -481,5 +486,85 @@ mod tests {
     fn empty_ks_rejected() {
         let r = rec();
         let _ = evaluate_at(&r, &[], &[]);
+    }
+
+    /// Wraps [`FixedRanking`] to observe how the harness drives the batch
+    /// path: counts calls and whether the ranking pool's first buffer kept
+    /// its allocation between chunks.
+    struct PoolProbe {
+        inner: FixedRanking,
+        calls: std::cell::Cell<usize>,
+        reuses: std::cell::Cell<usize>,
+        last_ptr: std::cell::Cell<*const u32>,
+    }
+
+    impl Recommender for PoolProbe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn fit(&mut self, train: &Interactions) {
+            self.inner.fit(train);
+        }
+        fn score(&self, u: UserIdx, b: BookIdx) -> f32 {
+            self.inner.score(u, b)
+        }
+        fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
+            self.inner.recommend(user, k)
+        }
+        fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
+            out.resize_with(users.len(), Vec::new);
+            for (&u, slot) in users.iter().zip(out.iter_mut()) {
+                slot.clear();
+                let seen = self.inner.train.seen(u);
+                slot.extend(
+                    (0..self.inner.train.n_books() as u32)
+                        .filter(|b| seen.binary_search(b).is_err())
+                        .take(k),
+                );
+            }
+            if let Some(first) = out.first() {
+                if first.as_ptr() == self.last_ptr.get() {
+                    self.reuses.set(self.reuses.get() + 1);
+                }
+                self.last_ptr.set(first.as_ptr());
+            }
+            self.calls.set(self.calls.get() + 1);
+        }
+        fn rank_all(&self, user: UserIdx) -> Vec<u32> {
+            self.inner.rank_all(user)
+        }
+    }
+
+    #[test]
+    fn harness_reuses_ranking_pool_across_chunks() {
+        // More cases than one EVAL_BATCH forces several batch calls; the
+        // harness must hand the model the *same* pool each time so ranking
+        // buffers are refilled in place (no per-user allocation).
+        let probe = PoolProbe {
+            inner: FixedRanking {
+                train: Interactions::from_pairs(200, 10, &[]),
+            },
+            calls: std::cell::Cell::new(0),
+            reuses: std::cell::Cell::new(0),
+            last_ptr: std::cell::Cell::new(std::ptr::null()),
+        };
+        let tests: Vec<Vec<u32>> = (0..200).map(|i| vec![(i % 10) as u32]).collect();
+        let cases: Vec<UserCase<'_>> = tests
+            .iter()
+            .enumerate()
+            .map(|(u, t)| UserCase {
+                user: UserIdx(u as u32),
+                test: t,
+            })
+            .collect();
+        let kpis = evaluate(&probe, &cases, 3);
+        assert_eq!(kpis.n_users, 200);
+        let calls = probe.calls.get();
+        assert!(calls >= 2, "expected several batch chunks, got {calls}");
+        assert_eq!(
+            probe.reuses.get(),
+            calls - 1,
+            "every chunk after the first must see the same pooled buffer"
+        );
     }
 }

@@ -3,7 +3,10 @@
 //! BPR stores `V ∈ R^(U×L)` and the transposed item factors `Pᵀ ∈ R^(B×L)` as
 //! `DenseMatrix`; SGD updates touch one row of each per step, so rows are the
 //! unit of access. L is small (5–64), so rows fit comfortably in cache lines
-//! and plain autovectorised loops in [`crate::vecops`] are the right kernel.
+//! and the lane-unrolled kernels in [`crate::vecops`] are the right tool;
+//! multi-query catalogue scans additionally block queries four at a time
+//! ([`DenseMatrix::matvec_block_into`]) so each row load from memory feeds
+//! four accumulator sets.
 
 use rand::Rng;
 use rand::RngExt;
@@ -136,50 +139,66 @@ impl DenseMatrix {
     /// [`DenseMatrix::matvec`] writing into `out` (cleared and refilled),
     /// so batch callers can reuse one allocation across calls.
     ///
+    /// One lane-unrolled [`crate::vecops::dot`] per row: with a single
+    /// query there is nothing to share across rows, and a one-query kernel
+    /// keeps all eight accumulators in registers (blocking rows through a
+    /// wider `dot_block` spills and measures slower). Row results are
+    /// bit-identical to [`DenseMatrix::matvec_block_into`]'s because the
+    /// kernel's reduction order depends only on the row length.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec_into(&self, x: &[f32], out: &mut Vec<f32>) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         out.clear();
-        out.extend((0..self.rows).map(|r| crate::vecops::dot(self.row(r), x)));
+        out.reserve(self.rows);
+        for r in 0..self.rows {
+            out.push(crate::vecops::dot(self.row(r), x));
+        }
     }
 
-    /// Four matrix–vector products in one pass over the matrix.
+    /// `N` matrix–vector products in one pass over the matrix: the shared
+    /// register-blocked matvec every batch scorer (rm-core recommenders and
+    /// the rm-serve engine) funnels through.
     ///
-    /// Batched recommendation scores many users against the same item
-    /// factors; fusing four queries shares every row load and runs four
-    /// independent accumulator chains, which is markedly faster than four
-    /// [`DenseMatrix::matvec_into`] calls even on a single core. Each
-    /// query accumulates in the same order as [`crate::vecops::dot`], so
-    /// results are bit-identical to the one-query path.
+    /// Queries are processed in register blocks of four: each row is loaded
+    /// from memory once and multiplied into four independent
+    /// [`crate::vecops::dot_block`] accumulator sets (the remainder runs
+    /// through the same kernel at narrower widths). Every query's scores
+    /// are bit-identical to [`DenseMatrix::matvec_into`] of that query
+    /// alone — the kernel's reduction order is width-independent — so
+    /// batch answers equal single-query answers exactly.
+    ///
+    /// `outs` entries are cleared and refilled; callers reuse them across
+    /// batches.
     ///
     /// # Panics
     ///
-    /// Panics if any query's length differs from `self.cols()`.
-    pub fn matvec4_into(&self, xs: [&[f32]; 4], outs: [&mut Vec<f32>; 4]) {
+    /// Panics if `xs.len() != outs.len()` or any query's length differs
+    /// from `self.cols()`.
+    pub fn matvec_block_into(&self, xs: &[&[f32]], outs: &mut [Vec<f32>]) {
+        assert_eq!(xs.len(), outs.len(), "query/output count mismatch");
         for x in xs {
             assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         }
-        let [o0, o1, o2, o3] = outs;
-        for o in [&mut *o0, &mut *o1, &mut *o2, &mut *o3] {
+        for o in outs.iter_mut() {
             o.clear();
             o.reserve(self.rows);
         }
-        let [x0, x1, x2, x3] = xs;
-        for r in 0..self.rows {
-            let row = self.row(r);
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for (j, &v) in row.iter().enumerate() {
-                s0 += v * x0[j];
-                s1 += v * x1[j];
-                s2 += v * x2[j];
-                s3 += v * x3[j];
+        let mut q = 0;
+        while q + 4 <= xs.len() {
+            let quad = [xs[q], xs[q + 1], xs[q + 2], xs[q + 3]];
+            for r in 0..self.rows {
+                let s = crate::vecops::dot_block(self.row(r), quad);
+                for (o, &v) in outs[q..q + 4].iter_mut().zip(&s) {
+                    o.push(v);
+                }
             }
-            o0.push(s0);
-            o1.push(s1);
-            o2.push(s2);
-            o3.push(s3);
+            q += 4;
+        }
+        for qi in q..xs.len() {
+            self.matvec_into(xs[qi], &mut outs[qi]);
         }
     }
 }
@@ -266,18 +285,41 @@ mod tests {
     }
 
     #[test]
-    fn matvec4_bitwise_matches_single_queries() {
+    fn matvec_block_bitwise_matches_single_queries() {
+        // Every query width 1..=9 (full quads plus each remainder shape)
+        // must be bit-identical to the one-query path: this is the
+        // contract batched recommendation relies on.
         let mut rng = rng_from_seed(5);
         let m = DenseMatrix::gaussian(97, 20, 1.0, &mut rng);
-        let qs = DenseMatrix::gaussian(4, 20, 1.0, &mut rng);
-        let mut outs = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        let [o0, o1, o2, o3] = &mut outs;
-        m.matvec4_into(
-            [qs.row(0), qs.row(1), qs.row(2), qs.row(3)],
-            [o0, o1, o2, o3],
-        );
-        for (i, out) in outs.iter().enumerate() {
-            assert_eq!(out, &m.matvec(qs.row(i)), "query {i}");
+        let qs = DenseMatrix::gaussian(9, 20, 1.0, &mut rng);
+        for n in 1..=qs.rows() {
+            let xs: Vec<&[f32]> = (0..n).map(|i| qs.row(i)).collect();
+            let mut outs = vec![Vec::new(); n];
+            m.matvec_block_into(&xs, &mut outs);
+            for (i, out) in outs.iter().enumerate() {
+                assert_eq!(out, &m.matvec(qs.row(i)), "width {n} query {i}");
+            }
         }
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffers() {
+        let mut rng = rng_from_seed(6);
+        let m = DenseMatrix::gaussian(33, 8, 1.0, &mut rng);
+        let q = DenseMatrix::gaussian(1, 8, 1.0, &mut rng);
+        let mut out = Vec::new();
+        m.matvec_into(q.row(0), &mut out);
+        let ptr = out.as_ptr();
+        m.matvec_into(q.row(0), &mut out);
+        assert_eq!(ptr, out.as_ptr(), "matvec_into must not reallocate");
+    }
+
+    #[test]
+    #[should_panic(expected = "query/output count mismatch")]
+    fn matvec_block_rejects_shape_mismatch() {
+        let m = DenseMatrix::zeros(2, 2);
+        let q = [0.0f32, 0.0];
+        let mut outs = vec![Vec::new(); 2];
+        m.matvec_block_into(&[&q], &mut outs);
     }
 }

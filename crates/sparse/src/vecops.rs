@@ -1,28 +1,140 @@
 //! Vector kernels shared by the factorisation and embedding code.
 //!
-//! All functions operate on equal-length slices and are written as plain
-//! indexed loops over `zip`ped iterators so LLVM autovectorises them; factor
-//! dimensions are small (L ≤ 64) and embedding dimensions moderate (≈ 256),
-//! so this is plenty without SIMD intrinsics.
+//! All reductions here are *lane-unrolled*: instead of one serial f32
+//! accumulator (whose loop-carried add latency LLVM may not reassociate,
+//! leaving the CPU idle most of every cycle), each kernel keeps [`LANES`]
+//! independent partial sums that the backend can vectorise and pipeline.
+//! On the single-core container this repo targets, that turns the dot
+//! product from FP-latency-bound into FP-throughput-bound.
+//!
+//! # Reduction-order contract
+//!
+//! f32 addition is not associative, so the summation order is part of the
+//! kernel's observable behaviour. Every reduction in this module follows
+//! one fixed, documented order (see [`dot_block`]):
+//!
+//! 1. elements are consumed in blocks of [`LANES`] = 8; element `i` of each
+//!    block accumulates into lane `i % 8`;
+//! 2. the eight lane sums are folded by successive halving — lane `i`
+//!    combines with lane `i + 4`, the four partials fold `i` with `i + 2`,
+//!    the last pair adds left-to-right:
+//!    `((l0+l4) + (l2+l6)) + ((l1+l5) + (l3+l7))`.
+//!    This is the tree a 4-wide SIMD horizontal reduction produces, so the
+//!    backend lowers it without any cross-lane shuffles in the hot loop;
+//! 3. the scalar tail (`len % 8` trailing elements) is added serially, in
+//!    index order, onto the tree result.
+//!
+//! The order depends only on the slice length — never on how many vectors
+//! share a kernel call — so [`dot`], the single-query rows-blocked
+//! [`crate::DenseMatrix::matvec_into`], and the multi-query
+//! [`crate::DenseMatrix::matvec_block_into`] all produce *bit-identical*
+//! scores for the same (row, query) pair. Results are deterministic across
+//! runs and platforms, but differ from the old single-accumulator chain in
+//! the last ulps; [`dot_ref`] preserves that chain as the reference the
+//! equivalence proptests compare against (relative 1e-5).
 
-/// Dot product.
+/// Number of independent accumulator lanes per reduction.
+pub const LANES: usize = 8;
+
+/// Scalar reference dot product — the pre-unrolling single-accumulator
+/// chain, kept for equivalence testing and benchmark baselines. Do not use
+/// on hot paths.
 ///
 /// # Panics
 ///
 /// Panics (debug) if lengths differ; in release the shorter length governs.
 #[inline]
 #[must_use]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub fn dot_ref(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
-/// `y += alpha * x`.
+/// `N` dot products sharing one pass over `a`: `out[q] = a · bs[q]`.
+///
+/// This is the one reduction kernel everything else is written in terms
+/// of. Each query keeps [`LANES`] independent accumulators; the reduction
+/// order (see the module docs) depends only on `a.len()`, so the result
+/// for query `q` is bit-identical to `dot(a, bs[q])` regardless of `N` —
+/// which is what lets blocked matvecs answer exactly like single queries.
+///
+/// Sharing the pass matters for matvec-shaped workloads: the row load from
+/// memory is paid once and amortised over `N` accumulator chains. `N` = 4
+/// with 8 lanes fills the SSE2 register file without spilling.
+///
+/// # Panics
+///
+/// Panics if any `bs[q]` is shorter than `a` (debug asserts exact
+/// equality).
+#[inline]
+#[must_use]
+pub fn dot_block<const N: usize>(a: &[f32], bs: [&[f32]; N]) -> [f32; N] {
+    let n = a.len();
+    // Re-slice to the shared length so the optimiser can drop per-element
+    // bounds checks in the inner loop.
+    let bs: [&[f32]; N] = std::array::from_fn(|q| {
+        debug_assert_eq!(a.len(), bs[q].len());
+        &bs[q][..n]
+    });
+    let mut lanes = [[0.0f32; LANES]; N];
+    let blocks = n / LANES;
+    for blk in 0..blocks {
+        let base = blk * LANES;
+        let av = &a[base..base + LANES];
+        for q in 0..N {
+            let bv = &bs[q][base..base + LANES];
+            for l in 0..LANES {
+                lanes[q][l] += av[l] * bv[l];
+            }
+        }
+    }
+    let mut out = [0.0f32; N];
+    let tail = blocks * LANES;
+    for q in 0..N {
+        let l = lanes[q];
+        // Fixed halving tree, then the serial tail — the documented order.
+        let h4 = [l[0] + l[4], l[1] + l[5], l[2] + l[6], l[3] + l[7]];
+        let h2 = [h4[0] + h4[2], h4[1] + h4[3]];
+        let mut s = h2[0] + h2[1];
+        for i in tail..n {
+            s += a[i] * bs[q][i];
+        }
+        out[q] = s;
+    }
+    out
+}
+
+/// Dot product (lane-unrolled; see the module's reduction-order contract).
+///
+/// # Panics
+///
+/// Panics if `b` is shorter than `a` (debug asserts exact equality).
+#[inline]
+#[must_use]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let [s] = dot_block(a, [b]);
+    s
+}
+
+/// `y += alpha * x`, unrolled in [`LANES`]-wide blocks.
+///
+/// Element-wise (no reduction), so results are bit-identical to the naive
+/// loop; the unroll only widens the store pipeline.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+    let n = x.len().min(y.len());
+    let blocks = n / LANES;
+    for blk in 0..blocks {
+        let base = blk * LANES;
+        let xv = &x[base..base + LANES];
+        let yv = &mut y[base..base + LANES];
+        for l in 0..LANES {
+            yv[l] += alpha * xv[l];
+        }
+    }
+    for i in blocks * LANES..n {
+        y[i] += alpha * x[i];
     }
 }
 
@@ -34,7 +146,7 @@ pub fn scale(alpha: f32, x: &mut [f32]) {
     }
 }
 
-/// Euclidean norm.
+/// Euclidean norm (lane-unrolled via [`dot`]).
 #[inline]
 #[must_use]
 pub fn norm2(a: &[f32]) -> f32 {
@@ -55,15 +167,44 @@ pub fn normalize(x: &mut [f32]) -> bool {
 }
 
 /// Cosine similarity; `0.0` when either vector is zero.
+///
+/// Fused: one pass accumulates `a·b`, `a·a`, and `b·b` together, each with
+/// its own [`LANES`] accumulators in the contract's reduction order.
 #[inline]
 #[must_use]
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = norm2(a);
-    let nb = norm2(b);
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut ab = [0.0f32; LANES];
+    let mut aa = [0.0f32; LANES];
+    let mut bb = [0.0f32; LANES];
+    let blocks = n / LANES;
+    for blk in 0..blocks {
+        let base = blk * LANES;
+        let av = &a[base..base + LANES];
+        let bv = &b[base..base + LANES];
+        for l in 0..LANES {
+            ab[l] += av[l] * bv[l];
+            aa[l] += av[l] * av[l];
+            bb[l] += bv[l] * bv[l];
+        }
+    }
+    let tree = |l: [f32; LANES]| {
+        let h4 = [l[0] + l[4], l[1] + l[5], l[2] + l[6], l[3] + l[7]];
+        (h4[0] + h4[2]) + (h4[1] + h4[3])
+    };
+    let (mut sab, mut saa, mut sbb) = (tree(ab), tree(aa), tree(bb));
+    for i in blocks * LANES..n {
+        sab += a[i] * b[i];
+        saa += a[i] * a[i];
+        sbb += b[i] * b[i];
+    }
+    let (na, nb) = (saa.sqrt(), sbb.sqrt());
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {
-        dot(a, b) / (na * nb)
+        sab / (na * nb)
     }
 }
 
@@ -127,7 +268,103 @@ mod tests {
         assert_eq!(mean_vector(&[&a, &b]), vec![1.0, 3.0]);
     }
 
+    /// Deterministic pseudo-random test vector (golden-ratio hash — keeps
+    /// the suite independent of any RNG crate).
+    fn test_vec(len: usize, salt: u64) -> Vec<f32> {
+        (0..len as u64)
+            .map(|i| {
+                let h = (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 40) as f32) / ((1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    /// Relative-tolerance comparison scaled to the magnitude of the sum of
+    /// absolute products (near-cancelling sums make the raw relative error
+    /// of the total unboundedly large for *any* summation order).
+    fn close_rel(got: f32, want: f32, scale: f32) {
+        let tol = 1e-5 * scale.max(1.0);
+        assert!(
+            (got - want).abs() <= tol,
+            "got {got}, want {want}, tol {tol}"
+        );
+    }
+
+    #[test]
+    fn dot_matches_ref_all_lengths_to_300() {
+        // Every tail length 0..LANES appears many times in 0..=300.
+        for len in 0..=300usize {
+            let a = test_vec(len, 1);
+            let b = test_vec(len, 2);
+            let scale: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            close_rel(dot(&a, &b), dot_ref(&a, &b), scale);
+        }
+    }
+
+    #[test]
+    fn dot_block_queries_bit_identical_to_single() {
+        // The contract that keeps blocked matvec == single matvec: each
+        // query's result must not depend on how many queries share the
+        // kernel call.
+        for len in [0usize, 1, 7, 8, 9, 20, 64, 100, 256, 300] {
+            let a = test_vec(len, 3);
+            let qs: Vec<Vec<f32>> = (0..4).map(|q| test_vec(len, 10 + q)).collect();
+            let block = dot_block(&a, [&qs[0], &qs[1], &qs[2], &qs[3]]);
+            for (q, qv) in qs.iter().enumerate() {
+                assert_eq!(block[q], dot(&a, qv), "len {len} query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_commutative_bitwise() {
+        // Blocked matvecs rely on a·b == b·a exactly (f32 multiply is
+        // commutative and the reduction order depends only on length).
+        for len in [5usize, 8, 31, 256] {
+            let a = test_vec(len, 4);
+            let b = test_vec(len, 5);
+            assert_eq!(dot(&a, &b), dot(&b, &a));
+        }
+    }
+
     proptest! {
+        #[test]
+        fn dot_equiv_ref_proptest(
+            len in 0usize..=300,
+            salt_a in 0u64..1000,
+            salt_b in 1000u64..2000,
+        ) {
+            let a = test_vec(len, salt_a);
+            let b = test_vec(len, salt_b);
+            let scale: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            let (got, want) = (dot(&a, &b), dot_ref(&a, &b));
+            prop_assert!((got - want).abs() <= 1e-5 * scale.max(1.0),
+                "len {} got {} want {}", len, got, want);
+        }
+
+        #[test]
+        fn norm2_equiv_ref_proptest(v in proptest::collection::vec(-10.0f32..10.0, 0..300)) {
+            let want = dot_ref(&v, &v).sqrt();
+            let got = norm2(&v);
+            // Same-sign summands: the relative error bound is tight.
+            prop_assert!((got - want).abs() <= 1e-5 * want.max(1.0));
+        }
+
+        #[test]
+        fn axpy_bitwise_matches_naive(
+            v in proptest::collection::vec(-10.0f32..10.0, 0..300),
+            alpha in -2.0f32..2.0,
+        ) {
+            let x = v.clone();
+            let mut y = test_vec(v.len(), 77);
+            let mut y_ref = y.clone();
+            axpy(alpha, &x, &mut y);
+            for (yi, &xi) in y_ref.iter_mut().zip(&x) {
+                *yi += alpha * xi;
+            }
+            prop_assert_eq!(y, y_ref);
+        }
+
         #[test]
         fn cosine_bounded(a in proptest::collection::vec(-10.0f32..10.0, 4), b in proptest::collection::vec(-10.0f32..10.0, 4)) {
             let c = cosine(&a, &b);
@@ -140,6 +377,20 @@ mod tests {
             let c1 = cosine(&v, &v);
             let c2 = cosine(&v, &scaled);
             prop_assert!((c1 - c2).abs() < 1e-4);
+        }
+
+        #[test]
+        fn cosine_matches_composed_kernels(
+            len in 1usize..300,
+            salt_a in 0u64..500,
+            salt_b in 500u64..1000,
+        ) {
+            // The fused kernel vs dot/norm2 composed the old way.
+            let a = test_vec(len, salt_a);
+            let b = test_vec(len, salt_b);
+            let (na, nb) = (dot_ref(&a, &a).sqrt(), dot_ref(&b, &b).sqrt());
+            let want = if na == 0.0 || nb == 0.0 { 0.0 } else { dot_ref(&a, &b) / (na * nb) };
+            prop_assert!((cosine(&a, &b) - want).abs() < 1e-4);
         }
 
         #[test]

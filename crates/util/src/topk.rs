@@ -105,7 +105,10 @@ impl TopK {
     /// (descending score, ascending item index on ties).
     #[must_use]
     pub fn into_sorted(mut self) -> Vec<Scored> {
-        self.heap.sort_by(|a, b| b.cmp_key(a));
+        // Unstable sort: `cmp_key` is total and no two entries share an
+        // item index, so stability buys nothing — and the unstable sort
+        // does not allocate, which the zero-alloc scoring path relies on.
+        self.heap.sort_unstable_by(|a, b| b.cmp_key(a));
         self.heap
     }
 
@@ -113,6 +116,32 @@ impl TopK {
     #[must_use]
     pub fn into_items(self) -> Vec<u32> {
         self.into_sorted().into_iter().map(|s| s.item).collect()
+    }
+
+    /// Re-arms the selector for a new `k`, keeping the heap's allocation —
+    /// the reuse hook of the zero-alloc scoring path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "top-k requires k >= 1");
+        self.k = k;
+        self.heap.clear();
+        // With the heap empty, this guarantees capacity >= k: it may grow
+        // the buffer on the first reuse with a larger k, and is a no-op
+        // (allocation-free) afterwards.
+        self.heap.reserve(k);
+    }
+
+    /// Drains the selection into `out` (cleared first) best-first, leaving
+    /// the selector empty but its allocation intact. Allocation-free once
+    /// `out` has capacity `k`.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        self.heap.sort_unstable_by(|a, b| b.cmp_key(a));
+        out.extend(self.heap.iter().map(|s| s.item));
+        self.heap.clear();
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -267,6 +296,44 @@ mod tests {
         for w in got.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    #[test]
+    fn reset_and_drain_reuse_allocations() {
+        let mut sel = TopK::new(8);
+        let mut out = Vec::with_capacity(8);
+        for round in 0..3u32 {
+            sel.reset(3);
+            for i in 0..50u32 {
+                sel.push(i, f64::from((i * 7 + round) % 13) as f32);
+            }
+            sel.drain_sorted_into(&mut out);
+            assert_eq!(out.len(), 3);
+            assert!(sel.is_empty());
+        }
+        // Pointer stability across a full reset+refill cycle proves the
+        // output buffer is reused, not reallocated.
+        let out_ptr = out.as_ptr();
+        sel.reset(3);
+        for i in 0..50u32 {
+            sel.push(i, i as f32);
+        }
+        sel.drain_sorted_into(&mut out);
+        assert_eq!(out.as_ptr(), out_ptr, "out buffer must be reused");
+        assert_eq!(out, vec![49, 48, 47]);
+    }
+
+    #[test]
+    fn drain_matches_into_sorted() {
+        let pairs = [(5u32, 1.0f32), (1, 3.0), (9, 2.0), (4, 3.0)];
+        let mut sel = TopK::new(3);
+        let mut from_drain = Vec::new();
+        for (i, s) in pairs {
+            sel.push(i, s);
+        }
+        sel.drain_sorted_into(&mut from_drain);
+        let from_sorted: Vec<u32> = top_k_of(pairs, 3).into_iter().map(|s| s.item).collect();
+        assert_eq!(from_drain, from_sorted);
     }
 
     proptest! {

@@ -25,6 +25,27 @@ cargo test -q -p rm-serve --test trace_tests
 cargo test -q -p rm-serve --features testing --test trace_tests
 cargo test -q -p rm-serve metrics
 
+echo "==> kernel equivalence suite (unrolled vecops vs scalar reference)"
+# The lane-unrolled kernels must stay within 1e-5 relative of dot_ref and
+# bit-identical across block widths; these proptests are the contract.
+cargo test -q -p rm-sparse vecops
+cargo test -q -p rm-sparse dense
+
+echo "==> kernel benches (smoke mode: exercises every kernel, timings noisy)"
+cargo run --release -q -p rm-bench --bin kernel-bench -- --smoke --out /tmp/kernel-bench-smoke.json
+
+echo "==> no ad-hoc dot products outside rm-sparse::vecops"
+# Every dot product must go through the lane-unrolled kernels so the
+# reduction-order contract holds repo-wide. The scalar reference chain
+# (dot_ref) and non-reduction uses live in the allowlist.
+if grep -rn --include='*.rs' -E '\.zip\(.*\)\s*\.map\(.*\)\s*\.sum\(\)' crates \
+    | grep -vFf scripts/dot_gate_allowlist.txt; then
+  echo "error: hand-rolled dot-product reduction outside rm-sparse::vecops" >&2
+  echo "       call rm_sparse::vecops::{dot, dot_block} (or dot_ref in tests/benches)" >&2
+  echo "       or add the exact line to scripts/dot_gate_allowlist.txt with a reason" >&2
+  exit 1
+fi
+
 echo "==> serve crate: no Instant::now() outside the Clock abstraction"
 # All serving-path timing flows through EngineConfig::clock so it is
 # testable under FakeClock. Deliberate exceptions (the cross-process
