@@ -15,7 +15,7 @@ use crate::genre::{GenreConfig, GenreModel, N_RAW_GENRES};
 use crate::ids::{BookIdx, Day, UserIdx};
 use crate::tables::{AnobiiItemsTable, BctBooksTable, LoansTable, RatingsTable};
 use rm_embed::tokenize::tokens;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// How the activity thresholds are applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -145,7 +145,11 @@ pub fn build_corpus(
     // --- 4. Readings union, deduplicated to the earliest date. ---
     let mut users: Vec<User> = Vec::new();
     let mut user_index: HashMap<(Source, u32), UserIdx> = HashMap::new();
-    let mut readings: HashMap<(u32, u32), Day> = HashMap::new();
+    // BTreeMap: the pruning loop and the final drain below iterate this
+    // map, and the iteration order must not depend on the hasher. Keys are
+    // (user, book) index pairs, so the drain is already in the final sort
+    // order (the sort_unstable_by_key stays as the explicit contract).
+    let mut readings: BTreeMap<(u32, u32), Day> = BTreeMap::new();
 
     let intern_user = |users: &mut Vec<User>,
                        user_index: &mut HashMap<(Source, u32), UserIdx>,

@@ -16,7 +16,7 @@
 use crate::encoder::{EncoderConfig, SemanticEncoder};
 use crate::idf::IdfModel;
 use crate::tokenize::{char_ngrams, is_stopword, tokens};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A sparse L2-normalised vector over a shared term vocabulary.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,7 +138,9 @@ impl ExactEncoder {
         // order varies per process (same invariant as the hashed encoder).
         let mut tf: Vec<(&str, u32)> = tf.into_iter().collect();
         tf.sort_unstable_by_key(|&(tok, _)| tok);
-        let mut acc: HashMap<u32, f32> = HashMap::new();
+        // BTreeMap so the drain below is already sorted by feature id —
+        // deterministic output order with no post-hoc sort.
+        let mut acc: BTreeMap<u32, f32> = BTreeMap::new();
         for &(tok, count) in &tf {
             let tf_w = if self.config.sublinear_tf {
                 1.0 + (count as f32).ln()
@@ -161,7 +163,6 @@ impl ExactEncoder {
             }
         }
         let mut pairs: Vec<(u32, f32)> = acc.into_iter().collect();
-        pairs.sort_unstable_by_key(|&(i, _)| i);
         let norm: f32 = pairs.iter().map(|&(_, v)| v * v).sum::<f32>().sqrt();
         if norm > 0.0 {
             for (_, v) in &mut pairs {

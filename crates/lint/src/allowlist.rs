@@ -1,0 +1,282 @@
+//! Structured allowlist: suppressions with mandatory reasons and
+//! stale-entry detection.
+//!
+//! The old `grep -vFf allowlist.txt` gates had two failure modes this
+//! format closes. A blank line in the file made `grep -vFf` drop *every*
+//! finding (fail-open); here an empty value or entry is a parse error
+//! (fail-closed). And entries outlived the code they excused; here an
+//! entry that suppresses nothing fails the run as *stale*, so the
+//! allowlist can only shrink unless someone writes a new reason.
+//!
+//! Format (TOML subset, parsed by hand to keep the crate dependency-free):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "instant-now-in-serve"
+//! path = "crates/serve/src/registry.rs"
+//! line-pattern = "let deadline = Instant::now() + wait;"
+//! reason = "cross-process registry file lock; wall-clock wait is the point"
+//! ```
+//!
+//! `rule`, `path`, and `reason` are mandatory; `line-pattern` (a literal
+//! substring of the offending source line) is optional but strongly
+//! recommended — without it the entry suppresses the rule for the whole
+//! file.
+
+use crate::diag::Finding;
+use crate::rules;
+
+/// One parsed `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (validated against the rule table).
+    pub rule: String,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Literal substring that must occur in the finding's source line.
+    pub line_pattern: Option<String>,
+    /// Why the suppression is sound. Mandatory.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for error messages.
+    pub src_line: u32,
+}
+
+/// A parsed allowlist file.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Outcome of filtering findings through an allowlist.
+#[derive(Debug)]
+pub struct FilterResult {
+    /// Findings not matched by any entry — real violations.
+    pub kept: Vec<Finding>,
+    /// Suppressed findings, paired with the index of the entry that
+    /// matched them (first matching entry wins).
+    pub suppressed: Vec<(Finding, usize)>,
+    /// Indices of entries that matched nothing — stale, fails the run.
+    pub stale: Vec<usize>,
+}
+
+impl Allowlist {
+    /// Parses the TOML-subset allowlist. Fail-closed: any malformed line,
+    /// empty value, unknown key, duplicate key, unknown rule id, or
+    /// incomplete entry is an error.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        // Accumulator for the entry being parsed.
+        let mut cur: Option<(u32, Vec<(String, String)>)> = None;
+        let flush = |cur: &mut Option<(u32, Vec<(String, String)>)>,
+                     entries: &mut Vec<AllowEntry>|
+         -> Result<(), String> {
+            let Some((hdr, fields)) = cur.take() else {
+                return Ok(());
+            };
+            let get = |k: &str| {
+                fields
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+            };
+            let rule =
+                get("rule").ok_or_else(|| format!("allowlist line {hdr}: entry missing `rule`"))?;
+            let path =
+                get("path").ok_or_else(|| format!("allowlist line {hdr}: entry missing `path`"))?;
+            let reason = get("reason")
+                .ok_or_else(|| format!("allowlist line {hdr}: entry missing mandatory `reason`"))?;
+            if rules::rule_by_id(&rule).is_none() {
+                return Err(format!(
+                    "allowlist line {hdr}: unknown rule `{rule}` (see --list-rules)"
+                ));
+            }
+            entries.push(AllowEntry {
+                rule,
+                path,
+                line_pattern: get("line-pattern"),
+                reason,
+                src_line: hdr,
+            });
+            Ok(())
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = (idx + 1) as u32;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush(&mut cur, &mut entries)?;
+                cur = Some((lineno, Vec::new()));
+                continue;
+            }
+            let Some((key, val)) = line.split_once('=') else {
+                return Err(format!(
+                    "allowlist line {lineno}: expected `key = \"value\"`, got `{line}`"
+                ));
+            };
+            let key = key.trim();
+            let val = val.trim();
+            if !matches!(key, "rule" | "path" | "line-pattern" | "reason") {
+                return Err(format!("allowlist line {lineno}: unknown key `{key}`"));
+            }
+            let Some(val) = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                return Err(format!(
+                    "allowlist line {lineno}: value for `{key}` must be double-quoted"
+                ));
+            };
+            if val.is_empty() {
+                return Err(format!(
+                    "allowlist line {lineno}: empty value for `{key}` \
+                     (the old grep gates failed open on blank entries; this one refuses them)"
+                ));
+            }
+            let Some((_, fields)) = cur.as_mut() else {
+                return Err(format!(
+                    "allowlist line {lineno}: `{key}` before any [[allow]] header"
+                ));
+            };
+            if fields.iter().any(|(k, _)| k == key) {
+                return Err(format!("allowlist line {lineno}: duplicate key `{key}`"));
+            }
+            fields.push((key.to_string(), val.to_string()));
+        }
+        flush(&mut cur, &mut entries)?;
+        Ok(Self { entries })
+    }
+
+    /// Splits findings into kept / suppressed, and reports stale entries.
+    #[must_use]
+    pub fn filter(&self, findings: Vec<Finding>) -> FilterResult {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for f in findings {
+            let hit = self.entries.iter().position(|e| {
+                e.rule == f.rule
+                    && e.path == f.path
+                    && e.line_pattern
+                        .as_deref()
+                        .is_none_or(|p| f.source_line.contains(p))
+            });
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed.push((f, i));
+                }
+                None => kept.push(f),
+            }
+        }
+        let stale = (0..self.entries.len()).filter(|&i| !used[i]).collect();
+        FilterResult {
+            kept,
+            suppressed,
+            stale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            fix_hint: "",
+            source_line: line.into(),
+        }
+    }
+
+    const GOOD: &str = r#"
+# comment
+[[allow]]
+rule = "instant-now-in-serve"
+path = "crates/serve/src/registry.rs"
+line-pattern = "Instant::now() + wait"
+reason = "file-lock wait"
+"#;
+
+    #[test]
+    fn parses_and_suppresses() {
+        let al = Allowlist::parse(GOOD).unwrap();
+        assert_eq!(al.entries.len(), 1);
+        let r = al.filter(vec![finding(
+            "instant-now-in-serve",
+            "crates/serve/src/registry.rs",
+            "let deadline = Instant::now() + wait;",
+        )]);
+        assert!(r.kept.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entry_is_reported() {
+        let al = Allowlist::parse(GOOD).unwrap();
+        let r = al.filter(vec![]);
+        assert_eq!(r.stale, vec![0]);
+    }
+
+    #[test]
+    fn wrong_path_or_pattern_does_not_suppress() {
+        let al = Allowlist::parse(GOOD).unwrap();
+        let r = al.filter(vec![
+            finding(
+                "instant-now-in-serve",
+                "crates/serve/src/engine.rs",
+                "Instant::now() + wait",
+            ),
+            finding(
+                "instant-now-in-serve",
+                "crates/serve/src/registry.rs",
+                "let t = Instant::now();",
+            ),
+        ]);
+        assert_eq!(r.kept.len(), 2);
+        assert_eq!(r.stale, vec![0]);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let bad = "[[allow]]\nrule = \"panic-in-library\"\npath = \"x.rs\"\n";
+        let err = Allowlist::parse(bad).unwrap_err();
+        assert!(err.contains("mandatory `reason`"), "{err}");
+    }
+
+    #[test]
+    fn empty_value_is_fail_closed() {
+        let bad = "[[allow]]\nrule = \"\"\npath = \"x.rs\"\nreason = \"r\"\n";
+        let err = Allowlist::parse(bad).unwrap_err();
+        assert!(err.contains("empty value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rule_and_key_are_errors() {
+        let bad = "[[allow]]\nrule = \"no-such\"\npath = \"x.rs\"\nreason = \"r\"\n";
+        assert!(Allowlist::parse(bad).unwrap_err().contains("unknown rule"));
+        let bad = "[[allow]]\nrulez = \"x\"\n";
+        assert!(Allowlist::parse(bad).unwrap_err().contains("unknown key"));
+    }
+
+    #[test]
+    fn duplicate_key_and_orphan_field_are_errors() {
+        let bad = "[[allow]]\nrule = \"panic-in-library\"\nrule = \"panic-in-library\"\n";
+        assert!(Allowlist::parse(bad).unwrap_err().contains("duplicate key"));
+        let bad = "rule = \"panic-in-library\"\n";
+        assert!(Allowlist::parse(bad)
+            .unwrap_err()
+            .contains("before any [[allow]]"));
+    }
+
+    #[test]
+    fn unquoted_value_is_an_error() {
+        let bad = "[[allow]]\nrule = panic-in-library\n";
+        assert!(Allowlist::parse(bad).unwrap_err().contains("double-quoted"));
+    }
+}

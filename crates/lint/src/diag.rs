@@ -1,0 +1,66 @@
+//! Diagnostics: what a rule reports when an invariant is violated.
+
+use std::fmt;
+
+/// One lint finding at a precise source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `dot-outside-vecops`.
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the workspace root.
+    pub path: String,
+    /// 1-based line of the first token of the match.
+    pub line: u32,
+    /// 1-based column (characters) of the first token of the match.
+    pub col: u32,
+    /// One-sentence description of the violation.
+    pub message: String,
+    /// Concrete suggestion for bringing the code back inside the invariant.
+    pub fix_hint: &'static str,
+    /// The full source line the finding sits on (used by allowlist
+    /// `line-pattern` matching and shown in the diagnostic).
+    pub source_line: String,
+}
+
+impl Finding {
+    /// Sort key giving a deterministic report order.
+    #[must_use]
+    pub fn sort_key(&self) -> (&str, u32, u32, &str) {
+        (&self.path, self.line, self.col, self.rule)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "error[{}]: {}\n  --> {}:{}:{}",
+            self.rule, self.message, self.path, self.line, self.col
+        )?;
+        writeln!(f, "   | {}", self.source_line.trim_end())?;
+        write!(f, "   = help: {}", self.fix_hint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_rustc_style() {
+        let f = Finding {
+            rule: "demo-rule",
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            col: 13,
+            message: "bad thing".into(),
+            fix_hint: "do the good thing",
+            source_line: "    let x = bad();".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("error[demo-rule]: bad thing"));
+        assert!(s.contains("--> crates/x/src/lib.rs:7:13"));
+        assert!(s.contains("let x = bad();"));
+        assert!(s.contains("help: do the good thing"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Orchestration: walk the workspace, lex each file, run every in-scope
+//! rule, thread findings through the allowlist, and sort the results.
+
+use crate::allowlist::Allowlist;
+use crate::diag::Finding;
+use crate::lexer::{lex, mark_test_regions};
+use crate::rules::RULES;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Configuration for one lint run.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Workspace root (the directory containing `crates/`).
+    pub root: PathBuf,
+    /// Parsed allowlist (empty when none was given).
+    pub allowlist: Option<Allowlist>,
+}
+
+/// Result of a lint run, pre-sorted for deterministic output.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Live findings (not allowlisted). Non-empty ⇒ the run fails.
+    pub findings: Vec<Finding>,
+    /// Allowlisted findings with the matching entry index.
+    pub suppressed: Vec<(Finding, usize)>,
+    /// Indices of allowlist entries that matched nothing (stale ⇒ fail).
+    pub stale: Vec<usize>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl RunOutcome {
+    /// True when the run found nothing live and nothing stale.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Collects every `.rs` file under `root/crates`, sorted, skipping build
+/// output and the lint fixtures (which contain deliberate violations).
+fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let mut names: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        names.sort();
+        for p in names {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if p.is_dir() {
+                if name == "target" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative, `/`-separated path for scopes and diagnostics.
+fn rel_path(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints one source text as `path` (workspace-relative). Exposed for the
+/// fixture golden tests.
+#[must_use]
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let mut tokens = lex(src);
+    mark_test_regions(&mut tokens);
+    let in_tests_dir = path.contains("/tests/");
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+    for rule in RULES {
+        if !(rule.applies)(path) {
+            continue;
+        }
+        // Dedupe anchors: two patterns of one rule may hit the same token.
+        let anchors: BTreeSet<usize> = (rule.check)(&tokens).into_iter().collect();
+        for idx in anchors {
+            let tok = &tokens[idx];
+            if rule.test_exempt && (tok.in_test || in_tests_dir) {
+                continue;
+            }
+            let source_line = lines
+                .get(tok.line as usize - 1)
+                .map_or_else(String::new, |l| (*l).to_string());
+            findings.push(Finding {
+                rule: rule.id,
+                path: path.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: rule.message.to_string(),
+                fix_hint: rule.fix_hint,
+                source_line,
+            });
+        }
+    }
+    findings
+}
+
+/// Runs the full lint over `cfg.root`.
+pub fn run(cfg: &RunConfig) -> Result<RunOutcome, String> {
+    let files = collect_files(&cfg.root)?;
+    let mut all = Vec::new();
+    for p in &files {
+        let src = fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        let rel = rel_path(&cfg.root, p);
+        all.extend(lint_source(&rel, &src));
+    }
+    all.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    let (findings, suppressed, stale) = match &cfg.allowlist {
+        Some(al) => {
+            let r = al.filter(all);
+            (r.kept, r.suppressed, r.stale)
+        }
+        None => (all, Vec::new(), Vec::new()),
+    };
+    Ok(RunOutcome {
+        findings,
+        suppressed,
+        stale,
+        files_scanned: files.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_applies_scopes_and_test_exemptions() {
+        // panic-in-library fires in serve src…
+        let f = lint_source("crates/serve/src/x.rs", "fn f() { panic!(\"boom\"); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "panic-in-library");
+        assert_eq!((f[0].line, f[0].col), (1, 10));
+        assert_eq!(f[0].source_line, "fn f() { panic!(\"boom\"); }");
+        // …but not inside cfg(test)…
+        let f = lint_source(
+            "crates/serve/src/x.rs",
+            "#[cfg(test)] mod t { fn f() { panic!(); } }",
+        );
+        assert!(f.is_empty());
+        // …and not at all outside rm-serve.
+        let f = lint_source("crates/eval/src/x.rs", "fn f() { panic!(); }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn tests_dir_exemption_honours_per_rule_flag() {
+        // Rule 2 scans integration tests (test_exempt = false)…
+        let f = lint_source("crates/serve/tests/chaos.rs", "let t = Instant::now();");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "instant-now-in-serve");
+        // …rule 3 does not even apply there.
+        let f = lint_source("crates/serve/tests/chaos.rs", "let g = mu.lock().unwrap();");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn findings_carry_positions_across_lines() {
+        let src = "fn f(a: &[f32], b: &[f32]) -> f32 {\n    a.iter()\n        .zip(b)\n        .map(|(x, y)| x * y)\n        .sum()\n}\n";
+        let f = lint_source("crates/eval/src/metrics.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "dot-outside-vecops");
+        assert_eq!(f[0].line, 3); // anchored at `.zip`
+        assert!(f[0].source_line.contains(".zip(b)"));
+    }
+}

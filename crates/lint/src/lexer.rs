@@ -1,0 +1,624 @@
+//! A token-level Rust lexer.
+//!
+//! Rules must not fire on `"zip().map().sum()"` inside a string literal or
+//! on commented-out code, and must survive line moves — so the unit of
+//! analysis is the token, not the line. The lexer handles exactly the parts
+//! of Rust's lexical grammar that matter for that guarantee:
+//!
+//! * `//` line comments (incl. doc comments) and nested `/* /* */ */`
+//!   block comments — dropped;
+//! * string literals `"…"` with escapes, raw strings `r"…"` / `r#"…"#`
+//!   with arbitrary `#` fences, byte strings `b"…"` / `br#"…"#`;
+//! * char and byte-char literals `'a'`, `'\n'`, `b'x'`;
+//! * lifetimes: `'a` is a [`TokKind::Lifetime`], `'a'` is a
+//!   [`TokKind::Char`] — disambiguated by the closing quote;
+//! * raw identifiers `r#type` (a [`TokKind::Ident`] with the fence
+//!   stripped);
+//! * numbers, including `0.0f32`, `1_000`, `1e-3`, and `0..n` (the `.` of
+//!   a range never glues onto the number);
+//! * everything else as single-character [`TokKind::Punct`] tokens.
+//!
+//! The lexer is loss-tolerant: malformed input never panics, it just
+//! produces best-effort tokens. That is the right trade-off for a lint
+//! that runs on code `rustc` already accepted.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers lose their `r#` fence).
+    Ident,
+    /// Lifetime such as `'a` (without the quote in [`Token::text`]).
+    Lifetime,
+    /// Character literal `'a'` / byte-char `b'a'`.
+    Char,
+    /// String literal of any flavour (plain, raw, byte, raw-byte).
+    Str,
+    /// Numeric literal (integer or float, with any suffix).
+    Num,
+    /// A single punctuation character (`.`, `:`, `(`, …).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token's text. For [`TokKind::Str`] this is the *content* with
+    /// delimiters stripped; rules never need to re-parse quoting.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column (in characters) of the token's first character.
+    pub col: u32,
+    /// True when the token sits inside a `#[cfg(test)]` / `#[test]` item
+    /// (set by [`mark_test_regions`], not by the lexer itself).
+    pub in_test: bool,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Looks one character past the next one (clones the tail iterator —
+    /// fine at lint scale).
+    fn peek2(&mut self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into semantic tokens; comments and whitespace are dropped.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+            }
+            '/' if cur.peek2() == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.bump(), cur.peek()) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (None, _) => break,
+                        _ => {}
+                    }
+                }
+            }
+            '"' => {
+                let text = lex_plain_string(&mut cur);
+                out.push(tok(TokKind::Str, text, line, col));
+            }
+            '\'' => {
+                let t = lex_quote(&mut cur);
+                out.push(Token {
+                    line,
+                    col,
+                    in_test: false,
+                    ..t
+                });
+            }
+            'r' | 'b' if starts_literal_prefix(&mut cur) => {
+                let t = lex_prefixed(&mut cur);
+                out.push(Token {
+                    line,
+                    col,
+                    in_test: false,
+                    ..t
+                });
+            }
+            _ if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(tok(TokKind::Ident, text, line, col));
+            }
+            _ if c.is_ascii_digit() => {
+                let text = lex_number(&mut cur);
+                out.push(tok(TokKind::Num, text, line, col));
+            }
+            _ => {
+                cur.bump();
+                out.push(tok(TokKind::Punct, c.to_string(), line, col));
+            }
+        }
+    }
+    out
+}
+
+fn tok(kind: TokKind, text: String, line: u32, col: u32) -> Token {
+    Token {
+        kind,
+        text,
+        line,
+        col,
+        in_test: false,
+    }
+}
+
+/// Does the `r` / `b` at the cursor start a literal (`r"`, `r#"`, `r#ident`,
+/// `b"`, `b'`, `br"`, `br#"`), as opposed to a plain identifier?
+fn starts_literal_prefix(cur: &mut Cursor<'_>) -> bool {
+    let mut it = cur.chars.clone();
+    let first = it.next();
+    let mut rest = it.clone();
+    match (first, rest.next()) {
+        (Some('r'), Some('"' | '#')) => true,
+        (Some('b'), Some('"' | '\'')) => true,
+        (Some('b'), Some('r')) => matches!(rest.next(), Some('"' | '#')),
+        _ => false,
+    }
+}
+
+/// Lexes `r…` / `b…` prefixed literals and raw identifiers. The cursor sits
+/// on the prefix character.
+fn lex_prefixed(cur: &mut Cursor<'_>) -> Token {
+    let first = cur.bump().unwrap_or('r');
+    if first == 'b' {
+        match cur.peek() {
+            Some('\'') => return lex_quote(cur),
+            Some('"') => {
+                let text = lex_plain_string(cur);
+                return tok(TokKind::Str, text, 0, 0);
+            }
+            Some('r') => {
+                cur.bump();
+            }
+            _ => return tok(TokKind::Ident, "b".into(), 0, 0),
+        }
+    }
+    // Here: after `r` (or `br`). Count `#` fences.
+    let mut fence = 0usize;
+    while cur.peek() == Some('#') {
+        fence += 1;
+        cur.bump();
+    }
+    if cur.peek() == Some('"') {
+        cur.bump();
+        let mut text = String::new();
+        // Raw string: ends at `"` followed by `fence` hashes.
+        'scan: while let Some(c) = cur.bump() {
+            if c == '"' {
+                let mut it = cur.chars.clone();
+                for _ in 0..fence {
+                    if it.next() != Some('#') {
+                        text.push('"');
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..fence {
+                    cur.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        return tok(TokKind::Str, text, 0, 0);
+    }
+    if fence > 0 && cur.peek().is_some_and(is_ident_start) {
+        // Raw identifier `r#type`.
+        let mut text = String::new();
+        while let Some(c) = cur.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return tok(TokKind::Ident, text, 0, 0);
+    }
+    // `r` followed by nothing special: it was just the identifier `r`
+    // (unreachable through `starts_literal_prefix`, kept for robustness).
+    tok(TokKind::Ident, "r".into(), 0, 0)
+}
+
+/// Lexes a `"…"` string; the cursor sits on the opening quote.
+fn lex_plain_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump();
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                // Keep the escape verbatim; rules only need "not code".
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    text
+}
+
+/// Lexes from a `'`: either a lifetime (`'a`) or a char literal (`'a'`,
+/// `'\n'`, `'\u{1F600}'`). The cursor sits on the quote.
+fn lex_quote(cur: &mut Cursor<'_>) -> Token {
+    cur.bump();
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume until the closing quote.
+            let mut text = String::new();
+            text.push(cur.bump().unwrap_or('\\'));
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            tok(TokKind::Char, text, 0, 0)
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char, `'a` (no closing quote after the ident) is a
+            // lifetime. Consume the ident run, then look for the quote.
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                tok(TokKind::Char, text, 0, 0)
+            } else {
+                tok(TokKind::Lifetime, text, 0, 0)
+            }
+        }
+        Some(c) => {
+            // Single non-ident char literal like '(' or '1'.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            tok(TokKind::Char, c.to_string(), 0, 0)
+        }
+        None => tok(TokKind::Punct, "'".into(), 0, 0),
+    }
+}
+
+/// Lexes a numeric literal; the cursor sits on the first digit.
+fn lex_number(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+            // Exponent sign: `1e-3` / `1E+9`, only when a digit follows.
+            if (c == 'e' || c == 'E')
+                && matches!(cur.peek(), Some('+' | '-'))
+                && cur.peek2().is_some_and(|d| d.is_ascii_digit())
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+            {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+        } else if c == '.' && cur.peek2().is_some_and(|d| d.is_ascii_digit()) && !text.contains('.')
+        {
+            // `0.5` continues the number; `0..n` and `1.max(2)` do not.
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+/// Marks every token belonging to a `#[cfg(test)]` / `#[test]` item (the
+/// attribute, the item header, and its entire `{ … }` body or `;`-ended
+/// signature) with [`Token::in_test`], so rules can exempt test code.
+///
+/// An attribute is test-like when it is exactly `#[test]`, or a `#[cfg(…)]`
+/// whose argument mentions the `test` flag anywhere (`#[cfg(test)]`,
+/// `#[cfg(all(test, feature = "x"))]`, …).
+pub fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, test_like)) = scan_attribute(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !test_like {
+            i = attr_end + 1;
+            continue;
+        }
+        // Swallow any further attributes on the same item.
+        let mut j = attr_end + 1;
+        while j < tokens.len()
+            && tokens[j].is_punct('#')
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match scan_attribute(tokens, j) {
+                Some((end, _)) => j = end + 1,
+                None => break,
+            }
+        }
+        // Mark through the item: its `{ … }` body, or `;` at depth 0.
+        let end = item_end(tokens, j).min(tokens.len() - 1);
+        for t in &mut tokens[i..=end] {
+            t.in_test = true;
+        }
+        i = end.saturating_add(1);
+    }
+}
+
+/// Scans the `#[ … ]` starting at `start` (pointing at `#`). Returns the
+/// index of the closing `]` and whether the attribute is test-like.
+fn scan_attribute(tokens: &[Token], start: usize) -> Option<(usize, bool)> {
+    let mut depth = 0i32;
+    let mut is_cfg = false;
+    let mut saw_test = false;
+    let mut first_ident: Option<&str> = None;
+    let mut j = start + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                let test_like = matches!(first_ident, Some("test"))
+                    || (is_cfg && saw_test)
+                    || matches!(first_ident, Some("should_panic"));
+                return Some((j, test_like));
+            }
+        } else if t.kind == TokKind::Ident {
+            if first_ident.is_none() {
+                first_ident = Some(&t.text);
+                is_cfg = t.text == "cfg";
+            }
+            if t.text == "test" {
+                saw_test = true;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Finds the index of the last token of the item starting at `start`: the
+/// matching `}` of its first depth-0 block, or the first `;` at depth 0.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(') => paren += 1,
+                Some(b')') => paren -= 1,
+                Some(b'[') => bracket += 1,
+                Some(b']') => bracket -= 1,
+                Some(b'{') => brace += 1,
+                Some(b'}') => {
+                    brace -= 1;
+                    if brace == 0 {
+                        return j;
+                    }
+                }
+                Some(b';') if paren == 0 && bracket == 0 && brace == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_dropped_including_nested_blocks() {
+        let toks = texts("a // zip().map().sum()\n/* outer /* inner */ still */ b");
+        assert_eq!(
+            toks,
+            vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]
+        );
+    }
+
+    #[test]
+    fn string_contents_are_not_code() {
+        let toks = lex(r#"let s = "a.zip(b).map(f).sum()";"#);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+        // No ident token `zip` escapes the literal.
+        assert!(!toks.iter().any(|t| t.is_ident("zip")));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = texts(r###"r#"quote " inside"# r##"double ## fence"## x"###);
+        assert_eq!(toks[0], (TokKind::Str, "quote \" inside".into()));
+        assert_eq!(toks[1], (TokKind::Str, "double ## fence".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = texts(r#"b"bytes" b'x' br"raw bytes""#);
+        assert_eq!(toks[0], (TokKind::Str, "bytes".into()));
+        assert_eq!(toks[1], (TokKind::Char, "x".into()));
+        assert_eq!(toks[2], (TokKind::Str, "raw bytes".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = texts("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = texts("r#type r#match plain");
+        assert_eq!(toks[0], (TokKind::Ident, "type".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "match".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "plain".into()));
+    }
+
+    #[test]
+    fn numbers_keep_fractions_but_not_ranges() {
+        let toks = texts("0.5 0..10 1_000f32 1e-3 1.max(2)");
+        assert_eq!(toks[0], (TokKind::Num, "0.5".into()));
+        assert_eq!(toks[1], (TokKind::Num, "0".into()));
+        assert!(toks[2].1 == "." && toks[3].1 == ".");
+        assert_eq!(toks[4], (TokKind::Num, "10".into()));
+        assert_eq!(toks[5], (TokKind::Num, "1_000f32".into()));
+        assert_eq!(toks[6], (TokKind::Num, "1e-3".into()));
+        assert_eq!(toks[7], (TokKind::Num, "1".into()));
+        assert_eq!(toks[8].1, ".");
+        assert_eq!(toks[9], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.iter(); }\n}\nfn live2() {}";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        let live: Vec<&Token> = toks.iter().filter(|t| !t.in_test).collect();
+        assert!(live.iter().any(|t| t.is_ident("live")));
+        assert!(live.iter().any(|t| t.is_ident("live2")));
+        assert!(!live.iter().any(|t| t.is_ident("iter")));
+    }
+
+    #[test]
+    fn cfg_all_with_test_is_marked() {
+        let src = "#[cfg(all(test, feature = \"x\"))] fn t() { lock(); } fn live() { lock(); }";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        let live_locks = toks
+            .iter()
+            .filter(|t| t.is_ident("lock") && !t.in_test)
+            .count();
+        assert_eq!(live_locks, 1);
+    }
+
+    #[test]
+    fn cfg_feature_is_not_marked() {
+        let src = "#[cfg(feature = \"testing\")] fn injected() { panic!(); }";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        assert!(toks.iter().all(|t| !t.in_test), "feature gate is live code");
+    }
+
+    #[test]
+    fn semicolon_items_and_stacked_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nuse std::collections::HashMap;\nfn live() {}";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        assert!(toks
+            .iter()
+            .filter(|t| t.is_ident("HashMap"))
+            .all(|t| t.in_test));
+        assert!(toks.iter().any(|t| t.is_ident("live") && !t.in_test));
+    }
+}

@@ -1,0 +1,39 @@
+//! `rm-lint` — from-scratch static analysis over the workspace sources.
+//!
+//! The paper's headline result (Table 1) is only reproducible because this
+//! repo pins determinism and reduction order everywhere: every dot product
+//! goes through the lane-unrolled `rm_sparse::vecops` kernels, serving-path
+//! timing flows through the `Clock` abstraction, the serving path degrades
+//! instead of aborting, and model-affecting code never iterates a
+//! `HashMap`/`HashSet` in an order-sensitive way. Those contracts used to be
+//! enforced by `grep | grep -vFf allowlist` gates in `scripts/check.sh`,
+//! which knew nothing about strings, comments, or line moves — and silently
+//! failed open on a blank allowlist line.
+//!
+//! `rm-lint` replaces them with a real (if small) static-analysis pass:
+//!
+//! * [`lexer`] — a token-level Rust lexer (line + nested block comments,
+//!   string / raw-string / byte / char literals, lifetime-vs-char
+//!   disambiguation) so rules see code, not text;
+//! * [`rules`] — the rule engine: per-rule path scopes and `cfg(test)` /
+//!   tests-dir exemptions, token-pattern matchers for each invariant;
+//! * [`allowlist`] — structured allowlist entries (`rule`, `path`,
+//!   `line-pattern`, mandatory `reason`) with stale-entry detection: an
+//!   entry that matches nothing fails the run, so suppressions can never
+//!   outlive the code they excuse;
+//! * [`diag`] — rustc-style `file:line:col` diagnostics;
+//! * [`report`] — a machine-readable `LINT_report.json` CI can diff.
+//!
+//! The crate has no dependencies (no syn, no proc-macro) consistent with
+//! the workspace's vendored-only policy. See DESIGN.md §14.
+
+pub mod allowlist;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use allowlist::Allowlist;
+pub use diag::Finding;
+pub use engine::{run, RunConfig, RunOutcome};

@@ -1,0 +1,126 @@
+//! `rm-lint` CLI.
+//!
+//! ```text
+//! rm-lint [--root DIR] [--allowlist FILE] [--report FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean; 1 live findings or stale allowlist entries;
+//! 2 usage / IO / allowlist-parse error. Diagnostics go to stderr, the
+//! summary line to stdout, so `cargo lint 2>&1 | tail -1` shows the verdict.
+
+use rm_lint::allowlist::Allowlist;
+use rm_lint::engine::{run, RunConfig};
+use rm_lint::report;
+use rm_lint::rules::RULES;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rm-lint [--root DIR] [--allowlist FILE] [--report FILE] [--list-rules]
+  --root DIR        workspace root to scan (default: .)
+  --allowlist FILE  structured allowlist (default: <root>/scripts/lint_allowlist.toml if present)
+  --report FILE     write LINT_report.json-style report to FILE
+  --list-rules      print the rule table and exit";
+
+fn list_rules() {
+    println!("{:<28} {:<8} SCOPE / SUMMARY", "RULE", "TESTS");
+    for r in RULES {
+        println!(
+            "{:<28} {:<8} {}",
+            r.id,
+            if r.test_exempt { "exempt" } else { "checked" },
+            r.scope
+        );
+        println!("{:<28} {:<8} {}", "", "", r.summary);
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                list_rules();
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a value")?);
+            }
+            "--allowlist" => {
+                allowlist_path = Some(PathBuf::from(
+                    args.next().ok_or("--allowlist needs a value")?,
+                ));
+            }
+            "--report" => {
+                report_path = Some(PathBuf::from(args.next().ok_or("--report needs a value")?));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let allowlist_path = allowlist_path.or_else(|| {
+        let default = root.join("scripts/lint_allowlist.toml");
+        default.exists().then_some(default)
+    });
+    let allowlist = match &allowlist_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read allowlist {}: {e}", p.display()))?;
+            Some(Allowlist::parse(&text)?)
+        }
+        None => None,
+    };
+    let entries = allowlist
+        .as_ref()
+        .map(|a| a.entries.clone())
+        .unwrap_or_default();
+    let outcome = run(&RunConfig { root, allowlist })?;
+
+    for f in &outcome.findings {
+        eprintln!("{f}\n");
+    }
+    for &i in &outcome.stale {
+        let e = &entries[i];
+        eprintln!(
+            "error[stale-allowlist-entry]: entry at {}:{} (rule `{}`, path `{}`) matched nothing\n   = help: the code it excused is gone — delete the entry (reason was: {})",
+            allowlist_path
+                .as_ref()
+                .map_or_else(|| "<allowlist>".into(), |p| p.display().to_string()),
+            e.src_line,
+            e.rule,
+            e.path,
+            e.reason
+        );
+    }
+    if let Some(p) = &report_path {
+        std::fs::write(p, report::render(&outcome, &entries))
+            .map_err(|e| format!("cannot write report {}: {e}", p.display()))?;
+    }
+    println!(
+        "rm-lint: {} files scanned, {} findings, {} allowlisted, {} stale allowlist entries",
+        outcome.files_scanned,
+        outcome.findings.len(),
+        outcome.suppressed.len(),
+        outcome.stale.len()
+    );
+    Ok(if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("rm-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

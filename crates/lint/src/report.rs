@@ -1,0 +1,141 @@
+//! Machine-readable `LINT_report.json` emission.
+//!
+//! The report is the self-audit artifact committed with the repo: CI can
+//! diff it to see when a new suppression appears or a rule's finding count
+//! moves. JSON is hand-rolled (sorted, stable field order, trailing
+//! newline) so the artifact is byte-reproducible across runs.
+
+use crate::allowlist::AllowEntry;
+use crate::diag::Finding;
+use crate::engine::RunOutcome;
+use crate::rules::RULES;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding, indent: &str) -> String {
+    format!(
+        "{indent}{{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+        esc(f.rule),
+        esc(&f.path),
+        f.line,
+        f.col,
+        esc(&f.message)
+    )
+}
+
+/// Renders the full report. Findings and suppressions are pre-sorted by
+/// the engine; rules appear in table order with both live and allowlisted
+/// counts so a clean run still documents what the allowlist carries.
+#[must_use]
+pub fn render(outcome: &RunOutcome, entries: &[AllowEntry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"tool\": \"rm-lint\",");
+    let _ = writeln!(s, "  \"files_scanned\": {},", outcome.files_scanned);
+    let _ = writeln!(
+        s,
+        "  \"total\": {{\"findings\": {}, \"allowlisted\": {}, \"stale_allowlist_entries\": {}}},",
+        outcome.findings.len(),
+        outcome.suppressed.len(),
+        outcome.stale.len()
+    );
+    s.push_str("  \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        let live = outcome.findings.iter().filter(|f| f.rule == r.id).count();
+        let allowed = outcome
+            .suppressed
+            .iter()
+            .filter(|(f, _)| f.rule == r.id)
+            .count();
+        let _ = write!(
+            s,
+            "    {{\"id\": \"{}\", \"findings\": {live}, \"allowlisted\": {allowed}}}",
+            esc(r.id)
+        );
+        s.push_str(if i + 1 < RULES.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        s.push_str(&finding_json(f, "    "));
+        s.push_str(if i + 1 < outcome.findings.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"allowlisted\": [\n");
+    for (i, (f, entry_idx)) in outcome.suppressed.iter().enumerate() {
+        let reason = entries
+            .get(*entry_idx)
+            .map_or("", |e: &AllowEntry| e.reason.as_str());
+        let _ = write!(
+            s,
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
+            esc(f.rule),
+            esc(&f.path),
+            f.line,
+            esc(reason)
+        );
+        s.push_str(if i + 1 < outcome.suppressed.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RunOutcome;
+
+    #[test]
+    fn report_is_valid_enough_json_and_counts_match() {
+        let outcome = RunOutcome {
+            findings: vec![Finding {
+                rule: "panic-in-library",
+                path: "crates/serve/src/x.rs".into(),
+                line: 3,
+                col: 5,
+                message: "boom \"quoted\"".into(),
+                fix_hint: "",
+                source_line: "panic!()".into(),
+            }],
+            suppressed: vec![],
+            stale: vec![],
+            files_scanned: 7,
+        };
+        let s = render(&outcome, &[]);
+        assert!(s.contains("\"files_scanned\": 7"));
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.contains("{\"id\": \"panic-in-library\", \"findings\": 1, \"allowlisted\": 0}"));
+        assert!(s.ends_with("}\n"));
+        // Every rule appears exactly once.
+        for r in RULES {
+            assert_eq!(s.matches(&format!("\"id\": \"{}\"", r.id)).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end CLI tests: exit codes, diagnostics on stderr, report
+//! emission, stale/empty allowlist handling, `--list-rules`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A throwaway workspace under the target tmp dir (no tempfile crate).
+struct Sandbox {
+    root: PathBuf,
+}
+
+impl Sandbox {
+    fn new(tag: &str) -> Self {
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("rm-lint-cli-{tag}"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/serve/src")).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let p = self.root.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(p, content).unwrap();
+    }
+
+    fn run(&self, extra: &[&str]) -> (i32, String, String) {
+        let out = Command::new(env!("CARGO_BIN_EXE_rm-lint"))
+            .arg("--root")
+            .arg(&self.root)
+            .args(extra)
+            .output()
+            .expect("spawn rm-lint");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for Sandbox {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const VIOLATION: &str = "fn f() {\n    let t = Instant::now();\n}\n";
+
+#[test]
+fn deliberate_violation_exits_nonzero_with_position() {
+    let sb = Sandbox::new("violation");
+    sb.write("crates/serve/src/lib.rs", VIOLATION);
+    let (code, stdout, stderr) = sb.run(&[]);
+    assert_eq!(code, 1, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stderr.contains("error[instant-now-in-serve]"));
+    assert!(stderr.contains("crates/serve/src/lib.rs:2:13"), "{stderr}");
+    assert!(stdout.contains("1 findings"));
+}
+
+#[test]
+fn clean_workspace_exits_zero_and_writes_report() {
+    let sb = Sandbox::new("clean");
+    sb.write("crates/serve/src/lib.rs", "fn ok() {}\n");
+    let report = sb.root.join("LINT_report.json");
+    let (code, stdout, _) = sb.run(&["--report", report.to_str().unwrap()]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("0 findings"));
+    let json = fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"tool\": \"rm-lint\""));
+    assert!(json.contains("\"files_scanned\": 1"));
+}
+
+#[test]
+fn allowlisted_finding_passes_and_lands_in_report() {
+    let sb = Sandbox::new("allowlisted");
+    sb.write("crates/serve/src/lib.rs", VIOLATION);
+    sb.write(
+        "scripts/lint_allowlist.toml",
+        "[[allow]]\nrule = \"instant-now-in-serve\"\npath = \"crates/serve/src/lib.rs\"\nline-pattern = \"Instant::now()\"\nreason = \"fixture\"\n",
+    );
+    let report = sb.root.join("LINT_report.json");
+    let (code, stdout, _) = sb.run(&["--report", report.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("1 allowlisted"));
+    let json = fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"allowlisted\": 1"));
+    assert!(json.contains("\"reason\": \"fixture\""));
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_run() {
+    let sb = Sandbox::new("stale");
+    sb.write("crates/serve/src/lib.rs", "fn ok() {}\n");
+    sb.write(
+        "scripts/lint_allowlist.toml",
+        "[[allow]]\nrule = \"instant-now-in-serve\"\npath = \"crates/serve/src/lib.rs\"\nline-pattern = \"Instant::now()\"\nreason = \"code is gone\"\n",
+    );
+    let (code, stdout, stderr) = sb.run(&[]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stderr.contains("error[stale-allowlist-entry]"));
+    assert!(stderr.contains("code is gone"));
+}
+
+#[test]
+fn empty_allowlist_value_is_a_config_error_not_fail_open() {
+    // The grep -vFf gates this replaces treated a blank allowlist line as
+    // "match everything" and suppressed every finding. Here it's exit 2.
+    let sb = Sandbox::new("empty-value");
+    sb.write("crates/serve/src/lib.rs", VIOLATION);
+    sb.write(
+        "scripts/lint_allowlist.toml",
+        "[[allow]]\nrule = \"\"\npath = \"crates/serve/src/lib.rs\"\nreason = \"x\"\n",
+    );
+    let (code, _, stderr) = sb.run(&[]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("empty value"));
+}
+
+#[test]
+fn missing_reason_is_a_config_error() {
+    let sb = Sandbox::new("no-reason");
+    sb.write("crates/serve/src/lib.rs", VIOLATION);
+    sb.write(
+        "scripts/lint_allowlist.toml",
+        "[[allow]]\nrule = \"instant-now-in-serve\"\npath = \"crates/serve/src/lib.rs\"\n",
+    );
+    let (code, _, stderr) = sb.run(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("mandatory `reason`"));
+}
+
+#[test]
+fn list_rules_prints_all_six() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rm-lint"))
+        .arg("--list-rules")
+        .output()
+        .expect("spawn rm-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in [
+        "dot-outside-vecops",
+        "instant-now-in-serve",
+        "lock-join-unwrap-in-serve",
+        "nondeterministic-iteration",
+        "panic-in-library",
+        "float-accum-outside-vecops",
+    ] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn report_is_byte_stable_across_runs() {
+    let sb = Sandbox::new("stable");
+    sb.write("crates/serve/src/lib.rs", VIOLATION);
+    let r1 = sb.root.join("r1.json");
+    let r2 = sb.root.join("r2.json");
+    sb.run(&["--report", r1.to_str().unwrap()]);
+    sb.run(&["--report", r2.to_str().unwrap()]);
+    assert_eq!(
+        fs::read_to_string(r1).unwrap(),
+        fs::read_to_string(r2).unwrap()
+    );
+}
+
+#[test]
+fn unknown_flag_is_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rm-lint"))
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn rm-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Fixture dirs named `fixtures` are skipped by the walker.
+#[test]
+fn fixture_directories_are_not_scanned() {
+    let sb = Sandbox::new("fixtures-skip");
+    sb.write("crates/serve/src/lib.rs", "fn ok() {}\n");
+    sb.write("crates/serve/tests/fixtures/bad.rs", VIOLATION);
+    let (code, stdout, _) = sb.run(&[]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("1 files scanned"));
+    assert!(Path::new(&sb.root.join("crates/serve/tests/fixtures/bad.rs")).exists());
+}

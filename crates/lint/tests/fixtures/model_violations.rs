@@ -1,0 +1,37 @@
+//! Fixture: deliberate violations of the model-determinism rules. Linted
+//! by the golden test as `crates/embed/src/fixture.rs` — never compiled.
+
+use std::collections::{HashMap, HashSet};
+
+fn iteration() {
+    let mut m: HashMap<u32, f32> = HashMap::new();
+    for (k, v) in &m { // line 8: nondeterministic-iteration (for-loop)
+        drop((k, v));
+    }
+    let ks: Vec<u32> = m.keys().copied().collect(); // line 11: nondeterministic-iteration
+    let mut s: HashSet<u32> = HashSet::new();
+    s.retain(|_| true); // line 13: nondeterministic-iteration
+}
+
+struct Holder {
+    seen: HashSet<u32>,
+}
+
+impl Holder {
+    fn drain_all(&mut self) -> Vec<u32> {
+        self.seen.drain().collect() // line 22: nondeterministic-iteration (field)
+    }
+}
+
+fn accumulate(xs: &[f32]) -> f32 {
+    let total: f32 = xs.iter().map(|v| v * v).sum(); // line 27: float-accum-outside-vecops
+    let fold = xs.iter().fold(0.0f32, |a, b| a + b); // line 28: float-accum-outside-vecops
+    total + fold + xs.iter().sum::<f32>() // line 29: float-accum-outside-vecops
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter()) // line 34: dot-outside-vecops (multi-line chain)
+        .map(|(x, y)| x * y)
+        .sum::<f32>()
+}

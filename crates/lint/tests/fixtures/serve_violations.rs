@@ -1,0 +1,40 @@
+//! Fixture: deliberate violations of the rm-serve rules. Linted by the
+//! golden test as `crates/serve/src/fixture.rs` — never compiled.
+
+fn timing() {
+    let t0 = Instant::now(); // line 5: instant-now-in-serve
+    drop(t0);
+}
+
+fn locking(mu: &std::sync::Mutex<u32>) -> u32 {
+    let g = mu.lock().unwrap(); // line 10: lock-join-unwrap-in-serve
+    *g
+}
+
+fn joining(h: std::thread::JoinHandle<u32>) -> u32 {
+    h.join().expect("worker") // line 15: lock-join-unwrap-in-serve
+}
+
+fn aborting(x: u32) -> u32 {
+    match x {
+        0 => panic!("zero"),   // line 20: panic-in-library
+        1 => unreachable!(),   // line 21: panic-in-library
+        2 => todo!(),          // line 22: panic-in-library
+        _ => x,
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum() // line 28: dot-outside-vecops
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt for test-exempt rules (3 and 5) — but rule 2 still scans
+    // cfg(test) code, so the Instant below must be reported.
+    fn t() {
+        let g = mu.lock().unwrap(); // exempt: cfg(test)
+        panic!("test-only"); // exempt: cfg(test)
+        let t1 = Instant::now(); // line 38: instant-now-in-serve (checked)
+    }
+}

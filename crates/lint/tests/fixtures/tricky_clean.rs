@@ -1,0 +1,48 @@
+//! Fixture: lexical edge cases that must produce ZERO findings even when
+//! linted under the widest scopes (`crates/serve/src/…` and
+//! `crates/embed/src/…`). Never compiled.
+
+// a.zip(b).map(f).sum() — commented-out code must not fire.
+
+/* Instant::now() in a block comment.
+   /* nested: mu.lock().unwrap() and panic!("boom") */
+   still inside the outer comment: for (k, v) in &hash_map {}
+*/
+
+fn strings() -> Vec<String> {
+    vec![
+        "a.zip(b).map(|(x, y)| x * y).sum()".to_string(),
+        "Instant::now()".to_string(),
+        "mu.lock().unwrap()".to_string(),
+        "panic!(\"with \\\"escaped\\\" quotes\")".to_string(),
+        r#"raw: h.join().expect("x") and "quoted" inside"#.to_string(),
+        r##"double fence: m.keys() with "# inside"##.to_string(),
+        String::from_utf8_lossy(b"byte: todo!()").into_owned(),
+        String::from_utf8_lossy(br#"raw byte: s.drain()"#).into_owned(),
+    ]
+}
+
+fn lifetimes<'a>(x: &'a str) -> (&'a str, char, char) {
+    // 'a above is a lifetime; 'a' below is a char. A lexer confusing the
+    // two would swallow `).map(` here into a char literal and misparse.
+    let c = 'a';
+    let paren = '(';
+    (x, c, paren)
+}
+
+fn ranges_and_floats(n: usize) -> f64 {
+    // `0..n` must lex as number-dot-dot-ident, not a malformed float;
+    // f64 accumulation is out of scope for float-accum-outside-vecops.
+    (0..n).map(|i| i as f64).sum::<f64>() + 0.5f64.max(1e-3)
+}
+
+fn r#match(r#type: u32) -> u32 {
+    // Raw identifiers must not derail the lexer.
+    r#type
+}
+
+fn allowed_patterns(mu: &std::sync::Mutex<u32>, v: &[u32]) -> u32 {
+    // Poison-tolerant lock handling and Vec iteration are fine.
+    let g = mu.lock().unwrap_or_else(|e| e.into_inner());
+    *g + v.iter().sum::<u32>()
+}

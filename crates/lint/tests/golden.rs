@@ -1,0 +1,100 @@
+//! Golden tests: fixture files with known violations must produce exactly
+//! the expected `(rule, line)` set, and the tricky-clean fixture must
+//! produce nothing under any scope.
+
+use rm_lint::engine::lint_source;
+
+const SERVE_FIXTURE: &str = include_str!("fixtures/serve_violations.rs");
+const MODEL_FIXTURE: &str = include_str!("fixtures/model_violations.rs");
+const TRICKY_FIXTURE: &str = include_str!("fixtures/tricky_clean.rs");
+
+fn rule_lines(path: &str, src: &str) -> Vec<(String, u32)> {
+    lint_source(path, src)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+#[test]
+fn serve_fixture_matches_golden_findings() {
+    let mut got = rule_lines("crates/serve/src/fixture.rs", SERVE_FIXTURE);
+    got.sort();
+    let expected: Vec<(String, u32)> = [
+        ("dot-outside-vecops", 28),
+        ("instant-now-in-serve", 5),
+        ("instant-now-in-serve", 38), // cfg(test) is NOT exempt for rule 2
+        ("lock-join-unwrap-in-serve", 10),
+        ("lock-join-unwrap-in-serve", 15),
+        ("panic-in-library", 20),
+        ("panic-in-library", 21),
+        ("panic-in-library", 22),
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn model_fixture_matches_golden_findings() {
+    let mut got = rule_lines("crates/embed/src/fixture.rs", MODEL_FIXTURE);
+    got.sort();
+    let expected: Vec<(String, u32)> = [
+        ("dot-outside-vecops", 34), // anchored at .zip in a multi-line chain
+        ("float-accum-outside-vecops", 27),
+        ("float-accum-outside-vecops", 28),
+        ("float-accum-outside-vecops", 29),
+        ("float-accum-outside-vecops", 36),
+        ("nondeterministic-iteration", 8),
+        ("nondeterministic-iteration", 11),
+        ("nondeterministic-iteration", 13),
+        ("nondeterministic-iteration", 22),
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn findings_carry_file_line_col_and_source_line() {
+    let f = lint_source("crates/serve/src/fixture.rs", SERVE_FIXTURE);
+    let instant = f
+        .iter()
+        .find(|f| f.rule == "instant-now-in-serve" && f.line == 5)
+        .expect("instant finding");
+    assert!(instant.col > 1);
+    assert!(instant.source_line.contains("Instant::now()"));
+    let rendered = instant.to_string();
+    assert!(rendered.contains("crates/serve/src/fixture.rs:5:"));
+    assert!(rendered.contains("error[instant-now-in-serve]"));
+}
+
+#[test]
+fn tricky_fixture_is_clean_under_every_scope() {
+    for path in [
+        "crates/serve/src/fixture.rs",
+        "crates/embed/src/fixture.rs",
+        "crates/core/src/fixture.rs",
+        "crates/sparse/src/fixture.rs",
+    ] {
+        let got = rule_lines(path, TRICKY_FIXTURE);
+        assert!(got.is_empty(), "false positives as {path}: {got:?}");
+    }
+}
+
+#[test]
+fn serve_cfg_test_exemptions_differ_by_rule() {
+    let f = lint_source("crates/serve/src/fixture.rs", SERVE_FIXTURE);
+    // The cfg(test) mod contains a lock().unwrap() and a panic! that must
+    // be exempt, and an Instant::now() that must not be.
+    assert!(!f
+        .iter()
+        .any(|f| f.rule == "lock-join-unwrap-in-serve" && f.line > 30));
+    assert!(!f
+        .iter()
+        .any(|f| f.rule == "panic-in-library" && f.line > 30));
+    assert!(f
+        .iter()
+        .any(|f| f.rule == "instant-now-in-serve" && f.line > 30));
+}

@@ -1,0 +1,67 @@
+//! Self-test: `rm-lint` run over the live workspace, with the committed
+//! allowlist, must be clean. This is the executable form of the
+//! acceptance criterion "rm-lint runs clean on the workspace".
+
+use rm_lint::allowlist::Allowlist;
+use rm_lint::engine::{run, RunConfig};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → workspace root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn live_workspace_is_clean_under_committed_allowlist() {
+    let root = workspace_root();
+    let allowlist_text =
+        std::fs::read_to_string(root.join("scripts/lint_allowlist.toml")).expect("allowlist");
+    let allowlist = Allowlist::parse(&allowlist_text).expect("allowlist parses");
+    let outcome = run(&RunConfig {
+        root,
+        allowlist: Some(allowlist),
+    })
+    .expect("lint run");
+    assert!(
+        outcome.findings.is_empty(),
+        "live findings:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.stale.is_empty(),
+        "stale allowlist entries: {:?}",
+        outcome.stale
+    );
+    assert!(outcome.files_scanned > 50, "walker found the workspace");
+}
+
+#[test]
+fn every_committed_allowlist_entry_has_a_substantive_reason() {
+    let root = workspace_root();
+    let text =
+        std::fs::read_to_string(root.join("scripts/lint_allowlist.toml")).expect("allowlist");
+    let allowlist = Allowlist::parse(&text).expect("allowlist parses");
+    assert!(!allowlist.entries.is_empty());
+    for e in &allowlist.entries {
+        assert!(
+            e.reason.split_whitespace().count() >= 3,
+            "reason for {} at {} is too thin: {}",
+            e.rule,
+            e.path,
+            e.reason
+        );
+        assert!(
+            e.line_pattern.is_some(),
+            "entry {} has no line-pattern",
+            e.rule
+        );
+    }
+}

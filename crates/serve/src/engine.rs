@@ -538,9 +538,10 @@ impl ServingEngine {
     /// user (outside the training matrix) gets an empty list. The call
     /// records latency, cache, and per-slot counters.
     pub fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
-        self.serve_chunk(&[user], k)
-            .pop()
-            .expect("one answer per user")
+        // serve_chunk answers every request; an empty Vec here is
+        // unreachable in practice, but the request path degrades to "no
+        // recommendations" rather than aborting on an internal bug.
+        self.serve_chunk(&[user], k).pop().unwrap_or_default()
     }
 
     /// Serves one worker's share of a batch (or a single request): the
@@ -722,7 +723,11 @@ impl ServingEngine {
         if self.config.cache_capacity > 0 && !misses.is_empty() {
             let mut cache = self.lock_cache();
             for &i in &misses {
-                let books = out[i].as_ref().expect("answered above");
+                // Every miss index was answered above; skip (rather than
+                // abort on) a hole if that invariant is ever broken.
+                let Some(books) = out[i].as_ref() else {
+                    continue;
+                };
                 if !books.is_empty() {
                     cache.insert((users[i].0, k, self.epoch), books.clone());
                 }
@@ -736,9 +741,9 @@ impl ServingEngine {
                 .push("hits", stats.hits)
                 .push("deadline_skips", stats.deadline_skips);
         });
-        out.into_iter()
-            .map(|o| o.expect("answered above"))
-            .collect()
+        // All slots are Some by construction; degrade a hole to an empty
+        // answer instead of panicking in the serving path.
+        out.into_iter().map(Option::unwrap_or_default).collect()
     }
 
     /// [`ServingEngine::recommend`] for a batch of users, fanned out over

@@ -13,6 +13,14 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rm-lint (token-aware invariant rules, structured allowlist)"
+# Replaces the old grep gates: dot products outside rm_sparse::vecops,
+# Instant::now() outside the Clock abstraction, unwrap/expect on
+# lock()/join(), HashMap/HashSet iteration in model-affecting crates,
+# panics in serving library code, manual f32 accumulation. Allowlist:
+# scripts/lint_allowlist.toml (mandatory reasons, stale entries fail).
+cargo run --release -q -p rm-lint -- --report LINT_report.json
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
@@ -33,41 +41,5 @@ cargo test -q -p rm-sparse dense
 
 echo "==> kernel benches (smoke mode: exercises every kernel, timings noisy)"
 cargo run --release -q -p rm-bench --bin kernel-bench -- --smoke --out /tmp/kernel-bench-smoke.json
-
-echo "==> no ad-hoc dot products outside rm-sparse::vecops"
-# Every dot product must go through the lane-unrolled kernels so the
-# reduction-order contract holds repo-wide. The scalar reference chain
-# (dot_ref) and non-reduction uses live in the allowlist.
-if grep -rn --include='*.rs' -E '\.zip\(.*\)\s*\.map\(.*\)\s*\.sum\(\)' crates \
-    | grep -vFf scripts/dot_gate_allowlist.txt; then
-  echo "error: hand-rolled dot-product reduction outside rm-sparse::vecops" >&2
-  echo "       call rm_sparse::vecops::{dot, dot_block} (or dot_ref in tests/benches)" >&2
-  echo "       or add the exact line to scripts/dot_gate_allowlist.txt with a reason" >&2
-  exit 1
-fi
-
-echo "==> serve crate: no Instant::now() outside the Clock abstraction"
-# All serving-path timing flows through EngineConfig::clock so it is
-# testable under FakeClock. Deliberate exceptions (the cross-process
-# registry lock wait) live in the allowlist.
-if grep -rn 'Instant::now()' crates/serve/src crates/serve/tests \
-    | grep -vFf scripts/serve_instant_allowlist.txt; then
-  echo "error: unallowlisted Instant::now() in crates/serve" >&2
-  echo "       read the engine clock (EngineConfig::clock / rm_util::clock::Clock)" >&2
-  echo "       or add the exact line to scripts/serve_instant_allowlist.txt with a reason" >&2
-  exit 1
-fi
-
-echo "==> serve crate: no unwrap/expect on lock()/join()"
-# The serving path must degrade, never abort: poisoned mutexes are
-# recovered with PoisonError::into_inner and worker join errors turn into
-# empty answers. Deliberate exceptions live in the allowlist.
-if grep -rn -E '\.(lock|join)\(\)\s*\.\s*(unwrap|expect)\(' crates/serve/src crates/serve/tests \
-    | grep -vFf scripts/serve_expect_allowlist.txt; then
-  echo "error: unallowlisted unwrap/expect on a lock()/join() result in crates/serve" >&2
-  echo "       recover it (PoisonError::into_inner / graceful join handling) or add the" >&2
-  echo "       exact line to scripts/serve_expect_allowlist.txt with a justification" >&2
-  exit 1
-fi
 
 echo "All checks passed."
