@@ -56,11 +56,11 @@ fn bench(c: &mut Criterion) {
     let engine = ServingEngine::load(
         &registry,
         &train,
-        EngineConfig {
-            cache_capacity: 0,
-            workers: 1,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .cache_capacity(0)
+            .workers(1)
+            .build()
+            .expect("valid config"),
     )
     .expect("engine loads");
     c.bench_function("serve/single_256req", |b| {
@@ -75,11 +75,11 @@ fn bench(c: &mut Criterion) {
         let engine = ServingEngine::load(
             &registry,
             &train,
-            EngineConfig {
-                cache_capacity: 0,
-                workers,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .cache_capacity(0)
+                .workers(workers)
+                .build()
+                .expect("valid config"),
         )
         .expect("engine loads");
         c.bench_function(&format!("serve/batch_256req_x{workers}"), |b| {
@@ -91,11 +91,11 @@ fn bench(c: &mut Criterion) {
     let warm = ServingEngine::load(
         &registry,
         &train,
-        EngineConfig {
-            cache_capacity: 4096,
-            workers: 1,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .cache_capacity(4096)
+            .workers(1)
+            .build()
+            .expect("valid config"),
     )
     .expect("engine loads");
     warm.recommend_batch(&users, k);

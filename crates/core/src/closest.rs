@@ -126,7 +126,7 @@ impl ClosestItems {
             "history references an unknown book"
         );
         let query = self.store.mean_embedding(seen);
-        let sims = self.store.similarities_to(&query);
+        let sims = self.store.similarities(&query);
         let mut sorted_seen = seen.to_vec();
         sorted_seen.sort_unstable();
         sorted_seen.dedup();
@@ -167,7 +167,7 @@ impl Recommender for ClosestItems {
         let Some(q) = self.query(user) else {
             return Vec::new();
         };
-        let sims = self.store.similarities_to(&q);
+        let sims = self.store.similarities(&q);
         rank_by_scores(self.train().n_books(), self.train().seen(user), k, |b| {
             sims[b as usize]
         })

@@ -25,6 +25,22 @@
 //! Section 7's pointer to Wang et al. 2019), [`hybrid::Blend`] (the CB+CF
 //! hybrid its related work surveys), and [`item_knn::ItemKnn`] (the
 //! classic item-based CF the `implicit` ecosystem ships).
+//!
+//! # Buffer-reuse naming convention
+//!
+//! Every hot-path API that can refill a caller-owned buffer instead of
+//! allocating comes in two spellings, across rm-core, rm-embed, and
+//! rm-eval alike:
+//!
+//! * the plain name (`recommend_batch`, `similarities`,
+//!   `mean_embedding`) allocates and returns its result;
+//! * the `*_into(&mut ...)` variant takes the same inputs *in the same
+//!   order*, followed by the output buffer(s) last; the buffer is
+//!   cleared and refilled in place, and the contents are byte-identical
+//!   to what the plain variant returns.
+//!
+//! New buffer-reusing APIs must follow this shape — no `_buf` suffixes,
+//! no output-first argument orders.
 
 pub mod bpr;
 pub mod closest;

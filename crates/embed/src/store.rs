@@ -97,11 +97,11 @@ impl EmbeddingStore {
     ///
     /// Panics if `query.len() != dim`.
     #[must_use]
-    pub fn similarities_to(&self, query: &[f32]) -> Vec<f32> {
+    pub fn similarities(&self, query: &[f32]) -> Vec<f32> {
         self.matrix.matvec(query)
     }
 
-    /// [`EmbeddingStore::similarities_to`] writing into `out` (cleared and
+    /// [`EmbeddingStore::similarities`] writing into `out` (cleared and
     /// refilled), so batch callers can reuse one allocation.
     ///
     /// # Panics
@@ -165,7 +165,7 @@ impl EmbeddingStore {
     /// best-first.
     #[must_use]
     pub fn nearest(&self, i: usize, k: usize) -> Vec<Scored> {
-        let sims = self.similarities_to(self.matrix.row(i));
+        let sims = self.similarities(self.matrix.row(i));
         top_k_of(
             sims.into_iter()
                 .enumerate()
@@ -231,9 +231,9 @@ mod tests {
     }
 
     #[test]
-    fn similarities_to_matches_pairwise() {
+    fn similarities_match_pairwise() {
         let s = store();
-        let sims = s.similarities_to(s.embedding(1));
+        let sims = s.similarities(s.embedding(1));
         for (j, &sim) in sims.iter().enumerate() {
             assert!((sim - s.similarity(1, j)).abs() < 1e-6);
         }

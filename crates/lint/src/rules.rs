@@ -1,5 +1,5 @@
-//! The rule engine: six token-pattern rules, each tied to an invariant the
-//! paper's Table-1 reproducibility or the serving SLO depends on.
+//! The rule engine: seven token-pattern rules, each tied to an invariant
+//! the paper's Table-1 reproducibility or the serving SLO depends on.
 //!
 //! Every rule is a pure function from a token stream to anchor-token
 //! indices; the engine maps anchors to `file:line:col`, applies the
@@ -117,6 +117,21 @@ pub static RULES: &[Rule] = &[
                 .any(|pre| p.starts_with(pre))
         },
         check: check_float_accum,
+    },
+    Rule {
+        id: "recommender-call-outside-pipeline",
+        summary: "direct Recommender calls in serve code outside the candidate pipeline",
+        message: "direct recommender call bypasses the candidate pipeline's provenance, \
+                  merge, and filter stages",
+        fix_hint: "route the request through the pipeline stages (sources \u{2192} merge \u{2192} \
+                   filters \u{2192} rank) so every answer carries provenance; allowlist only \
+                   the degraded fallback walk",
+        scope: "crates/serve/src/** except src/pipeline/** (cfg(test) exempt)",
+        test_exempt: true,
+        applies: |p| {
+            p.starts_with("crates/serve/src/") && !p.starts_with("crates/serve/src/pipeline/")
+        },
+        check: check_recommender_call,
     },
 ];
 
@@ -456,6 +471,27 @@ fn check_float_accum(t: &[Token]) -> Vec<usize> {
     out
 }
 
+/// Rule 7: `. recommend|recommend_batch|recommend_batch_into|rank_all (`
+/// — direct model invocations on the serving path must live inside the
+/// pipeline modules (or the allowlisted degraded fallback walk).
+fn check_recommender_call(t: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if t[i].is_punct('.')
+            && t.get(i + 1).is_some_and(|x| {
+                matches!(
+                    x.text.as_str(),
+                    "recommend" | "recommend_batch" | "recommend_batch_into" | "rank_all"
+                ) && x.kind == TokKind::Ident
+            })
+            && t.get(i + 2).is_some_and(|x| x.is_punct('('))
+        {
+            out.push(i + 1);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,7 +648,7 @@ mod tests {
             assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
             assert!(rule_by_id(r.id).is_some());
         }
-        assert_eq!(RULES.len(), 6);
+        assert_eq!(RULES.len(), 7);
         assert!(rule_by_id("no-such-rule").is_none());
     }
 
@@ -629,5 +665,39 @@ mod tests {
         let r6 = rule_by_id("float-accum-outside-vecops").unwrap();
         assert!((r6.applies)("crates/sparse/src/dense.rs"));
         assert!(!(r6.applies)("crates/sparse/src/vecops.rs"));
+        let r7 = rule_by_id("recommender-call-outside-pipeline").unwrap();
+        assert!((r7.applies)("crates/serve/src/engine.rs"));
+        assert!(!(r7.applies)("crates/serve/src/pipeline/sources.rs"));
+        assert!(!(r7.applies)("crates/serve/tests/pipeline_tests.rs"));
+        assert!(!(r7.applies)("crates/core/src/bpr.rs"));
+    }
+
+    #[test]
+    fn recommender_call_variants() {
+        assert_eq!(
+            anchors(
+                check_recommender_call,
+                "let recs = model.recommend(user, k);"
+            ),
+            vec!["recommend"]
+        );
+        assert_eq!(
+            anchors(
+                check_recommender_call,
+                "model.recommend_batch_into(&users, k, &mut out);"
+            ),
+            vec!["recommend_batch_into"]
+        );
+        assert_eq!(
+            anchors(check_recommender_call, "let all = m.rank_all(user);"),
+            vec!["rank_all"]
+        );
+        // Method definitions and unrelated idents do not anchor.
+        assert!(anchors(
+            check_recommender_call,
+            "fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> { body() }"
+        )
+        .is_empty());
+        assert!(anchors(check_recommender_call, "self.recommend_explained(user, k)").is_empty());
     }
 }

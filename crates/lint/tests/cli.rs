@@ -131,7 +131,7 @@ fn missing_reason_is_a_config_error() {
 }
 
 #[test]
-fn list_rules_prints_all_six() {
+fn list_rules_prints_all_seven() {
     let out = Command::new(env!("CARGO_BIN_EXE_rm-lint"))
         .arg("--list-rules")
         .output()
@@ -145,6 +145,7 @@ fn list_rules_prints_all_six() {
         "nondeterministic-iteration",
         "panic-in-library",
         "float-accum-outside-vecops",
+        "recommender-call-outside-pipeline",
     ] {
         assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
     }

@@ -6,6 +6,7 @@
 //! reading-machine train    --corpus corpus/ --model model.bpr [--factors 20] [--epochs 15]
 //! reading-machine train    --out artifacts/ [--corpus corpus/] [--epoch 1]
 //! reading-machine recommend --corpus corpus/ --model model.bpr --user 17 [--k 20]
+//! reading-machine explain  --artifacts artifacts/ --user 17 [--corpus corpus/] [--k 10]
 //! reading-machine evaluate [--corpus corpus/] [--k 20]
 //! reading-machine serve-bench --artifacts artifacts/ [--corpus corpus/] [--requests 2000]
 //! reading-machine metrics-dump --artifacts artifacts/ [--requests 1000]
@@ -15,6 +16,8 @@
 //! BPR model with the binary codec (`--model FILE`) or the full serving
 //! artifact set (`--out DIR`: BPR + Most Read counts + catalogue
 //! embeddings + manifest); `recommend` serves top-k titles for a user;
+//! `explain` serves one user through the candidate pipeline and prints the
+//! provenance-backed reason behind every title ("because you borrowed X");
 //! `evaluate` runs the paper's KPI comparison on a fresh split and prints
 //! the per-stage pipeline timing report; `serve-bench` loads an artifact
 //! directory into the serving engine and reports single vs batched
@@ -61,6 +64,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args[1..]),
         "train" => cmd_train(&args[1..]),
         "recommend" => cmd_recommend(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
         "evaluate" => cmd_evaluate(&args[1..]),
         "serve-bench" => cmd_serve_bench(&args[1..]),
         "metrics-dump" => cmd_metrics_dump(&args[1..]),
@@ -86,6 +90,7 @@ fn print_usage() {
          reading-machine train     --corpus DIR --model FILE [--factors N] [--epochs N] [--lr F] [--trace FILE]\n  \
          reading-machine train     --out DIR [--corpus DIR] [--epoch N] [--factors N] [--epochs N] [--trace FILE]\n  \
          reading-machine recommend --corpus DIR --model FILE --user N [--k N]\n  \
+         reading-machine explain   --artifacts DIR --user N [--corpus DIR] [--k N]\n  \
          reading-machine evaluate  [--corpus DIR] [--k N] [--seed N]\n  \
          reading-machine serve-bench --artifacts DIR [--corpus DIR] [--k N] [--requests N] [--trace FILE] [--chaos PLAN]\n  \
          reading-machine metrics-dump --artifacts DIR [--corpus DIR] [--k N] [--requests N]\n\n\
@@ -347,17 +352,13 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     // drain covers the whole run in one stream.
     let tracer = trace_sink(&flags);
     let engine_with = |workers: usize| {
-        ServingEngine::load(
-            &registry,
-            &train,
-            EngineConfig {
-                workers,
-                cache_capacity,
-                tracer: Arc::clone(&tracer),
-                ..EngineConfig::default()
-            },
-        )
-        .map_err(|e| e.to_string())
+        let config = EngineConfig::builder()
+            .workers(workers)
+            .cache_capacity(cache_capacity)
+            .tracer(Arc::clone(&tracer))
+            .build()
+            .map_err(|e| e.to_string())?;
+        ServingEngine::load(&registry, &train, config).map_err(|e| e.to_string())
     };
 
     let probe = engine_with(1)?;
@@ -421,8 +422,8 @@ fn cmd_metrics_dump(args: &[String]) -> Result<(), String> {
     let train = Interactions::from_corpus(&corpus);
     let k: usize = flags.parse_num("k", 10)?;
     let requests: usize = flags.parse_num("requests", 1000)?;
-    let engine = ServingEngine::load(&registry, &train, EngineConfig::default())
-        .map_err(|e| e.to_string())?;
+    let config = EngineConfig::builder().build().map_err(|e| e.to_string())?;
+    let engine = ServingEngine::load(&registry, &train, config).map_err(|e| e.to_string())?;
     for (slot, reason) in engine.degraded() {
         eprintln!("DEGRADED {}: {reason}", slot.label());
     }
@@ -492,18 +493,15 @@ fn cmd_serve_chaos(flags: &Flags, plan_name: &str) -> Result<(), String> {
         }
     }));
 
-    let engine = ServingEngine::load_with_faults(
-        &registry,
-        &train,
-        EngineConfig {
-            workers: 4,
-            cache_capacity,
-            slot_budget,
-            ..EngineConfig::default()
-        },
-        plan,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut builder = EngineConfig::builder()
+        .workers(4)
+        .cache_capacity(cache_capacity);
+    if let Some(budget) = slot_budget {
+        builder = builder.slot_budget(budget);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let engine = ServingEngine::load_with_faults(&registry, &train, config, plan)
+        .map_err(|e| e.to_string())?;
 
     let users: Vec<UserIdx> = (0..requests)
         .map(|i| UserIdx((i % train.n_users()) as u32))
@@ -572,6 +570,55 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
             book.title,
             book.authors.join(", ")
         );
+    }
+    Ok(())
+}
+
+/// `explain`: serve one user through the candidate pipeline and print
+/// the provenance-backed reason behind every recommended title.
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let registry = ArtifactRegistry::new(PathBuf::from(flags.required("artifacts")?));
+    let corpus = corpus_of(&flags)?;
+    let train = Interactions::from_corpus(&corpus);
+    let user: u32 = flags
+        .required("user")?
+        .parse()
+        .map_err(|_| "bad --user".to_owned())?;
+    let k: usize = flags.parse_num("k", 10)?;
+    if user as usize >= train.n_users() {
+        return Err(format!(
+            "user {user} out of range (corpus has {})",
+            train.n_users()
+        ));
+    }
+    // Genre lookup feeds genre-aware sources/filters; harmless otherwise.
+    let config = EngineConfig::builder()
+        .book_genres(Arc::new(BookGenres::from_corpus(&corpus)))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let engine = ServingEngine::load(&registry, &train, config).map_err(|e| e.to_string())?;
+    for (slot, reason) in engine.degraded() {
+        eprintln!("DEGRADED {}: {reason}", slot.label());
+    }
+    let (top, explanations) = engine.recommend_explained(UserIdx(user), k);
+    if top.is_empty() {
+        println!("no recommendations for user {user} (every slot degraded?)");
+        return Ok(());
+    }
+    let title = |b: u32| corpus.books[b as usize].title.clone();
+    println!("top-{k} for user {user} (epoch {}):", engine.epoch());
+    for (rank, &b) in top.iter().enumerate() {
+        let book = &corpus.books[b as usize];
+        println!(
+            "  {:>2}. {} — {}",
+            rank + 1,
+            book.title,
+            book.authors.join(", ")
+        );
+        for ex in explanations.iter().filter(|ex| ex.book == b) {
+            println!("      [{}] {}", ex.source.label(), ex.render(&title));
+        }
     }
     Ok(())
 }

@@ -34,8 +34,10 @@ pub mod prelude {
     pub use rm_eval::harness::{Harness, TrainedSuite};
     pub use rm_eval::metrics::{evaluate, evaluate_at, Kpis, UserCase};
     pub use rm_eval::{Split, SplitConfig, SplitStrategy};
-    pub use rm_serve::engine::{EngineConfig, ModelSlot, ServingEngine};
+    pub use rm_serve::engine::{EngineConfig, EngineConfigBuilder, ModelSlot, ServingEngine};
+    pub use rm_serve::pipeline::{BookGenres, Explanation, PipelineConfig, Reason, SourceId};
     pub use rm_serve::registry::{ArtifactRegistry, Manifest};
+    pub use rm_util::RecError;
 }
 
 pub use rm_core as core;

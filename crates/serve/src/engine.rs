@@ -2,15 +2,20 @@
 //!
 //! [`ServingEngine::load`] restores the trained models from an
 //! [`ArtifactRegistry`] and answers [`ServingEngine::recommend`] /
-//! [`ServingEngine::recommend_batch`] requests through a configurable
-//! *fallback chain*: each request walks the chain (default
-//! BPR → Closest Items → Most Read Items → Random Items) and is served
-//! by the first slot that is healthy **and** returns a non-empty list.
-//! A slot degrades — without failing the load — when its artifact is
-//! missing, truncated, checksum-corrupted, or dimensionally incompatible
-//! with the training interactions; a healthy slot still falls through
-//! when it has nothing to say (e.g. Closest Items for a reader with no
-//! history).
+//! [`ServingEngine::recommend_batch`] requests through the candidate
+//! pipeline (sources → merge → filters → rank, see [`crate::pipeline`]):
+//! the configured [`CandidateSource`]s emit provenance-stamped
+//! candidate pools, the pools are merged and filtered, and the primary
+//! source's model re-scores the survivors down to top-k. Users the
+//! pipeline could not serve — every source degraded, breaker-open,
+//! panicking, or simply empty-handed — fall back to the legacy chain
+//! walk (default BPR → Closest Items → Most Read Items → Random Items),
+//! served by the first remaining slot that is healthy **and** returns a
+//! non-empty list. A slot degrades — without failing the load — when
+//! its artifact is missing, truncated, checksum-corrupted, or
+//! dimensionally incompatible with the training interactions; a healthy
+//! slot still falls through when it has nothing to say (e.g. Closest
+//! Items for a reader with no history).
 //!
 //! Runtime failures degrade the same way instead of taking serving down:
 //!
@@ -43,16 +48,22 @@
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 use crate::cache::LruCache;
 use crate::metrics::{ChunkStats, MetricsSnapshot, ServeMetrics};
-use crate::registry::{ArtifactRegistry, LoadedArtifacts, RegistryError};
+use crate::pipeline::{
+    merge_into, rank_pool_into, BookGenres, Candidate, CandidateFilter, CandidateSource,
+    CfNeighboursSource, ContentSimilarSource, Explanation, FallbackSource, FilterCtx,
+    MostReadSource, PipelineConfig, Reason, SourceId,
+};
+use crate::registry::{ArtifactRegistry, LoadedArtifacts};
 use rm_core::bpr::{Bpr, BprConfig};
 use rm_core::closest::ClosestItems;
 use rm_core::most_read::MostReadItems;
 use rm_core::random::RandomItems;
 use rm_core::Recommender;
-use rm_dataset::ids::UserIdx;
+use rm_dataset::ids::{BookIdx, UserIdx};
 use rm_dataset::interactions::Interactions;
 use rm_util::clock::{Backoff, Clock, Deadline, MonotonicClock};
 use rm_util::trace::Tracer;
+use rm_util::{RecError, TopK};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
@@ -145,6 +156,21 @@ pub struct EngineConfig {
     /// disabled tracer costs one branch per call site and allocates
     /// nothing.
     pub tracer: Arc<Tracer>,
+    /// Candidate-pipeline configuration (sources, pool size, filters,
+    /// genre lookup). The default derives a single source from the
+    /// chain's head, which reproduces the legacy chain bit-for-bit.
+    pub pipeline: PipelineConfig,
+}
+
+impl EngineConfig {
+    /// A builder with typed defaults and validation — the preferred way
+    /// to construct a config (struct literals keep working for
+    /// backwards compatibility, but skip validation).
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: Self::default(),
+        }
+    }
 }
 
 impl Default for EngineConfig {
@@ -159,7 +185,140 @@ impl Default for EngineConfig {
             breaker: Some(BreakerConfig::default()),
             clock: Arc::new(MonotonicClock::new()),
             tracer: Arc::new(Tracer::disabled()),
+            pipeline: PipelineConfig::default(),
         }
+    }
+}
+
+/// Builder for [`EngineConfig`]: every setter consumes and returns the
+/// builder, and [`EngineConfigBuilder::build`] validates the result
+/// ([`RecError::Config`] on a nonsensical combination) so an invalid
+/// config is caught at construction instead of deep inside serving.
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until build() is called"]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the fallback chain (slots tried in order on the degraded
+    /// path; the head also seeds the default pipeline source).
+    pub fn chain(mut self, chain: Vec<ModelSlot>) -> Self {
+        self.config.chain = chain;
+        self
+    }
+
+    /// Sets the worker-thread count for batch serving.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the LRU capacity; `0` disables caching entirely.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Seeds the terminal Random Items fallback.
+    pub fn random_seed(mut self, seed: u64) -> Self {
+        self.config.random_seed = seed;
+        self
+    }
+
+    /// Enables the per-slot-call time budget.
+    pub fn slot_budget(mut self, budget: Duration) -> Self {
+        self.config.slot_budget = Some(budget);
+        self
+    }
+
+    /// Enables the whole-request deadline budget.
+    pub fn request_budget(mut self, budget: Duration) -> Self {
+        self.config.request_budget = Some(budget);
+        self
+    }
+
+    /// Sets the per-slot circuit-breaker configuration.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = Some(breaker);
+        self
+    }
+
+    /// Disables circuit breakers entirely.
+    pub fn no_breaker(mut self) -> Self {
+        self.config.breaker = None;
+        self
+    }
+
+    /// Substitutes the engine clock (tests pass a fake).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
+    /// Installs a trace sink.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.config.tracer = tracer;
+        self
+    }
+
+    /// Sets the explicit pipeline source slots (priority order).
+    pub fn pipeline_sources(mut self, sources: Vec<ModelSlot>) -> Self {
+        self.config.pipeline.sources = Some(sources);
+        self
+    }
+
+    /// Sets the per-source candidate pool size.
+    pub fn pool_size(mut self, pool_size: usize) -> Self {
+        self.config.pipeline.pool_size = pool_size;
+        self
+    }
+
+    /// Appends one candidate filter (applied in push order).
+    pub fn filter(mut self, filter: Arc<dyn CandidateFilter>) -> Self {
+        self.config.pipeline.filters.push(filter);
+        self
+    }
+
+    /// Replaces the whole filter list.
+    pub fn filters(mut self, filters: Vec<Arc<dyn CandidateFilter>>) -> Self {
+        self.config.pipeline.filters = filters;
+        self
+    }
+
+    /// Supplies the catalogue genre lookup for genre-aware filters.
+    pub fn book_genres(mut self, genres: Arc<BookGenres>) -> Self {
+        self.config.pipeline.book_genres = Some(genres);
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// [`RecError::Config`] when `workers == 0`, the chain is empty,
+    /// `pool_size == 0`, or an explicit source list is empty.
+    pub fn build(self) -> Result<EngineConfig, RecError> {
+        let config = self.config;
+        if config.workers == 0 {
+            return Err(RecError::Config("workers must be >= 1".into()));
+        }
+        if config.chain.is_empty() {
+            return Err(RecError::Config(
+                "fallback chain must name at least one slot".into(),
+            ));
+        }
+        if config.pipeline.pool_size == 0 {
+            return Err(RecError::Config("pipeline pool_size must be >= 1".into()));
+        }
+        if let Some(sources) = &config.pipeline.sources {
+            if sources.is_empty() {
+                return Err(RecError::Config(
+                    "pipeline sources, when set, must name at least one slot".into(),
+                ));
+            }
+        }
+        Ok(config)
     }
 }
 
@@ -194,7 +353,7 @@ impl ServingEngine {
         registry: &ArtifactRegistry,
         train: &Interactions,
         config: EngineConfig,
-    ) -> Result<Self, RegistryError> {
+    ) -> Result<Self, RecError> {
         let loaded = registry.load()?;
         let cache_capacity = config.cache_capacity;
         let random_seed = config.random_seed;
@@ -231,7 +390,7 @@ impl ServingEngine {
         train: &Interactions,
         config: EngineConfig,
         plan: crate::fault::FaultPlan,
-    ) -> Result<Self, RegistryError> {
+    ) -> Result<Self, RecError> {
         let mut engine = Self::load(registry, train, config)?;
         engine.inject_faults(plan);
         Ok(engine)
@@ -256,7 +415,7 @@ impl ServingEngine {
     /// (the epoch in the key already fences stale entries; clearing also
     /// returns their memory). On error the engine is untouched and keeps
     /// serving the old epoch.
-    pub fn reload(&mut self, registry: &ArtifactRegistry) -> Result<(), RegistryError> {
+    pub fn reload(&mut self, registry: &ArtifactRegistry) -> Result<(), RecError> {
         // The span must borrow a local handle, not `self.config`, so the
         // `&mut self` artifact swap below stays borrowable.
         let tracer = Arc::clone(&self.config.tracer);
@@ -293,7 +452,7 @@ impl ServingEngine {
         &mut self,
         registry: &ArtifactRegistry,
         backoff: &Backoff,
-    ) -> Result<u32, RegistryError> {
+    ) -> Result<u32, RecError> {
         let attempts = backoff.attempts.max(1);
         let mut attempt = 0;
         loop {
@@ -482,6 +641,51 @@ impl ServingEngine {
         }
     }
 
+    /// Wraps `slot`'s loaded model as its pipeline candidate source
+    /// (`None` when the slot is degraded, mirroring [`Self::slot_model`]).
+    fn slot_source(&self, slot: ModelSlot) -> Option<Box<dyn CandidateSource + '_>> {
+        match slot {
+            ModelSlot::Bpr => self
+                .bpr
+                .as_ref()
+                .map(|m| Box::new(CfNeighboursSource::new(m)) as Box<dyn CandidateSource>),
+            ModelSlot::ClosestItems => self.closest.as_ref().map(|m| {
+                Box::new(ContentSimilarSource::new(m, &self.train)) as Box<dyn CandidateSource>
+            }),
+            ModelSlot::MostRead => self
+                .most_read
+                .as_ref()
+                .map(|m| Box::new(MostReadSource::new(m)) as Box<dyn CandidateSource>),
+            ModelSlot::Random => Some(
+                Box::new(FallbackSource::new(ModelSlot::Random, &self.random))
+                    as Box<dyn CandidateSource>,
+            ),
+        }
+    }
+
+    /// Provenance reason for a book served by `slot` on the degraded
+    /// chain path. Pipeline sources stamp reasons at emission time; the
+    /// legacy walk reconstructs them on demand (explain requests only).
+    fn reason_for(&self, slot: ModelSlot, user: UserIdx, book: u32) -> Reason {
+        match slot {
+            ModelSlot::Bpr => Reason::CfNeighbours,
+            ModelSlot::ClosestItems => self
+                .closest
+                .as_ref()
+                .and_then(|c| crate::pipeline::anchor_book(c, self.train.seen(user)))
+                .map_or(Reason::Exploration, |anchor| Reason::SimilarToBorrowed {
+                    anchor,
+                }),
+            ModelSlot::MostRead => Reason::MostRead {
+                count: self
+                    .most_read
+                    .as_ref()
+                    .map_or(0, |m| m.count(BookIdx(book))),
+            },
+            ModelSlot::Random => Reason::Exploration,
+        }
+    }
+
     /// Asks `slot`'s breaker to admit a call, folding any state
     /// transition into the chunk stats. Always true with breakers off.
     fn breaker_admit(&self, slot: ModelSlot, stats: &mut ChunkStats) -> bool {
@@ -534,9 +738,10 @@ impl ServingEngine {
         });
     }
 
-    /// Top-`k` books for `user`, walking the fallback chain. An unknown
-    /// user (outside the training matrix) gets an empty list. The call
-    /// records latency, cache, and per-slot counters.
+    /// Top-`k` books for `user`, served by the candidate pipeline with
+    /// the fallback chain as the degraded path. An unknown user (outside
+    /// the training matrix) gets an empty list. The call records
+    /// latency, cache, and per-slot counters.
     pub fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
         // serve_chunk answers every request; an empty Vec here is
         // unreachable in practice, but the request path degrades to "no
@@ -544,25 +749,71 @@ impl ServingEngine {
         self.serve_chunk(&[user], k).pop().unwrap_or_default()
     }
 
+    /// [`ServingEngine::recommend`] plus one provenance-backed
+    /// [`Explanation`] per recommended book ("because you borrowed X"),
+    /// aligned index-for-index with the returned list. Explained
+    /// requests bypass the answer cache in both directions — cached
+    /// lists carry no provenance — so they always exercise the
+    /// pipeline; fault isolation, metrics, and the degraded fallback
+    /// behave identically to [`ServingEngine::recommend`].
+    #[must_use]
+    pub fn recommend_explained(&self, user: UserIdx, k: usize) -> (Vec<u32>, Vec<Explanation>) {
+        let mut explanations: Vec<Vec<Explanation>> = Vec::new();
+        let books = self
+            .serve_chunk_with(&[user], k, Some(&mut explanations))
+            .pop()
+            .unwrap_or_default();
+        (books, explanations.pop().unwrap_or_default())
+    }
+
     /// Serves one worker's share of a batch (or a single request): the
-    /// cache is probed once for the whole chunk, the fallback chain is
-    /// walked with the models' batched entry points (which reuse one
+    /// cache is probed once for the whole chunk, the candidate pipeline
+    /// runs with the sources' batched entry points (which reuse one
     /// catalogue-sized buffer across the chunk), and the metrics mutex is
     /// taken once. Amortising the per-request overhead this way is what
     /// makes batched serving outrun single calls even on one core.
-    ///
-    /// Each slot call is one *attempt*: it runs under panic isolation
-    /// and (when configured) a deadline budget and a circuit breaker; a
-    /// failed attempt degrades every not-yet-served request in the chunk
-    /// down the chain, never the process.
     fn serve_chunk(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
+        self.serve_chunk_with(users, k, None)
+    }
+
+    /// [`ServingEngine::serve_chunk`] with optional per-user explanation
+    /// capture. The chunk runs the pipeline in three stages:
+    ///
+    /// 1. **Sources** — each configured source slot gets one attempt
+    ///    over the whole chunk, inside the same fault envelope a legacy
+    ///    chain slot had (deadline check, degradation, circuit breaker,
+    ///    fault injection, panic isolation, slot budget);
+    /// 2. **Merge → filters → rank** — per user, the emissions are
+    ///    pooled (first-source-wins provenance), pruned by the
+    ///    configured filters, and re-scored by the primary source's
+    ///    model down to top-k;
+    /// 3. **Degraded chain walk** — users the pipeline could not serve
+    ///    walk the remaining fallback-chain slots exactly as before the
+    ///    pipeline existed (each slot gets one attempt per chunk).
+    ///
+    /// When `explain` is `Some`, the cache is bypassed in both
+    /// directions (cached answers carry no provenance) and the vector is
+    /// filled with one explanation list per user, aligned with the
+    /// returned answers.
+    #[allow(clippy::too_many_lines)] // one request's full story reads best in one place
+    fn serve_chunk_with(
+        &self,
+        users: &[UserIdx],
+        k: usize,
+        mut explain: Option<&mut Vec<Vec<Explanation>>>,
+    ) -> Vec<Vec<u32>> {
         let tracer = &self.config.tracer;
         let span = tracer.span("serve_chunk");
         let t0 = self.config.clock.now();
+        if let Some(ex) = explain.as_deref_mut() {
+            ex.clear();
+            ex.resize_with(users.len(), Vec::new);
+        }
         let mut out: Vec<Option<Vec<u32>>> = vec![None; users.len()];
         let mut stats = ChunkStats::new(users.len() as u64, 0);
         let mut misses: Vec<usize> = Vec::with_capacity(users.len());
-        if self.config.cache_capacity > 0 {
+        let use_cache = self.config.cache_capacity > 0 && explain.is_none();
+        if use_cache {
             let mut cache = self.lock_cache();
             for (i, &u) in users.iter().enumerate() {
                 match cache.get(&(u.0, k, self.epoch)) {
@@ -583,7 +834,7 @@ impl ServingEngine {
         });
 
         // Unknown users (outside the training matrix) get empty lists
-        // without consulting the chain.
+        // without consulting any model.
         misses.retain(|&i| {
             let known = users[i].index() < self.train.n_users();
             if !known {
@@ -597,130 +848,357 @@ impl ServingEngine {
             .request_budget
             .map(|budget| Deadline::after(&*self.config.clock, budget));
         let mut remaining = misses.clone();
-        for &slot in &self.config.chain {
-            if remaining.is_empty() {
-                break;
+        let mut deadline_hit = false;
+
+        // ---- Stage 1: candidate sources fan out ------------------------
+        let derived_source; // keeps the derived default alive for the borrow
+        let source_slots: &[ModelSlot] = match &self.config.pipeline.sources {
+            Some(slots) => slots,
+            None => {
+                // Default: the chain's head as the single source, which
+                // reproduces the legacy chain's behaviour bit-for-bit.
+                derived_source = self
+                    .config
+                    .chain
+                    .first()
+                    .copied()
+                    .into_iter()
+                    .collect::<Vec<_>>();
+                &derived_source
             }
-            if let Some(d) = deadline {
-                if d.expired(&*self.config.clock) {
-                    stats.deadline_skips += remaining.len() as u64;
-                    tracer.event("deadline_expired", |f| {
-                        f.push("skipped", remaining.len());
-                    });
-                    break;
+        };
+        let pool_size = self.config.pipeline.pool_size.max(k);
+        let mut emitted: Vec<(ModelSlot, Vec<Vec<Candidate>>)> = Vec::new();
+        if !remaining.is_empty() {
+            for &slot in source_slots {
+                if let Some(d) = deadline {
+                    if d.expired(&*self.config.clock) {
+                        stats.deadline_skips += remaining.len() as u64;
+                        tracer.event("deadline_expired", |f| {
+                            f.push("skipped", remaining.len());
+                        });
+                        deadline_hit = true;
+                        break;
+                    }
                 }
-            }
-            let Some(model) = self.slot_model(slot) else {
-                // Degraded slot: every remaining request falls through.
-                stats.fallbacks[slot.index()] += remaining.len() as u64;
-                tracer.event("slot_call", |f| {
-                    f.push("slot", slot.metric_label())
-                        .push("requests", remaining.len())
-                        .push("outcome", "degraded");
-                });
-                continue;
-            };
-            if !self.breaker_admit(slot, &mut stats) {
-                stats.breaker_skips[slot.index()] += 1;
-                stats.fallbacks[slot.index()] += remaining.len() as u64;
-                tracer.event("slot_call", |f| {
-                    f.push("slot", slot.metric_label())
-                        .push("requests", remaining.len())
-                        .push("outcome", "breaker_open");
-                });
-                continue;
-            }
-            // The budget clock starts before fault injection so injected
-            // latency counts against the slot like real slowness would.
-            let slot_started = self.config.slot_budget.map(|_| self.config.clock.now());
-            #[cfg(feature = "testing")]
-            let injected = self.faults.on_call(slot);
-            #[cfg(feature = "testing")]
-            {
-                if let Some(d) = injected.latency {
-                    self.config.clock.sleep(d);
-                }
-                if injected.error {
-                    self.breaker_failure(slot, &mut stats);
+                let Some(source) = self.slot_source(slot) else {
+                    // Degraded slot: every remaining request falls through.
                     stats.fallbacks[slot.index()] += remaining.len() as u64;
                     tracer.event("slot_call", |f| {
                         f.push("slot", slot.metric_label())
                             .push("requests", remaining.len())
-                            .push("outcome", "injected_error");
+                            .push("outcome", "degraded");
+                    });
+                    continue;
+                };
+                if !self.breaker_admit(slot, &mut stats) {
+                    stats.breaker_skips[slot.index()] += 1;
+                    stats.fallbacks[slot.index()] += remaining.len() as u64;
+                    tracer.event("slot_call", |f| {
+                        f.push("slot", slot.metric_label())
+                            .push("requests", remaining.len())
+                            .push("outcome", "breaker_open");
                     });
                     continue;
                 }
-            }
-            let chunk_users: Vec<UserIdx> = remaining.iter().map(|&i| users[i]).collect();
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // The budget clock starts before fault injection so injected
+                // latency counts against the slot like real slowness would.
+                let slot_started = self.config.slot_budget.map(|_| self.config.clock.now());
                 #[cfg(feature = "testing")]
-                if injected.panic {
-                    panic!("injected fault: {} slot panic", slot.label());
+                let injected = self.faults.on_call(slot);
+                #[cfg(feature = "testing")]
+                {
+                    if let Some(d) = injected.latency {
+                        self.config.clock.sleep(d);
+                    }
+                    if injected.error {
+                        self.breaker_failure(slot, &mut stats);
+                        stats.fallbacks[slot.index()] += remaining.len() as u64;
+                        tracer.event("slot_call", |f| {
+                            f.push("slot", slot.metric_label())
+                                .push("requests", remaining.len())
+                                .push("outcome", "injected_error");
+                        });
+                        continue;
+                    }
                 }
-                model.recommend_batch(&chunk_users, k)
-            }));
-            let answers = match outcome {
-                Ok(answers) => answers,
-                Err(_) => {
-                    // The slot panicked: isolate it, degrade the chunk
-                    // down the chain, and let the breaker see a failure.
-                    stats.panics[slot.index()] += 1;
-                    stats.fallbacks[slot.index()] += remaining.len() as u64;
-                    self.breaker_failure(slot, &mut stats);
-                    tracer.event("slot_call", |f| {
-                        f.push("slot", slot.metric_label())
-                            .push("requests", remaining.len())
-                            .push("outcome", "panic");
-                    });
-                    continue;
+                let chunk_users: Vec<UserIdx> = remaining.iter().map(|&i| users[i]).collect();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    #[cfg(feature = "testing")]
+                    if injected.panic {
+                        panic!("injected fault: {} slot panic", slot.label());
+                    }
+                    let mut candidates: Vec<Vec<Candidate>> = Vec::new();
+                    source.emit_batch(&chunk_users, pool_size, &mut candidates);
+                    candidates
+                }));
+                let candidates = match outcome {
+                    Ok(candidates) => candidates,
+                    Err(_) => {
+                        // The source panicked: isolate it, degrade the
+                        // chunk to the later stages, and let the breaker
+                        // see a failure.
+                        stats.panics[slot.index()] += 1;
+                        stats.fallbacks[slot.index()] += remaining.len() as u64;
+                        self.breaker_failure(slot, &mut stats);
+                        tracer.event("slot_call", |f| {
+                            f.push("slot", slot.metric_label())
+                                .push("requests", remaining.len())
+                                .push("outcome", "panic");
+                        });
+                        continue;
+                    }
+                };
+                if let (Some(budget), Some(started)) = (self.config.slot_budget, slot_started) {
+                    let elapsed = self.config.clock.now().saturating_sub(started);
+                    if elapsed > budget {
+                        // Too slow: cut the source off (its candidates
+                        // are discarded) and move on.
+                        stats.timeouts[slot.index()] += 1;
+                        stats.fallbacks[slot.index()] += remaining.len() as u64;
+                        self.breaker_failure(slot, &mut stats);
+                        tracer.event("slot_call", |f| {
+                            f.push("slot", slot.metric_label())
+                                .push("requests", remaining.len())
+                                .push("outcome", "timeout")
+                                .push("elapsed_ns", elapsed.as_nanos() as u64);
+                        });
+                        continue;
+                    }
                 }
-            };
-            if let (Some(budget), Some(started)) = (self.config.slot_budget, slot_started) {
-                let elapsed = self.config.clock.now().saturating_sub(started);
-                if elapsed > budget {
-                    // Too slow: cut the slot off (its answers are
-                    // discarded) and advance the chain.
-                    stats.timeouts[slot.index()] += 1;
-                    stats.fallbacks[slot.index()] += remaining.len() as u64;
-                    self.breaker_failure(slot, &mut stats);
-                    tracer.event("slot_call", |f| {
-                        f.push("slot", slot.metric_label())
-                            .push("requests", remaining.len())
-                            .push("outcome", "timeout")
-                            .push("elapsed_ns", elapsed.as_nanos() as u64);
-                    });
-                    continue;
+                self.breaker_success(slot, &mut stats);
+                let mut emitted_for = 0usize;
+                for per_user in &candidates {
+                    if per_user.is_empty() {
+                        // A healthy source with nothing to say (e.g.
+                        // content similarity on an empty history) falls
+                        // through like a legacy empty answer did.
+                        stats.fallbacks[slot.index()] += 1;
+                    } else {
+                        emitted_for += 1;
+                    }
                 }
+                tracer.event("slot_call", |f| {
+                    f.push("slot", slot.metric_label())
+                        .push("requests", remaining.len())
+                        .push("outcome", "ok")
+                        .push("served", emitted_for);
+                });
+                emitted.push((slot, candidates));
             }
-            self.breaker_success(slot, &mut stats);
-            let attempted = remaining.len();
+        }
+
+        // ---- Stage 2: merge → filters → rank ---------------------------
+        if !deadline_hit && !emitted.is_empty() {
+            // The highest-priority source that emitted supplies the
+            // rank-stage scoring model; with the default single source
+            // this reproduces the legacy slot's own ranking bit-for-bit.
+            let primary = emitted[0].0;
+            let scorer = self.slot_model(primary);
+            let genres = self.config.pipeline.book_genres.as_deref();
+            let mut pool: Vec<Candidate> = Vec::new();
+            let mut top = TopK::new(1);
+            let mut ranked: Vec<u32> = Vec::new();
             let mut still_empty = Vec::new();
-            for (&i, books) in remaining.iter().zip(answers) {
-                if books.is_empty() {
-                    // Healthy slot with nothing to say (e.g. Closest
-                    // Items for an empty history): fall through too.
-                    stats.fallbacks[slot.index()] += 1;
-                    still_empty.push(i);
-                } else {
-                    stats.served[slot.index()] += 1;
-                    out[i] = Some(books);
+            for (j, &i) in remaining.iter().enumerate() {
+                merge_into(
+                    emitted.iter().map(|(_, per_user)| per_user[j].as_slice()),
+                    &mut pool,
+                );
+                let user = users[i];
+                let ctx = FilterCtx {
+                    user,
+                    seen: self.train.seen(user),
+                    genres,
+                };
+                for filter in &self.config.pipeline.filters {
+                    filter.retain(&ctx, &mut pool);
                 }
+                let ranked_ok = match scorer {
+                    Some(model) => {
+                        rank_pool_into(
+                            &pool,
+                            k,
+                            |b| model.score(user, BookIdx(b)),
+                            &mut top,
+                            &mut ranked,
+                        );
+                        !ranked.is_empty()
+                    }
+                    None => false,
+                };
+                if !ranked_ok {
+                    // Empty pool, everything filtered out, or the primary
+                    // model vanished: the degraded chain walk below gets
+                    // another shot at this user.
+                    still_empty.push(i);
+                    continue;
+                }
+                // Attribute the serve to the slot whose source proposed
+                // the winning (top-ranked) book.
+                let winner = pool.iter().find(|c| c.book == ranked[0]).map(|c| c.source);
+                let slot = winner.and_then(SourceId::slot).unwrap_or(primary);
+                stats.served[slot.index()] += 1;
+                if let Some(ex) = explain.as_deref_mut() {
+                    ex[i] = ranked
+                        .iter()
+                        .filter_map(|&b| {
+                            pool.iter().find(|c| c.book == b).map(|c| Explanation {
+                                book: b,
+                                source: c.source,
+                                reason: c.reason,
+                            })
+                        })
+                        .collect();
+                }
+                out[i] = Some(std::mem::take(&mut ranked));
             }
-            tracer.event("slot_call", |f| {
-                f.push("slot", slot.metric_label())
-                    .push("requests", attempted)
-                    .push("outcome", "ok")
-                    .push("served", attempted - still_empty.len());
-            });
             remaining = still_empty;
         }
-        // Chain exhausted (or deadline expired): empty answers, not
-        // served by any slot.
+
+        // ---- Stage 3: degraded fallback chain --------------------------
+        // Users the pipeline could not serve walk the legacy chain,
+        // skipping the slots that already ran as sources (every slot gets
+        // at most one attempt per chunk, exactly as before the pipeline).
+        if !deadline_hit {
+            for &slot in &self.config.chain {
+                if remaining.is_empty() {
+                    break;
+                }
+                if source_slots.contains(&slot) {
+                    continue;
+                }
+                if let Some(d) = deadline {
+                    if d.expired(&*self.config.clock) {
+                        stats.deadline_skips += remaining.len() as u64;
+                        tracer.event("deadline_expired", |f| {
+                            f.push("skipped", remaining.len());
+                        });
+                        break;
+                    }
+                }
+                let Some(model) = self.slot_model(slot) else {
+                    // Degraded slot: every remaining request falls through.
+                    stats.fallbacks[slot.index()] += remaining.len() as u64;
+                    tracer.event("slot_call", |f| {
+                        f.push("slot", slot.metric_label())
+                            .push("requests", remaining.len())
+                            .push("outcome", "degraded");
+                    });
+                    continue;
+                };
+                if !self.breaker_admit(slot, &mut stats) {
+                    stats.breaker_skips[slot.index()] += 1;
+                    stats.fallbacks[slot.index()] += remaining.len() as u64;
+                    tracer.event("slot_call", |f| {
+                        f.push("slot", slot.metric_label())
+                            .push("requests", remaining.len())
+                            .push("outcome", "breaker_open");
+                    });
+                    continue;
+                }
+                // The budget clock starts before fault injection so injected
+                // latency counts against the slot like real slowness would.
+                let slot_started = self.config.slot_budget.map(|_| self.config.clock.now());
+                #[cfg(feature = "testing")]
+                let injected = self.faults.on_call(slot);
+                #[cfg(feature = "testing")]
+                {
+                    if let Some(d) = injected.latency {
+                        self.config.clock.sleep(d);
+                    }
+                    if injected.error {
+                        self.breaker_failure(slot, &mut stats);
+                        stats.fallbacks[slot.index()] += remaining.len() as u64;
+                        tracer.event("slot_call", |f| {
+                            f.push("slot", slot.metric_label())
+                                .push("requests", remaining.len())
+                                .push("outcome", "injected_error");
+                        });
+                        continue;
+                    }
+                }
+                let chunk_users: Vec<UserIdx> = remaining.iter().map(|&i| users[i]).collect();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    #[cfg(feature = "testing")]
+                    if injected.panic {
+                        panic!("injected fault: {} slot panic", slot.label());
+                    }
+                    model.recommend_batch(&chunk_users, k)
+                }));
+                let answers = match outcome {
+                    Ok(answers) => answers,
+                    Err(_) => {
+                        // The slot panicked: isolate it, degrade the chunk
+                        // down the chain, and let the breaker see a failure.
+                        stats.panics[slot.index()] += 1;
+                        stats.fallbacks[slot.index()] += remaining.len() as u64;
+                        self.breaker_failure(slot, &mut stats);
+                        tracer.event("slot_call", |f| {
+                            f.push("slot", slot.metric_label())
+                                .push("requests", remaining.len())
+                                .push("outcome", "panic");
+                        });
+                        continue;
+                    }
+                };
+                if let (Some(budget), Some(started)) = (self.config.slot_budget, slot_started) {
+                    let elapsed = self.config.clock.now().saturating_sub(started);
+                    if elapsed > budget {
+                        // Too slow: cut the slot off (its answers are
+                        // discarded) and advance the chain.
+                        stats.timeouts[slot.index()] += 1;
+                        stats.fallbacks[slot.index()] += remaining.len() as u64;
+                        self.breaker_failure(slot, &mut stats);
+                        tracer.event("slot_call", |f| {
+                            f.push("slot", slot.metric_label())
+                                .push("requests", remaining.len())
+                                .push("outcome", "timeout")
+                                .push("elapsed_ns", elapsed.as_nanos() as u64);
+                        });
+                        continue;
+                    }
+                }
+                self.breaker_success(slot, &mut stats);
+                let attempted = remaining.len();
+                let mut still_empty = Vec::new();
+                for (&i, books) in remaining.iter().zip(answers) {
+                    if books.is_empty() {
+                        // Healthy slot with nothing to say (e.g. Closest
+                        // Items for an empty history): fall through too.
+                        stats.fallbacks[slot.index()] += 1;
+                        still_empty.push(i);
+                    } else {
+                        stats.served[slot.index()] += 1;
+                        if let Some(ex) = explain.as_deref_mut() {
+                            ex[i] = books
+                                .iter()
+                                .map(|&b| Explanation {
+                                    book: b,
+                                    source: SourceId::Fallback(slot),
+                                    reason: self.reason_for(slot, users[i], b),
+                                })
+                                .collect();
+                        }
+                        out[i] = Some(books);
+                    }
+                }
+                tracer.event("slot_call", |f| {
+                    f.push("slot", slot.metric_label())
+                        .push("requests", attempted)
+                        .push("outcome", "ok")
+                        .push("served", attempted - still_empty.len());
+                });
+                remaining = still_empty;
+            }
+        }
+        // Pipeline and chain exhausted (or deadline expired): empty
+        // answers, not served by any slot.
         for i in remaining {
             out[i] = Some(Vec::new());
         }
 
-        if self.config.cache_capacity > 0 && !misses.is_empty() {
+        if use_cache && !misses.is_empty() {
             let mut cache = self.lock_cache();
             for &i in &misses {
                 // Every miss index was answered above; skip (rather than

@@ -10,11 +10,14 @@
 //!    summary fields).
 //! 2. **Serve online**: [`ServingEngine::load`] restores the artifacts
 //!    and serves [`ServingEngine::recommend`] /
-//!    [`ServingEngine::recommend_batch`] requests through a fallback
-//!    chain (BPR → Closest Items → Most Read → Random), with a bounded
-//!    LRU cache keyed by `(user, k, model_epoch)` and in-tree request
-//!    metrics (latency quantiles, QPS, cache hit ratio, per-slot
-//!    serve/fallback counts).
+//!    [`ServingEngine::recommend_batch`] requests through the candidate
+//!    [`pipeline`] (provenance-stamped sources → merge/dedup → filters
+//!    → rank), with the fallback chain (BPR → Closest Items → Most Read
+//!    → Random) retained as the degraded path, a bounded LRU cache
+//!    keyed by `(user, k, model_epoch)`, in-tree request metrics
+//!    (latency quantiles, QPS, cache hit ratio, per-slot serve/fallback
+//!    counts), and per-request explanations via
+//!    [`ServingEngine::recommend_explained`].
 //!
 //! A corrupt or missing artifact never takes serving down — the slot
 //! degrades, the chain skips it, and the metrics show the fall-throughs.
@@ -33,14 +36,16 @@ pub mod engine;
 #[cfg(feature = "testing")]
 pub mod fault;
 pub mod metrics;
+pub mod pipeline;
 pub mod registry;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::LruCache;
-pub use engine::{EngineConfig, ModelSlot, ServingEngine};
+pub use engine::{EngineConfig, EngineConfigBuilder, ModelSlot, ServingEngine};
 #[cfg(feature = "testing")]
 pub use fault::{CallWindow, FaultPlan};
 pub use metrics::{ChunkStats, MetricsSnapshot, ServeMetrics};
-pub use registry::{
-    ArtifactRegistry, LoadedArtifacts, Manifest, RegistryError, RegistryLock, SlotError,
+pub use pipeline::{
+    CandidateFilter, CandidateSource, Explanation, PipelineConfig, Reason, SourceId,
 };
+pub use registry::{ArtifactRegistry, LoadedArtifacts, Manifest, RegistryLock, SlotError};

@@ -1,0 +1,83 @@
+//! The candidate-source orchestration pipeline (DESIGN.md §15).
+//!
+//! The paper's central claim is that *heterogeneous* signals — loans,
+//! catalogue content, popularity — beat any single model. The pipeline
+//! makes that heterogeneity an explicit serving structure instead of a
+//! hard-coded fallback chain:
+//!
+//! ```text
+//! sources ──▶ merge/dedup ──▶ filters ──▶ rank ──▶ top-k + explanations
+//! ```
+//!
+//! * [`sources`] — [`CandidateSource`]s fan out per request, each
+//!   emitting a few hundred [`Candidate`]s with provenance (who
+//!   proposed the book, and why);
+//! * [`merge`] — deterministic pooling, deduplicated by book index with
+//!   first-source-wins provenance;
+//! * [`filters`] — [`CandidateFilter`] business rules pruning the pool
+//!   in place;
+//! * [`rank`] — the pooled survivors are re-scored by the primary
+//!   source's model and reduced to top-k with the same deterministic
+//!   [`rm_util::TopK`] selector the recommenders use;
+//! * [`explain`] — surviving provenance becomes per-book
+//!   [`Explanation`]s ("because you borrowed X").
+//!
+//! The engine runs this pipeline inside the existing fault envelope:
+//! every source call sits behind the per-slot circuit breaker, panic
+//! isolation, and deadline budgets, and the legacy fallback chain is
+//! retained as the degraded path for users the pipeline could not
+//! serve. With the default configuration (single CF source, no
+//! filters) the pipeline's top-k is bit-identical to the legacy chain.
+
+pub mod explain;
+pub mod filters;
+pub mod merge;
+pub mod rank;
+pub mod sources;
+
+pub use explain::Explanation;
+pub use filters::{
+    AlreadyBorrowedFilter, CandidateFilter, DiversityCapFilter, FilterCtx, GenreFilter,
+};
+pub use merge::merge_into;
+pub use rank::rank_pool_into;
+pub use sources::{
+    anchor_book, BookGenres, Candidate, CandidateSource, CfNeighboursSource, ContentSimilarSource,
+    FallbackSource, GenrePreferenceSource, MostReadSource, Reason, SourceId,
+};
+
+use crate::engine::ModelSlot;
+use std::sync::Arc;
+
+/// Pipeline-stage configuration carried inside `EngineConfig`.
+///
+/// The zero-value default — no explicit sources, pool of 256, no
+/// filters, no genre lookup — makes the pipeline behave exactly like
+/// the legacy fallback chain: the engine derives a single source from
+/// the head of the chain and ranks its emission unfiltered.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Slots to run as candidate sources, in priority order (priority
+    /// decides merge provenance and the rank-stage scoring model).
+    /// `None` derives the single-source default from the fallback
+    /// chain's head.
+    pub sources: Option<Vec<ModelSlot>>,
+    /// Candidates each source may emit per user. The effective pool is
+    /// `pool_size.max(k)` so a large request never truncates below `k`.
+    pub pool_size: usize,
+    /// Business-rule filters, applied in order after the merge.
+    pub filters: Vec<Arc<dyn CandidateFilter>>,
+    /// Catalogue genre lookup for genre-aware filters and sources.
+    pub book_genres: Option<Arc<BookGenres>>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            sources: None,
+            pool_size: 256,
+            filters: Vec::new(),
+            book_genres: None,
+        }
+    }
+}

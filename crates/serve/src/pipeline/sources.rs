@@ -1,0 +1,411 @@
+//! Candidate sources: the fan-out stage of the serving pipeline.
+//!
+//! A [`CandidateSource`] wraps one retrieval signal — collaborative
+//! filtering, content similarity, global popularity, genre preference —
+//! and emits a few hundred [`Candidate`]s per user, each carrying its
+//! provenance: which source proposed it ([`SourceId`]) and why
+//! ([`Reason`]). Provenance is what the explanation layer
+//! ([`crate::pipeline::explain`]) surfaces as "because you borrowed X",
+//! and what the merge stage keeps when two sources propose the same
+//! book (first source wins — see [`crate::pipeline::merge`]).
+//!
+//! Sources are ranked *suggestions*, not answers: the pipeline merges,
+//! filters, and re-scores the pooled candidates, so a source only has
+//! to be good at recall. Every source emits in a deterministic order
+//! for a fixed model + training matrix.
+
+use crate::engine::ModelSlot;
+use rm_core::bpr::Bpr;
+use rm_core::closest::ClosestItems;
+use rm_core::most_read::MostReadItems;
+use rm_core::Recommender;
+use rm_dataset::corpus::Corpus;
+use rm_dataset::ids::{BookIdx, UserIdx};
+use rm_dataset::interactions::Interactions;
+use rm_sparse::vecops;
+
+/// Which source proposed a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceId {
+    /// Collaborative filtering over co-borrowing neighbourhoods (BPR).
+    CfNeighbours,
+    /// Content similarity to the user's borrowed books (Closest Items).
+    ContentSimilar,
+    /// Global popularity (Most Read Items).
+    MostRead,
+    /// The user's dominant borrowed genre.
+    GenrePreference,
+    /// A plain fallback wrap of one serving slot (e.g. Random Items).
+    Fallback(ModelSlot),
+}
+
+impl SourceId {
+    /// Snake-case identifier for trace events and CLI output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::CfNeighbours => "cf_neighbours",
+            Self::ContentSimilar => "content_similar",
+            Self::MostRead => "most_read",
+            Self::GenrePreference => "genre_preference",
+            Self::Fallback(slot) => slot.metric_label(),
+        }
+    }
+
+    /// The serving slot this source is backed by, when there is one —
+    /// used to attribute `served` metrics. [`SourceId::GenrePreference`]
+    /// is model-free and maps to no slot.
+    #[must_use]
+    pub fn slot(self) -> Option<ModelSlot> {
+        match self {
+            Self::CfNeighbours => Some(ModelSlot::Bpr),
+            Self::ContentSimilar => Some(ModelSlot::ClosestItems),
+            Self::MostRead => Some(ModelSlot::MostRead),
+            Self::GenrePreference => None,
+            Self::Fallback(slot) => Some(slot),
+        }
+    }
+}
+
+/// Why a source proposed a candidate — the provenance the explanation
+/// layer renders for the reader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reason {
+    /// Readers with a similar borrowing history also read it.
+    CfNeighbours,
+    /// Its metadata is close to a book the user borrowed.
+    SimilarToBorrowed {
+        /// The borrowed book the recommendation is anchored to.
+        anchor: u32,
+    },
+    /// It is among the library's most-read books.
+    MostRead {
+        /// Training-set read count.
+        count: u64,
+    },
+    /// It belongs to the user's dominant borrowed genre.
+    GenrePreference {
+        /// Aggregated genre id (see `rm_dataset::genre`).
+        genre: u8,
+    },
+    /// An exploration pick with no model-specific story (Random Items).
+    Exploration,
+}
+
+/// One candidate book with full provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Dense book index.
+    pub book: u32,
+    /// The source that proposed it.
+    pub source: SourceId,
+    /// Why it proposed it.
+    pub reason: Reason,
+}
+
+/// A pluggable candidate source: stage one of the serving pipeline.
+///
+/// Implementations must be deterministic — identical model state and
+/// inputs emit identical candidate lists — and must never propose a
+/// book the user has already borrowed (every wrapped recommender
+/// excludes the seen set by contract).
+pub trait CandidateSource: Send + Sync {
+    /// The source's identity, stamped on every candidate it emits.
+    fn id(&self) -> SourceId;
+
+    /// Emits up to `pool_size` candidates per user, best first. `out`
+    /// is resized to `users.len()`; each inner `Vec` is cleared and
+    /// refilled in place. An empty inner list means the source has
+    /// nothing to say for that user (it is *not* an error).
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>);
+}
+
+/// Maps a recommender's ranked output into candidates with one fixed
+/// reason per book.
+fn emit_ranked(
+    model: &dyn Recommender,
+    id: SourceId,
+    users: &[UserIdx],
+    pool_size: usize,
+    out: &mut Vec<Vec<Candidate>>,
+    mut reason: impl FnMut(UserIdx, u32) -> Reason,
+) {
+    let mut ranked: Vec<Vec<u32>> = Vec::new();
+    model.recommend_batch_into(users, pool_size, &mut ranked);
+    out.resize_with(users.len(), Vec::new);
+    for ((&u, books), slot) in users.iter().zip(&ranked).zip(out.iter_mut()) {
+        slot.clear();
+        slot.extend(books.iter().map(|&b| Candidate {
+            book: b,
+            source: id,
+            reason: reason(u, b),
+        }));
+    }
+}
+
+/// CF-neighbours source: the BPR model's top books for the user,
+/// proposed because similar readers borrowed them.
+#[derive(Debug, Clone, Copy)]
+pub struct CfNeighboursSource<'a> {
+    bpr: &'a Bpr,
+}
+
+impl<'a> CfNeighboursSource<'a> {
+    /// Wraps a fitted (or installed) BPR model.
+    #[must_use]
+    pub fn new(bpr: &'a Bpr) -> Self {
+        Self { bpr }
+    }
+}
+
+impl CandidateSource for CfNeighboursSource<'_> {
+    fn id(&self) -> SourceId {
+        SourceId::CfNeighbours
+    }
+
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>) {
+        emit_ranked(self.bpr, self.id(), users, pool_size, out, |_, _| {
+            Reason::CfNeighbours
+        });
+    }
+}
+
+/// Content-similar source: Closest Items' top books, each anchored to
+/// the borrowed book most representative of the user's taste.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentSimilarSource<'a> {
+    closest: &'a ClosestItems,
+    train: &'a Interactions,
+}
+
+impl<'a> ContentSimilarSource<'a> {
+    /// Wraps a fitted Closest Items model and the training matrix its
+    /// seen sets come from.
+    #[must_use]
+    pub fn new(closest: &'a ClosestItems, train: &'a Interactions) -> Self {
+        Self { closest, train }
+    }
+}
+
+impl CandidateSource for ContentSimilarSource<'_> {
+    fn id(&self) -> SourceId {
+        SourceId::ContentSimilar
+    }
+
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>) {
+        emit_ranked(
+            self.closest,
+            self.id(),
+            users,
+            pool_size,
+            out,
+            |u, _| match anchor_book(self.closest, self.train.seen(u)) {
+                Some(anchor) => Reason::SimilarToBorrowed { anchor },
+                None => Reason::Exploration,
+            },
+        );
+    }
+}
+
+/// The borrowed book most representative of the user's taste: the seen
+/// book whose embedding is most similar to the (normalised) centroid of
+/// everything they borrowed. Ties break toward the lower book index;
+/// `None` for an empty history.
+#[must_use]
+pub fn anchor_book(closest: &ClosestItems, seen: &[u32]) -> Option<u32> {
+    if seen.is_empty() {
+        return None;
+    }
+    let store = closest.store();
+    let centroid = store.centroid(seen);
+    let mut best: Option<(u32, f32)> = None;
+    for &b in seen {
+        let sim = vecops::dot(&centroid, store.embedding(b as usize));
+        let better = match best {
+            None => true,
+            Some((_, best_sim)) => sim > best_sim,
+        };
+        if better {
+            best = Some((b, sim));
+        }
+    }
+    best.map(|(b, _)| b)
+}
+
+/// Most-read source: the globally most-borrowed books the user has not
+/// read, with their read counts as provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct MostReadSource<'a> {
+    most_read: &'a MostReadItems,
+}
+
+impl<'a> MostReadSource<'a> {
+    /// Wraps a fitted Most Read Items baseline.
+    #[must_use]
+    pub fn new(most_read: &'a MostReadItems) -> Self {
+        Self { most_read }
+    }
+}
+
+impl CandidateSource for MostReadSource<'_> {
+    fn id(&self) -> SourceId {
+        SourceId::MostRead
+    }
+
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>) {
+        emit_ranked(self.most_read, self.id(), users, pool_size, out, |_, b| {
+            Reason::MostRead {
+                count: self.most_read.count(BookIdx(b)),
+            }
+        });
+    }
+}
+
+/// Per-book primary genre lookup, built once from a corpus and shared
+/// by the genre source and the genre-aware filters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BookGenres {
+    primary: Vec<Option<u8>>,
+}
+
+impl BookGenres {
+    /// Wraps per-book primary genre ids (`None` = no surviving genre).
+    #[must_use]
+    pub fn new(primary: Vec<Option<u8>>) -> Self {
+        Self { primary }
+    }
+
+    /// Derives each book's primary genre — its highest-probability
+    /// aggregated genre, ties toward the lower genre id — from the
+    /// corpus genre profiles.
+    #[must_use]
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let primary = corpus
+            .books
+            .iter()
+            .map(|book| {
+                book.genres
+                    .iter()
+                    .max_by(|(ga, pa), (gb, pb)| pa.total_cmp(pb).then(gb.0.cmp(&ga.0)))
+                    .map(|&(g, _)| g.0)
+            })
+            .collect();
+        Self { primary }
+    }
+
+    /// Number of books covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// True when no books are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty()
+    }
+
+    /// The primary genre of `book`, if it has one.
+    #[must_use]
+    pub fn primary(&self, book: u32) -> Option<u8> {
+        self.primary.get(book as usize).copied().flatten()
+    }
+}
+
+/// Genre-preference source: unseen books of the user's dominant
+/// borrowed genre, in ascending book order. Model-free — it reads only
+/// the training matrix and the catalogue's genre profiles.
+#[derive(Debug, Clone, Copy)]
+pub struct GenrePreferenceSource<'a> {
+    genres: &'a BookGenres,
+    train: &'a Interactions,
+}
+
+impl<'a> GenrePreferenceSource<'a> {
+    /// Wraps the catalogue genre lookup and the training matrix.
+    #[must_use]
+    pub fn new(genres: &'a BookGenres, train: &'a Interactions) -> Self {
+        Self { genres, train }
+    }
+
+    /// The user's dominant genre: the most frequent primary genre among
+    /// their borrowed books, ties toward the lower genre id. `None` for
+    /// an empty history or one with no genre-labelled books.
+    #[must_use]
+    pub fn dominant_genre(&self, user: UserIdx) -> Option<u8> {
+        let mut counts = [0u32; 256];
+        for &b in self.train.seen(user) {
+            if let Some(g) = self.genres.primary(b) {
+                counts[usize::from(g)] += 1;
+            }
+        }
+        let (best, n) = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+        (*n > 0).then_some(best as u8)
+    }
+}
+
+impl CandidateSource for GenrePreferenceSource<'_> {
+    fn id(&self) -> SourceId {
+        SourceId::GenrePreference
+    }
+
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>) {
+        out.resize_with(users.len(), Vec::new);
+        for (&u, slot) in users.iter().zip(out.iter_mut()) {
+            slot.clear();
+            let Some(genre) = self.dominant_genre(u) else {
+                continue;
+            };
+            let seen = self.train.seen(u);
+            let mut seen_iter = seen.iter().copied().peekable();
+            for b in 0..self.genres.len() as u32 {
+                if seen_iter.peek() == Some(&b) {
+                    seen_iter.next();
+                    continue;
+                }
+                if self.genres.primary(b) == Some(genre) {
+                    slot.push(Candidate {
+                        book: b,
+                        source: SourceId::GenrePreference,
+                        reason: Reason::GenrePreference { genre },
+                    });
+                    if slot.len() >= pool_size {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Wraps any [`Recommender`] as a provenance-neutral source — the
+/// terminal Random Items slot, or a test double. Candidates carry
+/// [`Reason::Exploration`]: a plain fallback has no model-specific
+/// story to tell.
+pub struct FallbackSource<'a> {
+    slot: ModelSlot,
+    model: &'a (dyn Recommender + Sync),
+}
+
+impl<'a> FallbackSource<'a> {
+    /// Wraps `model` as the source for `slot`.
+    #[must_use]
+    pub fn new(slot: ModelSlot, model: &'a (dyn Recommender + Sync)) -> Self {
+        Self { slot, model }
+    }
+}
+
+impl CandidateSource for FallbackSource<'_> {
+    fn id(&self) -> SourceId {
+        SourceId::Fallback(self.slot)
+    }
+
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>) {
+        emit_ranked(self.model, self.id(), users, pool_size, out, |_, _| {
+            Reason::Exploration
+        });
+    }
+}

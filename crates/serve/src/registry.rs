@@ -26,6 +26,7 @@ use rm_core::most_read::MostReadItems;
 use rm_core::persist::{write_atomic, DecodeError, PersistModel};
 use rm_dataset::summary::SummaryFields;
 use rm_embed::EmbeddingStore;
+use rm_util::RecError;
 use std::fmt;
 use std::io;
 use std::io::Write;
@@ -67,10 +68,15 @@ impl Manifest {
     }
 
     /// Parses [`Manifest::render`] output.
-    pub fn parse(text: &str) -> Result<Self, RegistryError> {
+    ///
+    /// # Errors
+    ///
+    /// [`RecError::Corrupt`] when the header, a line, or a required key
+    /// fails to parse.
+    pub fn parse(text: &str) -> Result<Self, RecError> {
         let mut lines = text.lines();
         if lines.next().map(str::trim) != Some(MANIFEST_HEADER) {
-            return Err(RegistryError::BadManifest("missing header".into()));
+            return Err(RecError::Corrupt("manifest: missing header".into()));
         }
         let mut epoch = None;
         let mut fields = None;
@@ -81,17 +87,17 @@ impl Manifest {
             }
             let (key, value) = line
                 .split_once(' ')
-                .ok_or_else(|| RegistryError::BadManifest(format!("bad line: {line}")))?;
+                .ok_or_else(|| RecError::Corrupt(format!("manifest: bad line: {line}")))?;
             match key {
                 "epoch" => {
                     epoch =
                         Some(value.parse::<u64>().map_err(|_| {
-                            RegistryError::BadManifest(format!("bad epoch: {value}"))
+                            RecError::Corrupt(format!("manifest: bad epoch: {value}"))
                         })?);
                 }
                 "fields" => {
                     fields = Some(SummaryFields::from_bits(value.parse::<u8>().map_err(
-                        |_| RegistryError::BadManifest(format!("bad fields: {value}")),
+                        |_| RecError::Corrupt(format!("manifest: bad fields: {value}")),
                     )?));
                 }
                 // Unknown keys are ignored for forward compatibility.
@@ -99,35 +105,9 @@ impl Manifest {
             }
         }
         Ok(Self {
-            epoch: epoch.ok_or_else(|| RegistryError::BadManifest("missing epoch".into()))?,
-            fields: fields.ok_or_else(|| RegistryError::BadManifest("missing fields".into()))?,
+            epoch: epoch.ok_or_else(|| RecError::Corrupt("manifest: missing epoch".into()))?,
+            fields: fields.ok_or_else(|| RecError::Corrupt("manifest: missing fields".into()))?,
         })
-    }
-}
-
-/// Why the registry as a whole could not be opened.
-#[derive(Debug)]
-pub enum RegistryError {
-    /// The manifest file is absent or unreadable.
-    Io(io::Error),
-    /// The manifest is present but unparsable.
-    BadManifest(String),
-}
-
-impl fmt::Display for RegistryError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Io(e) => write!(f, "registry i/o error: {e}"),
-            Self::BadManifest(msg) => write!(f, "bad manifest: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for RegistryError {}
-
-impl From<io::Error> for RegistryError {
-    fn from(e: io::Error) -> Self {
-        Self::Io(e)
     }
 }
 
@@ -344,13 +324,18 @@ impl ArtifactRegistry {
     /// concurrent `save` cannot interleave; a registry directory that
     /// does not exist yet skips the lock and reports the manifest's
     /// `NotFound` as usual.
-    pub fn load(&self) -> Result<LoadedArtifacts, RegistryError> {
+    ///
+    /// # Errors
+    ///
+    /// [`RecError::Io`] when the lock or manifest cannot be read,
+    /// [`RecError::Corrupt`] when the manifest does not parse.
+    pub fn load(&self) -> Result<LoadedArtifacts, RecError> {
         let _lock = match RegistryLock::acquire(&self.dir, self.lock_wait) {
             Ok(lock) => Some(lock),
             // Missing directory: fall through to the manifest read, which
             // produces the canonical "registry absent" error.
             Err(e) if e.kind() == io::ErrorKind::NotFound => None,
-            Err(e) => return Err(RegistryError::Io(e)),
+            Err(e) => return Err(RecError::Io(e)),
         };
         let manifest_text = std::fs::read_to_string(self.path_of(MANIFEST_FILE))?;
         let manifest = Manifest::parse(&manifest_text)?;
@@ -402,15 +387,15 @@ mod tests {
     fn manifest_rejects_garbage() {
         assert!(matches!(
             Manifest::parse("not a manifest"),
-            Err(RegistryError::BadManifest(_))
+            Err(RecError::Corrupt(_))
         ));
         assert!(matches!(
             Manifest::parse(MANIFEST_HEADER),
-            Err(RegistryError::BadManifest(_))
+            Err(RecError::Corrupt(_))
         ));
         assert!(matches!(
             Manifest::parse(&format!("{MANIFEST_HEADER}\nepoch x\nfields 2")),
-            Err(RegistryError::BadManifest(_))
+            Err(RecError::Corrupt(_))
         ));
     }
 
@@ -477,7 +462,7 @@ mod tests {
         assert!(err.to_string().contains("registry.lock"), "{err}");
 
         // Loads respect the same lock.
-        assert!(matches!(reg.load(), Err(RegistryError::Io(_))));
+        assert!(matches!(reg.load(), Err(RecError::Io(_))));
 
         drop(held);
         reg.save(&manifest, &bpr, &most_read, &embeddings)
@@ -504,7 +489,7 @@ mod tests {
     #[test]
     fn missing_registry_is_an_io_error() {
         let reg = ArtifactRegistry::new("/nonexistent/rm-serve-nowhere");
-        assert!(matches!(reg.load(), Err(RegistryError::Io(_))));
+        assert!(matches!(reg.load(), Err(RecError::Io(_))));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rm_dataset::summary::SummaryFields;
 use rm_embed::EncoderConfig;
 use rm_eval::harness::Harness;
 use rm_serve::breaker::{BreakerConfig, BreakerState};
-use rm_serve::engine::{EngineConfig, ModelSlot, ServingEngine};
+use rm_serve::engine::{EngineConfig, EngineConfigBuilder, ModelSlot, ServingEngine};
 use rm_serve::fault::{CallWindow, FaultPlan};
 use rm_serve::registry::{ArtifactRegistry, Manifest, MANIFEST_FILE};
 use rm_util::clock::{Backoff, Clock, FakeClock};
@@ -126,13 +126,15 @@ impl Fixture {
 
 /// Single-threaded, uncached engine driven by a fake clock — the
 /// deterministic chaos base configuration.
+fn chaos_builder(clock: &Arc<FakeClock>) -> EngineConfigBuilder {
+    EngineConfig::builder()
+        .workers(1)
+        .cache_capacity(0)
+        .clock(clock.clone())
+}
+
 fn chaos_config(clock: &Arc<FakeClock>) -> EngineConfig {
-    EngineConfig {
-        workers: 1,
-        cache_capacity: 0,
-        clock: clock.clone(),
-        ..EngineConfig::default()
-    }
+    chaos_builder(clock).build().expect("valid config")
 }
 
 #[test]
@@ -190,12 +192,12 @@ fn batch_path_survives_panicking_slot_on_every_worker() {
     let engine = ServingEngine::load_with_faults(
         &fx.registry,
         &fx.train,
-        EngineConfig {
-            workers: 4,
-            cache_capacity: 0,
-            clock: clock.clone(),
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(4)
+            .cache_capacity(0)
+            .clock(clock.clone())
+            .build()
+            .expect("valid config"),
         plan,
     )
     .expect("engine loads");
@@ -306,14 +308,14 @@ fn slot_budget_cuts_off_slow_calls_and_trips_the_breaker() {
     let engine = ServingEngine::load_with_faults(
         &fx.registry,
         &fx.train,
-        EngineConfig {
-            slot_budget: Some(Duration::from_millis(10)),
-            breaker: Some(BreakerConfig {
+        chaos_builder(&clock)
+            .slot_budget(Duration::from_millis(10))
+            .breaker(BreakerConfig {
                 failure_threshold: 2,
                 cooldown: Duration::from_secs(1),
-            }),
-            ..chaos_config(&clock)
-        },
+            })
+            .build()
+            .expect("valid config"),
         plan,
     )
     .expect("engine loads");
@@ -352,11 +354,11 @@ fn request_deadline_stops_the_chain_walk() {
     let engine = ServingEngine::load_with_faults(
         &fx.registry,
         &fx.train,
-        EngineConfig {
-            request_budget: Some(Duration::from_millis(30)),
-            breaker: None,
-            ..chaos_config(&clock)
-        },
+        chaos_builder(&clock)
+            .request_budget(Duration::from_millis(30))
+            .no_breaker()
+            .build()
+            .expect("valid config"),
         plan,
     )
     .expect("engine loads");
@@ -399,11 +401,11 @@ fn reload_with_retry_keeps_serving_the_old_epoch_on_exhaustion() {
     let mut engine = ServingEngine::load(
         &fx.registry,
         &fx.train,
-        EngineConfig {
-            workers: 1,
-            clock: clock.clone(),
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .clock(clock.clone())
+            .build()
+            .expect("valid config"),
     )
     .expect("engine loads");
     let user = fx.user();

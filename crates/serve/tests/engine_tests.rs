@@ -11,9 +11,10 @@ use rm_dataset::interactions::Interactions;
 use rm_dataset::summary::SummaryFields;
 use rm_embed::{EmbeddingStore, EncoderConfig};
 use rm_eval::harness::Harness;
-use rm_serve::engine::{EngineConfig, ModelSlot, ServingEngine};
+use rm_serve::engine::{EngineConfig, EngineConfigBuilder, ModelSlot, ServingEngine};
 use rm_serve::registry::{ArtifactRegistry, Manifest, BPR_FILE, MOST_READ_FILE};
 use rm_sparse::DenseMatrix;
+use rm_util::RecError;
 use std::path::PathBuf;
 
 fn unique_dir(tag: &str) -> PathBuf {
@@ -207,10 +208,10 @@ fn cache_hits_are_byte_identical_to_cold_calls() {
     let engine = engine_of(&fx, EngineConfig::default());
     let uncached = engine_of(
         &fx,
-        EngineConfig {
-            cache_capacity: 0,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .cache_capacity(0)
+            .build()
+            .expect("valid config"),
     );
 
     let user = user_with_history(&fx.train);
@@ -272,11 +273,11 @@ fn batch_matches_single_calls_for_every_worker_count() {
 
     let reference = engine_of(
         &fx,
-        EngineConfig {
-            cache_capacity: 0,
-            workers: 1,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .cache_capacity(0)
+            .workers(1)
+            .build()
+            .expect("valid config"),
     );
     let singles: Vec<Vec<u32>> = users.iter().map(|&u| reference.recommend(u, 8)).collect();
 
@@ -284,11 +285,11 @@ fn batch_matches_single_calls_for_every_worker_count() {
         for cache_capacity in [0usize, 4096] {
             let engine = engine_of(
                 &fx,
-                EngineConfig {
-                    workers,
-                    cache_capacity,
-                    ..EngineConfig::default()
-                },
+                EngineConfig::builder()
+                    .workers(workers)
+                    .cache_capacity(cache_capacity)
+                    .build()
+                    .expect("valid config"),
             );
             let batch = engine.recommend_batch(&users, 8);
             assert_eq!(batch, singles, "workers={workers} cache={cache_capacity}");
@@ -333,10 +334,10 @@ fn empty_answers_fall_through_custom_chain() {
     let engine = ServingEngine::load(
         &registry,
         &train,
-        EngineConfig {
-            chain: vec![ModelSlot::ClosestItems, ModelSlot::MostRead],
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .chain(vec![ModelSlot::ClosestItems, ModelSlot::MostRead])
+            .build()
+            .expect("valid config"),
     )
     .expect("engine loads");
     assert!(engine.degraded().is_empty());
@@ -354,4 +355,71 @@ fn empty_answers_fall_through_custom_chain() {
     assert_eq!(m.served[ModelSlot::Bpr.index()], 0);
     assert_eq!(m.fallbacks[ModelSlot::Bpr.index()], 0);
     let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+#[test]
+fn builder_defaults_match_config_default() {
+    let built = EngineConfig::builder().build().expect("defaults are valid");
+    let default = EngineConfig::default();
+    assert_eq!(built.chain, default.chain);
+    assert_eq!(built.workers, default.workers);
+    assert_eq!(built.cache_capacity, default.cache_capacity);
+    assert_eq!(built.random_seed, default.random_seed);
+    assert_eq!(built.slot_budget, default.slot_budget);
+    assert_eq!(built.request_budget, default.request_budget);
+    assert_eq!(built.pipeline.pool_size, default.pipeline.pool_size);
+    assert!(built.pipeline.sources.is_none());
+    assert!(built.pipeline.filters.is_empty());
+}
+
+#[test]
+fn builder_rejects_nonsensical_configs() {
+    let cases: [(EngineConfigBuilder, &str); 4] = [
+        (EngineConfig::builder().workers(0), "workers"),
+        (EngineConfig::builder().chain(Vec::new()), "chain"),
+        (EngineConfig::builder().pool_size(0), "pool_size"),
+        (
+            EngineConfig::builder().pipeline_sources(Vec::new()),
+            "sources",
+        ),
+    ];
+    for (builder, what) in cases {
+        match builder.build() {
+            Err(RecError::Config(msg)) => {
+                assert!(msg.contains(what), "{what}: unexpected message {msg}");
+            }
+            other => panic!("{what}: expected RecError::Config, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn builder_sets_pipeline_and_fault_knobs() {
+    let config = EngineConfig::builder()
+        .chain(vec![ModelSlot::MostRead, ModelSlot::Random])
+        .workers(2)
+        .cache_capacity(16)
+        .random_seed(7)
+        .slot_budget(std::time::Duration::from_millis(5))
+        .request_budget(std::time::Duration::from_millis(50))
+        .no_breaker()
+        .pipeline_sources(vec![ModelSlot::MostRead])
+        .pool_size(64)
+        .build()
+        .expect("valid config");
+    assert_eq!(config.chain, vec![ModelSlot::MostRead, ModelSlot::Random]);
+    assert_eq!(config.workers, 2);
+    assert_eq!(config.cache_capacity, 16);
+    assert_eq!(config.random_seed, 7);
+    assert_eq!(
+        config.slot_budget,
+        Some(std::time::Duration::from_millis(5))
+    );
+    assert_eq!(
+        config.request_budget,
+        Some(std::time::Duration::from_millis(50))
+    );
+    assert!(config.breaker.is_none());
+    assert_eq!(config.pipeline.sources, Some(vec![ModelSlot::MostRead]));
+    assert_eq!(config.pipeline.pool_size, 64);
 }

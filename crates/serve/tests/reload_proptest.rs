@@ -109,7 +109,7 @@ proptest! {
         let mut engine = ServingEngine::load(
             &registry,
             &px.train,
-            EngineConfig { workers: 1, ..EngineConfig::default() },
+            EngineConfig::builder().workers(1).build().unwrap(),
         ).unwrap();
         prop_assert_eq!(engine.epoch(), 1);
         prop_assert!(engine.degraded().is_empty());

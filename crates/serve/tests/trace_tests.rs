@@ -67,12 +67,15 @@ fn user_with_history(train: &Interactions) -> UserIdx {
 
 /// Single-worker engine with a fake clock and an enabled tracer.
 fn traced_engine(fx: &Fixture, clock: Arc<FakeClock>) -> ServingEngine {
-    let config = EngineConfig {
-        workers: 1,
-        clock: Arc::clone(&clock) as Arc<dyn Clock>,
-        tracer: Arc::new(Tracer::enabled(4096, Arc::clone(&clock) as Arc<dyn Clock>)),
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder()
+        .workers(1)
+        .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+        .tracer(Arc::new(Tracer::enabled(
+            4096,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        )))
+        .build()
+        .expect("valid config");
     ServingEngine::load(&fx.registry, &fx.train, config).expect("engine loads")
 }
 
@@ -188,11 +191,11 @@ fn disabled_tracer_serves_identically_and_records_nothing() {
     let silent = ServingEngine::load(
         &fx.registry,
         &fx.train,
-        EngineConfig {
-            workers: 1,
-            clock: Arc::new(FakeClock::new()) as Arc<dyn Clock>,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .clock(Arc::new(FakeClock::new()) as Arc<dyn Clock>)
+            .build()
+            .expect("valid config"),
     )
     .expect("engine loads");
     let users: Vec<UserIdx> = (0..6u32).map(UserIdx).collect();
@@ -263,16 +266,19 @@ mod chaos {
     fn breaker_transitions_are_traced() {
         let fx = train_fixture("breaker-trace");
         let clock = Arc::new(FakeClock::new());
-        let config = EngineConfig {
-            workers: 1,
-            breaker: Some(BreakerConfig {
+        let config = EngineConfig::builder()
+            .workers(1)
+            .breaker(BreakerConfig {
                 failure_threshold: 2,
                 cooldown: std::time::Duration::from_millis(50),
-            }),
-            clock: Arc::clone(&clock) as Arc<dyn Clock>,
-            tracer: Arc::new(Tracer::enabled(4096, Arc::clone(&clock) as Arc<dyn Clock>)),
-            ..EngineConfig::default()
-        };
+            })
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .tracer(Arc::new(Tracer::enabled(
+                4096,
+                Arc::clone(&clock) as Arc<dyn Clock>,
+            )))
+            .build()
+            .expect("valid config");
         let mut engine =
             ServingEngine::load(&fx.registry, &fx.train, config).expect("engine loads");
         engine.inject_faults(FaultPlan::none().error_in(ModelSlot::Bpr, CallWindow::first(2)));

@@ -1,0 +1,99 @@
+//! The workspace-wide error type.
+//!
+//! Fallible public APIs across the workspace — registry loads, engine
+//! construction, config validation — used to return an ad-hoc mix of
+//! `io::Error`, `String`, and per-crate enums. [`RecError`] replaces
+//! them with one dependency-free enum whose variants name the failure
+//! *class* an operator acts on: an I/O problem, a corrupt artifact, an
+//! expired deadline, an unavailable model slot, or an invalid
+//! configuration. The variant carries the human-readable detail;
+//! [`std::error::Error::source`] chains the underlying `io::Error`
+//! where one exists.
+
+use std::fmt;
+use std::io;
+
+/// One error type for every fallible public API in the workspace.
+#[derive(Debug)]
+pub enum RecError {
+    /// An underlying I/O operation failed (file missing, permission,
+    /// lock contention, …). The original error is preserved as
+    /// [`std::error::Error::source`].
+    Io(io::Error),
+    /// On-disk data was read but failed validation: a bad manifest, a
+    /// checksum mismatch, a truncated artifact.
+    Corrupt(String),
+    /// A time budget expired before the operation completed.
+    Deadline(String),
+    /// A model slot is degraded or otherwise unable to serve.
+    SlotUnavailable(String),
+    /// A configuration value failed validation.
+    Config(String),
+}
+
+impl fmt::Display for RecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Self::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
+            Self::SlotUnavailable(msg) => write!(f, "slot unavailable: {msg}"),
+            Self::Config(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_names_the_failure_class() {
+        let cases = [
+            (
+                RecError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")),
+                "i/o error: gone",
+            ),
+            (
+                RecError::Corrupt("bad header".into()),
+                "corrupt data: bad header",
+            ),
+            (RecError::Deadline("10ms".into()), "deadline exceeded: 10ms"),
+            (
+                RecError::SlotUnavailable("bpr degraded".into()),
+                "slot unavailable: bpr degraded",
+            ),
+            (
+                RecError::Config("workers must be >= 1".into()),
+                "invalid config: workers must be >= 1",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn io_variant_chains_its_source() {
+        let err = RecError::from(io::Error::new(io::ErrorKind::PermissionDenied, "nope"));
+        let source = err.source().expect("Io chains a source");
+        assert!(source.to_string().contains("nope"));
+        assert!(RecError::Config("x".into()).source().is_none());
+    }
+}

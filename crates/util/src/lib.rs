@@ -21,9 +21,12 @@
 //!   dependencies;
 //! * [`trace`] — a bounded, structured span/event log (JSONL drain,
 //!   deterministic under a fake clock) the serving and training
-//!   pipelines use for observability.
+//!   pipelines use for observability;
+//! * [`error`] — [`RecError`], the single error enum every fallible
+//!   public API in the workspace returns.
 
 pub mod clock;
+pub mod error;
 pub mod report;
 pub mod rng;
 pub mod sample;
@@ -32,6 +35,7 @@ pub mod topk;
 pub mod trace;
 
 pub use clock::{Backoff, Clock, Deadline, FakeClock, MonotonicClock};
+pub use error::RecError;
 pub use rng::SeedableStdRng;
 pub use topk::TopK;
 pub use trace::{TraceEvent, Tracer};
