@@ -1,4 +1,4 @@
-//! The rule engine: seven token-pattern rules, each tied to an invariant
+//! The rule engine: eight token-pattern rules, each tied to an invariant
 //! the paper's Table-1 reproducibility or the serving SLO depends on.
 //!
 //! Every rule is a pure function from a token stream to anchor-token
@@ -132,6 +132,17 @@ pub static RULES: &[Rule] = &[
             p.starts_with("crates/serve/src/") && !p.starts_with("crates/serve/src/pipeline/")
         },
         check: check_recommender_call,
+    },
+    Rule {
+        id: "unbounded-channel-or-vec-queue-in-serve",
+        summary: "unbounded mpsc::channel() or VecDeque::new() queue in rm-serve library code",
+        message: "unbounded queue in serving code absorbs overload instead of shedding it",
+        fix_hint: "bound the queue: mpsc::sync_channel(n) / VecDeque::with_capacity(n) behind \
+                   admission control, so excess load is shed at the edge (DESIGN.md \u{00a7}16)",
+        scope: "crates/serve/src/** (cfg(test) exempt)",
+        test_exempt: true,
+        applies: |p| p.starts_with("crates/serve/src/"),
+        check: check_unbounded_queue,
     },
 ];
 
@@ -492,6 +503,28 @@ fn check_recommender_call(t: &[Token]) -> Vec<usize> {
     out
 }
 
+/// Rule 8: `mpsc :: channel (` and `VecDeque :: new (` — the two ways an
+/// unbounded in-memory queue sneaks into the serving path. Bounded
+/// constructors (`sync_channel`, `with_capacity`) pass.
+fn check_unbounded_queue(t: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        let unbounded = (t[i].is_ident("mpsc"), t[i].is_ident("VecDeque"));
+        if !(unbounded.0 || unbounded.1) {
+            continue;
+        }
+        let ctor = if unbounded.0 { "channel" } else { "new" };
+        if t.get(i + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(i + 3).is_some_and(|x| x.is_ident(ctor))
+            && t.get(i + 4).is_some_and(|x| x.is_punct('('))
+        {
+            out.push(i);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -648,7 +681,7 @@ mod tests {
             assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
             assert!(rule_by_id(r.id).is_some());
         }
-        assert_eq!(RULES.len(), 7);
+        assert_eq!(RULES.len(), 8);
         assert!(rule_by_id("no-such-rule").is_none());
     }
 
@@ -670,6 +703,37 @@ mod tests {
         assert!(!(r7.applies)("crates/serve/src/pipeline/sources.rs"));
         assert!(!(r7.applies)("crates/serve/tests/pipeline_tests.rs"));
         assert!(!(r7.applies)("crates/core/src/bpr.rs"));
+        let r8 = rule_by_id("unbounded-channel-or-vec-queue-in-serve").unwrap();
+        assert!((r8.applies)("crates/serve/src/overload.rs"));
+        assert!(!(r8.applies)("crates/serve/tests/overload_tests.rs"));
+        assert!(!(r8.applies)("crates/eval/src/harness.rs"));
+    }
+
+    #[test]
+    fn unbounded_queue_flags_ctors_not_bounded_ones() {
+        assert_eq!(
+            anchors(check_unbounded_queue, "let (tx, rx) = mpsc::channel();"),
+            vec!["mpsc"]
+        );
+        assert_eq!(
+            anchors(
+                check_unbounded_queue,
+                "let q: VecDeque<Req> = VecDeque::new();"
+            ),
+            vec!["VecDeque"]
+        );
+        assert!(anchors(
+            check_unbounded_queue,
+            "let (tx, rx) = mpsc::sync_channel(64);"
+        )
+        .is_empty());
+        assert!(anchors(
+            check_unbounded_queue,
+            "let q = VecDeque::with_capacity(cap);"
+        )
+        .is_empty());
+        // Type annotations alone do not anchor — only constructions.
+        assert!(anchors(check_unbounded_queue, "entries: VecDeque<QueuedRequest>,").is_empty());
     }
 
     #[test]

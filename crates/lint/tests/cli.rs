@@ -131,7 +131,7 @@ fn missing_reason_is_a_config_error() {
 }
 
 #[test]
-fn list_rules_prints_all_seven() {
+fn list_rules_prints_all_eight() {
     let out = Command::new(env!("CARGO_BIN_EXE_rm-lint"))
         .arg("--list-rules")
         .output()
@@ -146,6 +146,7 @@ fn list_rules_prints_all_seven() {
         "panic-in-library",
         "float-accum-outside-vecops",
         "recommender-call-outside-pipeline",
+        "unbounded-channel-or-vec-queue-in-serve",
     ] {
         assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
     }

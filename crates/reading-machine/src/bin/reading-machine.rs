@@ -28,7 +28,11 @@
 //! `--features testing`, `serve-bench` also accepts `--chaos PLAN`
 //! (`bpr-panic|bpr-error|bpr-latency|storm`), which replays the request
 //! stream under injected faults and reports availability, per-slot fault
-//! counters, and circuit-breaker activity.
+//! counters, and circuit-breaker activity. `serve-bench --loadgen MODE`
+//! runs the Zipf load generator against an engine with admission control
+//! and the brownout ladder enabled: `smoke` is the self-contained,
+//! byte-stable overload gate (`--gate BENCH_serve.json`), `open`/`closed`
+//! drive a real artifact directory on the wall clock.
 //!
 //! Commands that need a corpus accept either `--corpus DIR` or regenerate
 //! it deterministically from `--preset`/`--seed` — so `train --out` and
@@ -93,9 +97,11 @@ fn print_usage() {
          reading-machine explain   --artifacts DIR --user N [--corpus DIR] [--k N]\n  \
          reading-machine evaluate  [--corpus DIR] [--k N] [--seed N]\n  \
          reading-machine serve-bench --artifacts DIR [--corpus DIR] [--k N] [--requests N] [--trace FILE] [--chaos PLAN]\n  \
+         reading-machine serve-bench --loadgen smoke|open|closed [--artifacts DIR] [--rps F] [--burst F] [--phase-ms N] [--zipf F] [--seed N] [--out FILE] [--gate FILE]\n  \
          reading-machine metrics-dump --artifacts DIR [--corpus DIR] [--k N] [--requests N]\n\n\
          --trace FILE drains the structured span/event log as JSONL after the run\n\
          --chaos PLAN (bpr-panic|bpr-error|bpr-latency|storm) needs a build with --features testing\n\
+         --loadgen smoke is self-contained (Tiny preset, fake clock) and byte-stable; --gate FILE enforces the committed SLO report\n\
          commands taking [--corpus DIR] regenerate the corpus from --preset/--seed when it is omitted"
     );
 }
@@ -335,6 +341,10 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
     if let Some(plan) = flags.get("chaos") {
         return cmd_serve_chaos(&flags, plan);
     }
+    if let Some(mode) = flags.get("loadgen") {
+        let mode = mode.to_owned();
+        return cmd_serve_loadgen(&flags, &mode);
+    }
     let registry = ArtifactRegistry::new(PathBuf::from(flags.required("artifacts")?));
     let corpus = corpus_of(&flags)?;
     let train = Interactions::from_corpus(&corpus);
@@ -410,6 +420,133 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         println!("{}", m.render());
     }
     flush_trace(&flags, &tracer)
+}
+
+/// `serve-bench --loadgen MODE`: drive the engine through the Zipf load
+/// generator with admission control and the brownout ladder enabled.
+///
+/// * `smoke` — self-contained deterministic run: trains the Tiny preset,
+///   serves a 10× open-loop burst under a fake clock with simulated
+///   per-level service costs, and renders a byte-stable JSON report.
+///   With `--gate FILE` the report must match the committed file
+///   byte-for-byte *and* meet its SLO — the standing overload gate.
+/// * `open` / `closed` — wall-clock runs against `--artifacts DIR`.
+fn cmd_serve_loadgen(flags: &Flags, mode: &str) -> Result<(), String> {
+    use reading_machine::serve::loadgen::{self, ArrivalMode, LoadgenConfig};
+    use reading_machine::serve::overload::OverloadConfig;
+    use reading_machine::util::clock::FakeClock;
+    use std::time::Duration;
+
+    let arrivals = match mode {
+        "smoke" | "open" => ArrivalMode::Open,
+        "closed" => ArrivalMode::Closed,
+        other => return Err(format!("bad --loadgen {other} (smoke|open|closed)")),
+    };
+    let burst: f64 = flags.parse_num("burst", 10.0)?;
+    let schedule = LoadgenConfig {
+        requests: flags.parse_num("requests", 400)?,
+        k: flags.parse_num("k", 10)?,
+        zipf_exponent: flags.parse_num("zipf", 1.0)?,
+        seed: flags.parse_num("seed", 42)?,
+        base_rps: flags.parse_num("rps", 200.0)?,
+        phases: vec![1.0, burst, 1.0, 1.0],
+        phase_len: Duration::from_millis(flags.parse_num("phase-ms", 250)?),
+        mode: arrivals,
+        ..LoadgenConfig::default()
+    };
+
+    let report = if mode == "smoke" {
+        // Self-contained: train the Tiny preset into a throwaway
+        // registry, then run the burst entirely on simulated time. Every
+        // quantity in the report is schedule-determined, so the JSON is
+        // byte-identical on every machine — that's what lets
+        // BENCH_serve.json act as a committed gate.
+        let h = Harness::generate(11, Preset::Tiny);
+        let train = h.split.train.clone();
+        let mut bpr = Bpr::new(BprConfig {
+            factors: 4,
+            epochs: 2,
+            ..BprConfig::default()
+        });
+        bpr.fit(&train);
+        let mut most_read = MostReadItems::new();
+        most_read.fit(&train);
+        let mut closest =
+            ClosestItems::from_corpus(&h.corpus, SummaryFields::BEST, EncoderConfig::default());
+        closest.fit(&train);
+        let dir = std::env::temp_dir().join(format!("rm-loadgen-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ArtifactRegistry::new(dir.clone());
+        registry
+            .save(
+                &Manifest {
+                    epoch: 1,
+                    fields: SummaryFields::BEST,
+                },
+                bpr.model().ok_or("BPR failed to fit")?,
+                &most_read,
+                closest.store(),
+            )
+            .map_err(|e| e.to_string())?;
+        let overload = OverloadConfig {
+            // Simulated per-level service cost: each brownout step sheds
+            // real work, so each level is cheaper than the one above.
+            service_cost: Some([
+                Duration::from_micros(2_000),
+                Duration::from_micros(1_500),
+                Duration::from_micros(1_000),
+                Duration::from_micros(700),
+                Duration::from_micros(500),
+            ]),
+            ..OverloadConfig::default()
+        };
+        let config = EngineConfig::builder()
+            .workers(1)
+            .clock(Arc::new(FakeClock::new()))
+            .overload(overload)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let engine = ServingEngine::load(&registry, &train, config).map_err(|e| e.to_string())?;
+        let report = loadgen::run(&engine, &schedule).map_err(|e| e.to_string())?;
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    } else {
+        let registry = ArtifactRegistry::new(PathBuf::from(flags.required("artifacts")?));
+        let corpus = corpus_of(flags)?;
+        let train = Interactions::from_corpus(&corpus);
+        let config = EngineConfig::builder()
+            .workers(1)
+            .cache_capacity(flags.parse_num("cache", 4096)?)
+            .overload(OverloadConfig::default())
+            .build()
+            .map_err(|e| e.to_string())?;
+        let engine = ServingEngine::load(&registry, &train, config).map_err(|e| e.to_string())?;
+        for (slot, reason) in engine.degraded() {
+            eprintln!("DEGRADED {}: {reason}", slot.label());
+        }
+        loadgen::run(&engine, &schedule).map_err(|e| e.to_string())?
+    };
+
+    println!("{}", report.render_summary());
+    let json = report.render_json();
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &json).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if let Some(gate) = flags.get("gate") {
+        let committed = std::fs::read_to_string(gate).map_err(|e| e.to_string())?;
+        if committed != json {
+            return Err(format!(
+                "loadgen report drifted from {gate}; regenerate with \
+                 `serve-bench --loadgen smoke --out {gate}` and review the diff"
+            ));
+        }
+        if !report.slo_met() {
+            return Err(format!("SLO missed: {}", report.render_summary()));
+        }
+        println!("gate {gate}: report byte-identical and SLO met");
+    }
+    Ok(())
 }
 
 /// `metrics-dump`: replay a request stream through the engine and print

@@ -48,6 +48,9 @@
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 use crate::cache::LruCache;
 use crate::metrics::{ChunkStats, MetricsSnapshot, ServeMetrics};
+use crate::overload::{
+    DegradationLevel, LevelTransition, OverloadConfig, OverloadGovernor, ShedReason,
+};
 use crate::pipeline::{
     merge_into, rank_pool_into, BookGenres, Candidate, CandidateFilter, CandidateSource,
     CfNeighboursSource, ContentSimilarSource, Explanation, FallbackSource, FilterCtx,
@@ -160,6 +163,11 @@ pub struct EngineConfig {
     /// genre lookup). The default derives a single source from the
     /// chain's head, which reproduces the legacy chain bit-for-bit.
     pub pipeline: PipelineConfig,
+    /// Overload control: admission queue, CoDel shedding, and the
+    /// brownout degradation ladder. `None` (the default) disables all
+    /// of it — the engine serves every request at full service, exactly
+    /// as before overload control existed.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl EngineConfig {
@@ -186,6 +194,7 @@ impl Default for EngineConfig {
             clock: Arc::new(MonotonicClock::new()),
             tracer: Arc::new(Tracer::disabled()),
             pipeline: PipelineConfig::default(),
+            overload: None,
         }
     }
 }
@@ -292,6 +301,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables overload control (admission queue, CoDel shedding, the
+    /// brownout ladder) with the given tuning.
+    pub fn overload(mut self, overload: OverloadConfig) -> Self {
+        self.config.overload = Some(overload);
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -318,11 +334,47 @@ impl EngineConfigBuilder {
                 ));
             }
         }
+        if let Some(overload) = &config.overload {
+            if overload.queue_capacity == 0 {
+                return Err(RecError::Config(
+                    "overload queue_capacity must be >= 1".into(),
+                ));
+            }
+            if !(overload.ewma_alpha > 0.0 && overload.ewma_alpha <= 1.0) {
+                return Err(RecError::Config(
+                    "overload ewma_alpha must be in (0, 1]".into(),
+                ));
+            }
+            if overload.step_up > overload.step_down {
+                return Err(RecError::Config(
+                    "overload step_up must not exceed step_down (the gap is the hysteresis)".into(),
+                ));
+            }
+        }
         Ok(config)
     }
 }
 
 type CacheKey = (u32, usize, u64);
+
+/// One request processed off the admission queue by
+/// [`ServingEngine::serve_queued`].
+#[derive(Debug)]
+pub struct QueuedOutcome {
+    /// The requesting user.
+    pub user: UserIdx,
+    /// Requested list length.
+    pub k: usize,
+    /// The answer, or [`RecError::Shed`] when admission control shed
+    /// the request instead of serving it.
+    pub result: Result<Vec<u32>, RecError>,
+    /// Brownout level the request was served at.
+    pub level: DegradationLevel,
+    /// Time the request spent in the admission queue.
+    pub queue_delay: Duration,
+    /// Admission-to-answer time (queueing plus service).
+    pub sojourn: Duration,
+}
 
 /// The offline-trained / online-serving recommendation engine.
 #[derive(Debug)]
@@ -337,6 +389,7 @@ pub struct ServingEngine {
     degraded: Vec<(ModelSlot, String)>,
     cache: Mutex<LruCache<CacheKey, Vec<u32>>>,
     breakers: Option<Mutex<[CircuitBreaker; ModelSlot::COUNT]>>,
+    governor: Option<Mutex<OverloadGovernor>>,
     metrics: ServeMetrics,
     #[cfg(feature = "testing")]
     faults: crate::fault::FaultInjector,
@@ -363,6 +416,13 @@ impl ServingEngine {
         let mut random = RandomItems::new(random_seed);
         random.fit(train);
         let metrics = ServeMetrics::new(Arc::clone(&config.clock));
+        let governor = config.overload.clone().map(|overload| {
+            Mutex::new(OverloadGovernor::new(
+                overload,
+                config.request_budget,
+                config.clock.now(),
+            ))
+        });
         let mut engine = Self {
             config,
             train: train.clone(),
@@ -374,6 +434,7 @@ impl ServingEngine {
             degraded: Vec::new(),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             breakers,
+            governor,
             metrics,
             #[cfg(feature = "testing")]
             faults: crate::fault::FaultInjector::default(),
@@ -590,19 +651,26 @@ impl ServingEngine {
         &self.config
     }
 
-    /// Point-in-time request metrics.
+    /// Point-in-time request metrics. With overload control enabled the
+    /// snapshot also carries the governor's live ladder state: current
+    /// level, transitions into each level, and per-level residency.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        if let Some(governor) = &self.governor {
+            let g = governor.lock().unwrap_or_else(PoisonError::into_inner);
+            snap.degradation_level = g.level().index() as u8;
+            snap.level_entries = g.level_entries();
+            snap.level_residency_ns = g.level_residency_ns(self.config.clock.now());
+        }
+        snap
     }
 
     /// Point-in-time metrics in Prometheus text exposition format,
     /// including the live breaker state per slot (when breakers are on).
     #[must_use]
     pub fn metrics_prometheus(&self) -> String {
-        self.metrics
-            .snapshot()
-            .render_prometheus(self.breaker_states())
+        self.metrics().render_prometheus(self.breaker_states())
     }
 
     /// The engine's trace sink (drain it for JSONL output).
@@ -624,6 +692,12 @@ impl ServingEngine {
     #[must_use]
     pub fn cache_len(&self) -> usize {
         self.lock_cache().len()
+    }
+
+    /// Users in the training matrix (the load generator's user universe).
+    #[must_use]
+    pub fn n_users(&self) -> usize {
+        self.train.n_users()
     }
 
     /// The cache holds plain answer lists; recover a poisoned mutex
@@ -738,6 +812,147 @@ impl ServingEngine {
         });
     }
 
+    /// The brownout ladder's current level ([`DegradationLevel::Full`]
+    /// whenever overload control is disabled).
+    #[must_use]
+    pub fn degradation_level(&self) -> DegradationLevel {
+        self.current_level()
+    }
+
+    /// Admitted-but-unserved requests in the overload queue (`0` when
+    /// overload control is disabled).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.governor.as_ref().map_or(0, |g| {
+            g.lock().unwrap_or_else(PoisonError::into_inner).queue_len()
+        })
+    }
+
+    fn current_level(&self) -> DegradationLevel {
+        self.governor.as_ref().map_or(DegradationLevel::Full, |g| {
+            g.lock().unwrap_or_else(PoisonError::into_inner).level()
+        })
+    }
+
+    /// Emits a ladder transition as a trace event (the counters live in
+    /// the governor and surface through [`ServingEngine::metrics`]).
+    fn note_transition(&self, t: LevelTransition) {
+        self.config.tracer.event("degradation_transition", |f| {
+            f.push("from", t.from.label()).push("to", t.to.label());
+        });
+    }
+
+    fn note_shed(&self, reason: ShedReason, user: UserIdx) -> RecError {
+        self.metrics.record_shed(reason);
+        self.config.tracer.event("shed", |f| {
+            f.push("reason", reason.metric_label()).push("user", user.0);
+        });
+        RecError::Shed(format!("{} (user {})", reason.metric_label(), user.0))
+    }
+
+    /// Offers a request to admission control. Accepted requests wait in
+    /// the bounded queue until [`ServingEngine::serve_queued`] reaches
+    /// them; rejected ones are shed up front — queue full, or remaining
+    /// deadline budget already below the observed service cost.
+    ///
+    /// # Errors
+    ///
+    /// [`RecError::Shed`] when admission control rejects the request;
+    /// [`RecError::Config`] when overload control is disabled.
+    pub fn offer(&self, user: UserIdx, k: usize) -> Result<(), RecError> {
+        let Some(governor) = &self.governor else {
+            return Err(RecError::Config(
+                "admission control requires EngineConfig::overload".into(),
+            ));
+        };
+        let now = self.config.clock.now();
+        let outcome = governor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .offer(user, k, now);
+        outcome.map_err(|reason| self.note_shed(reason, user))
+    }
+
+    /// Serves (or sheds) exactly one queued request — the head of the
+    /// admission queue. Returns `None` when the queue is empty or
+    /// overload control is disabled. Shed heads (CoDel episode, hopeless
+    /// deadline) answer [`RecError::Shed`] without running any model;
+    /// served heads run the pipeline at the governor's current brownout
+    /// level, and their observed cost feeds the shedding estimate back.
+    pub fn serve_queued(&self) -> Option<QueuedOutcome> {
+        let governor = self.governor.as_ref()?;
+        let now = self.config.clock.now();
+        let (popped, transition) = governor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop(now)?;
+        if let Some(t) = transition {
+            self.note_transition(t);
+        }
+        let user = popped.request.user;
+        let k = popped.request.k;
+        if let Some(reason) = popped.shed {
+            return Some(QueuedOutcome {
+                user,
+                k,
+                result: Err(self.note_shed(reason, user)),
+                level: self.current_level(),
+                queue_delay: popped.delay,
+                sojourn: popped.delay,
+            });
+        }
+        let (level, simulated) = {
+            let g = governor.lock().unwrap_or_else(PoisonError::into_inner);
+            let level = g.level();
+            (level, g.simulated_cost(level))
+        };
+        let t0 = self.config.clock.now();
+        if let Some(cost) = simulated {
+            self.config.clock.sleep(cost);
+        }
+        let books = self
+            .serve_chunk_with(&[user], k, None, level)
+            .pop()
+            .unwrap_or_default();
+        let served_at = self.config.clock.now();
+        governor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record_cost(served_at.saturating_sub(t0));
+        Some(QueuedOutcome {
+            user,
+            k,
+            result: Ok(books),
+            level,
+            queue_delay: popped.delay,
+            sojourn: served_at.saturating_sub(popped.request.arrival),
+        })
+    }
+
+    /// [`ServingEngine::recommend`] through admission control: offers
+    /// the request, then drains the queue (FIFO, so the final outcome is
+    /// this request's). Without overload control configured it degrades
+    /// to a plain [`ServingEngine::recommend`].
+    ///
+    /// # Errors
+    ///
+    /// [`RecError::Shed`] when admission control rejects or sheds the
+    /// request.
+    pub fn recommend_governed(&self, user: UserIdx, k: usize) -> Result<Vec<u32>, RecError> {
+        if self.governor.is_none() {
+            // Same full-pipeline path recommend() takes.
+            return Ok(self.serve_chunk(&[user], k).pop().unwrap_or_default());
+        }
+        self.offer(user, k)?;
+        let mut last = None;
+        while let Some(outcome) = self.serve_queued() {
+            last = Some(outcome);
+        }
+        // The queue was non-empty after offer(), so `last` is Some; an
+        // empty answer degrades the impossible case instead of panicking.
+        last.map_or_else(|| Ok(Vec::new()), |outcome| outcome.result)
+    }
+
     /// Top-`k` books for `user`, served by the candidate pipeline with
     /// the fallback chain as the degraded path. An unknown user (outside
     /// the training matrix) gets an empty list. The call records
@@ -760,7 +975,7 @@ impl ServingEngine {
     pub fn recommend_explained(&self, user: UserIdx, k: usize) -> (Vec<u32>, Vec<Explanation>) {
         let mut explanations: Vec<Vec<Explanation>> = Vec::new();
         let books = self
-            .serve_chunk_with(&[user], k, Some(&mut explanations))
+            .serve_chunk_with(&[user], k, Some(&mut explanations), self.current_level())
             .pop()
             .unwrap_or_default();
         (books, explanations.pop().unwrap_or_default())
@@ -773,7 +988,7 @@ impl ServingEngine {
     /// taken once. Amortising the per-request overhead this way is what
     /// makes batched serving outrun single calls even on one core.
     fn serve_chunk(&self, users: &[UserIdx], k: usize) -> Vec<Vec<u32>> {
-        self.serve_chunk_with(users, k, None)
+        self.serve_chunk_with(users, k, None, self.current_level())
     }
 
     /// [`ServingEngine::serve_chunk`] with optional per-user explanation
@@ -795,12 +1010,20 @@ impl ServingEngine {
     /// directions (cached answers carry no provenance) and the vector is
     /// filled with one explanation list per user, aligned with the
     /// returned answers.
+    ///
+    /// `level` is the brownout rung the chunk serves at
+    /// (DESIGN.md §16): [`DegradationLevel::Full`] runs everything
+    /// exactly as configured; deeper levels prune expensive sources,
+    /// then filters, then the pipeline itself, down to the most-read
+    /// list. Degraded answers are never written to the cache — only
+    /// full-service lists may outlive the brownout.
     #[allow(clippy::too_many_lines)] // one request's full story reads best in one place
     fn serve_chunk_with(
         &self,
         users: &[UserIdx],
         k: usize,
         mut explain: Option<&mut Vec<Vec<Explanation>>>,
+        level: DegradationLevel,
     ) -> Vec<Vec<u32>> {
         let tracer = &self.config.tracer;
         let span = tracer.span("serve_chunk");
@@ -851,26 +1074,63 @@ impl ServingEngine {
         let mut deadline_hit = false;
 
         // ---- Stage 1: candidate sources fan out ------------------------
-        let derived_source; // keeps the derived default alive for the borrow
-        let source_slots: &[ModelSlot] = match &self.config.pipeline.sources {
-            Some(slots) => slots,
-            None => {
-                // Default: the chain's head as the single source, which
-                // reproduces the legacy chain's behaviour bit-for-bit.
-                derived_source = self
+        // The brownout level prunes the configured pipeline
+        // (DESIGN.md §16): CF neighbours and content similarity are the
+        // expensive stages, the most-read list is the cheap floor.
+        let expensive = |s: ModelSlot| matches!(s, ModelSlot::Bpr | ModelSlot::ClosestItems);
+        let base_sources: Vec<ModelSlot> = match &self.config.pipeline.sources {
+            Some(slots) => slots.clone(),
+            // Default: the chain's head as the single source, which
+            // reproduces the legacy chain's behaviour bit-for-bit.
+            None => self.config.chain.first().copied().into_iter().collect(),
+        };
+        let source_slots: Vec<ModelSlot> = match level {
+            DegradationLevel::Full => base_sources,
+            DegradationLevel::DropExpensiveSources | DegradationLevel::SkipFilters => {
+                let cheap: Vec<ModelSlot> = base_sources
+                    .into_iter()
+                    .filter(|&s| !expensive(s))
+                    .collect();
+                if cheap.is_empty() {
+                    // Every configured source was expensive: substitute
+                    // the popularity source so the pipeline still runs.
+                    vec![ModelSlot::MostRead]
+                } else {
+                    cheap
+                }
+            }
+            // The deepest levels bypass the pipeline entirely; the
+            // degraded chain walk below answers everything.
+            DegradationLevel::LegacyFallback | DegradationLevel::MostReadOnly => Vec::new(),
+        };
+        let apply_filters = matches!(
+            level,
+            DegradationLevel::Full | DegradationLevel::DropExpensiveSources
+        );
+        let degraded_chain: Vec<ModelSlot> = match level {
+            DegradationLevel::LegacyFallback => {
+                let cheap: Vec<ModelSlot> = self
                     .config
                     .chain
-                    .first()
+                    .iter()
                     .copied()
-                    .into_iter()
-                    .collect::<Vec<_>>();
-                &derived_source
+                    .filter(|&s| !expensive(s))
+                    .collect();
+                if cheap.is_empty() {
+                    vec![ModelSlot::MostRead, ModelSlot::Random]
+                } else {
+                    cheap
+                }
             }
+            // "Most-read only", with the terminal random fallback kept
+            // as never-empty insurance (degrade, don't go dark).
+            DegradationLevel::MostReadOnly => vec![ModelSlot::MostRead, ModelSlot::Random],
+            _ => self.config.chain.clone(),
         };
         let pool_size = self.config.pipeline.pool_size.max(k);
         let mut emitted: Vec<(ModelSlot, Vec<Vec<Candidate>>)> = Vec::new();
         if !remaining.is_empty() {
-            for &slot in source_slots {
+            for &slot in &source_slots {
                 if let Some(d) = deadline {
                     if d.expired(&*self.config.clock) {
                         stats.deadline_skips += remaining.len() as u64;
@@ -1011,8 +1271,10 @@ impl ServingEngine {
                     seen: self.train.seen(user),
                     genres,
                 };
-                for filter in &self.config.pipeline.filters {
-                    filter.retain(&ctx, &mut pool);
+                if apply_filters {
+                    for filter in &self.config.pipeline.filters {
+                        filter.retain(&ctx, &mut pool);
+                    }
                 }
                 let ranked_ok = match scorer {
                     Some(model) => {
@@ -1061,7 +1323,7 @@ impl ServingEngine {
         // skipping the slots that already ran as sources (every slot gets
         // at most one attempt per chunk, exactly as before the pipeline).
         if !deadline_hit {
-            for &slot in &self.config.chain {
+            for &slot in &degraded_chain {
                 if remaining.is_empty() {
                     break;
                 }
@@ -1198,7 +1460,7 @@ impl ServingEngine {
             out[i] = Some(Vec::new());
         }
 
-        if use_cache && !misses.is_empty() {
+        if use_cache && !misses.is_empty() && level == DegradationLevel::Full {
             let mut cache = self.lock_cache();
             for &i in &misses {
                 // Every miss index was answered above; skip (rather than
@@ -1218,6 +1480,10 @@ impl ServingEngine {
             f.push("n", users.len())
                 .push("hits", stats.hits)
                 .push("deadline_skips", stats.deadline_skips);
+            // Full service is the steady state; only brownout is news.
+            if level != DegradationLevel::Full {
+                f.push("level", level.label());
+            }
         });
         // All slots are Some by construction; degrade a hole to an empty
         // answer instead of panicking in the serving path.

@@ -125,6 +125,17 @@ impl FaultPlan {
         self.slots[slot.index()].corrupt_on_save = true;
         self
     }
+
+    /// Preset for the overload chaos scenario: the expensive CF slot
+    /// panics on every call while the content slot drags — the worst
+    /// realistic storm the admission queue and brownout ladder must
+    /// absorb without dropping availability.
+    #[must_use]
+    pub fn overload_storm() -> Self {
+        Self::none()
+            .panic_in(ModelSlot::Bpr, CallWindow::always())
+            .latency(ModelSlot::ClosestItems, Duration::from_millis(1))
+    }
 }
 
 /// What the injector decided for one slot call.

@@ -29,13 +29,23 @@
 //! `testing` feature adds a [fault-injection harness](fault) (compiled
 //! out of default builds) that the chaos test suite and
 //! `serve-bench --chaos` drive.
+//!
+//! Overload is handled at the edge rather than absorbed: an optional
+//! [`overload`] governor puts a bounded admission queue (typed sheds:
+//! queue-full, deadline-hopeless, CoDel) and a five-level brownout
+//! ladder (full → drop expensive sources → skip filters → legacy
+//! fallback → most-read only) in front of the pipeline, and
+//! [`loadgen`] replays deterministic Zipf-skewed bursty traffic
+//! against it for the standing `serve-bench --loadgen` SLO gate.
 
 pub mod breaker;
 pub mod cache;
 pub mod engine;
 #[cfg(feature = "testing")]
 pub mod fault;
+pub mod loadgen;
 pub mod metrics;
+pub mod overload;
 pub mod pipeline;
 pub mod registry;
 
@@ -44,7 +54,9 @@ pub use cache::LruCache;
 pub use engine::{EngineConfig, EngineConfigBuilder, ModelSlot, ServingEngine};
 #[cfg(feature = "testing")]
 pub use fault::{CallWindow, FaultPlan};
+pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig, SloSpec};
 pub use metrics::{ChunkStats, MetricsSnapshot, ServeMetrics};
+pub use overload::{DegradationLevel, LevelTransition, OverloadConfig, ShedReason};
 pub use pipeline::{
     CandidateFilter, CandidateSource, Explanation, PipelineConfig, Reason, SourceId,
 };

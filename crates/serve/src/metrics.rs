@@ -17,6 +17,7 @@
 
 use crate::breaker::BreakerState;
 use crate::engine::ModelSlot;
+use crate::overload::{DegradationLevel, ShedReason};
 use rm_util::clock::{Clock, MonotonicClock};
 use rm_util::report::{fmt_f64, Table};
 use rm_util::stats::Histogram;
@@ -39,6 +40,7 @@ struct Counters {
     breaker_closed: [u64; ModelSlot::COUNT],
     deadline_skips: u64,
     worker_panics: u64,
+    shed: [u64; ShedReason::COUNT],
 }
 
 /// Everything one served chunk contributes to the counters, accumulated
@@ -184,6 +186,13 @@ impl ServeMetrics {
         c.worker_panics += 1;
     }
 
+    /// Records a request shed by admission control. Shed requests never
+    /// reach a model, so they count here — not in `requests` — and
+    /// availability stays the fraction of *admitted* requests answered.
+    pub fn record_shed(&self, reason: ShedReason) {
+        self.lock().shed[reason.index()] += 1;
+    }
+
     /// A point-in-time copy of every counter.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -202,6 +211,10 @@ impl ServeMetrics {
             breaker_closed: c.breaker_closed,
             deadline_skips: c.deadline_skips,
             worker_panics: c.worker_panics,
+            shed: c.shed,
+            degradation_level: 0,
+            level_entries: [0; DegradationLevel::COUNT],
+            level_residency_ns: [0; DegradationLevel::COUNT],
             elapsed: self.clock.now().saturating_sub(self.started),
         }
     }
@@ -242,6 +255,18 @@ pub struct MetricsSnapshot {
     pub deadline_skips: u64,
     /// Batch worker threads that panicked (requests degraded to empty).
     pub worker_panics: u64,
+    /// Requests shed by admission control, per [`ShedReason::index`].
+    /// Shed requests are not in `requests` — they never reached a model.
+    pub shed: [u64; ShedReason::COUNT],
+    /// Current brownout rung, as [`DegradationLevel::index`] (`0` =
+    /// full service). Filled by the engine from its governor; bare
+    /// [`ServeMetrics::snapshot`] calls report `0`.
+    pub degradation_level: u8,
+    /// Ladder transitions *into* each level, per
+    /// [`DegradationLevel::index`] (engine-filled, like the gauge).
+    pub level_entries: [u64; DegradationLevel::COUNT],
+    /// Nanoseconds of residency at each level (engine-filled).
+    pub level_residency_ns: [u64; DegradationLevel::COUNT],
     /// Clock time since the metrics were created or reset.
     pub elapsed: Duration,
 }
@@ -279,6 +304,23 @@ impl MetricsSnapshot {
         answered as f64 / self.requests as f64
     }
 
+    /// Total requests shed by admission control, all reasons combined.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Shed requests over everything that arrived (admitted + shed);
+    /// `0.0` before the first arrival.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        let arrived = self.requests + self.shed_total();
+        if arrived == 0 {
+            return 0.0;
+        }
+        self.shed_total() as f64 / arrived as f64
+    }
+
     /// The latency/throughput summary table.
     #[must_use]
     pub fn latency_table(&self) -> Table {
@@ -302,6 +344,13 @@ impl MetricsSnapshot {
         t.push_row(["latency max".to_owned(), fmt_micros(self.latency.max())]);
         t.push_row(["deadline skips".to_owned(), self.deadline_skips.to_string()]);
         t.push_row(["worker panics".to_owned(), self.worker_panics.to_string()]);
+        t.push_row(["shed requests".to_owned(), self.shed_total().to_string()]);
+        t.push_row([
+            "degradation level".to_owned(),
+            DegradationLevel::from_index(self.degradation_level as usize)
+                .label()
+                .to_owned(),
+        ]);
         t
     }
 
@@ -422,6 +471,55 @@ impl MetricsSnapshot {
             "Fraction of requests answered non-degraded.",
             self.availability(),
         );
+        counter(
+            &mut out,
+            "rm_serve_latency_overflow_total",
+            "Latency samples saturating the histogram's top bucket.",
+            self.latency.overflow(),
+        );
+
+        let name = "rm_serve_shed_total";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Requests shed by admission control.\n# TYPE {name} counter"
+        );
+        for reason in ShedReason::ALL {
+            let _ = writeln!(
+                out,
+                "{name}{{reason=\"{}\"}} {}",
+                reason.metric_label(),
+                self.shed[reason.index()]
+            );
+        }
+        gauge(
+            &mut out,
+            "rm_serve_degradation_level",
+            "Current brownout rung (0 full service .. 4 most-read only).",
+            f64::from(self.degradation_level),
+        );
+        let per_level: [(&str, &str, &[u64; DegradationLevel::COUNT]); 2] = [
+            (
+                "rm_serve_degradation_entries_total",
+                "Brownout-ladder transitions into each level.",
+                &self.level_entries,
+            ),
+            (
+                "rm_serve_degradation_residency_ns_total",
+                "Nanoseconds of residency at each brownout level.",
+                &self.level_residency_ns,
+            ),
+        ];
+        for (name, help, values) in per_level {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+            for level in DegradationLevel::ALL {
+                let _ = writeln!(
+                    out,
+                    "{name}{{level=\"{}\"}} {}",
+                    level.label(),
+                    values[level.index()]
+                );
+            }
+        }
 
         let per_slot: [(&str, &str, &[u64; ModelSlot::COUNT]); 8] = [
             (
@@ -762,6 +860,69 @@ mod tests {
             ),
             0.0
         );
+    }
+
+    #[test]
+    fn shed_counters_round_trip_through_prometheus() {
+        let m = ServeMetrics::default();
+        m.record_shed(ShedReason::QueueFull);
+        m.record_shed(ShedReason::QueueFull);
+        m.record_shed(ShedReason::DeadlineHopeless);
+        m.record_shed(ShedReason::CodelOverload);
+        m.record_hit(Duration::from_micros(1));
+        let mut s = m.snapshot();
+        assert_eq!(s.shed_total(), 4);
+        // 4 shed out of 5 arrivals; availability ignores shed entirely.
+        assert!((s.shed_rate() - 4.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.availability(), 1.0);
+        // The engine fills the ladder fields from its governor.
+        s.degradation_level = DegradationLevel::SkipFilters.index() as u8;
+        s.level_entries[DegradationLevel::SkipFilters.index()] = 3;
+        s.level_residency_ns[DegradationLevel::Full.index()] = 7_000;
+        let text = s.render_prometheus(None);
+        assert_eq!(
+            prom_value(&text, "rm_serve_shed_total{reason=\"queue_full\"}"),
+            2.0
+        );
+        assert_eq!(
+            prom_value(&text, "rm_serve_shed_total{reason=\"deadline\"}"),
+            1.0
+        );
+        assert_eq!(
+            prom_value(&text, "rm_serve_shed_total{reason=\"codel\"}"),
+            1.0
+        );
+        assert_eq!(prom_value(&text, "rm_serve_degradation_level"), 2.0);
+        assert_eq!(
+            prom_value(
+                &text,
+                "rm_serve_degradation_entries_total{level=\"skip_filters\"}"
+            ),
+            3.0
+        );
+        assert_eq!(
+            prom_value(
+                &text,
+                "rm_serve_degradation_residency_ns_total{level=\"full\"}"
+            ),
+            7_000.0
+        );
+        let table = s.render();
+        assert!(table.contains("shed requests"), "{table}");
+        assert!(table.contains("skip_filters"), "{table}");
+    }
+
+    #[test]
+    fn histogram_overflow_is_exposed() {
+        let m = ServeMetrics::default();
+        // A sample at the histogram's saturation point (>= 2^62 ns) must
+        // be counted explicitly, not silently folded into the top bucket.
+        m.record_hit(Duration::from_nanos(1 << 62));
+        m.record_hit(Duration::from_micros(3));
+        let s = m.snapshot();
+        assert_eq!(s.latency.overflow(), 1);
+        let text = s.render_prometheus(None);
+        assert_eq!(prom_value(&text, "rm_serve_latency_overflow_total"), 1.0);
     }
 
     #[test]

@@ -26,12 +26,15 @@ use rm_core::most_read::MostReadItems;
 use rm_core::persist::{write_atomic, DecodeError, PersistModel};
 use rm_dataset::summary::SummaryFields;
 use rm_embed::EmbeddingStore;
+use rm_util::clock::{Clock, MonotonicClock};
 use rm_util::RecError;
 use std::fmt;
 use std::io;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Manifest file name inside a registry directory.
 pub const MANIFEST_FILE: &str = "manifest.txt";
@@ -154,20 +157,37 @@ pub struct LoadedArtifacts {
 ///
 /// The lock is *cooperative* — it only excludes other
 /// [`ArtifactRegistry`] users, which is exactly the save-vs-reload race
-/// it exists to prevent. The holder's PID is written into the file to
-/// make a stale lock diagnosable.
+/// it exists to prevent. The holder writes `PID owner-token` into the
+/// file: the PID makes a stale lock diagnosable by hand, and the token
+/// lets waiters recover from one automatically — a waiter that has
+/// watched the *same* token sit unchanged for the registry's stale-after
+/// window concludes the holder crashed between create and drop, removes
+/// the file, and races for a fresh `O_EXCL` acquisition (losing that
+/// race is fine; the winner holds a valid lock).
 #[derive(Debug)]
 pub struct RegistryLock {
     path: PathBuf,
 }
 
+/// Process-wide acquisition counter: makes every owner token unique even
+/// when one process re-acquires the same lock in a tight loop.
+static LOCK_SEQ: AtomicU64 = AtomicU64::new(0);
+
 impl RegistryLock {
     /// Polling interval while waiting for a held lock.
     const POLL: Duration = Duration::from_millis(2);
 
-    fn acquire(dir: &Path, wait: Duration) -> io::Result<Self> {
+    fn acquire(
+        dir: &Path,
+        wait: Duration,
+        stale_after: Duration,
+        clock: &dyn Clock,
+    ) -> io::Result<Self> {
         let path = dir.join(LOCK_FILE);
-        let deadline = Instant::now() + wait;
+        let deadline = clock.now() + wait;
+        // The token last read out of the lock file and when we first saw
+        // it. A change resets the staleness window: the lock is moving.
+        let mut observed: Option<(String, Duration)> = None;
         loop {
             match std::fs::OpenOptions::new()
                 .write(true)
@@ -175,21 +195,40 @@ impl RegistryLock {
                 .open(&path)
             {
                 Ok(mut f) => {
-                    let _ = write!(f, "{}", std::process::id());
+                    let token = LOCK_SEQ.fetch_add(1, Ordering::Relaxed);
+                    let _ = write!(f, "{} {token}", std::process::id());
                     return Ok(Self { path });
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    if Instant::now() >= deadline {
+                    let now = clock.now();
+                    // Holder bookkeeping: an unreadable file (mid-write
+                    // or just-deleted) simply doesn't advance the window.
+                    if let Ok(contents) = std::fs::read_to_string(&path) {
+                        match &observed {
+                            Some((token, first_seen)) if *token == contents => {
+                                if now.saturating_sub(*first_seen) >= stale_after {
+                                    // Same owner for the whole window:
+                                    // its process died holding the lock.
+                                    let _ = std::fs::remove_file(&path);
+                                    observed = None;
+                                    continue;
+                                }
+                            }
+                            _ => observed = Some((contents, now)),
+                        }
+                    }
+                    if now >= deadline {
                         return Err(io::Error::new(
                             io::ErrorKind::WouldBlock,
                             format!(
-                                "registry.lock held by another process (waited {wait:?}); \
-                                 remove {} if its holder crashed",
+                                "registry.lock held by another process (waited {wait:?}, \
+                                 stale takeover after {stale_after:?}); remove {} if its \
+                                 holder crashed",
                                 path.display()
                             ),
                         ));
                     }
-                    std::thread::sleep(Self::POLL);
+                    clock.sleep(Self::POLL);
                 }
                 Err(e) => return Err(e),
             }
@@ -208,11 +247,21 @@ impl Drop for RegistryLock {
 pub struct ArtifactRegistry {
     dir: PathBuf,
     lock_wait: Duration,
+    stale_after: Duration,
+    clock: Arc<dyn Clock>,
 }
 
 impl ArtifactRegistry {
     /// How long `save`/`load` wait for the cooperative lock by default.
     pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_secs(5);
+
+    /// How long an unchanged owner token must sit in `registry.lock`
+    /// before waiters treat the holder as crashed and take the lock
+    /// over. A healthy save or load holds the lock for milliseconds, so
+    /// two seconds of a frozen token means a dead holder — and keeping
+    /// this below [`Self::DEFAULT_LOCK_WAIT`] lets recovery happen
+    /// within a default wait instead of timing out behind a corpse.
+    pub const DEFAULT_STALE_AFTER: Duration = Duration::from_secs(2);
 
     /// Points at (but does not create) an artifact directory.
     #[must_use]
@@ -220,6 +269,8 @@ impl ArtifactRegistry {
         Self {
             dir: dir.into(),
             lock_wait: Self::DEFAULT_LOCK_WAIT,
+            stale_after: Self::DEFAULT_STALE_AFTER,
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 
@@ -227,6 +278,21 @@ impl ArtifactRegistry {
     #[must_use]
     pub fn with_lock_wait(mut self, wait: Duration) -> Self {
         self.lock_wait = wait;
+        self
+    }
+
+    /// The same registry with a different stale-lock takeover window.
+    #[must_use]
+    pub fn with_stale_after(mut self, stale_after: Duration) -> Self {
+        self.stale_after = stale_after;
+        self
+    }
+
+    /// The same registry timed by `clock` (tests pass a fake so lock
+    /// waits and stale takeovers run on simulated time).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -241,7 +307,7 @@ impl ArtifactRegistry {
     /// the lock file.
     pub fn lock(&self) -> io::Result<RegistryLock> {
         std::fs::create_dir_all(&self.dir)?;
-        RegistryLock::acquire(&self.dir, self.lock_wait)
+        RegistryLock::acquire(&self.dir, self.lock_wait, self.stale_after, &*self.clock)
     }
 
     /// The registry directory.
@@ -270,7 +336,8 @@ impl ArtifactRegistry {
         embeddings: &EmbeddingStore,
     ) -> io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
-        let _lock = RegistryLock::acquire(&self.dir, self.lock_wait)?;
+        let _lock =
+            RegistryLock::acquire(&self.dir, self.lock_wait, self.stale_after, &*self.clock)?;
         write_atomic(&self.path_of(BPR_FILE), &bpr.to_bytes())?;
         write_atomic(&self.path_of(MOST_READ_FILE), &most_read.to_bytes())?;
         write_atomic(&self.path_of(EMBEDDINGS_FILE), &embeddings.to_bytes())?;
@@ -330,7 +397,12 @@ impl ArtifactRegistry {
     /// [`RecError::Io`] when the lock or manifest cannot be read,
     /// [`RecError::Corrupt`] when the manifest does not parse.
     pub fn load(&self) -> Result<LoadedArtifacts, RecError> {
-        let _lock = match RegistryLock::acquire(&self.dir, self.lock_wait) {
+        let _lock = match RegistryLock::acquire(
+            &self.dir,
+            self.lock_wait,
+            self.stale_after,
+            &*self.clock,
+        ) {
             Ok(lock) => Some(lock),
             // Missing directory: fall through to the manifest read, which
             // produces the canonical "registry absent" error.
@@ -483,6 +555,52 @@ mod tests {
             !reg.path_of(LOCK_FILE).exists(),
             "lock file must be removed on drop"
         );
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_holder_is_taken_over() {
+        use rm_util::clock::FakeClock;
+        let clock = Arc::new(FakeClock::new());
+        let reg = temp_registry("stale-takeover")
+            .with_lock_wait(Duration::from_secs(5))
+            .with_stale_after(Duration::from_millis(100))
+            .with_clock(clock.clone());
+        std::fs::create_dir_all(reg.dir()).unwrap();
+        // A holder that crashed between create and drop: the file stays,
+        // its owner token never changes again.
+        std::fs::write(reg.path_of(LOCK_FILE), "999999 dead-token").unwrap();
+        let lock = reg.lock().expect("waiter takes over the stale lock");
+        // Takeover waited out the staleness window on simulated time,
+        // well inside the acquisition deadline.
+        assert!(clock.now() >= Duration::from_millis(100));
+        assert!(clock.now() < Duration::from_secs(5));
+        let contents = std::fs::read_to_string(reg.path_of(LOCK_FILE)).unwrap();
+        assert_ne!(contents, "999999 dead-token", "new owner wrote its token");
+        assert!(
+            contents.starts_with(&std::process::id().to_string()),
+            "{contents}"
+        );
+        drop(lock);
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn held_lock_inside_the_stale_window_is_not_stolen() {
+        use rm_util::clock::FakeClock;
+        let clock = Arc::new(FakeClock::new());
+        let reg = temp_registry("no-steal")
+            .with_lock_wait(Duration::from_millis(50))
+            .with_stale_after(Duration::from_secs(10))
+            .with_clock(clock);
+        let held = reg.lock().expect("first lock");
+        let err = reg.lock().expect_err("waiter must time out, not steal");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(
+            reg.path_of(LOCK_FILE).exists(),
+            "the live holder keeps its lock"
+        );
+        drop(held);
         let _ = std::fs::remove_dir_all(reg.dir());
     }
 

@@ -440,3 +440,70 @@ fn reload_with_retry_keeps_serving_the_old_epoch_on_exhaustion() {
     );
     fx.cleanup();
 }
+
+/// The full storm: BPR panics on every call, Closest Items drags, and a
+/// 10x open-loop burst hammers the admission queue — availability must
+/// hold at 1.0 with a bounded p99, the excess surfacing as shedding and
+/// brownout rather than failures or unbounded queueing.
+#[test]
+fn overload_storm_under_panic_storm_holds_availability() {
+    use rm_serve::loadgen::{self, ArrivalMode, LoadgenConfig};
+    use rm_serve::overload::{DegradationLevel, OverloadConfig};
+
+    silence_injected_panics();
+    let fx = Fixture::train("overload-storm");
+    let clock = Arc::new(FakeClock::new());
+    let overload = OverloadConfig {
+        service_cost: Some([
+            Duration::from_micros(2_000),
+            Duration::from_micros(1_500),
+            Duration::from_micros(1_000),
+            Duration::from_micros(700),
+            Duration::from_micros(500),
+        ]),
+        ..OverloadConfig::default()
+    };
+    let engine = ServingEngine::load_with_faults(
+        &fx.registry,
+        &fx.train,
+        chaos_builder(&clock)
+            .overload(overload)
+            .build()
+            .expect("valid config"),
+        FaultPlan::overload_storm(),
+    )
+    .expect("engine loads");
+
+    let schedule = LoadgenConfig {
+        requests: 400,
+        k: 10,
+        base_rps: 200.0,
+        phases: vec![1.0, 10.0, 1.0, 1.0],
+        phase_len: Duration::from_millis(250),
+        mode: ArrivalMode::Open,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&engine, &schedule).expect("loadgen runs");
+    assert_eq!(report.requests, 400);
+    assert_eq!(report.answered + report.shed, 400);
+    assert_eq!(
+        report.availability(),
+        1.0,
+        "every admitted request answered: {}",
+        report.render_summary()
+    );
+    assert!(report.shed > 0, "the burst must shed");
+    assert!(
+        report.max_level > DegradationLevel::Full,
+        "the ladder must step down under the storm"
+    );
+    assert!(
+        report.p99() <= schedule.slo.p99_limit,
+        "p99 stays bounded: {}",
+        report.render_summary()
+    );
+    // The panic storm registered: BPR fell through on served requests.
+    let m = engine.metrics();
+    assert!(m.panics[ModelSlot::Bpr.index()] > 0);
+    fx.cleanup();
+}

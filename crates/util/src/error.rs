@@ -29,6 +29,10 @@ pub enum RecError {
     SlotUnavailable(String),
     /// A configuration value failed validation.
     Config(String),
+    /// The request was rejected by admission control before any model
+    /// ran: the queue was full, the deadline budget was hopeless, or a
+    /// CoDel-style delay threshold shed it under sustained pressure.
+    Shed(String),
 }
 
 impl fmt::Display for RecError {
@@ -39,6 +43,7 @@ impl fmt::Display for RecError {
             Self::Deadline(msg) => write!(f, "deadline exceeded: {msg}"),
             Self::SlotUnavailable(msg) => write!(f, "slot unavailable: {msg}"),
             Self::Config(msg) => write!(f, "invalid config: {msg}"),
+            Self::Shed(msg) => write!(f, "request shed: {msg}"),
         }
     }
 }
@@ -82,6 +87,10 @@ mod tests {
             (
                 RecError::Config("workers must be >= 1".into()),
                 "invalid config: workers must be >= 1",
+            ),
+            (
+                RecError::Shed("queue full".into()),
+                "request shed: queue full",
             ),
         ];
         for (err, want) in cases {

@@ -176,6 +176,12 @@ impl Ecdf {
 ///
 /// The serving engine records request latencies here and reports
 /// p50/p95/p99 via [`Histogram::quantile`].
+///
+/// Observations so large that their bucket's upper bound saturates at
+/// `u64::MAX` (values ≥ 2⁶²) are additionally counted in an explicit
+/// overflow counter ([`Histogram::overflow`]): quantile estimates that
+/// land in those buckets carry unbounded relative error, and exporters
+/// surface the counter so saturation is visible instead of silent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
@@ -183,6 +189,7 @@ pub struct Histogram {
     sum: u128,
     min: u64,
     max: u64,
+    overflow: u64,
 }
 
 /// Quarter-octave buckets spanning all of `u64`: 4 per power of two.
@@ -204,6 +211,7 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            overflow: 0,
         }
     }
 
@@ -247,7 +255,11 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        self.counts[Self::bucket_of(value)] += n;
+        let bucket = Self::bucket_of(value);
+        if Self::bucket_upper(bucket) == u64::MAX {
+            self.overflow += n;
+        }
+        self.counts[bucket] += n;
         self.total += n;
         self.sum += u128::from(value) * u128::from(n);
         self.min = self.min.min(value);
@@ -263,6 +275,7 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        self.overflow += other.overflow;
     }
 
     /// Number of recorded observations.
@@ -298,6 +311,14 @@ impl Histogram {
                 (Self::bucket_upper(i), cumulative)
             })
             .collect()
+    }
+
+    /// Observations whose bucket's upper bound saturated at `u64::MAX`
+    /// (values ≥ 2⁶²): quantiles touching those buckets are unreliable,
+    /// so saturation is counted rather than hidden.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// True when nothing has been recorded.
@@ -530,6 +551,23 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_overflow_counts_saturated_buckets() {
+        let mut h = Histogram::new();
+        h.record(1_000);
+        h.record((1 << 62) - 1); // largest value with a finite bucket bound
+        assert_eq!(h.overflow(), 0, "finite-bound buckets never overflow");
+        h.record(1 << 62);
+        h.record_n(u64::MAX, 3);
+        assert_eq!(h.overflow(), 4);
+        // Merge accumulates overflow alongside the bucket counts.
+        let mut other = Histogram::new();
+        other.record(1 << 63);
+        h.merge(&other);
+        assert_eq!(h.overflow(), 5);
+        assert_eq!(h.count(), 7);
     }
 
     #[test]

@@ -42,4 +42,10 @@ cargo test -q -p rm-sparse dense
 echo "==> kernel benches (smoke mode: exercises every kernel, timings noisy)"
 cargo run --release -q -p rm-bench --bin kernel-bench -- --smoke --out /tmp/kernel-bench-smoke.json
 
+echo "==> overload SLO gate (deterministic loadgen smoke vs committed BENCH_serve.json)"
+# A 10x open-loop burst on simulated time: the report must match the
+# committed file byte-for-byte and meet its SLO (availability >= 0.999,
+# bounded p99) via shedding + brownout, never unbounded queueing.
+cargo run --release -q -p reading-machine -- serve-bench --loadgen smoke --gate BENCH_serve.json
+
 echo "All checks passed."
