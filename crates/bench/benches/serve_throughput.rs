@@ -44,6 +44,7 @@ fn bench(c: &mut Criterion) {
             bpr.model().expect("fitted"),
             &most_read,
             closest.store(),
+            None,
         )
         .expect("save artifacts");
 

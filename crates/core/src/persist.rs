@@ -18,8 +18,9 @@
 
 use crate::bpr::BprModel;
 use crate::most_read::MostReadItems;
-use rm_embed::EmbeddingStore;
+use rm_embed::{AnnArtifact, EmbeddingStore, IvfIndex};
 use rm_sparse::DenseMatrix;
+use std::collections::BTreeMap;
 
 /// Container magic: "RMODEL\0\x02" (version 2, tagged).
 const MAGIC: [u8; 8] = *b"RMODEL\0\x02";
@@ -299,6 +300,130 @@ impl PersistModel for EmbeddingStore {
     }
 }
 
+/// Bounds-checked sequential reader for variable-length payloads (the
+/// ANN artifact's list-of-lists layout can't be validated with a single
+/// up-front length equation the way the matrix payloads can).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn u32(&mut self) -> Result<usize, DecodeError> {
+        if self.bytes.len() - self.at < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let v = read_u32(self.bytes, self.at);
+        self.at += 4;
+        Ok(v)
+    }
+
+    /// Reads `n` little-endian `f32`s, checking the remaining length
+    /// *before* allocating so a garbage count can't request gigabytes.
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, DecodeError> {
+        let need = n.checked_mul(4).ok_or(DecodeError::LengthMismatch)?;
+        if self.bytes.len() - self.at < need {
+            return Err(DecodeError::Truncated);
+        }
+        let out = self.bytes[self.at..self.at + need]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        self.at += need;
+        Ok(out)
+    }
+}
+
+/// One IVF index: `nlist u32 | dim u32 | n_items u32 | n_lists u32 |
+/// centroids f32×(nlist·dim) | per list (centroid u32 | len u32 |
+/// items u32×len)`. Lists serialise in `BTreeMap` order, so equal
+/// indexes produce equal bytes.
+fn encode_ivf(idx: &IvfIndex, out: &mut Vec<u8>) {
+    push_u32(out, idx.nlist());
+    push_u32(out, idx.dim());
+    push_u32(out, idx.n_items() as usize);
+    push_u32(out, idx.n_lists());
+    for &v in idx.centroids().as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for (&c, items) in idx.lists() {
+        push_u32(out, c as usize);
+        push_u32(out, items.len());
+        for &i in items {
+            push_u32(out, i as usize);
+        }
+    }
+}
+
+fn decode_ivf(cur: &mut Cursor<'_>) -> Result<IvfIndex, DecodeError> {
+    let nlist = cur.u32()?;
+    let dim = cur.u32()?;
+    let n_items = cur.u32()? as u32;
+    let n_lists = cur.u32()?;
+    let n = nlist.checked_mul(dim).ok_or(DecodeError::LengthMismatch)?;
+    let centroids = DenseMatrix::from_vec(nlist, dim, cur.f32s(n)?);
+    let mut lists: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for _ in 0..n_lists {
+        let c = cur.u32()? as u32;
+        let len = cur.u32()?;
+        let mut items = Vec::new();
+        for _ in 0..len {
+            items.push(cur.u32()? as u32);
+        }
+        if lists.insert(c, items).is_some() {
+            return Err(DecodeError::LengthMismatch);
+        }
+    }
+    // from_parts re-validates the partition invariant (every item id in
+    // range and listed exactly once), so a tampered-but-checksummed
+    // payload still decodes to an error, never a broken index.
+    IvfIndex::from_parts(centroids, lists, n_items).ok_or(DecodeError::LengthMismatch)
+}
+
+impl PersistModel for AnnArtifact {
+    const TAG: u8 = 0x04;
+    const KIND: &'static str = "ann";
+
+    /// `flags u32 (bit 0 = content index present, bit 1 = cf index
+    /// present) | [content index] | [cf index]`, each index encoded by
+    /// [`encode_ivf`].
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        let flags = usize::from(self.content.is_some()) | (usize::from(self.cf.is_some()) << 1);
+        push_u32(out, flags);
+        for idx in [self.content.as_ref(), self.cf.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            encode_ivf(idx, out);
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut cur = Cursor {
+            bytes: payload,
+            at: 0,
+        };
+        let flags = cur.u32()?;
+        if flags & !0b11 != 0 {
+            return Err(DecodeError::LengthMismatch);
+        }
+        let content = if flags & 0b01 != 0 {
+            Some(decode_ivf(&mut cur)?)
+        } else {
+            None
+        };
+        let cf = if flags & 0b10 != 0 {
+            Some(decode_ivf(&mut cur)?)
+        } else {
+            None
+        };
+        if cur.at != payload.len() {
+            return Err(DecodeError::LengthMismatch);
+        }
+        Ok(Self { content, cf })
+    }
+}
+
 /// Serialises a BPR model (alias for [`PersistModel::to_bytes`], kept for
 /// the original BPR-only API).
 #[must_use]
@@ -532,6 +657,7 @@ mod tests {
             let _ = decode(&bytes);
             let _ = MostReadItems::from_bytes(&bytes);
             let _ = EmbeddingStore::from_bytes(&bytes);
+            let _ = AnnArtifact::from_bytes(&bytes);
         }
 
         #[test]
@@ -552,6 +678,91 @@ mod tests {
             bytes[pos / 8] ^= 1 << (pos % 8);
             proptest::prop_assert!(decode(&bytes).is_err(), "bit {pos} survived");
         }
+    }
+
+    fn ann_artifact() -> AnnArtifact {
+        use rm_embed::{IvfConfig, IvfIndex};
+        let mut rng = rng_from_seed(17);
+        let store = EmbeddingStore::from_matrix(DenseMatrix::gaussian(40, 6, 1.0, &mut rng));
+        let factors = DenseMatrix::gaussian(40, 4, 0.5, &mut rng);
+        let cfg = IvfConfig {
+            nlist: 5,
+            iters: 3,
+            seed: 2,
+            train_sample: 0,
+        };
+        AnnArtifact {
+            content: Some(IvfIndex::build(&store, &cfg)),
+            cf: Some(IvfIndex::build_mips(&factors, &cfg)),
+        }
+    }
+
+    #[test]
+    fn ann_artifact_round_trip_is_exact() {
+        let a = ann_artifact();
+        let back = AnnArtifact::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(back, a);
+        // Either half may be absent.
+        let content_only = AnnArtifact {
+            cf: None,
+            ..a.clone()
+        };
+        assert_eq!(
+            AnnArtifact::from_bytes(&content_only.to_bytes()).unwrap(),
+            content_only
+        );
+        let empty = AnnArtifact {
+            content: None,
+            cf: None,
+        };
+        assert_eq!(AnnArtifact::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn ann_artifact_encoding_is_deterministic() {
+        assert_eq!(ann_artifact().to_bytes(), ann_artifact().to_bytes());
+    }
+
+    #[test]
+    fn ann_artifact_wrong_tag_detected() {
+        let err = AnnArtifact::from_bytes(&encode(&model())).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::WrongModel {
+                expected: AnnArtifact::TAG,
+                found: BprModel::TAG
+            }
+        );
+    }
+
+    #[test]
+    fn ann_artifact_corruption_detected() {
+        let mut bytes = ann_artifact().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert_eq!(
+            AnnArtifact::from_bytes(&bytes),
+            Err(DecodeError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn ann_artifact_forged_partition_detected() {
+        // A payload that *passes* the checksum but violates the
+        // partition invariant must still fail: bump the final item id
+        // (making it a duplicate of an id in another list, or out of
+        // range) and re-sign the container.
+        let mut bytes = ann_artifact().to_bytes();
+        let body_end = bytes.len() - 8;
+        let at = body_end - 4;
+        let v = u32::from_le_bytes(bytes[at..body_end].try_into().unwrap()) + 1;
+        bytes[at..body_end].copy_from_slice(&v.to_le_bytes());
+        let checksum = fnv64(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            AnnArtifact::from_bytes(&bytes),
+            Err(DecodeError::LengthMismatch)
+        );
     }
 
     #[test]

@@ -10,19 +10,20 @@
 //! degenerates to exact brute force).
 
 use crate::store::EmbeddingStore;
-use rm_sparse::vecops::dot;
+use rm_sparse::vecops::{cosine, dot};
 use rm_util::rng::{derive_seed, rng_from_seed};
 use rm_util::sample::standard_normal;
 use rm_util::topk::{top_k_of, Scored};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Random-hyperplane LSH index.
 #[derive(Debug, Clone)]
 pub struct SignLshIndex {
     /// Hyperplane normals, one per signature bit (row-major `bits × dim`).
     planes: Vec<Vec<f32>>,
-    /// Bucket table: signature → item indices.
-    buckets: HashMap<u32, Vec<u32>>,
+    /// Bucket table: signature → item indices. Ordered so bucket
+    /// iteration (and therefore candidate emission) is deterministic.
+    buckets: BTreeMap<u32, Vec<u32>>,
     /// Signature width in bits (≤ 24 keeps the probe enumeration cheap).
     bits: u32,
 }
@@ -45,7 +46,7 @@ impl SignLshIndex {
             .collect();
         let mut index = Self {
             planes,
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
             bits,
         };
         for i in 0..store.len() {
@@ -95,7 +96,11 @@ impl SignLshIndex {
 
     /// Approximate top-k most similar items to `query`, excluding
     /// `exclude` (e.g. the query item itself). Candidates come from the
-    /// probed buckets; ranking among them is exact.
+    /// probed buckets; ranking among them is exact *cosine* — the metric
+    /// this module documents and `exact.rs` ranks by — so a non-unit
+    /// query (an unnormalised mean embedding, say) still ranks the same
+    /// as its normalised counterpart, and radius = `bits` reproduces the
+    /// brute-force cosine ranking bit-for-bit.
     #[must_use]
     pub fn search(
         &self,
@@ -110,7 +115,7 @@ impl SignLshIndex {
             candidates
                 .into_iter()
                 .filter(|&i| Some(i) != exclude)
-                .map(|i| (i, dot(query, store.embedding(i as usize)))),
+                .map(|i| (i, cosine(query, store.embedding(i as usize)))),
             k,
         )
     }
@@ -178,17 +183,64 @@ mod tests {
         assert!(differs);
     }
 
+    /// Brute-force cosine top-k over the whole store — the reference
+    /// `search` must reproduce when every bucket is probed.
+    fn brute_force_cosine(
+        s: &EmbeddingStore,
+        query: &[f32],
+        k: usize,
+        exclude: u32,
+    ) -> Vec<Scored> {
+        top_k_of(
+            (0..s.len() as u32)
+                .filter(|&i| i != exclude)
+                .map(|i| (i, cosine(query, s.embedding(i as usize)))),
+            k,
+        )
+    }
+
     #[test]
     fn full_radius_recovers_exact_top_k() {
         let s = store();
         let idx = SignLshIndex::build(&s, 8, 1);
-        let exact: Vec<u32> = s.nearest(0, 5).into_iter().map(|r| r.item).collect();
+        let exact: Vec<u32> = brute_force_cosine(&s, s.embedding(0), 5, 0)
+            .into_iter()
+            .map(|r| r.item)
+            .collect();
         let approx: Vec<u32> = idx
             .search(&s, s.embedding(0), 5, 8, Some(0))
             .into_iter()
             .map(|r| r.item)
             .collect();
         assert_eq!(exact, approx, "probing every bucket must equal brute force");
+    }
+
+    #[test]
+    fn full_radius_is_bit_identical_to_brute_force_cosine() {
+        // radius = bits degenerates to exact search: every bucket is
+        // probed, so the candidate set is the full catalogue and the
+        // ranking — scores included — must match brute-force cosine
+        // bit-for-bit. Exercised with a deliberately *non-unit* query (an
+        // unnormalised mean embedding) so raw-dot ranking, which scales
+        // with the query norm, could not pass by accident.
+        let s = store();
+        let idx = SignLshIndex::build(&s, 8, 3);
+        let seen: Vec<u32> = vec![0, 3, 6];
+        let query = s.mean_embedding(&seen);
+        for k in [1usize, 5, 20] {
+            let exact = brute_force_cosine(&s, &query, k, u32::MAX);
+            let approx = idx.search(&s, &query, k, idx.bits(), None);
+            assert_eq!(exact.len(), approx.len());
+            for (e, a) in exact.iter().zip(&approx) {
+                assert_eq!(e.item, a.item, "k={k}: item order diverged");
+                assert_eq!(
+                    e.score.to_bits(),
+                    a.score.to_bits(),
+                    "k={k}: score for item {} not bit-identical",
+                    e.item
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!    brute-force k-NN over the catalogue;
 //! 5. [`ann`] — a random-hyperplane LSH index for approximate k-NN at
 //!    full-library-catalogue scale;
-//! 6. [`exact`] — a vocabulary-backed exact TF-IDF encoder, the reference
+//! 6. [`ivf`] — the deterministic IVF index behind the serve pipeline's
+//!    sub-linear candidate sources: seeded k-means coarse quantizer,
+//!    cosine retrieval over embeddings and MIPS retrieval over BPR item
+//!    factors via the augmented-dimension reduction;
+//! 7. [`exact`] — a vocabulary-backed exact TF-IDF encoder, the reference
 //!    against which the hashed projection's cosine distortion is measured
 //!    (tests assert the DESIGN.md distortion claim).
 //!
@@ -34,8 +38,10 @@ pub mod ann;
 pub mod encoder;
 pub mod exact;
 pub mod idf;
+pub mod ivf;
 pub mod store;
 pub mod tokenize;
 
 pub use encoder::{EncoderConfig, SemanticEncoder};
+pub use ivf::{AnnArtifact, IvfConfig, IvfIndex, IvfScratch};
 pub use store::EmbeddingStore;

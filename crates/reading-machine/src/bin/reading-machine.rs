@@ -311,6 +311,30 @@ fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
         epoch: flags.parse_num("epoch", 1)?,
         fields,
     };
+    // Build the sub-linear retrieval indexes over the fitted models: a
+    // cosine IVF over the catalogue embeddings and a MIPS IVF over the
+    // BPR item factors, both under the √n list-count heuristic. `--ann
+    // off` skips publication (and scrubs any stale index on disk).
+    let ann = if flags.get("ann").is_some_and(|v| v == "off") {
+        None
+    } else {
+        let span = tracer.span("build_ann");
+        let ivf_config = rm_embed::IvfConfig {
+            seed: flags.parse_num("seed", 42)?,
+            ..rm_embed::IvfConfig::for_catalogue(train.n_books())
+        };
+        let ann = rm_embed::AnnArtifact {
+            content: Some(rm_embed::IvfIndex::build(closest.store(), &ivf_config)),
+            cf: Some(rm_embed::IvfIndex::build_mips(
+                &bpr.model().expect("fitted").item_factors,
+                &ivf_config,
+            )),
+        };
+        span.finish(|f| {
+            f.push("nlist", ivf_config.nlist);
+        });
+        Some(ann)
+    };
     let registry = ArtifactRegistry::new(&out);
     let span = tracer.span("save_artifacts");
     registry
@@ -319,6 +343,7 @@ fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
             bpr.model().expect("fitted"),
             &most_read,
             closest.store(),
+            ann.as_ref(),
         )
         .map_err(|e| e.to_string())?;
     span.finish(|f| {
@@ -486,6 +511,9 @@ fn cmd_serve_loadgen(flags: &Flags, mode: &str) -> Result<(), String> {
                 bpr.model().ok_or("BPR failed to fit")?,
                 &most_read,
                 closest.store(),
+                // No ANN in the smoke registry: BENCH_serve.json's
+                // byte-identity gate pins the exact-scan schedule.
+                None,
             )
             .map_err(|e| e.to_string())?;
         let overload = OverloadConfig {

@@ -52,9 +52,9 @@ use crate::overload::{
     DegradationLevel, LevelTransition, OverloadConfig, OverloadGovernor, ShedReason,
 };
 use crate::pipeline::{
-    merge_into, rank_pool_into, BookGenres, Candidate, CandidateFilter, CandidateSource,
-    CfNeighboursSource, ContentSimilarSource, Explanation, FallbackSource, FilterCtx,
-    MostReadSource, PipelineConfig, Reason, SourceId,
+    merge_into, rank_pool_into, AnnCfNeighboursSource, AnnContentSimilarSource, BookGenres,
+    Candidate, CandidateFilter, CandidateSource, CfNeighboursSource, ContentSimilarSource,
+    Explanation, FallbackSource, FilterCtx, MostReadSource, PipelineConfig, Reason, SourceId,
 };
 use crate::registry::{ArtifactRegistry, LoadedArtifacts};
 use rm_core::bpr::{Bpr, BprConfig};
@@ -301,6 +301,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the posting lists probed per ANN-accelerated source call
+    /// (only consulted when the registry carries a valid ANN artifact).
+    pub fn ann_nprobe(mut self, nprobe: usize) -> Self {
+        self.config.pipeline.ann_nprobe = nprobe;
+        self
+    }
+
     /// Enables overload control (admission queue, CoDel shedding, the
     /// brownout ladder) with the given tuning.
     pub fn overload(mut self, overload: OverloadConfig) -> Self {
@@ -326,6 +333,9 @@ impl EngineConfigBuilder {
         }
         if config.pipeline.pool_size == 0 {
             return Err(RecError::Config("pipeline pool_size must be >= 1".into()));
+        }
+        if config.pipeline.ann_nprobe == 0 {
+            return Err(RecError::Config("pipeline ann_nprobe must be >= 1".into()));
         }
         if let Some(sources) = &config.pipeline.sources {
             if sources.is_empty() {
@@ -386,6 +396,14 @@ pub struct ServingEngine {
     closest: Option<ClosestItems>,
     most_read: Option<MostReadItems>,
     random: RandomItems,
+    /// Validated IVF indexes accelerating the pipeline's content-similar
+    /// and CF-neighbour sources. Not a [`ModelSlot`]: losing ANN loses
+    /// only the acceleration — the exact scans keep serving — so it
+    /// reports through [`ServingEngine::ann_notes`], not `degraded`.
+    ann: Option<rm_embed::AnnArtifact>,
+    /// Why each absent ANN half is absent (empty when fully active or
+    /// the registry simply has no ANN artifact).
+    ann_notes: Vec<String>,
     degraded: Vec<(ModelSlot, String)>,
     cache: Mutex<LruCache<CacheKey, Vec<u32>>>,
     breakers: Option<Mutex<[CircuitBreaker; ModelSlot::COUNT]>>,
@@ -431,6 +449,8 @@ impl ServingEngine {
             closest: None,
             most_read: None,
             random,
+            ann: None,
+            ann_notes: Vec::new(),
             degraded: Vec::new(),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             breakers,
@@ -615,6 +635,90 @@ impl ServingEngine {
                 None
             }
         };
+
+        self.install_ann(loaded.ann);
+    }
+
+    /// Validates the ANN artifact against the *installed* models (so a
+    /// degraded model slot automatically disables its accelerated
+    /// source) and keeps only the halves whose dimensions line up.
+    /// Failure here never degrades a slot — the exact scans serve —
+    /// it only records a note for the operator.
+    fn install_ann(&mut self, ann: crate::registry::SlotResult<rm_embed::AnnArtifact>) {
+        self.ann_notes.clear();
+        self.ann = None;
+        let mut art = match ann {
+            Ok(art) => art,
+            // No artifact is the normal state for a registry trained
+            // without ANN; only a present-but-broken file is noteworthy.
+            Err(crate::registry::SlotError::Missing) => return,
+            Err(e) => {
+                self.ann_notes.push(format!("ann artifact dropped: {e}"));
+                return;
+            }
+        };
+        if let Some(idx) = &art.content {
+            let ok = self.closest.as_ref().is_some_and(|c| {
+                idx.n_items() as usize == c.store().len() && idx.dim() == c.store().dim()
+            });
+            if !ok {
+                self.ann_notes.push(match &self.closest {
+                    Some(c) => format!(
+                        "ann content index dropped: index {}x{} vs store {}x{}",
+                        idx.n_items(),
+                        idx.dim(),
+                        c.store().len(),
+                        c.store().dim()
+                    ),
+                    None => "ann content index dropped: closest-items slot degraded".into(),
+                });
+                art.content = None;
+            }
+        }
+        if let Some(idx) = &art.cf {
+            let ok = self.bpr.as_ref().and_then(Bpr::model).is_some_and(|m| {
+                idx.n_items() as usize == m.item_factors.rows()
+                    && idx.dim() == m.item_factors.cols() + 1
+            });
+            if !ok {
+                self.ann_notes
+                    .push(match self.bpr.as_ref().and_then(Bpr::model) {
+                        Some(m) => format!(
+                            "ann cf index dropped: index {}x{} vs factors {}x{}+1",
+                            idx.n_items(),
+                            idx.dim(),
+                            m.item_factors.rows(),
+                            m.item_factors.cols()
+                        ),
+                        None => "ann cf index dropped: bpr slot degraded".into(),
+                    });
+                art.cf = None;
+            }
+        }
+        if art.content.is_some() || art.cf.is_some() {
+            self.ann = Some(art);
+        }
+    }
+
+    /// True when the content-similar source retrieves through the IVF
+    /// index (a valid ANN artifact half is installed).
+    #[must_use]
+    pub fn ann_content_active(&self) -> bool {
+        self.ann.as_ref().is_some_and(|a| a.content.is_some())
+    }
+
+    /// True when the CF-neighbours source retrieves through the MIPS
+    /// IVF index.
+    #[must_use]
+    pub fn ann_cf_active(&self) -> bool {
+        self.ann.as_ref().is_some_and(|a| a.cf.is_some())
+    }
+
+    /// Why ANN halves (or the whole artifact) were dropped at install
+    /// time; empty when fully active or simply not published.
+    #[must_use]
+    pub fn ann_notes(&self) -> &[String] {
+        &self.ann_notes
     }
 
     fn degrade(&mut self, slot: ModelSlot, reason: String) {
@@ -718,13 +822,28 @@ impl ServingEngine {
     /// Wraps `slot`'s loaded model as its pipeline candidate source
     /// (`None` when the slot is degraded, mirroring [`Self::slot_model`]).
     fn slot_source(&self, slot: ModelSlot) -> Option<Box<dyn CandidateSource + '_>> {
+        let nprobe = self.config.pipeline.ann_nprobe;
         match slot {
-            ModelSlot::Bpr => self
-                .bpr
-                .as_ref()
-                .map(|m| Box::new(CfNeighboursSource::new(m)) as Box<dyn CandidateSource>),
+            ModelSlot::Bpr => {
+                self.bpr
+                    .as_ref()
+                    .map(|m| match self.ann.as_ref().and_then(|a| a.cf.as_ref()) {
+                        Some(idx) => {
+                            Box::new(AnnCfNeighboursSource::new(m, &self.train, idx, nprobe))
+                                as Box<dyn CandidateSource>
+                        }
+                        None => Box::new(CfNeighboursSource::new(m)) as Box<dyn CandidateSource>,
+                    })
+            }
             ModelSlot::ClosestItems => self.closest.as_ref().map(|m| {
-                Box::new(ContentSimilarSource::new(m, &self.train)) as Box<dyn CandidateSource>
+                match self.ann.as_ref().and_then(|a| a.content.as_ref()) {
+                    Some(idx) => {
+                        Box::new(AnnContentSimilarSource::new(m, &self.train, idx, nprobe))
+                            as Box<dyn CandidateSource>
+                    }
+                    None => Box::new(ContentSimilarSource::new(m, &self.train))
+                        as Box<dyn CandidateSource>,
+                }
             }),
             ModelSlot::MostRead => self
                 .most_read

@@ -42,8 +42,9 @@ pub use filters::{
 pub use merge::merge_into;
 pub use rank::rank_pool_into;
 pub use sources::{
-    anchor_book, BookGenres, Candidate, CandidateSource, CfNeighboursSource, ContentSimilarSource,
-    FallbackSource, GenrePreferenceSource, MostReadSource, Reason, SourceId,
+    anchor_book, AnnCfNeighboursSource, AnnContentSimilarSource, BookGenres, Candidate,
+    CandidateSource, CfNeighboursSource, ContentSimilarSource, FallbackSource,
+    GenrePreferenceSource, MostReadSource, Reason, SourceId,
 };
 
 use crate::engine::ModelSlot;
@@ -69,7 +70,19 @@ pub struct PipelineConfig {
     pub filters: Vec<Arc<dyn CandidateFilter>>,
     /// Catalogue genre lookup for genre-aware filters and sources.
     pub book_genres: Option<Arc<BookGenres>>,
+    /// Posting lists probed per ANN-accelerated source call. Only
+    /// consulted when the loaded registry carries a valid ANN artifact;
+    /// clamped to the index's list count at search time, so a value of
+    /// `usize::MAX` forces exact (bit-identical) retrieval through the
+    /// index.
+    pub ann_nprobe: usize,
 }
+
+/// Default [`PipelineConfig::ann_nprobe`]: with the trainer's `√n`
+/// list-count heuristic this probes a fixed slice of the coarse space —
+/// small enough to keep retrieval sub-linear at catalogue scale, large
+/// enough for high recall on clustered data (see `BENCH_ann.json`).
+pub const DEFAULT_ANN_NPROBE: usize = 8;
 
 impl Default for PipelineConfig {
     fn default() -> Self {
@@ -78,6 +91,7 @@ impl Default for PipelineConfig {
             pool_size: 256,
             filters: Vec::new(),
             book_genres: None,
+            ann_nprobe: DEFAULT_ANN_NPROBE,
         }
     }
 }

@@ -22,6 +22,7 @@ use rm_core::Recommender;
 use rm_dataset::corpus::Corpus;
 use rm_dataset::ids::{BookIdx, UserIdx};
 use rm_dataset::interactions::Interactions;
+use rm_embed::ivf::{IvfIndex, IvfScratch};
 use rm_sparse::vecops;
 
 /// Which source proposed a candidate.
@@ -204,6 +205,144 @@ impl CandidateSource for ContentSimilarSource<'_> {
                 None => Reason::Exploration,
             },
         );
+    }
+}
+
+/// IVF-accelerated CF-neighbours source: sub-linear retrieval over the
+/// BPR item factors through the MIPS index, re-scoring candidates with
+/// the same `dot` kernel the exact scan uses. At `nprobe` = the index's
+/// list count the emission is bit-identical to [`CfNeighboursSource`];
+/// at serving `nprobe` it trades a bounded recall loss for an
+/// `O(nprobe · list)` scan instead of `O(catalogue)`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnCfNeighboursSource<'a> {
+    bpr: &'a Bpr,
+    train: &'a Interactions,
+    index: &'a IvfIndex,
+    nprobe: usize,
+}
+
+impl<'a> AnnCfNeighboursSource<'a> {
+    /// Wraps an installed BPR model, the training matrix (seen-set
+    /// exclusion), and the MIPS IVF index built over the model's item
+    /// factors.
+    #[must_use]
+    pub fn new(bpr: &'a Bpr, train: &'a Interactions, index: &'a IvfIndex, nprobe: usize) -> Self {
+        Self {
+            bpr,
+            train,
+            index,
+            nprobe,
+        }
+    }
+}
+
+impl CandidateSource for AnnCfNeighboursSource<'_> {
+    fn id(&self) -> SourceId {
+        SourceId::CfNeighbours
+    }
+
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>) {
+        out.resize_with(users.len(), Vec::new);
+        let Some(model) = self.bpr.model() else {
+            for slot in out.iter_mut() {
+                slot.clear();
+            }
+            return;
+        };
+        let mut scratch = IvfScratch::new();
+        let mut ids: Vec<u32> = Vec::new();
+        for (&u, slot) in users.iter().zip(out.iter_mut()) {
+            slot.clear();
+            let query = model.user_factors.row(u.index());
+            self.index.search_into(
+                query,
+                pool_size,
+                self.nprobe,
+                self.train.seen(u),
+                |i| vecops::dot(query, model.item_factors.row(i as usize)),
+                &mut scratch,
+                &mut ids,
+            );
+            slot.extend(ids.iter().map(|&b| Candidate {
+                book: b,
+                source: SourceId::CfNeighbours,
+                reason: Reason::CfNeighbours,
+            }));
+        }
+    }
+}
+
+/// IVF-accelerated content-similar source: the user's Eq. 1 centroid
+/// query retrieves through the cosine IVF index instead of the full
+/// catalogue matvec, re-scored with the same `dot` kernel. Emission
+/// semantics (empty history → nothing, anchored provenance) match
+/// [`ContentSimilarSource`]; at `nprobe` = the index's list count the
+/// two are bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnContentSimilarSource<'a> {
+    closest: &'a ClosestItems,
+    train: &'a Interactions,
+    index: &'a IvfIndex,
+    nprobe: usize,
+}
+
+impl<'a> AnnContentSimilarSource<'a> {
+    /// Wraps a fitted Closest Items model, the training matrix, and the
+    /// cosine IVF index built over the model's embedding store.
+    #[must_use]
+    pub fn new(
+        closest: &'a ClosestItems,
+        train: &'a Interactions,
+        index: &'a IvfIndex,
+        nprobe: usize,
+    ) -> Self {
+        Self {
+            closest,
+            train,
+            index,
+            nprobe,
+        }
+    }
+}
+
+impl CandidateSource for AnnContentSimilarSource<'_> {
+    fn id(&self) -> SourceId {
+        SourceId::ContentSimilar
+    }
+
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>) {
+        let store = self.closest.store();
+        let mut query: Vec<f32> = Vec::with_capacity(store.dim());
+        let mut scratch = IvfScratch::new();
+        let mut ids: Vec<u32> = Vec::new();
+        out.resize_with(users.len(), Vec::new);
+        for (&u, slot) in users.iter().zip(out.iter_mut()) {
+            slot.clear();
+            let seen = self.train.seen(u);
+            if seen.is_empty() {
+                continue;
+            }
+            store.mean_embedding_into(seen, &mut query);
+            self.index.search_into(
+                &query,
+                pool_size,
+                self.nprobe,
+                seen,
+                |i| vecops::dot(&query, store.embedding(i as usize)),
+                &mut scratch,
+                &mut ids,
+            );
+            let reason = match anchor_book(self.closest, seen) {
+                Some(anchor) => Reason::SimilarToBorrowed { anchor },
+                None => Reason::Exploration,
+            };
+            slot.extend(ids.iter().map(|&b| Candidate {
+                book: b,
+                source: SourceId::ContentSimilar,
+                reason,
+            }));
+        }
     }
 }
 

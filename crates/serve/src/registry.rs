@@ -7,6 +7,7 @@
 //! <dir>/bpr.rmodel          BprModel        (tag 0x01)
 //! <dir>/most_read.rmodel    MostReadItems   (tag 0x02)
 //! <dir>/embeddings.rmodel   EmbeddingStore  (tag 0x03)
+//! <dir>/ann.rmodel          AnnArtifact     (tag 0x04, optional)
 //! ```
 //!
 //! Loading is *slot-tolerant*: the manifest is mandatory, but each model
@@ -25,7 +26,7 @@ use rm_core::bpr::BprModel;
 use rm_core::most_read::MostReadItems;
 use rm_core::persist::{write_atomic, DecodeError, PersistModel};
 use rm_dataset::summary::SummaryFields;
-use rm_embed::EmbeddingStore;
+use rm_embed::{AnnArtifact, EmbeddingStore};
 use rm_util::clock::{Clock, MonotonicClock};
 use rm_util::RecError;
 use std::fmt;
@@ -46,6 +47,10 @@ pub const BPR_FILE: &str = "bpr.rmodel";
 pub const MOST_READ_FILE: &str = "most_read.rmodel";
 /// Embedding store artifact file name.
 pub const EMBEDDINGS_FILE: &str = "embeddings.rmodel";
+/// ANN (IVF) index artifact file name. Optional: a registry trained
+/// before the ANN subsystem existed simply has no such file and the
+/// serve pipeline keeps its exact scans.
+pub const ANN_FILE: &str = "ann.rmodel";
 
 const MANIFEST_HEADER: &str = "rm-serve-manifest 1";
 
@@ -151,6 +156,11 @@ pub struct LoadedArtifacts {
     pub most_read: SlotResult<MostReadItems>,
     /// The catalogue embeddings for Closest Items.
     pub embeddings: SlotResult<EmbeddingStore>,
+    /// The IVF indexes accelerating the content-similar and
+    /// CF-neighbour candidate sources. `Missing` is the normal state
+    /// for registries trained without ANN; any failure here degrades
+    /// only the acceleration — the exact scans keep serving.
+    pub ann: SlotResult<AnnArtifact>,
 }
 
 /// A held `registry.lock`: created with `O_EXCL`, removed on drop.
@@ -328,12 +338,17 @@ impl ArtifactRegistry {
     /// nothing; the fsync'd manifest is written last, making the epoch
     /// bump the commit point — a crash before it leaves the previous
     /// manifest (and epoch) in force.
+    /// `ann` is optional: `Some` publishes the IVF artifact alongside
+    /// the models, `None` *removes* any previous `ann.rmodel` so a
+    /// retrain that skips ANN can never leave a stale index whose
+    /// dimensions happen to match the new models.
     pub fn save(
         &self,
         manifest: &Manifest,
         bpr: &BprModel,
         most_read: &MostReadItems,
         embeddings: &EmbeddingStore,
+        ann: Option<&AnnArtifact>,
     ) -> io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         let _lock =
@@ -341,6 +356,14 @@ impl ArtifactRegistry {
         write_atomic(&self.path_of(BPR_FILE), &bpr.to_bytes())?;
         write_atomic(&self.path_of(MOST_READ_FILE), &most_read.to_bytes())?;
         write_atomic(&self.path_of(EMBEDDINGS_FILE), &embeddings.to_bytes())?;
+        match ann {
+            Some(ann) => write_atomic(&self.path_of(ANN_FILE), &ann.to_bytes())?,
+            None => match std::fs::remove_file(self.path_of(ANN_FILE)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            },
+        }
         write_atomic(&self.path_of(MANIFEST_FILE), manifest.render().as_bytes())?;
         Ok(())
     }
@@ -358,10 +381,11 @@ impl ArtifactRegistry {
         bpr: &BprModel,
         most_read: &MostReadItems,
         embeddings: &EmbeddingStore,
+        ann: Option<&AnnArtifact>,
         plan: &crate::fault::FaultPlan,
     ) -> io::Result<()> {
         use crate::engine::ModelSlot;
-        self.save(manifest, bpr, most_read, embeddings)?;
+        self.save(manifest, bpr, most_read, embeddings, ann)?;
         let files = [
             (ModelSlot::Bpr, BPR_FILE),
             (ModelSlot::MostRead, MOST_READ_FILE),
@@ -416,6 +440,7 @@ impl ArtifactRegistry {
             bpr: self.load_slot(BPR_FILE),
             most_read: self.load_slot(MOST_READ_FILE),
             embeddings: self.load_slot(EMBEDDINGS_FILE),
+            ann: self.load_slot(ANN_FILE),
         })
     }
 }
@@ -487,15 +512,74 @@ mod tests {
             epoch: 3,
             fields: SummaryFields::ALL,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings).unwrap();
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+            .unwrap();
 
         let loaded = reg.load().unwrap();
         assert_eq!(loaded.manifest, manifest);
+        // No ANN was published: that slot is Missing, not an error.
+        assert!(matches!(loaded.ann, Err(SlotError::Missing)));
         assert_eq!(loaded.bpr.unwrap(), bpr);
         assert_eq!(loaded.most_read.unwrap().counts(), most_read.counts());
         let store = loaded.embeddings.unwrap();
         assert_eq!(store.len(), 3);
         assert_eq!(store.embedding(0), embeddings.embedding(0));
+        let _ = std::fs::remove_dir_all(reg.dir());
+    }
+
+    fn tiny_ann(bpr: &BprModel, embeddings: &EmbeddingStore) -> AnnArtifact {
+        let cfg = rm_embed::IvfConfig {
+            nlist: 2,
+            iters: 2,
+            seed: 1,
+            train_sample: 0,
+        };
+        AnnArtifact {
+            content: Some(rm_embed::IvfIndex::build(embeddings, &cfg)),
+            cf: Some(rm_embed::IvfIndex::build_mips(&bpr.item_factors, &cfg)),
+        }
+    }
+
+    #[test]
+    fn ann_slot_round_trips_and_none_scrubs_stale_index() {
+        let reg = temp_registry("ann-slot");
+        let (bpr, most_read, embeddings) = tiny_artifacts();
+        let ann = tiny_ann(&bpr, &embeddings);
+        let manifest = Manifest {
+            epoch: 1,
+            fields: SummaryFields::BEST,
+        };
+        reg.save(&manifest, &bpr, &most_read, &embeddings, Some(&ann))
+            .unwrap();
+        assert_eq!(reg.load().unwrap().ann.unwrap(), ann);
+
+        // A retrain without ANN must remove the stale index: its
+        // dimensions could accidentally match the new models.
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+            .unwrap();
+        assert!(!reg.path_of(ANN_FILE).exists());
+        assert!(matches!(reg.load().unwrap().ann, Err(SlotError::Missing)));
+    }
+
+    #[test]
+    fn corrupt_ann_slot_degrades_not_fails() {
+        let reg = temp_registry("ann-corrupt");
+        let (bpr, most_read, embeddings) = tiny_artifacts();
+        let ann = tiny_ann(&bpr, &embeddings);
+        let manifest = Manifest {
+            epoch: 1,
+            fields: SummaryFields::BEST,
+        };
+        reg.save(&manifest, &bpr, &most_read, &embeddings, Some(&ann))
+            .unwrap();
+        let path = reg.path_of(ANN_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let loaded = reg.load().unwrap();
+        assert!(matches!(loaded.ann, Err(SlotError::Decode(_))));
+        assert!(loaded.bpr.is_ok());
+        assert!(loaded.embeddings.is_ok());
         let _ = std::fs::remove_dir_all(reg.dir());
     }
 
@@ -507,7 +591,8 @@ mod tests {
             epoch: 1,
             fields: SummaryFields::BEST,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings).unwrap();
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+            .unwrap();
         let leftovers: Vec<String> = std::fs::read_dir(reg.dir())
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
@@ -528,7 +613,7 @@ mod tests {
 
         let held = reg.lock().expect("explicit lock");
         let err = reg
-            .save(&manifest, &bpr, &most_read, &embeddings)
+            .save(&manifest, &bpr, &most_read, &embeddings, None)
             .expect_err("save under a held lock must fail");
         assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{err}");
         assert!(err.to_string().contains("registry.lock"), "{err}");
@@ -537,7 +622,7 @@ mod tests {
         assert!(matches!(reg.load(), Err(RecError::Io(_))));
 
         drop(held);
-        reg.save(&manifest, &bpr, &most_read, &embeddings)
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
             .expect("save after release");
         assert!(reg.load().is_ok());
         let _ = std::fs::remove_dir_all(reg.dir());
@@ -618,7 +703,8 @@ mod tests {
             epoch: 1,
             fields: SummaryFields::BEST,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings).unwrap();
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+            .unwrap();
         std::fs::remove_file(reg.path_of(BPR_FILE)).unwrap();
 
         let loaded = reg.load().unwrap();
@@ -638,7 +724,8 @@ mod tests {
             epoch: 1,
             fields: SummaryFields::BEST,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings).unwrap();
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+            .unwrap();
         std::fs::copy(reg.path_of(MOST_READ_FILE), reg.path_of(BPR_FILE)).unwrap();
 
         let loaded = reg.load().unwrap();

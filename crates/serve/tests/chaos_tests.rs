@@ -96,6 +96,7 @@ impl Fixture {
                 self.bpr.model().expect("fitted"),
                 &self.most_read,
                 self.closest.store(),
+                None,
             )
             .expect("save artifacts");
     }
@@ -107,6 +108,7 @@ impl Fixture {
                 self.bpr.model().expect("fitted"),
                 &self.most_read,
                 self.closest.store(),
+                None,
                 plan,
             )
             .expect("save artifacts with faults");

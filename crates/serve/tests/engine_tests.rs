@@ -54,6 +54,7 @@ fn train_fixture(tag: &str) -> Fixture {
             bpr.model().expect("fitted"),
             &most_read,
             closest.store(),
+            None,
         )
         .expect("save artifacts");
     Fixture { train, registry }
@@ -328,6 +329,7 @@ fn empty_answers_fall_through_custom_chain() {
             &bpr,
             &most_read,
             &embeddings,
+            None,
         )
         .unwrap();
 

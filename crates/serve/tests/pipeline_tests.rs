@@ -60,6 +60,7 @@ fn train_fixture(tag: &str) -> Fixture {
             bpr.model().expect("fitted"),
             &most_read,
             closest.store(),
+            None,
         )
         .expect("save artifacts");
     Fixture {
@@ -231,6 +232,168 @@ fn genre_filters_shape_the_pool() {
         }
     }
     fx.cleanup();
+}
+
+/// Retrains the Tiny fixture and publishes it twice: once bare, once
+/// with the IVF ANN artifact built the way `train --out` builds it.
+fn ann_registries(tag: &str) -> (Fixture, ArtifactRegistry) {
+    let fx = train_fixture(tag);
+    let h = Harness::generate(11, Preset::Tiny);
+    let mut most_read = MostReadItems::new();
+    most_read.fit(&fx.train);
+    let mut closest =
+        ClosestItems::from_corpus(&h.corpus, SummaryFields::BEST, EncoderConfig::default());
+    closest.fit(&fx.train);
+    let model = fx.bpr.model().expect("fitted");
+    let ivf_config = rm_embed::IvfConfig::for_catalogue(fx.train.n_books());
+    let ann = rm_embed::AnnArtifact {
+        content: Some(rm_embed::IvfIndex::build(closest.store(), &ivf_config)),
+        cf: Some(rm_embed::IvfIndex::build_mips(
+            &model.item_factors,
+            &ivf_config,
+        )),
+    };
+    let with_ann = ArtifactRegistry::new(unique_dir(&format!("{tag}-ann")));
+    with_ann
+        .save(
+            &Manifest {
+                epoch: 1,
+                fields: SummaryFields::BEST,
+            },
+            model,
+            &most_read,
+            closest.store(),
+            Some(&ann),
+        )
+        .expect("save artifacts with ann");
+    (fx, with_ann)
+}
+
+/// At `nprobe = usize::MAX` (clamped to every posting list) the
+/// ANN-accelerated sources see the full catalogue as candidates and
+/// re-score them with the exact kernels, so the whole pipeline — CF and
+/// content-similar sources both — must be bit-identical to the
+/// exact-scan engine, explanations included.
+#[test]
+fn ann_pipeline_at_full_nprobe_is_bit_identical_to_exact() {
+    let (fx, with_ann) = ann_registries("ann-exact");
+    let config = || {
+        EngineConfig::builder()
+            .pipeline_sources(vec![ModelSlot::Bpr, ModelSlot::ClosestItems])
+            .ann_nprobe(usize::MAX)
+            .build()
+            .expect("valid config")
+    };
+    let exact = ServingEngine::load(&fx.registry, &fx.train, config()).expect("engine loads");
+    let ann = ServingEngine::load(&with_ann, &fx.train, config()).expect("engine loads");
+    assert!(!exact.ann_cf_active() && !exact.ann_content_active());
+    assert!(ann.ann_cf_active() && ann.ann_content_active());
+    assert!(ann.ann_notes().is_empty(), "{:?}", ann.ann_notes());
+    assert!(ann.degraded().is_empty());
+    for k in [1usize, 5, 10] {
+        for u in 0..fx.train.n_users() as u32 {
+            let user = UserIdx(u);
+            let (top_e, ex_e) = exact.recommend_explained(user, k);
+            let (top_a, ex_a) = ann.recommend_explained(user, k);
+            assert_eq!(top_e, top_a, "user {u} k {k}");
+            assert_eq!(ex_e, ex_a, "user {u} k {k}");
+        }
+    }
+    fx.cleanup();
+    let _ = std::fs::remove_dir_all(with_ann.dir());
+}
+
+/// At a small serving `nprobe` the answers may differ from the exact
+/// scan, but the pipeline contract holds: never a seen book, never a
+/// duplicate, and the engine still serves everyone it served before.
+#[test]
+fn ann_pipeline_at_small_nprobe_keeps_the_contract() {
+    let (fx, with_ann) = ann_registries("ann-approx");
+    let config = EngineConfig::builder()
+        .pipeline_sources(vec![ModelSlot::Bpr, ModelSlot::ClosestItems])
+        .ann_nprobe(1)
+        .build()
+        .expect("valid config");
+    let engine = ServingEngine::load(&with_ann, &fx.train, config).expect("engine loads");
+    let mut served = 0usize;
+    for u in 0..fx.train.n_users() as u32 {
+        let user = UserIdx(u);
+        let top = engine.recommend(user, 6);
+        let seen = fx.train.seen(user);
+        for &b in &top {
+            assert!(seen.binary_search(&b).is_err(), "user {u} reproposed {b}");
+        }
+        let mut dedup = top.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), top.len(), "user {u} duplicates");
+        served += usize::from(!top.is_empty());
+    }
+    assert!(served > 0, "nprobe=1 still serves");
+    fx.cleanup();
+    let _ = std::fs::remove_dir_all(with_ann.dir());
+}
+
+/// An ANN artifact whose dimensions disagree with the installed models
+/// is dropped (with a note) and the exact scans keep serving — ANN is
+/// acceleration, never a new failure mode.
+#[test]
+fn mismatched_ann_artifact_is_dropped_with_note() {
+    let fx = train_fixture("ann-mismatch");
+    let h = Harness::generate(11, Preset::Tiny);
+    let mut most_read = MostReadItems::new();
+    most_read.fit(&fx.train);
+    let mut closest =
+        ClosestItems::from_corpus(&h.corpus, SummaryFields::BEST, EncoderConfig::default());
+    closest.fit(&fx.train);
+    let model = fx.bpr.model().expect("fitted");
+    let ivf_config = rm_embed::IvfConfig {
+        nlist: 4,
+        iters: 2,
+        seed: 3,
+        train_sample: 0,
+    };
+    // Wrong catalogue size (content) and wrong factor width (cf).
+    let bogus_store = rm_embed::EmbeddingStore::from_matrix(rm_sparse::DenseMatrix::gaussian(
+        7,
+        5,
+        1.0,
+        &mut rm_util::rng::rng_from_seed(1),
+    ));
+    let bogus_factors =
+        rm_sparse::DenseMatrix::gaussian(9, 3, 0.5, &mut rm_util::rng::rng_from_seed(2));
+    let bad_ann = rm_embed::AnnArtifact {
+        content: Some(rm_embed::IvfIndex::build(&bogus_store, &ivf_config)),
+        cf: Some(rm_embed::IvfIndex::build_mips(&bogus_factors, &ivf_config)),
+    };
+    let registry = ArtifactRegistry::new(unique_dir("ann-mismatch-reg"));
+    registry
+        .save(
+            &Manifest {
+                epoch: 1,
+                fields: SummaryFields::BEST,
+            },
+            model,
+            &most_read,
+            closest.store(),
+            Some(&bad_ann),
+        )
+        .expect("save artifacts");
+    let engine =
+        ServingEngine::load(&registry, &fx.train, EngineConfig::default()).expect("engine loads");
+    assert!(!engine.ann_cf_active() && !engine.ann_content_active());
+    assert_eq!(engine.ann_notes().len(), 2, "{:?}", engine.ann_notes());
+    assert!(engine.degraded().is_empty(), "no slot degrades over ANN");
+    // Exact path unaffected: matches the direct model.
+    for u in 0..fx.train.n_users() as u32 {
+        assert_eq!(
+            engine.recommend(UserIdx(u), 5),
+            fx.bpr.recommend(UserIdx(u), 5),
+            "user {u}"
+        );
+    }
+    fx.cleanup();
+    let _ = std::fs::remove_dir_all(registry.dir());
 }
 
 #[cfg(feature = "testing")]

@@ -68,6 +68,7 @@ fn pristine() -> &'static Pristine {
                 bpr.model().expect("fitted"),
                 &most_read,
                 closest.store(),
+                None,
             )
             .expect("save artifacts");
 

@@ -53,6 +53,7 @@ fn train_fixture(tag: &str) -> Fixture {
             bpr.model().expect("fitted"),
             &most_read,
             closest.store(),
+            None,
         )
         .expect("save artifacts");
     Fixture { train, registry }

@@ -48,4 +48,11 @@ echo "==> overload SLO gate (deterministic loadgen smoke vs committed BENCH_serv
 # bounded p99) via shedding + brownout, never unbounded queueing.
 cargo run --release -q -p reading-machine -- serve-bench --loadgen smoke --gate BENCH_serve.json
 
+echo "==> ANN retrieval gate (deterministic smoke recall vs committed BENCH_ann.json)"
+# IVF recall numbers are timing-free and deterministic: the recomputed
+# smoke section must match the committed report byte-for-byte, the
+# committed 1M-item full run must hold recall@10 >= 0.95 at >= 10x
+# speedup, and probing every list must reproduce the exact scan.
+cargo run --release -q -p rm-bench --bin ann-bench -- --smoke --gate BENCH_ann.json
+
 echo "All checks passed."
