@@ -45,6 +45,7 @@ fn bench(c: &mut Criterion) {
             &most_read,
             closest.store(),
             None,
+            None,
         )
         .expect("save artifacts");
 

@@ -86,7 +86,7 @@ impl Options {
     #[must_use]
     pub fn bpr_config(&self) -> BprConfig {
         let epochs = match self.preset {
-            Preset::Paper => 15,
+            Preset::PaperX100 | Preset::Paper => 15,
             Preset::Medium => 12,
             Preset::Tiny => 8,
         };

@@ -50,6 +50,7 @@ pub mod item_knn;
 pub mod markov;
 pub mod most_read;
 pub mod persist;
+pub mod quant;
 pub mod random;
 
 use rm_dataset::ids::{BookIdx, UserIdx};

@@ -156,11 +156,11 @@ pub fn peek_tag(bytes: &[u8]) -> Option<u8> {
     (bytes.len() >= 8 + 1 + 8 && bytes[..8] == MAGIC).then(|| bytes[8])
 }
 
-fn push_u32(out: &mut Vec<u8>, v: usize) {
+pub(crate) fn push_u32(out: &mut Vec<u8>, v: usize) {
     out.extend_from_slice(&u32::try_from(v).expect("dimension fits u32").to_le_bytes());
 }
 
-fn read_u32(bytes: &[u8], at: usize) -> usize {
+pub(crate) fn read_u32(bytes: &[u8], at: usize) -> usize {
     u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize
 }
 

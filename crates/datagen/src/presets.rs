@@ -19,6 +19,12 @@ use rm_dataset::merge::{MergeConfig, MinBookReadings, MinUserReadings, PruneMode
 /// A named scale of the generator + pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Preset {
+    /// Million-user capacity-planning scale: every population count of
+    /// [`Preset::Paper`] times 100 (≈ 4.3 M merged users over a ≈ 230 k
+    /// book catalogue). Used by the memory-gate benchmarks; generating
+    /// the full corpus at this scale is expensive — prefer
+    /// [`Preset::serving_scale`] for synthetic sizing.
+    PaperX100,
     /// Full paper-scale corpus.
     Paper,
     /// Integration-test scale.
@@ -86,6 +92,15 @@ impl Preset {
     #[must_use]
     pub fn generator_config(self) -> GeneratorConfig {
         match self {
+            Self::PaperX100 => {
+                let mut c = Self::Paper.generator_config();
+                c.world.n_overlap_books *= 100;
+                c.world.n_bct_only_books *= 100;
+                c.world.n_anobii_only_books *= 100;
+                c.bct.n_users *= 100;
+                c.anobii.n_users *= 100;
+                c
+            }
             Self::Paper => GeneratorConfig {
                 world: WorldConfig {
                     n_overlap_books: 2_700,
@@ -260,7 +275,7 @@ impl Preset {
     #[must_use]
     pub fn merge_config(self) -> MergeConfig {
         let (min_user, min_book) = match self {
-            Self::Paper => (10, 100),
+            Self::PaperX100 | Self::Paper => (10, 100),
             Self::Medium => (10, 45),
             Self::Tiny => (5, 8),
         };
@@ -272,6 +287,22 @@ impl Preset {
             min_book_readings: MinBookReadings(min_book),
         }
     }
+
+    /// The nominal *post-merge* serving scale `(users, books)` at this
+    /// preset: the population the pipeline leaves after pruning,
+    /// rounded to the paper's Section 3 statistics (and their
+    /// multiples). Capacity planning and the synthetic memory-gate
+    /// benchmarks size from these numbers instead of generating and
+    /// merging a full corpus.
+    #[must_use]
+    pub fn serving_scale(self) -> (usize, usize) {
+        match self {
+            Self::PaperX100 => (4_300_000, 230_000),
+            Self::Paper => (43_000, 2_300),
+            Self::Medium => (4_300, 600),
+            Self::Tiny => (330, 150),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +311,12 @@ mod tests {
 
     #[test]
     fn all_presets_have_valid_share_vectors() {
-        for preset in [Preset::Paper, Preset::Medium, Preset::Tiny] {
+        for preset in [
+            Preset::PaperX100,
+            Preset::Paper,
+            Preset::Medium,
+            Preset::Tiny,
+        ] {
             let c = preset.generator_config();
             for shares in [
                 &c.world.book_genre_shares,
@@ -308,6 +344,48 @@ mod tests {
         let c = Preset::Paper.generator_config();
         let comics = rm_dataset::genre::genre_id("Comics").unwrap().0 as usize;
         assert!(c.anobii.genre_shares[comics] > 3.0 * c.bct.genre_shares[comics]);
+    }
+
+    #[test]
+    fn paper_x100_is_a_literal_hundredfold_paper() {
+        let paper = Preset::Paper.generator_config();
+        let x100 = Preset::PaperX100.generator_config();
+        assert_eq!(
+            x100.world.n_overlap_books,
+            100 * paper.world.n_overlap_books
+        );
+        assert_eq!(
+            x100.world.n_bct_only_books,
+            100 * paper.world.n_bct_only_books
+        );
+        assert_eq!(
+            x100.world.n_anobii_only_books,
+            100 * paper.world.n_anobii_only_books
+        );
+        assert_eq!(x100.bct.n_users, 100 * paper.bct.n_users);
+        assert_eq!(x100.anobii.n_users, 100 * paper.anobii.n_users);
+        assert_eq!(
+            Preset::PaperX100.merge_config().min_book_readings.0,
+            Preset::Paper.merge_config().min_book_readings.0
+        );
+        let (u, b) = Preset::Paper.serving_scale();
+        assert_eq!(Preset::PaperX100.serving_scale(), (100 * u, 100 * b));
+    }
+
+    #[test]
+    fn serving_scale_orders_with_preset_size() {
+        let scales: Vec<(usize, usize)> = [
+            Preset::Tiny,
+            Preset::Medium,
+            Preset::Paper,
+            Preset::PaperX100,
+        ]
+        .iter()
+        .map(|p| p.serving_scale())
+        .collect();
+        assert!(scales
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
     }
 
     #[test]

@@ -11,8 +11,7 @@
 //! fitted state.
 
 use crate::idf::IdfModel;
-use crate::tokenize::{char_ngrams, is_stopword, tokens};
-use std::collections::HashMap;
+use crate::tokenize::{fold_char, is_stopword, tokens};
 
 /// Configuration of a [`SemanticEncoder`].
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +43,84 @@ impl Default for EncoderConfig {
             drop_stopwords: true,
             sublinear_tf: true,
             hash_seed: 0x5EED_EE0D_F00D_CAFE,
+        }
+    }
+}
+
+/// Reusable per-text temporaries for [`SemanticEncoder::encode_into_with`].
+///
+/// Encoding a text needs a folded copy of its characters, token spans,
+/// term counts, and an n-gram window buffer. Holding them here lets a
+/// batch encoder (e.g. `EmbeddingStore::encode_all`) hoist one scratch
+/// over the whole catalogue: after the first few texts the buffers stop
+/// growing and encoding allocates nothing per item.
+#[derive(Debug, Clone, Default)]
+pub struct EncoderScratch {
+    /// Accent-folded token characters, concatenated.
+    folded: String,
+    /// Byte spans of each surviving token in `folded`.
+    spans: Vec<(u32, u32)>,
+    /// `(representative span index, count)` per unique token, in
+    /// lexicographic token order — the deterministic accumulation order.
+    counted: Vec<(u32, u32)>,
+    /// Boundary-wrapped token (`^token$`) for n-gram windows.
+    wrapped: String,
+    /// Char-boundary byte offsets of `wrapped` (plus the end offset).
+    offsets: Vec<u32>,
+}
+
+impl EncoderScratch {
+    /// Folds `text` into tokens (spans over `folded`), dropping stop
+    /// words when asked — the buffer-reusing equivalent of
+    /// [`crate::tokenize::tokens`].
+    fn tokenize(&mut self, text: &str, drop_stopwords: bool) {
+        self.folded.clear();
+        self.spans.clear();
+        let mut start = 0u32;
+        for c in text.chars() {
+            match fold_char(c) {
+                Some(f) => self.folded.push(f),
+                None => {
+                    if self.folded.len() as u32 > start {
+                        self.spans.push((start, self.folded.len() as u32));
+                    }
+                    start = self.folded.len() as u32;
+                }
+            }
+        }
+        if self.folded.len() as u32 > start {
+            self.spans.push((start, self.folded.len() as u32));
+        }
+        if drop_stopwords {
+            let folded = &self.folded;
+            self.spans
+                .retain(|&(a, b)| !is_stopword(&folded[a as usize..b as usize]));
+        }
+    }
+
+    /// Sorts the token spans lexicographically and run-length counts
+    /// them into `counted` — the allocation-free replacement for the
+    /// old per-call `HashMap` + sort.
+    fn count_terms(&mut self) {
+        self.counted.clear();
+        let folded = &self.folded;
+        self.spans.sort_unstable_by(|&(a1, b1), &(a2, b2)| {
+            folded[a1 as usize..b1 as usize].cmp(&folded[a2 as usize..b2 as usize])
+        });
+        let mut i = 0;
+        while i < self.spans.len() {
+            let (a, b) = self.spans[i];
+            let tok = &folded[a as usize..b as usize];
+            let mut j = i + 1;
+            while j < self.spans.len() {
+                let (c, d) = self.spans[j];
+                if &folded[c as usize..d as usize] != tok {
+                    break;
+                }
+                j += 1;
+            }
+            self.counted.push((i as u32, (j - i) as u32));
+            i = j;
         }
     }
 }
@@ -127,25 +204,32 @@ impl SemanticEncoder {
     ///
     /// Panics if `out.len() != self.dim()`.
     pub fn encode_into(&self, text: &str, out: &mut [f32]) {
+        self.encode_into_with(text, &mut EncoderScratch::default(), out);
+    }
+
+    /// [`SemanticEncoder::encode_into`] with a caller-held
+    /// [`EncoderScratch`]: all per-text temporaries live in `scratch`,
+    /// so a batch loop allocates only while the buffers grow to the
+    /// longest text. Output is bit-identical to the other entry points
+    /// — accumulation runs over unique tokens in lexicographic order,
+    /// the same deterministic order the per-call path used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dim()`.
+    pub fn encode_into_with(&self, text: &str, scratch: &mut EncoderScratch, out: &mut [f32]) {
         assert_eq!(out.len(), self.config.dim, "encode buffer dimension");
         out.fill(0.0);
-        let toks = self.normalised_tokens(text);
-        if toks.is_empty() {
+        scratch.tokenize(text, self.config.drop_stopwords);
+        if scratch.spans.is_empty() {
             return;
         }
+        scratch.count_terms();
 
-        // Term frequencies. Accumulation must run in a deterministic
-        // order: float addition is not associative, and HashMap iteration
-        // order varies per process, which would make embeddings (and any
-        // near-tie in downstream rankings) flap across runs.
-        let mut tf: HashMap<&str, u32> = HashMap::new();
-        for t in &toks {
-            *tf.entry(t.as_str()).or_insert(0) += 1;
-        }
-        let mut tf: Vec<(&str, u32)> = tf.into_iter().collect();
-        tf.sort_unstable_by_key(|&(tok, _)| tok);
-
-        for &(tok, count) in &tf {
+        for ci in 0..scratch.counted.len() {
+            let (si, count) = scratch.counted[ci];
+            let (a, b) = scratch.spans[si as usize];
+            let tok = &scratch.folded[a as usize..b as usize];
             let tf_w = if self.config.sublinear_tf {
                 1.0 + (count as f32).ln()
             } else {
@@ -153,17 +237,38 @@ impl SemanticEncoder {
             };
             let w = tf_w * self.idf_weight(tok);
             self.splat(tok.as_bytes(), w, out);
-            if let Some((lo, hi)) = self.config.char_ngrams {
-                let grams = char_ngrams(tok, lo, hi);
-                if !grams.is_empty() {
-                    // 1/sqrt(n) scaling keeps the *L2 mass* of a token's
-                    // n-gram block at `w * ngram_weight` regardless of token
-                    // length (grams are near-orthogonal under hashing), so
-                    // long words don't get extra weight.
-                    let gw = w * self.config.ngram_weight / (grams.len() as f32).sqrt();
-                    for g in &grams {
-                        self.splat(g.as_bytes(), gw, out);
-                    }
+            let Some((lo, hi)) = self.config.char_ngrams else {
+                continue;
+            };
+            scratch.wrapped.clear();
+            scratch.wrapped.push('^');
+            scratch
+                .wrapped
+                .push_str(&scratch.folded[a as usize..b as usize]);
+            scratch.wrapped.push('$');
+            scratch.offsets.clear();
+            scratch
+                .offsets
+                .extend(scratch.wrapped.char_indices().map(|(i, _)| i as u32));
+            scratch.offsets.push(scratch.wrapped.len() as u32);
+            let nchars = scratch.offsets.len() - 1;
+            if nchars <= lo {
+                // The whole wrapped token is the single n-gram.
+                let gw = w * self.config.ngram_weight;
+                self.splat(scratch.wrapped.as_bytes(), gw, out);
+                continue;
+            }
+            // 1/sqrt(n) scaling keeps the *L2 mass* of a token's n-gram
+            // block at `w * ngram_weight` regardless of token length
+            // (grams are near-orthogonal under hashing), so long words
+            // don't get extra weight.
+            let n_grams: usize = (lo..=hi.min(nchars)).map(|n| nchars - n + 1).sum();
+            let gw = w * self.config.ngram_weight / (n_grams as f32).sqrt();
+            for n in lo..=hi.min(nchars) {
+                for s in 0..=(nchars - n) {
+                    let gram = &scratch.wrapped.as_bytes()
+                        [scratch.offsets[s] as usize..scratch.offsets[s + n] as usize];
+                    self.splat(gram, gw, out);
                 }
             }
         }
@@ -357,6 +462,90 @@ mod tests {
             let ab = e.similarity(&a, &b);
             let ba = e.similarity(&b, &a);
             proptest::prop_assert!((ab - ba).abs() < 1e-6);
+        }
+    }
+
+    /// The old per-call encoder (HashMap term counts + `char_ngrams`
+    /// string allocation), kept as a reference: the scratch-based path
+    /// must reproduce it bit for bit.
+    fn encode_reference(e: &SemanticEncoder, text: &str) -> Vec<f32> {
+        use crate::tokenize::char_ngrams;
+        let mut out = vec![0.0f32; e.dim()];
+        let toks = e.normalised_tokens(text);
+        if toks.is_empty() {
+            return out;
+        }
+        let mut tf: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        for t in &toks {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut tf: Vec<(&str, u32)> = tf.into_iter().collect();
+        tf.sort_unstable_by_key(|&(tok, _)| tok);
+        for &(tok, count) in &tf {
+            let tf_w = if e.config.sublinear_tf {
+                1.0 + (count as f32).ln()
+            } else {
+                count as f32
+            };
+            let w = tf_w * e.idf_weight(tok);
+            e.splat(tok.as_bytes(), w, &mut out);
+            if let Some((lo, hi)) = e.config.char_ngrams {
+                let grams = char_ngrams(tok, lo, hi);
+                let gw = w * e.config.ngram_weight / (grams.len() as f32).sqrt();
+                for g in &grams {
+                    e.splat(g.as_bytes(), gw, &mut out);
+                }
+            }
+        }
+        rm_sparse::vecops::normalize(&mut out);
+        out
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical_to_reference() {
+        let e = enc();
+        let mut scratch = EncoderScratch::default();
+        let mut buf = vec![0.0f32; e.dim()];
+        for text in [
+            "Il nome della rosa",
+            "perché città perché",
+            "a b a b a ripetizione",
+            "",
+            "il la di e",
+            "Ōoku: le stanze proibite — 大奥",
+        ] {
+            e.encode_into_with(text, &mut scratch, &mut buf);
+            assert_eq!(buf, encode_reference(&e, text), "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_are_pointer_stable_after_warmup() {
+        let e = enc();
+        let mut scratch = EncoderScratch::default();
+        let mut buf = vec![0.0f32; e.dim()];
+        // Warm up on the longest text; later texts must reuse every
+        // buffer in place — encode_all over a catalogue allocates
+        // nothing per item once warmed.
+        let longest = "il gattopardo e la storia infinita della biblioteca sconfinata";
+        e.encode_into_with(longest, &mut scratch, &mut buf);
+        let fingerprint = (
+            scratch.folded.as_ptr(),
+            scratch.spans.as_ptr(),
+            scratch.counted.as_ptr(),
+            scratch.wrapped.as_ptr(),
+            scratch.offsets.as_ptr(),
+        );
+        for text in ["delitto e castigo", "rosa", "perché no", longest] {
+            e.encode_into_with(text, &mut scratch, &mut buf);
+            let now = (
+                scratch.folded.as_ptr(),
+                scratch.spans.as_ptr(),
+                scratch.counted.as_ptr(),
+                scratch.wrapped.as_ptr(),
+                scratch.offsets.as_ptr(),
+            );
+            assert_eq!(now, fingerprint, "scratch reallocated on {text:?}");
         }
     }
 

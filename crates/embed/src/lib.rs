@@ -42,6 +42,6 @@ pub mod ivf;
 pub mod store;
 pub mod tokenize;
 
-pub use encoder::{EncoderConfig, SemanticEncoder};
+pub use encoder::{EncoderConfig, EncoderScratch, SemanticEncoder};
 pub use ivf::{AnnArtifact, IvfConfig, IvfIndex, IvfScratch};
 pub use store::EmbeddingStore;

@@ -6,7 +6,7 @@
 //! single matrix–vector product — fast enough that approximate indexes are
 //! unnecessary at the paper's catalogue size (2 332 books).
 
-use crate::encoder::SemanticEncoder;
+use crate::encoder::{EncoderScratch, SemanticEncoder};
 use rm_sparse::vecops;
 use rm_sparse::DenseMatrix;
 use rm_util::topk::{top_k_of, Scored};
@@ -19,13 +19,16 @@ pub struct EmbeddingStore {
 
 impl EmbeddingStore {
     /// Encodes `texts` with `encoder` into a store, writing each embedding
-    /// straight into its matrix row (no per-text vector allocation).
+    /// straight into its matrix row and reusing one [`EncoderScratch`]
+    /// across the catalogue — steady-state encoding allocates nothing
+    /// per text.
     #[must_use]
     pub fn encode_all<S: AsRef<str>>(encoder: &SemanticEncoder, texts: &[S]) -> Self {
         let dim = encoder.dim();
         let mut data = vec![0.0f32; texts.len() * dim];
+        let mut scratch = EncoderScratch::default();
         for (t, row) in texts.iter().zip(data.chunks_exact_mut(dim)) {
-            encoder.encode_into(t.as_ref(), row);
+            encoder.encode_into_with(t.as_ref(), &mut scratch, row);
         }
         Self {
             matrix: DenseMatrix::from_vec(texts.len(), dim, data),

@@ -1,4 +1,4 @@
-//! The rule engine: eight token-pattern rules, each tied to an invariant
+//! The rule engine: nine token-pattern rules, each tied to an invariant
 //! the paper's Table-1 reproducibility or the serving SLO depends on.
 //!
 //! Every rule is a pure function from a token stream to anchor-token
@@ -143,6 +143,23 @@ pub static RULES: &[Rule] = &[
         test_exempt: true,
         applies: |p| p.starts_with("crates/serve/src/"),
         check: check_unbounded_queue,
+    },
+    Rule {
+        id: "f32-widening-in-quant",
+        summary: "hand-rolled i8 casts or f32 widening of quantized data outside rm_core::quant",
+        message: "hand-rolled quantization arithmetic bypasses the blessed quant module and \
+                  its fused kernels",
+        fix_hint: "quantize through rm_core::quant (QuantArtifact/QuantQuery) and score with \
+                   the vecops i8/f16 kernels; widening codes to f32 per element forfeits the \
+                   memory win and breaks the exact-integer-accumulation contract",
+        scope: "crates/** except rm_core::quant and rm_sparse::vecops (cfg(test) exempt)",
+        test_exempt: true,
+        applies: |p| {
+            p.starts_with("crates/")
+                && p != "crates/core/src/quant.rs"
+                && p != "crates/sparse/src/vecops.rs"
+        },
+        check: check_quant_widening,
     },
 ];
 
@@ -525,6 +542,57 @@ fn check_unbounded_queue(t: &[Token]) -> Vec<usize> {
     out
 }
 
+/// True for identifiers that mark a statement as touching quantized data:
+/// the `i8` primitive itself, or a quant-flavoured name (`quantize`,
+/// `QuantRow`, `dequantize_into`, …). `quantile`-family names are
+/// statistics, not storage, and do not count.
+fn is_quantish(text: &str) -> bool {
+    if text == "i8" {
+        return true;
+    }
+    let lower = text.to_ascii_lowercase();
+    lower.contains("quant") && !lower.contains("quantile")
+}
+
+/// Rule 9: hand-rolled quantization arithmetic. Flags every `as i8` cast
+/// (quantization must go through `rm_core::quant`'s clamp-and-scale
+/// encoder), and `as f32` casts inside statements that touch quantized
+/// data — an `i8` token or a quant-flavoured identifier in the same
+/// statement — which indicate per-element widening instead of the fused
+/// integer kernels.
+fn check_quant_widening(t: &[Token]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if !t[i].is_ident("as") {
+            continue;
+        }
+        let Some(next) = t.get(i + 1) else { continue };
+        if next.is_ident("i8") {
+            out.push(i + 1);
+            continue;
+        }
+        if !next.is_ident("f32") {
+            continue;
+        }
+        // Statement window: previous `;`/`{`/`}` to the closing `;`.
+        let start = (0..i)
+            .rev()
+            .find(|&j| {
+                t[j].kind == TokKind::Punct
+                    && matches!(t[j].text.as_bytes().first(), Some(b';' | b'{' | b'}'))
+            })
+            .map_or(0, |j| j + 1);
+        let end = stmt_end(t, i);
+        let touches_quant = t[start..end]
+            .iter()
+            .any(|x| x.kind == TokKind::Ident && is_quantish(&x.text));
+        if touches_quant {
+            out.push(i + 1);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,7 +749,7 @@ mod tests {
             assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
             assert!(rule_by_id(r.id).is_some());
         }
-        assert_eq!(RULES.len(), 8);
+        assert_eq!(RULES.len(), 9);
         assert!(rule_by_id("no-such-rule").is_none());
     }
 
@@ -707,6 +775,39 @@ mod tests {
         assert!((r8.applies)("crates/serve/src/overload.rs"));
         assert!(!(r8.applies)("crates/serve/tests/overload_tests.rs"));
         assert!(!(r8.applies)("crates/eval/src/harness.rs"));
+        let r9 = rule_by_id("f32-widening-in-quant").unwrap();
+        assert!((r9.applies)("crates/serve/src/engine.rs"));
+        assert!((r9.applies)("crates/bench/src/bin/quant-bench.rs"));
+        assert!(!(r9.applies)("crates/core/src/quant.rs"));
+        assert!(!(r9.applies)("crates/sparse/src/vecops.rs"));
+    }
+
+    #[test]
+    fn quant_widening_flags_casts_in_quant_context_only() {
+        // Any `as i8` cast is hand-rolled quantization.
+        assert_eq!(
+            anchors(check_quant_widening, "let code = (v * 127.0) as i8;"),
+            vec!["i8"]
+        );
+        // `as f32` fires only when the statement touches quantized data.
+        assert_eq!(
+            anchors(
+                check_quant_widening,
+                "let x = f32::from(byte as i8) * scale; let y = quant_row[0] as f32;"
+            ),
+            vec!["i8", "f32"]
+        );
+        assert_eq!(
+            anchors(
+                check_quant_widening,
+                "let s = dequantized.iter().map(|&c| c as f32 * scale);"
+            ),
+            vec!["f32"]
+        );
+        // Plain numeric widening with no quant context passes.
+        assert!(anchors(check_quant_widening, "let r = count as f32 / n as f32;").is_empty());
+        // Quantile statistics are not quantization.
+        assert!(anchors(check_quant_widening, "let p99 = quantile_rank as f32 / n;").is_empty());
     }
 
     #[test]

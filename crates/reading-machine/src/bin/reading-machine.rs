@@ -92,12 +92,12 @@ fn print_usage() {
         "usage:\n  reading-machine generate  --out DIR [--preset paper|medium|tiny] [--seed N]\n  \
          reading-machine stats     --corpus DIR\n  \
          reading-machine train     --corpus DIR --model FILE [--factors N] [--epochs N] [--lr F] [--trace FILE]\n  \
-         reading-machine train     --out DIR [--corpus DIR] [--epoch N] [--factors N] [--epochs N] [--trace FILE]\n  \
+         reading-machine train     --out DIR [--corpus DIR] [--epoch N] [--factors N] [--epochs N] [--quant i8|f16|off] [--trace FILE]\n  \
          reading-machine recommend --corpus DIR --model FILE --user N [--k N]\n  \
          reading-machine explain   --artifacts DIR --user N [--corpus DIR] [--k N]\n  \
          reading-machine evaluate  [--corpus DIR] [--k N] [--seed N]\n  \
          reading-machine serve-bench --artifacts DIR [--corpus DIR] [--k N] [--requests N] [--trace FILE] [--chaos PLAN]\n  \
-         reading-machine serve-bench --loadgen smoke|open|closed [--artifacts DIR] [--rps F] [--burst F] [--phase-ms N] [--zipf F] [--seed N] [--out FILE] [--gate FILE]\n  \
+         reading-machine serve-bench --loadgen smoke|open|closed [--artifacts DIR] [--preset tiny|medium|paper|paper_x100] [--rps F] [--burst F] [--phase-ms N] [--zipf F] [--seed N] [--out FILE] [--gate FILE]\n  \
          reading-machine metrics-dump --artifacts DIR [--corpus DIR] [--k N] [--requests N]\n\n\
          --trace FILE drains the structured span/event log as JSONL after the run\n\
          --chaos PLAN (bpr-panic|bpr-error|bpr-latency|storm) needs a build with --features testing\n\
@@ -182,6 +182,7 @@ fn flush_trace(flags: &Flags, tracer: &Tracer) -> Result<(), String> {
 
 fn preset_of(flags: &Flags) -> Result<Preset, String> {
     match flags.get("preset").unwrap_or("medium") {
+        "paper_x100" => Ok(Preset::PaperX100),
         "paper" => Ok(Preset::Paper),
         "medium" => Ok(Preset::Medium),
         "tiny" => Ok(Preset::Tiny),
@@ -335,6 +336,26 @@ fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
         });
         Some(ann)
     };
+    // `--quant i8|f16` additionally publishes the factor matrices and
+    // embeddings quantized for the low-memory serving path; `off` (the
+    // default) skips publication and scrubs any stale quant artifact.
+    let quant = match flags.get("quant") {
+        None | Some("off") => None,
+        Some(label) => {
+            let mode = rm_core::quant::QuantMode::parse(label)
+                .ok_or_else(|| format!("bad --quant {label} (i8|f16|off)"))?;
+            let span = tracer.span("quantize");
+            let artifact = rm_core::quant::QuantArtifact::quantize(
+                mode,
+                bpr.model().expect("fitted"),
+                Some(closest.store()),
+            );
+            span.finish(|f| {
+                f.push("payload_bytes", artifact.payload_bytes());
+            });
+            Some(artifact)
+        }
+    };
     let registry = ArtifactRegistry::new(&out);
     let span = tracer.span("save_artifacts");
     registry
@@ -344,6 +365,7 @@ fn cmd_train_artifacts(flags: &Flags, out: PathBuf) -> Result<(), String> {
             &most_read,
             closest.store(),
             ann.as_ref(),
+            quant.as_ref(),
         )
         .map_err(|e| e.to_string())?;
     span.finish(|f| {
@@ -467,13 +489,28 @@ fn cmd_serve_loadgen(flags: &Flags, mode: &str) -> Result<(), String> {
         "closed" => ArrivalMode::Closed,
         other => return Err(format!("bad --loadgen {other} (smoke|open|closed)")),
     };
+    // `--preset NAME` sizes the schedule from the preset's nominal
+    // serving population (Paper ≡ the 2 000-request / 200-rps reference
+    // point; paper_x100 offers 100× the volume and rate). Explicit
+    // `--requests`/`--rps` still win. Without the flag the historical
+    // defaults apply — the smoke gate's committed BENCH_serve.json
+    // stays byte-stable.
+    let (default_requests, default_rps) = match flags.get("preset") {
+        None => (400, 200.0),
+        Some(_) => {
+            let (users, _) = preset_of(flags)?.serving_scale();
+            let scale = users as f64 / Preset::Paper.serving_scale().0 as f64;
+            let requests = ((2_000.0 * scale).round() as usize).max(400);
+            (requests, (200.0 * scale).max(50.0))
+        }
+    };
     let burst: f64 = flags.parse_num("burst", 10.0)?;
     let schedule = LoadgenConfig {
-        requests: flags.parse_num("requests", 400)?,
+        requests: flags.parse_num("requests", default_requests)?,
         k: flags.parse_num("k", 10)?,
         zipf_exponent: flags.parse_num("zipf", 1.0)?,
         seed: flags.parse_num("seed", 42)?,
-        base_rps: flags.parse_num("rps", 200.0)?,
+        base_rps: flags.parse_num("rps", default_rps)?,
         phases: vec![1.0, burst, 1.0, 1.0],
         phase_len: Duration::from_millis(flags.parse_num("phase-ms", 250)?),
         mode: arrivals,
@@ -511,8 +548,10 @@ fn cmd_serve_loadgen(flags: &Flags, mode: &str) -> Result<(), String> {
                 bpr.model().ok_or("BPR failed to fit")?,
                 &most_read,
                 closest.store(),
-                // No ANN in the smoke registry: BENCH_serve.json's
-                // byte-identity gate pins the exact-scan schedule.
+                // No ANN or quant in the smoke registry:
+                // BENCH_serve.json's byte-identity gate pins the
+                // exact-scan f32 schedule.
+                None,
                 None,
             )
             .map_err(|e| e.to_string())?;

@@ -144,6 +144,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.link_front(i);
     }
 
+    /// Estimated bytes held by the cached values: `weigh` applied to
+    /// every live entry, summed. O(len); the engine calls this from its
+    /// metrics snapshot, not per request.
+    pub fn bytes_estimate(&self, mut weigh: impl FnMut(&V) -> usize) -> usize {
+        self.map
+            .values()
+            .map(|&i| weigh(&self.nodes[i].value))
+            .sum()
+    }
+
     /// Drops every entry (explicit invalidation on artifact reload).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -278,6 +288,23 @@ mod tests {
                 assert_eq!(c.get(&(i - 1)), None);
             }
         }
+    }
+
+    #[test]
+    fn bytes_estimate_tracks_live_entries() {
+        let mut c: LruCache<u32, Vec<u32>> = LruCache::new(2);
+        let weigh = |v: &Vec<u32>| v.len() * 4;
+        assert_eq!(c.bytes_estimate(weigh), 0);
+        c.insert(1, vec![10, 11, 12]);
+        c.insert(2, vec![20]);
+        assert_eq!(c.bytes_estimate(weigh), 16);
+        // Eviction and replacement both drop the old value's weight.
+        c.insert(3, vec![30, 31]); // evicts key 1
+        assert_eq!(c.bytes_estimate(weigh), 12);
+        c.insert(2, vec![21, 22, 23, 24]);
+        assert_eq!(c.bytes_estimate(weigh), 24);
+        c.clear();
+        assert_eq!(c.bytes_estimate(weigh), 0);
     }
 
     #[test]

@@ -54,12 +54,14 @@ use crate::overload::{
 use crate::pipeline::{
     merge_into, rank_pool_into, AnnCfNeighboursSource, AnnContentSimilarSource, BookGenres,
     Candidate, CandidateFilter, CandidateSource, CfNeighboursSource, ContentSimilarSource,
-    Explanation, FallbackSource, FilterCtx, MostReadSource, PipelineConfig, Reason, SourceId,
+    Explanation, FallbackSource, FilterCtx, MostReadSource, PipelineConfig,
+    QuantCfNeighboursSource, Reason, SourceId,
 };
 use crate::registry::{ArtifactRegistry, LoadedArtifacts};
 use rm_core::bpr::{Bpr, BprConfig};
 use rm_core::closest::ClosestItems;
 use rm_core::most_read::MostReadItems;
+use rm_core::quant::{QuantArtifact, QuantMatrix};
 use rm_core::random::RandomItems;
 use rm_core::Recommender;
 use rm_dataset::ids::{BookIdx, UserIdx};
@@ -404,6 +406,21 @@ pub struct ServingEngine {
     /// Why each absent ANN half is absent (empty when fully active or
     /// the registry simply has no ANN artifact).
     ann_notes: Vec<String>,
+    /// Validated quantized artifact: compact i8/f16 rows the rank stage
+    /// and pipeline sources score from. Like ANN, losing it loses only
+    /// the memory optimisation — exact f32 scoring keeps serving — so
+    /// it reports through [`ServingEngine::quant_notes`], not
+    /// `degraded`.
+    quant: Option<QuantArtifact>,
+    /// True when the factor sections validated against the installed
+    /// BPR model (CF scoring reads quantized rows).
+    quant_cf_active: bool,
+    /// True when the embeddings section validated against the installed
+    /// Closest Items store (IVF content probes re-score quantized rows).
+    quant_content_active: bool,
+    /// Why quantized halves (or the whole artifact) were dropped at
+    /// install time; empty when fully active or simply not published.
+    quant_notes: Vec<String>,
     degraded: Vec<(ModelSlot, String)>,
     cache: Mutex<LruCache<CacheKey, Vec<u32>>>,
     breakers: Option<Mutex<[CircuitBreaker; ModelSlot::COUNT]>>,
@@ -451,6 +468,10 @@ impl ServingEngine {
             random,
             ann: None,
             ann_notes: Vec::new(),
+            quant: None,
+            quant_cf_active: false,
+            quant_content_active: false,
+            quant_notes: Vec::new(),
             degraded: Vec::new(),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             breakers,
@@ -637,6 +658,7 @@ impl ServingEngine {
         };
 
         self.install_ann(loaded.ann);
+        self.install_quant(loaded.quant);
     }
 
     /// Validates the ANN artifact against the *installed* models (so a
@@ -721,6 +743,131 @@ impl ServingEngine {
         &self.ann_notes
     }
 
+    /// Validates the quantized artifact against the *installed* models
+    /// (so a degraded model slot automatically disables its quantized
+    /// scoring path) and records which halves are usable. The sections
+    /// share one zero-copy buffer, so nothing is dropped from the
+    /// artifact itself — the active flags gate every read. Failure here
+    /// never degrades a slot: exact f32 scoring serves identically, it
+    /// only costs the memory saving.
+    fn install_quant(&mut self, quant: crate::registry::SlotResult<QuantArtifact>) {
+        self.quant_notes.clear();
+        self.quant = None;
+        self.quant_cf_active = false;
+        self.quant_content_active = false;
+        let art = match quant {
+            Ok(art) => art,
+            // No artifact is the normal state for a registry trained
+            // with --quant off; only a present-but-broken file is
+            // noteworthy.
+            Err(crate::registry::SlotError::Missing) => return,
+            Err(e) => {
+                self.quant_notes
+                    .push(format!("quant artifact dropped: {e}"));
+                return;
+            }
+        };
+        let cf_ok = match (
+            art.user_factors(),
+            art.item_factors(),
+            self.bpr.as_ref().and_then(Bpr::model),
+        ) {
+            (Some(qu), Some(qi), Some(m)) => {
+                let ok = qu.rows() == m.user_factors.rows()
+                    && qu.cols() == m.user_factors.cols()
+                    && qi.rows() == m.item_factors.rows()
+                    && qi.cols() == m.item_factors.cols();
+                if !ok {
+                    self.quant_notes.push(format!(
+                        "quant cf sections dropped: quant {}x{}/{}x{} vs factors {}x{}/{}x{}",
+                        qu.rows(),
+                        qu.cols(),
+                        qi.rows(),
+                        qi.cols(),
+                        m.user_factors.rows(),
+                        m.user_factors.cols(),
+                        m.item_factors.rows(),
+                        m.item_factors.cols()
+                    ));
+                }
+                ok
+            }
+            (Some(_), Some(_), None) => {
+                self.quant_notes
+                    .push("quant cf sections dropped: bpr slot degraded".into());
+                false
+            }
+            // A factors-free artifact (quantize_parts) simply has no CF
+            // half to activate.
+            _ => false,
+        };
+        let content_ok = match (art.embeddings(), self.closest.as_ref()) {
+            (Some(qe), Some(c)) => {
+                let ok = qe.rows() == c.store().len() && qe.cols() == c.store().dim();
+                if !ok {
+                    self.quant_notes.push(format!(
+                        "quant embeddings section dropped: quant {}x{} vs store {}x{}",
+                        qe.rows(),
+                        qe.cols(),
+                        c.store().len(),
+                        c.store().dim()
+                    ));
+                }
+                ok
+            }
+            (Some(_), None) => {
+                self.quant_notes
+                    .push("quant embeddings section dropped: closest-items slot degraded".into());
+                false
+            }
+            _ => false,
+        };
+        if cf_ok || content_ok {
+            self.quant = Some(art);
+            self.quant_cf_active = cf_ok;
+            self.quant_content_active = content_ok;
+        }
+    }
+
+    /// True when CF scoring (exact source, IVF re-score, and the rank
+    /// stage under a BPR primary) reads quantized factor rows.
+    #[must_use]
+    pub fn quant_cf_active(&self) -> bool {
+        self.quant_cf_active
+    }
+
+    /// True when IVF content probes re-score against the quantized
+    /// embeddings section.
+    #[must_use]
+    pub fn quant_content_active(&self) -> bool {
+        self.quant_content_active
+    }
+
+    /// Why quantized halves (or the whole artifact) were dropped at
+    /// install time; empty when fully active or simply not published.
+    #[must_use]
+    pub fn quant_notes(&self) -> &[String] {
+        &self.quant_notes
+    }
+
+    /// The quantized factor sections, when validated: `(user, item)`
+    /// zero-copy row views.
+    fn quant_cf_rows(&self) -> Option<(QuantMatrix<'_>, QuantMatrix<'_>)> {
+        if !self.quant_cf_active {
+            return None;
+        }
+        let art = self.quant.as_ref()?;
+        Some((art.user_factors()?, art.item_factors()?))
+    }
+
+    /// The quantized embeddings section, when validated.
+    fn quant_embedding_rows(&self) -> Option<QuantMatrix<'_>> {
+        if !self.quant_content_active {
+            return None;
+        }
+        self.quant.as_ref()?.embeddings()
+    }
+
     fn degrade(&mut self, slot: ModelSlot, reason: String) {
         self.degraded.push((slot, reason));
     }
@@ -767,7 +914,23 @@ impl ServingEngine {
             snap.level_entries = g.level_entries();
             snap.level_residency_ns = g.level_residency_ns(self.config.clock.now());
         }
+        snap.cache_bytes_estimate = self.cache_bytes_estimate();
         snap
+    }
+
+    /// Estimated bytes held by the answer cache: every cached list's
+    /// `len × 4` payload plus fixed per-entry bookkeeping (key, `Vec`
+    /// header, slab links, map slot). An estimate, not an accounting —
+    /// it tracks the real footprint closely enough to alert on.
+    #[must_use]
+    pub fn cache_bytes_estimate(&self) -> u64 {
+        // Key tuple + Vec header + two slab links + map entry.
+        const ENTRY_OVERHEAD: usize = std::mem::size_of::<CacheKey>()
+            + std::mem::size_of::<Vec<u32>>()
+            + 2 * std::mem::size_of::<usize>()
+            + std::mem::size_of::<(CacheKey, usize)>();
+        self.lock_cache()
+            .bytes_estimate(|answer| answer.len() * 4 + ENTRY_OVERHEAD) as u64
     }
 
     /// Point-in-time metrics in Prometheus text exposition format,
@@ -829,17 +992,31 @@ impl ServingEngine {
                     .as_ref()
                     .map(|m| match self.ann.as_ref().and_then(|a| a.cf.as_ref()) {
                         Some(idx) => {
-                            Box::new(AnnCfNeighboursSource::new(m, &self.train, idx, nprobe))
-                                as Box<dyn CandidateSource>
+                            let src = AnnCfNeighboursSource::new(m, &self.train, idx, nprobe);
+                            match self.quant_cf_rows() {
+                                Some((qu, qi)) => {
+                                    Box::new(src.with_quant(qu, qi)) as Box<dyn CandidateSource>
+                                }
+                                None => Box::new(src) as Box<dyn CandidateSource>,
+                            }
                         }
-                        None => Box::new(CfNeighboursSource::new(m)) as Box<dyn CandidateSource>,
+                        None => match self.quant.as_ref().filter(|_| self.quant_cf_active) {
+                            Some(art) => Box::new(QuantCfNeighboursSource::new(art, &self.train))
+                                as Box<dyn CandidateSource>,
+                            None => {
+                                Box::new(CfNeighboursSource::new(m)) as Box<dyn CandidateSource>
+                            }
+                        },
                     })
             }
             ModelSlot::ClosestItems => self.closest.as_ref().map(|m| {
                 match self.ann.as_ref().and_then(|a| a.content.as_ref()) {
                     Some(idx) => {
-                        Box::new(AnnContentSimilarSource::new(m, &self.train, idx, nprobe))
-                            as Box<dyn CandidateSource>
+                        let src = AnnContentSimilarSource::new(m, &self.train, idx, nprobe);
+                        match self.quant_embedding_rows() {
+                            Some(qe) => Box::new(src.with_quant(qe)) as Box<dyn CandidateSource>,
+                            None => Box::new(src) as Box<dyn CandidateSource>,
+                        }
                     }
                     None => Box::new(ContentSimilarSource::new(m, &self.train))
                         as Box<dyn CandidateSource>,
@@ -1374,6 +1551,13 @@ impl ServingEngine {
             // this reproduces the legacy slot's own ranking bit-for-bit.
             let primary = emitted[0].0;
             let scorer = self.slot_model(primary);
+            // Under a BPR primary with validated quantized factors the
+            // rank stage scores from the compact rows; any mismatch or
+            // corruption fell back to `scorer` (exact f32) at install.
+            let quant_cf = match primary {
+                ModelSlot::Bpr => self.quant_cf_rows(),
+                _ => None,
+            };
             let genres = self.config.pipeline.book_genres.as_deref();
             let mut pool: Vec<Candidate> = Vec::new();
             let mut top = TopK::new(1);
@@ -1395,8 +1579,19 @@ impl ServingEngine {
                         filter.retain(&ctx, &mut pool);
                     }
                 }
-                let ranked_ok = match scorer {
-                    Some(model) => {
+                let ranked_ok = match (quant_cf, scorer) {
+                    (Some((qu, qi)), _) => {
+                        let urow = qu.row(user.index());
+                        rank_pool_into(
+                            &pool,
+                            k,
+                            |b| qi.row(b as usize).dot(&urow),
+                            &mut top,
+                            &mut ranked,
+                        );
+                        !ranked.is_empty()
+                    }
+                    (None, Some(model)) => {
                         rank_pool_into(
                             &pool,
                             k,
@@ -1406,7 +1601,7 @@ impl ServingEngine {
                         );
                         !ranked.is_empty()
                     }
-                    None => false,
+                    (None, None) => false,
                 };
                 if !ranked_ok {
                     // Empty pool, everything filtered out, or the primary

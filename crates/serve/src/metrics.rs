@@ -215,6 +215,7 @@ impl ServeMetrics {
             degradation_level: 0,
             level_entries: [0; DegradationLevel::COUNT],
             level_residency_ns: [0; DegradationLevel::COUNT],
+            cache_bytes_estimate: 0,
             elapsed: self.clock.now().saturating_sub(self.started),
         }
     }
@@ -267,6 +268,11 @@ pub struct MetricsSnapshot {
     pub level_entries: [u64; DegradationLevel::COUNT],
     /// Nanoseconds of residency at each level (engine-filled).
     pub level_residency_ns: [u64; DegradationLevel::COUNT],
+    /// Estimated bytes held by the answer cache (entries × answer
+    /// length × 4 plus per-entry bookkeeping). Filled by the engine
+    /// from its live cache; bare [`ServeMetrics::snapshot`] calls
+    /// report `0`.
+    pub cache_bytes_estimate: u64,
     /// Clock time since the metrics were created or reset.
     pub elapsed: Duration,
 }
@@ -470,6 +476,12 @@ impl MetricsSnapshot {
             "rm_serve_availability",
             "Fraction of requests answered non-degraded.",
             self.availability(),
+        );
+        gauge(
+            &mut out,
+            "rm_serve_cache_bytes_estimate",
+            "Estimated bytes held by the answer cache.",
+            self.cache_bytes_estimate as f64,
         );
         counter(
             &mut out,

@@ -44,7 +44,7 @@ pub use rank::rank_pool_into;
 pub use sources::{
     anchor_book, AnnCfNeighboursSource, AnnContentSimilarSource, BookGenres, Candidate,
     CandidateSource, CfNeighboursSource, ContentSimilarSource, FallbackSource,
-    GenrePreferenceSource, MostReadSource, Reason, SourceId,
+    GenrePreferenceSource, MostReadSource, QuantCfNeighboursSource, Reason, SourceId,
 };
 
 use crate::engine::ModelSlot;

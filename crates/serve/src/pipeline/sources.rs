@@ -18,6 +18,7 @@ use crate::engine::ModelSlot;
 use rm_core::bpr::Bpr;
 use rm_core::closest::ClosestItems;
 use rm_core::most_read::MostReadItems;
+use rm_core::quant::{QuantArtifact, QuantMatrix, QuantQuery, QuantRecommender};
 use rm_core::Recommender;
 use rm_dataset::corpus::Corpus;
 use rm_dataset::ids::{BookIdx, UserIdx};
@@ -208,18 +209,61 @@ impl CandidateSource for ContentSimilarSource<'_> {
     }
 }
 
+/// Exact-scan CF-neighbours source backed by a quantized artifact: the
+/// same emission contract as [`CfNeighboursSource`], but every score is
+/// a fused integer dot over the artifact's compact rows instead of an
+/// f32 matvec over the full factor matrices. Installed by the engine
+/// when the artifact's factor sections validate against the live BPR
+/// model; any mismatch keeps the exact f32 source instead.
+pub struct QuantCfNeighboursSource<'a> {
+    rec: QuantRecommender<'a>,
+}
+
+impl<'a> QuantCfNeighboursSource<'a> {
+    /// Wraps a validated quantized artifact and the training matrix its
+    /// factor sections were quantized from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact lacks factor sections or their shapes
+    /// disagree with `train` (the engine validates before wiring).
+    #[must_use]
+    pub fn new(artifact: &'a QuantArtifact, train: &'a Interactions) -> Self {
+        Self {
+            rec: QuantRecommender::new(artifact, train),
+        }
+    }
+}
+
+impl CandidateSource for QuantCfNeighboursSource<'_> {
+    fn id(&self) -> SourceId {
+        SourceId::CfNeighbours
+    }
+
+    fn emit_batch(&self, users: &[UserIdx], pool_size: usize, out: &mut Vec<Vec<Candidate>>) {
+        emit_ranked(&self.rec, self.id(), users, pool_size, out, |_, _| {
+            Reason::CfNeighbours
+        });
+    }
+}
+
 /// IVF-accelerated CF-neighbours source: sub-linear retrieval over the
 /// BPR item factors through the MIPS index, re-scoring candidates with
 /// the same `dot` kernel the exact scan uses. At `nprobe` = the index's
 /// list count the emission is bit-identical to [`CfNeighboursSource`];
 /// at serving `nprobe` it trades a bounded recall loss for an
 /// `O(nprobe · list)` scan instead of `O(catalogue)`.
+///
+/// With [`AnnCfNeighboursSource::with_quant`] the probe re-score reads
+/// the quantized item rows instead of the f32 factor matrix, so the hot
+/// per-candidate loop touches 4-8× fewer bytes.
 #[derive(Debug, Clone, Copy)]
 pub struct AnnCfNeighboursSource<'a> {
     bpr: &'a Bpr,
     train: &'a Interactions,
     index: &'a IvfIndex,
     nprobe: usize,
+    quant: Option<(QuantMatrix<'a>, QuantMatrix<'a>)>,
 }
 
 impl<'a> AnnCfNeighboursSource<'a> {
@@ -233,7 +277,16 @@ impl<'a> AnnCfNeighboursSource<'a> {
             train,
             index,
             nprobe,
+            quant: None,
         }
+    }
+
+    /// Re-scores IVF probes against validated quantized factor rows
+    /// (`user`, `item` sections) instead of the f32 matrices.
+    #[must_use]
+    pub fn with_quant(mut self, user: QuantMatrix<'a>, item: QuantMatrix<'a>) -> Self {
+        self.quant = Some((user, item));
+        self
     }
 }
 
@@ -255,15 +308,31 @@ impl CandidateSource for AnnCfNeighboursSource<'_> {
         for (&u, slot) in users.iter().zip(out.iter_mut()) {
             slot.clear();
             let query = model.user_factors.row(u.index());
-            self.index.search_into(
-                query,
-                pool_size,
-                self.nprobe,
-                self.train.seen(u),
-                |i| vecops::dot(query, model.item_factors.row(i as usize)),
-                &mut scratch,
-                &mut ids,
-            );
+            match self.quant {
+                Some((qu, qi)) => {
+                    let urow = qu.row(u.index());
+                    self.index.search_into(
+                        query,
+                        pool_size,
+                        self.nprobe,
+                        self.train.seen(u),
+                        |i| qi.row(i as usize).dot(&urow),
+                        &mut scratch,
+                        &mut ids,
+                    );
+                }
+                None => {
+                    self.index.search_into(
+                        query,
+                        pool_size,
+                        self.nprobe,
+                        self.train.seen(u),
+                        |i| vecops::dot(query, model.item_factors.row(i as usize)),
+                        &mut scratch,
+                        &mut ids,
+                    );
+                }
+            }
             slot.extend(ids.iter().map(|&b| Candidate {
                 book: b,
                 source: SourceId::CfNeighbours,
@@ -279,12 +348,17 @@ impl CandidateSource for AnnCfNeighboursSource<'_> {
 /// semantics (empty history → nothing, anchored provenance) match
 /// [`ContentSimilarSource`]; at `nprobe` = the index's list count the
 /// two are bit-identical.
+///
+/// With [`AnnContentSimilarSource::with_quant`] the probe re-score
+/// quantizes the centroid query once per user and dots it against the
+/// artifact's compact embedding rows instead of the f32 store.
 #[derive(Debug, Clone, Copy)]
 pub struct AnnContentSimilarSource<'a> {
     closest: &'a ClosestItems,
     train: &'a Interactions,
     index: &'a IvfIndex,
     nprobe: usize,
+    quant: Option<QuantMatrix<'a>>,
 }
 
 impl<'a> AnnContentSimilarSource<'a> {
@@ -302,7 +376,16 @@ impl<'a> AnnContentSimilarSource<'a> {
             train,
             index,
             nprobe,
+            quant: None,
         }
+    }
+
+    /// Re-scores IVF probes against a validated quantized embeddings
+    /// section instead of the f32 store.
+    #[must_use]
+    pub fn with_quant(mut self, embeddings: QuantMatrix<'a>) -> Self {
+        self.quant = Some(embeddings);
+        self
     }
 }
 
@@ -324,15 +407,31 @@ impl CandidateSource for AnnContentSimilarSource<'_> {
                 continue;
             }
             store.mean_embedding_into(seen, &mut query);
-            self.index.search_into(
-                &query,
-                pool_size,
-                self.nprobe,
-                seen,
-                |i| vecops::dot(&query, store.embedding(i as usize)),
-                &mut scratch,
-                &mut ids,
-            );
+            match self.quant {
+                Some(qe) => {
+                    let qq = QuantQuery::quantize(qe.mode(), &query);
+                    self.index.search_into(
+                        &query,
+                        pool_size,
+                        self.nprobe,
+                        seen,
+                        |i| qe.row(i as usize).dot(&qq.as_row()),
+                        &mut scratch,
+                        &mut ids,
+                    );
+                }
+                None => {
+                    self.index.search_into(
+                        &query,
+                        pool_size,
+                        self.nprobe,
+                        seen,
+                        |i| vecops::dot(&query, store.embedding(i as usize)),
+                        &mut scratch,
+                        &mut ids,
+                    );
+                }
+            }
             let reason = match anchor_book(self.closest, seen) {
                 Some(anchor) => Reason::SimilarToBorrowed { anchor },
                 None => Reason::Exploration,

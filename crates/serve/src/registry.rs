@@ -25,6 +25,7 @@
 use rm_core::bpr::BprModel;
 use rm_core::most_read::MostReadItems;
 use rm_core::persist::{write_atomic, DecodeError, PersistModel};
+use rm_core::quant::QuantArtifact;
 use rm_dataset::summary::SummaryFields;
 use rm_embed::{AnnArtifact, EmbeddingStore};
 use rm_util::clock::{Clock, MonotonicClock};
@@ -51,6 +52,11 @@ pub const EMBEDDINGS_FILE: &str = "embeddings.rmodel";
 /// before the ANN subsystem existed simply has no such file and the
 /// serve pipeline keeps its exact scans.
 pub const ANN_FILE: &str = "ann.rmodel";
+/// Quantized factor/embedding artifact file name. Optional: when
+/// present and dimension-consistent the engine scores its rank stage
+/// from quantized rows; any failure here degrades only the memory
+/// optimisation — exact f32 scoring keeps serving.
+pub const QUANT_FILE: &str = "quant.rmodel";
 
 const MANIFEST_HEADER: &str = "rm-serve-manifest 1";
 
@@ -161,6 +167,11 @@ pub struct LoadedArtifacts {
     /// for registries trained without ANN; any failure here degrades
     /// only the acceleration — the exact scans keep serving.
     pub ann: SlotResult<AnnArtifact>,
+    /// The quantized factor/embedding rows for the low-memory scoring
+    /// path. `Missing` is the normal state for registries trained with
+    /// `--quant off`; any failure here degrades only the quantized
+    /// path — exact f32 scoring keeps serving.
+    pub quant: SlotResult<QuantArtifact>,
 }
 
 /// A held `registry.lock`: created with `O_EXCL`, removed on drop.
@@ -338,10 +349,10 @@ impl ArtifactRegistry {
     /// nothing; the fsync'd manifest is written last, making the epoch
     /// bump the commit point — a crash before it leaves the previous
     /// manifest (and epoch) in force.
-    /// `ann` is optional: `Some` publishes the IVF artifact alongside
-    /// the models, `None` *removes* any previous `ann.rmodel` so a
-    /// retrain that skips ANN can never leave a stale index whose
-    /// dimensions happen to match the new models.
+    /// `ann` and `quant` are optional: `Some` publishes the artifact
+    /// alongside the models, `None` *removes* any previous file so a
+    /// retrain that skips the optional artifact can never leave a stale
+    /// one whose dimensions happen to match the new models.
     pub fn save(
         &self,
         manifest: &Manifest,
@@ -349,6 +360,7 @@ impl ArtifactRegistry {
         most_read: &MostReadItems,
         embeddings: &EmbeddingStore,
         ann: Option<&AnnArtifact>,
+        quant: Option<&QuantArtifact>,
     ) -> io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         let _lock =
@@ -356,13 +368,18 @@ impl ArtifactRegistry {
         write_atomic(&self.path_of(BPR_FILE), &bpr.to_bytes())?;
         write_atomic(&self.path_of(MOST_READ_FILE), &most_read.to_bytes())?;
         write_atomic(&self.path_of(EMBEDDINGS_FILE), &embeddings.to_bytes())?;
-        match ann {
-            Some(ann) => write_atomic(&self.path_of(ANN_FILE), &ann.to_bytes())?,
-            None => match std::fs::remove_file(self.path_of(ANN_FILE)) {
-                Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => return Err(e),
-            },
+        for (file, bytes) in [
+            (ANN_FILE, ann.map(PersistModel::to_bytes)),
+            (QUANT_FILE, quant.map(PersistModel::to_bytes)),
+        ] {
+            match bytes {
+                Some(bytes) => write_atomic(&self.path_of(file), &bytes)?,
+                None => match std::fs::remove_file(self.path_of(file)) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                },
+            }
         }
         write_atomic(&self.path_of(MANIFEST_FILE), manifest.render().as_bytes())?;
         Ok(())
@@ -382,10 +399,11 @@ impl ArtifactRegistry {
         most_read: &MostReadItems,
         embeddings: &EmbeddingStore,
         ann: Option<&AnnArtifact>,
+        quant: Option<&QuantArtifact>,
         plan: &crate::fault::FaultPlan,
     ) -> io::Result<()> {
         use crate::engine::ModelSlot;
-        self.save(manifest, bpr, most_read, embeddings, ann)?;
+        self.save(manifest, bpr, most_read, embeddings, ann, quant)?;
         let files = [
             (ModelSlot::Bpr, BPR_FILE),
             (ModelSlot::MostRead, MOST_READ_FILE),
@@ -441,6 +459,7 @@ impl ArtifactRegistry {
             most_read: self.load_slot(MOST_READ_FILE),
             embeddings: self.load_slot(EMBEDDINGS_FILE),
             ann: self.load_slot(ANN_FILE),
+            quant: self.load_slot(QUANT_FILE),
         })
     }
 }
@@ -512,7 +531,7 @@ mod tests {
             epoch: 3,
             fields: SummaryFields::ALL,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None, None)
             .unwrap();
 
         let loaded = reg.load().unwrap();
@@ -549,13 +568,13 @@ mod tests {
             epoch: 1,
             fields: SummaryFields::BEST,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings, Some(&ann))
+        reg.save(&manifest, &bpr, &most_read, &embeddings, Some(&ann), None)
             .unwrap();
         assert_eq!(reg.load().unwrap().ann.unwrap(), ann);
 
         // A retrain without ANN must remove the stale index: its
         // dimensions could accidentally match the new models.
-        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None, None)
             .unwrap();
         assert!(!reg.path_of(ANN_FILE).exists());
         assert!(matches!(reg.load().unwrap().ann, Err(SlotError::Missing)));
@@ -570,7 +589,7 @@ mod tests {
             epoch: 1,
             fields: SummaryFields::BEST,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings, Some(&ann))
+        reg.save(&manifest, &bpr, &most_read, &embeddings, Some(&ann), None)
             .unwrap();
         let path = reg.path_of(ANN_FILE);
         let bytes = std::fs::read(&path).unwrap();
@@ -591,7 +610,7 @@ mod tests {
             epoch: 1,
             fields: SummaryFields::BEST,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None, None)
             .unwrap();
         let leftovers: Vec<String> = std::fs::read_dir(reg.dir())
             .unwrap()
@@ -613,7 +632,7 @@ mod tests {
 
         let held = reg.lock().expect("explicit lock");
         let err = reg
-            .save(&manifest, &bpr, &most_read, &embeddings, None)
+            .save(&manifest, &bpr, &most_read, &embeddings, None, None)
             .expect_err("save under a held lock must fail");
         assert_eq!(err.kind(), io::ErrorKind::WouldBlock, "{err}");
         assert!(err.to_string().contains("registry.lock"), "{err}");
@@ -622,7 +641,7 @@ mod tests {
         assert!(matches!(reg.load(), Err(RecError::Io(_))));
 
         drop(held);
-        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None, None)
             .expect("save after release");
         assert!(reg.load().is_ok());
         let _ = std::fs::remove_dir_all(reg.dir());
@@ -703,7 +722,7 @@ mod tests {
             epoch: 1,
             fields: SummaryFields::BEST,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None, None)
             .unwrap();
         std::fs::remove_file(reg.path_of(BPR_FILE)).unwrap();
 
@@ -724,7 +743,7 @@ mod tests {
             epoch: 1,
             fields: SummaryFields::BEST,
         };
-        reg.save(&manifest, &bpr, &most_read, &embeddings, None)
+        reg.save(&manifest, &bpr, &most_read, &embeddings, None, None)
             .unwrap();
         std::fs::copy(reg.path_of(MOST_READ_FILE), reg.path_of(BPR_FILE)).unwrap();
 

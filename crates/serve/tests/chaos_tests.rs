@@ -97,6 +97,7 @@ impl Fixture {
                 &self.most_read,
                 self.closest.store(),
                 None,
+                None,
             )
             .expect("save artifacts");
     }
@@ -108,6 +109,7 @@ impl Fixture {
                 self.bpr.model().expect("fitted"),
                 &self.most_read,
                 self.closest.store(),
+                None,
                 None,
                 plan,
             )

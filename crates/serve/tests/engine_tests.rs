@@ -55,6 +55,7 @@ fn train_fixture(tag: &str) -> Fixture {
             &most_read,
             closest.store(),
             None,
+            None,
         )
         .expect("save artifacts");
     Fixture { train, registry }
@@ -238,6 +239,27 @@ fn cache_hits_are_byte_identical_to_cold_calls() {
 }
 
 #[test]
+fn cache_bytes_estimate_reflects_cached_answers() {
+    let fx = train_fixture("cache-bytes");
+    let engine = engine_of(&fx, EngineConfig::default());
+    assert_eq!(engine.cache_bytes_estimate(), 0);
+    let user = user_with_history(&fx.train);
+    let _ = engine.recommend(user, 5);
+    let est = engine.cache_bytes_estimate();
+    assert!(
+        est >= 20,
+        "one cached 5-item answer weighs at least its payload: {est}"
+    );
+    assert_eq!(engine.metrics().cache_bytes_estimate, est);
+    let text = engine.metrics_prometheus();
+    assert!(
+        text.contains(&format!("rm_serve_cache_bytes_estimate {est}")),
+        "{text}"
+    );
+    let _ = std::fs::remove_dir_all(fx.registry.dir());
+}
+
+#[test]
 fn reload_bumps_epoch_and_clears_cache() {
     let fx = train_fixture("reload");
     let mut engine = engine_of(&fx, EngineConfig::default());
@@ -329,6 +351,7 @@ fn empty_answers_fall_through_custom_chain() {
             &bpr,
             &most_read,
             &embeddings,
+            None,
             None,
         )
         .unwrap();

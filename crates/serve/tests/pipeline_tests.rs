@@ -61,6 +61,7 @@ fn train_fixture(tag: &str) -> Fixture {
             &most_read,
             closest.store(),
             None,
+            None,
         )
         .expect("save artifacts");
     Fixture {
@@ -264,6 +265,7 @@ fn ann_registries(tag: &str) -> (Fixture, ArtifactRegistry) {
             &most_read,
             closest.store(),
             Some(&ann),
+            None,
         )
         .expect("save artifacts with ann");
     (fx, with_ann)
@@ -377,6 +379,7 @@ fn mismatched_ann_artifact_is_dropped_with_note() {
             &most_read,
             closest.store(),
             Some(&bad_ann),
+            None,
         )
         .expect("save artifacts");
     let engine =

@@ -69,6 +69,7 @@ fn pristine() -> &'static Pristine {
                 &most_read,
                 closest.store(),
                 None,
+                None,
             )
             .expect("save artifacts");
 

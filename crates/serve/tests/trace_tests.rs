@@ -54,6 +54,7 @@ fn train_fixture(tag: &str) -> Fixture {
             &most_read,
             closest.store(),
             None,
+            None,
         )
         .expect("save artifacts");
     Fixture { train, registry }

@@ -208,6 +208,237 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
+// --- quantized kernels -----------------------------------------------------
+//
+// The i8/f16 kernels below score rows of the quantized artifacts
+// (`rm_core::quant`) without dequantizing them into scratch buffers. They
+// take raw byte slices — the zero-copy section views of a loaded
+// `quant.rmodel` — and interpret them in place:
+//
+// * i8 rows are two's-complement bytes; products accumulate in eight
+//   independent **i32 lanes**. Integer addition is associative, so unlike
+//   the f32 kernels the i8 reduction is *exact*: blocked, lane-unrolled,
+//   and serial evaluations are all bit-identical by arithmetic, not by
+//   contract. The lane tree below still mirrors [`dot_block`]'s halving
+//   order so the code shape (and the autovectorizer's lowering) match the
+//   float kernels.
+// * f16 rows are little-endian IEEE 754 binary16 pairs, widened to f32 per
+//   element; the f32 accumulation follows the module's reduction-order
+//   contract exactly (LANES-wide blocks, fixed halving tree, serial tail),
+//   so results depend only on the row length.
+//
+// Overflow bound: |i8·i8| ≤ 127² = 16129, so an i32 lane stays exact for
+// up to 2¹⁶ elements per row (debug-asserted) — far above any factor or
+// embedding dimension in this workspace.
+
+/// Maximum i8 row length the i32 accumulators are guaranteed exact for.
+pub const MAX_I8_DOT_LEN: usize = 1 << 16;
+
+/// Scalar reference i8 dot product: serial i32 accumulation over
+/// two's-complement bytes. Equals [`dot_i8`] exactly (integer addition is
+/// associative); kept as the obviously-correct baseline the equivalence
+/// proptests compare against.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ or exceed [`MAX_I8_DOT_LEN`]; in
+/// release the shorter length governs.
+#[inline]
+#[must_use]
+pub fn dot_i8_ref(a: &[u8], b: &[u8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() <= MAX_I8_DOT_LEN);
+    let n = a.len().min(b.len());
+    let mut s = 0i32;
+    for i in 0..n {
+        s += i32::from(a[i] as i8) * i32::from(b[i] as i8);
+    }
+    s
+}
+
+/// Fused i8 dot product over raw quantized rows (two's-complement bytes),
+/// eight i32 accumulator lanes folded by the documented halving tree.
+/// Bit-identical to [`dot_i8_ref`] for every input — integer addition
+/// makes the lane split exact, the unroll only buys throughput.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ or exceed [`MAX_I8_DOT_LEN`]; in
+/// release the shorter length governs.
+#[inline]
+#[must_use]
+pub fn dot_i8(a: &[u8], b: &[u8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() <= MAX_I8_DOT_LEN);
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut lanes = [0i32; LANES];
+    let blocks = n / LANES;
+    for blk in 0..blocks {
+        let base = blk * LANES;
+        let av = &a[base..base + LANES];
+        let bv = &b[base..base + LANES];
+        for l in 0..LANES {
+            lanes[l] += i32::from(av[l] as i8) * i32::from(bv[l] as i8);
+        }
+    }
+    let h4 = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    let mut s = (h4[0] + h4[2]) + (h4[1] + h4[3]);
+    for i in blocks * LANES..n {
+        s += i32::from(a[i] as i8) * i32::from(b[i] as i8);
+    }
+    s
+}
+
+/// Scaled i8 dot: the fused integer kernel widened **once** at the end,
+/// `f32(Σ aᵢ·bᵢ) · (sa · sb)`. The integer sum stays below 2²⁵ for rows
+/// within [`MAX_I8_DOT_LEN`] ÷ 2, so the single widening is exact and the
+/// whole product is deterministic to the bit regardless of blocking.
+#[inline]
+#[must_use]
+pub fn dot_i8_scaled(a: &[u8], sa: f32, b: &[u8], sb: f32) -> f32 {
+    (dot_i8(a, b) as f32) * (sa * sb)
+}
+
+/// Converts an IEEE 754 binary16 bit pattern to f32 (exact — every f16
+/// value, including subnormals and infinities, is representable in f32).
+#[inline]
+#[must_use]
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let man = u32::from(h & 0x03ff);
+    let bits = match exp {
+        0 => {
+            if man == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = man · 2⁻²⁴; renormalise around the
+                // top set bit k so the f32 mantissa carries man/2ᵏ ∈ [1,2).
+                let k = 31 - man.leading_zeros();
+                sign | ((k + 103) << 23) | ((man << (23 - k)) & 0x007f_ffff)
+            }
+        }
+        31 => sign | 0x7f80_0000 | (man << 13), // inf / NaN (payload kept)
+        e => sign | ((u32::from(e) + 112) << 23) | (man << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Converts an f32 to the nearest IEEE 754 binary16 bit pattern
+/// (round-to-nearest-even; overflow saturates to ±inf, NaN stays NaN).
+#[inline]
+#[must_use]
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 255 {
+        // Inf / NaN: a quiet bit keeps NaN payloads from collapsing to inf.
+        return sign | 0x7c00 | (u16::from(man != 0) << 9);
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal half: keep 10 mantissa bits, round on the dropped 13.
+        let half_exp = ((unbiased + 15) as u32) << 10;
+        let half_man = man >> 13;
+        let rest = man & 0x1fff;
+        let mut h = u32::from(sign) | half_exp | half_man;
+        if rest > 0x1000 || (rest == 0x1000 && half_man & 1 == 1) {
+            h += 1; // mantissa carry rolls into the exponent correctly
+        }
+        return h as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal half: shift the full (implicit-bit) mantissa down to
+        // the 2⁻²⁴ grid, round to nearest even.
+        let man = man | 0x0080_0000;
+        let shift = (-unbiased - 1) as u32;
+        let half_man = man >> shift;
+        let halfway = 1u32 << (shift - 1);
+        let rest = man & ((1u32 << shift) - 1);
+        let mut h = u32::from(sign) | half_man;
+        if rest > halfway || (rest == halfway && half_man & 1 == 1) {
+            h += 1;
+        }
+        return h as u16;
+    }
+    sign // underflow to signed zero
+}
+
+/// Reads f16 value `i` of a little-endian byte row, widened to f32.
+#[inline]
+fn f16_at(bytes: &[u8], i: usize) -> f32 {
+    f16_to_f32(u16::from_le_bytes([bytes[2 * i], bytes[2 * i + 1]]))
+}
+
+/// Scalar reference f16 dot product: serial single-accumulator f32 chain
+/// over widened binary16 values, the baseline [`dot_f16`]'s equivalence
+/// proptests compare against (relative 1e-5, like [`dot_ref`]).
+///
+/// # Panics
+///
+/// Panics (debug) if byte lengths differ or are odd; in release the
+/// shorter even length governs.
+#[inline]
+#[must_use]
+pub fn dot_f16_ref(a: &[u8], b: &[u8]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len() % 2, 0);
+    let n = a.len().min(b.len()) / 2;
+    let mut s = 0.0f32;
+    for i in 0..n {
+        s += f16_at(a, i) * f16_at(b, i);
+    }
+    s
+}
+
+/// Fused f16 dot product over little-endian binary16 byte rows: each value
+/// widens to f32 in place (no dequantized scratch row) and accumulates in
+/// the module's contractual reduction order — [`LANES`]-wide blocks, the
+/// fixed halving tree, serial tail — so the result depends only on the row
+/// length, exactly like [`dot`].
+///
+/// # Panics
+///
+/// Panics (debug) if byte lengths differ or are odd; in release the
+/// shorter even length governs.
+#[inline]
+#[must_use]
+pub fn dot_f16(a: &[u8], b: &[u8]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len() % 2, 0);
+    let n = a.len().min(b.len()) / 2;
+    let mut lanes = [0.0f32; LANES];
+    let blocks = n / LANES;
+    for blk in 0..blocks {
+        let base = blk * LANES;
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += f16_at(a, base + l) * f16_at(b, base + l);
+        }
+    }
+    let h4 = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    let mut s = (h4[0] + h4[2]) + (h4[1] + h4[3]);
+    for i in blocks * LANES..n {
+        s += f16_at(a, i) * f16_at(b, i);
+    }
+    s
+}
+
 /// Element-wise mean of `vectors` (all the same length).
 ///
 /// # Panics
@@ -327,7 +558,160 @@ mod tests {
         }
     }
 
+    /// Deterministic pseudo-random i8 row (raw two's-complement bytes).
+    fn test_vec_i8(len: usize, salt: u64) -> Vec<u8> {
+        (0..len as u64)
+            .map(|i| {
+                let h = (i ^ salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (h >> 40) as u8
+            })
+            .collect()
+    }
+
+    /// Deterministic pseudo-random f16 row (little-endian bytes) drawn from
+    /// the f32 test vector so values are representative, not bit noise.
+    fn test_vec_f16(len: usize, salt: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len * 2);
+        for x in test_vec(len, salt) {
+            out.extend_from_slice(&f32_to_f16(x).to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn dot_i8_matches_ref_all_lengths_to_300() {
+        for len in 0..=300usize {
+            let a = test_vec_i8(len, 21);
+            let b = test_vec_i8(len, 22);
+            // Integer addition is associative: exact equality, no tolerance.
+            assert_eq!(dot_i8(&a, &b), dot_i8_ref(&a, &b), "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_known_values_and_sign() {
+        // 2·3 + (−4)·5 = −14, mixing positive and negative bytes.
+        let a = [2i8 as u8, (-4i8) as u8];
+        let b = [3i8 as u8, 5u8];
+        assert_eq!(dot_i8(&a, &b), -14);
+        assert_eq!(dot_i8_ref(&a, &b), -14);
+        // Saturating extremes stay exact.
+        let worst_a = vec![(-127i8) as u8; 64];
+        let worst_b = vec![127u8; 64];
+        assert_eq!(dot_i8(&worst_a, &worst_b), -127 * 127 * 64);
+    }
+
+    #[test]
+    fn dot_i8_scaled_widen_once() {
+        let a = test_vec_i8(40, 31);
+        let b = test_vec_i8(40, 32);
+        let (sa, sb) = (0.0125f32, 0.02f32);
+        let want = (dot_i8_ref(&a, &b) as f32) * (sa * sb);
+        assert_eq!(dot_i8_scaled(&a, sa, &b, sb), want);
+    }
+
+    #[test]
+    fn f16_round_trips_every_finite_value() {
+        for bits in 0..=u16::MAX {
+            let exp = (bits >> 10) & 0x1f;
+            let man = bits & 0x3ff;
+            if exp == 31 && man != 0 {
+                // NaN: payload is not preserved bit-for-bit, only NaN-ness.
+                assert!(f16_to_f32(bits).is_nan(), "bits {bits:#06x}");
+                continue;
+            }
+            let back = f32_to_f16(f16_to_f32(bits));
+            assert_eq!(back, bits, "bits {bits:#06x} -> {}", f16_to_f32(bits));
+        }
+    }
+
+    #[test]
+    fn f16_conversion_edge_cases() {
+        assert_eq!(f16_to_f32(0x0000), 0.0);
+        assert!(f16_to_f32(0x8000).is_sign_negative());
+        assert_eq!(f16_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_to_f32(0x7c00), f32::INFINITY);
+        assert_eq!(f16_to_f32(0xfc00), f32::NEG_INFINITY);
+        // Smallest subnormal and largest normal.
+        assert_eq!(f16_to_f32(0x0001), 2.0f32.powi(-24));
+        assert_eq!(f16_to_f32(0x7bff), 65504.0);
+        // Overflow saturates, NaN survives, underflow signs its zero.
+        assert_eq!(f32_to_f16(1e6), 0x7c00);
+        assert_eq!(f32_to_f16(-1e6), 0xfc00);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        assert_eq!(f32_to_f16(-1e-9), 0x8000);
+        // Round-to-nearest-even at the halfway point: 1 + 2^-11 ties back
+        // to 1.0 (even), 1 + 3·2^-11 rounds up to 1 + 2^-9 over 1 + 2^-10.
+        assert_eq!(f32_to_f16(1.0 + 2.0f32.powi(-11)), 0x3c00);
+        assert_eq!(f32_to_f16(1.0 + 3.0 * 2.0f32.powi(-11)), 0x3c02);
+    }
+
+    #[test]
+    fn dot_f16_matches_ref_all_lengths_to_300() {
+        for len in 0..=300usize {
+            let a = test_vec_f16(len, 41);
+            let b = test_vec_f16(len, 42);
+            let scale: f32 = (0..len)
+                .map(|i| (f16_at(&a, i) * f16_at(&b, i)).abs())
+                .sum();
+            close_rel(dot_f16(&a, &b), dot_f16_ref(&a, &b), scale);
+        }
+    }
+
+    #[test]
+    fn dot_f16_follows_the_f32_reduction_order() {
+        // Widening each f16 to f32 and calling `dot` must reproduce the
+        // fused kernel bit-for-bit: same values, same contractual order.
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 100, 300] {
+            let a = test_vec_f16(len, 51);
+            let b = test_vec_f16(len, 52);
+            let aw: Vec<f32> = (0..len).map(|i| f16_at(&a, i)).collect();
+            let bw: Vec<f32> = (0..len).map(|i| f16_at(&b, i)).collect();
+            assert_eq!(dot_f16(&a, &b), dot(&aw, &bw), "len {len}");
+        }
+    }
+
     proptest! {
+        #[test]
+        fn dot_i8_equiv_ref_proptest(
+            len in 0usize..=300,
+            salt_a in 0u64..1000,
+            salt_b in 1000u64..2000,
+        ) {
+            let a = test_vec_i8(len, salt_a);
+            let b = test_vec_i8(len, salt_b);
+            prop_assert_eq!(dot_i8(&a, &b), dot_i8_ref(&a, &b));
+        }
+
+        #[test]
+        fn dot_f16_equiv_ref_proptest(
+            len in 0usize..=300,
+            salt_a in 0u64..1000,
+            salt_b in 1000u64..2000,
+        ) {
+            let a = test_vec_f16(len, salt_a);
+            let b = test_vec_f16(len, salt_b);
+            let scale: f32 = (0..len)
+                .map(|i| (f16_at(&a, i) * f16_at(&b, i)).abs())
+                .sum();
+            let (got, want) = (dot_f16(&a, &b), dot_f16_ref(&a, &b));
+            prop_assert!((got - want).abs() <= 1e-5 * scale.max(1.0),
+                "len {} got {} want {}", len, got, want);
+        }
+
+        #[test]
+        fn f16_widening_error_is_bounded(x in -1000.0f32..1000.0) {
+            // Relative error of one f32 -> f16 -> f32 trip is at most 2^-11
+            // for normal halves (|x| >= 2^-14).
+            let back = f16_to_f32(f32_to_f16(x));
+            if x.abs() >= 2.0f32.powi(-14) {
+                prop_assert!((back - x).abs() <= x.abs() * 2.0f32.powi(-11),
+                    "x {} back {}", x, back);
+            } else {
+                prop_assert!((back - x).abs() <= 2.0f32.powi(-25));
+            }
+        }
+
         #[test]
         fn dot_equiv_ref_proptest(
             len in 0usize..=300,

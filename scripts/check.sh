@@ -55,4 +55,12 @@ echo "==> ANN retrieval gate (deterministic smoke recall vs committed BENCH_ann.
 # speedup, and probing every list must reproduce the exact scan.
 cargo run --release -q -p rm-bench --bin ann-bench -- --smoke --gate BENCH_ann.json
 
+echo "==> quantized-artifact gate (deterministic KPI drift vs committed BENCH_quant.json)"
+# Table-1 URR/NRR through the quantized scorer are timing-free and
+# deterministic: the recomputed smoke section must match the committed
+# report byte-for-byte, i8/f16 KPI drift vs f32 must stay within 5e-3,
+# and the committed serving-scale full run must hold >= 3.5x memory
+# reduction at >= 1.2x matvec throughput.
+cargo run --release -q -p rm-bench --bin quant-bench -- --smoke --gate BENCH_quant.json
+
 echo "All checks passed."
