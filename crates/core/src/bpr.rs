@@ -184,12 +184,18 @@ impl Bpr {
         self.train = Some(train.clone());
     }
 
-    fn train_ref(&self) -> &Interactions {
-        self.train.as_ref().expect("Bpr::fit not called")
-    }
-
     fn model_ref(&self) -> &BprModel {
         self.model.as_ref().expect("Bpr::fit not called")
+    }
+
+    /// Both fitted references, or `None` before [`Recommender::fit`] /
+    /// [`Bpr::install`]. The request-path trait methods degrade through
+    /// this instead of panicking: an unfitted model on the serve path
+    /// answers empty rather than poisoning a worker (the loud
+    /// `model_ref` stays for offline callers, where aborting on a
+    /// missing fit is the right contract).
+    fn fitted(&self) -> Option<(&BprModel, &Interactions)> {
+        Some((self.model.as_ref()?, self.train.as_ref()?))
     }
 
     /// Folds a *new* user into the trained factor space without
@@ -466,7 +472,9 @@ impl Recommender for Bpr {
     }
 
     fn score(&self, user: UserIdx, book: BookIdx) -> f32 {
-        let m = self.model_ref();
+        let Some((m, _)) = self.fitted() else {
+            return 0.0;
+        };
         dot(
             m.user_factors.row(user.index()),
             m.item_factors.row(book.index()),
@@ -474,19 +482,19 @@ impl Recommender for Bpr {
     }
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
-        let m = self.model_ref();
+        let Some((m, train)) = self.fitted() else {
+            return Vec::new();
+        };
         let scores = m.item_factors.matvec(m.user_factors.row(user.index()));
-        rank_by_scores(
-            self.train_ref().n_books(),
-            self.train_ref().seen(user),
-            k,
-            |b| scores[b as usize],
-        )
+        rank_by_scores(train.n_books(), train.seen(user), k, |b| scores[b as usize])
     }
 
     fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
-        let m = self.model_ref();
-        let train = self.train_ref();
+        let Some((m, train)) = self.fitted() else {
+            out.clear();
+            out.resize_with(users.len(), Vec::new);
+            return;
+        };
         let n_books = train.n_books();
         out.resize_with(users.len(), Vec::new);
         // Score four users per pass over the item factors via the shared
@@ -530,7 +538,8 @@ impl Recommender for Bpr {
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
-        self.recommend(user, self.train_ref().n_books())
+        let n_books = self.fitted().map_or(0, |(_, t)| t.n_books());
+        self.recommend(user, n_books)
     }
 }
 

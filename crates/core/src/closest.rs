@@ -72,8 +72,12 @@ impl ClosestItems {
         &self.store
     }
 
-    fn train(&self) -> &Interactions {
-        self.train.as_ref().expect("ClosestItems::fit not called")
+    /// The fitted training matrix, or `None` before [`Recommender::fit`].
+    /// Request-path methods degrade through this instead of panicking: an
+    /// unfitted model on the serve path answers empty rather than
+    /// poisoning a worker.
+    fn fitted(&self) -> Option<&Interactions> {
+        self.train.as_ref()
     }
 
     /// The user's Eq. 1 query vector: mean of read-book embeddings, or
@@ -86,7 +90,10 @@ impl ClosestItems {
     /// [`ClosestItems::query`] into a caller-provided buffer; returns
     /// `false` (buffer untouched) for a user with no training readings.
     fn query_into(&self, user: UserIdx, buf: &mut Vec<f32>) -> bool {
-        let seen = self.train().seen(user);
+        let Some(train) = self.fitted() else {
+            return false;
+        };
+        let seen = train.seen(user);
         if seen.is_empty() {
             return false;
         }
@@ -164,17 +171,19 @@ impl Recommender for ClosestItems {
     }
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
-        let Some(q) = self.query(user) else {
+        let Some((q, train)) = self.query(user).zip(self.fitted()) else {
             return Vec::new();
         };
         let sims = self.store.similarities(&q);
-        rank_by_scores(self.train().n_books(), self.train().seen(user), k, |b| {
-            sims[b as usize]
-        })
+        rank_by_scores(train.n_books(), train.seen(user), k, |b| sims[b as usize])
     }
 
     fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
-        let train = self.train();
+        let Some(train) = self.fitted() else {
+            out.clear();
+            out.resize_with(users.len(), Vec::new);
+            return;
+        };
         out.resize_with(users.len(), Vec::new);
         // All scratch — the Eq. 1 centroid, the catalogue-sized similarity
         // buffer, the TopK heap, and the caller's ranking pool — is shared
@@ -200,7 +209,8 @@ impl Recommender for ClosestItems {
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
-        self.recommend(user, self.train().n_books())
+        let n_books = self.fitted().map_or(0, |t| t.n_books());
+        self.recommend(user, n_books)
     }
 }
 

@@ -44,15 +44,19 @@ impl<A: Recommender, B: Recommender> Blend<A, B> {
         (&self.first, &self.second)
     }
 
-    fn train_ref(&self) -> &Interactions {
-        self.train.as_ref().expect("Blend::fit not called")
+    /// The fitted training matrix, or `None` before [`Recommender::fit`].
+    /// Request-path methods degrade through this instead of panicking:
+    /// an unfitted blend on the serve path answers empty rather than
+    /// poisoning a worker.
+    fn fitted(&self) -> Option<&Interactions> {
+        self.train.as_ref()
     }
 
     /// Rank-normalised blended scores: each component contributes
     /// `1 - rank/n` for the books it ranks (0 for unranked), mixed by the
     /// blend weight.
     fn blended_scores(&self, user: UserIdx) -> Vec<f32> {
-        let n_books = self.train_ref().n_books();
+        let n_books = self.fitted().map_or(0, |t| t.n_books());
         let mut scores = vec![0.0f32; n_books];
         for (rec, w) in [
             (&self.first as &dyn Recommender, self.weight),
@@ -83,21 +87,26 @@ impl<A: Recommender, B: Recommender> Recommender for Blend<A, B> {
     }
 
     fn score(&self, user: UserIdx, book: BookIdx) -> f32 {
-        self.blended_scores(user)[book.index()]
+        self.blended_scores(user)
+            .get(book.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
+        let Some(train) = self.fitted() else {
+            return Vec::new();
+        };
         let scores = self.blended_scores(user);
-        rank_by_scores(
-            self.train_ref().n_books(),
-            self.train_ref().seen(user),
-            k,
-            |b| scores[b as usize],
-        )
+        rank_by_scores(train.n_books(), train.seen(user), k, |b| scores[b as usize])
     }
 
     fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
-        let train = self.train_ref();
+        let Some(train) = self.fitted() else {
+            out.clear();
+            out.resize_with(users.len(), Vec::new);
+            return;
+        };
         let n_books = train.n_books();
         out.resize_with(users.len(), Vec::new);
         // The blended-score buffer, the components' ranking pool, and the
@@ -137,7 +146,8 @@ impl<A: Recommender, B: Recommender> Recommender for Blend<A, B> {
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
-        self.recommend(user, self.train_ref().n_books())
+        let n_books = self.fitted().map_or(0, |t| t.n_books());
+        self.recommend(user, n_books)
     }
 }
 

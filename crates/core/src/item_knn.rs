@@ -77,19 +77,21 @@ impl ItemKnn {
         &self.config
     }
 
-    fn train_ref(&self) -> &Interactions {
-        self.train.as_ref().expect("ItemKnn::fit not called")
-    }
-
-    fn sims_ref(&self) -> &CsrMatrix {
-        self.similarities.as_ref().expect("ItemKnn::fit not called")
+    /// Both fitted references, or `None` before [`Recommender::fit`].
+    /// The request-path trait methods degrade through this instead of
+    /// panicking: an unfitted model on the serve path answers empty
+    /// (or scores zero) rather than poisoning a worker.
+    fn fitted(&self) -> Option<(&Interactions, &CsrMatrix)> {
+        Some((self.train.as_ref()?, self.similarities.as_ref()?))
     }
 
     /// The fitted neighbour list of a book: `(neighbour, similarity)`,
-    /// unsorted (CSR column order).
+    /// unsorted (CSR column order); empty before [`Recommender::fit`].
     #[must_use]
     pub fn neighbors_of(&self, book: BookIdx) -> Vec<(u32, f32)> {
-        let sims = self.sims_ref();
+        let Some((_, sims)) = self.fitted() else {
+            return Vec::new();
+        };
         let values = sims.row_values(book.index()).unwrap_or(&[]);
         sims.row(book.index())
             .iter()
@@ -109,9 +111,10 @@ impl ItemKnn {
     /// buffer (zeroed, then accumulated) so batch scoring reuses one
     /// allocation.
     fn user_scores_into(&self, user: UserIdx, scores: &mut Vec<f32>) {
-        let train = self.train_ref();
-        let sims = self.sims_ref();
         scores.clear();
+        let Some((train, sims)) = self.fitted() else {
+            return;
+        };
         scores.resize(train.n_books(), 0.0);
         for &i in train.seen(user) {
             if let Some(values) = sims.row_values(i as usize) {
@@ -193,21 +196,26 @@ impl Recommender for ItemKnn {
     }
 
     fn score(&self, user: UserIdx, book: BookIdx) -> f32 {
-        self.user_scores(user)[book.index()]
+        self.user_scores(user)
+            .get(book.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
+        let Some((train, _)) = self.fitted() else {
+            return Vec::new();
+        };
         let scores = self.user_scores(user);
-        rank_by_scores(
-            self.train_ref().n_books(),
-            self.train_ref().seen(user),
-            k,
-            |b| scores[b as usize],
-        )
+        rank_by_scores(train.n_books(), train.seen(user), k, |b| scores[b as usize])
     }
 
     fn recommend_batch_into(&self, users: &[UserIdx], k: usize, out: &mut Vec<Vec<u32>>) {
-        let train = self.train_ref();
+        let Some((train, _)) = self.fitted() else {
+            out.clear();
+            out.resize_with(users.len(), Vec::new);
+            return;
+        };
         out.resize_with(users.len(), Vec::new);
         // One catalogue-sized score buffer + one TopK for the whole batch.
         let mut scores = Vec::with_capacity(train.n_books());
@@ -226,7 +234,8 @@ impl Recommender for ItemKnn {
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
-        self.recommend(user, self.train_ref().n_books())
+        let n_books = self.fitted().map_or(0, |(t, _)| t.n_books());
+        self.recommend(user, n_books)
     }
 }
 
@@ -368,9 +377,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fit not called")]
-    fn unfitted_panics() {
+    fn unfitted_answers_empty() {
         let knn = ItemKnn::new(ItemKnnConfig::default());
-        let _ = knn.recommend(UserIdx(0), 1);
+        assert!(knn.recommend(UserIdx(0), 1).is_empty());
+        assert!(knn.rank_all(UserIdx(0)).is_empty());
+        assert!(knn.neighbors_of(BookIdx(0)).is_empty());
+        assert_eq!(knn.score(UserIdx(0), BookIdx(0)), 0.0);
+        let mut out = Vec::new();
+        knn.recommend_batch_into(&[UserIdx(0), UserIdx(1)], 3, &mut out);
+        assert_eq!(out, vec![Vec::<u32>::new(), Vec::new()]);
     }
 }

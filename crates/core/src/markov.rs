@@ -75,16 +75,12 @@ impl SequentialItems {
         }
     }
 
-    fn train_ref(&self) -> &Interactions {
-        self.train
-            .as_ref()
-            .expect("SequentialItems::fit not called")
-    }
-
-    fn transitions_ref(&self) -> &CsrMatrix {
-        self.transitions
-            .as_ref()
-            .expect("SequentialItems::fit not called")
+    /// Both fitted references, or `None` before [`Recommender::fit`].
+    /// The request-path trait methods degrade through this instead of
+    /// panicking: an unfitted model on the serve path answers empty
+    /// (or scores zero) rather than poisoning a worker.
+    fn fitted(&self) -> Option<(&Interactions, &CsrMatrix)> {
+        Some((self.train.as_ref()?, self.transitions.as_ref()?))
     }
 
     /// The user's training readings in date order (latest last).
@@ -98,8 +94,9 @@ impl SequentialItems {
 
     /// Transition-based score of `book` given the user's recent context.
     fn context_score(&self, user: UserIdx, book: u32) -> f32 {
-        let train = self.train_ref();
-        let transitions = self.transitions_ref();
+        let Some((train, transitions)) = self.fitted() else {
+            return 0.0;
+        };
         let ordered = self.ordered_train(user, train);
         let context = &ordered[ordered.len().saturating_sub(self.config.context)..];
         let mut score = 0.0f32;
@@ -147,8 +144,9 @@ impl Recommender for SequentialItems {
     }
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
-        let train = self.train_ref();
-        let transitions = self.transitions_ref();
+        let Some((train, transitions)) = self.fitted() else {
+            return Vec::new();
+        };
         let ordered = self.ordered_train(user, train);
         if ordered.is_empty() {
             return Vec::new();
@@ -170,7 +168,8 @@ impl Recommender for SequentialItems {
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
-        self.recommend(user, self.train_ref().n_books())
+        let n_books = self.fitted().map_or(0, |(t, _)| t.n_books());
+        self.recommend(user, n_books)
     }
 }
 
@@ -298,10 +297,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fit not called")]
-    fn unfitted_panics() {
+    fn unfitted_answers_empty() {
         let c = corpus();
         let s = SequentialItems::from_corpus(&c, SequentialConfig::default());
-        let _ = s.recommend(UserIdx(0), 1);
+        assert!(s.recommend(UserIdx(0), 1).is_empty());
+        assert!(s.rank_all(UserIdx(0)).is_empty());
+        assert_eq!(s.score(UserIdx(0), BookIdx(0)), 0.0);
     }
 }

@@ -58,8 +58,12 @@ impl MostReadItems {
         self.by_popularity = order;
     }
 
-    fn train(&self) -> &Interactions {
-        self.train.as_ref().expect("MostReadItems::fit not called")
+    /// The fitted training matrix, or `None` before [`Recommender::fit`].
+    /// Request-path methods degrade through this instead of panicking:
+    /// an unfitted model on the serve path answers empty rather than
+    /// poisoning a worker.
+    fn fitted(&self) -> Option<&Interactions> {
+        self.train.as_ref()
     }
 
     /// Read count of a book in the training set.
@@ -96,7 +100,10 @@ impl Recommender for MostReadItems {
     }
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
-        let seen = self.train().seen(user);
+        let Some(train) = self.fitted() else {
+            return Vec::new();
+        };
+        let seen = train.seen(user);
         self.by_popularity
             .iter()
             .copied()
@@ -106,7 +113,8 @@ impl Recommender for MostReadItems {
     }
 
     fn rank_all(&self, user: UserIdx) -> Vec<u32> {
-        self.recommend(user, self.train().n_books())
+        let n_books = self.fitted().map_or(0, |t| t.n_books());
+        self.recommend(user, n_books)
     }
 }
 

@@ -691,7 +691,11 @@ impl QuantQuery {
 /// measure KPI drift, and serve tests use it as the ground truth for the
 /// engine's quantized rank stage.
 pub struct QuantRecommender<'a> {
-    artifact: &'a QuantArtifact,
+    // Both section views are resolved once here so the scoring methods
+    // stay panic-free: `new` is the only place a missing section can
+    // abort, and it runs at setup time, never per request.
+    users: QuantMatrix<'a>,
+    items: QuantMatrix<'a>,
     train: &'a Interactions,
     name: String,
 }
@@ -710,7 +714,8 @@ impl<'a> QuantRecommender<'a> {
         assert_eq!(users.rows(), train.n_users(), "user rows");
         assert_eq!(items.rows(), train.n_books(), "item rows");
         Self {
-            artifact,
+            users,
+            items,
             train,
             name: format!("bpr-quant-{}", artifact.mode().label()),
         }
@@ -727,20 +732,19 @@ impl Recommender for QuantRecommender<'_> {
     }
 
     fn score(&self, user: UserIdx, book: BookIdx) -> f32 {
-        let users = self.artifact.user_factors().expect("validated in new");
-        let items = self.artifact.item_factors().expect("validated in new");
-        users.row(user.0 as usize).dot(&items.row(book.0 as usize))
+        self.users
+            .row(user.0 as usize)
+            .dot(&self.items.row(book.0 as usize))
     }
 
     fn recommend(&self, user: UserIdx, k: usize) -> Vec<u32> {
-        let users = self.artifact.user_factors().expect("validated in new");
-        let items = self.artifact.item_factors().expect("validated in new");
         let mut scores = Vec::new();
-        items.matvec_into(&users.row(user.0 as usize), &mut scores);
+        self.items
+            .matvec_into(&self.users.row(user.0 as usize), &mut scores);
         let mut top = rm_util::TopK::new(1);
         let mut out = Vec::new();
         rank_by_scores_into(
-            items.rows(),
+            self.items.rows(),
             self.train.seen(user),
             k,
             |b| scores[b as usize],

@@ -26,14 +26,20 @@ impl RandomItems {
         Self { seed, train: None }
     }
 
-    fn train(&self) -> &Interactions {
-        self.train.as_ref().expect("RandomItems::fit not called")
+    /// The fitted training matrix, or `None` before [`Recommender::fit`].
+    /// Request-path methods degrade through this instead of panicking:
+    /// an unfitted model on the serve path answers empty rather than
+    /// poisoning a worker.
+    fn fitted(&self) -> Option<&Interactions> {
+        self.train.as_ref()
     }
 
     /// The unseen books of `user` in a per-user deterministic random
-    /// order.
+    /// order; empty before [`Recommender::fit`].
     fn shuffled_unseen(&self, user: UserIdx) -> Vec<u32> {
-        let train = self.train();
+        let Some(train) = self.fitted() else {
+            return Vec::new();
+        };
         let seen = train.seen(user);
         let mut seen_iter = seen.iter().copied().peekable();
         let mut unseen: Vec<u32> = Vec::with_capacity(train.n_books() - seen.len());
@@ -112,7 +118,7 @@ mod tests {
         assert_eq!(r.recommend(UserIdx(0), 5), r.recommend(UserIdx(0), 5));
         assert_ne!(r.recommend(UserIdx(0), 8), r.recommend(UserIdx(1), 8));
         let mut other = RandomItems::new(8);
-        other.fit(r.train());
+        other.fit(r.fitted().unwrap());
         assert_ne!(r.recommend(UserIdx(0), 8), other.recommend(UserIdx(0), 8));
     }
 
@@ -134,9 +140,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fit not called")]
-    fn unfitted_panics() {
+    fn unfitted_answers_empty() {
         let r = RandomItems::new(1);
-        let _ = r.recommend(UserIdx(0), 1);
+        assert!(r.recommend(UserIdx(0), 1).is_empty());
+        assert!(r.rank_all(UserIdx(0)).is_empty());
     }
 }

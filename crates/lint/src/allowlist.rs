@@ -41,11 +41,49 @@ pub struct AllowEntry {
     pub src_line: u32,
 }
 
+/// One parsed `[[root]]` entry: a call-graph reachability root.
+///
+/// `pattern` is either a fully qualified function pattern
+/// (`rm_serve::engine::ServingEngine::serve_chunk_with`, trailing `*`
+/// allowed) or a bare function-name pattern (`recommend*`, matched against
+/// every function's last segment). A root that matches no live function
+/// fails the run — roots can never silently rot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootEntry {
+    /// Function pattern declaring a request-path entry point.
+    pub pattern: String,
+    /// Why this is a serving root. Mandatory.
+    pub reason: String,
+    /// 1-based line of the `[[root]]` header, for error messages.
+    pub src_line: u32,
+}
+
+/// One parsed `[[approve]]` entry: a reachability-rule suppression keyed
+/// by function (not by line), since call-graph findings name functions.
+///
+/// `func` is a fully qualified function pattern with optional trailing
+/// `*`. An entry that approves nothing fails the run as stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApproveEntry {
+    /// Call-graph rule id (validated against the call-graph rule table).
+    pub rule: String,
+    /// Fully qualified function pattern the approval covers.
+    pub func: String,
+    /// Why the behaviour is acceptable on the serve path. Mandatory.
+    pub reason: String,
+    /// 1-based line of the `[[approve]]` header, for error messages.
+    pub src_line: u32,
+}
+
 /// A parsed allowlist file.
 #[derive(Debug, Default, Clone)]
 pub struct Allowlist {
-    /// Entries in file order.
+    /// `[[allow]]` entries in file order (token-rule suppressions).
     pub entries: Vec<AllowEntry>,
+    /// `[[root]]` entries in file order (call-graph roots).
+    pub roots: Vec<RootEntry>,
+    /// `[[approve]]` entries in file order (call-graph suppressions).
+    pub approves: Vec<ApproveEntry>,
 }
 
 /// Outcome of filtering findings through an allowlist.
@@ -63,15 +101,23 @@ pub struct FilterResult {
 impl Allowlist {
     /// Parses the TOML-subset allowlist. Fail-closed: any malformed line,
     /// empty value, unknown key, duplicate key, unknown rule id, or
-    /// incomplete entry is an error.
+    /// incomplete entry is an error. Three section kinds are accepted:
+    /// `[[allow]]` (token-rule suppressions), `[[root]]` (call-graph
+    /// roots) and `[[approve]]` (call-graph suppressions).
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut entries: Vec<AllowEntry> = Vec::new();
-        // Accumulator for the entry being parsed.
-        let mut cur: Option<(u32, Vec<(String, String)>)> = None;
-        let flush = |cur: &mut Option<(u32, Vec<(String, String)>)>,
-                     entries: &mut Vec<AllowEntry>|
-         -> Result<(), String> {
-            let Some((hdr, fields)) = cur.take() else {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Section {
+            Allow,
+            Root,
+            Approve,
+        }
+        // Accumulator for the entry being parsed: header line, section
+        // kind, and the key/value pairs seen so far.
+        type Pending = (u32, Section, Vec<(String, String)>);
+        let mut out = Self::default();
+        let mut cur: Option<Pending> = None;
+        let flush = |cur: &mut Option<Pending>, out: &mut Self| -> Result<(), String> {
+            let Some((hdr, section, fields)) = cur.take() else {
                 return Ok(());
             };
             let get = |k: &str| {
@@ -80,24 +126,60 @@ impl Allowlist {
                     .find(|(key, _)| key == k)
                     .map(|(_, v)| v.clone())
             };
-            let rule =
-                get("rule").ok_or_else(|| format!("allowlist line {hdr}: entry missing `rule`"))?;
-            let path =
-                get("path").ok_or_else(|| format!("allowlist line {hdr}: entry missing `path`"))?;
-            let reason = get("reason")
-                .ok_or_else(|| format!("allowlist line {hdr}: entry missing mandatory `reason`"))?;
-            if rules::rule_by_id(&rule).is_none() {
-                return Err(format!(
-                    "allowlist line {hdr}: unknown rule `{rule}` (see --list-rules)"
-                ));
+            let need = |k: &str| {
+                get(k).ok_or_else(|| format!("allowlist line {hdr}: entry missing `{k}`"))
+            };
+            match section {
+                Section::Allow => {
+                    let rule = need("rule")?;
+                    let path = need("path")?;
+                    let reason = get("reason").ok_or_else(|| {
+                        format!("allowlist line {hdr}: entry missing mandatory `reason`")
+                    })?;
+                    if rules::rule_by_id(&rule).is_none() {
+                        return Err(format!(
+                            "allowlist line {hdr}: unknown rule `{rule}` (see --list-rules)"
+                        ));
+                    }
+                    out.entries.push(AllowEntry {
+                        rule,
+                        path,
+                        line_pattern: get("line-pattern"),
+                        reason,
+                        src_line: hdr,
+                    });
+                }
+                Section::Root => {
+                    let pattern = need("pattern")?;
+                    let reason = get("reason").ok_or_else(|| {
+                        format!("allowlist line {hdr}: entry missing mandatory `reason`")
+                    })?;
+                    out.roots.push(RootEntry {
+                        pattern,
+                        reason,
+                        src_line: hdr,
+                    });
+                }
+                Section::Approve => {
+                    let rule = need("rule")?;
+                    let func = need("fn")?;
+                    let reason = get("reason").ok_or_else(|| {
+                        format!("allowlist line {hdr}: entry missing mandatory `reason`")
+                    })?;
+                    if crate::callgraph::cg_rule_by_id(&rule).is_none() {
+                        return Err(format!(
+                            "allowlist line {hdr}: unknown call-graph rule `{rule}` \
+                             (see --list-rules)"
+                        ));
+                    }
+                    out.approves.push(ApproveEntry {
+                        rule,
+                        func,
+                        reason,
+                        src_line: hdr,
+                    });
+                }
             }
-            entries.push(AllowEntry {
-                rule,
-                path,
-                line_pattern: get("line-pattern"),
-                reason,
-                src_line: hdr,
-            });
             Ok(())
         };
         for (idx, raw) in text.lines().enumerate() {
@@ -106,9 +188,15 @@ impl Allowlist {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            if line == "[[allow]]" {
-                flush(&mut cur, &mut entries)?;
-                cur = Some((lineno, Vec::new()));
+            let section = match line {
+                "[[allow]]" => Some(Section::Allow),
+                "[[root]]" => Some(Section::Root),
+                "[[approve]]" => Some(Section::Approve),
+                _ => None,
+            };
+            if let Some(s) = section {
+                flush(&mut cur, &mut out)?;
+                cur = Some((lineno, s, Vec::new()));
                 continue;
             }
             let Some((key, val)) = line.split_once('=') else {
@@ -118,7 +206,12 @@ impl Allowlist {
             };
             let key = key.trim();
             let val = val.trim();
-            if !matches!(key, "rule" | "path" | "line-pattern" | "reason") {
+            let allowed: &[&str] = match cur {
+                Some((_, Section::Allow, _)) | None => &["rule", "path", "line-pattern", "reason"],
+                Some((_, Section::Root, _)) => &["pattern", "reason"],
+                Some((_, Section::Approve, _)) => &["rule", "fn", "reason"],
+            };
+            if !allowed.contains(&key) {
                 return Err(format!("allowlist line {lineno}: unknown key `{key}`"));
             }
             let Some(val) = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
@@ -132,9 +225,10 @@ impl Allowlist {
                      (the old grep gates failed open on blank entries; this one refuses them)"
                 ));
             }
-            let Some((_, fields)) = cur.as_mut() else {
+            let Some((_, _, fields)) = cur.as_mut() else {
                 return Err(format!(
-                    "allowlist line {lineno}: `{key}` before any [[allow]] header"
+                    "allowlist line {lineno}: `{key}` before any [[allow]] / [[root]] / \
+                     [[approve]] header"
                 ));
             };
             if fields.iter().any(|(k, _)| k == key) {
@@ -142,8 +236,8 @@ impl Allowlist {
             }
             fields.push((key.to_string(), val.to_string()));
         }
-        flush(&mut cur, &mut entries)?;
-        Ok(Self { entries })
+        flush(&mut cur, &mut out)?;
+        Ok(out)
     }
 
     /// Splits findings into kept / suppressed, and reports stale entries.
@@ -278,5 +372,50 @@ reason = "file-lock wait"
     fn unquoted_value_is_an_error() {
         let bad = "[[allow]]\nrule = panic-in-library\n";
         assert!(Allowlist::parse(bad).unwrap_err().contains("double-quoted"));
+    }
+
+    #[test]
+    fn parses_root_and_approve_sections() {
+        let text = r#"
+[[root]]
+pattern = "rm_serve::engine::ServingEngine::serve_chunk_with"
+reason = "every request funnels through the chunk server"
+
+[[approve]]
+rule = "alloc-reachable-from-serve-path"
+fn = "rm_serve::engine::ServingEngine::serve_chunk_with"
+reason = "per-chunk scratch buffers, bounded by chunk size"
+"#;
+        let al = Allowlist::parse(text).unwrap();
+        assert!(al.entries.is_empty());
+        assert_eq!(al.roots.len(), 1);
+        assert_eq!(
+            al.roots[0].pattern,
+            "rm_serve::engine::ServingEngine::serve_chunk_with"
+        );
+        assert_eq!(al.approves.len(), 1);
+        assert_eq!(al.approves[0].rule, "alloc-reachable-from-serve-path");
+    }
+
+    #[test]
+    fn approve_requires_known_callgraph_rule_and_reason() {
+        let bad = "[[approve]]\nrule = \"panic-in-library\"\nfn = \"x::y\"\nreason = \"r\"\n";
+        assert!(Allowlist::parse(bad)
+            .unwrap_err()
+            .contains("unknown call-graph rule"));
+        let bad = "[[approve]]\nrule = \"tainted-float-accum\"\nfn = \"x::y\"\n";
+        assert!(Allowlist::parse(bad)
+            .unwrap_err()
+            .contains("mandatory `reason`"));
+    }
+
+    #[test]
+    fn root_requires_pattern_and_rejects_foreign_keys() {
+        let bad = "[[root]]\nreason = \"r\"\n";
+        assert!(Allowlist::parse(bad)
+            .unwrap_err()
+            .contains("missing `pattern`"));
+        let bad = "[[root]]\npath = \"x.rs\"\n";
+        assert!(Allowlist::parse(bad).unwrap_err().contains("unknown key"));
     }
 }

@@ -1,0 +1,552 @@
+//! Reachability engine: the transitive closure of the serve request path
+//! over the resolved call graph, and the rules that patrol it.
+//!
+//! Roots are declared in `scripts/lint_allowlist.toml` as `[[root]]`
+//! entries (see [`crate::allowlist::RootEntry`]); the closure is computed
+//! by a deterministic multi-source BFS whose parent pointers give every
+//! finding a shortest root→sink call chain — the diagnostic shows *how*
+//! the serve path reaches the offending function, e.g.
+//!
+//! ```text
+//! serve_chunk_with → rank_stage → helper (crates/core/…): .unwrap()
+//! ```
+//!
+//! Four rules:
+//!
+//! * `alloc-reachable-from-serve-path` — an allocation fact in a function
+//!   reachable from a request root, outside `[[approve]]`d scratch/setup.
+//! * `panic-reachable-from-serve-path` — `unwrap` / `expect` /
+//!   `panic!`-family reachable from a request root. Supersedes the
+//!   scope-based `panic-in-library` rule on the serve side: that rule only
+//!   sees `crates/serve/src`, this one follows calls into any crate.
+//! * `tainted-float-accum` — hash iteration feeding a float accumulation
+//!   in the same body (workspace-wide, not just the closure: determinism
+//!   taint corrupts Table 1 wherever it happens).
+//! * `unresolved-call-in-serve-closure` — the fail-closed backstop: a
+//!   call the resolver could not attribute, inside the closure. The
+//!   analysis refuses to vouch for a serve path it cannot see through.
+//!
+//! Indexing and `assert!`-family sites are deliberate, loud contract
+//! checks in this codebase; they are counted in the report (so drift is
+//! visible) but not raised as findings. See DESIGN.md §19.
+
+use crate::allowlist::{Allowlist, ApproveEntry, RootEntry};
+use crate::ir::FactKind;
+use crate::resolve::Graph;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::path::Path;
+
+/// Rule id: allocation reachable from a request root.
+pub const RULE_ALLOC: &str = "alloc-reachable-from-serve-path";
+/// Rule id: may-panic reachable from a request root.
+pub const RULE_PANIC: &str = "panic-reachable-from-serve-path";
+/// Rule id: hash iteration feeding a float accumulation.
+pub const RULE_TAINT: &str = "tainted-float-accum";
+/// Rule id: unresolved call inside the serve closure (fail closed).
+pub const RULE_UNRESOLVED: &str = "unresolved-call-in-serve-closure";
+
+/// Metadata for one call-graph rule (mirrors [`crate::rules::Rule`] for
+/// the `--explain` / `--list-rules` surfaces).
+#[derive(Debug)]
+pub struct CgRule {
+    /// Stable kebab-case id.
+    pub id: &'static str,
+    /// One-line summary for `--list-rules`.
+    pub summary: &'static str,
+    /// Finding message.
+    pub message: &'static str,
+    /// Actionable fix suggestion.
+    pub fix_hint: &'static str,
+}
+
+/// The call-graph rule table, in severity order.
+pub static CG_RULES: &[CgRule] = &[
+    CgRule {
+        id: RULE_PANIC,
+        summary: "no unwrap/expect/panic! reachable from a serve root",
+        message: "may-panic operation reachable from a request root",
+        fix_hint: "degrade gracefully (return a default / skip the user) or approve the \
+                   function with a reason in scripts/lint_allowlist.toml [[approve]]",
+    },
+    CgRule {
+        id: RULE_ALLOC,
+        summary: "no allocation reachable from a serve root outside approved scratch",
+        message: "allocation reachable from a request root",
+        fix_hint: "reuse a preallocated buffer, hoist the allocation into setup, or approve \
+                   the function as bounded scratch in scripts/lint_allowlist.toml [[approve]]",
+    },
+    CgRule {
+        id: RULE_TAINT,
+        summary: "no HashMap/HashSet iteration feeding an f32 accumulation",
+        message: "hash-order iteration feeds a float accumulation in the same body",
+        fix_hint: "drain into a Vec, sort by a total order, then accumulate — float addition \
+                   is not associative, so hash order changes the result bits",
+    },
+    CgRule {
+        id: RULE_UNRESOLVED,
+        summary: "every call inside a serve root's closure must resolve (fail closed)",
+        message: "call inside the serve closure that name resolution cannot attribute",
+        fix_hint: "call the target through a resolvable name (free fn or method), or approve \
+                   the site's function with a reason explaining what actually runs there",
+    },
+];
+
+/// Look up a call-graph rule by id.
+#[must_use]
+pub fn cg_rule_by_id(id: &str) -> Option<&'static CgRule> {
+    CG_RULES.iter().find(|r| r.id == id)
+}
+
+/// One call-graph finding: a behaviour fact (or unresolved call) plus the
+/// shortest root→sink chain that proves reachability.
+#[derive(Debug, Clone)]
+pub struct CgFinding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// Fully qualified function the finding is in.
+    pub qual: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the fact / call site.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Short label of the behaviour (`".unwrap(…)"`, `"format!(…)"`).
+    pub what: String,
+    /// Root→sink call chain (quals); empty for non-reachability findings.
+    pub chain: Vec<String>,
+}
+
+impl CgFinding {
+    /// Deterministic ordering key.
+    #[must_use]
+    pub fn sort_key(&self) -> (&str, u32, u32, &str, &str) {
+        (&self.file, self.line, self.col, self.rule, &self.what)
+    }
+}
+
+impl fmt::Display for CgFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rule = cg_rule_by_id(self.rule).expect("finding rule in table");
+        writeln!(f, "error[{}]: {}: {}", self.rule, rule.message, self.what)?;
+        writeln!(
+            f,
+            "  --> {}:{}:{} ({})",
+            self.file, self.line, self.col, self.qual
+        )?;
+        if !self.chain.is_empty() {
+            writeln!(f, "  via: {}", self.chain.join(" → "))?;
+        }
+        write!(f, "  help: {}", rule.fix_hint)
+    }
+}
+
+/// One `[[approve]]` entry's tally in the outcome.
+#[derive(Debug, Clone)]
+pub struct CgApproved {
+    /// Rule id.
+    pub rule: String,
+    /// The entry's function pattern.
+    pub func: String,
+    /// Number of findings the entry absorbed.
+    pub sites: usize,
+    /// The entry's reason, echoed into the report.
+    pub reason: String,
+}
+
+/// Result of a call-graph analysis run.
+#[derive(Debug)]
+pub struct CgOutcome {
+    /// Live findings (not approved). Non-empty ⇒ the run fails.
+    pub findings: Vec<CgFinding>,
+    /// Per-`[[approve]]`-entry tallies (entries that absorbed ≥ 1).
+    pub approved: Vec<CgApproved>,
+    /// `[[approve]]` entries that matched nothing (stale ⇒ fail).
+    pub stale_approvals: Vec<ApproveEntry>,
+    /// `[[root]]` entries that matched no live function (⇒ fail).
+    pub unmatched_roots: Vec<RootEntry>,
+    /// (pattern, matched quals) per root entry, in file order.
+    pub roots: Vec<(String, Vec<String>)>,
+    /// Total functions in the graph.
+    pub functions: usize,
+    /// Total directed edges.
+    pub edges: usize,
+    /// Number of `.rs` files parsed.
+    pub files_scanned: usize,
+    /// Functions in the serve closure (roots included).
+    pub closure_functions: usize,
+    /// Indexing sites inside the closure (counted, not findings).
+    pub closure_index_sites: u64,
+    /// `assert!`-family sites inside the closure (counted, not findings).
+    pub closure_assert_sites: u64,
+    /// Unresolved call sites across all non-test functions.
+    pub unresolved_total: usize,
+    /// Unresolved call sites inside the closure (these are findings).
+    pub unresolved_in_closure: usize,
+}
+
+impl CgOutcome {
+    /// True when nothing is live, stale, or unmatched.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+            && self.stale_approvals.is_empty()
+            && self.unmatched_roots.is_empty()
+    }
+}
+
+/// Does `pattern` (optional trailing `*`) match `qual`? A pattern without
+/// `::` matches the bare function name (last segment) instead.
+fn pattern_matches(pattern: &str, qual: &str) -> bool {
+    let target = if pattern.contains("::") {
+        qual
+    } else {
+        qual.rsplit("::").next().unwrap_or(qual)
+    };
+    match pattern.strip_suffix('*') {
+        Some(prefix) => target.starts_with(prefix),
+        None => target == pattern,
+    }
+}
+
+/// Compute the serve closure: BFS from every root-matched function, with
+/// parent pointers for shortest root→sink chains. Returns
+/// (parent-or-self per reachable id) keyed by function id.
+fn closure_with_parents(graph: &Graph, root_ids: &[usize]) -> BTreeMap<usize, usize> {
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &r in root_ids {
+        if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(r) {
+            e.insert(r);
+            queue.push_back(r);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &graph.fns[u].callees {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(v) {
+                e.insert(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// Reconstruct the root→`id` chain of fully qualified names.
+fn chain_to(graph: &Graph, parent: &BTreeMap<usize, usize>, id: usize) -> Vec<String> {
+    let mut rev = vec![id];
+    let mut cur = id;
+    while let Some(&p) = parent.get(&cur) {
+        if p == cur {
+            break;
+        }
+        rev.push(p);
+        cur = p;
+    }
+    rev.reverse();
+    rev.into_iter().map(|i| graph.fns[i].qual.clone()).collect()
+}
+
+/// Run the call-graph analysis over a resolved graph.
+#[must_use]
+pub fn analyze(graph: &Graph, allowlist: &Allowlist, files_scanned: usize) -> CgOutcome {
+    // Roots: every [[root]] pattern against every non-test function.
+    let mut roots = Vec::new();
+    let mut unmatched_roots = Vec::new();
+    let mut root_ids: Vec<usize> = Vec::new();
+    for entry in &allowlist.roots {
+        let matched: Vec<usize> = (0..graph.fns.len())
+            .filter(|&i| {
+                !graph.fns[i].is_test && pattern_matches(&entry.pattern, &graph.fns[i].qual)
+            })
+            .collect();
+        if matched.is_empty() {
+            unmatched_roots.push(entry.clone());
+        }
+        roots.push((
+            entry.pattern.clone(),
+            matched.iter().map(|&i| graph.fns[i].qual.clone()).collect(),
+        ));
+        root_ids.extend(&matched);
+    }
+    root_ids.sort_unstable();
+    root_ids.dedup();
+    let parent = closure_with_parents(graph, &root_ids);
+
+    // Raw findings, before approvals.
+    let mut raw: Vec<CgFinding> = Vec::new();
+    let mut closure_index_sites = 0u64;
+    let mut closure_assert_sites = 0u64;
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let in_closure = parent.contains_key(&id);
+        if in_closure {
+            closure_index_sites += u64::from(f.index_sites);
+            closure_assert_sites += u64::from(f.assert_sites);
+        }
+        for fact in &f.facts {
+            let rule = match fact.kind {
+                FactKind::Alloc if in_closure => RULE_ALLOC,
+                FactKind::Panic if in_closure => RULE_PANIC,
+                FactKind::TaintedFloatAccum => RULE_TAINT,
+                _ => continue,
+            };
+            raw.push(CgFinding {
+                rule,
+                qual: f.qual.clone(),
+                file: f.file.clone(),
+                line: fact.line,
+                col: fact.col,
+                what: fact.what.clone(),
+                chain: if in_closure {
+                    chain_to(graph, &parent, id)
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+    }
+    let mut unresolved_total = 0;
+    let mut unresolved_in_closure = 0;
+    for u in &graph.unresolved {
+        if graph.fns[u.caller].is_test {
+            continue;
+        }
+        unresolved_total += 1;
+        if parent.contains_key(&u.caller) {
+            unresolved_in_closure += 1;
+            raw.push(CgFinding {
+                rule: RULE_UNRESOLVED,
+                qual: graph.fns[u.caller].qual.clone(),
+                file: graph.fns[u.caller].file.clone(),
+                line: u.line,
+                col: u.col,
+                what: format!("cannot resolve `{}(…)`", u.name),
+                chain: chain_to(graph, &parent, u.caller),
+            });
+        }
+    }
+    raw.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+
+    // Approvals: first matching [[approve]] entry wins, stale ⇒ fail.
+    let mut used = vec![0usize; allowlist.approves.len()];
+    let mut findings = Vec::new();
+    for f in raw {
+        let hit = allowlist
+            .approves
+            .iter()
+            .position(|e| e.rule == f.rule && pattern_matches(&e.func, &f.qual));
+        match hit {
+            Some(i) => used[i] += 1,
+            None => findings.push(f),
+        }
+    }
+    let mut approved = Vec::new();
+    let mut stale_approvals = Vec::new();
+    for (i, e) in allowlist.approves.iter().enumerate() {
+        if used[i] == 0 {
+            stale_approvals.push(e.clone());
+        } else {
+            approved.push(CgApproved {
+                rule: e.rule.clone(),
+                func: e.func.clone(),
+                sites: used[i],
+                reason: e.reason.clone(),
+            });
+        }
+    }
+
+    CgOutcome {
+        findings,
+        approved,
+        stale_approvals,
+        unmatched_roots,
+        roots,
+        functions: graph.fns.len(),
+        edges: graph.edge_count,
+        files_scanned,
+        closure_functions: parent.len(),
+        closure_index_sites,
+        closure_assert_sites,
+        unresolved_total,
+        unresolved_in_closure,
+    }
+}
+
+/// Parse the workspace under `root`, resolve the call graph, and run the
+/// reachability rules against `allowlist`.
+pub fn run_callgraph(root: &Path, allowlist: &Allowlist) -> Result<CgOutcome, String> {
+    let files = crate::engine::collect_files(root)?;
+    let mut irs = Vec::with_capacity(files.len());
+    for p in &files {
+        let src =
+            std::fs::read_to_string(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        let rel = crate::engine::rel_path(root, p);
+        irs.push(crate::ir::parse_file(&rel, &src));
+    }
+    let graph = crate::resolve::build(&irs);
+    Ok(analyze(&graph, allowlist, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_file;
+
+    fn outcome(sources: &[(&str, &str)], allowlist: &str) -> CgOutcome {
+        let irs: Vec<_> = sources.iter().map(|(p, s)| parse_file(p, s)).collect();
+        let graph = crate::resolve::build(&irs);
+        let al = Allowlist::parse(allowlist).unwrap();
+        analyze(&graph, &al, sources.len())
+    }
+
+    const ROOT: &str = r#"
+[[root]]
+pattern = "rm_serve::serve"
+reason = "test root"
+"#;
+
+    #[test]
+    fn panic_reachable_across_crates_carries_a_chain() {
+        let out = outcome(
+            &[
+                (
+                    "crates/serve/src/lib.rs",
+                    "pub fn serve() { rm_core::rank(); }",
+                ),
+                (
+                    "crates/core/src/lib.rs",
+                    "pub fn rank() { helper(); }\nfn helper() { let x: Option<u32> = None; x.unwrap(); }",
+                ),
+            ],
+            ROOT,
+        );
+        let f = out
+            .findings
+            .iter()
+            .find(|f| f.rule == RULE_PANIC)
+            .expect("panic finding");
+        assert_eq!(
+            f.chain,
+            ["rm_serve::serve", "rm_core::rank", "rm_core::helper"],
+            "call-depth evidence"
+        );
+        assert_eq!(f.what, ".unwrap(…)");
+    }
+
+    #[test]
+    fn alloc_outside_closure_is_not_a_finding() {
+        let out = outcome(
+            &[(
+                "crates/core/src/lib.rs",
+                "pub fn offline_fit() { let mut v = Vec::new(); v.push(1); }",
+            )],
+            ROOT,
+        );
+        assert!(out.findings.iter().all(|f| f.rule != RULE_ALLOC));
+        // …but the root that matched nothing fails the run.
+        assert_eq!(out.unmatched_roots.len(), 1);
+        assert!(!out.is_clean());
+    }
+
+    #[test]
+    fn approvals_absorb_and_stale_approvals_fail() {
+        let sources: &[(&str, &str)] = &[(
+            "crates/serve/src/lib.rs",
+            "pub fn serve() { let mut v = Vec::new(); v.push(1); }",
+        )];
+        let ok = outcome(
+            sources,
+            r#"
+[[root]]
+pattern = "rm_serve::serve"
+reason = "test root"
+
+[[approve]]
+rule = "alloc-reachable-from-serve-path"
+fn = "rm_serve::serve"
+reason = "bounded per-request scratch"
+"#,
+        );
+        assert!(ok.findings.is_empty());
+        assert_eq!(ok.approved.len(), 1);
+        assert_eq!(ok.approved[0].sites, 2, "Vec::new + push");
+        let stale = outcome(
+            sources,
+            r#"
+[[root]]
+pattern = "rm_serve::serve"
+reason = "test root"
+
+[[approve]]
+rule = "alloc-reachable-from-serve-path"
+fn = "rm_serve::serve"
+reason = "bounded per-request scratch"
+
+[[approve]]
+rule = "panic-reachable-from-serve-path"
+fn = "rm_serve::nothing_here"
+reason = "never matches"
+"#,
+        );
+        assert_eq!(stale.stale_approvals.len(), 1);
+        assert!(!stale.is_clean());
+    }
+
+    #[test]
+    fn unresolved_inside_closure_fails_closed() {
+        let out = outcome(
+            &[(
+                "crates/serve/src/lib.rs",
+                "pub fn serve() { mystery(); }\npub fn elsewhere() { enigma(); }",
+            )],
+            ROOT,
+        );
+        let unresolved: Vec<&CgFinding> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == RULE_UNRESOLVED)
+            .collect();
+        assert_eq!(unresolved.len(), 1, "only the closure one is a finding");
+        assert_eq!(out.unresolved_total, 2, "…but both are counted");
+        assert_eq!(out.unresolved_in_closure, 1);
+    }
+
+    #[test]
+    fn tainted_float_accum_fires_workspace_wide() {
+        let out = outcome(
+            &[(
+                "crates/eval/src/lib.rs",
+                r"
+                use std::collections::HashMap;
+                pub fn mean(m: &HashMap<u32, f32>) -> f32 {
+                    let total: f32 = m.values().sum::<f32>();
+                    total / m.len() as f32
+                }
+                ",
+            )],
+            "[[root]]\npattern = \"mean\"\nreason = \"cover the fn so the root matches\"\n",
+        );
+        assert!(out.findings.iter().any(|f| f.rule == RULE_TAINT));
+    }
+
+    #[test]
+    fn wildcard_and_bare_name_root_patterns() {
+        assert!(pattern_matches(
+            "recommend*",
+            "rm_serve::E::recommend_batch"
+        ));
+        assert!(pattern_matches(
+            "rm_serve::engine::ServingEngine::serve_*",
+            "rm_serve::engine::ServingEngine::serve_chunk_with"
+        ));
+        assert!(!pattern_matches(
+            "recommend",
+            "rm_serve::E::recommend_batch"
+        ));
+        assert!(!pattern_matches("rm_serve::E::f", "rm_core::E::f"));
+    }
+}

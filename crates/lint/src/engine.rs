@@ -41,7 +41,8 @@ impl RunOutcome {
 
 /// Collects every `.rs` file under `root/crates`, sorted, skipping build
 /// output and the lint fixtures (which contain deliberate violations).
-fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+/// Shared with the call-graph pass so both see the same workspace.
+pub(crate) fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
     let mut out = Vec::new();
     let mut stack = vec![root.join("crates")];
     while let Some(dir) = stack.pop() {
@@ -66,7 +67,7 @@ fn collect_files(root: &Path) -> Result<Vec<PathBuf>, String> {
 }
 
 /// Workspace-relative, `/`-separated path for scopes and diagnostics.
-fn rel_path(root: &Path, p: &Path) -> String {
+pub(crate) fn rel_path(root: &Path, p: &Path) -> String {
     let rel = p.strip_prefix(root).unwrap_or(p);
     rel.components()
         .map(|c| c.as_os_str().to_string_lossy())

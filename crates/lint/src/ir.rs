@@ -1,0 +1,1344 @@
+//! Item IR: a brace-tree recovery of `fn` / `impl` / `mod` / `use`
+//! structure on top of the token [`crate::lexer`] — deliberately *not* a
+//! full AST (no expressions, no types, no macro expansion).
+//!
+//! The parser walks a file's token stream once, tracking a scope stack of
+//! modules and `impl` / `trait` owners. Function bodies are consumed
+//! atomically: when a `fn` item is found, its brace-matched body is handed
+//! to a dedicated body scanner that records
+//!
+//! * **call sites** — bare calls (`helper(…)`), path calls
+//!   (`Vec::new(…)`, `crate::pipeline::merge_into(…)`) and method calls
+//!   (`.push(…)`, with a `self.` receiver flag) — resolved into call-graph
+//!   edges by [`crate::resolve`];
+//! * **facts** — the behaviours the reachability rules care about:
+//!   allocation (`Vec::new` / `push` / `to_vec` / `collect` / `format!` /
+//!   `clone` / `Box::new`), may-panic (`unwrap` / `expect` / `panic!`),
+//!   float accumulation, nondeterministic hash iteration, and the local
+//!   hash-iteration → float-accumulation taint (reusing rule 4's
+//!   shadowing-aware machinery from [`crate::rules`]);
+//! * **counters** — indexing sites and `assert!`-family sites. These are
+//!   deliberate contract checks in this codebase, so they are *counted*
+//!   in the report rather than raised as findings (DESIGN.md §19).
+//!
+//! Known, documented resolution limits: calls through locally-bound
+//! callable values (`f(x)` for a closure parameter, a `let`-bound
+//! closure, or a nested `fn`) create no *edge* — but their bodies, when
+//! defined inside this item, are scanned as part of it, so their facts
+//! are attributed at the definition site and nothing is lost for the
+//! reachability rules. Fn-reference values passed without parentheses
+//! (`.map(Option::unwrap_or_default)`) create no edge, and closures in
+//! `static` initializers are attributed to no function. The analysis
+//! fails closed: anything else it cannot resolve is reported, and
+//! unresolved calls inside a serve root's closure fail the lint.
+
+use crate::lexer::{lex, mark_test_regions, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A function-level behaviour fact recorded by the body scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FactKind {
+    /// Heap allocation (constructor, growing method, or alloc macro).
+    Alloc,
+    /// May abort the thread: `unwrap` / `expect` / `panic!`-family.
+    Panic,
+    /// Manual f32 accumulation outside `rm_sparse::vecops` (rule 6 shape).
+    FloatAccum,
+    /// `HashMap` / `HashSet` iteration (rule 4 shape).
+    HashIter,
+    /// Hash iteration feeding an f32 accumulation in the same body.
+    TaintedFloatAccum,
+}
+
+impl FactKind {
+    /// Stable lowercase name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FactKind::Alloc => "alloc",
+            FactKind::Panic => "panic",
+            FactKind::FloatAccum => "float-accum",
+            FactKind::HashIter => "hash-iter",
+            FactKind::TaintedFloatAccum => "tainted-float-accum",
+        }
+    }
+}
+
+/// One recorded fact with its source position and a short `what` label
+/// (e.g. `".unwrap()"`, `"Vec::with_capacity(…)"`, `"format!(…)"`).
+#[derive(Debug, Clone)]
+pub struct Fact {
+    /// Behaviour class.
+    pub kind: FactKind,
+    /// Short human label for diagnostics and the report.
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// How a call site was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(…)` — free function in scope.
+    Bare,
+    /// `a::b::name(…)` — path call; segments kept for resolution.
+    Path,
+    /// `.name(…)` — method call; `on_self` when the receiver token is
+    /// literally `self` (enables owner-first resolution).
+    Method {
+        /// Receiver is literally `self`.
+        on_self: bool,
+    },
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Shape of the call.
+    pub kind: CallKind,
+    /// Called name (last path segment for path calls).
+    pub name: String,
+    /// Full path segments (`["Vec", "new"]`); single-element for bare.
+    pub segs: Vec<String>,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// One function item with everything the call graph needs.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// `impl` / `trait` owner type name, if any.
+    pub owner: Option<String>,
+    /// True when the owner scope is a `trait` block (defaulted bodies).
+    pub owner_is_trait: bool,
+    /// Module path within the crate (empty at crate root).
+    pub module: Vec<String>,
+    /// Fully qualified name: `crate::module::Owner::name`.
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Inside `#[cfg(test)]` / `#[test]` or a `tests/` file.
+    pub is_test: bool,
+    /// First parameter is a `self` receiver — only these are candidates
+    /// for `.name(…)` method-call resolution.
+    pub has_self: bool,
+    /// Call sites in declaration order.
+    pub calls: Vec<CallSite>,
+    /// Behaviour facts in declaration order.
+    pub facts: Vec<Fact>,
+    /// Indexing sites (`x[i]`) — counted, not findings.
+    pub index_sites: u32,
+    /// `assert!` / `assert_eq!` / `assert_ne!` sites — counted.
+    pub assert_sites: u32,
+    /// Names bound inside the item: parameters, `let` bindings, closure
+    /// parameters and nested `fn` definitions. A bare call to one of
+    /// these invokes a local callable value (whose body, if defined here,
+    /// is already scanned as part of this item), so the resolver skips it
+    /// rather than reporting it unresolved.
+    pub locals: BTreeSet<String>,
+}
+
+/// Parsed item structure of one source file.
+#[derive(Debug, Clone)]
+pub struct FileIr {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Crate name (`rm_core`, `reading_machine`, `rm_bench_bin_ann_bench`).
+    pub crate_name: String,
+    /// Module path of the file within the crate.
+    pub module: Vec<String>,
+    /// `use` aliases: local name → path segments as written (seg 0 may be
+    /// `crate` / `super` / `self` or an external / workspace crate name).
+    pub uses: BTreeMap<String, Vec<String>>,
+    /// Glob imports (`use x::*`): prefix segments as written.
+    pub globs: Vec<Vec<String>>,
+    /// Functions in declaration order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Map a workspace-relative path to (crate name, module path, tests-dir?).
+///
+/// `crates/core/src/bpr.rs` → (`rm_core`, `[bpr]`); `src/bin/x.rs` and
+/// `tests/y.rs` become synthetic crates (`rm_bench_bin_x`,
+/// `rm_core_tests_y`) so their items never collide with library modules.
+fn crate_and_module(path: &str) -> (String, Vec<String>, bool) {
+    let parts: Vec<&str> = path.split('/').collect();
+    let stem = |s: &str| s.trim_end_matches(".rs").replace('-', "_");
+    if parts.len() >= 3 && parts[0] == "crates" {
+        let dir = parts[1];
+        let pkg = if dir == "reading-machine" {
+            "reading_machine".to_string()
+        } else {
+            format!("rm_{}", dir.replace('-', "_"))
+        };
+        let rest = &parts[2..];
+        if rest[0] == "src" && rest.len() >= 2 {
+            let tail = &rest[1..];
+            if tail == ["lib.rs"] || tail == ["main.rs"] {
+                return (pkg, Vec::new(), false);
+            }
+            if tail[0] == "bin" && tail.len() == 2 {
+                return (format!("{pkg}_bin_{}", stem(tail[1])), Vec::new(), false);
+            }
+            let mut module: Vec<String> = tail.iter().map(|s| stem(s)).collect();
+            if module.last().is_some_and(|m| m == "mod") {
+                module.pop();
+            }
+            return (pkg, module, false);
+        }
+        if rest[0] == "tests" || rest[0] == "benches" || rest[0] == "examples" {
+            let name = stem(rest.last().unwrap_or(&""));
+            return (format!("{pkg}_{}_{name}", rest[0]), Vec::new(), true);
+        }
+        return (pkg, Vec::new(), false);
+    }
+    ("unknown".to_string(), Vec::new(), false)
+}
+
+/// Reserved words that can never be a bare call target.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "let", "mut",
+    "ref", "move", "in", "as", "where", "unsafe", "dyn", "impl", "fn", "pub", "use", "mod",
+    "struct", "enum", "union", "trait", "type", "const", "static", "extern", "crate", "super",
+    "self", "Self", "box", "async", "await", "true", "false", "yield",
+];
+
+/// Methods that grow or create heap storage (recorded as [`FactKind::Alloc`]).
+const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "insert",
+    "to_vec",
+    "collect",
+    "clone",
+    "cloned",
+    "to_string",
+    "to_owned",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "resize",
+    "resize_with",
+    "reserve",
+    "reserve_exact",
+    "split_off",
+];
+
+/// Owner types whose `new` / `with_capacity` / `from` / `from_iter`
+/// constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Arc",
+    "Rc",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "BinaryHeap",
+];
+
+/// Constructor names on [`ALLOC_TYPES`] that allocate.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "from_iter"];
+
+/// Parse one file into its item IR. `path` must be workspace-relative
+/// with `/` separators (as produced by the engine's file walker).
+#[must_use]
+pub fn parse_file(path: &str, src: &str) -> FileIr {
+    let mut tokens = lex(src);
+    mark_test_regions(&mut tokens);
+    let (crate_name, module_base, tests_dir) = crate_and_module(path);
+    let mut file = FileIr {
+        path: path.to_string(),
+        crate_name,
+        module: module_base,
+        uses: BTreeMap::new(),
+        globs: Vec::new(),
+        fns: Vec::new(),
+    };
+    Parser {
+        t: &tokens,
+        file: &mut file,
+        tests_dir,
+    }
+    .run();
+    file
+}
+
+/// One scope on the item-parser stack. Every variant corresponds to
+/// exactly one consumed `{`, so a `}` always pops exactly one scope.
+enum Scope {
+    /// `mod name { … }`.
+    Mod(String),
+    /// `impl [Trait for] Type { … }` or `trait Name { … }`.
+    Owner {
+        /// Type (for `impl`) or trait (for `trait`) name.
+        name: String,
+        /// True for `trait` blocks: defaulted bodies, dyn-dispatch targets.
+        is_trait: bool,
+    },
+    /// Any other `{`.
+    Brace,
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    file: &'a mut FileIr,
+    tests_dir: bool,
+}
+
+impl Parser<'_> {
+    /// Index just past the brace/bracket/paren pair opening at `open`.
+    fn skip_matched(&self, open: usize) -> usize {
+        let open_ch = self.t[open].text.chars().next().unwrap_or('{');
+        let close_ch = match open_ch {
+            '(' => ')',
+            '[' => ']',
+            _ => '}',
+        };
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.t.len() {
+            if self.t[j].is_punct(open_ch) {
+                depth += 1;
+            } else if self.t[j].is_punct(close_ch) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        self.t.len()
+    }
+
+    /// Scan from `from` to the first `{` (returned as `Ok`) or `;`
+    /// (returned as `Err`) at paren *and bracket* depth 0 — used to find
+    /// item bodies past generics, where-clauses and tuple-struct field
+    /// lists. Bracket depth matters because array types carry semicolons
+    /// (`fn f() -> [f32; N]`).
+    fn find_body(&self, from: usize) -> Result<usize, usize> {
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut j = from;
+        while j < self.t.len() {
+            let tok = &self.t[j];
+            if tok.kind == TokKind::Punct {
+                match tok.text.as_bytes().first() {
+                    Some(b'(') => paren += 1,
+                    Some(b')') => paren -= 1,
+                    Some(b'[') => bracket += 1,
+                    Some(b']') => bracket -= 1,
+                    Some(b'{') if paren == 0 && bracket == 0 => return Ok(j),
+                    Some(b';') if paren == 0 && bracket == 0 => return Err(j),
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        Err(self.t.len())
+    }
+
+    fn run(&mut self) {
+        let mut scopes: Vec<Scope> = Vec::new();
+        let mut i = 0;
+        while i < self.t.len() {
+            let tok = &self.t[i];
+            if tok.kind == TokKind::Punct {
+                if tok.is_punct('{') {
+                    scopes.push(Scope::Brace);
+                } else if tok.is_punct('}') {
+                    scopes.pop();
+                }
+                i += 1;
+                continue;
+            }
+            if tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match tok.text.as_str() {
+                "use" => i = self.parse_use(i),
+                "mod" => {
+                    if self.t.get(i + 1).is_some_and(|x| x.kind == TokKind::Ident)
+                        && self.t.get(i + 2).is_some_and(|x| x.is_punct('{'))
+                    {
+                        scopes.push(Scope::Mod(self.t[i + 1].text.clone()));
+                        i += 3;
+                    } else {
+                        // `mod name;` — out-of-line, parsed via its own file.
+                        i += 1;
+                    }
+                }
+                "impl" => i = self.parse_impl(i, &mut scopes),
+                "trait" => i = self.parse_trait(i, &mut scopes),
+                "fn" => i = self.parse_fn(i, &scopes),
+                "macro_rules" => {
+                    // `macro_rules! name { … }` — macro bodies may contain
+                    // `fn` fragments; never item-parse them.
+                    let mut j = i + 1;
+                    while j < self.t.len() && !self.t[j].is_punct('{') {
+                        if self.t[j].is_punct(';') {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    i = if self.t.get(j).is_some_and(|x| x.is_punct('{')) {
+                        self.skip_matched(j)
+                    } else {
+                        j + 1
+                    };
+                }
+                "struct" | "enum" | "union" => match self.find_body(i + 1) {
+                    Ok(open) => i = self.skip_matched(open),
+                    Err(semi) => i = semi + 1,
+                },
+                "static" | "const" | "type" => {
+                    // `const fn` / `static ref`-less: if the next token is
+                    // another item keyword, fall through to it; otherwise
+                    // skip the whole `= value;` (initializers may contain
+                    // closures we must not item-parse).
+                    if self
+                        .t
+                        .get(i + 1)
+                        .is_some_and(|x| x.is_ident("fn") || x.is_ident("unsafe"))
+                    {
+                        i += 1;
+                    } else {
+                        i = crate::rules::stmt_end(self.t, i) + 1;
+                    }
+                }
+                _ => {
+                    // Item-level macro invocation `name! { … }` — skip its
+                    // body (e.g. `proptest! { fn … }` would otherwise leak
+                    // phantom items).
+                    if self.t.get(i + 1).is_some_and(|x| x.is_punct('!'))
+                        && self
+                            .t
+                            .get(i + 2)
+                            .is_some_and(|x| x.is_punct('{') || x.is_punct('(') || x.is_punct('['))
+                    {
+                        i = self.skip_matched(i + 2);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parse a `use` tree starting at the `use` keyword; returns the index
+    /// past the terminating `;`. Handles groups, `as` aliases and globs.
+    fn parse_use(&mut self, i: usize) -> usize {
+        let mut j = i + 1;
+        let prefix = Vec::new();
+        j = self.parse_use_tree(j, &prefix);
+        while j < self.t.len() && !self.t[j].is_punct(';') {
+            j += 1;
+        }
+        j + 1
+    }
+
+    fn parse_use_tree(&mut self, mut j: usize, prefix: &[String]) -> usize {
+        let mut segs: Vec<String> = prefix.to_vec();
+        loop {
+            let Some(tok) = self.t.get(j) else {
+                return j;
+            };
+            if tok.kind == TokKind::Ident && tok.text != "as" {
+                segs.push(tok.text.clone());
+                j += 1;
+                // `::` continuation?
+                if self.t.get(j).is_some_and(|x| x.is_punct(':'))
+                    && self.t.get(j + 1).is_some_and(|x| x.is_punct(':'))
+                {
+                    j += 2;
+                    if self.t.get(j).is_some_and(|x| x.is_punct('{')) {
+                        // Group: comma-separated subtrees.
+                        j += 1;
+                        loop {
+                            match self.t.get(j) {
+                                Some(x) if x.is_punct('}') => return j + 1,
+                                Some(x) if x.is_punct(',') => j += 1,
+                                Some(_) => j = self.parse_use_tree(j, &segs),
+                                None => return j,
+                            }
+                        }
+                    }
+                    if self.t.get(j).is_some_and(|x| x.is_punct('*')) {
+                        self.file.globs.push(segs.clone());
+                        return j + 1;
+                    }
+                    continue;
+                }
+                break;
+            }
+            // `self` inside a group (`use x::y::{self, z}`) lands in the
+            // ident arm above; anything else ends the tree.
+            return j;
+        }
+        // Optional `as alias`.
+        if self.t.get(j).is_some_and(|x| x.is_ident("as")) {
+            if let Some(alias) = self.t.get(j + 1) {
+                if alias.kind == TokKind::Ident && alias.text != "_" {
+                    self.file.uses.insert(alias.text.clone(), segs);
+                }
+            }
+            return j + 2;
+        }
+        if let Some(last) = segs.last() {
+            if last == "self" {
+                // `use x::y::{self}` aliases `y`.
+                let name = segs[segs.len().saturating_sub(2)].clone();
+                let mut path = segs.clone();
+                path.pop();
+                self.file.uses.insert(name, path);
+            } else {
+                self.file.uses.insert(last.clone(), segs);
+            }
+        }
+        j
+    }
+
+    /// Parse an `impl [Trait for] Type` header; push an Owner scope and
+    /// return the index past the opening `{`.
+    fn parse_impl(&mut self, i: usize, scopes: &mut Vec<Scope>) -> usize {
+        let mut j = i + 1;
+        // Generics on the impl itself.
+        if self.t.get(j).is_some_and(|x| x.is_punct('<')) {
+            j = self.skip_angles(j);
+        }
+        let first = self.read_type_path(&mut j);
+        let owner;
+        let mut is_trait_impl = false;
+        if self.t.get(j).is_some_and(|x| x.is_ident("for")) {
+            j += 1;
+            // Skip `&`, `&mut`, `dyn` on the self type.
+            while self
+                .t
+                .get(j)
+                .is_some_and(|x| x.is_punct('&') || x.is_ident("mut") || x.is_ident("dyn"))
+            {
+                j += 1;
+            }
+            owner = self.read_type_path(&mut j);
+            is_trait_impl = true;
+        } else {
+            owner = first;
+        }
+        let _ = is_trait_impl; // trait name itself is not needed downstream
+        match self.find_body(j) {
+            Ok(open) => {
+                scopes.push(Scope::Owner {
+                    name: owner.unwrap_or_default(),
+                    is_trait: false,
+                });
+                open + 1
+            }
+            Err(semi) => semi + 1,
+        }
+    }
+
+    /// Parse `trait Name … { … }`; trait method defaults are dyn-dispatch
+    /// targets, so the Owner scope is flagged `is_trait`.
+    fn parse_trait(&mut self, i: usize, scopes: &mut Vec<Scope>) -> usize {
+        let Some(name_tok) = self.t.get(i + 1).filter(|x| x.kind == TokKind::Ident) else {
+            return i + 1;
+        };
+        let name = name_tok.text.clone();
+        match self.find_body(i + 2) {
+            Ok(open) => {
+                scopes.push(Scope::Owner {
+                    name,
+                    is_trait: true,
+                });
+                open + 1
+            }
+            Err(semi) => semi + 1,
+        }
+    }
+
+    /// Read a type path (`a::b::Type<…>`), returning the final segment.
+    fn read_type_path(&self, j: &mut usize) -> Option<String> {
+        let mut last = None;
+        while let Some(tok) = self.t.get(*j) {
+            if tok.kind != TokKind::Ident || tok.is_ident("for") || tok.is_ident("where") {
+                break;
+            }
+            last = Some(tok.text.clone());
+            *j += 1;
+            if self.t.get(*j).is_some_and(|x| x.is_punct('<')) {
+                *j = self.skip_angles(*j);
+            }
+            if self.t.get(*j).is_some_and(|x| x.is_punct(':'))
+                && self.t.get(*j + 1).is_some_and(|x| x.is_punct(':'))
+            {
+                *j += 2;
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Skip a `<…>` generics region starting at `<`; `->` arrows inside
+    /// (return types of `Fn(…) -> X` bounds) do not close the region.
+    fn skip_angles(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.t.len() {
+            let tok = &self.t[j];
+            if tok.is_punct('<') {
+                depth += 1;
+            } else if tok.is_punct('>') && !(j > 0 && self.t[j - 1].is_punct('-')) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        self.t.len()
+    }
+
+    /// Parse a `fn` item at `i` (the `fn` keyword); scan its body and
+    /// return the index past the closing brace.
+    fn parse_fn(&mut self, i: usize, scopes: &[Scope]) -> usize {
+        let Some(name_tok) = self.t.get(i + 1).filter(|x| x.kind == TokKind::Ident) else {
+            // `fn(` — function-pointer type, not an item.
+            return i + 1;
+        };
+        let open = match self.find_body(i + 2) {
+            Ok(open) => open,
+            // Body-less trait method declaration / extern decl.
+            Err(semi) => return semi + 1,
+        };
+        let close = self.skip_matched(open) - 1;
+        let mut module = self.file.module.clone();
+        let mut owner = None;
+        let mut owner_is_trait = false;
+        for s in scopes {
+            match s {
+                Scope::Mod(m) => module.push(m.clone()),
+                Scope::Owner { name, is_trait } => {
+                    owner = Some(name.clone());
+                    owner_is_trait = *is_trait;
+                }
+                Scope::Brace => {}
+            }
+        }
+        let mut qual = self.file.crate_name.clone();
+        for m in &module {
+            qual.push_str("::");
+            qual.push_str(m);
+        }
+        if let Some(o) = &owner {
+            qual.push_str("::");
+            qual.push_str(o);
+        }
+        qual.push_str("::");
+        qual.push_str(&name_tok.text);
+        // `self` receiver: the first ident inside the parameter list after
+        // skipping `&`, a lifetime, and `mut` (covers `self`, `&self`,
+        // `&'a mut self`, `mut self`).
+        let has_self = {
+            let mut k = i + 2;
+            if self.t.get(k).is_some_and(|x| x.is_punct('<')) {
+                k = self.skip_angles(k); // `Fn(…)` bounds may hold `(`
+            }
+            k += 1; // past the param list's `(`
+            while self.t.get(k).is_some_and(|x| {
+                x.is_punct('&') || x.kind == TokKind::Lifetime || x.is_ident("mut")
+            }) {
+                k += 1;
+            }
+            self.t.get(k).is_some_and(|x| x.is_ident("self"))
+        };
+        let mut item = FnItem {
+            name: name_tok.text.clone(),
+            owner,
+            owner_is_trait,
+            module,
+            qual,
+            line: self.t[i].line,
+            col: self.t[i].col,
+            is_test: self.t[i].in_test || self.tests_dir,
+            has_self,
+            calls: Vec::new(),
+            facts: Vec::new(),
+            index_sites: 0,
+            assert_sites: 0,
+            locals: BTreeSet::new(),
+        };
+        // The scan range includes the signature so rule 4's parameter
+        // annotations (`m: &HashMap<…>`) are visible to the taint pass.
+        scan_body(self.t, i, open, close, &mut item);
+        self.file.fns.push(item);
+        // Body-level `use` statements (`fn f() { use x::y; … }`) feed the
+        // same file-scoped alias map: over-scoped to the whole file, which
+        // is benign — aliases are consulted only when direct resolution
+        // misses, and alias targets resolve identically from anywhere.
+        let mut u = open + 1;
+        while u < close {
+            if self.t[u].is_ident("use")
+                && !(self.t[u - 1].is_punct('.')
+                    || self.t[u - 1].is_punct(':')
+                    || self.t[u - 1].is_ident("fn"))
+            {
+                u = self.parse_use(u);
+            } else {
+                u += 1;
+            }
+        }
+        close + 1
+    }
+}
+
+/// Macro names that abort: recorded as [`FactKind::Panic`].
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Collect the names bound inside `t[sig_start..=close]`: typed
+/// parameters and struct-pattern fields (`name :`), `let` bindings
+/// (every lowercase ident of the pattern up to `=` / `;` — types
+/// overcollect harmlessly), untyped closure parameters (`|a, b|`) and
+/// nested `fn` names. Locals are consulted only after every real
+/// resolution path has failed, so overcollection can never drop an edge —
+/// it only keeps a call through a local callable value out of the
+/// unresolved bucket.
+fn collect_locals(t: &[Token], sig_start: usize, close: usize, locals: &mut BTreeSet<String>) {
+    let is_bindable = |x: &Token| {
+        x.kind == TokKind::Ident
+            && !KEYWORDS.contains(&x.text.as_str())
+            && x.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+    };
+    let end = close.min(t.len().saturating_sub(1));
+    let mut j = sig_start;
+    while j <= end {
+        let tok = &t[j];
+        if tok.is_ident("let") {
+            j += 1;
+            while j <= end && !t[j].is_punct('=') && !t[j].is_punct(';') {
+                if is_bindable(&t[j]) {
+                    locals.insert(t[j].text.clone());
+                }
+                j += 1;
+            }
+            continue;
+        }
+        if tok.is_ident("fn") {
+            if let Some(n) = t.get(j + 1).filter(|x| x.kind == TokKind::Ident) {
+                locals.insert(n.text.clone());
+            }
+            j += 2;
+            continue;
+        }
+        if tok.kind == TokKind::Ident {
+            // `name :` with a single colon — a typed binding.
+            if is_bindable(tok)
+                && t.get(j + 1).is_some_and(|x| x.is_punct(':'))
+                && !t.get(j + 2).is_some_and(|x| x.is_punct(':'))
+                && !(j > 0 && t[j - 1].is_punct(':'))
+            {
+                locals.insert(tok.text.clone());
+            }
+        } else if tok.is_punct('|') {
+            // Untyped closure parameters (the typed form is covered
+            // above). A bit-or rhs overcollects at most one safe name.
+            let mut k = j + 1;
+            loop {
+                while k <= end && (t[k].is_ident("mut") || t[k].is_punct('&')) {
+                    k += 1;
+                }
+                let Some(x) = t.get(k) else { break };
+                if !is_bindable(x) {
+                    break;
+                }
+                locals.insert(x.text.clone());
+                k += 1;
+                if t.get(k).is_some_and(|x| x.is_punct(',')) {
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Scan one function's tokens (`sig_start..=close`, body at `open`)
+/// recording call sites, facts, counters and bound locals into `item`.
+fn scan_body(t: &[Token], sig_start: usize, open: usize, close: usize, item: &mut FnItem) {
+    collect_locals(t, sig_start, close, &mut item.locals);
+    let mut j = open + 1;
+    while j < close {
+        let tok = &t[j];
+        // Attributes inside bodies (`#[cfg(feature = "testing")]`) — skip
+        // the bracketed part so `cfg(…)` is not mistaken for a call.
+        if tok.is_punct('#') {
+            let b = if t.get(j + 1).is_some_and(|x| x.is_punct('!')) {
+                j + 2
+            } else {
+                j + 1
+            };
+            if t.get(b).is_some_and(|x| x.is_punct('[')) {
+                j = skip_matched_in(t, b);
+                continue;
+            }
+        }
+        // Indexing: `name[…]` / `)[…]` / `][…]` — counted, not a finding.
+        if tok.is_punct('[')
+            && j > 0
+            && (t[j - 1].kind == TokKind::Ident && !KEYWORDS.contains(&t[j - 1].text.as_str())
+                || t[j - 1].is_punct(')')
+                || t[j - 1].is_punct(']'))
+        {
+            item.index_sites += 1;
+            j += 1;
+            continue;
+        }
+        // Method call: `. name [::<…>] (`.
+        if tok.is_punct('.') {
+            if let Some(m) = t.get(j + 1).filter(|x| x.kind == TokKind::Ident) {
+                let mut k = j + 2;
+                if t.get(k).is_some_and(|x| x.is_punct(':'))
+                    && t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                    && t.get(k + 2).is_some_and(|x| x.is_punct('<'))
+                {
+                    k = skip_angles_in(t, k + 2);
+                }
+                if t.get(k).is_some_and(|x| x.is_punct('(')) {
+                    let name = m.text.clone();
+                    if ALLOC_METHODS.contains(&name.as_str()) {
+                        item.facts.push(Fact {
+                            kind: FactKind::Alloc,
+                            what: format!(".{name}(…)"),
+                            line: m.line,
+                            col: m.col,
+                        });
+                    }
+                    if name == "unwrap" || name == "expect" {
+                        item.facts.push(Fact {
+                            kind: FactKind::Panic,
+                            what: format!(".{name}(…)"),
+                            line: m.line,
+                            col: m.col,
+                        });
+                    }
+                    let on_self = j > 0 && t[j - 1].is_ident("self");
+                    item.calls.push(CallSite {
+                        kind: CallKind::Method { on_self },
+                        name: name.clone(),
+                        segs: vec![name],
+                        line: m.line,
+                        col: m.col,
+                    });
+                }
+            }
+            j += 1;
+            continue;
+        }
+        if tok.kind != TokKind::Ident {
+            j += 1;
+            continue;
+        }
+        // Skip idents that are path/method continuations or declarations.
+        if j > 0 && (t[j - 1].is_punct(':') || t[j - 1].is_punct('.') || t[j - 1].is_ident("fn")) {
+            j += 1;
+            continue;
+        }
+        // Macro invocation `name!`.
+        if t.get(j + 1).is_some_and(|x| x.is_punct('!')) {
+            let name = tok.text.as_str();
+            if PANIC_MACROS.contains(&name) {
+                item.facts.push(Fact {
+                    kind: FactKind::Panic,
+                    what: format!("{name}!(…)"),
+                    line: tok.line,
+                    col: tok.col,
+                });
+            } else if name == "format" || name == "vec" {
+                item.facts.push(Fact {
+                    kind: FactKind::Alloc,
+                    what: format!("{name}!(…)"),
+                    line: tok.line,
+                    col: tok.col,
+                });
+            } else if name == "assert" || name == "assert_eq" || name == "assert_ne" {
+                item.assert_sites += 1;
+            }
+            item.calls.push(CallSite {
+                kind: CallKind::Bare,
+                name: format!("{name}!"),
+                segs: vec![format!("{name}!")],
+                line: tok.line,
+                col: tok.col,
+            });
+            j += 2;
+            continue;
+        }
+        // `use` statements inside bodies are skipped here (so the path is
+        // not misread as a call chain); `parse_fn` re-parses them into the
+        // file-scoped alias map afterwards.
+        if tok.is_ident("use") {
+            while j < close && !t[j].is_punct(';') {
+                j += 1;
+            }
+            continue;
+        }
+        // Path chain: `seg (:: seg)* [::<…>] (`.
+        let mut segs = vec![tok.text.clone()];
+        let mut k = j + 1;
+        loop {
+            if t.get(k).is_some_and(|x| x.is_punct(':'))
+                && t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+            {
+                if t.get(k + 2).is_some_and(|x| x.is_punct('<')) {
+                    k = skip_angles_in(t, k + 2);
+                    break;
+                }
+                if let Some(seg) = t.get(k + 2).filter(|x| x.kind == TokKind::Ident) {
+                    segs.push(seg.text.clone());
+                    k += 3;
+                    continue;
+                }
+            }
+            break;
+        }
+        if t.get(k).is_some_and(|x| x.is_punct('(')) {
+            if segs.len() == 1 {
+                let name = &segs[0];
+                let first = name.chars().next().unwrap_or('_');
+                if !KEYWORDS.contains(&name.as_str()) && !first.is_ascii_uppercase() {
+                    item.calls.push(CallSite {
+                        kind: CallKind::Bare,
+                        name: name.clone(),
+                        segs,
+                        line: tok.line,
+                        col: tok.col,
+                    });
+                }
+            } else {
+                let owner_seg = &segs[segs.len() - 2];
+                let last = &segs[segs.len() - 1];
+                if ALLOC_TYPES.contains(&owner_seg.as_str()) && ALLOC_CTORS.contains(&last.as_str())
+                {
+                    item.facts.push(Fact {
+                        kind: FactKind::Alloc,
+                        what: format!("{owner_seg}::{last}(…)"),
+                        line: tok.line,
+                        col: tok.col,
+                    });
+                }
+                item.calls.push(CallSite {
+                    kind: CallKind::Path,
+                    name: last.clone(),
+                    segs,
+                    line: tok.line,
+                    col: tok.col,
+                });
+            }
+        }
+        j = k.max(j + 1);
+    }
+    // Whole-item passes: rule 6 / rule 4 shapes and their correlation.
+    let slice = &t[sig_start..=close.min(t.len() - 1)];
+    let fa: Vec<usize> = crate::rules::check_float_accum(slice)
+        .into_iter()
+        .map(|x| x + sig_start)
+        .collect();
+    let nd: Vec<usize> = crate::rules::check_nondet_iteration(slice)
+        .into_iter()
+        .map(|x| x + sig_start)
+        .collect();
+    for &x in &fa {
+        item.facts.push(Fact {
+            kind: FactKind::FloatAccum,
+            what: "manual f32 accumulation".to_string(),
+            line: t[x].line,
+            col: t[x].col,
+        });
+    }
+    let f32_names = collect_f32_bindings(t, open, close);
+    for &x in &nd {
+        item.facts.push(Fact {
+            kind: FactKind::HashIter,
+            what: "HashMap/HashSet iteration".to_string(),
+            line: t[x].line,
+            col: t[x].col,
+        });
+        if hash_iter_feeds_float(t, x, close, &fa, &f32_names) {
+            item.facts.push(Fact {
+                kind: FactKind::TaintedFloatAccum,
+                what: "hash iteration feeds f32 accumulation".to_string(),
+                line: t[x].line,
+                col: t[x].col,
+            });
+        }
+    }
+    item.facts.sort_by_key(|f| (f.line, f.col, f.kind));
+}
+
+/// `skip_matched` without a `Parser` borrow (body-scan helper).
+fn skip_matched_in(t: &[Token], open: usize) -> usize {
+    let open_ch = t[open].text.chars().next().unwrap_or('[');
+    let close_ch = match open_ch {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    };
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < t.len() {
+        if t[j].is_punct(open_ch) {
+            depth += 1;
+        } else if t[j].is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    t.len()
+}
+
+/// `skip_angles` without a `Parser` borrow.
+fn skip_angles_in(t: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < t.len() {
+        if t[j].is_punct('<') {
+            depth += 1;
+        } else if t[j].is_punct('>') && !(j > 0 && t[j - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    t.len()
+}
+
+/// Names bound to `f32` in the body (`let [mut] n: f32` or a literal with
+/// an `f32` suffix) — targets for compound accumulation (`n += …`).
+fn collect_f32_bindings(t: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut j = open;
+    while j + 3 < close {
+        if t[j].is_ident("let") {
+            let mut k = j + 1;
+            if t.get(k).is_some_and(|x| x.is_ident("mut")) {
+                k += 1;
+            }
+            if let Some(name) = t.get(k).filter(|x| x.kind == TokKind::Ident) {
+                let is_f32 = (t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                    && t.get(k + 2).is_some_and(|x| x.is_ident("f32")))
+                    || (t.get(k + 1).is_some_and(|x| x.is_punct('='))
+                        && t.get(k + 2)
+                            .is_some_and(|x| x.kind == TokKind::Num && x.text.ends_with("f32")));
+                if is_f32 {
+                    names.push(name.text.clone());
+                }
+            }
+        }
+        j += 1;
+    }
+    names
+}
+
+/// Does the hash-iteration anchored at `x` feed a float accumulation?
+/// Same-statement case: a rule-6 anchor inside the statement span.
+/// For-loop case: a rule-6 anchor or a compound `name += …` (with `name`
+/// bound to `f32`) inside the loop body.
+fn hash_iter_feeds_float(
+    t: &[Token],
+    x: usize,
+    close: usize,
+    fa: &[usize],
+    f32_names: &[String],
+) -> bool {
+    // Statement span around the anchor.
+    let mut s = x;
+    while s > 0 {
+        let p = &t[s - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let e = crate::rules::stmt_end(t, x).min(close);
+    if fa.iter().any(|&a| a >= s && a <= e) {
+        return true;
+    }
+    // For-loop case: rule 4 anchors the iterated name, with `{` next.
+    if t.get(x + 1).is_some_and(|tok| tok.is_punct('{')) {
+        let body_end = skip_matched_in(t, x + 1).min(close + 1);
+        if fa.iter().any(|&a| a > x + 1 && a < body_end) {
+            return true;
+        }
+        let mut j = x + 2;
+        while j + 2 < body_end {
+            if t[j].kind == TokKind::Ident
+                && f32_names.iter().any(|n| n == &t[j].text)
+                && t[j + 1].is_punct('+')
+                && t[j + 2].is_punct('=')
+            {
+                return true;
+            }
+            j += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> FileIr {
+        parse_file("crates/core/src/demo.rs", src)
+    }
+
+    #[test]
+    fn recovers_fn_mod_impl_structure() {
+        let ir = parse(
+            r"
+            pub fn top() {}
+            mod inner {
+                pub fn nested() {}
+            }
+            pub struct Thing;
+            impl Thing {
+                pub fn method(&self) {}
+            }
+            ",
+        );
+        let quals: Vec<&str> = ir.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(
+            quals,
+            [
+                "rm_core::demo::top",
+                "rm_core::demo::inner::nested",
+                "rm_core::demo::Thing::method"
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impl_methods_attribute_to_the_self_type() {
+        let ir = parse(
+            r"
+            impl super::Recommender for Bpr {
+                fn score(&self, u: u32, b: u32) -> f32 { self.inner_score(u, b) }
+            }
+            ",
+        );
+        assert_eq!(ir.fns.len(), 1);
+        assert_eq!(ir.fns[0].qual, "rm_core::demo::Bpr::score");
+        assert_eq!(ir.fns[0].owner.as_deref(), Some("Bpr"));
+        assert!(!ir.fns[0].owner_is_trait);
+        let m = &ir.fns[0].calls[0];
+        assert_eq!(m.name, "inner_score");
+        assert_eq!(m.kind, CallKind::Method { on_self: true });
+    }
+
+    #[test]
+    fn trait_default_bodies_flag_owner_is_trait() {
+        let ir = parse(
+            r"
+            pub trait Recommender {
+                fn score(&self, u: u32, b: u32) -> f32;
+                fn recommend(&self, u: u32, k: usize) -> Vec<u32> {
+                    self.rank(u, k)
+                }
+            }
+            ",
+        );
+        // The body-less declaration is skipped; only the default counts.
+        assert_eq!(ir.fns.len(), 1);
+        assert_eq!(ir.fns[0].qual, "rm_core::demo::Recommender::recommend");
+        assert!(ir.fns[0].owner_is_trait);
+    }
+
+    #[test]
+    fn use_trees_record_aliases_groups_and_globs() {
+        let ir = parse(
+            r"
+            use std::collections::{HashMap, HashSet as Set};
+            use crate::pipeline::{self, merge_into};
+            use rm_sparse::vecops::*;
+            fn f() {}
+            ",
+        );
+        assert_eq!(ir.uses["HashMap"], ["std", "collections", "HashMap"]);
+        assert_eq!(ir.uses["Set"], ["std", "collections", "HashSet"]);
+        assert_eq!(ir.uses["merge_into"], ["crate", "pipeline", "merge_into"]);
+        assert_eq!(ir.uses["pipeline"], ["crate", "pipeline"]);
+        assert_eq!(ir.globs, [vec!["rm_sparse", "vecops"]]);
+    }
+
+    #[test]
+    fn records_alloc_panic_facts_and_counters() {
+        let ir = parse(
+            r#"
+            fn f(xs: &[u32]) -> Vec<u32> {
+                let mut out = Vec::with_capacity(xs.len());
+                out.push(xs[0]);
+                let s = format!("{}", xs.len());
+                assert!(!s.is_empty());
+                xs.first().unwrap();
+                out
+            }
+            "#,
+        );
+        let f = &ir.fns[0];
+        let kinds: Vec<(&str, &str)> = f
+            .facts
+            .iter()
+            .map(|x| (x.kind.name(), x.what.as_str()))
+            .collect();
+        assert!(kinds.contains(&("alloc", "Vec::with_capacity(…)")));
+        assert!(kinds.contains(&("alloc", ".push(…)")));
+        assert!(kinds.contains(&("alloc", "format!(…)")));
+        assert!(kinds.contains(&("panic", ".unwrap(…)")));
+        assert_eq!(f.index_sites, 1, "xs[0]");
+        assert_eq!(f.assert_sites, 1);
+    }
+
+    #[test]
+    fn attributes_inside_bodies_are_not_calls() {
+        let ir = parse(
+            r#"
+            fn f() {
+                #[cfg(feature = "testing")]
+                {
+                    helper();
+                }
+            }
+            fn helper() {}
+            "#,
+        );
+        let f = &ir.fns[0];
+        assert_eq!(f.calls.len(), 1);
+        assert_eq!(f.calls[0].name, "helper");
+    }
+
+    #[test]
+    fn cfg_test_mod_blocks_mark_fns_as_test() {
+        let ir = parse(
+            r"
+            fn live() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { super::live(); }
+            }
+            ",
+        );
+        assert!(!ir.fns[0].is_test);
+        assert!(ir.fns[1].is_test);
+        assert_eq!(ir.fns[1].qual, "rm_core::demo::tests::t");
+    }
+
+    #[test]
+    fn macro_rules_bodies_never_leak_phantom_items() {
+        let ir = parse(
+            r##"
+            macro_rules! gen {
+                ($n:ident) => {
+                    fn $n() { let _ = r#"raw "quoted" body"#; }
+                };
+            }
+            fn real() {}
+            "##,
+        );
+        assert_eq!(ir.fns.len(), 1);
+        assert_eq!(ir.fns[0].name, "real");
+    }
+
+    #[test]
+    fn tainted_float_accum_same_statement_and_for_loop() {
+        let ir = parse(
+            r"
+            use std::collections::HashMap;
+            fn same_stmt(m: &HashMap<u32, f32>) -> f32 {
+                let total: f32 = m.values().map(|v| v * v).sum::<f32>();
+                total
+            }
+            fn for_loop(m: &HashMap<u32, f32>) -> f32 {
+                let mut acc: f32 = 0.0;
+                for (_k, v) in m {
+                    acc += v;
+                }
+                acc
+            }
+            fn clean(m: &HashMap<u32, f32>) -> Vec<u32> {
+                let mut ks: Vec<u32> = m.keys().copied().collect();
+                ks.sort_unstable();
+                ks
+            }
+            ",
+        );
+        let tainted = |f: &FnItem| {
+            f.facts
+                .iter()
+                .any(|x| x.kind == FactKind::TaintedFloatAccum)
+        };
+        assert!(tainted(&ir.fns[0]), "same-statement sum::<f32>");
+        assert!(!tainted(&ir.fns[2]), "sorted drain is clean");
+    }
+
+    #[test]
+    fn for_loop_compound_accum_is_tainted() {
+        let ir = parse(
+            r"
+            use std::collections::HashMap;
+            fn for_loop(m: &HashMap<u32, f32>) -> f32 {
+                let mut acc: f32 = 0.0;
+                for (_k, v) in m {
+                    acc += v;
+                }
+                acc
+            }
+            ",
+        );
+        assert!(ir.fns[0]
+            .facts
+            .iter()
+            .any(|x| x.kind == FactKind::TaintedFloatAccum));
+    }
+
+    #[test]
+    fn path_calls_keep_segments_and_bins_get_synthetic_crates() {
+        let ir = parse_file(
+            "crates/bench/src/bin/ann-bench.rs",
+            "fn main() { rm_core::quant::decode(1); }",
+        );
+        assert_eq!(ir.crate_name, "rm_bench_bin_ann_bench");
+        let c = &ir.fns[0].calls[0];
+        assert_eq!(c.kind, CallKind::Path);
+        assert_eq!(c.segs, ["rm_core", "quant", "decode"]);
+    }
+
+    #[test]
+    fn tests_dir_files_are_all_test() {
+        let ir = parse_file("crates/core/tests/golden.rs", "fn helper() {}");
+        assert!(ir.fns[0].is_test);
+        assert!(ir.fns[0].qual.starts_with("rm_core_tests_golden::"));
+    }
+}

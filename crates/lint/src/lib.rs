@@ -28,12 +28,16 @@
 //! the workspace's vendored-only policy. See DESIGN.md §14.
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod diag;
 pub mod engine;
+pub mod ir;
 pub mod lexer;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 
 pub use allowlist::Allowlist;
+pub use callgraph::{run_callgraph, CgOutcome};
 pub use diag::Finding;
 pub use engine::{run, RunConfig, RunOutcome};

@@ -1,36 +1,53 @@
 //! `rm-lint` CLI.
 //!
 //! ```text
-//! rm-lint [--root DIR] [--allowlist FILE] [--report FILE] [--list-rules]
+//! rm-lint [--root DIR] [--allowlist FILE] [--report FILE]
+//!         [--callgraph] [--callgraph-report FILE]
+//!         [--list-rules] [--explain RULE]
 //! ```
 //!
-//! Exit codes: 0 clean; 1 live findings or stale allowlist entries;
-//! 2 usage / IO / allowlist-parse error. Diagnostics go to stderr, the
-//! summary line to stdout, so `cargo lint 2>&1 | tail -1` shows the verdict.
+//! By default both analyses run: the token rules (LINT_report.json) and
+//! the call-graph reachability rules (CALLGRAPH_report.json); `--callgraph`
+//! restricts the run to the latter. Exit codes: 0 clean; 1 live findings,
+//! stale allowlist entries, or unmatched roots; 2 usage / IO /
+//! allowlist-parse error. Diagnostics go to stderr, summary lines to
+//! stdout, so `cargo lint 2>&1 | tail -2` shows the verdict.
 
 use rm_lint::allowlist::Allowlist;
+use rm_lint::callgraph::{run_callgraph, CG_RULES};
 use rm_lint::engine::{run, RunConfig};
 use rm_lint::report;
-use rm_lint::rules::RULES;
+use rm_lint::rules::{explain, RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rm-lint [--root DIR] [--allowlist FILE] [--report FILE] [--list-rules]
-  --root DIR        workspace root to scan (default: .)
-  --allowlist FILE  structured allowlist (default: <root>/scripts/lint_allowlist.toml if present)
-  --report FILE     write LINT_report.json-style report to FILE
-  --list-rules      print the rule table and exit";
+const USAGE: &str = "usage: rm-lint [--root DIR] [--allowlist FILE] [--report FILE]
+               [--callgraph] [--callgraph-report FILE] [--list-rules] [--explain RULE]
+  --root DIR              workspace root to scan (default: .)
+  --allowlist FILE        structured allowlist (default: <root>/scripts/lint_allowlist.toml if present)
+  --report FILE           write LINT_report.json-style report to FILE
+  --callgraph             run only the call-graph reachability analysis
+  --callgraph-report FILE write CALLGRAPH_report.json-style report to FILE
+  --list-rules            print the rule table (token + call-graph) and exit
+  --explain RULE          print a rule's rationale and an example diagnostic";
 
 fn list_rules() {
-    println!("{:<28} {:<8} SCOPE / SUMMARY", "RULE", "TESTS");
+    println!("{:<40} {:<8} SCOPE / SUMMARY", "RULE", "TESTS");
     for r in RULES {
         println!(
-            "{:<28} {:<8} {}",
+            "{:<40} {:<8} {}",
             r.id,
             if r.test_exempt { "exempt" } else { "checked" },
             r.scope
         );
-        println!("{:<28} {:<8} {}", "", "", r.summary);
+        println!("{:<40} {:<8} {}", "", "", r.summary);
+    }
+    for r in CG_RULES {
+        println!(
+            "{:<40} {:<8} closure of [[root]] entries (cfg(test) excluded)",
+            r.id, "exempt"
+        );
+        println!("{:<40} {:<8} {}", "", "", r.summary);
     }
 }
 
@@ -38,11 +55,20 @@ fn real_main() -> Result<ExitCode, String> {
     let mut root = PathBuf::from(".");
     let mut allowlist_path: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut cg_report_path: Option<PathBuf> = None;
+    let mut callgraph_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list-rules" => {
                 list_rules();
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--explain" => {
+                let id = args.next().ok_or("--explain needs a rule id")?;
+                let text = explain(&id)
+                    .ok_or_else(|| format!("unknown rule `{id}` (see --list-rules)"))?;
+                println!("{text}");
                 return Ok(ExitCode::SUCCESS);
             }
             "--root" => {
@@ -55,6 +81,12 @@ fn real_main() -> Result<ExitCode, String> {
             }
             "--report" => {
                 report_path = Some(PathBuf::from(args.next().ok_or("--report needs a value")?));
+            }
+            "--callgraph" => callgraph_only = true,
+            "--callgraph-report" => {
+                cg_report_path = Some(PathBuf::from(
+                    args.next().ok_or("--callgraph-report needs a value")?,
+                ));
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -71,44 +103,82 @@ fn real_main() -> Result<ExitCode, String> {
         Some(p) => {
             let text = std::fs::read_to_string(p)
                 .map_err(|e| format!("cannot read allowlist {}: {e}", p.display()))?;
-            Some(Allowlist::parse(&text)?)
+            Allowlist::parse(&text)?
         }
-        None => None,
+        None => Allowlist::default(),
     };
-    let entries = allowlist
+    let allowlist_display = allowlist_path
         .as_ref()
-        .map(|a| a.entries.clone())
-        .unwrap_or_default();
-    let outcome = run(&RunConfig { root, allowlist })?;
+        .map_or_else(|| "<allowlist>".into(), |p| p.display().to_string());
+    let mut clean = true;
 
-    for f in &outcome.findings {
+    // Token rules (skipped under --callgraph).
+    if !callgraph_only {
+        let entries = allowlist.entries.clone();
+        let outcome = run(&RunConfig {
+            root: root.clone(),
+            allowlist: Some(allowlist.clone()),
+        })?;
+        for f in &outcome.findings {
+            eprintln!("{f}\n");
+        }
+        for &i in &outcome.stale {
+            let e = &entries[i];
+            eprintln!(
+                "error[stale-allowlist-entry]: entry at {}:{} (rule `{}`, path `{}`) matched nothing\n   = help: the code it excused is gone — delete the entry (reason was: {})",
+                allowlist_display, e.src_line, e.rule, e.path, e.reason
+            );
+        }
+        if let Some(p) = &report_path {
+            std::fs::write(p, report::render(&outcome, &entries))
+                .map_err(|e| format!("cannot write report {}: {e}", p.display()))?;
+        }
+        println!(
+            "rm-lint: {} files scanned, {} findings, {} allowlisted, {} stale allowlist entries",
+            outcome.files_scanned,
+            outcome.findings.len(),
+            outcome.suppressed.len(),
+            outcome.stale.len()
+        );
+        clean &= outcome.is_clean();
+    }
+
+    // Call-graph reachability rules.
+    let cg = run_callgraph(&root, &allowlist)?;
+    for f in &cg.findings {
         eprintln!("{f}\n");
     }
-    for &i in &outcome.stale {
-        let e = &entries[i];
+    for e in &cg.stale_approvals {
         eprintln!(
-            "error[stale-allowlist-entry]: entry at {}:{} (rule `{}`, path `{}`) matched nothing\n   = help: the code it excused is gone — delete the entry (reason was: {})",
-            allowlist_path
-                .as_ref()
-                .map_or_else(|| "<allowlist>".into(), |p| p.display().to_string()),
-            e.src_line,
-            e.rule,
-            e.path,
-            e.reason
+            "error[stale-approve-entry]: entry at {}:{} (rule `{}`, fn `{}`) approved nothing\n   = help: the behaviour it excused is gone — delete the entry (reason was: {})",
+            allowlist_display, e.src_line, e.rule, e.func, e.reason
         );
     }
-    if let Some(p) = &report_path {
-        std::fs::write(p, report::render(&outcome, &entries))
+    for e in &cg.unmatched_roots {
+        eprintln!(
+            "error[unmatched-root]: [[root]] at {}:{} (pattern `{}`) matched no live function\n   = help: the entry point was renamed or removed — update the pattern (reason was: {})",
+            allowlist_display, e.src_line, e.pattern, e.reason
+        );
+    }
+    if let Some(p) = &cg_report_path {
+        std::fs::write(p, report::render_callgraph(&cg))
             .map_err(|e| format!("cannot write report {}: {e}", p.display()))?;
     }
     println!(
-        "rm-lint: {} files scanned, {} findings, {} allowlisted, {} stale allowlist entries",
-        outcome.files_scanned,
-        outcome.findings.len(),
-        outcome.suppressed.len(),
-        outcome.stale.len()
+        "rm-lint callgraph: {} functions, {} edges, {} in serve closure, {} findings, {} approved sites, {} unresolved ({} in closure), {} stale approvals, {} unmatched roots",
+        cg.functions,
+        cg.edges,
+        cg.closure_functions,
+        cg.findings.len(),
+        cg.approved.iter().map(|a| a.sites).sum::<usize>(),
+        cg.unresolved_total,
+        cg.unresolved_in_closure,
+        cg.stale_approvals.len(),
+        cg.unmatched_roots.len()
     );
-    Ok(if outcome.is_clean() {
+    clean &= cg.is_clean();
+
+    Ok(if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -6,6 +6,7 @@
 //! newline) so the artifact is byte-reproducible across runs.
 
 use crate::allowlist::AllowEntry;
+use crate::callgraph::{CgOutcome, CG_RULES};
 use crate::diag::Finding;
 use crate::engine::RunOutcome;
 use crate::rules::RULES;
@@ -107,6 +108,102 @@ pub fn render(outcome: &RunOutcome, entries: &[AllowEntry]) -> String {
     s
 }
 
+/// Renders the byte-stable `CALLGRAPH_report.json`: roots with their
+/// matched functions, graph and closure statistics, per-rule counts, live
+/// findings (with root→sink chains) and approvals. Everything is emitted
+/// in deterministic order so CI can diff the artifact.
+#[must_use]
+pub fn render_callgraph(out: &CgOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"tool\": \"rm-lint-callgraph\",");
+    let _ = writeln!(
+        s,
+        "  \"workspace\": {{\"files_scanned\": {}, \"functions\": {}, \"edges\": {}, \
+         \"unresolved_calls\": {}}},",
+        out.files_scanned, out.functions, out.edges, out.unresolved_total
+    );
+    let _ = writeln!(
+        s,
+        "  \"closure\": {{\"functions\": {}, \"index_sites\": {}, \"assert_sites\": {}, \
+         \"unresolved_calls\": {}}},",
+        out.closure_functions,
+        out.closure_index_sites,
+        out.closure_assert_sites,
+        out.unresolved_in_closure
+    );
+    s.push_str("  \"roots\": [\n");
+    for (i, (pattern, matched)) in out.roots.iter().enumerate() {
+        let quals: Vec<String> = matched.iter().map(|q| format!("\"{}\"", esc(q))).collect();
+        let _ = write!(
+            s,
+            "    {{\"pattern\": \"{}\", \"matched\": [{}]}}",
+            esc(pattern),
+            quals.join(", ")
+        );
+        s.push_str(if i + 1 < out.roots.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"rules\": [\n");
+    for (i, r) in CG_RULES.iter().enumerate() {
+        let live = out.findings.iter().filter(|f| f.rule == r.id).count();
+        let approved: usize = out
+            .approved
+            .iter()
+            .filter(|a| a.rule == r.id)
+            .map(|a| a.sites)
+            .sum();
+        let _ = write!(
+            s,
+            "    {{\"id\": \"{}\", \"findings\": {live}, \"approved_sites\": {approved}}}",
+            esc(r.id)
+        );
+        s.push_str(if i + 1 < CG_RULES.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in out.findings.iter().enumerate() {
+        let chain: Vec<String> = f.chain.iter().map(|q| format!("\"{}\"", esc(q))).collect();
+        let _ = write!(
+            s,
+            "    {{\"rule\": \"{}\", \"fn\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"col\": {}, \"what\": \"{}\", \"chain\": [{}]}}",
+            esc(f.rule),
+            esc(&f.qual),
+            esc(&f.file),
+            f.line,
+            f.col,
+            esc(&f.what),
+            chain.join(", ")
+        );
+        s.push_str(if i + 1 < out.findings.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"approved\": [\n");
+    for (i, a) in out.approved.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"rule\": \"{}\", \"fn\": \"{}\", \"sites\": {}, \"reason\": \"{}\"}}",
+            esc(&a.rule),
+            esc(&a.func),
+            a.sites,
+            esc(&a.reason)
+        );
+        s.push_str(if i + 1 < out.approved.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +234,46 @@ mod tests {
         for r in RULES {
             assert_eq!(s.matches(&format!("\"id\": \"{}\"", r.id)).count(), 1);
         }
+    }
+
+    #[test]
+    fn callgraph_report_lists_rules_roots_and_chains() {
+        let out = CgOutcome {
+            findings: vec![crate::callgraph::CgFinding {
+                rule: crate::callgraph::RULE_PANIC,
+                qual: "rm_core::bpr::Bpr::model_ref".into(),
+                file: "crates/core/src/bpr.rs".into(),
+                line: 188,
+                col: 36,
+                what: ".expect(…)".into(),
+                chain: vec![
+                    "rm_serve::engine::serve".into(),
+                    "rm_core::bpr::Bpr::model_ref".into(),
+                ],
+            }],
+            approved: vec![],
+            stale_approvals: vec![],
+            unmatched_roots: vec![],
+            roots: vec![("serve*".into(), vec!["rm_serve::engine::serve".into()])],
+            functions: 10,
+            edges: 14,
+            files_scanned: 3,
+            closure_functions: 5,
+            closure_index_sites: 2,
+            closure_assert_sites: 1,
+            unresolved_total: 4,
+            unresolved_in_closure: 0,
+        };
+        let s = render_callgraph(&out);
+        assert!(s.contains("\"tool\": \"rm-lint-callgraph\""));
+        assert!(s.contains("\"functions\": 10, \"edges\": 14, \"unresolved_calls\": 4"));
+        assert!(s.contains("\"pattern\": \"serve*\", \"matched\": [\"rm_serve::engine::serve\"]"));
+        assert!(s.contains(
+            "\"chain\": [\"rm_serve::engine::serve\", \"rm_core::bpr::Bpr::model_ref\"]"
+        ));
+        for r in CG_RULES {
+            assert_eq!(s.matches(&format!("\"id\": \"{}\"", r.id)).count(), 1);
+        }
+        assert!(s.ends_with("}\n"));
     }
 }

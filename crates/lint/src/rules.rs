@@ -169,6 +169,163 @@ pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
 }
 
+/// Rationale + example diagnostic per rule, for `--explain <rule>`.
+/// Covers both the token rules above and the call-graph rules in
+/// [`crate::callgraph`].
+static EXPLAIN: &[(&str, &str, &str)] = &[
+    (
+        "dot-outside-vecops",
+        "Float addition is not associative: a hand-rolled .zip().map().sum() reduction \
+         accumulates in whatever order the iterator chain produces, which changes the \
+         low-order bits of every score — and Table 1 is reproduced bit-for-bit. The \
+         lane-unrolled vecops kernels pin one documented reduction order.",
+        "error[dot-outside-vecops]: hand-rolled dot-product reduction outside the blessed \
+         vecops kernels\n  --> crates/eval/src/metrics.rs:3:10\n   |\n 3 |         .zip(b)",
+    ),
+    (
+        "instant-now-in-serve",
+        "Serving deadlines, breaker timeouts, and latency metrics must be testable on \
+         simulated time. A direct Instant::now() hard-wires the wall clock, so chaos tests \
+         cannot fast-forward through timeouts and the loadgen cannot replay deterministically.",
+        "error[instant-now-in-serve]: direct Instant::now() call bypasses the Clock \
+         abstraction\n  --> crates/serve/src/engine.rs:120:17",
+    ),
+    (
+        "lock-join-unwrap-in-serve",
+        "A panicking worker poisons its mutex; unwrap() on lock() then aborts every later \
+         request that touches the same lock — one fault becomes a full outage. Poison-tolerant \
+         recovery (into_inner) plus per-chunk degradation keeps the blast radius at one chunk.",
+        "error[lock-join-unwrap-in-serve]: unwrap/expect on a lock()/join() result can abort \
+         the serving path\n  --> crates/serve/src/engine.rs:88:30",
+    ),
+    (
+        "nondeterministic-iteration",
+        "HashMap/HashSet iteration order varies per process (SipHash keys are randomized). \
+         If that order reaches model output or an on-disk artifact, two identical runs \
+         produce different bytes and the repro gate fails chasing ghosts.",
+        "error[nondeterministic-iteration]: iteration over a HashMap/HashSet visits entries \
+         in a nondeterministic order\n  --> crates/dataset/src/genre.rs:41:52",
+    ),
+    (
+        "panic-in-library",
+        "The serving path degrades, never aborts (DESIGN.md §10): a panic!() in library code \
+         turns one bad user or one poisoned model slot into a crashed process. Errors must \
+         flow as values so the engine can shed, fall back, or skip.",
+        "error[panic-in-library]: explicit panic in serving library code violates the \
+         degrade-don't-abort policy\n  --> crates/serve/src/filters.rs:57:9",
+    ),
+    (
+        "float-accum-outside-vecops",
+        "Same associativity argument as dot-outside-vecops, for any f32 reduction: \
+         sum::<f32>(), fold(0.0f32, …) and friends commit to an accumulation order. Outside \
+         the blessed kernels that order is an accident of iterator internals; an allowlist \
+         entry must prove the order is fixed and the result never feeds Table 1.",
+        "error[float-accum-outside-vecops]: manual f32 accumulation does not follow the \
+         documented vecops reduction order\n  --> crates/embed/src/exact.rs:30:46",
+    ),
+    (
+        "recommender-call-outside-pipeline",
+        "Every served answer must carry provenance (which source, which stage, why). A direct \
+         model.recommend() in serve code skips the sources → merge → filters → rank pipeline, \
+         producing unexplainable answers; only the degraded fallback walk is allowlisted.",
+        "error[recommender-call-outside-pipeline]: direct recommender call bypasses the \
+         candidate pipeline's provenance, merge, and filter stages\n  --> \
+         crates/serve/src/engine.rs:1736:32",
+    ),
+    (
+        "unbounded-channel-or-vec-queue-in-serve",
+        "An unbounded queue converts overload into latency and memory growth: requests queue \
+         instead of shedding, p99 explodes, and the process eventually OOMs. Bounded queues \
+         behind admission control shed at the edge while the SLO holds (DESIGN.md §16).",
+        "error[unbounded-channel-or-vec-queue-in-serve]: unbounded queue in serving code \
+         absorbs overload instead of shedding it\n  --> crates/serve/src/queue.rs:77:31",
+    ),
+    (
+        "f32-widening-in-quant",
+        "The quantized artifacts win memory and throughput only while scoring stays in \
+         integer domain: widening i8 codes to f32 per element re-pays the f32 cost and \
+         silently changes rounding. All quant arithmetic lives in rm_core::quant and the \
+         fused vecops kernels, where the exact-integer-accumulation contract is tested.",
+        "error[f32-widening-in-quant]: hand-rolled quantization arithmetic bypasses the \
+         blessed quant module and its fused kernels\n  --> crates/serve/src/rank.rs:203:22",
+    ),
+    (
+        crate::callgraph::RULE_PANIC,
+        "Scope-based panic rules only see files under crates/serve/src — a .unwrap() in an \
+         rm-core helper called from serve_chunk_with is invisible to them. This rule walks \
+         the call graph from the declared request roots, so the policy follows the code: \
+         anything reachable from a root must degrade, not abort. Diagnostics carry the \
+         root→sink chain as evidence.",
+        "error[panic-reachable-from-serve-path]: may-panic operation reachable from a request \
+         root: .expect(…)\n  --> crates/core/src/bpr.rs:188:36 (rm_core::bpr::Bpr::model_ref)\n  \
+         via: rm_serve::engine::ServingEngine::serve_chunk_with → rm_core::bpr::Bpr::score → \
+         rm_core::bpr::Bpr::model_ref",
+    ),
+    (
+        crate::callgraph::RULE_ALLOC,
+        "At million-user scale the request path cannot allocate per call: allocator churn \
+         dominates tail latency and fragments the heap under load. Buffers are preallocated \
+         at install time and reused per chunk; each surviving allocation must be approved as \
+         bounded scratch with a written reason.",
+        "error[alloc-reachable-from-serve-path]: allocation reachable from a request root: \
+         format!(…)\n  --> crates/core/src/quant.rs:700:19 (rm_core::quant::QuantRecommender::new)\n  \
+         via: rm_serve::engine::ServingEngine::serve_chunk_with → \
+         rm_serve::pipeline::sources::QuantCfNeighboursSource::new → \
+         rm_core::quant::QuantRecommender::new",
+    ),
+    (
+        crate::callgraph::RULE_TAINT,
+        "The deadly combination for reproducibility: HashMap/HashSet iteration (random order \
+         per process) feeding an f32 accumulation (order-dependent result). Each alone can be \
+         benign — together they guarantee run-to-run bit drift. The rule runs workspace-wide \
+         because taint corrupts Table 1 wherever it happens, not just on the serve path.",
+        "error[tainted-float-accum]: hash-order iteration feeds a float accumulation in the \
+         same body\n  --> crates/eval/src/metrics.rs:44:22 (rm_eval::metrics::mean_score)",
+    ),
+    (
+        crate::callgraph::RULE_UNRESOLVED,
+        "The reachability rules are only sound if the closure is complete. A call the \
+         resolver cannot attribute (closure parameter, function-pointer field) is a hole in \
+         the proof — so inside a serve root's closure it fails the lint rather than silently \
+         shrinking the audit surface. Fail closed, like the allowlist itself.",
+        "error[unresolved-call-in-serve-closure]: call inside the serve closure that name \
+         resolution cannot attribute: cannot resolve `callback(…)`\n  --> \
+         crates/serve/src/engine.rs:410:9 (rm_serve::engine::ServingEngine::serve_chunk_with)",
+    ),
+];
+
+/// Renders the `--explain <rule>` text: summary, scope, rationale, and an
+/// example diagnostic. Returns `None` for unknown rule ids.
+#[must_use]
+pub fn explain(id: &str) -> Option<String> {
+    let (_, rationale, example) = EXPLAIN.iter().find(|(eid, _, _)| *eid == id)?;
+    let mut out = String::new();
+    if let Some(rule) = rule_by_id(id) {
+        out.push_str(&format!("{}: {}\n", rule.id, rule.summary));
+        out.push_str(&format!("scope: {}\n", rule.scope));
+        out.push_str(&format!(
+            "test exemption: {}\n",
+            if rule.test_exempt {
+                "cfg(test) / tests-dir findings exempt"
+            } else {
+                "none (tests included)"
+            }
+        ));
+        out.push_str(&format!("fix: {}\n", rule.fix_hint));
+    } else if let Some(rule) = crate::callgraph::cg_rule_by_id(id) {
+        out.push_str(&format!("{}: {}\n", rule.id, rule.summary));
+        out.push_str(
+            "scope: call-graph closure of the [[root]] entries in scripts/lint_allowlist.toml\n",
+        );
+        out.push_str(&format!("fix: {}\n", rule.fix_hint));
+    } else {
+        return None;
+    }
+    out.push_str(&format!("\nwhy:\n{rationale}\n"));
+    out.push_str(&format!("\nexample:\n{example}\n"));
+    Some(out)
+}
+
 /// Returns the index just past the `)` matching the `(` at `open`, tracking
 /// nested parens/brackets/braces. `None` when unbalanced.
 fn skip_parens(t: &[Token], open: usize) -> Option<usize> {
@@ -275,7 +432,7 @@ const ITER_METHODS: &[&str] = &[
 
 /// Index of the first `;` after `from` at balanced paren/bracket/brace
 /// depth (statement end), or `t.len()`.
-fn stmt_end(t: &[Token], from: usize) -> usize {
+pub(crate) fn stmt_end(t: &[Token], from: usize) -> usize {
     let (mut paren, mut bracket, mut brace) = (0i32, 0i32, 0i32);
     let mut j = from;
     while j < t.len() {
@@ -303,7 +460,7 @@ fn stmt_end(t: &[Token], from: usize) -> usize {
 /// shadowing applied at statement end — so `let v: Vec<_> = m.into_iter()…`
 /// still flags the drain on the right-hand side before `m` is shadowed.
 /// Flags `name.iter()`-family calls and `for … in [&][mut] name {` loops.
-fn check_nondet_iteration(t: &[Token]) -> Vec<usize> {
+pub(crate) fn check_nondet_iteration(t: &[Token]) -> Vec<usize> {
     let mut bound: BTreeSet<String> = BTreeSet::new();
     // (apply-at index, name, bind?) — shadowing takes effect at `;`.
     let mut pending: Vec<(usize, String, bool)> = Vec::new();
@@ -451,7 +608,7 @@ fn check_panic_in_library(t: &[Token]) -> Vec<usize> {
 
 /// Rule 6: manual f32 accumulation — `sum::<f32>()` turbofish,
 /// `let [mut] NAME : f32 = … .sum() … ;`, and `fold(<f32-literal>`.
-fn check_float_accum(t: &[Token]) -> Vec<usize> {
+pub(crate) fn check_float_accum(t: &[Token]) -> Vec<usize> {
     let mut out = Vec::new();
     for i in 0..t.len() {
         // `sum :: < f32 > (`

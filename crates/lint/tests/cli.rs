@@ -175,6 +175,79 @@ fn unknown_flag_is_usage_error() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+#[test]
+fn explain_known_rule_exits_zero() {
+    for rule in ["panic-in-library", "alloc-reachable-from-serve-path"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_rm-lint"))
+            .args(["--explain", rule])
+            .output()
+            .expect("spawn rm-lint");
+        assert_eq!(out.status.code(), Some(0), "rule {rule}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(rule), "{stdout}");
+        assert!(stdout.contains("why:"), "{stdout}");
+    }
+}
+
+#[test]
+fn explain_unknown_rule_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rm-lint"))
+        .args(["--explain", "no-such-rule"])
+        .output()
+        .expect("spawn rm-lint");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule"), "{stderr}");
+}
+
+#[test]
+fn callgraph_report_is_byte_stable_across_runs() {
+    let sb = Sandbox::new("cg-stable");
+    sb.write(
+        "crates/serve/src/engine.rs",
+        "pub fn serve_entry() { helper(); }\npub fn helper() { let mut v = Vec::new(); v.push(1); }\n",
+    );
+    sb.write(
+        "scripts/lint_allowlist.toml",
+        "[[root]]\npattern = \"rm_serve::engine::serve_entry\"\nreason = \"fixture\"\n",
+    );
+    let r1 = sb.root.join("c1.json");
+    let r2 = sb.root.join("c2.json");
+    sb.run(&["--callgraph", "--callgraph-report", r1.to_str().unwrap()]);
+    sb.run(&["--callgraph", "--callgraph-report", r2.to_str().unwrap()]);
+    let json = fs::read_to_string(&r1).unwrap();
+    assert_eq!(json, fs::read_to_string(r2).unwrap());
+    assert!(json.contains("\"tool\": \"rm-lint-callgraph\""), "{json}");
+    assert!(json.contains("alloc-reachable-from-serve-path"), "{json}");
+}
+
+/// The committed fixture: an unknown call inside the closure is a
+/// finding (exit 1 with a chain), the one outside is only counted.
+#[test]
+fn unresolved_call_inside_closure_fails_closed() {
+    let sb = Sandbox::new("fail-closed");
+    sb.write(
+        "crates/serve/src/engine.rs",
+        include_str!("fixtures/unresolved_closure.rs"),
+    );
+    sb.write(
+        "scripts/lint_allowlist.toml",
+        "[[root]]\npattern = \"rm_serve::engine::serve_entry\"\nreason = \"fixture\"\n",
+    );
+    let (code, stdout, stderr) = sb.run(&["--callgraph"]);
+    assert_eq!(code, 1, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stderr.contains("error[unresolved-call-in-serve-closure]"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("mystery_dependency"), "{stderr}");
+    assert!(
+        !stderr.contains("another_mystery"),
+        "outside-closure call must not be a finding: {stderr}"
+    );
+    assert!(stdout.contains("2 unresolved (1 in closure)"), "{stdout}");
+}
+
 /// Fixture dirs named `fixtures` are skipped by the walker.
 #[test]
 fn fixture_directories_are_not_scanned() {

@@ -1,0 +1,17 @@
+//! Fail-closed fixture: `serve_entry` is declared a `[[root]]` by the
+//! test that loads this file, and it calls a function the resolver
+//! cannot find anywhere in the workspace. The call-graph lint must turn
+//! that into an `unresolved-call-in-serve-closure` finding — an edge it
+//! cannot see is an edge it must not vouch for — while the identical
+//! unknown call in `offline_helper` (outside the closure) is only
+//! counted, not failed.
+
+/// Declared serve root for the fixture workspace.
+pub fn serve_entry() {
+    mystery_dependency();
+}
+
+/// Not reachable from the root: its unknown call is tallied but clean.
+pub fn offline_helper() {
+    another_mystery();
+}

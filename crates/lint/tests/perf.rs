@@ -1,0 +1,44 @@
+//! Self-performance smoke: the lint must stay cheap enough to sit in
+//! every `check.sh` run. Shelling the built binary over the real
+//! workspace (token rules + the full call-graph build and closure walk)
+//! has to finish inside a generous wall-clock budget — the point is not
+//! a tight benchmark but a tripwire for accidentally quadratic parsing
+//! or resolution: a debug-profile scan runs in well under a second
+//! today, so a 15 s ceiling only fires on a complexity regression.
+
+use std::path::Path;
+use std::process::Command;
+use std::time::Duration;
+
+use rm_util::clock::{Clock, Deadline, MonotonicClock};
+
+#[test]
+fn full_workspace_scan_fits_the_wall_clock_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let clock = MonotonicClock::new();
+    let deadline = Deadline::after(&clock, Duration::from_secs(15));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rm-lint"))
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("spawn rm-lint");
+    let elapsed = clock.now();
+
+    assert!(
+        out.status.success(),
+        "workspace lint must be clean for the perf smoke to be meaningful:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("rm-lint callgraph:"),
+        "call-graph pass must have run: {stdout}"
+    );
+    assert!(
+        !deadline.expired(&clock),
+        "full scan took {elapsed:?}, over the 15 s budget — check for \
+         quadratic parsing or resolution"
+    );
+}

@@ -13,13 +13,34 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> rm-lint (token-aware invariant rules, structured allowlist)"
+echo "==> rm-lint (token rules + call-graph reachability, structured allowlist)"
 # Replaces the old grep gates: dot products outside rm_sparse::vecops,
 # Instant::now() outside the Clock abstraction, unwrap/expect on
 # lock()/join(), HashMap/HashSet iteration in model-affecting crates,
-# panics in serving library code, manual f32 accumulation. Allowlist:
+# panics in serving library code, manual f32 accumulation — plus the
+# workspace call graph (DESIGN.md §19): allocation, panic, and
+# determinism-taint reachability from the declared serve roots, failing
+# closed on unresolved calls inside the closure. Allowlist:
 # scripts/lint_allowlist.toml (mandatory reasons, stale entries fail).
-cargo run --release -q -p rm-lint -- --report LINT_report.json
+cargo run --release -q -p rm-lint -- \
+    --report LINT_report.json --callgraph-report CALLGRAPH_report.json
+
+echo "==> rm-lint report byte-stability (two consecutive runs identical)"
+# Both committed reports must be deterministic artifacts: a second run
+# into a scratch dir has to reproduce them byte-for-byte, so a diff in
+# review always means a code change, never scheduler noise.
+cargo run --release -q -p rm-lint -- \
+    --report /tmp/rm_lint_stability_L.json \
+    --callgraph-report /tmp/rm_lint_stability_C.json
+cmp LINT_report.json /tmp/rm_lint_stability_L.json
+cmp CALLGRAPH_report.json /tmp/rm_lint_stability_C.json
+
+echo "==> rm-lint --explain (exit codes: 0 known rule, 2 unknown)"
+cargo run --release -q -p rm-lint -- --explain panic-reachable-from-serve-path > /dev/null
+if cargo run --release -q -p rm-lint -- --explain no-such-rule > /dev/null 2>&1; then
+    echo "expected --explain no-such-rule to fail" >&2
+    exit 1
+fi
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
